@@ -1,0 +1,128 @@
+// Codec micro-benchmarks (google-benchmark): the building-block costs whose
+// asymmetry produces the paper's 100x speedup — container walking vs
+// entropy+MC+IDCT decode — plus transform and entropy-coder throughput.
+#include <benchmark/benchmark.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/range_coder.h"
+#include "codec/transform.h"
+#include "common/rng.h"
+#include "core/seeker.h"
+#include "synth/scene.h"
+
+namespace {
+
+using namespace sieve;
+
+const synth::SyntheticVideo& Scene() {
+  static const synth::SyntheticVideo scene = [] {
+    synth::SceneConfig c;
+    c.width = 320;
+    c.height = 240;
+    c.num_frames = 120;
+    c.seed = 9;
+    c.mean_gap_seconds = 1.0;
+    c.min_gap_seconds = 0.4;
+    c.mean_dwell_seconds = 1.5;
+    return synth::GenerateScene(c);
+  }();
+  return scene;
+}
+
+const codec::EncodedVideo& Encoded() {
+  static const codec::EncodedVideo video = [] {
+    auto encoded = codec::VideoEncoder(codec::EncoderParams::Semantic(30, 250))
+                       .Encode(Scene().video);
+    return std::move(*encoded);
+  }();
+  return video;
+}
+
+void BM_SeekIFrames(benchmark::State& state) {
+  const auto& encoded = Encoded();
+  for (auto _ : state) {
+    auto report = core::SeekIFrames(encoded.bytes);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(Encoded().records.size()));
+  state.SetLabel("frames/sec = items/sec");
+}
+BENCHMARK(BM_SeekIFrames);
+
+void BM_DecodeFullStream(benchmark::State& state) {
+  const auto& encoded = Encoded();
+  for (auto _ : state) {
+    auto decoder = codec::VideoDecoder::Open(encoded.bytes);
+    auto all = decoder->DecodeAll();
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(Encoded().records.size()));
+}
+BENCHMARK(BM_DecodeFullStream)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeSingleIFrame(benchmark::State& state) {
+  const auto& encoded = Encoded();
+  const codec::FrameRecord& first = encoded.records.front();
+  for (auto _ : state) {
+    auto frame = codec::DecodeIntraFrameAt(encoded.bytes, first);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_DecodeSingleIFrame)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeVideo(benchmark::State& state) {
+  codec::EncoderParams params = codec::EncoderParams::Semantic(30, 250);
+  for (auto _ : state) {
+    auto encoded = codec::VideoEncoder(params).Encode(Scene().video);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(Scene().video.frames.size()));
+}
+BENCHMARK(BM_EncodeVideo)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardDct8x8(benchmark::State& state) {
+  Rng rng(1);
+  codec::PixelBlock block;
+  for (auto& v : block) v = std::int16_t(rng.UniformInt(-128, 127));
+  std::array<float, codec::kBlockPixels> freq;
+  for (auto _ : state) {
+    codec::ForwardDct(block, freq);
+    benchmark::DoNotOptimize(freq);
+  }
+}
+BENCHMARK(BM_ForwardDct8x8);
+
+void BM_RangeCoderBits(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<int> bits(8192);
+  for (auto& b : bits) b = rng.Chance(0.2);
+  for (auto _ : state) {
+    ByteWriter w;
+    codec::RangeEncoder enc(&w);
+    codec::BitModel model;
+    for (int b : bits) enc.EncodeBit(model, b);
+    enc.Flush();
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(bits.size()));
+}
+BENCHMARK(BM_RangeCoderBits);
+
+void BM_AnalyzeFrameCosts(benchmark::State& state) {
+  for (auto _ : state) {
+    auto costs = codec::AnalyzeVideo(Scene().video);
+    benchmark::DoNotOptimize(costs);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(Scene().video.frames.size()));
+}
+BENCHMARK(BM_AnalyzeFrameCosts)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

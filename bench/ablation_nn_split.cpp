@@ -1,0 +1,46 @@
+// Ablation: Neurosurgeon-style NN partitioning (the paper's NN Deployment
+// service, option (2): split layers between edge and cloud).
+//
+// Profiles the reference backbone's real per-layer latencies on this
+// machine, then evaluates every split point under several link conditions.
+// Shows when all-edge, all-cloud, or a middle cut wins.
+#include <cstdio>
+
+#include "nn/network.h"
+#include "nn/partition.h"
+
+int main() {
+  using namespace sieve;
+  std::printf("SiEVE ablation — NN partitioning across edge and cloud\n");
+
+  nn::Network net = nn::MakeBackbone(96, 64, 0x51E5E);
+  auto profile = net.MeasureLayerTimes(3);
+  std::printf("%-24s %12s %14s %12s\n", "layer", "ms (edge)", "activation B",
+              "cum ms");
+  double cum = 0;
+  for (const auto& entry : profile) {
+    cum += entry.measured_ms;
+    std::printf("%-24s %12.3f %14zu %12.3f\n", entry.name.c_str(),
+                entry.measured_ms, entry.output_bytes, cum);
+  }
+
+  const std::size_t input_bytes = 3u * 96u * 96u * 4u;
+  for (double mbps : {1.0, 10.0, 30.0, 1000.0}) {
+    nn::PartitionInput input;
+    input.profile = profile;
+    input.cloud_speedup = 3.0;
+    input.bandwidth_mbps = mbps;
+    input.rtt_ms = 20.0;
+    input.input_bytes = input_bytes;
+    const auto points = nn::EvaluateSplits(input);
+    const auto best = nn::ChooseSplit(input);
+    std::printf("\nlink %.0f Mbps: best split = %zu/%zu (edge %.2fms + xfer "
+                "%.2fms + cloud %.2fms = %.2fms)\n",
+                mbps, best.split, profile.size(), best.edge_ms,
+                best.transfer_ms, best.cloud_ms, best.total_ms);
+    std::printf("  split: ");
+    for (const auto& p : points) std::printf("%zu:%.1fms ", p.split, p.total_ms);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared workload construction for the end-to-end benches (Fig. 4 and 5).
+//
+// Building a workload renders + tunes + encodes a probe slice of each
+// dataset, which takes a couple of minutes for all five; the result is
+// cached in ./bench_workloads.cache so the second bench binary reuses it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/placements.h"
+
+namespace sieve::bench {
+
+/// Load the five Table-I workloads from cache or build + cache them.
+/// `target_frames_per_video` scales every feed to the paper's 4h default
+/// when 0.
+std::vector<core::VideoWorkload> LoadOrBuildWorkloads(
+    const std::string& cache_path = "bench_workloads.cache");
+
+/// Serialize / parse (plain text, one workload per line).
+std::string SerializeWorkloads(const std::vector<core::VideoWorkload>& ws);
+std::vector<core::VideoWorkload> ParseWorkloads(const std::string& text);
+
+}  // namespace sieve::bench

@@ -1,0 +1,64 @@
+// NN deployment service demo: decide where the reference NN's layers run.
+//
+// The paper's deployment service can (1) place the whole network at the
+// edge or the cloud, or (2) split it Neurosurgeon-style. This example
+// profiles the real backbone, prints the per-layer costs, and shows the
+// optimal split under different WAN conditions — then validates that a
+// split forward pass produces bit-identical output to a whole one.
+//
+// Run:  ./nn_partitioning
+#include <cstdio>
+
+#include "nn/network.h"
+#include "nn/partition.h"
+
+int main() {
+  using namespace sieve;
+
+  nn::Network net = nn::MakeBackbone(96, 64, 123);
+  std::printf("profiling backbone (%zu layers) on this machine...\n",
+              net.LayerCount());
+  auto profile = net.MeasureLayerTimes(3);
+
+  std::printf("%-24s %10s %12s\n", "layer", "edge ms", "activation");
+  for (const auto& entry : profile) {
+    std::printf("%-24s %10.3f %9zu B\n", entry.name.c_str(), entry.measured_ms,
+                entry.output_bytes);
+  }
+
+  const std::size_t input_bytes = 3u * 96u * 96u * 4u;
+  std::printf("\n%-12s %-8s %-34s\n", "WAN", "split", "latency breakdown");
+  for (double mbps : {0.5, 5.0, 30.0, 200.0, 10000.0}) {
+    nn::PartitionInput input;
+    input.profile = profile;
+    input.cloud_speedup = 4.0;
+    input.bandwidth_mbps = mbps;
+    input.rtt_ms = 15.0;
+    input.input_bytes = input_bytes;
+    const nn::PartitionPoint best = nn::ChooseSplit(input);
+    const char* where = best.split == 0 ? "all-cloud"
+                        : best.split == profile.size() ? "all-edge"
+                                                       : "split";
+    std::printf("%8.1f Mbps %2zu (%s)  edge %.2f + xfer %.2f + cloud %.2f = "
+                "%.2f ms\n",
+                mbps, best.split, where, best.edge_ms, best.transfer_ms,
+                best.cloud_ms, best.total_ms);
+  }
+
+  // Correctness: a split forward pass equals the whole forward pass.
+  nn::Tensor input(nn::Shape{3, 96, 96});
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.values()[i] = float(i % 191) / 191.0f - 0.5f;
+  }
+  const nn::Tensor whole = net.Forward(input);
+  const std::size_t cut = net.LayerCount() / 2;
+  const nn::Tensor edge_half = net.ForwardRange(input, 0, cut);
+  const nn::Tensor cloud_half = net.ForwardRange(edge_half, cut, net.LayerCount());
+  bool identical = whole.size() == cloud_half.size();
+  for (std::size_t i = 0; identical && i < whole.size(); ++i) {
+    identical = whole.values()[i] == cloud_half.values()[i];
+  }
+  std::printf("\nsplit-at-%zu forward pass %s the monolithic result\n", cut,
+              identical ? "exactly matches" : "DIFFERS FROM");
+  return identical ? 0 : 1;
+}

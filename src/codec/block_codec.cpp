@@ -1,0 +1,43 @@
+#include "codec/block_codec.h"
+
+namespace sieve::codec {
+
+void EncodeCoeffBlock(RangeEncoder& rc, PlaneModels& models,
+                      const CoeffBlock& coeffs, std::int32_t& dc_pred) {
+  const auto& zz = ZigZagOrder();
+  // DC: delta from the plane's running predictor.
+  const std::int32_t dc = coeffs[std::size_t(zz[0])];
+  rc.EncodeUnsigned(models.dc_magnitude, ZigzagEncodeSigned(dc - dc_pred));
+  dc_pred = dc;
+  // AC: significance flag per zig-zag position, then sign + magnitude.
+  for (int i = 1; i < kBlockPixels; ++i) {
+    const std::int32_t v = coeffs[std::size_t(zz[std::size_t(i)])];
+    const int significant = v != 0 ? 1 : 0;
+    rc.EncodeBit(models.significance[std::size_t(i)], significant);
+    if (significant) {
+      rc.EncodeDirectBits(v < 0 ? 1u : 0u, 1);
+      const std::uint32_t mag = std::uint32_t(v < 0 ? -v : v);
+      rc.EncodeUnsigned(models.ac_magnitude, mag - 1);
+    }
+  }
+}
+
+void DecodeCoeffBlock(RangeDecoder& rc, PlaneModels& models, CoeffBlock& coeffs,
+                      std::int32_t& dc_pred) {
+  const auto& zz = ZigZagOrder();
+  coeffs.fill(0);
+  const std::int32_t delta =
+      ZigzagDecodeSigned(rc.DecodeUnsigned(models.dc_magnitude));
+  const std::int32_t dc = dc_pred + delta;
+  coeffs[std::size_t(zz[0])] = dc;
+  dc_pred = dc;
+  for (int i = 1; i < kBlockPixels; ++i) {
+    if (rc.DecodeBit(models.significance[std::size_t(i)]) != 0) {
+      const bool negative = rc.DecodeDirectBits(1) != 0;
+      const std::int32_t mag = std::int32_t(rc.DecodeUnsigned(models.ac_magnitude)) + 1;
+      coeffs[std::size_t(zz[std::size_t(i)])] = negative ? -mag : mag;
+    }
+  }
+}
+
+}  // namespace sieve::codec

@@ -1,0 +1,43 @@
+// Entropy coding of quantized 8x8 coefficient blocks.
+//
+// DC is delta-coded against a per-plane raster predictor (JPEG-style); AC
+// coefficients are coded in zig-zag order with per-position adaptive
+// significance models, sign as a direct bit, and adaptive magnitude codes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/range_coder.h"
+#include "codec/transform.h"
+
+namespace sieve::codec {
+
+/// Adaptive model set for one plane kind (luma or chroma) in one prediction
+/// mode (intra or inter). Reset per frame so every frame's payload is
+/// self-contained.
+struct PlaneModels {
+  std::array<BitModel, kBlockPixels> significance;  ///< AC nonzero flags, per position
+  std::array<BitModel, kUnsignedLengthModels> dc_magnitude;
+  std::array<BitModel, kUnsignedLengthModels> ac_magnitude;
+};
+
+/// Map a signed value to an unsigned code (0,-1,1,-2,2.. -> 0,1,2,3,4..).
+constexpr std::uint32_t ZigzagEncodeSigned(std::int32_t v) noexcept {
+  return (std::uint32_t(v) << 1) ^ std::uint32_t(v >> 31);
+}
+constexpr std::int32_t ZigzagDecodeSigned(std::uint32_t u) noexcept {
+  return std::int32_t(u >> 1) ^ -std::int32_t(u & 1);
+}
+
+/// Encode a quantized block; `dc_pred` is the running DC predictor for the
+/// plane (updated in place). Intra blocks use spatial DC prediction; inter
+/// residual blocks should pass a predictor pinned to 0.
+void EncodeCoeffBlock(RangeEncoder& rc, PlaneModels& models,
+                      const CoeffBlock& coeffs, std::int32_t& dc_pred);
+
+/// Decode a block previously written by EncodeCoeffBlock.
+void DecodeCoeffBlock(RangeDecoder& rc, PlaneModels& models, CoeffBlock& coeffs,
+                      std::int32_t& dc_pred);
+
+}  // namespace sieve::codec

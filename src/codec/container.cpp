@@ -1,0 +1,124 @@
+#include "codec/container.h"
+
+namespace sieve::codec {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'S', 'V', 'B', '1'};
+constexpr std::size_t kFrameCountOffset = 4 + 2 + 2 + 8;  // after magic+dims+fps
+}  // namespace
+
+ContainerWriter::ContainerWriter(const ContainerHeader& header) {
+  writer_.PutBytes(std::span<const std::uint8_t>(kMagic, 4));
+  writer_.PutU16(std::uint16_t(header.width));
+  writer_.PutU16(std::uint16_t(header.height));
+  writer_.PutF64(header.fps);
+  writer_.PutU32(0);  // frame_count patched in Finish()
+  writer_.PutU8(header.qp);
+  writer_.PutU8(0);   // flags
+  writer_.PutU16(0);  // reserved
+}
+
+FrameRecord ContainerWriter::AppendFrame(FrameType type,
+                                         std::span<const std::uint8_t> payload) {
+  FrameRecord record;
+  record.index = frame_count_;
+  record.type = type;
+  writer_.PutU8(std::uint8_t(type));
+  writer_.PutU32(std::uint32_t(payload.size()));
+  record.payload_offset = writer_.size();
+  record.payload_size = payload.size();
+  writer_.PutBytes(payload);
+  ++frame_count_;
+  return record;
+}
+
+std::vector<std::uint8_t> ContainerWriter::Finish() {
+  finished_ = true;
+  std::vector<std::uint8_t> bytes = writer_.Release();
+  for (int i = 0; i < 4; ++i) {
+    bytes[kFrameCountOffset + std::size_t(i)] =
+        std::uint8_t((frame_count_ >> (8 * i)) & 0xFF);
+  }
+  return bytes;
+}
+
+Expected<ContainerHeader> ReadContainerHeader(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  auto magic = reader.GetSpan(4);
+  if (!magic.ok()) return magic.status();
+  for (int i = 0; i < 4; ++i) {
+    if ((*magic)[std::size_t(i)] != kMagic[i]) {
+      return Status::Corrupt("SVB: bad magic");
+    }
+  }
+  ContainerHeader header;
+  auto w = reader.GetU16();
+  auto h = reader.GetU16();
+  auto fps = reader.GetF64();
+  auto count = reader.GetU32();
+  auto qp = reader.GetU8();
+  auto flags = reader.GetU8();
+  auto reserved = reader.GetU16();
+  if (!w.ok() || !h.ok() || !fps.ok() || !count.ok() || !qp.ok() ||
+      !flags.ok() || !reserved.ok()) {
+    return Status::Corrupt("SVB: truncated header");
+  }
+  header.width = *w;
+  header.height = *h;
+  header.fps = *fps;
+  header.frame_count = *count;
+  header.qp = *qp;
+  if (header.width <= 0 || header.height <= 0) {
+    return Status::Corrupt("SVB: invalid dimensions");
+  }
+  return header;
+}
+
+Expected<std::vector<FrameRecord>> WalkFrameIndex(
+    std::span<const std::uint8_t> bytes) {
+  auto header = ReadContainerHeader(bytes);
+  if (!header.ok()) return header.status();
+  std::vector<FrameRecord> records;
+  records.reserve(header->frame_count);
+  std::size_t pos = ContainerHeader::kSerializedSize;
+  std::uint32_t index = 0;
+  while (pos < bytes.size()) {
+    if (pos + FrameRecord::kHeaderSize > bytes.size()) {
+      return Status::Corrupt("SVB: truncated frame header");
+    }
+    FrameRecord record;
+    record.index = index++;
+    const std::uint8_t type = bytes[pos];
+    if (type != std::uint8_t(FrameType::kIntra) &&
+        type != std::uint8_t(FrameType::kInter)) {
+      return Status::Corrupt("SVB: unknown frame type");
+    }
+    record.type = FrameType(type);
+    std::uint32_t size = 0;
+    for (int i = 0; i < 4; ++i) {
+      size |= std::uint32_t(bytes[pos + 1 + std::size_t(i)]) << (8 * i);
+    }
+    record.payload_offset = pos + FrameRecord::kHeaderSize;
+    record.payload_size = size;
+    if (record.payload_offset + record.payload_size > bytes.size()) {
+      return Status::Corrupt("SVB: frame payload past end");
+    }
+    records.push_back(record);
+    pos = record.payload_offset + record.payload_size;  // hop: payload untouched
+  }
+  if (records.size() != header->frame_count) {
+    return Status::Corrupt("SVB: frame count mismatch");
+  }
+  return records;
+}
+
+Expected<std::span<const std::uint8_t>> FramePayload(
+    std::span<const std::uint8_t> bytes, const FrameRecord& record) {
+  if (record.payload_offset + record.payload_size > bytes.size()) {
+    return Status::Corrupt("SVB: record out of range");
+  }
+  return bytes.subspan(record.payload_offset, record.payload_size);
+}
+
+}  // namespace sieve::codec

@@ -1,0 +1,80 @@
+// SVB container: the seekable bitstream format.
+//
+// Layout (all little-endian):
+//   magic "SVB1" | u16 width | u16 height | f64 fps | u32 frame_count |
+//   u8 qp | u8 flags | u16 reserved
+//   then per frame:  u8 type ('I' or 'P') | u32 payload_size | payload bytes
+//
+// The crucial property (Section III's I-frame seeker): every frame's type
+// and size live in a fixed-size header *before* the entropy-coded payload,
+// so a reader can enumerate frame types by hopping headers without touching
+// — let alone entropy-decoding — any payload byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sieve::codec {
+
+enum class FrameType : std::uint8_t {
+  kIntra = 'I',
+  kInter = 'P',
+};
+
+struct ContainerHeader {
+  int width = 0;
+  int height = 0;
+  double fps = 30.0;
+  std::uint32_t frame_count = 0;
+  std::uint8_t qp = 26;
+
+  static constexpr std::size_t kSerializedSize = 4 + 2 + 2 + 8 + 4 + 1 + 1 + 2;
+};
+
+/// Location of one frame inside the container byte stream.
+struct FrameRecord {
+  std::uint32_t index = 0;      ///< frame number
+  FrameType type = FrameType::kIntra;
+  std::size_t payload_offset = 0;  ///< absolute offset of the payload bytes
+  std::size_t payload_size = 0;
+
+  static constexpr std::size_t kHeaderSize = 1 + 4;  ///< type + size field
+};
+
+/// Streaming writer: append frames, then Finish() to get the container.
+class ContainerWriter {
+ public:
+  explicit ContainerWriter(const ContainerHeader& header);
+
+  /// Appends one frame payload; returns its record.
+  FrameRecord AppendFrame(FrameType type, std::span<const std::uint8_t> payload);
+
+  /// Finalizes the stream (patches frame_count) and releases the bytes.
+  std::vector<std::uint8_t> Finish();
+
+  std::size_t bytes_so_far() const noexcept { return writer_.size(); }
+  std::uint32_t frames_so_far() const noexcept { return frame_count_; }
+
+ private:
+  ByteWriter writer_;
+  std::uint32_t frame_count_ = 0;
+  bool finished_ = false;
+};
+
+/// Parse the stream header.
+Expected<ContainerHeader> ReadContainerHeader(std::span<const std::uint8_t> bytes);
+
+/// Walk the frame index by hopping fixed-size frame headers. Cost is O(#frames)
+/// header reads; payload bytes are never inspected. This IS the I-frame
+/// seeker's data path.
+Expected<std::vector<FrameRecord>> WalkFrameIndex(std::span<const std::uint8_t> bytes);
+
+/// Payload bytes for a record (bounds-checked borrow).
+Expected<std::span<const std::uint8_t>> FramePayload(
+    std::span<const std::uint8_t> bytes, const FrameRecord& record);
+
+}  // namespace sieve::codec

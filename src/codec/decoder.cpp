@@ -1,0 +1,79 @@
+#include "codec/decoder.h"
+
+namespace sieve::codec {
+
+VideoDecoder::VideoDecoder(std::span<const std::uint8_t> bytes,
+                           ContainerHeader header,
+                           std::vector<FrameRecord> records)
+    : bytes_(bytes),
+      header_(header),
+      records_(std::move(records)),
+      ctx_(CodingContext::ForQp(header.qp)),
+      prev_(header.width, header.height) {}
+
+Expected<VideoDecoder> VideoDecoder::Open(std::span<const std::uint8_t> bytes) {
+  auto header = ReadContainerHeader(bytes);
+  if (!header.ok()) return header.status();
+  auto records = WalkFrameIndex(bytes);
+  if (!records.ok()) return records.status();
+  if (!records->empty() && records->front().type != FrameType::kIntra) {
+    return Status::Corrupt("decoder: stream must start with an I-frame");
+  }
+  return VideoDecoder(bytes, *header, std::move(*records));
+}
+
+Expected<media::Frame> VideoDecoder::DecodeNext() {
+  if (AtEnd()) return Status::Precondition("decoder: at end of stream");
+  const FrameRecord& record = records_[next_];
+  auto payload = FramePayload(bytes_, record);
+  if (!payload.ok()) return payload.status();
+
+  RangeDecoder rc(*payload);
+  FrameModels models;
+  media::Frame frame(header_.width, header_.height);
+  if (record.type == FrameType::kIntra) {
+    DecodeIntraFrame(rc, models, ctx_, frame);
+  } else {
+    DecodeInterFrame(rc, models, prev_, ctx_, frame);
+  }
+  prev_ = frame;
+  ++next_;
+  return frame;
+}
+
+Expected<media::RawVideo> VideoDecoder::DecodeAll() {
+  media::RawVideo video;
+  video.width = header_.width;
+  video.height = header_.height;
+  video.fps = header_.fps;
+  video.frames.reserve(records_.size());
+  Rewind();
+  while (!AtEnd()) {
+    auto frame = DecodeNext();
+    if (!frame.ok()) return frame.status();
+    video.frames.push_back(std::move(*frame));
+  }
+  return video;
+}
+
+Expected<media::Frame> DecodeIntraFrameAt(std::span<const std::uint8_t> bytes,
+                                          const FrameRecord& record) {
+  if (record.type != FrameType::kIntra) {
+    return Status::Precondition(
+        "DecodeIntraFrameAt: record is not an I-frame; random access is only "
+        "possible at keyframes");
+  }
+  auto header = ReadContainerHeader(bytes);
+  if (!header.ok()) return header.status();
+  auto payload = FramePayload(bytes, record);
+  if (!payload.ok()) return payload.status();
+
+  RangeDecoder rc(*payload);
+  FrameModels models;
+  const CodingContext ctx = CodingContext::ForQp(header->qp);
+  media::Frame frame(header->width, header->height);
+  DecodeIntraFrame(rc, models, ctx, frame);
+  return frame;
+}
+
+}  // namespace sieve::codec

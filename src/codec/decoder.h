@@ -1,0 +1,64 @@
+// Video decoder: sequential full decode and random-access I-frame decode.
+//
+// The asymmetry between these two paths is the paper's speed result: the
+// baselines must run DecodeNext() for every frame (entropy decode + motion
+// compensation + IDCT), while SiEVE's edge only ever calls DecodeIntraFrameAt
+// on the ~3.5% of frames the seeker selects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/frame_coding.h"
+#include "common/status.h"
+#include "media/frame.h"
+
+namespace sieve::codec {
+
+/// Sequential decoder over a borrowed container byte span (must outlive the
+/// decoder).
+class VideoDecoder {
+ public:
+  static Expected<VideoDecoder> Open(std::span<const std::uint8_t> bytes);
+
+  const ContainerHeader& header() const noexcept { return header_; }
+  const std::vector<FrameRecord>& records() const noexcept { return records_; }
+  std::size_t position() const noexcept { return next_; }
+  bool AtEnd() const noexcept { return next_ >= records_.size(); }
+
+  /// Decode the next frame in stream order.
+  Expected<media::Frame> DecodeNext();
+
+  /// Decode every frame.
+  Expected<media::RawVideo> DecodeAll();
+
+  /// Restart from the beginning.
+  void Rewind() noexcept { next_ = 0; }
+
+  /// Advance past the next frame without decoding it. Only valid when
+  /// decoding resumes at an I-frame (a P-frame decoded after skips would
+  /// reference a stale predecessor); used to hop straight to a GOP.
+  void SkipNext() noexcept {
+    if (!AtEnd()) ++next_;
+  }
+
+ private:
+  VideoDecoder(std::span<const std::uint8_t> bytes, ContainerHeader header,
+               std::vector<FrameRecord> records);
+
+  std::span<const std::uint8_t> bytes_;
+  ContainerHeader header_;
+  std::vector<FrameRecord> records_;
+  CodingContext ctx_;
+  media::Frame prev_;
+  std::size_t next_ = 0;
+};
+
+/// Random-access decode of a single I-frame payload — the "decompress like a
+/// still JPEG" path run at the edge. Fails cleanly on P-frame records.
+Expected<media::Frame> DecodeIntraFrameAt(std::span<const std::uint8_t> bytes,
+                                          const FrameRecord& record);
+
+}  // namespace sieve::codec

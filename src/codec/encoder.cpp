@@ -1,0 +1,72 @@
+#include "codec/encoder.h"
+
+namespace sieve::codec {
+
+Expected<EncodedVideo> VideoEncoder::Encode(const media::RawVideo& video) const {
+  if (video.frames.empty()) return Status::Invalid("Encode: empty video");
+  if (video.width % 2 != 0 || video.height % 2 != 0) {
+    return Status::Invalid("Encode: dimensions must be even");
+  }
+  StreamingEncoder streaming(params_, video.width, video.height, video.fps);
+  for (const auto& frame : video.frames) {
+    auto record = streaming.PushFrame(frame);
+    if (!record.ok()) return record.status();
+  }
+  return streaming.Finish();
+}
+
+StreamingEncoder::StreamingEncoder(EncoderParams params, int width, int height,
+                                   double fps)
+    : params_(params),
+      header_{width, height, fps, 0, std::uint8_t(params.qp)},
+      writer_(header_),
+      ctx_(CodingContext::ForQp(params.qp)),
+      analyzer_(params.analysis),
+      recon_(width, height) {
+  if (params_.inter.skip_sad_per_pixel == 0) {
+    params_.inter.skip_sad_per_pixel = InterParams::AutoSkipThreshold(params_.qp);
+  }
+}
+
+Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
+  if (frame.width() != header_.width || frame.height() != header_.height) {
+    return Status::Invalid("PushFrame: frame size does not match stream");
+  }
+  const FrameCost cost = analyzer_.Push(frame);
+  costs_.push_back(cost);
+
+  const bool is_key =
+      first_ || IsKeyframe(cost, params_.keyframe, frames_since_keyframe_);
+  first_ = false;
+  frames_since_keyframe_ = is_key ? 1 : frames_since_keyframe_ + 1;
+
+  ByteWriter payload;
+  RangeEncoder rc(&payload);
+  FrameModels models;  // fresh per frame: payloads are self-contained
+  media::Frame new_recon(header_.width, header_.height);
+  if (is_key) {
+    EncodeIntraFrame(rc, models, frame, ctx_, new_recon);
+  } else {
+    EncodeInterFrame(rc, models, frame, recon_, ctx_, params_.inter, new_recon);
+  }
+  rc.Flush();
+  recon_ = std::move(new_recon);
+
+  const FrameRecord record = writer_.AppendFrame(
+      is_key ? FrameType::kIntra : FrameType::kInter,
+      std::span<const std::uint8_t>(payload.data().data(), payload.size()));
+  records_.push_back(record);
+  return record;
+}
+
+EncodedVideo StreamingEncoder::Finish() {
+  EncodedVideo out;
+  header_.frame_count = std::uint32_t(records_.size());
+  out.header = header_;
+  out.bytes = writer_.Finish();
+  out.records = std::move(records_);
+  out.costs = std::move(costs_);
+  return out;
+}
+
+}  // namespace sieve::codec

@@ -1,0 +1,104 @@
+// The semantic video encoder: the component SiEVE tunes.
+//
+// A conventional hybrid encoder (I/P frames, motion compensation, DCT +
+// adaptive range coding) whose keyframe decision is driven by the two knobs
+// the paper exposes to the operator: GOP size and scenecut threshold. With
+// semantically tuned values, I-frames land on object enter/leave events and
+// downstream analysis needs to decode nothing else.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/analysis.h"
+#include "codec/container.h"
+#include "codec/frame_coding.h"
+#include "common/status.h"
+#include "media/frame.h"
+
+namespace sieve::codec {
+
+struct EncoderParams {
+  KeyframeParams keyframe;      ///< gop_size + scenecut + min_keyint
+  int qp = 26;                  ///< quantizer (1..51)
+  InterParams inter;            ///< motion search and skip settings
+  AnalysisParams analysis;      ///< lookahead settings
+
+  static EncoderParams Defaults() { return EncoderParams{}; }
+  /// The paper's "default encoding parameters": GOP 250, scenecut 40.
+  static EncoderParams DefaultEncoding() {
+    EncoderParams p;
+    p.keyframe.gop_size = 250;
+    p.keyframe.scenecut = 40;
+    return p;
+  }
+  /// Semantic parameters chosen by the tuner.
+  static EncoderParams Semantic(int gop_size, int scenecut) {
+    EncoderParams p;
+    p.keyframe.gop_size = gop_size;
+    p.keyframe.scenecut = scenecut;
+    return p;
+  }
+};
+
+/// An encoded stream plus its frame index and the analysis trace.
+struct EncodedVideo {
+  ContainerHeader header;
+  std::vector<std::uint8_t> bytes;     ///< full SVB container
+  std::vector<FrameRecord> records;    ///< per-frame index (also in bytes)
+  std::vector<FrameCost> costs;        ///< per-frame lookahead costs
+
+  std::size_t size_bytes() const noexcept { return bytes.size(); }
+  std::size_t IntraFrameCount() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : records) n += r.type == FrameType::kIntra ? 1 : 0;
+    return n;
+  }
+  /// Fraction of frames that are I-frames (the paper's sample size SS).
+  double IntraFrameRate() const noexcept {
+    return records.empty() ? 0.0
+                           : double(IntraFrameCount()) / double(records.size());
+  }
+};
+
+/// Stateless whole-video encoder.
+class VideoEncoder {
+ public:
+  explicit VideoEncoder(EncoderParams params = EncoderParams::Defaults())
+      : params_(params) {}
+
+  const EncoderParams& params() const noexcept { return params_; }
+
+  /// Encode a raw video into an SVB container.
+  Expected<EncodedVideo> Encode(const media::RawVideo& video) const;
+
+ private:
+  EncoderParams params_;
+};
+
+/// Streaming encoder: push frames one at a time (the camera-side live path).
+/// Keyframe decisions use the same streaming analyzer the batch path uses.
+class StreamingEncoder {
+ public:
+  StreamingEncoder(EncoderParams params, int width, int height, double fps);
+
+  /// Encodes one frame; returns its record (type reveals the decision).
+  Expected<FrameRecord> PushFrame(const media::Frame& frame);
+
+  /// Finish the stream and release the container bytes.
+  EncodedVideo Finish();
+
+ private:
+  EncoderParams params_;
+  ContainerHeader header_;
+  ContainerWriter writer_;
+  CodingContext ctx_;
+  FrameAnalyzer analyzer_;
+  media::Frame recon_;
+  std::vector<FrameRecord> records_;
+  std::vector<FrameCost> costs_;
+  std::size_t frames_since_keyframe_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace sieve::codec

@@ -1,0 +1,254 @@
+#include "codec/frame_coding.h"
+
+#include <algorithm>
+
+#include "media/metrics.h"
+
+namespace sieve::codec {
+
+namespace {
+
+/// Extract an 8x8 block (border-clamped) centered by `offset` into int16.
+void LoadBlock(const media::Plane& p, int bx, int by, int offset,
+               PixelBlock& out) {
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      out[std::size_t(y * kBlockSize + x)] =
+          std::int16_t(int(p.at_clamped(bx + x, by + y)) - offset);
+    }
+  }
+}
+
+/// Write an int16 block back to the plane with re-centering and clamping;
+/// pixels outside the plane are dropped (edge padding).
+void StoreBlock(const PixelBlock& block, int bx, int by, int offset,
+                media::Plane& p) {
+  for (int y = 0; y < kBlockSize; ++y) {
+    if (by + y >= p.height()) break;
+    for (int x = 0; x < kBlockSize; ++x) {
+      if (bx + x >= p.width()) break;
+      const int v = int(block[std::size_t(y * kBlockSize + x)]) + offset;
+      p.at(bx + x, by + y) = std::uint8_t(std::clamp(v, 0, 255));
+    }
+  }
+}
+
+/// Residual between a source block and a prediction block.
+void LoadResidual(const media::Plane& src, const media::Plane& pred, int bx,
+                  int by, PixelBlock& out) {
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      out[std::size_t(y * kBlockSize + x)] =
+          std::int16_t(int(src.at_clamped(bx + x, by + y)) -
+                       int(pred.at_clamped(bx + x, by + y)));
+    }
+  }
+}
+
+/// recon = pred + residual, clamped; clipped to plane bounds.
+void StoreResidualRecon(const PixelBlock& residual, const media::Plane& pred,
+                        int bx, int by, media::Plane& out) {
+  for (int y = 0; y < kBlockSize; ++y) {
+    if (by + y >= out.height()) break;
+    for (int x = 0; x < kBlockSize; ++x) {
+      if (bx + x >= out.width()) break;
+      const int v = int(pred.at_clamped(bx + x, by + y)) +
+                    int(residual[std::size_t(y * kBlockSize + x)]);
+      out.at(bx + x, by + y) = std::uint8_t(std::clamp(v, 0, 255));
+    }
+  }
+}
+
+void CodeIntraPlane(RangeEncoder& rc, PlaneModels& models, const media::Plane& src,
+                    const QuantTable& q, media::Plane& recon) {
+  std::int32_t dc_pred = 0;
+  PixelBlock block, rec;
+  CoeffBlock coeffs;
+  for (int by = 0; by < src.height(); by += kBlockSize) {
+    for (int bx = 0; bx < src.width(); bx += kBlockSize) {
+      LoadBlock(src, bx, by, 128, block);
+      ReconstructBlock(block, q, coeffs, rec);
+      EncodeCoeffBlock(rc, models, coeffs, dc_pred);
+      StoreBlock(rec, bx, by, 128, recon);
+    }
+  }
+}
+
+void DecodeIntraPlane(RangeDecoder& rc, PlaneModels& models, const QuantTable& q,
+                      media::Plane& out) {
+  std::int32_t dc_pred = 0;
+  PixelBlock rec;
+  CoeffBlock coeffs;
+  for (int by = 0; by < out.height(); by += kBlockSize) {
+    for (int bx = 0; bx < out.width(); bx += kBlockSize) {
+      DecodeCoeffBlock(rc, models, coeffs, dc_pred);
+      DecodeBlock(coeffs, q, rec);
+      StoreBlock(rec, bx, by, 128, out);
+    }
+  }
+}
+
+/// Code one residual 8x8 at (bx,by) of src against pred; writes recon.
+void CodeResidualBlock(RangeEncoder& rc, PlaneModels& models,
+                       const media::Plane& src, const media::Plane& pred, int bx,
+                       int by, const QuantTable& q, media::Plane& recon) {
+  PixelBlock residual, rec_residual;
+  CoeffBlock coeffs;
+  LoadResidual(src, pred, bx, by, residual);
+  ReconstructBlock(residual, q, coeffs, rec_residual);
+  std::int32_t zero_pred = 0;  // residual DC has no spatial prediction
+  EncodeCoeffBlock(rc, models, coeffs, zero_pred);
+  StoreResidualRecon(rec_residual, pred, bx, by, recon);
+}
+
+void DecodeResidualBlock(RangeDecoder& rc, PlaneModels& models,
+                         const media::Plane& pred, int bx, int by,
+                         const QuantTable& q, media::Plane& out) {
+  PixelBlock rec_residual;
+  CoeffBlock coeffs;
+  std::int32_t zero_pred = 0;
+  DecodeCoeffBlock(rc, models, coeffs, zero_pred);
+  DecodeBlock(coeffs, q, rec_residual);
+  StoreResidualRecon(rec_residual, pred, bx, by, out);
+}
+
+/// Copy a 16x16 luma MB (and the 8x8 chroma MBs) from prev to recon (SKIP).
+void CopyMacroblock(const media::Frame& prev, int mbx, int mby,
+                    media::Frame& recon) {
+  const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;
+  for (int y = 0; y < kMacroblockSize && ly + y < recon.height(); ++y) {
+    for (int x = 0; x < kMacroblockSize && lx + x < recon.width(); ++x) {
+      recon.y().at(lx + x, ly + y) = prev.y().at(lx + x, ly + y);
+    }
+  }
+  const int cx = mbx * kBlockSize, cy = mby * kBlockSize;
+  for (int y = 0; y < kBlockSize && cy + y < recon.u().height(); ++y) {
+    for (int x = 0; x < kBlockSize && cx + x < recon.u().width(); ++x) {
+      recon.u().at(cx + x, cy + y) = prev.u().at(cx + x, cy + y);
+      recon.v().at(cx + x, cy + y) = prev.v().at(cx + x, cy + y);
+    }
+  }
+}
+
+}  // namespace
+
+void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
+                      const media::Frame& src, const CodingContext& ctx,
+                      media::Frame& recon) {
+  CodeIntraPlane(rc, models.luma_intra, src.y(), ctx.luma_q, recon.y());
+  CodeIntraPlane(rc, models.chroma_intra, src.u(), ctx.chroma_q, recon.u());
+  CodeIntraPlane(rc, models.chroma_intra, src.v(), ctx.chroma_q, recon.v());
+}
+
+void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,
+                      const CodingContext& ctx, media::Frame& out) {
+  DecodeIntraPlane(rc, models.luma_intra, ctx.luma_q, out.y());
+  DecodeIntraPlane(rc, models.chroma_intra, ctx.chroma_q, out.u());
+  DecodeIntraPlane(rc, models.chroma_intra, ctx.chroma_q, out.v());
+}
+
+void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
+                      const media::Frame& src, const media::Frame& prev_recon,
+                      const CodingContext& ctx, const InterParams& params,
+                      media::Frame& recon) {
+  const int mbs_x = (src.width() + kMacroblockSize - 1) / kMacroblockSize;
+  const int mbs_y = (src.height() + kMacroblockSize - 1) / kMacroblockSize;
+  const std::uint64_t skip_threshold =
+      std::uint64_t(params.skip_sad_per_pixel) * kMacroblockSize * kMacroblockSize;
+  // skip_sad_per_pixel == 0 is resolved by the encoder before reaching here;
+  // a literal 0 disables skipping entirely (every MB coded).
+
+  media::Plane pred_y(src.width(), src.height());
+  media::Plane pred_u(src.u().width(), src.u().height());
+  media::Plane pred_v(src.v().width(), src.v().height());
+
+  for (int mby = 0; mby < mbs_y; ++mby) {
+    MotionVector predictor{0, 0};
+    for (int mbx = 0; mbx < mbs_x; ++mbx) {
+      const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;
+      // Zero-motion SAD decides SKIP before any search.
+      const std::uint64_t zero_sad =
+          media::RegionSad(src.y(), lx, ly, prev_recon.y(), lx, ly,
+                           kMacroblockSize, kMacroblockSize);
+      if (zero_sad < skip_threshold) {
+        rc.EncodeBit(models.skip_flag, 1);
+        CopyMacroblock(prev_recon, mbx, mby, recon);
+        predictor = MotionVector{0, 0};
+        continue;
+      }
+      rc.EncodeBit(models.skip_flag, 0);
+
+      const MotionResult mr = DiamondSearch(
+          src.y(), prev_recon.y(), lx, ly, kMacroblockSize, kMacroblockSize,
+          params.search_range, predictor, params.lambda);
+      rc.EncodeUnsigned(models.mv_x, ZigzagEncodeSigned(mr.mv.dx - predictor.dx));
+      rc.EncodeUnsigned(models.mv_y, ZigzagEncodeSigned(mr.mv.dy - predictor.dy));
+      predictor = mr.mv;
+
+      // Luma prediction + residual coding (4 blocks of 8x8).
+      CompensateBlock(prev_recon.y(), pred_y, lx, ly, kMacroblockSize,
+                      kMacroblockSize, mr.mv);
+      for (int sub = 0; sub < 4; ++sub) {
+        const int bx = lx + (sub % 2) * kBlockSize;
+        const int by = ly + (sub / 2) * kBlockSize;
+        CodeResidualBlock(rc, models.luma_inter, src.y(), pred_y, bx, by,
+                          ctx.luma_q, recon.y());
+      }
+      // Chroma: one 8x8 block per plane at half-resolution motion.
+      const MotionVector cmv{mr.mv.dx / 2, mr.mv.dy / 2};
+      const int cx = mbx * kBlockSize, cy = mby * kBlockSize;
+      CompensateBlock(prev_recon.u(), pred_u, cx, cy, kBlockSize, kBlockSize, cmv);
+      CodeResidualBlock(rc, models.chroma_inter, src.u(), pred_u, cx, cy,
+                        ctx.chroma_q, recon.u());
+      CompensateBlock(prev_recon.v(), pred_v, cx, cy, kBlockSize, kBlockSize, cmv);
+      CodeResidualBlock(rc, models.chroma_inter, src.v(), pred_v, cx, cy,
+                        ctx.chroma_q, recon.v());
+    }
+  }
+}
+
+void DecodeInterFrame(RangeDecoder& rc, FrameModels& models,
+                      const media::Frame& prev_recon, const CodingContext& ctx,
+                      media::Frame& out) {
+  const int mbs_x = (out.width() + kMacroblockSize - 1) / kMacroblockSize;
+  const int mbs_y = (out.height() + kMacroblockSize - 1) / kMacroblockSize;
+
+  media::Plane pred_y(out.width(), out.height());
+  media::Plane pred_u(out.u().width(), out.u().height());
+  media::Plane pred_v(out.v().width(), out.v().height());
+
+  for (int mby = 0; mby < mbs_y; ++mby) {
+    MotionVector predictor{0, 0};
+    for (int mbx = 0; mbx < mbs_x; ++mbx) {
+      if (rc.DecodeBit(models.skip_flag) != 0) {
+        CopyMacroblock(prev_recon, mbx, mby, out);
+        predictor = MotionVector{0, 0};
+        continue;
+      }
+      MotionVector mv;
+      mv.dx = predictor.dx + ZigzagDecodeSigned(rc.DecodeUnsigned(models.mv_x));
+      mv.dy = predictor.dy + ZigzagDecodeSigned(rc.DecodeUnsigned(models.mv_y));
+      predictor = mv;
+
+      const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;
+      CompensateBlock(prev_recon.y(), pred_y, lx, ly, kMacroblockSize,
+                      kMacroblockSize, mv);
+      for (int sub = 0; sub < 4; ++sub) {
+        const int bx = lx + (sub % 2) * kBlockSize;
+        const int by = ly + (sub / 2) * kBlockSize;
+        DecodeResidualBlock(rc, models.luma_inter, pred_y, bx, by, ctx.luma_q,
+                            out.y());
+      }
+      const MotionVector cmv{mv.dx / 2, mv.dy / 2};
+      const int cx = mbx * kBlockSize, cy = mby * kBlockSize;
+      CompensateBlock(prev_recon.u(), pred_u, cx, cy, kBlockSize, kBlockSize, cmv);
+      DecodeResidualBlock(rc, models.chroma_inter, pred_u, cx, cy, ctx.chroma_q,
+                          out.u());
+      CompensateBlock(prev_recon.v(), pred_v, cx, cy, kBlockSize, kBlockSize, cmv);
+      DecodeResidualBlock(rc, models.chroma_inter, pred_v, cx, cy, ctx.chroma_q,
+                          out.v());
+    }
+  }
+}
+
+}  // namespace sieve::codec

@@ -1,0 +1,74 @@
+// Frame-level coding: intra frames (JPEG-like) and inter frames
+// (motion-compensated prediction + coded residual). Shared by the video
+// encoder, the video decoder, and the still-image codec so that encoder
+// reconstruction and decoder output are bit-identical by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/block_codec.h"
+#include "codec/motion.h"
+#include "codec/range_coder.h"
+#include "codec/transform.h"
+#include "media/frame.h"
+
+namespace sieve::codec {
+
+/// Quantization context shared by all frames of a stream.
+struct CodingContext {
+  QuantTable luma_q;
+  QuantTable chroma_q;
+
+  static CodingContext ForQp(int qp) {
+    return CodingContext{MakeLumaQuant(qp), MakeChromaQuant(qp)};
+  }
+};
+
+/// Inter-frame coding tunables.
+struct InterParams {
+  int search_range = 12;
+  std::uint32_t lambda = 8;
+  /// Per-pixel SAD below which a zero-motion macroblock is coded as SKIP.
+  /// 0 = derive from qp (coarser quantization tolerates larger skips, like
+  /// H.264's lambda-scaled mode decision).
+  std::uint32_t skip_sad_per_pixel = 0;
+
+  /// The qp-derived default used when skip_sad_per_pixel == 0.
+  static std::uint32_t AutoSkipThreshold(int qp) noexcept {
+    const int t = qp / 8;
+    return std::uint32_t(t < 1 ? 1 : t);
+  }
+};
+
+/// Full adaptive-model state for one frame payload (reset each frame).
+struct FrameModels {
+  PlaneModels luma_intra, chroma_intra;
+  PlaneModels luma_inter, chroma_inter;
+  BitModel skip_flag;
+  std::array<BitModel, kUnsignedLengthModels> mv_x;
+  std::array<BitModel, kUnsignedLengthModels> mv_y;
+};
+
+/// Encode `src` as an intra frame; writes the reconstruction (what any
+/// decoder will produce) into `recon`, which must be src-sized.
+void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
+                      const media::Frame& src, const CodingContext& ctx,
+                      media::Frame& recon);
+
+/// Decode an intra frame of known dimensions.
+void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,
+                      const CodingContext& ctx, media::Frame& out);
+
+/// Encode `src` as an inter frame predicted from `prev_recon`.
+void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
+                      const media::Frame& src, const media::Frame& prev_recon,
+                      const CodingContext& ctx, const InterParams& params,
+                      media::Frame& recon);
+
+/// Decode an inter frame given the previous reconstructed frame.
+void DecodeInterFrame(RangeDecoder& rc, FrameModels& models,
+                      const media::Frame& prev_recon, const CodingContext& ctx,
+                      media::Frame& out);
+
+}  // namespace sieve::codec

@@ -1,0 +1,129 @@
+#include "codec/motion.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "media/metrics.h"
+
+namespace sieve::codec {
+
+std::uint32_t MvCost(MotionVector mv, MotionVector predictor) noexcept {
+  // Bit-length proxy: ~2*log2(|delta|+1) bits per component + sign bits.
+  auto comp = [](int d) {
+    d = std::abs(d);
+    std::uint32_t bits = 1;
+    while (d > 0) {
+      bits += 2;
+      d >>= 1;
+    }
+    return bits;
+  };
+  return comp(mv.dx - predictor.dx) + comp(mv.dy - predictor.dy);
+}
+
+namespace {
+
+std::uint64_t CandidateCost(const media::Plane& cur, const media::Plane& ref,
+                            int bx, int by, int w, int h, MotionVector mv,
+                            MotionVector predictor, std::uint32_t lambda) {
+  return media::RegionSad(cur, bx, by, ref, bx + mv.dx, by + mv.dy, w, h) +
+         std::uint64_t(lambda) * MvCost(mv, predictor);
+}
+
+}  // namespace
+
+MotionResult FullSearch(const media::Plane& cur, const media::Plane& ref, int bx,
+                        int by, int w, int h, int range, MotionVector predictor,
+                        std::uint32_t lambda) {
+  MotionResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad = CandidateCost(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector mv{dx, dy};
+      const std::uint64_t cost =
+          CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda);
+      if (cost < best.sad) {
+        best.sad = cost;
+        best.mv = mv;
+      }
+    }
+  }
+  return best;
+}
+
+MotionResult DiamondSearch(const media::Plane& cur, const media::Plane& ref,
+                           int bx, int by, int w, int h, int range,
+                           MotionVector predictor, std::uint32_t lambda) {
+  // Candidates to seed: zero vector and the predictor.
+  MotionResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad = CandidateCost(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
+  if (!(predictor == best.mv)) {
+    const std::uint64_t c =
+        CandidateCost(cur, ref, bx, by, w, h, predictor, predictor, lambda);
+    if (c < best.sad) {
+      best.sad = c;
+      best.mv = predictor;
+    }
+  }
+
+  static constexpr int kLarge[4][2] = {{0, -2}, {0, 2}, {-2, 0}, {2, 0}};
+  static constexpr int kSmall[4][2] = {{0, -1}, {0, 1}, {-1, 0}, {1, 0}};
+
+  // Large diamond until no improvement (bounded by range), then small.
+  bool improved = true;
+  int steps = 0;
+  while (improved && steps < 4 * range) {
+    improved = false;
+    for (const auto& d : kLarge) {
+      MotionVector mv{best.mv.dx + d[0], best.mv.dy + d[1]};
+      if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
+      const std::uint64_t c = CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda);
+      if (c < best.sad) {
+        best.sad = c;
+        best.mv = mv;
+        improved = true;
+      }
+    }
+    ++steps;
+  }
+  for (const auto& d : kSmall) {
+    MotionVector mv{best.mv.dx + d[0], best.mv.dy + d[1]};
+    if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
+    const std::uint64_t c = CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda);
+    if (c < best.sad) {
+      best.sad = c;
+      best.mv = mv;
+    }
+  }
+  return best;
+}
+
+void CompensateBlock(const media::Plane& ref, media::Plane& dst, int bx, int by,
+                     int w, int h, MotionVector mv) {
+  const int sx = bx + mv.dx;
+  const int sy = by + mv.dy;
+  const bool inside = sx >= 0 && sy >= 0 && sx + w <= ref.width() &&
+                      sy + h <= ref.height() && bx >= 0 && by >= 0 &&
+                      bx + w <= dst.width() && by + h <= dst.height();
+  if (inside) {
+    for (int y = 0; y < h; ++y) {
+      const std::uint8_t* src_row = ref.row(sy + y) + sx;
+      std::uint8_t* dst_row = dst.row(by + y) + bx;
+      std::copy(src_row, src_row + w, dst_row);
+    }
+    return;
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (bx + x >= 0 && bx + x < dst.width() && by + y >= 0 && by + y < dst.height()) {
+        dst.at(bx + x, by + y) = ref.at_clamped(sx + x, sy + y);
+      }
+    }
+  }
+}
+
+}  // namespace sieve::codec

@@ -1,0 +1,45 @@
+// Block motion estimation: full search and diamond search over luma.
+#pragma once
+
+#include <cstdint>
+
+#include "media/frame.h"
+
+namespace sieve::codec {
+
+inline constexpr int kMacroblockSize = 16;
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  bool operator==(const MotionVector&) const = default;
+};
+
+struct MotionResult {
+  MotionVector mv;
+  std::uint64_t sad = 0;  ///< SAD of the best match
+};
+
+/// Cost of coding a motion vector relative to a predictor (proxy for bits).
+std::uint32_t MvCost(MotionVector mv, MotionVector predictor) noexcept;
+
+/// Exhaustive search in [-range, range]^2 around (0,0) + predictor seeding.
+/// Block is the w×h region of `cur` at (bx, by); candidates read from `ref`
+/// with border clamping. Minimizes sad + lambda * MvCost.
+MotionResult FullSearch(const media::Plane& cur, const media::Plane& ref, int bx,
+                        int by, int w, int h, int range, MotionVector predictor,
+                        std::uint32_t lambda);
+
+/// Diamond search (large then small pattern) seeded at the predictor; much
+/// cheaper than full search, used by the encoder's default path and the
+/// half-resolution analysis pass.
+MotionResult DiamondSearch(const media::Plane& cur, const media::Plane& ref,
+                           int bx, int by, int w, int h, int range,
+                           MotionVector predictor, std::uint32_t lambda);
+
+/// Motion-compensate one block: copy the w×h region of `ref` displaced by mv
+/// into `dst` at (bx, by) (border clamped reads).
+void CompensateBlock(const media::Plane& ref, media::Plane& dst, int bx, int by,
+                     int w, int h, MotionVector mv);
+
+}  // namespace sieve::codec

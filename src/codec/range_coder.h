@@ -1,0 +1,88 @@
+// Adaptive binary range coder (LZMA-style) — the codec's entropy layer.
+//
+// Binary symbols are coded against adaptive probability models; multi-bit
+// values are coded through bit trees or direct (uniform) bits. The encoder
+// and decoder adapt identically, so streams are self-describing given the
+// same model layout on both sides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sieve::codec {
+
+/// Adaptive probability of a binary symbol being 0, in [1, 2047] out of 2048.
+struct BitModel {
+  std::uint16_t prob = 1024;
+};
+
+/// Range encoder writing to a ByteWriter. Call Flush() exactly once at the
+/// end; the object is single-use.
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(ByteWriter* out) : out_(out) {}
+
+  RangeEncoder(const RangeEncoder&) = delete;
+  RangeEncoder& operator=(const RangeEncoder&) = delete;
+
+  /// Encode one bit against an adaptive model (model updates in place).
+  void EncodeBit(BitModel& model, int bit);
+
+  /// Encode `num_bits` raw bits of `value` (MSB first) at fixed p=0.5.
+  void EncodeDirectBits(std::uint32_t value, int num_bits);
+
+  /// Encode value in [0, 2^num_bits) against a bit-tree of 2^num_bits - 1
+  /// models (models[1..]); standard LZMA layout.
+  void EncodeBitTree(std::span<BitModel> models, std::uint32_t value,
+                     int num_bits);
+
+  /// Encode an arbitrary unsigned value: a 6-bit bit-length prefix through a
+  /// bit tree (lengths 0..32), then the value's remaining bits directly.
+  void EncodeUnsigned(std::span<BitModel> length_models, std::uint32_t value);
+
+  /// Terminate the stream. Must be the last call.
+  void Flush();
+
+ private:
+  void ShiftLow();
+
+  ByteWriter* out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+/// Range decoder over a borrowed byte span. Reads past the end decode as
+/// zero bytes (matches the encoder's flush padding).
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> data);
+
+  int DecodeBit(BitModel& model);
+  std::uint32_t DecodeDirectBits(int num_bits);
+  std::uint32_t DecodeBitTree(std::span<BitModel> models, int num_bits);
+  std::uint32_t DecodeUnsigned(std::span<BitModel> length_models);
+
+  std::size_t bytes_consumed() const noexcept { return pos_; }
+
+ private:
+  std::uint8_t NextByte() noexcept {
+    return pos_ < data_.size() ? data_[pos_++] : 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint32_t code_ = 0;
+};
+
+/// Number of length-prefix models EncodeUnsigned/DecodeUnsigned need
+/// (a 6-bit tree: indices 1..63).
+inline constexpr std::size_t kUnsignedLengthModels = 64;
+
+}  // namespace sieve::codec

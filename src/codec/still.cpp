@@ -1,0 +1,63 @@
+#include "codec/still.h"
+
+#include "codec/frame_coding.h"
+#include "common/bytes.h"
+
+namespace sieve::codec {
+
+namespace {
+constexpr std::uint8_t kStillMagic[4] = {'S', 'I', 'M', '1'};
+}
+
+std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp) {
+  ByteWriter out;
+  out.PutBytes(std::span<const std::uint8_t>(kStillMagic, 4));
+  out.PutU16(std::uint16_t(frame.width()));
+  out.PutU16(std::uint16_t(frame.height()));
+  out.PutU8(std::uint8_t(qp));
+
+  ByteWriter payload;
+  RangeEncoder rc(&payload);
+  FrameModels models;
+  const CodingContext ctx = CodingContext::ForQp(qp);
+  media::Frame recon(frame.width(), frame.height());
+  EncodeIntraFrame(rc, models, frame, ctx, recon);
+  rc.Flush();
+
+  out.PutU32(std::uint32_t(payload.size()));
+  out.PutBytes(std::span<const std::uint8_t>(payload.data().data(),
+                                             payload.size()));
+  return out.Release();
+}
+
+Expected<media::Frame> DecodeStill(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  auto magic = reader.GetSpan(4);
+  if (!magic.ok()) return magic.status();
+  for (int i = 0; i < 4; ++i) {
+    if ((*magic)[std::size_t(i)] != kStillMagic[i]) {
+      return Status::Corrupt("SIM1: bad magic");
+    }
+  }
+  auto w = reader.GetU16();
+  auto h = reader.GetU16();
+  auto qp = reader.GetU8();
+  auto size = reader.GetU32();
+  if (!w.ok() || !h.ok() || !qp.ok() || !size.ok()) {
+    return Status::Corrupt("SIM1: truncated header");
+  }
+  auto payload = reader.GetSpan(*size);
+  if (!payload.ok()) return payload.status();
+  if (*w == 0 || *h == 0 || *w % 2 != 0 || *h % 2 != 0) {
+    return Status::Corrupt("SIM1: invalid dimensions");
+  }
+
+  RangeDecoder rc(*payload);
+  FrameModels models;
+  const CodingContext ctx = CodingContext::ForQp(*qp);
+  media::Frame frame(*w, *h);
+  DecodeIntraFrame(rc, models, ctx, frame);
+  return frame;
+}
+
+}  // namespace sieve::codec

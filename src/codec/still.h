@@ -1,0 +1,24 @@
+// Still-image codec: the "decompress like a JPEG" edge-to-cloud format.
+//
+// SiEVE resizes selected I-frames to the NN's input resolution and ships
+// them to the cloud as independently coded still images; this codec provides
+// that path (and its byte sizes feed the Figure 5 data-transfer accounting).
+// It reuses the video codec's intra-frame machinery with a tiny header.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "media/frame.h"
+
+namespace sieve::codec {
+
+/// Encode a frame as a standalone still image ("SIM1" format).
+std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp = 26);
+
+/// Decode a SIM1 still image.
+Expected<media::Frame> DecodeStill(std::span<const std::uint8_t> bytes);
+
+}  // namespace sieve::codec

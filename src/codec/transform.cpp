@@ -1,0 +1,164 @@
+#include "codec/transform.h"
+
+#include <cmath>
+
+namespace sieve::codec {
+
+namespace {
+
+/// DCT-II basis matrix C[k][n] = s(k) * cos((2n+1)kπ/16).
+struct DctBasis {
+  float c[kBlockSize][kBlockSize];
+  DctBasis() {
+    const double pi = std::acos(-1.0);
+    for (int k = 0; k < kBlockSize; ++k) {
+      const double s = k == 0 ? std::sqrt(1.0 / kBlockSize) : std::sqrt(2.0 / kBlockSize);
+      for (int n = 0; n < kBlockSize; ++n) {
+        c[k][n] = float(s * std::cos((2.0 * n + 1.0) * k * pi / (2.0 * kBlockSize)));
+      }
+    }
+  }
+};
+
+const DctBasis& Basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+// JPEG Annex K base quantization matrices (quality-50 reference points).
+constexpr std::array<int, kBlockPixels> kLumaBase = {
+    16, 11, 10, 16, 24,  40,  51,  61,
+    12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,
+    14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,
+    24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, kBlockPixels> kChromaBase = {
+    17, 18, 24, 47, 99, 99, 99, 99,
+    18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99};
+
+QuantTable MakeQuant(const std::array<int, kBlockPixels>& base, int qp) {
+  if (qp < 1) qp = 1;
+  if (qp > 51) qp = 51;
+  // qp 26 uses the base matrix at ~1/4 strength; each +6 doubles step sizes
+  // (H.264-style exponential ladder).
+  const double scale = std::pow(2.0, (qp - 26) / 6.0) * 0.25;
+  QuantTable q;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    const double step = base[std::size_t(i)] * scale;
+    q.step[std::size_t(i)] = std::int32_t(std::max(1.0, std::round(step)));
+  }
+  return q;
+}
+
+}  // namespace
+
+void ForwardDct(const PixelBlock& in, std::array<float, kBlockPixels>& out) {
+  const auto& B = Basis();
+  float tmp[kBlockSize][kBlockSize];
+  // Rows: tmp[y][k] = sum_x in[y][x] * C[k][x]
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int k = 0; k < kBlockSize; ++k) {
+      float acc = 0;
+      for (int x = 0; x < kBlockSize; ++x) {
+        acc += float(in[std::size_t(y * kBlockSize + x)]) * B.c[k][x];
+      }
+      tmp[y][k] = acc;
+    }
+  }
+  // Columns: out[v][k] = sum_y tmp[y][k] * C[v][y]
+  for (int v = 0; v < kBlockSize; ++v) {
+    for (int k = 0; k < kBlockSize; ++k) {
+      float acc = 0;
+      for (int y = 0; y < kBlockSize; ++y) acc += tmp[y][k] * B.c[v][y];
+      out[std::size_t(v * kBlockSize + k)] = acc;
+    }
+  }
+}
+
+void InverseDct(const std::array<float, kBlockPixels>& in, PixelBlock& out) {
+  const auto& B = Basis();
+  float tmp[kBlockSize][kBlockSize];
+  // Columns first: tmp[y][k] = sum_v in[v][k] * C[v][y]
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int k = 0; k < kBlockSize; ++k) {
+      float acc = 0;
+      for (int v = 0; v < kBlockSize; ++v) {
+        acc += in[std::size_t(v * kBlockSize + k)] * B.c[v][y];
+      }
+      tmp[y][k] = acc;
+    }
+  }
+  // Rows: out[y][x] = sum_k tmp[y][k] * C[k][x]
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      float acc = 0;
+      for (int k = 0; k < kBlockSize; ++k) acc += tmp[y][k] * B.c[k][x];
+      out[std::size_t(y * kBlockSize + x)] = std::int16_t(std::lround(acc));
+    }
+  }
+}
+
+QuantTable MakeLumaQuant(int qp) { return MakeQuant(kLumaBase, qp); }
+QuantTable MakeChromaQuant(int qp) { return MakeQuant(kChromaBase, qp); }
+
+void Quantize(const std::array<float, kBlockPixels>& dct, const QuantTable& q,
+              CoeffBlock& out) {
+  for (int i = 0; i < kBlockPixels; ++i) {
+    out[std::size_t(i)] =
+        std::int32_t(std::lround(dct[std::size_t(i)] / float(q.step[std::size_t(i)])));
+  }
+}
+
+void Dequantize(const CoeffBlock& in, const QuantTable& q,
+                std::array<float, kBlockPixels>& out) {
+  for (int i = 0; i < kBlockPixels; ++i) {
+    out[std::size_t(i)] = float(in[std::size_t(i)]) * float(q.step[std::size_t(i)]);
+  }
+}
+
+const std::array<int, kBlockPixels>& ZigZagOrder() {
+  static const std::array<int, kBlockPixels> order = [] {
+    std::array<int, kBlockPixels> o{};
+    int idx = 0;
+    for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
+      if (s % 2 == 0) {
+        // Walk up-right on even anti-diagonals.
+        for (int y = std::min(s, kBlockSize - 1); y >= 0 && s - y < kBlockSize; --y) {
+          o[std::size_t(idx++)] = y * kBlockSize + (s - y);
+        }
+      } else {
+        for (int x = std::min(s, kBlockSize - 1); x >= 0 && s - x < kBlockSize; --x) {
+          o[std::size_t(idx++)] = (s - x) * kBlockSize + x;
+        }
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+void ReconstructBlock(const PixelBlock& src, const QuantTable& q,
+                      CoeffBlock& coeffs, PixelBlock& recon) {
+  std::array<float, kBlockPixels> dct;
+  ForwardDct(src, dct);
+  Quantize(dct, q, coeffs);
+  DecodeBlock(coeffs, q, recon);
+}
+
+void DecodeBlock(const CoeffBlock& coeffs, const QuantTable& q, PixelBlock& out) {
+  std::array<float, kBlockPixels> dct;
+  Dequantize(coeffs, q, dct);
+  InverseDct(dct, out);
+}
+
+}  // namespace sieve::codec

@@ -1,0 +1,157 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sieve {
+
+void ByteWriter::PutU16(std::uint16_t v) {
+  PutU8(static_cast<std::uint8_t>(v & 0xFF));
+  PutU8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::PutF32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU32(bits);
+}
+
+void ByteWriter::PutF64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU64(bits);
+}
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::PutBytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  PutBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Expected<std::uint8_t> ByteReader::GetU8() {
+  if (pos_ >= data_.size()) return Status::Corrupt("ByteReader: read past end");
+  return data_[pos_++];
+}
+
+Expected<std::uint16_t> ByteReader::GetU16() {
+  if (remaining() < 2) return Status::Corrupt("ByteReader: read past end (u16)");
+  std::uint16_t v = std::uint16_t(data_[pos_]) | std::uint16_t(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Expected<std::uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) return Status::Corrupt("ByteReader: read past end (u32)");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Expected<std::uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) return Status::Corrupt("ByteReader: read past end (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Expected<float> ByteReader::GetF32() {
+  auto bits = GetU32();
+  if (!bits.ok()) return bits.status();
+  float v;
+  std::uint32_t b = bits.value();
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+Expected<double> ByteReader::GetF64() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  std::uint64_t b = bits.value();
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+Expected<std::uint64_t> ByteReader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    auto byte = GetU8();
+    if (!byte.ok()) return byte.status();
+    v |= std::uint64_t(byte.value() & 0x7F) << shift;
+    if (!(byte.value() & 0x80)) break;
+    shift += 7;
+    if (shift >= 64) return Status::Corrupt("ByteReader: varint too long");
+  }
+  return v;
+}
+
+Expected<std::string> ByteReader::GetString() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  auto bytes = GetSpan(static_cast<std::size_t>(len.value()));
+  if (!bytes.ok()) return bytes.status();
+  return std::string(reinterpret_cast<const char*>(bytes->data()), bytes->size());
+}
+
+Expected<std::span<const std::uint8_t>> ByteReader::GetSpan(std::size_t n) {
+  if (remaining() < n) return Status::Corrupt("ByteReader: span past end");
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::Skip(std::size_t n) {
+  if (remaining() < n) return Status::Corrupt("ByteReader: skip past end");
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::NotFound("cannot open for write: " + path);
+  const std::size_t written = bytes.empty()
+                                  ? 0
+                                  : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Expected<std::vector<std::uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t read = buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (read != buf.size()) return Status::Corrupt("short read: " + path);
+  return buf;
+}
+
+}  // namespace sieve

@@ -1,0 +1,75 @@
+// Byte-buffer writer/reader with varint and fixed-width little-endian codecs.
+//
+// Used by the video container, NN activation serialization, and the network
+// message framing. All multi-byte integers are little-endian on the wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sieve {
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutF32(float v);
+  void PutF64(double v);
+  /// LEB128 unsigned varint.
+  void PutVarint(std::uint64_t v);
+  void PutBytes(std::span<const std::uint8_t> bytes);
+  void PutString(const std::string& s);  // varint length + bytes
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> Release() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+  void Clear() noexcept { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a borrowed byte span. The span must outlive the
+/// reader. All getters return Expected and never read past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Expected<std::uint8_t> GetU8();
+  Expected<std::uint16_t> GetU16();
+  Expected<std::uint32_t> GetU32();
+  Expected<std::uint64_t> GetU64();
+  Expected<float> GetF32();
+  Expected<double> GetF64();
+  Expected<std::uint64_t> GetVarint();
+  Expected<std::string> GetString();
+
+  /// Borrow n bytes without copying; advances the cursor.
+  Expected<std::span<const std::uint8_t>> GetSpan(std::size_t n);
+
+  Status Skip(std::size_t n);
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+  bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Write a whole buffer to a file, replacing it. Returns error on I/O failure.
+Status WriteFileBytes(const std::string& path,
+                      std::span<const std::uint8_t> bytes);
+
+/// Read a whole file into memory.
+Expected<std::vector<std::uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace sieve

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (synthetic scenes, NN weight
+// initialization, workload generators) draws from an explicitly seeded Rng so
+// that experiments are exactly reproducible run-to-run and across machines.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sieve {
+
+/// Seeded RNG wrapper around std::mt19937_64 with convenience samplers.
+/// Not thread-safe; give each thread / component its own instance (use
+/// Fork() to derive decorrelated child streams).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform 64-bit in [lo, hi] inclusive.
+  std::uint64_t UniformU64(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled to (mean, stddev).
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Exponentially distributed inter-arrival with given mean (> 0).
+  double Exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Derive a decorrelated child stream; `stream` distinguishes siblings.
+  Rng Fork(std::uint64_t stream) const {
+    // SplitMix64 finalizer over (seed, stream) gives well-spread child seeds.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sieve

@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sieve {
+
+void RunningStats::Add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * double(n_) * double(other.n_) / double(total);
+  mean_ = (mean_ * double(n_) + other.mean_ * double(other.n_)) / double(total);
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev() << " min=" << min()
+     << " max=" << max();
+  return os.str();
+}
+
+void QuantileSketch::Add(double x) {
+  ++total_;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // xorshift64* for the reservoir slot draw: deterministic, allocation-free.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  const std::uint64_t r = rng_state_ * 0x2545F4914F6CDD1DULL;
+  const std::size_t slot = static_cast<std::size_t>(r % total_);
+  if (slot < samples_.size()) {
+    samples_[slot] = x;
+    sorted_ = false;
+  }
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * double(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - double(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::Add(double x) noexcept {
+  ++total_;
+  const double span = hi_ - lo_;
+  std::size_t idx = 0;
+  if (span > 0) {
+    const double t = (x - lo_) / span;
+    const auto n = static_cast<double>(counts_.size());
+    idx = static_cast<std::size_t>(std::clamp(t * n, 0.0, n - 1.0));
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+std::string Histogram::Render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(double(counts_[i]) / double(peak) *
+                                              double(width));
+    os << bucket_lo(i) << "\t" << counts_[i] << "\t" << std::string(bar, '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sieve

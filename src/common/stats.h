@@ -1,0 +1,76 @@
+// Online statistics accumulators used by benchmarks, the DES, and metrics.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sieve {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  std::string ToString() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of samples supporting exact quantiles; bounded memory via
+/// optional capacity (uniform reservoir sampling beyond capacity).
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void Add(double x);
+  /// q in [0, 1]; returns 0 when empty. Linear interpolation between ranks.
+  double Quantile(double q) const;
+  std::size_t count() const noexcept { return total_; }
+
+ private:
+  std::size_t capacity_;         // 0 == unbounded
+  std::size_t total_ = 0;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range values clamp to the
+/// edge buckets. Used for latency distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const noexcept { return total_; }
+  std::string Render(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sieve

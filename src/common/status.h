@@ -1,0 +1,127 @@
+// Lightweight status / expected-value error handling used across the library.
+//
+// The library avoids exceptions on hot paths (codec inner loops, dataflow
+// scheduling); fallible public APIs return Expected<T> and the caller decides
+// how to react. Construction errors that indicate programmer mistakes
+// (invalid dimensions, out-of-range parameters) assert in debug builds and
+// return errors in release builds.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sieve {
+
+/// Error category for Status. Kept deliberately small: the library reports
+/// *what class* of failure occurred; the message carries specifics.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCorruptData,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode (stable, for logs and tests).
+constexpr const char* ErrorCodeName(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A status: OK or an (code, message) pair. Cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corrupt(std::string msg) {
+    return Status(ErrorCode::kCorruptData, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(ErrorCode::kNotFound, std::move(msg));
+  }
+  static Status Precondition(std::string msg) {
+    return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(ErrorCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Expected<T>: either a value or a Status error. Minimal std::expected
+/// stand-in (the toolchain's libstdc++ predates full std::expected support).
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Expected(Status status) : data_(std::move(status)) {     // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() &&
+           "Expected<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sieve

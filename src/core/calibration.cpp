@@ -1,0 +1,195 @@
+#include "core/calibration.h"
+
+#include <sstream>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/still.h"
+#include "common/stopwatch.h"
+#include "core/seeker.h"
+#include "media/image_ops.h"
+#include "media/metrics.h"
+#include "nn/classifier.h"
+#include "synth/scene.h"
+#include "vision/sift.h"
+
+namespace sieve::core {
+
+std::string CostModel::ToString() const {
+  std::ostringstream os;
+  os << "seek/frame=" << seek_per_frame * 1e9 << "ns"
+     << " decodeI/px=" << decode_i_per_pixel * 1e9 << "ns"
+     << " decodeP/px=" << decode_p_per_pixel * 1e9 << "ns"
+     << " still/px=" << encode_still_per_pixel * 1e9 << "ns"
+     << " resize/px=" << resize_per_pixel * 1e9 << "ns"
+     << " mse/px=" << mse_per_pixel * 1e9 << "ns"
+     << " sift/px=" << sift_per_pixel * 1e9 << "ns"
+     << " nn/frame=" << nn_infer_per_frame * 1e3 << "ms";
+  return os.str();
+}
+
+CostModel CostModel::NormalizedToProductionCodec() const {
+  CostModel out = *this;
+  constexpr double kPaperDecodeSeconds = 8e-3;       // 8 ms/frame ...
+  constexpr double kPaperDecodePixels = 1920.0 * 1080.0;  // ... at 1080p
+  const double measured = decode_p_per_pixel * kPaperDecodePixels;
+  if (measured > kPaperDecodeSeconds && decode_p_per_pixel > 0) {
+    const double factor = kPaperDecodeSeconds / measured;
+    out.decode_p_per_pixel *= factor;
+    out.decode_i_per_pixel *= factor;
+    out.encode_still_per_pixel *= factor;
+  }
+  return out;
+}
+
+Expected<CostModel> MeasureCostModel(const CalibrationOptions& options) {
+  CostModel model;
+
+  // Probe video: moderate motion so P-frames carry real residual work.
+  synth::SceneConfig config;
+  config.width = options.probe_width;
+  config.height = options.probe_height;
+  config.num_frames = options.probe_frames;
+  config.seed = options.seed;
+  config.mean_gap_seconds = 1.0;
+  config.min_gap_seconds = 0.3;
+  config.mean_dwell_seconds = 1.0;
+  config.min_dwell_seconds = 0.5;
+  const synth::SyntheticVideo probe = synth::GenerateScene(config);
+  const double pixels = double(config.width) * double(config.height);
+
+  codec::EncoderParams params;
+  params.keyframe.gop_size = 8;  // several I-frames to measure random access
+  params.keyframe.scenecut = 0;
+  auto encoded = codec::VideoEncoder(params).Encode(probe.video);
+  if (!encoded.ok()) return encoded.status();
+
+  Stopwatch watch;
+
+  // Seek: walk the header chain many times (it is far faster than the clock
+  // granularity for one pass).
+  {
+    const int laps = 200 * options.repetitions;
+    watch.Start();
+    std::size_t sink = 0;
+    for (int i = 0; i < laps; ++i) {
+      auto report = SeekIFrames(encoded->bytes);
+      if (!report.ok()) return report.status();
+      sink += report->iframes.size();
+    }
+    if (sink == 0) return Status::Internal("calibration: no I-frames seeked");
+    model.seek_per_frame =
+        watch.ElapsedSeconds() / double(laps) / double(encoded->records.size());
+  }
+
+  // Random-access I-frame decode.
+  {
+    auto report = SeekIFrames(encoded->bytes);
+    if (!report.ok()) return report.status();
+    int decoded = 0;
+    watch.Start();
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      for (const auto& record : report->iframes) {
+        auto frame = codec::DecodeIntraFrameAt(encoded->bytes, record);
+        if (!frame.ok()) return frame.status();
+        ++decoded;
+      }
+    }
+    model.decode_i_per_pixel = watch.ElapsedSeconds() / decoded / pixels;
+  }
+
+  // Sequential full decode; isolate P cost by subtracting the measured I cost.
+  {
+    watch.Start();
+    std::size_t p_frames = 0, i_frames = 0;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      auto decoder = codec::VideoDecoder::Open(encoded->bytes);
+      if (!decoder.ok()) return decoder.status();
+      while (!decoder->AtEnd()) {
+        const bool is_p = decoder->records()[decoder->position()].type ==
+                          codec::FrameType::kInter;
+        auto frame = decoder->DecodeNext();
+        if (!frame.ok()) return frame.status();
+        (is_p ? p_frames : i_frames) += 1;
+      }
+    }
+    const double total = watch.ElapsedSeconds();
+    const double i_cost = model.decode_i_per_pixel * pixels * double(i_frames);
+    model.decode_p_per_pixel =
+        std::max(0.0, (total - i_cost)) / double(p_frames ? p_frames : 1) / pixels;
+    // Scheduling noise between the two measurements can drive the derived
+    // P cost to ~0; floor it at a structural fraction of the I cost
+    // (motion compensation + entropy decoding are never free).
+    model.decode_p_per_pixel =
+        std::max(model.decode_p_per_pixel, 0.1 * model.decode_i_per_pixel);
+  }
+
+  // Still encode (at the NN shipping resolution path: resize + encode).
+  {
+    const media::Frame& sample = probe.video.frames.front();
+    const int reps = 4 * options.repetitions;
+    watch.Start();
+    std::size_t bytes = 0;
+    for (int i = 0; i < reps; ++i) bytes += codec::EncodeStill(sample).size();
+    if (bytes == 0) return Status::Internal("calibration: empty still");
+    model.encode_still_per_pixel = watch.ElapsedSeconds() / reps / pixels;
+
+    watch.Start();
+    for (int i = 0; i < reps; ++i) {
+      media::Frame resized = media::ResizeFrame(sample, 300, 300);
+      if (resized.empty()) return Status::Internal("calibration: resize failed");
+    }
+    model.resize_per_pixel = watch.ElapsedSeconds() / reps / pixels;
+  }
+
+  // MSE and SIFT per frame pair.
+  {
+    const int reps = 8 * options.repetitions;
+    watch.Start();
+    double sink = 0;
+    for (int i = 0; i < reps; ++i) {
+      sink += media::FrameMse(probe.video.frames[0], probe.video.frames[1]);
+    }
+    model.mse_per_pixel = watch.ElapsedSeconds() / reps / pixels + sink * 0.0;
+
+    watch.Start();
+    std::vector<vision::SiftKeypoint> prev;
+    int sift_frames = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      auto cur = vision::ExtractSift(probe.video.frames[i].y());
+      if (i > 0) vision::MatchSift(prev, cur);
+      prev = std::move(cur);
+      ++sift_frames;
+    }
+    model.sift_per_pixel = watch.ElapsedSeconds() / sift_frames / pixels;
+  }
+
+  // NN inference at the classifier input size.
+  {
+    nn::FrameClassifier classifier;
+    const int reps = 3 * options.repetitions;
+    watch.Start();
+    for (int i = 0; i < reps; ++i) {
+      auto embedding = classifier.Embed(probe.video.frames.front());
+      if (embedding.empty()) return Status::Internal("calibration: empty embed");
+    }
+    model.nn_infer_per_frame = watch.ElapsedSeconds() / reps;
+  }
+
+  return model;
+}
+
+CostModel ReferenceCostModel() {
+  CostModel model;
+  model.seek_per_frame = 50e-9;           // 50 ns header hop
+  model.decode_i_per_pixel = 40e-9;       // ~3 ms at 320x240
+  model.decode_p_per_pixel = 25e-9;
+  model.encode_still_per_pixel = 50e-9;
+  model.resize_per_pixel = 10e-9;
+  model.mse_per_pixel = 1.5e-9;
+  model.sift_per_pixel = 120e-9;
+  model.nn_infer_per_frame = 20e-3;
+  return model;
+}
+
+}  // namespace sieve::core

@@ -1,0 +1,88 @@
+// Service-time calibration: measure the real implementations once, use the
+// measured costs everywhere (Neurosurgeon-style profiling, and the DES's
+// station service times for the paper-scale Figure 4/5 runs).
+//
+// All pixel-path costs are measured per pixel at a probe resolution and
+// scale linearly with frame area — the underlying loops are O(pixels).
+// Machine roles follow the paper's testbed: the edge desktop runs the
+// measured costs as-is; the camera SoC is modelled slower and the cloud
+// server faster by configurable factors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace sieve::core {
+
+/// Measured per-operation costs (seconds), on the calibration machine.
+struct CostModel {
+  // Container / codec paths.
+  double seek_per_frame = 0.0;        ///< header hop per frame (any size)
+  double decode_i_per_pixel = 0.0;    ///< random-access I-frame decode
+  double decode_p_per_pixel = 0.0;    ///< sequential P-frame decode
+  double encode_still_per_pixel = 0.0;///< still (JPEG-like) encode
+  double resize_per_pixel = 0.0;      ///< bilinear resize (per source pixel)
+
+  // Image-similarity baselines (per pixel of the compared frames).
+  double mse_per_pixel = 0.0;
+  double sift_per_pixel = 0.0;
+
+  // Reference NN (per frame at the classifier's input size).
+  double nn_infer_per_frame = 0.0;
+
+  // Machine-speed model (relative to the calibration machine == edge).
+  double cloud_speedup = 2.5;   ///< cloud runs compute this much faster
+  double camera_slowdown = 4.0; ///< camera SoC is this much slower
+
+  // Deployment-scale reference-NN costs for the end-to-end model (Fig. 4).
+  // The paper's reference NN is YOLOv3 at 300x300: ~1 s/frame on the edge
+  // desktop CPU and fast at the cloud ("fast NN inference at the cloud",
+  // Section V-B — server-side acceleration/batching). Our measured small-CNN
+  // cost stands in for live runs; these constants stand in for YOLOv3 when
+  // reproducing the paper-scale throughput shape. Documented in DESIGN.md.
+  double ref_nn_edge_seconds = 0.4;
+  double ref_nn_cloud_seconds = 0.04;
+
+  /// This library's educational codec decodes ~10x slower than a production
+  /// decoder; the paper measures 8 ms for a full-frame decode at 1080p
+  /// (Section V-A). For deployment-scale modelling, rescale the decode and
+  /// still-encode costs so the 1080p full decode matches that figure while
+  /// keeping this machine's relative op costs. Never scales costs up.
+  CostModel NormalizedToProductionCodec() const;
+
+  /// Sum helpers at a given resolution.
+  double DecodeIFrameSeconds(int w, int h) const noexcept {
+    return decode_i_per_pixel * double(w) * double(h);
+  }
+  double DecodePFrameSeconds(int w, int h) const noexcept {
+    return decode_p_per_pixel * double(w) * double(h);
+  }
+  double MseSeconds(int w, int h) const noexcept {
+    return mse_per_pixel * double(w) * double(h);
+  }
+  double SiftSeconds(int w, int h) const noexcept {
+    return sift_per_pixel * double(w) * double(h);
+  }
+
+  std::string ToString() const;
+};
+
+struct CalibrationOptions {
+  int probe_width = 320;
+  int probe_height = 240;
+  std::size_t probe_frames = 48;
+  int repetitions = 2;
+  std::uint64_t seed = 99;
+};
+
+/// Measure every CostModel entry by running the real implementations on a
+/// small synthetic probe video. Takes a few seconds.
+Expected<CostModel> MeasureCostModel(const CalibrationOptions& options = {});
+
+/// A fixed cost model with representative magnitudes (for unit tests and
+/// deterministic examples that should not depend on machine speed).
+CostModel ReferenceCostModel();
+
+}  // namespace sieve::core

@@ -1,0 +1,79 @@
+#include "core/detectors.h"
+
+namespace sieve::core {
+
+const char* DetectorName(DetectorKind kind) noexcept {
+  switch (kind) {
+    case DetectorKind::kSieve: return "SiEVE";
+    case DetectorKind::kMse: return "MSE";
+    case DetectorKind::kSift: return "SIFT";
+    case DetectorKind::kUniform: return "Uniform";
+  }
+  return "unknown";
+}
+
+Selection SelectSieve(const std::vector<codec::FrameCost>& costs,
+                      const codec::KeyframeParams& params) {
+  Selection selection;
+  selection.kind = DetectorKind::kSieve;
+  const std::vector<bool> keyframes = codec::PlaceKeyframes(costs, params);
+  for (std::size_t i = 0; i < keyframes.size(); ++i) {
+    if (keyframes[i]) selection.frames.push_back(i);
+  }
+  return selection;
+}
+
+Selection SelectBySignal(DetectorKind kind, const std::vector<double>& signal,
+                         std::size_t target_count) {
+  Selection selection;
+  selection.kind = kind;
+  selection.threshold = vision::CalibrateThreshold(signal, target_count);
+  selection.frames = vision::SelectByThreshold(signal, selection.threshold);
+  return selection;
+}
+
+Selection SelectBySignalThreshold(DetectorKind kind,
+                                  const std::vector<double>& signal,
+                                  double threshold) {
+  Selection selection;
+  selection.kind = kind;
+  selection.threshold = threshold;
+  selection.frames = vision::SelectByThreshold(signal, threshold);
+  return selection;
+}
+
+Selection SelectUniform(std::size_t total_frames, std::size_t target_count) {
+  Selection selection;
+  selection.kind = DetectorKind::kUniform;
+  if (total_frames == 0 || target_count == 0) return selection;
+  const double stride =
+      double(total_frames) / double(std::min(total_frames, target_count));
+  for (double pos = 0.0; pos < double(total_frames); pos += stride) {
+    selection.frames.push_back(std::size_t(pos));
+  }
+  return selection;
+}
+
+OnlineSignalDetector::OnlineSignalDetector(DetectorKind kind, double threshold,
+                                           vision::SiftParams sift_params)
+    : kind_(kind), threshold_(threshold), sift_(sift_params) {}
+
+bool OnlineSignalDetector::Push(const media::Frame& frame) {
+  double signal = 0.0;
+  switch (kind_) {
+    case DetectorKind::kMse:
+      signal = mse_.Push(frame);
+      break;
+    case DetectorKind::kSift:
+      signal = sift_.Push(frame);
+      break;
+    default:
+      signal = 0.0;
+      break;
+  }
+  const bool selected = first_ || signal > threshold_;
+  first_ = false;
+  return selected;
+}
+
+}  // namespace sieve::core

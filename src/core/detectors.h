@@ -1,0 +1,80 @@
+// Event-detection strategies unified behind one interface.
+//
+// Every strategy reduces a video to a set of "selected" frames that undergo
+// NN inference; all other frames inherit the most recent selected frame's
+// labels. SiEVE selects by seeking I-frames of a semantically encoded
+// stream (no decoding); the baselines decode every frame and threshold an
+// image-similarity signal (MSE, SIFT) or sample uniformly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "codec/analysis.h"
+#include "codec/encoder.h"
+#include "media/frame.h"
+#include "vision/similarity.h"
+
+namespace sieve::core {
+
+enum class DetectorKind {
+  kSieve = 0,     ///< semantic encoding + I-frame seeking
+  kMse = 1,       ///< decode all + mean-squared-error threshold
+  kSift = 2,      ///< decode all + SIFT match-ratio threshold
+  kUniform = 3,   ///< decode all + fixed-interval sampling
+};
+
+const char* DetectorName(DetectorKind kind) noexcept;
+
+/// A selection of frames plus how it was obtained.
+struct Selection {
+  DetectorKind kind = DetectorKind::kSieve;
+  std::vector<std::size_t> frames;  ///< sorted selected indices
+  double threshold = 0.0;           ///< threshold used (signal detectors)
+
+  double SampleRate(std::size_t total) const noexcept {
+    return total ? double(frames.size()) / double(total) : 0.0;
+  }
+};
+
+/// SiEVE's selection for given keyframe parameters, replayed from analysis
+/// costs (identical to what a real encode + seek produces).
+Selection SelectSieve(const std::vector<codec::FrameCost>& costs,
+                      const codec::KeyframeParams& params);
+
+/// Threshold a change signal so that ~target_count frames are selected.
+Selection SelectBySignal(DetectorKind kind, const std::vector<double>& signal,
+                         std::size_t target_count);
+
+/// Threshold a change signal with a fixed, pre-calibrated threshold.
+Selection SelectBySignalThreshold(DetectorKind kind,
+                                  const std::vector<double>& signal,
+                                  double threshold);
+
+/// Uniform sampling: ~target_count frames at a fixed stride (first frame of
+/// each interval, matching the paper's uniform-sampling baseline).
+Selection SelectUniform(std::size_t total_frames, std::size_t target_count);
+
+/// Streaming online detector for the live pipeline: feed frames, get a
+/// boolean "event" decision per frame (frame 0 is always an event).
+class OnlineSignalDetector {
+ public:
+  OnlineSignalDetector(DetectorKind kind, double threshold,
+                       vision::SiftParams sift_params = {});
+
+  /// True when this frame should be selected for inference.
+  bool Push(const media::Frame& frame);
+
+  DetectorKind kind() const noexcept { return kind_; }
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  DetectorKind kind_;
+  double threshold_;
+  bool first_ = true;
+  vision::MseSignal mse_;
+  vision::SiftSignal sift_;
+};
+
+}  // namespace sieve::core

@@ -1,0 +1,31 @@
+#include "core/metrics.h"
+
+namespace sieve::core {
+
+double HarmonicMean(double a, double b) noexcept {
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return 2.0 * a * b / (a + b);
+}
+
+DetectionQuality EvaluateSelection(const synth::GroundTruth& truth,
+                                   const std::vector<std::size_t>& selected) {
+  DetectionQuality q;
+  const std::size_t n = truth.frame_count();
+  if (n == 0) return q;
+  q.accuracy = synth::PropagatedLabelAccuracy(truth, selected);
+  q.sample_rate = double(selected.size()) / double(n);
+  q.filtering_rate = 1.0 - q.sample_rate;
+  q.f1 = HarmonicMean(q.accuracy, q.filtering_rate);
+  return q;
+}
+
+DetectionQuality EvaluateKeyframes(const synth::GroundTruth& truth,
+                                   const std::vector<bool>& is_selected) {
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < is_selected.size(); ++i) {
+    if (is_selected[i]) selected.push_back(i);
+  }
+  return EvaluateSelection(truth, selected);
+}
+
+}  // namespace sieve::core

@@ -1,0 +1,31 @@
+// Section IV / V-A evaluation metrics: accuracy, sample size, filtering
+// rate, and the accuracy-filtering F1 score.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "synth/ground_truth.h"
+
+namespace sieve::core {
+
+/// Quality of a frame-selection strategy against ground truth.
+struct DetectionQuality {
+  double accuracy = 0.0;       ///< per-frame propagated label accuracy (acc_i)
+  double sample_rate = 0.0;    ///< selected / total (the paper's SS)
+  double filtering_rate = 0.0; ///< non-selected / total (fr_i)
+  double f1 = 0.0;             ///< harmonic mean of accuracy and filtering rate
+};
+
+/// Harmonic mean; 0 when either input is 0.
+double HarmonicMean(double a, double b) noexcept;
+
+/// Evaluate a selection given as per-frame flags (e.g. keyframe placement).
+DetectionQuality EvaluateKeyframes(const synth::GroundTruth& truth,
+                                   const std::vector<bool>& is_selected);
+
+/// Evaluate a selection given as sorted frame indices.
+DetectionQuality EvaluateSelection(const synth::GroundTruth& truth,
+                                   const std::vector<std::size_t>& selected);
+
+}  // namespace sieve::core

@@ -1,0 +1,349 @@
+#include "core/placements.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/encoder.h"
+#include "codec/still.h"
+#include "core/detectors.h"
+#include "media/image_ops.h"
+#include "synth/scene.h"
+#include "vision/similarity.h"
+
+namespace sieve::core {
+
+const char* PlacementName(Placement p) noexcept {
+  switch (p) {
+    case Placement::kIFrameEdgeCloudNN: return "I-frame edge + cloud NN";
+    case Placement::kIFrameCloudCloudNN: return "I-frame cloud + cloud NN";
+    case Placement::kIFrameEdgeEdgeNN: return "I-frame edge + edge NN";
+    case Placement::kUniformEdgeCloudNN: return "Uniform sampling edge + cloud NN";
+    case Placement::kMseEdgeCloudNN: return "MSE edge + cloud NN";
+  }
+  return "unknown";
+}
+
+bool UsesSemanticEncoding(Placement p) noexcept {
+  return p == Placement::kIFrameEdgeCloudNN ||
+         p == Placement::kIFrameCloudCloudNN ||
+         p == Placement::kIFrameEdgeEdgeNN;
+}
+
+namespace {
+
+/// MSE threshold per Section V-B ("the threshold ... that achieves an
+/// F1-score of 95% in the training set"): the *loosest sampling* (highest
+/// threshold, fewest selections) whose training F1 still meets the target;
+/// falls back to the max-F1 threshold when the target is unreachable.
+double CalibrateMseThresholdForF1(const std::vector<double>& signal,
+                                  const synth::GroundTruth& truth,
+                                  double target_f1) {
+  // Candidate thresholds: the distinct signal values (selection changes only
+  // at these points). Evaluate a capped, evenly spaced subset.
+  std::vector<double> sorted(signal.begin() + 1, signal.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  constexpr std::size_t kMaxCandidates = 160;
+  const std::size_t step = std::max<std::size_t>(1, sorted.size() / kMaxCandidates);
+
+  double best_ok_threshold = -1.0;
+  double best_f1_threshold = -1.0, best_f1 = -1.0;
+  for (std::size_t i = 0; i < sorted.size(); i += step) {
+    const double threshold = sorted[i];
+    const auto selected = vision::SelectByThreshold(signal, threshold);
+    const DetectionQuality q = EvaluateSelection(truth, selected);
+    if (q.f1 >= target_f1 && threshold > best_ok_threshold) {
+      best_ok_threshold = threshold;
+    }
+    if (q.f1 > best_f1) {
+      best_f1 = q.f1;
+      best_f1_threshold = threshold;
+    }
+  }
+  return best_ok_threshold >= 0 ? best_ok_threshold : best_f1_threshold;
+}
+
+std::size_t AutoProbeFrames(const synth::SceneConfig& config) {
+  // Cover ~6 full event cycles so I-frame and selection rates are stable.
+  const double cycle_s = config.mean_gap_seconds + config.mean_dwell_seconds +
+                         2.0 * config.ramp_seconds;
+  const double frames = 6.0 * cycle_s * config.fps;
+  return std::size_t(std::clamp(frames, 900.0, 3600.0));
+}
+
+std::size_t Extrapolate(std::size_t probe_value, double scale) {
+  return std::size_t(std::llround(double(probe_value) * scale));
+}
+
+}  // namespace
+
+Expected<VideoWorkload> BuildWorkload(synth::DatasetId id,
+                                      const WorkloadOptions& options) {
+  const synth::DatasetSpec& spec = synth::GetDatasetSpec(id);
+  VideoWorkload w;
+  w.name = spec.name;
+  w.width = spec.width;
+  w.height = spec.height;
+  w.fps = spec.fps;
+
+  synth::SceneConfig config = synth::MakeDatasetConfig(id, 0, options.seed);
+  const std::size_t probe_frames =
+      options.probe_frames ? options.probe_frames : AutoProbeFrames(config);
+  config.num_frames = probe_frames;
+  // Downscale probe geometry (object scale is relative; event structure and
+  // selection rates are unchanged; bytes extrapolate by pixel ratio).
+  double pixel_scale = 1.0;
+  if (options.max_probe_width > 0 && config.width > options.max_probe_width) {
+    const double shrink = double(options.max_probe_width) / config.width;
+    const int pw = (int(config.width * shrink) / 2) * 2;
+    const int ph = (int(config.height * shrink) / 2) * 2;
+    pixel_scale = double(spec.width) * spec.height / (double(pw) * ph);
+    config.width = pw;
+    config.height = ph;
+  }
+
+  w.total_frames = options.target_frames
+                       ? options.target_frames
+                       : std::size_t(4.0 * 3600.0 * spec.fps);  // 4h eval slice
+  const double scale = double(w.total_frames) / double(probe_frames);
+  const double byte_scale = scale * pixel_scale;
+
+  const synth::SyntheticVideo video = synth::GenerateScene(config);
+  const std::vector<codec::FrameCost> costs = codec::AnalyzeVideo(video.video);
+
+  // --- Tuned semantic parameters -----------------------------------------
+  if (spec.has_labels) {
+    const TuningResult tuned = TuneFromCosts(costs, video.truth, options.grid);
+    w.tuned.gop_size = tuned.best.gop_size;
+    w.tuned.scenecut = tuned.best.scenecut;
+  } else {
+    // Fixed 1 I-frame per 5 seconds (Section V-B's unlabeled-feed setting).
+    w.tuned.gop_size =
+        std::max(1, int(spec.fps * options.unlabeled_iframe_period_s));
+    w.tuned.scenecut = 0;
+  }
+
+  // --- Real encodes: semantic and default ---------------------------------
+  codec::EncoderParams semantic_params;
+  semantic_params.keyframe = w.tuned;
+  auto semantic = codec::VideoEncoder(semantic_params).Encode(video.video);
+  if (!semantic.ok()) return semantic.status();
+  auto fallback = codec::VideoEncoder(codec::EncoderParams::DefaultEncoding())
+                      .Encode(video.video);
+  if (!fallback.ok()) return fallback.status();
+
+  std::size_t probe_semantic_iframes = 0, probe_iframe_payload = 0;
+  for (const auto& record : semantic->records) {
+    if (record.type == codec::FrameType::kIntra) {
+      ++probe_semantic_iframes;
+      probe_iframe_payload += record.payload_size;
+    }
+  }
+  w.semantic_iframes = Extrapolate(probe_semantic_iframes, scale);
+  w.semantic_iframe_payload = Extrapolate(probe_iframe_payload, byte_scale);
+  w.semantic_bytes = Extrapolate(semantic->bytes.size(), byte_scale);
+  w.default_bytes = Extrapolate(fallback->bytes.size(), byte_scale);
+  w.default_iframes = Extrapolate(fallback->IntraFrameCount(), scale);
+  w.uniform_selected = w.semantic_iframes;  // equal transfer budget (paper)
+
+  // --- MSE selection on the raw frames ------------------------------------
+  const std::vector<double> mse_signal =
+      vision::MseChangeSignal(video.video.frames);
+  std::size_t probe_mse_selected;
+  if (spec.has_labels) {
+    const double threshold = CalibrateMseThresholdForF1(mse_signal, video.truth,
+                                                        options.mse_target_f1);
+    probe_mse_selected = vision::SelectByThreshold(mse_signal, threshold).size();
+  } else {
+    probe_mse_selected = std::max<std::size_t>(
+        1, std::size_t(double(probe_frames) /
+                       (spec.fps * options.unlabeled_iframe_period_s)));
+  }
+  w.mse_selected = Extrapolate(probe_mse_selected, scale);
+
+  // --- Transfer unit: resized still ---------------------------------------
+  // Pick an occupied frame (middle of the busiest event) so the still has
+  // representative content.
+  std::size_t sample_frame = probe_frames / 2;
+  for (const auto& event : video.truth.Events()) {
+    if (!event.labels.empty()) {
+      sample_frame = (event.start + event.end) / 2;
+      break;
+    }
+  }
+  const media::Frame still_input =
+      media::ResizeFrame(video.video.frames[sample_frame], 300, 300);
+  w.still_bytes = codec::EncodeStill(still_input).size();
+
+  return w;
+}
+
+TransferReport ComputeTransfer(Placement placement,
+                               std::span<const VideoWorkload> workloads) {
+  TransferReport report;
+  report.placement = placement;
+  for (const auto& w : workloads) {
+    // Camera -> edge always carries the whole encoded stream.
+    report.camera_to_edge_bytes +=
+        UsesSemanticEncoding(placement) ? w.semantic_bytes : w.default_bytes;
+    switch (placement) {
+      case Placement::kIFrameEdgeCloudNN:
+        report.edge_to_cloud_bytes +=
+            std::uint64_t(w.semantic_iframes) * w.still_bytes;
+        break;
+      case Placement::kIFrameCloudCloudNN:
+        report.edge_to_cloud_bytes += w.semantic_bytes;
+        break;
+      case Placement::kIFrameEdgeEdgeNN:
+        break;  // nothing leaves the edge
+      case Placement::kUniformEdgeCloudNN:
+        report.edge_to_cloud_bytes +=
+            std::uint64_t(w.uniform_selected) * w.still_bytes;
+        break;
+      case Placement::kMseEdgeCloudNN:
+        report.edge_to_cloud_bytes +=
+            std::uint64_t(w.mse_selected) * w.still_bytes;
+        break;
+    }
+  }
+  return report;
+}
+
+ThroughputReport SimulateThroughput(Placement placement,
+                                    std::span<const VideoWorkload> workloads,
+                                    const CostModel& costs, net::LinkModel wan,
+                                    MachineModel machines) {
+  ThroughputReport report;
+  report.placement = placement;
+
+  sim::Simulator simulator;
+  sim::QueueNetwork network(&simulator);
+
+  // Station service times are resolved per job via the `kind` tag (the
+  // workload index); per-job constants are captured in these tables.
+  struct PerVideo {
+    double edge_prep = 0;    ///< edge work per selected frame (amortized)
+    double cloud_prep = 0;   ///< cloud-side seek/decode per selected frame
+    double wan_seconds = 0;  ///< per selected frame
+    double nn_seconds = 0;   ///< at the placement's NN tier
+    std::size_t selected = 0;
+  };
+  std::vector<PerVideo> table(workloads.size());
+
+  const double resize_still_300 =
+      (costs.resize_per_pixel + costs.encode_still_per_pixel) * 300.0 * 300.0;
+
+  // Streaming transfers are pipelined (NiFi flowfiles over a persistent
+  // connection), so jobs pay serialization delay only — per-message RTT
+  // does not accumulate.
+  const auto wan_seconds = [&wan](std::size_t bytes) {
+    return double(bytes) * 8.0 / (wan.bandwidth_mbps * 1e6);
+  };
+
+  for (std::size_t v = 0; v < workloads.size(); ++v) {
+    const VideoWorkload& w = workloads[v];
+    PerVideo& pv = table[v];
+    const double px = double(w.width) * double(w.height);
+    const std::size_t selected =
+        placement == Placement::kMseEdgeCloudNN
+            ? w.mse_selected
+            : (placement == Placement::kUniformEdgeCloudNN ? w.uniform_selected
+                                                           : w.semantic_iframes);
+    pv.selected = std::max<std::size_t>(1, selected);
+    const double stride = double(w.total_frames) / double(pv.selected);
+
+    switch (placement) {
+      case Placement::kIFrameEdgeCloudNN:
+        pv.edge_prep = stride * costs.seek_per_frame +
+                       costs.decode_i_per_pixel * px + resize_still_300;
+        pv.wan_seconds = wan_seconds(w.still_bytes);
+        pv.nn_seconds = costs.ref_nn_cloud_seconds;
+        break;
+      case Placement::kIFrameCloudCloudNN:
+        // The whole stream crosses the WAN, accounted per selected frame.
+        pv.wan_seconds = wan_seconds(
+            std::size_t(double(w.semantic_bytes) / double(pv.selected)));
+        pv.cloud_prep = (stride * costs.seek_per_frame +
+                         costs.decode_i_per_pixel * px) /
+                        costs.cloud_speedup;
+        pv.nn_seconds = costs.ref_nn_cloud_seconds;
+        break;
+      case Placement::kIFrameEdgeEdgeNN:
+        pv.edge_prep = stride * costs.seek_per_frame +
+                       costs.decode_i_per_pixel * px;
+        pv.nn_seconds = costs.ref_nn_edge_seconds;
+        break;
+      case Placement::kUniformEdgeCloudNN:
+        // Uniform sampling still decodes every frame (the paper's point).
+        pv.edge_prep = stride * costs.decode_p_per_pixel * px + resize_still_300;
+        pv.wan_seconds = wan_seconds(w.still_bytes);
+        pv.nn_seconds = costs.ref_nn_cloud_seconds;
+        break;
+      case Placement::kMseEdgeCloudNN:
+        pv.edge_prep = stride * (costs.decode_p_per_pixel + costs.mse_per_pixel) * px +
+                       resize_still_300;
+        pv.wan_seconds = wan_seconds(w.still_bytes);
+        pv.nn_seconds = costs.ref_nn_cloud_seconds;
+        break;
+    }
+  }
+
+  const int edge_station = network.AddStation(
+      "edge", machines.edge_servers,
+      [&table](sim::Job& job) { return table[job.kind].edge_prep; });
+  const int wan_station = network.AddStation(
+      "wan", 1, [&table](sim::Job& job) { return table[job.kind].wan_seconds; });
+  const int cloud_prep_station = network.AddStation(
+      "cloud-prep", machines.cloud_servers,
+      [&table](sim::Job& job) { return table[job.kind].cloud_prep; });
+  const int nn_station = network.AddStation(
+      "nn",
+      placement == Placement::kIFrameEdgeEdgeNN ? machines.edge_servers
+                                                : machines.cloud_servers,
+      [&table](sim::Job& job) { return table[job.kind].nn_seconds; });
+
+  std::vector<int> route;
+  switch (placement) {
+    case Placement::kIFrameEdgeCloudNN:
+    case Placement::kUniformEdgeCloudNN:
+    case Placement::kMseEdgeCloudNN:
+      route = {edge_station, wan_station, nn_station};
+      break;
+    case Placement::kIFrameCloudCloudNN:
+      route = {wan_station, cloud_prep_station, nn_station};
+      break;
+    case Placement::kIFrameEdgeEdgeNN:
+      route = {edge_station, nn_station};
+      break;
+  }
+
+  // Post-event analysis: all selected frames are available at t=0 (videos
+  // pre-recorded at the edge), staggered infinitesimally to keep FIFO order
+  // interleaved across videos.
+  std::uint64_t job_id = 0;
+  for (std::size_t v = 0; v < workloads.size(); ++v) {
+    report.total_frames += workloads[v].total_frames;
+    for (std::size_t i = 0; i < table[v].selected; ++i) {
+      sim::Job job;
+      job.id = job_id++;
+      job.kind = std::uint32_t(v);
+      job.bytes = workloads[v].still_bytes;
+      network.Inject(std::move(job), route, 1e-9 * double(job_id));
+    }
+  }
+  report.jobs = job_id;
+
+  network.Run();
+  report.makespan_seconds = network.makespan();
+  report.fps = report.makespan_seconds > 0
+                   ? double(report.total_frames) / report.makespan_seconds
+                   : 0.0;
+  for (std::size_t s = 0; s < network.station_count(); ++s) {
+    report.stations.push_back(network.stats(int(s)));
+  }
+  (void)wan_station;
+  (void)cloud_prep_station;
+  return report;
+}
+
+}  // namespace sieve::core

@@ -1,0 +1,27 @@
+#include "core/seeker.h"
+
+namespace sieve::core {
+
+Expected<SeekReport> SeekIFrames(std::span<const std::uint8_t> bytes) {
+  auto records = codec::WalkFrameIndex(bytes);
+  if (!records.ok()) return records.status();
+  SeekReport report;
+  report.total_frames = records->size();
+  report.bytes_scanned = codec::ContainerHeader::kSerializedSize +
+                         records->size() * codec::FrameRecord::kHeaderSize;
+  for (const auto& record : *records) {
+    if (record.type == codec::FrameType::kIntra) {
+      report.iframes.push_back(record);
+    }
+  }
+  return report;
+}
+
+std::vector<std::size_t> SelectedIndices(const SeekReport& report) {
+  std::vector<std::size_t> indices;
+  indices.reserve(report.iframes.size());
+  for (const auto& record : report.iframes) indices.push_back(record.index);
+  return indices;
+}
+
+}  // namespace sieve::core

@@ -1,0 +1,89 @@
+// SieveSystem: the live 3-tier pipeline of Figure 1, assembled from real
+// components — streaming semantic encoder (camera), I-frame seeker + event
+// queue + still transcode (edge), WAN link, reference NN + results database
+// (cloud) — running on the dataflow engine with real threads, real bytes,
+// and a rate-enforced link. This is the integration path; paper-scale
+// throughput studies use core/placements.h instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "common/status.h"
+#include "core/detectors.h"
+#include "dataflow/pipeline.h"
+#include "net/link.h"
+#include "nn/classifier.h"
+#include "synth/labels.h"
+
+namespace sieve::core {
+
+/// Where NN inference runs in the live pipeline.
+enum class NnTier { kCloud, kEdge };
+
+/// The cloud-side results store: (frame id, labels) tuples, queryable with
+/// label propagation (Section III's output contract).
+class ResultsDatabase {
+ public:
+  void Insert(std::size_t frame_id, synth::LabelSet labels);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  const std::map<std::size_t, synth::LabelSet>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Label of an arbitrary frame: the labels of the latest analyzed frame at
+  /// or before it (empty if none).
+  synth::LabelSet LabelAt(std::size_t frame_id) const;
+
+  /// Frame ranges whose propagated labels contain `cls` (event seek-back).
+  std::vector<std::pair<std::size_t, std::size_t>> FindObject(
+      synth::ObjectClass cls, std::size_t total_frames) const;
+
+ private:
+  std::map<std::size_t, synth::LabelSet> rows_;
+};
+
+struct SystemConfig {
+  NnTier nn_tier = NnTier::kCloud;
+  net::LinkModel camera_to_edge = net::LinkModel::Lan();
+  net::LinkModel edge_to_cloud = net::LinkModel::Wan();
+  /// Wall-clock scale for link waits (0 = account bytes but never sleep;
+  /// 1 = real time). Tests compress time; demos use small nonzero values.
+  double link_time_scale = 0.0;
+  int nn_input_size = 96;   ///< classifier input (even)
+  int still_qp = 26;
+  std::size_t queue_capacity = 8;  ///< the event queue bound (backpressure)
+};
+
+struct SystemReport {
+  std::size_t frames_streamed = 0;    ///< frames leaving the camera
+  std::size_t iframes_selected = 0;   ///< frames passing the seeker
+  std::size_t labels_written = 0;     ///< rows in the results database
+  double wall_seconds = 0.0;
+  double fps = 0.0;                   ///< frames_streamed / wall_seconds
+  std::uint64_t camera_to_edge_bytes = 0;
+  std::uint64_t edge_to_cloud_bytes = 0;
+  std::vector<dataflow::StageStats> stages;
+};
+
+/// The assembled system. The classifier must be fitted before Run().
+class SieveSystem {
+ public:
+  SieveSystem(SystemConfig config, const nn::FrameClassifier* classifier)
+      : config_(config), classifier_(classifier) {}
+
+  /// Stream a pre-encoded semantic video through camera -> edge -> cloud.
+  /// Results land in `db`.
+  Expected<SystemReport> Run(const codec::EncodedVideo& video,
+                             ResultsDatabase& db);
+
+ private:
+  SystemConfig config_;
+  const nn::FrameClassifier* classifier_;
+};
+
+}  // namespace sieve::core

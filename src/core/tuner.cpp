@@ -1,0 +1,86 @@
+#include "core/tuner.h"
+
+#include <sstream>
+
+namespace sieve::core {
+
+TuningResult TuneFromCosts(const std::vector<codec::FrameCost>& costs,
+                           const synth::GroundTruth& truth,
+                           const TunerGrid& grid) {
+  TuningResult result;
+  result.best.quality.f1 = -1.0;
+  for (const int gop : grid.gop_sizes) {
+    for (const int sc : grid.scenecuts) {
+      codec::KeyframeParams params;
+      params.gop_size = gop;
+      params.scenecut = sc;
+      const std::vector<bool> keyframes = codec::PlaceKeyframes(costs, params);
+      TuningCandidate candidate;
+      candidate.gop_size = gop;
+      candidate.scenecut = sc;
+      candidate.quality = EvaluateKeyframes(truth, keyframes);
+      if (candidate.quality.f1 > result.best.quality.f1) {
+        result.best = candidate;
+      }
+      result.all.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+TuningResult TuneEncoder(const media::RawVideo& training_video,
+                         const synth::GroundTruth& truth, const TunerGrid& grid,
+                         const codec::AnalysisParams& analysis) {
+  const std::vector<codec::FrameCost> costs =
+      codec::AnalyzeVideo(training_video, analysis);
+  return TuneFromCosts(costs, truth, grid);
+}
+
+void CameraParameterTable::Set(const std::string& camera_id,
+                               codec::KeyframeParams params) {
+  table_[camera_id] = params;
+}
+
+Expected<codec::KeyframeParams> CameraParameterTable::Get(
+    const std::string& camera_id) const {
+  auto it = table_.find(camera_id);
+  if (it == table_.end()) {
+    return Status::NotFound("no tuned parameters for camera: " + camera_id);
+  }
+  return it->second;
+}
+
+bool CameraParameterTable::Contains(const std::string& camera_id) const {
+  return table_.contains(camera_id);
+}
+
+std::string CameraParameterTable::Serialize() const {
+  std::ostringstream os;
+  os << "# camera_id gop_size scenecut min_keyint\n";
+  for (const auto& [id, params] : table_) {
+    os << id << " " << params.gop_size << " " << params.scenecut << " "
+       << params.min_keyint << "\n";
+  }
+  return os.str();
+}
+
+Expected<CameraParameterTable> CameraParameterTable::Deserialize(
+    const std::string& text) {
+  CameraParameterTable table;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string id;
+    codec::KeyframeParams params;
+    if (!(fields >> id >> params.gop_size >> params.scenecut >>
+          params.min_keyint)) {
+      return Status::Corrupt("CameraParameterTable: bad line: " + line);
+    }
+    table.Set(id, params);
+  }
+  return table;
+}
+
+}  // namespace sieve::core

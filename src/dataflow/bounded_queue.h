@@ -1,0 +1,75 @@
+// Bounded MPMC blocking queue — the engine's "connection" with backpressure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace sieve::dataflow {
+
+/// Bounded blocking queue. Push blocks when full (backpressure); Pop blocks
+/// when empty until an item arrives or the queue is closed and drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocking push; returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    peak_depth_ = std::max(peak_depth_, items_.size());
+    ++pushed_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; std::nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes will be accepted; pending items remain poppable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+  std::size_t pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_;
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::size_t peak_depth_ = 0;
+  std::size_t pushed_ = 0;
+};
+
+}  // namespace sieve::dataflow

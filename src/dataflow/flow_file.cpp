@@ -1,0 +1,20 @@
+#include "dataflow/flow_file.h"
+
+#include <cstdlib>
+
+namespace sieve::dataflow {
+
+void FlowFile::SetU64(const std::string& key, std::uint64_t value) {
+  SetAttribute(key, std::to_string(value));
+}
+
+std::optional<std::uint64_t> FlowFile::GetU64(const std::string& key) const {
+  auto s = GetAttribute(key);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (end == s->c_str()) return std::nullopt;
+  return std::uint64_t(v);
+}
+
+}  // namespace sieve::dataflow

@@ -1,0 +1,47 @@
+// FlowFile: the unit of data moving through the dataflow engine.
+//
+// Mirrors Apache NiFi's FlowFile: an opaque payload plus string attributes
+// (provenance, frame metadata). The engine never interprets payloads;
+// processors do.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sieve::dataflow {
+
+class FlowFile {
+ public:
+  FlowFile() = default;
+  explicit FlowFile(std::vector<std::uint8_t> payload)
+      : payload_(std::move(payload)) {}
+
+  const std::vector<std::uint8_t>& payload() const noexcept { return payload_; }
+  std::vector<std::uint8_t>& payload() noexcept { return payload_; }
+  std::size_t size() const noexcept { return payload_.size(); }
+
+  void SetAttribute(const std::string& key, std::string value) {
+    attributes_[key] = std::move(value);
+  }
+  std::optional<std::string> GetAttribute(const std::string& key) const {
+    auto it = attributes_.find(key);
+    if (it == attributes_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Numeric attribute helpers (frame indices, timestamps).
+  void SetU64(const std::string& key, std::uint64_t value);
+  std::optional<std::uint64_t> GetU64(const std::string& key) const;
+
+  const std::map<std::string, std::string>& attributes() const noexcept {
+    return attributes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  std::map<std::string, std::string> attributes_;
+};
+
+}  // namespace sieve::dataflow

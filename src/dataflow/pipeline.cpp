@@ -1,0 +1,139 @@
+#include "dataflow/pipeline.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace sieve::dataflow {
+
+void Pipeline::SetSource(std::string name, SourceFn source) {
+  source_name_ = std::move(name);
+  source_ = std::move(source);
+}
+
+void Pipeline::AddStage(std::string name, TransformFn transform,
+                        int parallelism) {
+  stages_.push_back(StageSpec{std::move(name), std::move(transform),
+                              std::max(1, parallelism)});
+}
+
+void Pipeline::SetSink(std::string name, SinkFn sink) {
+  sink_name_ = std::move(name);
+  sink_ = std::move(sink);
+}
+
+Expected<std::vector<StageStats>> Pipeline::Run() {
+  if (!source_) return Status::Precondition("Pipeline: no source set");
+  if (!sink_) return Status::Precondition("Pipeline: no sink set");
+
+  const std::size_t num_queues = stages_.size() + 1;
+  std::vector<std::unique_ptr<BoundedQueue<FlowFile>>> queues;
+  queues.reserve(num_queues);
+  for (std::size_t i = 0; i < num_queues; ++i) {
+    queues.push_back(std::make_unique<BoundedQueue<FlowFile>>(queue_capacity_));
+  }
+
+  std::vector<StageStats> stats(stages_.size() + 2);
+  stats.front().name = source_name_;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stats[i + 1].name = stages_[i].name;
+  }
+  stats.back().name = sink_name_;
+  std::mutex stats_mutex;
+
+  std::vector<std::thread> threads;
+
+  // Source thread feeds queue 0.
+  threads.emplace_back([this, &queues, &stats, &stats_mutex] {
+    Stopwatch watch;
+    std::size_t produced = 0;
+    for (;;) {
+      watch.Start();
+      std::optional<FlowFile> item = source_();
+      const double elapsed = watch.ElapsedSeconds();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.front().busy_seconds += elapsed;
+      }
+      if (!item) break;
+      if (!queues.front()->Push(std::move(*item))) break;
+      ++produced;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.front().out = produced;
+      stats.front().in = produced;
+    }
+    queues.front()->Close();
+  });
+
+  // Transform stages: queue i -> queue i+1, with per-stage worker counts.
+  // Each stage closes its output only after all its workers finish.
+  std::vector<std::unique_ptr<std::atomic<int>>> live_workers;
+  live_workers.reserve(stages_.size());
+  for (const auto& stage : stages_) {
+    live_workers.push_back(std::make_unique<std::atomic<int>>(stage.parallelism));
+  }
+
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (int w = 0; w < stages_[s].parallelism; ++w) {
+      threads.emplace_back([this, s, &queues, &stats, &stats_mutex,
+                            &live_workers] {
+        BoundedQueue<FlowFile>& in = *queues[s];
+        BoundedQueue<FlowFile>& out = *queues[s + 1];
+        std::size_t consumed = 0, emitted = 0;
+        double busy = 0;
+        Stopwatch watch;
+        for (;;) {
+          std::optional<FlowFile> item = in.Pop();
+          if (!item) break;
+          ++consumed;
+          watch.Start();
+          std::optional<FlowFile> result = stages_[s].transform(std::move(*item));
+          busy += watch.ElapsedSeconds();
+          if (result) {
+            if (!out.Push(std::move(*result))) break;
+            ++emitted;
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex);
+          stats[s + 1].in += consumed;
+          stats[s + 1].out += emitted;
+          stats[s + 1].busy_seconds += busy;
+          stats[s + 1].peak_queue =
+              std::max(stats[s + 1].peak_queue, in.peak_depth());
+        }
+        if (live_workers[s]->fetch_sub(1) == 1) out.Close();
+      });
+    }
+  }
+
+  // Sink thread drains the last queue.
+  threads.emplace_back([this, &queues, &stats, &stats_mutex] {
+    BoundedQueue<FlowFile>& in = *queues.back();
+    std::size_t consumed = 0;
+    double busy = 0;
+    Stopwatch watch;
+    for (;;) {
+      std::optional<FlowFile> item = in.Pop();
+      if (!item) break;
+      ++consumed;
+      watch.Start();
+      sink_(std::move(*item));
+      busy += watch.ElapsedSeconds();
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.back().in = consumed;
+    stats.back().out = consumed;
+    stats.back().busy_seconds = busy;
+    stats.back().peak_queue = in.peak_depth();
+  });
+
+  for (auto& t : threads) t.join();
+  return stats;
+}
+
+}  // namespace sieve::dataflow

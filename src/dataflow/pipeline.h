@@ -1,0 +1,69 @@
+// The dataflow engine: a NiFi-style processor pipeline.
+//
+// A Pipeline is a linear chain: one source, any number of transform stages,
+// one sink. Each stage owns worker threads pulling from its inbound bounded
+// connection (backpressure propagates upstream automatically) and pushing
+// to the next. Run() executes the whole flow to completion and reports
+// per-stage statistics. The edge and cloud compute engines of Figure 1 are
+// each one Pipeline; the orchestration layer (Echo in the paper) wires
+// their queues together through a RealizedLink stage.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/bounded_queue.h"
+#include "dataflow/flow_file.h"
+
+namespace sieve::dataflow {
+
+/// Per-stage execution statistics.
+struct StageStats {
+  std::string name;
+  std::size_t in = 0;          ///< items consumed
+  std::size_t out = 0;         ///< items emitted (in - filtered)
+  double busy_seconds = 0.0;   ///< summed processing wall time
+  std::size_t peak_queue = 0;  ///< peak inbound queue depth
+};
+
+/// A source yields items until exhausted (std::nullopt).
+using SourceFn = std::function<std::optional<FlowFile>()>;
+/// A transform maps an item to an output or filters it (std::nullopt).
+using TransformFn = std::function<std::optional<FlowFile>(FlowFile)>;
+/// A sink consumes items.
+using SinkFn = std::function<void(FlowFile)>;
+
+class Pipeline {
+ public:
+  /// `queue_capacity` bounds every inter-stage connection.
+  explicit Pipeline(std::size_t queue_capacity = 16)
+      : queue_capacity_(queue_capacity) {}
+
+  void SetSource(std::string name, SourceFn source);
+  void AddStage(std::string name, TransformFn transform, int parallelism = 1);
+  void SetSink(std::string name, SinkFn sink);
+
+  /// Runs the flow to completion (source exhausted, queues drained).
+  /// Returns per-stage stats in order: source, stages..., sink.
+  Expected<std::vector<StageStats>> Run();
+
+ private:
+  struct StageSpec {
+    std::string name;
+    TransformFn transform;
+    int parallelism = 1;
+  };
+
+  std::size_t queue_capacity_;
+  std::string source_name_;
+  SourceFn source_;
+  std::vector<StageSpec> stages_;
+  std::string sink_name_;
+  SinkFn sink_;
+};
+
+}  // namespace sieve::dataflow

@@ -1,0 +1,36 @@
+#include "media/frame.h"
+
+#include <algorithm>
+
+namespace sieve::media {
+
+Plane::Plane(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      data_(std::size_t(std::max(width, 0)) * std::size_t(std::max(height, 0)),
+            fill) {}
+
+std::uint8_t Plane::at_clamped(int x, int y) const noexcept {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return data_[std::size_t(y) * std::size_t(width_) + std::size_t(x)];
+}
+
+void Plane::Fill(std::uint8_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+Frame::Frame(int width, int height)
+    : y_(width, height, 128),
+      u_(width / 2, height / 2, 128),
+      v_(width / 2, height / 2, 128) {}
+
+Expected<Frame> Frame::Create(int width, int height) {
+  if (width <= 0 || height <= 0) {
+    return Status::Invalid("Frame dimensions must be positive");
+  }
+  if (width % 2 != 0 || height % 2 != 0) {
+    return Status::Invalid("Frame dimensions must be even for 4:2:0 chroma");
+  }
+  return Frame(width, height);
+}
+
+}  // namespace sieve::media

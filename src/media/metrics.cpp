@@ -1,0 +1,70 @@
+#include "media/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sieve::media {
+
+double PlaneMse(const Plane& a, const Plane& b) {
+  if (!a.SameSize(b) || a.empty()) return 0.0;
+  std::uint64_t acc = 0;
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = int(pa[i]) - int(pb[i]);
+    acc += std::uint64_t(d * d);
+  }
+  return double(acc) / double(n);
+}
+
+double FrameMse(const Frame& a, const Frame& b) { return PlaneMse(a.y(), b.y()); }
+
+double PsnrFromMse(double mse) {
+  if (mse <= 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double FramePsnr(const Frame& a, const Frame& b) {
+  return PsnrFromMse(FrameMse(a, b));
+}
+
+std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
+                        int by, int w, int h) {
+  std::uint64_t acc = 0;
+  const bool a_in = ax >= 0 && ay >= 0 && ax + w <= a.width() && ay + h <= a.height();
+  const bool b_in = bx >= 0 && by >= 0 && bx + w <= b.width() && by + h <= b.height();
+  if (a_in && b_in) {
+    // Fast path: both regions fully inside; walk rows directly.
+    for (int y = 0; y < h; ++y) {
+      const std::uint8_t* ra = a.row(ay + y) + ax;
+      const std::uint8_t* rb = b.row(by + y) + bx;
+      for (int x = 0; x < w; ++x) acc += std::uint64_t(std::abs(int(ra[x]) - int(rb[x])));
+    }
+    return acc;
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      acc += std::uint64_t(
+          std::abs(int(a.at_clamped(ax + x, ay + y)) - int(b.at_clamped(bx + x, by + y))));
+    }
+  }
+  return acc;
+}
+
+double RegionVariance(const Plane& p, int x0, int y0, int w, int h) {
+  if (w <= 0 || h <= 0) return 0.0;
+  double sum = 0, sum2 = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double v = p.at_clamped(x0 + x, y0 + y);
+      sum += v;
+      sum2 += v * v;
+    }
+  }
+  const double n = double(w) * double(h);
+  const double mean = sum / n;
+  return std::max(0.0, sum2 / n - mean * mean);
+}
+
+}  // namespace sieve::media

@@ -1,0 +1,33 @@
+// Pixel-domain quality and difference metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "media/frame.h"
+
+namespace sieve::media {
+
+/// Mean squared error between two same-size planes.
+double PlaneMse(const Plane& a, const Plane& b);
+
+/// Mean squared error over the luma plane of two frames (the metric the MSE
+/// event-detection baseline in the paper computes per frame pair).
+double FrameMse(const Frame& a, const Frame& b);
+
+/// Peak signal-to-noise ratio in dB from an MSE value (inf-safe: returns
+/// 99.0 for mse == 0).
+double PsnrFromMse(double mse);
+
+/// Luma PSNR between two frames.
+double FramePsnr(const Frame& a, const Frame& b);
+
+/// Sum of absolute differences between two rectangular luma regions.
+/// (ax, ay) and (bx, by) are top-left corners; reads are border-clamped.
+std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
+                        int by, int w, int h);
+
+/// Variance of a rectangular region (border-clamped); the codec's intra-cost
+/// proxy uses this.
+double RegionVariance(const Plane& p, int x0, int y0, int w, int h);
+
+}  // namespace sieve::media

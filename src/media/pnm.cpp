@@ -1,0 +1,63 @@
+#include "media/pnm.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "media/image_ops.h"
+
+namespace sieve::media {
+
+Status WritePgm(const std::string& path, const Plane& plane) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::NotFound("cannot open for write: " + path);
+  std::fprintf(f, "P5\n%d %d\n255\n", plane.width(), plane.height());
+  const std::size_t written = std::fwrite(plane.data(), 1, plane.size(), f);
+  std::fclose(f);
+  if (written != plane.size()) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Expected<Plane> ReadPgm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+  char magic[3] = {0, 0, 0};
+  int w = 0, h = 0, maxval = 0;
+  if (std::fscanf(f, "%2s %d %d %d", magic, &w, &h, &maxval) != 4 ||
+      std::string(magic) != "P5" || w <= 0 || h <= 0 || maxval != 255) {
+    std::fclose(f);
+    return Status::Corrupt("not a supported P5 PGM: " + path);
+  }
+  std::fgetc(f);  // single whitespace after maxval
+  Plane plane(w, h);
+  const std::size_t read = std::fread(plane.data(), 1, plane.size(), f);
+  std::fclose(f);
+  if (read != plane.size()) return Status::Corrupt("truncated PGM: " + path);
+  return plane;
+}
+
+Status WritePpm(const std::string& path, const Frame& frame) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::NotFound("cannot open for write: " + path);
+  const int w = frame.width(), h = frame.height();
+  std::fprintf(f, "P6\n%d %d\n255\n", w, h);
+  std::vector<std::uint8_t> row(std::size_t(w) * 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Yuv yuv{frame.y().at(x, y), frame.u().at_clamped(x / 2, y / 2),
+                    frame.v().at_clamped(x / 2, y / 2)};
+      const Rgb rgb = YuvToRgb(yuv);
+      row[std::size_t(x) * 3 + 0] = rgb.r;
+      row[std::size_t(x) * 3 + 1] = rgb.g;
+      row[std::size_t(x) * 3 + 2] = rgb.b;
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f) != row.size()) {
+      std::fclose(f);
+      return Status::Internal("short write: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace sieve::media

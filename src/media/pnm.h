@@ -1,0 +1,20 @@
+// PGM/PPM image file I/O (binary P5/P6): debugging and example output.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "media/frame.h"
+
+namespace sieve::media {
+
+/// Write a plane as binary PGM (P5).
+Status WritePgm(const std::string& path, const Plane& plane);
+
+/// Read a binary PGM (P5) file.
+Expected<Plane> ReadPgm(const std::string& path);
+
+/// Write a YUV frame as binary PPM (P6) after conversion to RGB.
+Status WritePpm(const std::string& path, const Frame& frame);
+
+}  // namespace sieve::media

@@ -1,0 +1,135 @@
+#include "media/y4m.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace sieve::media {
+
+namespace {
+
+/// Rational fps approximation for the header (e.g. 30 -> 30:1, 29.97 ->
+/// 30000:1001).
+void FpsToRational(double fps, long* num, long* den) {
+  if (std::abs(fps - 29.97) < 0.005) {
+    *num = 30000;
+    *den = 1001;
+    return;
+  }
+  if (std::abs(fps - std::round(fps)) < 1e-6) {
+    *num = long(std::lround(fps));
+    *den = 1;
+    return;
+  }
+  *num = long(std::lround(fps * 1000.0));
+  *den = 1000;
+}
+
+bool WritePlane(std::FILE* f, const Plane& p) {
+  return std::fwrite(p.data(), 1, p.size(), f) == p.size();
+}
+
+bool ReadPlane(std::FILE* f, Plane& p) {
+  return std::fread(p.data(), 1, p.size(), f) == p.size();
+}
+
+}  // namespace
+
+Status WriteY4m(const std::string& path, const RawVideo& video) {
+  if (video.frames.empty()) return Status::Invalid("WriteY4m: empty video");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::NotFound("cannot open for write: " + path);
+  long num = 30, den = 1;
+  FpsToRational(video.fps, &num, &den);
+  std::fprintf(f, "YUV4MPEG2 W%d H%d F%ld:%ld Ip A0:0 C420jpeg\n", video.width,
+               video.height, num, den);
+  for (const auto& frame : video.frames) {
+    if (frame.width() != video.width || frame.height() != video.height) {
+      std::fclose(f);
+      return Status::Invalid("WriteY4m: frame size mismatch");
+    }
+    std::fputs("FRAME\n", f);
+    if (!WritePlane(f, frame.y()) || !WritePlane(f, frame.u()) ||
+        !WritePlane(f, frame.v())) {
+      std::fclose(f);
+      return Status::Internal("WriteY4m: short write");
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Expected<RawVideo> ReadY4m(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+
+  // Stream header: one line of space-separated tagged fields.
+  std::string header;
+  for (int c = std::fgetc(f); c != EOF && c != '\n'; c = std::fgetc(f)) {
+    header.push_back(char(c));
+    if (header.size() > 512) break;
+  }
+  if (header.rfind("YUV4MPEG2", 0) != 0) {
+    std::fclose(f);
+    return Status::Corrupt("not a YUV4MPEG2 file: " + path);
+  }
+
+  int width = 0, height = 0;
+  long fps_num = 30, fps_den = 1;
+  std::string chroma = "420jpeg";
+  std::size_t pos = 0;
+  while (pos < header.size()) {
+    const std::size_t next = header.find(' ', pos);
+    const std::string field =
+        header.substr(pos, next == std::string::npos ? next : next - pos);
+    if (field.size() >= 2) {
+      switch (field[0]) {
+        case 'W': width = std::atoi(field.c_str() + 1); break;
+        case 'H': height = std::atoi(field.c_str() + 1); break;
+        case 'F': std::sscanf(field.c_str() + 1, "%ld:%ld", &fps_num, &fps_den); break;
+        case 'C': chroma = field.substr(1); break;
+        default: break;  // interlace/aspect/extension tags ignored
+      }
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (width <= 0 || height <= 0 || width % 2 || height % 2) {
+    std::fclose(f);
+    return Status::Corrupt("y4m: bad dimensions");
+  }
+  if (chroma.rfind("420", 0) != 0) {
+    std::fclose(f);
+    return Status::Invalid("y4m: only C420 chroma supported, got C" + chroma);
+  }
+
+  RawVideo video;
+  video.width = width;
+  video.height = height;
+  video.fps = fps_den > 0 ? double(fps_num) / double(fps_den) : 30.0;
+
+  for (;;) {
+    // Frame header line: "FRAME" + optional parameters + '\n'.
+    std::string line;
+    int c = std::fgetc(f);
+    if (c == EOF) break;
+    for (; c != EOF && c != '\n'; c = std::fgetc(f)) line.push_back(char(c));
+    if (line.rfind("FRAME", 0) != 0) {
+      std::fclose(f);
+      return Status::Corrupt("y4m: missing FRAME marker");
+    }
+    Frame frame(width, height);
+    if (!ReadPlane(f, frame.y()) || !ReadPlane(f, frame.u()) ||
+        !ReadPlane(f, frame.v())) {
+      std::fclose(f);
+      return Status::Corrupt("y4m: truncated frame data");
+    }
+    video.frames.push_back(std::move(frame));
+  }
+  std::fclose(f);
+  if (video.frames.empty()) return Status::Corrupt("y4m: no frames");
+  return video;
+}
+
+}  // namespace sieve::media

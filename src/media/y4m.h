@@ -1,0 +1,21 @@
+// YUV4MPEG2 (.y4m) file I/O: the interchange format for raw video.
+//
+// Lets the library consume real footage (ffmpeg can convert anything to
+// y4m: `ffmpeg -i in.mp4 -pix_fmt yuv420p out.y4m`) and emit decodable
+// output. Only C420 variants are supported — the codec is 4:2:0.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "media/frame.h"
+
+namespace sieve::media {
+
+/// Write a raw video as YUV4MPEG2 (C420jpeg chroma siting tag).
+Status WriteY4m(const std::string& path, const RawVideo& video);
+
+/// Read a YUV4MPEG2 file (C420/C420jpeg/C420mpeg2/C420paldv, progressive).
+Expected<RawVideo> ReadY4m(const std::string& path);
+
+}  // namespace sieve::media

@@ -1,0 +1,18 @@
+#include "net/link.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sieve::net {
+
+double RealizedLink::Transfer(std::size_t bytes) {
+  const double seconds = model_.TransferSeconds(bytes);
+  meter_.Record(bytes);
+  const double wait = seconds * time_scale_;
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+  }
+  return seconds;
+}
+
+}  // namespace sieve::net

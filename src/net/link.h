@@ -1,0 +1,80 @@
+// Network link models and byte accounting.
+//
+// The evaluation controls the edge->cloud WAN at 30 Mbps; LinkModel captures
+// bandwidth + propagation latency and converts byte counts to transfer
+// times. ByteMeter accumulates what actually crossed each hop (the Figure 5
+// quantities). RealizedLink additionally *enforces* the model in wall-clock
+// time for the live threaded pipeline (sleeping for the serialization
+// delay), so small-scale end-to-end runs experience the constrained WAN.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sieve::net {
+
+/// Bandwidth/latency abstraction of one hop.
+struct LinkModel {
+  double bandwidth_mbps = 30.0;  ///< payload bandwidth
+  double rtt_ms = 20.0;          ///< per-message latency floor
+
+  /// Seconds to move `bytes` across the link (serialization + latency).
+  double TransferSeconds(std::size_t bytes) const noexcept {
+    const double serialize = double(bytes) * 8.0 / (bandwidth_mbps * 1e6);
+    return serialize + rtt_ms / 1e3;
+  }
+
+  /// The paper's WAN: 30 Mbps edge->cloud.
+  static LinkModel Wan() { return LinkModel{30.0, 20.0}; }
+  /// Camera->edge LAN: ample local bandwidth.
+  static LinkModel Lan() { return LinkModel{1000.0, 1.0}; }
+};
+
+/// Thread-safe byte/message counters for one hop.
+class ByteMeter {
+ public:
+  void Record(std::size_t bytes) noexcept {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages() const noexcept {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  double gigabytes() const noexcept { return double(bytes()) / 1e9; }
+  void Reset() noexcept {
+    bytes_.store(0);
+    messages_.store(0);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> messages_{0};
+};
+
+/// A link that really waits: Transfer() blocks the calling thread for the
+/// modelled duration (scaled by `time_scale` so tests can compress time)
+/// and meters the bytes.
+class RealizedLink {
+ public:
+  explicit RealizedLink(LinkModel model, double time_scale = 1.0)
+      : model_(model), time_scale_(time_scale) {}
+
+  /// Blocks for the transfer duration; returns the modelled seconds.
+  double Transfer(std::size_t bytes);
+
+  const LinkModel& model() const noexcept { return model_; }
+  ByteMeter& meter() noexcept { return meter_; }
+  const ByteMeter& meter() const noexcept { return meter_; }
+
+ private:
+  LinkModel model_;
+  double time_scale_;
+  ByteMeter meter_;
+};
+
+}  // namespace sieve::net

@@ -1,0 +1,93 @@
+#include "nn/classifier.h"
+
+#include <limits>
+
+#include "media/image_ops.h"
+
+namespace sieve::nn {
+
+FrameClassifier::FrameClassifier(ClassifierParams params)
+    : params_(params),
+      network_(MakeBackbone(params.input_size, params.embedding_dim,
+                            params.seed)) {}
+
+std::vector<float> FrameClassifier::Embed(const media::Frame& frame) const {
+  const int n = params_.input_size;
+  const media::Frame resized =
+      (frame.width() == n && frame.height() == n) ? frame
+                                                  : media::ResizeFrame(frame, n, n);
+  Tensor input(Shape{3, n, n});
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      input.at(0, y, x) = float(resized.y().at(x, y)) / 255.0f - 0.5f;
+      input.at(1, y, x) =
+          float(resized.u().at_clamped(x / 2, y / 2)) / 255.0f - 0.5f;
+      input.at(2, y, x) =
+          float(resized.v().at_clamped(x / 2, y / 2)) / 255.0f - 0.5f;
+    }
+  }
+  return network_.Forward(input).values();
+}
+
+Status FrameClassifier::Fit(const std::vector<media::Frame>& frames,
+                            const synth::GroundTruth& truth,
+                            std::size_t stride) {
+  if (frames.size() != truth.frame_count()) {
+    return Status::Invalid("Fit: frames and ground truth length mismatch");
+  }
+  if (frames.empty()) return Status::Invalid("Fit: no training frames");
+  stride = std::max<std::size_t>(1, stride);
+
+  std::map<std::uint8_t, std::vector<float>> sums;
+  std::map<std::uint8_t, std::size_t> counts;
+  for (std::size_t i = 0; i < frames.size(); i += stride) {
+    const std::vector<float> embedding = Embed(frames[i]);
+    const std::uint8_t key = truth.label(i).bits();
+    auto [it, inserted] = sums.try_emplace(key, embedding.size(), 0.0f);
+    for (std::size_t d = 0; d < embedding.size(); ++d) {
+      it->second[d] += embedding[d];
+    }
+    ++counts[key];
+  }
+  centroids_.clear();
+  for (auto& [key, sum] : sums) {
+    const auto n = float(counts[key]);
+    for (auto& v : sum) v /= n;
+    centroids_.emplace(key, std::move(sum));
+  }
+  return Status::Ok();
+}
+
+Expected<synth::LabelSet> FrameClassifier::Predict(
+    const media::Frame& frame) const {
+  if (centroids_.empty()) {
+    return Status::Precondition("Predict: classifier not fitted");
+  }
+  const std::vector<float> embedding = Embed(frame);
+  double best = std::numeric_limits<double>::max();
+  std::uint8_t best_key = 0;
+  for (const auto& [key, centroid] : centroids_) {
+    const double d = SquaredDistance(embedding, centroid);
+    if (d < best) {
+      best = d;
+      best_key = key;
+    }
+  }
+  return synth::LabelSet(best_key);
+}
+
+double FrameClassifier::Evaluate(const std::vector<media::Frame>& frames,
+                                 const synth::GroundTruth& truth,
+                                 std::size_t stride) const {
+  stride = std::max<std::size_t>(1, stride);
+  std::size_t total = 0, correct = 0;
+  for (std::size_t i = 0; i < frames.size() && i < truth.frame_count();
+       i += stride) {
+    auto predicted = Predict(frames[i]);
+    if (predicted.ok() && *predicted == truth.label(i)) ++correct;
+    ++total;
+  }
+  return total > 0 ? double(correct) / double(total) : 0.0;
+}
+
+}  // namespace sieve::nn

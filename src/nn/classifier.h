@@ -1,0 +1,63 @@
+// The reference object-detection NN substitute.
+//
+// The paper treats YOLOv3 as a black box that maps a decompressed frame to
+// a set of object labels at a fixed per-frame cost. We reproduce that
+// contract with a seeded CNN backbone producing an embedding plus a
+// nearest-centroid head calibrated on labelled training frames: calibration
+// computes one centroid per label set seen in training; prediction embeds
+// the frame and returns the nearest centroid's label set. On the synthetic
+// datasets (distinct class silhouettes/chroma) this yields near-oracle
+// labels, and the backbone's measured per-frame latency feeds the
+// end-to-end throughput model. The substitution is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "media/frame.h"
+#include "nn/network.h"
+#include "synth/ground_truth.h"
+#include "synth/labels.h"
+
+namespace sieve::nn {
+
+struct ClassifierParams {
+  int input_size = 96;       ///< frames resized to input_size^2 (even)
+  int embedding_dim = 64;
+  std::uint64_t seed = 0x51E5Eull;  // "SiEVE"
+};
+
+/// Embedding-based frame classifier with centroid calibration.
+class FrameClassifier {
+ public:
+  explicit FrameClassifier(ClassifierParams params = {});
+
+  /// Embed one frame (resize + YUV->3-channel float + backbone).
+  std::vector<float> Embed(const media::Frame& frame) const;
+
+  /// Calibrate centroids from labelled frames. `stride` subsamples the
+  /// training video (every stride-th frame) to bound calibration cost.
+  Status Fit(const std::vector<media::Frame>& frames,
+             const synth::GroundTruth& truth, std::size_t stride = 10);
+
+  /// Predict the label set of a frame (empty LabelSet when the scene is
+  /// empty). Requires Fit() first.
+  Expected<synth::LabelSet> Predict(const media::Frame& frame) const;
+
+  bool fitted() const noexcept { return !centroids_.empty(); }
+  std::size_t centroid_count() const noexcept { return centroids_.size(); }
+  const Network& network() const noexcept { return network_; }
+
+  /// Classification accuracy over a labelled video (every stride-th frame).
+  double Evaluate(const std::vector<media::Frame>& frames,
+                  const synth::GroundTruth& truth, std::size_t stride = 10) const;
+
+ private:
+  ClassifierParams params_;
+  Network network_;
+  std::map<std::uint8_t, std::vector<float>> centroids_;  // label bits -> centroid
+};
+
+}  // namespace sieve::nn

@@ -1,0 +1,230 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sieve::nn {
+
+namespace {
+
+/// He-normal initializer for convolution / linear weights.
+void HeInit(std::vector<float>& w, std::size_t fan_in, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / double(std::max<std::size_t>(1, fan_in)));
+  for (auto& v : w) v = float(rng.Gaussian(0.0, stddev));
+}
+
+}  // namespace
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weights_(std::size_t(out_channels) * std::size_t(in_channels) *
+               std::size_t(kernel) * std::size_t(kernel)),
+      bias_(std::size_t(out_channels), 0.0f) {
+  HeInit(weights_, std::size_t(in_channels) * std::size_t(kernel) * std::size_t(kernel),
+         rng);
+}
+
+std::string Conv2D::name() const {
+  std::ostringstream os;
+  os << "conv" << kernel_ << "x" << kernel_ << "_" << in_c_ << "->" << out_c_
+     << "_s" << stride_;
+  return os.str();
+}
+
+Shape Conv2D::OutputShape(const Shape& input) const {
+  assert(input.c == in_c_);
+  const int oh = (input.h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int ow = (input.w + 2 * pad_ - kernel_) / stride_ + 1;
+  return Shape{out_c_, oh, ow};
+}
+
+Tensor Conv2D::Forward(const Tensor& input) const {
+  const Shape out_shape = OutputShape(input.shape());
+  const int oh = out_shape.h, ow = out_shape.w;
+  const int k = kernel_;
+  const std::size_t patch = std::size_t(in_c_) * std::size_t(k) * std::size_t(k);
+
+  // im2col: rows = output pixels, cols = receptive-field patch.
+  std::vector<float> cols(std::size_t(oh) * std::size_t(ow) * patch, 0.0f);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      float* row = cols.data() + (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) * patch;
+      std::size_t idx = 0;
+      for (int c = 0; c < in_c_; ++c) {
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * stride_ + ky - pad_;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = ox * stride_ + kx - pad_;
+            row[idx++] = (iy >= 0 && iy < input.shape().h && ix >= 0 &&
+                          ix < input.shape().w)
+                             ? input.at(c, iy, ix)
+                             : 0.0f;
+          }
+        }
+      }
+    }
+  }
+
+  // GEMM: [out_c x patch] * [patch x (oh*ow)] would need cols transposed;
+  // instead compute [oh*ow x patch] * [patch x out_c] with weights
+  // transposed on the fly once.
+  std::vector<float> wt(patch * std::size_t(out_c_));
+  for (int o = 0; o < out_c_; ++o) {
+    for (std::size_t p = 0; p < patch; ++p) {
+      wt[p * std::size_t(out_c_) + std::size_t(o)] =
+          weights_[std::size_t(o) * patch + p];
+    }
+  }
+  std::vector<float> result(std::size_t(oh) * std::size_t(ow) * std::size_t(out_c_));
+  Gemm(cols.data(), wt.data(), result.data(), oh * ow, int(patch), out_c_);
+
+  Tensor out(out_shape);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      const float* row =
+          result.data() + (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) *
+                              std::size_t(out_c_);
+      for (int o = 0; o < out_c_; ++o) {
+        out.at(o, oy, ox) = row[o] + bias_[std::size_t(o)];
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Conv2D::Macs(const Shape& input) const {
+  const Shape out = OutputShape(input);
+  return std::uint64_t(out.elements()) * std::uint64_t(in_c_) *
+         std::uint64_t(kernel_) * std::uint64_t(kernel_);
+}
+
+BatchNorm::BatchNorm(int channels, Rng& rng)
+    : scale_(std::size_t(channels)), shift_(std::size_t(channels)) {
+  // Seeded "trained" statistics: scales around 1, shifts around 0.
+  for (auto& s : scale_) s = float(rng.Uniform(0.8, 1.2));
+  for (auto& s : shift_) s = float(rng.Gaussian(0.0, 0.05));
+}
+
+Tensor BatchNorm::Forward(const Tensor& input) const {
+  Tensor out = input;
+  const Shape& s = input.shape();
+  for (int c = 0; c < s.c; ++c) {
+    const float scale = scale_[std::size_t(c)];
+    const float shift = shift_[std::size_t(c)];
+    for (int y = 0; y < s.h; ++y) {
+      for (int x = 0; x < s.w; ++x) {
+        out.at(c, y, x) = input.at(c, y, x) * scale + shift;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor LeakyRelu::Forward(const Tensor& input) const {
+  Tensor out = input;
+  for (auto& v : out.values()) {
+    if (v < 0) v *= slope_;
+  }
+  return out;
+}
+
+Shape MaxPool::OutputShape(const Shape& input) const {
+  return Shape{input.c, std::max(1, input.h / size_), std::max(1, input.w / size_)};
+}
+
+Tensor MaxPool::Forward(const Tensor& input) const {
+  const Shape out_shape = OutputShape(input.shape());
+  Tensor out(out_shape);
+  for (int c = 0; c < out_shape.c; ++c) {
+    for (int oy = 0; oy < out_shape.h; ++oy) {
+      for (int ox = 0; ox < out_shape.w; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int ky = 0; ky < size_; ++ky) {
+          for (int kx = 0; kx < size_; ++kx) {
+            const int iy = oy * size_ + ky, ix = ox * size_ + kx;
+            if (iy < input.shape().h && ix < input.shape().w) {
+              best = std::max(best, input.at(c, iy, ix));
+            }
+          }
+        }
+        out.at(c, oy, ox) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::Forward(const Tensor& input) const {
+  const Shape& s = input.shape();
+  Tensor out(Shape{s.c, 1, 1});
+  const double n = double(s.h) * double(s.w);
+  for (int c = 0; c < s.c; ++c) {
+    double acc = 0;
+    for (int y = 0; y < s.h; ++y) {
+      for (int x = 0; x < s.w; ++x) acc += input.at(c, y, x);
+    }
+    out.at(c, 0, 0) = float(acc / n);
+  }
+  return out;
+}
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_f_(in_features),
+      out_f_(out_features),
+      weights_(std::size_t(in_features) * std::size_t(out_features)),
+      bias_(std::size_t(out_features), 0.0f) {
+  HeInit(weights_, std::size_t(in_features), rng);
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "linear_" << in_f_ << "->" << out_f_;
+  return os.str();
+}
+
+Shape Linear::OutputShape(const Shape& input) const {
+  assert(int(input.elements()) == in_f_);
+  (void)input;
+  return Shape{out_f_, 1, 1};
+}
+
+Tensor Linear::Forward(const Tensor& input) const {
+  assert(int(input.size()) == in_f_);
+  Tensor out(Shape{out_f_, 1, 1});
+  for (int o = 0; o < out_f_; ++o) {
+    double acc = bias_[std::size_t(o)];
+    const float* wrow = weights_.data() + std::size_t(o) * std::size_t(in_f_);
+    const float* in = input.data();
+    for (int i = 0; i < in_f_; ++i) acc += double(wrow[i]) * double(in[i]);
+    out.at(o, 0, 0) = float(acc);
+  }
+  return out;
+}
+
+std::uint64_t Linear::Macs(const Shape&) const {
+  return std::uint64_t(in_f_) * std::uint64_t(out_f_);
+}
+
+Tensor Softmax::Forward(const Tensor& input) const {
+  Tensor out = input;
+  float peak = -std::numeric_limits<float>::infinity();
+  for (float v : input.values()) peak = std::max(peak, v);
+  double sum = 0;
+  for (auto& v : out.values()) {
+    v = std::exp(v - peak);
+    sum += v;
+  }
+  if (sum > 0) {
+    for (auto& v : out.values()) v = float(double(v) / sum);
+  }
+  return out;
+}
+
+}  // namespace sieve::nn

@@ -1,0 +1,57 @@
+#include "nn/partition.h"
+
+#include <algorithm>
+
+namespace sieve::nn {
+
+namespace {
+
+double TransferMs(std::size_t bytes, double bandwidth_mbps, double rtt_ms) {
+  if (bytes == 0) return 0.0;
+  const double bits = double(bytes) * 8.0;
+  return rtt_ms + bits / (bandwidth_mbps * 1e6) * 1e3;
+}
+
+}  // namespace
+
+std::vector<PartitionPoint> EvaluateSplits(const PartitionInput& input) {
+  const std::size_t n = input.profile.size();
+  std::vector<PartitionPoint> points;
+  points.reserve(n + 1);
+
+  // Prefix sums of edge latency; cloud latency is scaled.
+  std::vector<double> edge_prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    edge_prefix[i + 1] = edge_prefix[i] + input.profile[i].measured_ms;
+  }
+  const double total_edge = edge_prefix[n];
+
+  for (std::size_t k = 0; k <= n; ++k) {
+    PartitionPoint p;
+    p.split = k;
+    p.edge_ms = edge_prefix[k];
+    p.cloud_ms = (total_edge - edge_prefix[k]) /
+                 std::max(1e-9, input.cloud_speedup);
+    p.transfer_bytes =
+        k == 0 ? input.input_bytes
+               : (k == n ? 0 : input.profile[k - 1].output_bytes);
+    // Splitting exactly at the end ships only the final (tiny) result; model
+    // that as the last layer's output.
+    if (k == n && n > 0) p.transfer_bytes = input.profile[n - 1].output_bytes;
+    p.transfer_ms =
+        TransferMs(p.transfer_bytes, input.bandwidth_mbps, input.rtt_ms);
+    p.total_ms = p.edge_ms + p.transfer_ms + p.cloud_ms;
+    points.push_back(p);
+  }
+  return points;
+}
+
+PartitionPoint ChooseSplit(const PartitionInput& input) {
+  const std::vector<PartitionPoint> points = EvaluateSplits(input);
+  return *std::min_element(points.begin(), points.end(),
+                           [](const PartitionPoint& a, const PartitionPoint& b) {
+                             return a.total_ms < b.total_ms;
+                           });
+}
+
+}  // namespace sieve::nn

@@ -1,0 +1,42 @@
+// Neurosurgeon-style NN partitioning (Kang et al., ASPLOS'17 — the paper's
+// reference [8] for its NN Deployment service).
+//
+// Given per-layer compute latencies on edge and cloud plus the activation
+// size at each cut point and a link model, choose the split k that minimizes
+//     sum(edge latency of layers [0,k)) + transfer(activation_k)
+//   + sum(cloud latency of layers [k, N)).
+// k == 0 is "all cloud" (ships the input), k == N is "all edge".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace sieve::nn {
+
+struct PartitionPoint {
+  std::size_t split = 0;        ///< layers [0, split) on edge, rest on cloud
+  double edge_ms = 0.0;
+  double transfer_ms = 0.0;
+  double cloud_ms = 0.0;
+  double total_ms = 0.0;
+  std::size_t transfer_bytes = 0;
+};
+
+struct PartitionInput {
+  /// Per-layer edge latencies (ms); cloud latencies are edge / speedup.
+  std::vector<LayerProfile> profile;
+  double cloud_speedup = 3.0;       ///< cloud compute speed relative to edge
+  double bandwidth_mbps = 30.0;     ///< edge->cloud link
+  double rtt_ms = 20.0;             ///< per-transfer latency floor
+  std::size_t input_bytes = 0;      ///< bytes shipped when split == 0
+};
+
+/// Latency of every candidate split (size profile.size() + 1).
+std::vector<PartitionPoint> EvaluateSplits(const PartitionInput& input);
+
+/// The latency-optimal split.
+PartitionPoint ChooseSplit(const PartitionInput& input);
+
+}  // namespace sieve::nn

@@ -1,0 +1,40 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace sieve::nn {
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << c << "x" << h << "x" << w;
+  return os.str();
+}
+
+void Gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  // ikj loop order: streams through b and c rows; good cache behaviour for
+  // the im2col layout without explicit blocking.
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + std::size_t(i) * std::size_t(n);
+    for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    const float* arow = a + std::size_t(i) * std::size_t(k);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + std::size_t(p) * std::size_t(n);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+double SquaredDistance(const std::vector<float>& a, const std::vector<float>& b) {
+  assert(a.size() == b.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace sieve::nn

@@ -1,0 +1,96 @@
+// Queueing-network model on top of the DES core.
+//
+// Stations are FCFS multi-server queues with per-job service times; jobs
+// carry a route (an ordered list of stations). This models the 3-tier
+// pipeline exactly: e.g. for the "I-frame edge + cloud NN" placement a job
+// (one frame) routes through [edge seek] -> [edge decode+resize] ->
+// [WAN link] -> [cloud NN], where the link is a 1-server station whose
+// service time is the serialization delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sieve::sim {
+
+struct Job {
+  std::uint64_t id = 0;
+  std::size_t bytes = 0;      ///< current payload size (stations may change it)
+  std::uint32_t kind = 0;     ///< caller-defined tag (frame type, video id...)
+  double injected_at = 0.0;
+  double completed_at = 0.0;
+};
+
+/// Per-station service model: returns service seconds for a job and may
+/// mutate it (e.g. decode shrinks bytes to a resized still).
+using ServiceFn = std::function<double(Job&)>;
+
+struct StationStats {
+  std::string name;
+  std::uint64_t served = 0;
+  double busy_seconds = 0.0;      ///< total service time delivered
+  double total_wait_seconds = 0.0;///< queueing delay (excludes service)
+  std::size_t peak_queue = 0;
+
+  double utilization(double makespan, int servers) const noexcept {
+    return makespan > 0 ? busy_seconds / (makespan * servers) : 0.0;
+  }
+};
+
+class QueueNetwork {
+ public:
+  explicit QueueNetwork(Simulator* sim) : sim_(sim) {}
+
+  /// Returns the station id.
+  int AddStation(std::string name, int servers, ServiceFn service);
+
+  /// Inject a job at `arrival` that visits `route` stations in order.
+  void Inject(Job job, std::vector<int> route, double arrival);
+
+  /// Run the simulation to completion.
+  void Run();
+
+  const StationStats& stats(int station) const { return stations_.at(std::size_t(station)).stats; }
+  int servers(int station) const { return stations_.at(std::size_t(station)).servers; }
+  std::size_t station_count() const noexcept { return stations_.size(); }
+
+  std::uint64_t jobs_completed() const noexcept { return completed_; }
+  /// Completion time of the last job (the makespan driving throughput).
+  double makespan() const noexcept { return makespan_; }
+  /// Mean end-to-end latency (injection -> final completion) over all jobs.
+  double mean_latency() const noexcept {
+    return completed_ ? latency_sum_ / double(completed_) : 0.0;
+  }
+
+ private:
+  struct Pending {
+    Job job;
+    std::vector<int> route;
+    std::size_t hop = 0;
+    double enqueued_at = 0.0;
+  };
+  struct Station {
+    std::string name;
+    int servers = 1;
+    int busy = 0;
+    ServiceFn service;
+    std::vector<Pending> queue;  // FIFO
+    StationStats stats;
+  };
+
+  void ArriveAt(Pending pending);
+  void TryStart(int station_id);
+  void FinishJob(Pending pending);
+
+  Simulator* sim_;
+  std::vector<Station> stations_;
+  std::uint64_t completed_ = 0;
+  double makespan_ = 0.0;
+  double latency_sum_ = 0.0;
+};
+
+}  // namespace sieve::sim

@@ -1,0 +1,28 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace sieve::sim {
+
+void Simulator::ScheduleAt(double at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  queue_.push(Event{at < now_ ? now_ : at, seq_++, std::move(fn)});
+}
+
+void Simulator::Run(double until) {
+  while (!queue_.empty()) {
+    if (until >= 0.0 && queue_.top().at > until) {
+      now_ = until;  // future events stay queued for a later Run()
+      return;
+    }
+    // priority_queue::top returns const&; the event must be moved out before
+    // pop. Move via const_cast is safe here: top is popped immediately.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++processed_;
+    event.fn();
+  }
+}
+
+}  // namespace sieve::sim

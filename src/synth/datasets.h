@@ -1,0 +1,57 @@
+// The five Table-I dataset presets as synthetic-scene configurations.
+//
+// Each preset mirrors the corresponding real feed's controlling properties:
+// resolution, fps, object classes, apparent object size (close-up vs long
+// shot), event frequency, and whether ground-truth labels exist. Durations
+// are scaled down from the paper's hours to keep experiments tractable; the
+// scaling factor is explicit so byte/throughput accounting can extrapolate
+// back to paper-scale frame counts (2.16M frames over 20 hours).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "synth/scene.h"
+
+namespace sieve::synth {
+
+/// Identifier for the five evaluation feeds (Table I order).
+enum class DatasetId {
+  kJacksonSquare = 0,
+  kCoralReef = 1,
+  kVenice = 2,
+  kTaipei = 3,
+  kAmsterdam = 4,
+};
+
+inline constexpr int kNumDatasets = 5;
+
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;
+  std::string description;
+  int width = 0;
+  int height = 0;
+  double fps = 30.0;
+  double paper_duration_hours = 0.0;  ///< duration used in the paper
+  bool has_labels = false;            ///< ground-truth object labels exist
+  std::vector<ObjectClass> classes;
+};
+
+/// Static spec for a dataset (Table I row).
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+/// All five specs in Table I order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Scene configuration reproducing the dataset's character for a video of
+/// `num_frames` frames. Deterministic in (id, seed).
+SceneConfig MakeDatasetConfig(DatasetId id, std::size_t num_frames,
+                              std::uint64_t seed);
+
+/// The paper's frame count for this dataset at its evaluation duration
+/// (duration_hours * 3600 * fps).
+std::size_t PaperFrameCount(DatasetId id);
+
+}  // namespace sieve::synth

@@ -1,0 +1,69 @@
+#include "synth/ground_truth.h"
+
+#include <cassert>
+
+namespace sieve::synth {
+
+std::vector<Event> GroundTruth::Events() const {
+  std::vector<Event> events;
+  if (per_frame_.empty()) return events;
+  Event cur{0, 1, per_frame_[0]};
+  for (std::size_t i = 1; i < per_frame_.size(); ++i) {
+    if (per_frame_[i] == cur.labels) {
+      cur.end = i + 1;
+    } else {
+      events.push_back(cur);
+      cur = Event{i, i + 1, per_frame_[i]};
+    }
+  }
+  events.push_back(cur);
+  return events;
+}
+
+std::size_t GroundTruth::TransitionCount() const {
+  if (per_frame_.empty()) return 0;
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < per_frame_.size(); ++i) {
+    if (!(per_frame_[i] == per_frame_[i - 1])) ++n;
+  }
+  return n;
+}
+
+double GroundTruth::OccupancyRate() const {
+  if (per_frame_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& l : per_frame_) n += l.empty() ? 0 : 1;
+  return double(n) / double(per_frame_.size());
+}
+
+double PropagatedLabelAccuracy(const GroundTruth& truth,
+                               const std::vector<std::size_t>& selected_frames) {
+  const std::size_t n = truth.frame_count();
+  if (n == 0) return 1.0;
+  std::size_t correct = 0;
+  std::size_t next_sel = 0;  // index into selected_frames (assumed sorted)
+  LabelSet current;          // empty until the first selection
+  bool has_label = false;
+  for (std::size_t f = 0; f < n; ++f) {
+    while (next_sel < selected_frames.size() && selected_frames[next_sel] == f) {
+      current = truth.label(f);  // reference NN labels the selected frame
+      has_label = true;
+      ++next_sel;
+    }
+    const LabelSet predicted = has_label ? current : LabelSet();
+    if (predicted == truth.label(f)) ++correct;
+  }
+  return double(correct) / double(n);
+}
+
+double EventDetectionAccuracy(const GroundTruth& truth,
+                              const std::vector<bool>& is_selected) {
+  assert(is_selected.size() == truth.frame_count());
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < is_selected.size(); ++i) {
+    if (is_selected[i]) selected.push_back(i);
+  }
+  return PropagatedLabelAccuracy(truth, selected);
+}
+
+}  // namespace sieve::synth

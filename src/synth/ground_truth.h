@@ -1,0 +1,62 @@
+// Per-frame ground-truth labels and event segmentation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "synth/labels.h"
+
+namespace sieve::synth {
+
+/// A maximal run of frames sharing one label set (Section IV's "event").
+struct Event {
+  std::size_t start = 0;  ///< first frame index of the event
+  std::size_t end = 0;    ///< one past the last frame index
+  LabelSet labels;
+
+  std::size_t length() const noexcept { return end - start; }
+};
+
+/// Ground truth for a video: one LabelSet per frame plus derived events.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(std::vector<LabelSet> per_frame)
+      : per_frame_(std::move(per_frame)) {}
+
+  std::size_t frame_count() const noexcept { return per_frame_.size(); }
+  LabelSet label(std::size_t frame) const { return per_frame_.at(frame); }
+  const std::vector<LabelSet>& labels() const noexcept { return per_frame_; }
+
+  /// Maximal runs of identical label sets, in order, covering all frames.
+  std::vector<Event> Events() const;
+
+  /// Number of label-change boundaries (== Events().size() - 1 for
+  /// non-empty videos).
+  std::size_t TransitionCount() const;
+
+  /// Fraction of frames whose label set is non-empty.
+  double OccupancyRate() const;
+
+ private:
+  std::vector<LabelSet> per_frame_;
+};
+
+/// Per-frame label accuracy of a *frame-selection* strategy: selected frames
+/// are assumed to be labelled correctly by the reference NN; every other
+/// frame inherits the label of the most recent selected frame before it
+/// (frames before the first selection inherit nothing and are correct only
+/// if their true label is empty). This is exactly the paper's
+/// "accuracy of per-frame object detection" metric.
+double PropagatedLabelAccuracy(const GroundTruth& truth,
+                               const std::vector<std::size_t>& selected_frames);
+
+/// The paper's event-detection accuracy acc_i (Section IV, step 2): for each
+/// event, credit the frames from the first selected frame inside the event to
+/// the event's end; an event with no selected frame contributes only what the
+/// previous label propagation would get. Equivalent to PropagatedLabelAccuracy
+/// when selections are I-frame positions; kept as the tuner's metric.
+double EventDetectionAccuracy(const GroundTruth& truth,
+                              const std::vector<bool>& is_selected);
+
+}  // namespace sieve::synth

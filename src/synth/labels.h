@@ -1,0 +1,88 @@
+// Object classes and per-frame label sets.
+//
+// The paper's datasets carry per-frame object labels (car, bus, truck,
+// person, boat). A frame's label is the *set* of classes visible in it;
+// an "event" is a maximal run of frames with an identical label set
+// (Section IV's 30-second example: {} -> {car} -> {}).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sieve::synth {
+
+enum class ObjectClass : std::uint8_t {
+  kCar = 0,
+  kBus = 1,
+  kTruck = 2,
+  kPerson = 3,
+  kBoat = 4,
+};
+
+inline constexpr int kNumObjectClasses = 5;
+
+constexpr const char* ObjectClassName(ObjectClass c) noexcept {
+  switch (c) {
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kBus: return "bus";
+    case ObjectClass::kTruck: return "truck";
+    case ObjectClass::kPerson: return "person";
+    case ObjectClass::kBoat: return "boat";
+  }
+  return "unknown";
+}
+
+/// A set of object classes packed as a bitmask. Value 0 == "no label"
+/// (empty scene), exactly the paper's "No label" events.
+class LabelSet {
+ public:
+  constexpr LabelSet() = default;
+  constexpr explicit LabelSet(std::uint8_t bits) : bits_(bits) {}
+
+  static constexpr LabelSet Of(ObjectClass c) {
+    return LabelSet(std::uint8_t(1u << std::uint8_t(c)));
+  }
+
+  constexpr bool Contains(ObjectClass c) const noexcept {
+    return (bits_ & (1u << std::uint8_t(c))) != 0;
+  }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  constexpr std::uint8_t bits() const noexcept { return bits_; }
+
+  constexpr void Add(ObjectClass c) noexcept { bits_ |= std::uint8_t(1u << std::uint8_t(c)); }
+  constexpr void Remove(ObjectClass c) noexcept {
+    bits_ &= std::uint8_t(~(1u << std::uint8_t(c)));
+  }
+
+  constexpr LabelSet Union(LabelSet other) const noexcept {
+    return LabelSet(bits_ | other.bits_);
+  }
+
+  constexpr bool operator==(const LabelSet&) const noexcept = default;
+
+  int Count() const noexcept {
+    int n = 0;
+    for (int i = 0; i < kNumObjectClasses; ++i) n += (bits_ >> i) & 1;
+    return n;
+  }
+
+  std::string ToString() const {
+    if (empty()) return "{}";
+    std::string out = "{";
+    bool first = true;
+    for (int i = 0; i < kNumObjectClasses; ++i) {
+      if ((bits_ >> i) & 1) {
+        if (!first) out += ",";
+        out += ObjectClassName(ObjectClass(i));
+        first = false;
+      }
+    }
+    return out + "}";
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace sieve::synth

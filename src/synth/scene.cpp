@@ -1,0 +1,278 @@
+#include "synth/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/image_ops.h"
+
+namespace sieve::synth {
+
+namespace {
+
+constexpr double kPresenceFraction = 0.35;
+
+std::size_t SecondsToFrames(double seconds, double fps) {
+  return std::size_t(std::max(0.0, seconds) * fps + 0.5);
+}
+
+/// Static background: vertical sky-to-ground gradient, a darker road band,
+/// and smoothed hash texture whose strength scales with background_detail.
+media::Frame MakeBackground(const SceneConfig& config, Rng& rng) {
+  media::Frame bg(config.width, config.height);
+  media::Plane texture(config.width, config.height);
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      texture.at(x, y) = std::uint8_t(rng.UniformInt(0, 255));
+    }
+  }
+  texture = media::BoxBlur(texture, 2);
+
+  const int road_top = int(config.height * 0.55);
+  const int road_bottom = int(config.height * 0.92);
+  for (int y = 0; y < config.height; ++y) {
+    const double t = double(y) / double(config.height);
+    int base = int(170.0 - 90.0 * t);  // brighter sky, darker ground
+    if (y >= road_top && y < road_bottom) base = 70;  // asphalt band
+    for (int x = 0; x < config.width; ++x) {
+      const int tex = (int(texture.at(x, y)) - 128);
+      const int v = base + int(config.background_detail * double(tex) * 0.35);
+      bg.y().at(x, y) = std::uint8_t(std::clamp(v, 0, 255));
+    }
+  }
+  // Gentle chroma gradient: sky slightly blue, ground slightly warm.
+  for (int y = 0; y < bg.u().height(); ++y) {
+    const double t = double(y) / double(bg.u().height());
+    const int du = int(12.0 * (1.0 - t) - 4.0 * t);
+    const int dv = int(-6.0 * (1.0 - t) + 6.0 * t);
+    for (int x = 0; x < bg.u().width(); ++x) {
+      bg.u().at(x, y) = std::uint8_t(std::clamp(128 + du, 0, 255));
+      bg.v().at(x, y) = std::uint8_t(std::clamp(128 + dv, 0, 255));
+    }
+  }
+  return bg;
+}
+
+ObjectInstance MakeInstance(const SceneConfig& config, Rng& rng, ObjectClass cls,
+                            std::size_t t0, std::size_t t1) {
+  ObjectInstance obj;
+  obj.cls = cls;
+  obj.t0 = t0;
+  obj.t1 = t1;
+  obj.ramp_frames =
+      std::max<std::size_t>(2, SecondsToFrames(config.ramp_seconds, config.fps));
+
+  const double scale =
+      config.object_scale *
+      (1.0 + config.scale_jitter * rng.Uniform(-1.0, 1.0));
+  obj.h_px = std::max(8, int(config.height * scale));
+  obj.w_px = std::max(8, int(obj.h_px * ClassAspect(cls)));
+
+  // Objects sit on the road band; people/boats may ride slightly higher.
+  const int road_bottom = int(config.height * 0.90);
+  const int wobble = rng.UniformInt(-config.height / 20, config.height / 20);
+  obj.y_top = std::clamp(road_bottom - obj.h_px + wobble, 0,
+                         std::max(0, config.height - obj.h_px));
+
+  const bool from_left = rng.Chance(0.5);
+  obj.style.flip = !from_left;
+  obj.x_outside = from_left ? double(-obj.w_px) : double(config.width);
+  const double margin = config.width * 0.12;
+  obj.x_target = rng.Uniform(margin, std::max(margin + 1.0, config.width - margin - obj.w_px));
+  obj.drift_px = rng.Uniform(-0.4, 0.4);
+  // Clamp dwell drift so the object stays inside the frame until its exit
+  // ramp: label transitions must coincide with real enter/leave motion, not
+  // with an imperceptible slow slide past the visibility threshold.
+  const double dwell_frames =
+      std::max(1.0, double(t1 - t0) - 2.0 * double(obj.ramp_frames));
+  const double room = obj.drift_px >= 0
+                          ? std::max(0.0, double(config.width) -
+                                              (obj.x_target + obj.w_px))
+                          : std::max(0.0, obj.x_target);
+  const double max_disp = std::min(0.10 * config.width, room);
+  if (std::abs(obj.drift_px) * dwell_frames > max_disp) {
+    obj.drift_px = (obj.drift_px < 0 ? -1.0 : 1.0) * max_disp / dwell_frames;
+  }
+  obj.style.base_luma = std::uint8_t(rng.UniformInt(120, 200));
+  obj.style.accent_luma = std::uint8_t(rng.UniformInt(60, 110));
+  obj.style.texture_seed = std::uint8_t(rng.UniformInt(0, 255));
+  return obj;
+}
+
+}  // namespace
+
+std::vector<ObjectInstance> BuildSchedule(const SceneConfig& config) {
+  Rng rng(config.seed);
+  std::vector<ObjectInstance> schedule;
+  if (config.classes.empty() || config.num_frames == 0) return schedule;
+
+  auto draw_class = [&rng, &config] {
+    return config.classes[std::size_t(
+        rng.UniformInt(0, int(config.classes.size()) - 1))];
+  };
+  auto draw_gap = [&rng, &config] {
+    return std::max(config.min_gap_seconds,
+                    rng.Exponential(config.mean_gap_seconds));
+  };
+  auto draw_dwell = [&rng, &config] {
+    return std::max(config.min_dwell_seconds,
+                    rng.Exponential(config.mean_dwell_seconds));
+  };
+
+  if (!config.allow_concurrent) {
+    // Alternating empty-gap / object-dwell timeline: the Section IV example.
+    double cursor_s = draw_gap();
+    while (true) {
+      const std::size_t t0 = SecondsToFrames(cursor_s, config.fps);
+      if (t0 >= config.num_frames) break;
+      const double dwell_s = draw_dwell();
+      const double ramp_s = 2.0 * config.ramp_seconds;
+      const std::size_t t1 = std::min(
+          config.num_frames,
+          t0 + SecondsToFrames(dwell_s + ramp_s, config.fps));
+      if (t1 <= t0 + 2) break;
+      schedule.push_back(MakeInstance(config, rng, draw_class(), t0, t1));
+      cursor_s += dwell_s + ramp_s + draw_gap();
+    }
+    return schedule;
+  }
+
+  // Concurrent mode: one Poisson arrival stream; lifetimes may overlap.
+  double cursor_s = draw_gap();
+  while (true) {
+    const std::size_t t0 = SecondsToFrames(cursor_s, config.fps);
+    if (t0 >= config.num_frames) break;
+    const double dwell_s = draw_dwell();
+    const std::size_t t1 = std::min(
+        config.num_frames,
+        t0 + SecondsToFrames(dwell_s + 2.0 * config.ramp_seconds, config.fps));
+    if (t1 > t0 + 2) {
+      schedule.push_back(MakeInstance(config, rng, draw_class(), t0, t1));
+    }
+    cursor_s += rng.Exponential(config.mean_gap_seconds);
+  }
+  return schedule;
+}
+
+Box BoxAt(const ObjectInstance& obj, std::size_t frame) {
+  Box box{0, obj.y_top, obj.w_px, obj.h_px};
+  const std::size_t life = obj.t1 - obj.t0;
+  const std::size_t t = frame - obj.t0;
+  const std::size_t ramp = std::min(obj.ramp_frames, life / 2);
+  double x;
+  if (t < ramp && ramp > 0) {
+    const double a = double(t) / double(ramp);
+    x = obj.x_outside + (obj.x_target - obj.x_outside) * a;
+  } else if (life - t <= ramp && ramp > 0) {
+    const double a = double(life - t) / double(ramp);
+    const double x_dwell_end =
+        obj.x_target + obj.drift_px * double(life - 2 * ramp);
+    x = obj.x_outside + (x_dwell_end - obj.x_outside) * a;
+  } else {
+    x = obj.x_target + obj.drift_px * double(t - ramp);
+  }
+  box.x = int(std::lround(x));
+  return box;
+}
+
+GroundTruth DeriveGroundTruth(const SceneConfig& config,
+                              const std::vector<ObjectInstance>& schedule) {
+  std::vector<LabelSet> labels(config.num_frames);
+  for (const auto& obj : schedule) {
+    for (std::size_t f = obj.t0; f < obj.t1 && f < config.num_frames; ++f) {
+      const Box box = BoxAt(obj, f);
+      if (box.Area() > 0 &&
+          double(box.VisibleArea(config.width, config.height)) >=
+              kPresenceFraction * double(box.Area())) {
+        labels[f].Add(obj.cls);
+      }
+    }
+  }
+  return GroundTruth(std::move(labels));
+}
+
+SyntheticVideo GenerateScene(const SceneConfig& config) {
+  SyntheticVideo out;
+  out.schedule = BuildSchedule(config);
+  out.truth = DeriveGroundTruth(config, out.schedule);
+  out.video.width = config.width;
+  out.video.height = config.height;
+  out.video.fps = config.fps;
+  out.video.frames.reserve(config.num_frames);
+
+  Rng rng(Rng(config.seed).Fork(0xBEEF).seed());
+  media::Frame background = MakeBackground(config, rng);
+
+  // Sensor-noise pool: a few pre-drawn Gaussian planes reused with rolling
+  // offsets; gives uncorrelated-looking per-frame noise at copy cost.
+  constexpr int kNoisePool = 4;
+  std::vector<std::vector<std::int8_t>> noise(kNoisePool);
+  const std::size_t plane_px =
+      std::size_t(config.width) * std::size_t(config.height);
+  if (config.noise_sigma > 0) {
+    for (auto& n : noise) {
+      n.resize(plane_px);
+      for (auto& v : n) {
+        v = std::int8_t(std::clamp(rng.Gaussian(0.0, config.noise_sigma),
+                                   -127.0, 127.0));
+      }
+    }
+  }
+
+  Rng frame_rng(Rng(config.seed).Fork(0xCAFE).seed());
+  for (std::size_t f = 0; f < config.num_frames; ++f) {
+    media::Frame frame(config.width, config.height);
+    // Background with optional integer camera jitter.
+    const int jx = config.jitter_px > 0
+                       ? frame_rng.UniformInt(-config.jitter_px, config.jitter_px)
+                       : 0;
+    const int jy = config.jitter_px > 0
+                       ? frame_rng.UniformInt(-config.jitter_px, config.jitter_px)
+                       : 0;
+    if (jx == 0 && jy == 0) {
+      frame = background;
+    } else {
+      for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+          frame.y().at(x, y) = background.y().at_clamped(x + jx, y + jy);
+        }
+      }
+      for (int y = 0; y < frame.u().height(); ++y) {
+        for (int x = 0; x < frame.u().width(); ++x) {
+          frame.u().at(x, y) = background.u().at_clamped(x + jx / 2, y + jy / 2);
+          frame.v().at(x, y) = background.v().at_clamped(x + jx / 2, y + jy / 2);
+        }
+      }
+    }
+
+    for (const auto& obj : out.schedule) {
+      if (f >= obj.t0 && f < obj.t1) {
+        DrawObject(frame, obj.cls, BoxAt(obj, f), obj.style);
+      }
+    }
+
+    if (config.noise_sigma > 0) {
+      const auto& pool = noise[std::size_t(f) % kNoisePool];
+      const std::size_t offset =
+          (std::size_t(f) * 2654435761ULL) % plane_px;
+      std::uint8_t* py = frame.y().data();
+      for (std::size_t i = 0; i < plane_px; ++i) {
+        const int v = int(py[i]) + pool[(i + offset) % plane_px];
+        py[i] = std::uint8_t(std::clamp(v, 0, 255));
+      }
+    }
+    out.video.frames.push_back(std::move(frame));
+  }
+  return out;
+}
+
+SyntheticVideo GenerateLabelTrack(const SceneConfig& config) {
+  SyntheticVideo out;
+  out.schedule = BuildSchedule(config);
+  out.truth = DeriveGroundTruth(config, out.schedule);
+  out.video.width = config.width;
+  out.video.height = config.height;
+  out.video.fps = config.fps;
+  return out;
+}
+
+}  // namespace sieve::synth

@@ -1,0 +1,184 @@
+#include "synth/sprites.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sieve::synth {
+
+namespace {
+
+/// Cheap deterministic 2D hash noise in [0, 255].
+std::uint8_t HashNoise(int x, int y, std::uint8_t seed) noexcept {
+  std::uint32_t h = std::uint32_t(x) * 374761393u + std::uint32_t(y) * 668265263u +
+                    std::uint32_t(seed) * 2246822519u;
+  h = (h ^ (h >> 13)) * 1274126177u;
+  return std::uint8_t((h ^ (h >> 16)) & 0xFF);
+}
+
+struct ClipRange {
+  int lo = 0, hi = 0;  // [lo, hi)
+  bool empty() const noexcept { return lo >= hi; }
+};
+
+ClipRange Clip(int a, int len, int bound) noexcept {
+  return ClipRange{std::max(a, 0), std::min(a + len, bound)};
+}
+
+/// Chroma signature per class: (du, dv) offsets from neutral 128. These are
+/// the strongest class cue, mimicking the color separation of real objects
+/// (blue-ish cars, yellow buses, skin/clothing tones, dark hulls).
+void ClassChroma(ObjectClass cls, int* du, int* dv) noexcept {
+  switch (cls) {
+    case ObjectClass::kCar: *du = 28; *dv = -12; return;     // blue-ish
+    case ObjectClass::kBus: *du = -24; *dv = 30; return;     // warm yellow/red
+    case ObjectClass::kTruck: *du = -8; *dv = -26; return;   // green-ish
+    case ObjectClass::kPerson: *du = -14; *dv = 18; return;  // skin tone
+    case ObjectClass::kBoat: *du = 34; *dv = 10; return;     // deep blue hull
+  }
+  *du = 0; *dv = 0;
+}
+
+/// Class-specific silhouette mask at normalized sprite coordinates
+/// (u, v) in [0,1) x [0,1): returns 0 outside the object, 1 body, 2 accent
+/// (windows / head / cab), 3 dark detail (wheels / waterline).
+int SilhouetteAt(ObjectClass cls, double u, double v) noexcept {
+  switch (cls) {
+    case ObjectClass::kCar: {
+      // Cabin on top third (accent windows), body below, wheels at bottom.
+      if (v > 0.85) {
+        const double wx1 = 0.22, wx2 = 0.78, r = 0.10;
+        if (std::abs(u - wx1) < r || std::abs(u - wx2) < r) return 3;
+        return 0;
+      }
+      if (v < 0.12) return 0;  // rounded roof gap
+      if (v < 0.45) {
+        if (u > 0.25 && u < 0.75) return 2;  // windows
+        if (u > 0.15 && u < 0.85) return 1;
+        return 0;
+      }
+      return 1;  // body
+    }
+    case ObjectClass::kBus: {
+      if (v > 0.88) {
+        const double r = 0.07;
+        if (std::abs(u - 0.15) < r || std::abs(u - 0.5) < r || std::abs(u - 0.85) < r)
+          return 3;
+        return 0;
+      }
+      if (v < 0.05) return 0;
+      // Row of windows along the top half.
+      if (v > 0.15 && v < 0.45) {
+        const double cell = std::fmod(u * 6.0, 1.0);
+        if (cell > 0.15 && cell < 0.85) return 2;
+      }
+      return 1;
+    }
+    case ObjectClass::kTruck: {
+      if (v > 0.86) {
+        const double r = 0.08;
+        if (std::abs(u - 0.2) < r || std::abs(u - 0.62) < r || std::abs(u - 0.82) < r)
+          return 3;
+        return 0;
+      }
+      // Cab occupies the right 25%, trailer the left 70%.
+      if (u > 0.74) {
+        if (v < 0.25) return 0;
+        if (v < 0.5 && u > 0.78 && u < 0.95) return 2;  // cab window
+        return 1;
+      }
+      if (v < 0.1) return 0;
+      return 1;  // trailer box
+    }
+    case ObjectClass::kPerson: {
+      // Head circle on top quarter, torso+legs below.
+      const double hx = 0.5, hy = 0.14, hr = 0.13;
+      const double du_ = (u - hx) / 0.6, dv_ = (v - hy);
+      if (du_ * du_ + dv_ * dv_ < hr * hr) return 2;  // head
+      if (v > 0.26 && v < 0.62) {
+        if (std::abs(u - 0.5) < 0.22) return 1;  // torso
+        return 0;
+      }
+      if (v >= 0.62) {
+        if (std::abs(u - 0.38) < 0.1 || std::abs(u - 0.62) < 0.1) return 1;  // legs
+        return 0;
+      }
+      return 0;
+    }
+    case ObjectClass::kBoat: {
+      // Mast + sail above, hull trapezoid below.
+      if (v < 0.55) {
+        if (std::abs(u - 0.5) < 0.02) return 3;                        // mast
+        if (u > 0.5 && u < 0.5 + 0.4 * (v / 0.55) && v > 0.1) return 2;  // sail
+        return 0;
+      }
+      // Hull narrows toward the bottom.
+      const double inset = 0.18 * ((v - 0.55) / 0.45);
+      if (u > inset && u < 1.0 - inset && v < 0.92) return 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+long long Box::VisibleArea(int frame_w, int frame_h) const noexcept {
+  const long long vx = std::max(0, std::min(x + w, frame_w) - std::max(x, 0));
+  const long long vy = std::max(0, std::min(y + h, frame_h) - std::max(y, 0));
+  return vx * vy;
+}
+
+double ClassAspect(ObjectClass cls) noexcept {
+  switch (cls) {
+    case ObjectClass::kCar: return 2.2;
+    case ObjectClass::kBus: return 3.4;
+    case ObjectClass::kTruck: return 3.0;
+    case ObjectClass::kPerson: return 0.42;
+    case ObjectClass::kBoat: return 1.6;
+  }
+  return 1.0;
+}
+
+void DrawObject(media::Frame& frame, ObjectClass cls, const Box& box,
+                const SpriteStyle& style) {
+  if (box.w <= 0 || box.h <= 0) return;
+  int du = 0, dv = 0;
+  ClassChroma(cls, &du, &dv);
+
+  const ClipRange xr = Clip(box.x, box.w, frame.width());
+  const ClipRange yr = Clip(box.y, box.h, frame.height());
+  if (xr.empty() || yr.empty()) return;
+
+  media::Plane& Y = frame.y();
+  media::Plane& U = frame.u();
+  media::Plane& V = frame.v();
+
+  for (int py = yr.lo; py < yr.hi; ++py) {
+    const double v = (double(py - box.y) + 0.5) / double(box.h);
+    for (int px = xr.lo; px < xr.hi; ++px) {
+      double u = (double(px - box.x) + 0.5) / double(box.w);
+      if (style.flip) u = 1.0 - u;
+      const int part = SilhouetteAt(cls, u, v);
+      if (part == 0) continue;
+      int luma;
+      switch (part) {
+        case 2: luma = style.accent_luma; break;
+        case 3: luma = 32; break;  // wheels / mast: near-black
+        default: luma = style.base_luma; break;
+      }
+      // Instance texture: low-amplitude hash noise so bodies are not flat.
+      luma += (int(HashNoise(px - box.x, py - box.y, style.texture_seed)) - 128) / 10;
+      Y.at(px, py) = std::uint8_t(std::clamp(luma, 0, 255));
+      // Chroma at half resolution; body pixels only carry the class color.
+      if (part != 3) {
+        const int cx = px / 2, cy = py / 2;
+        if (cx < U.width() && cy < U.height()) {
+          U.at(cx, cy) = std::uint8_t(std::clamp(128 + du, 0, 255));
+          V.at(cx, cy) = std::uint8_t(std::clamp(128 + dv, 0, 255));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sieve::synth

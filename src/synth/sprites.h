@@ -1,0 +1,49 @@
+// Procedural object sprites for the synthetic surveillance scenes.
+//
+// Each object class renders a distinct silhouette, luma texture, and chroma
+// signature; the NN substrate learns to separate classes from these cues the
+// same way a detector separates real vehicle/person/boat appearances.
+#pragma once
+
+#include <cstdint>
+
+#include "media/frame.h"
+#include "synth/labels.h"
+
+namespace sieve::synth {
+
+/// Per-instance appearance variation, derived from the instance seed so two
+/// cars never look pixel-identical.
+struct SpriteStyle {
+  std::uint8_t base_luma = 140;   ///< body brightness
+  std::uint8_t accent_luma = 90;  ///< windows / details
+  std::uint8_t texture_seed = 0;  ///< deterministic texture phase
+  bool flip = false;              ///< horizontal mirror (direction of travel)
+};
+
+/// Axis-aligned box in frame coordinates (may extend outside the frame;
+/// rendering clips).
+struct Box {
+  int x = 0;  ///< left
+  int y = 0;  ///< top
+  int w = 0;
+  int h = 0;
+
+  int right() const noexcept { return x + w; }
+  int bottom() const noexcept { return y + h; }
+  /// Intersection area with a WxH frame, in pixels.
+  long long VisibleArea(int frame_w, int frame_h) const noexcept;
+  long long Area() const noexcept { return (long long)(w) * h; }
+};
+
+/// Renders one object instance into the frame at the given box, clipping to
+/// the frame bounds. The silhouette, luma pattern, and chroma offsets are
+/// class-specific; `style` varies individuals.
+void DrawObject(media::Frame& frame, ObjectClass cls, const Box& box,
+                const SpriteStyle& style);
+
+/// Nominal aspect ratio (w/h) for a class's sprite; scene placement uses it
+/// to derive box width from the configured object height.
+double ClassAspect(ObjectClass cls) noexcept;
+
+}  // namespace sieve::synth

@@ -1,0 +1,96 @@
+#include "track/detector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "media/image_ops.h"
+
+namespace sieve::track {
+
+namespace {
+
+/// Flood-fill one connected component (4-connectivity) of the binary mask,
+/// clearing visited pixels; returns the detection box.
+Detection FillComponent(std::vector<std::uint8_t>& mask, int width, int height,
+                        int sx, int sy) {
+  Detection d;
+  d.x = sx;
+  d.y = sy;
+  int x1 = sx, y1 = sy;
+  std::vector<std::pair<int, int>> stack{{sx, sy}};
+  mask[std::size_t(sy) * std::size_t(width) + std::size_t(sx)] = 0;
+  while (!stack.empty()) {
+    const auto [px, py] = stack.back();
+    stack.pop_back();
+    ++d.area;
+    d.x = std::min(d.x, px);
+    d.y = std::min(d.y, py);
+    x1 = std::max(x1, px);
+    y1 = std::max(y1, py);
+    static constexpr int kDirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    for (const auto& dir : kDirs) {
+      const int nx = px + dir[0], ny = py + dir[1];
+      if (nx < 0 || ny < 0 || nx >= width || ny >= height) continue;
+      std::uint8_t& cell = mask[std::size_t(ny) * std::size_t(width) + std::size_t(nx)];
+      if (cell) {
+        cell = 0;
+        stack.emplace_back(nx, ny);
+      }
+    }
+  }
+  d.w = x1 - d.x + 1;
+  d.h = y1 - d.y + 1;
+  return d;
+}
+
+}  // namespace
+
+std::vector<Detection> DetectMovingObjects(const media::Frame& background,
+                                           const media::Frame& frame,
+                                           const DetectorParams& params) {
+  std::vector<Detection> detections;
+  if (!background.SameSize(frame) || frame.empty()) return detections;
+  const int w = frame.width(), h = frame.height();
+
+  // |cur - bg| on luma, lightly smoothed to close one-pixel holes.
+  media::Plane diff(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      diff.at(x, y) = std::uint8_t(
+          std::abs(int(frame.y().at(x, y)) - int(background.y().at(x, y))));
+    }
+  }
+  if (params.morph_radius > 0) diff = media::BoxBlur(diff, params.morph_radius);
+
+  std::vector<std::uint8_t> mask(std::size_t(w) * std::size_t(h), 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      mask[std::size_t(y) * std::size_t(w) + std::size_t(x)] =
+          diff.at(x, y) >= params.diff_threshold ? 1 : 0;
+    }
+  }
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (mask[std::size_t(y) * std::size_t(w) + std::size_t(x)]) {
+        Detection d = FillComponent(mask, w, h, x, y);
+        if (d.area >= params.min_area) detections.push_back(d);
+      }
+    }
+  }
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) { return a.area > b.area; });
+  return detections;
+}
+
+double Iou(const Detection& a, const Detection& b) noexcept {
+  const int x0 = std::max(a.x, b.x), y0 = std::max(a.y, b.y);
+  const int x1 = std::min(a.x + a.w, b.x + b.w);
+  const int y1 = std::min(a.y + a.h, b.y + b.h);
+  const double inter = double(std::max(0, x1 - x0)) * std::max(0, y1 - y0);
+  const double uni = double(a.w) * a.h + double(b.w) * b.h - inter;
+  return uni > 0 ? inter / uni : 0.0;
+}
+
+}  // namespace sieve::track

@@ -1,0 +1,39 @@
+// Pixel-domain object localization for the post-event analysis stage.
+//
+// Once the SiEVE pipeline has flagged an event (Section IV "Use cases"),
+// deeper analysis — tracking, person identification — runs on the stored
+// GOP. This detector localizes moving objects by background subtraction
+// against a reference (pre-event) frame: connected regions of significant
+// difference become detections with bounding boxes.
+#pragma once
+
+#include <vector>
+
+#include "media/frame.h"
+
+namespace sieve::track {
+
+/// An axis-aligned detection in one frame.
+struct Detection {
+  int x = 0, y = 0, w = 0, h = 0;  ///< bounding box
+  int area = 0;                    ///< changed pixels inside the box
+  double cx() const noexcept { return x + w / 2.0; }
+  double cy() const noexcept { return y + h / 2.0; }
+};
+
+struct DetectorParams {
+  int diff_threshold = 24;    ///< per-pixel |cur - background| significance
+  int min_area = 60;          ///< discard blobs below this many pixels
+  int morph_radius = 1;       ///< box-blur radius applied to the diff mask
+};
+
+/// Detect moving objects in `frame` against a static `background` frame.
+/// Returns boxes sorted by area, largest first.
+std::vector<Detection> DetectMovingObjects(const media::Frame& background,
+                                           const media::Frame& frame,
+                                           const DetectorParams& params = {});
+
+/// Intersection-over-union of two detections' boxes.
+double Iou(const Detection& a, const Detection& b) noexcept;
+
+}  // namespace sieve::track

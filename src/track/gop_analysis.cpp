@@ -1,0 +1,69 @@
+#include "track/gop_analysis.h"
+
+#include "codec/decoder.h"
+
+namespace sieve::track {
+
+Expected<GopAnalysis> AnalyzeGopAt(std::span<const std::uint8_t> stream_bytes,
+                                   std::size_t event_frame,
+                                   const media::Frame& background,
+                                   const GopAnalysisParams& params) {
+  auto decoder = codec::VideoDecoder::Open(stream_bytes);
+  if (!decoder.ok()) return decoder.status();
+  const auto& records = decoder->records();
+  if (event_frame >= records.size()) {
+    return Status::Invalid("AnalyzeGopAt: event frame out of range");
+  }
+
+  // Locate the enclosing GOP from the frame index (headers only).
+  GopAnalysis analysis;
+  analysis.gop_start = 0;
+  for (std::size_t i = 0; i <= event_frame; ++i) {
+    if (records[i].type == codec::FrameType::kIntra) analysis.gop_start = i;
+  }
+  analysis.gop_end = records.size();
+  for (std::size_t i = event_frame + 1; i < records.size(); ++i) {
+    if (records[i].type == codec::FrameType::kIntra) {
+      analysis.gop_end = i;
+      break;
+    }
+  }
+
+  // Decode only the GOP: P-frames need their predecessors *within* the GOP,
+  // so decoding starts exactly at the opening I-frame. Frames before it are
+  // skipped without reconstruction by decoding sequentially from the
+  // keyframe — the decoder enforces keyframe starts, so re-open at offset.
+  // (The container is linear; we simply decode from the start of the GOP by
+  // walking records and decoding from gop_start using random access for the
+  // I-frame and sequential decode after it.)
+  IouTracker tracker(params.tracker);
+  const std::size_t stride = std::max<std::size_t>(1, params.frame_stride);
+
+  // Sequential decode from the beginning is what a naive reader would do;
+  // instead decode the I-frame by random access and then continue P-frames
+  // through a decoder positioned at the GOP. VideoDecoder decodes in order,
+  // so advance it cheaply: decode-and-discard is unnecessary — rebuild a
+  // decoder over a subspan starting at the GOP's I-frame would break
+  // offsets, so we advance the main decoder while skipping work for frames
+  // before the GOP via DecodeNext only from gop_start.
+  // The container walk already gave us byte offsets; frames before
+  // gop_start are never decoded.
+  while (decoder->position() < analysis.gop_start) {
+    // Skip records without decoding: advancing the cursor is enough because
+    // the GOP opens with an I-frame (no dependency on skipped frames).
+    decoder->SkipNext();
+  }
+  for (std::size_t f = analysis.gop_start; f < analysis.gop_end; ++f) {
+    auto frame = decoder->DecodeNext();
+    if (!frame.ok()) return frame.status();
+    ++analysis.frames_decoded;
+    if ((f - analysis.gop_start) % stride != 0) continue;
+    const std::vector<Detection> detections =
+        DetectMovingObjects(background, *frame, params.detector);
+    tracker.Observe(f, detections);
+  }
+  analysis.tracks = tracker.Finish();
+  return analysis;
+}
+
+}  // namespace sieve::track

@@ -1,0 +1,43 @@
+// GOP-level post-event analysis: the paper's stored-video use case.
+//
+// "The semantically encoded video that we store in the edge helps to
+// quickly seek the exact event/GOP that can be further analyzed" (Sec. IV).
+// This module does exactly that: given a semantically encoded stream and an
+// event's I-frame, it decodes ONLY the enclosing GOP (I-frame + following
+// P-frames up to the next I-frame), runs the moving-object detector against
+// the pre-event background, and tracks the objects through the event.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/container.h"
+#include "common/status.h"
+#include "track/tracker.h"
+
+namespace sieve::track {
+
+struct GopAnalysis {
+  std::size_t gop_start = 0;       ///< I-frame index opening the GOP
+  std::size_t gop_end = 0;         ///< first frame past the GOP
+  std::size_t frames_decoded = 0;  ///< == gop length (not the whole stream!)
+  std::vector<Track> tracks;
+};
+
+struct GopAnalysisParams {
+  DetectorParams detector;
+  TrackerParams tracker;
+  /// Analyze every k-th frame of the GOP (tracking rarely needs all 30/s).
+  std::size_t frame_stride = 2;
+};
+
+/// Seek the GOP containing `event_frame` in the encoded stream and track
+/// moving objects through it. `background` is a pre-event reference frame
+/// (e.g. the previous quiet GOP's I-frame).
+Expected<GopAnalysis> AnalyzeGopAt(std::span<const std::uint8_t> stream_bytes,
+                                   std::size_t event_frame,
+                                   const media::Frame& background,
+                                   const GopAnalysisParams& params = {});
+
+}  // namespace sieve::track

@@ -1,0 +1,90 @@
+#include "track/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sieve::track {
+
+double Track::MeanVelocityX() const {
+  if (points.size() < 2) return 0.0;
+  const double dx = points.back().box.cx() - points.front().box.cx();
+  const double dt = double(points.back().frame) - double(points.front().frame);
+  return dt > 0 ? dx / dt : 0.0;
+}
+
+Detection IouTracker::PredictNext(const LiveTrack& t) const {
+  Detection predicted = t.track.points.back().box;
+  predicted.x += int(std::lround(t.vx));
+  predicted.y += int(std::lround(t.vy));
+  return predicted;
+}
+
+void IouTracker::Observe(std::size_t frame,
+                         const std::vector<Detection>& detections) {
+  std::vector<bool> claimed(detections.size(), false);
+
+  // Greedy best-IoU matching, tracks in age order (older first).
+  for (auto& live : live_) {
+    const Detection predicted = PredictNext(live);
+    double best_iou = params_.min_iou;
+    std::ptrdiff_t best = -1;
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+      if (claimed[d]) continue;
+      const double iou = Iou(predicted, detections[d]);
+      if (iou > best_iou) {
+        best_iou = iou;
+        best = std::ptrdiff_t(d);
+      }
+    }
+    if (best >= 0) {
+      claimed[std::size_t(best)] = true;
+      const Detection& matched = detections[std::size_t(best)];
+      const TrackPoint& prev = live.track.points.back();
+      const double dt = std::max<double>(1.0, double(frame) - double(prev.frame));
+      // Exponentially smoothed velocity.
+      const double alpha = 0.5;
+      live.vx = (1 - alpha) * live.vx + alpha * (matched.cx() - prev.box.cx()) / dt;
+      live.vy = (1 - alpha) * live.vy + alpha * (matched.cy() - prev.box.cy()) / dt;
+      live.track.points.push_back(TrackPoint{frame, matched});
+      live.misses = 0;
+    } else {
+      ++live.misses;
+    }
+  }
+
+  // Retire stale tracks.
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (it->misses > params_.max_misses) {
+      finished_.push_back(std::move(it->track));
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Unclaimed detections open new tracks.
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (claimed[d]) continue;
+    LiveTrack fresh;
+    fresh.track.id = next_id_++;
+    fresh.track.points.push_back(TrackPoint{frame, detections[d]});
+    live_.push_back(std::move(fresh));
+  }
+}
+
+std::vector<Track> IouTracker::Finish() {
+  for (auto& live : live_) finished_.push_back(std::move(live.track));
+  live_.clear();
+  std::vector<Track> result;
+  for (auto& track : finished_) {
+    if (int(track.length()) >= params_.min_track_length) {
+      result.push_back(std::move(track));
+    }
+  }
+  finished_.clear();
+  std::sort(result.begin(), result.end(),
+            [](const Track& a, const Track& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace sieve::track

@@ -1,0 +1,68 @@
+// Multi-object IoU tracker with constant-velocity prediction.
+//
+// Associates per-frame detections into tracks: each live track predicts its
+// next box by its recent velocity and greedily claims the best-IoU
+// detection; unmatched detections open new tracks; tracks missing for
+// `max_misses` consecutive frames are closed. This is the classic
+// SORT-style baseline tracker, sufficient for the paper's post-event
+// analysis of a GOP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "track/detector.h"
+
+namespace sieve::track {
+
+struct TrackPoint {
+  std::size_t frame = 0;
+  Detection box;
+};
+
+struct Track {
+  std::uint32_t id = 0;
+  std::vector<TrackPoint> points;  ///< matched observations, in frame order
+
+  std::size_t first_frame() const { return points.front().frame; }
+  std::size_t last_frame() const { return points.back().frame; }
+  std::size_t length() const { return points.size(); }
+  /// Mean per-frame horizontal velocity over the track's lifetime (px/frame).
+  double MeanVelocityX() const;
+};
+
+struct TrackerParams {
+  double min_iou = 0.25;   ///< association gate
+  int max_misses = 10;     ///< frames a track survives unmatched
+  int min_track_length = 3;///< shorter tracks are discarded as noise
+};
+
+/// Online tracker: feed detections frame by frame, harvest tracks at the end.
+class IouTracker {
+ public:
+  explicit IouTracker(TrackerParams params = {}) : params_(params) {}
+
+  /// Advance to `frame` with its detections.
+  void Observe(std::size_t frame, const std::vector<Detection>& detections);
+
+  /// Close all tracks and return those meeting min_track_length.
+  std::vector<Track> Finish();
+
+  std::size_t live_track_count() const noexcept { return live_.size(); }
+
+ private:
+  struct LiveTrack {
+    Track track;
+    int misses = 0;
+    double vx = 0.0, vy = 0.0;  ///< smoothed velocity
+  };
+
+  Detection PredictNext(const LiveTrack& t) const;
+
+  TrackerParams params_;
+  std::vector<LiveTrack> live_;
+  std::vector<Track> finished_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace sieve::track

@@ -1,0 +1,130 @@
+#include "codec/block_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sieve::codec {
+namespace {
+
+TEST(SignedZigzag, RoundTrip) {
+  for (std::int32_t v : {0, 1, -1, 2, -2, 100, -100, 1 << 20, -(1 << 20),
+                         0x7FFFFFFF, -0x7FFFFFFF}) {
+    EXPECT_EQ(ZigzagDecodeSigned(ZigzagEncodeSigned(v)), v);
+  }
+}
+
+TEST(SignedZigzag, SmallMagnitudesGetSmallCodes) {
+  EXPECT_EQ(ZigzagEncodeSigned(0), 0u);
+  EXPECT_EQ(ZigzagEncodeSigned(-1), 1u);
+  EXPECT_EQ(ZigzagEncodeSigned(1), 2u);
+  EXPECT_EQ(ZigzagEncodeSigned(-2), 3u);
+  EXPECT_EQ(ZigzagEncodeSigned(2), 4u);
+}
+
+CoeffBlock RandomSparseBlock(Rng& rng, double density) {
+  CoeffBlock b{};
+  for (auto& v : b) {
+    if (rng.Chance(density)) v = rng.UniformInt(-200, 200);
+  }
+  return b;
+}
+
+TEST(BlockCodec, RoundTripSparseBlocks) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const CoeffBlock src = RandomSparseBlock(rng, 0.15);
+
+    ByteWriter w;
+    RangeEncoder enc(&w);
+    PlaneModels enc_models{};
+    std::int32_t enc_pred = 0;
+    EncodeCoeffBlock(enc, enc_models, src, enc_pred);
+    enc.Flush();
+
+    const auto bytes = w.Release();
+    RangeDecoder dec(bytes);
+    PlaneModels dec_models{};
+    std::int32_t dec_pred = 0;
+    CoeffBlock out;
+    DecodeCoeffBlock(dec, dec_models, out, dec_pred);
+    EXPECT_EQ(out, src);
+    EXPECT_EQ(enc_pred, dec_pred);
+  }
+}
+
+TEST(BlockCodec, RoundTripBlockSequenceWithDcPrediction) {
+  Rng rng(2);
+  std::vector<CoeffBlock> blocks;
+  for (int i = 0; i < 30; ++i) blocks.push_back(RandomSparseBlock(rng, 0.1));
+
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  PlaneModels enc_models{};
+  std::int32_t enc_pred = 0;
+  for (const auto& b : blocks) EncodeCoeffBlock(enc, enc_models, b, enc_pred);
+  enc.Flush();
+
+  const auto bytes = w.Release();
+  RangeDecoder dec(bytes);
+  PlaneModels dec_models{};
+  std::int32_t dec_pred = 0;
+  for (const auto& b : blocks) {
+    CoeffBlock out;
+    DecodeCoeffBlock(dec, dec_models, out, dec_pred);
+    ASSERT_EQ(out, b);
+  }
+}
+
+TEST(BlockCodec, AllZeroBlockIsTiny) {
+  CoeffBlock zero{};
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  PlaneModels models{};
+  std::int32_t pred = 0;
+  for (int i = 0; i < 100; ++i) EncodeCoeffBlock(enc, models, zero, pred);
+  enc.Flush();
+  // 100 empty blocks: adaptive significance flags converge to ~0 bits.
+  EXPECT_LT(w.size(), 320u) << "empty blocks must cost ~1-3 bytes each";
+}
+
+TEST(BlockCodec, DenseBlockRoundTrip) {
+  Rng rng(3);
+  CoeffBlock dense;
+  for (auto& v : dense) v = rng.UniformInt(-1000, 1000);
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  PlaneModels enc_models{};
+  std::int32_t pred = 0;
+  EncodeCoeffBlock(enc, enc_models, dense, pred);
+  enc.Flush();
+  const auto bytes = w.Release();
+  RangeDecoder dec(bytes);
+  PlaneModels dec_models{};
+  std::int32_t dpred = 0;
+  CoeffBlock out;
+  DecodeCoeffBlock(dec, dec_models, out, dpred);
+  EXPECT_EQ(out, dense);
+}
+
+TEST(BlockCodec, ExtremeDcValues) {
+  CoeffBlock block{};
+  block[0] = 100000;
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  PlaneModels enc_models{};
+  std::int32_t pred = -100000;
+  EncodeCoeffBlock(enc, enc_models, block, pred);
+  enc.Flush();
+  EXPECT_EQ(pred, 100000);
+  const auto bytes = w.Release();
+  RangeDecoder dec(bytes);
+  PlaneModels dec_models{};
+  std::int32_t dpred = -100000;
+  CoeffBlock out;
+  DecodeCoeffBlock(dec, dec_models, out, dpred);
+  EXPECT_EQ(out[0], 100000);
+}
+
+}  // namespace
+}  // namespace sieve::codec

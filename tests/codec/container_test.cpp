@@ -1,0 +1,169 @@
+#include "codec/container.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sieve::codec {
+namespace {
+
+ContainerHeader TestHeader() {
+  ContainerHeader h;
+  h.width = 320;
+  h.height = 240;
+  h.fps = 30.0;
+  h.qp = 28;
+  return h;
+}
+
+std::vector<std::uint8_t> Payload(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(Container, HeaderRoundTrip) {
+  ContainerWriter writer(TestHeader());
+  const auto bytes = writer.Finish();
+  auto header = ReadContainerHeader(bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->width, 320);
+  EXPECT_EQ(header->height, 240);
+  EXPECT_DOUBLE_EQ(header->fps, 30.0);
+  EXPECT_EQ(header->qp, 28);
+  EXPECT_EQ(header->frame_count, 0u);
+}
+
+TEST(Container, FrameIndexRoundTrip) {
+  ContainerWriter writer(TestHeader());
+  writer.AppendFrame(FrameType::kIntra, Payload(100, 0xAA));
+  writer.AppendFrame(FrameType::kInter, Payload(20, 0xBB));
+  writer.AppendFrame(FrameType::kInter, Payload(0, 0));
+  writer.AppendFrame(FrameType::kIntra, Payload(55, 0xCC));
+  const auto bytes = writer.Finish();
+
+  auto records = WalkFrameIndex(bytes);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[0].type, FrameType::kIntra);
+  EXPECT_EQ((*records)[1].type, FrameType::kInter);
+  EXPECT_EQ((*records)[2].payload_size, 0u);
+  EXPECT_EQ((*records)[3].type, FrameType::kIntra);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ((*records)[i].index, i);
+}
+
+TEST(Container, PayloadBytesAreExact) {
+  ContainerWriter writer(TestHeader());
+  const auto payload = Payload(64, 0x5C);
+  writer.AppendFrame(FrameType::kIntra, payload);
+  const auto bytes = writer.Finish();
+  auto records = WalkFrameIndex(bytes);
+  ASSERT_TRUE(records.ok());
+  auto span = FramePayload(bytes, (*records)[0]);
+  ASSERT_TRUE(span.ok());
+  ASSERT_EQ(span->size(), 64u);
+  for (auto b : *span) EXPECT_EQ(b, 0x5C);
+}
+
+TEST(Container, FrameCountPatchedOnFinish) {
+  ContainerWriter writer(TestHeader());
+  for (int i = 0; i < 7; ++i) {
+    writer.AppendFrame(FrameType::kInter, Payload(3, 1));
+  }
+  const auto bytes = writer.Finish();
+  auto header = ReadContainerHeader(bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->frame_count, 7u);
+}
+
+TEST(Container, BadMagicRejected) {
+  ContainerWriter writer(TestHeader());
+  auto bytes = writer.Finish();
+  bytes[0] = 'X';
+  EXPECT_FALSE(ReadContainerHeader(bytes).ok());
+  EXPECT_FALSE(WalkFrameIndex(bytes).ok());
+}
+
+TEST(Container, TruncatedHeaderRejected) {
+  ContainerWriter writer(TestHeader());
+  auto bytes = writer.Finish();
+  bytes.resize(6);
+  EXPECT_FALSE(ReadContainerHeader(bytes).ok());
+}
+
+TEST(Container, TruncatedPayloadRejected) {
+  ContainerWriter writer(TestHeader());
+  writer.AppendFrame(FrameType::kIntra, Payload(100, 1));
+  auto bytes = writer.Finish();
+  bytes.resize(bytes.size() - 10);
+  EXPECT_FALSE(WalkFrameIndex(bytes).ok());
+}
+
+TEST(Container, TruncatedFrameHeaderRejected) {
+  ContainerWriter writer(TestHeader());
+  writer.AppendFrame(FrameType::kIntra, Payload(10, 1));
+  auto bytes = writer.Finish();
+  // Leave 2 stray bytes after the valid frame: not a full frame header.
+  bytes.push_back('I');
+  bytes.push_back(0);
+  EXPECT_FALSE(WalkFrameIndex(bytes).ok());
+}
+
+TEST(Container, UnknownFrameTypeRejected) {
+  ContainerWriter writer(TestHeader());
+  writer.AppendFrame(FrameType::kIntra, Payload(4, 1));
+  auto bytes = writer.Finish();
+  bytes[ContainerHeader::kSerializedSize] = 'Z';
+  EXPECT_FALSE(WalkFrameIndex(bytes).ok());
+}
+
+TEST(Container, FrameCountMismatchRejected) {
+  ContainerWriter writer(TestHeader());
+  writer.AppendFrame(FrameType::kIntra, Payload(4, 1));
+  auto bytes = writer.Finish();
+  bytes[4 + 2 + 2 + 8] = 9;  // corrupt frame_count
+  EXPECT_FALSE(WalkFrameIndex(bytes).ok());
+}
+
+TEST(Container, InvalidDimensionsRejected) {
+  ContainerHeader h = TestHeader();
+  h.width = 0;
+  ContainerWriter writer(h);
+  const auto bytes = writer.Finish();
+  EXPECT_FALSE(ReadContainerHeader(bytes).ok());
+}
+
+TEST(Container, WalkNeverTouchesPayloadBytes) {
+  // Payload filled with bytes that would be invalid frame headers: if the
+  // walker read into payloads it would fail.
+  ContainerWriter writer(TestHeader());
+  for (int i = 0; i < 20; ++i) {
+    writer.AppendFrame(i % 5 == 0 ? FrameType::kIntra : FrameType::kInter,
+                       Payload(997, 0xFF));
+  }
+  const auto bytes = writer.Finish();
+  auto records = WalkFrameIndex(bytes);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 20u);
+}
+
+TEST(Container, LargeStreamIndexIsConsistent) {
+  Rng rng(4);
+  ContainerWriter writer(TestHeader());
+  std::vector<std::pair<FrameType, std::size_t>> truth;
+  for (int i = 0; i < 500; ++i) {
+    const FrameType type = rng.Chance(0.05) ? FrameType::kIntra : FrameType::kInter;
+    const std::size_t size = std::size_t(rng.UniformInt(0, 2000));
+    truth.emplace_back(type, size);
+    writer.AppendFrame(type, Payload(size, std::uint8_t(i)));
+  }
+  const auto bytes = writer.Finish();
+  auto records = WalkFrameIndex(bytes);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ((*records)[i].type, truth[i].first);
+    EXPECT_EQ((*records)[i].payload_size, truth[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace sieve::codec

@@ -1,0 +1,163 @@
+#include "codec/motion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "media/image_ops.h"
+#include "media/metrics.h"
+
+namespace sieve::codec {
+namespace {
+
+/// A textured plane with a deterministic pattern. White noise has no cost
+/// gradient toward the optimum, so a smoothed version is also provided for
+/// the local (diamond) search tests — mirroring natural image statistics.
+media::Plane Textured(int w, int h, std::uint64_t seed) {
+  media::Plane p(w, h);
+  Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) p.at(x, y) = std::uint8_t(rng.UniformInt(0, 255));
+  }
+  return p;
+}
+
+media::Plane SmoothTextured(int w, int h, std::uint64_t seed) {
+  return media::BoxBlur(Textured(w, h, seed), 3);
+}
+
+/// Shift a plane by (dx, dy) with border clamping.
+media::Plane Shift(const media::Plane& src, int dx, int dy) {
+  media::Plane dst(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      dst.at(x, y) = src.at_clamped(x - dx, y - dy);
+    }
+  }
+  return dst;
+}
+
+TEST(MvCost, ZeroDeltaIsCheapest) {
+  const MotionVector pred{2, -3};
+  const std::uint32_t base = MvCost(pred, pred);
+  EXPECT_LT(base, MvCost(MotionVector{3, -3}, pred));
+  EXPECT_LT(base, MvCost(MotionVector{2, 5}, pred));
+}
+
+TEST(MvCost, GrowsWithMagnitude) {
+  const MotionVector zero{0, 0};
+  EXPECT_LT(MvCost(MotionVector{1, 0}, zero), MvCost(MotionVector{16, 0}, zero));
+}
+
+class SearchShiftTest : public testing::TestWithParam<std::pair<int, int>> {};
+class DiamondShiftTest : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SearchShiftTest, FullSearchRecoversKnownShift) {
+  const auto [dx, dy] = GetParam();
+  const media::Plane ref = Textured(64, 64, 1);
+  const media::Plane cur = Shift(ref, dx, dy);
+  // Block well inside so clamping does not interfere.
+  const MotionResult r =
+      FullSearch(cur, ref, 24, 24, 16, 16, 8, MotionVector{0, 0}, 0);
+  EXPECT_EQ(r.mv.dx, -dx);
+  EXPECT_EQ(r.mv.dy, -dy);
+}
+
+TEST_P(DiamondShiftTest, DiamondSearchRecoversShiftOnSmoothTexture) {
+  // Diamond search is a local method: it follows the cost gradient, which
+  // exists on natural (smooth) texture but not on white noise.
+  const auto [dx, dy] = GetParam();
+  const media::Plane ref = SmoothTextured(64, 64, 2);
+  const media::Plane cur = Shift(ref, dx, dy);
+  const MotionResult r =
+      DiamondSearch(cur, ref, 24, 24, 16, 16, 8, MotionVector{0, 0}, 0);
+  EXPECT_EQ(r.mv.dx, -dx);
+  EXPECT_EQ(r.mv.dy, -dy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, SearchShiftTest,
+    testing::Values(std::pair{0, 0}, std::pair{1, 0}, std::pair{0, 1},
+                    std::pair{-2, 3}, std::pair{4, -4}, std::pair{-6, -5},
+                    std::pair{7, 7}));
+
+// Diamond search rides the smooth-texture cost basin; shifts beyond the
+// blur radius fall outside the basin and are full search's job.
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, DiamondShiftTest,
+    testing::Values(std::pair{0, 0}, std::pair{1, 0}, std::pair{0, 1},
+                    std::pair{-2, 3}, std::pair{4, -4}, std::pair{-3, -3}));
+
+TEST(Search, PerfectMatchHasLambdaOnlyCost) {
+  const media::Plane p = Textured(48, 48, 3);
+  const MotionResult r = FullSearch(p, p, 16, 16, 16, 16, 4, MotionVector{0, 0}, 0);
+  EXPECT_EQ(r.mv, (MotionVector{0, 0}));
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(Search, LambdaPenalizesDistantVectors) {
+  // Two identical matches at mv 0 and mv (5,0): with lambda, prefer near.
+  media::Plane ref(64, 16, 0);
+  media::Plane cur(64, 16, 0);
+  // Uniform planes: every vector matches equally; lambda must pick 0.
+  const MotionResult r =
+      FullSearch(cur, ref, 24, 0, 16, 16, 6, MotionVector{0, 0}, 10);
+  EXPECT_EQ(r.mv, (MotionVector{0, 0}));
+}
+
+TEST(Search, FullSearchNeverWorseThanDiamond) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const media::Plane ref = SmoothTextured(64, 64, 100 + std::uint64_t(trial));
+    media::Plane cur = Shift(ref, rng.UniformInt(-5, 5), rng.UniformInt(-5, 5));
+    // Add noise so the optimum is not exactly recoverable.
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        cur.at(x, y) = std::uint8_t(
+            std::clamp(int(cur.at(x, y)) + rng.UniformInt(-6, 6), 0, 255));
+      }
+    }
+    const auto full = FullSearch(cur, ref, 24, 24, 16, 16, 6, {}, 2);
+    const auto diamond = DiamondSearch(cur, ref, 24, 24, 16, 16, 6, {}, 2);
+    EXPECT_LE(full.sad, diamond.sad);
+  }
+}
+
+TEST(Search, RespectsRangeBound) {
+  const media::Plane ref = Textured(96, 32, 5);
+  const media::Plane cur = Shift(ref, 20, 0);  // true shift outside range 4
+  const MotionResult r = FullSearch(cur, ref, 40, 8, 16, 16, 4, {}, 0);
+  EXPECT_LE(std::abs(r.mv.dx), 4);
+  EXPECT_LE(std::abs(r.mv.dy), 4);
+}
+
+TEST(Compensate, CopiesDisplacedBlock) {
+  const media::Plane ref = Textured(64, 64, 6);
+  media::Plane dst(64, 64, 0);
+  CompensateBlock(ref, dst, 16, 16, 16, 16, MotionVector{3, -2});
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(dst.at(16 + x, 16 + y), ref.at(19 + x, 14 + y));
+    }
+  }
+}
+
+TEST(Compensate, ClampsAtBorders) {
+  const media::Plane ref = Textured(32, 32, 7);
+  media::Plane dst(32, 32, 0);
+  CompensateBlock(ref, dst, 0, 0, 16, 16, MotionVector{-8, -8});
+  // Top-left reads clamp to ref(0,0).
+  EXPECT_EQ(dst.at(0, 0), ref.at(0, 0));
+  EXPECT_EQ(dst.at(7, 0), ref.at(0, 0));
+  EXPECT_EQ(dst.at(8, 0), ref.at(0, 0));
+  EXPECT_EQ(dst.at(15, 15), ref.at(7, 7));
+}
+
+TEST(Compensate, ZeroVectorIsIdentityCopy) {
+  const media::Plane ref = Textured(32, 32, 8);
+  media::Plane dst(32, 32, 0);
+  CompensateBlock(ref, dst, 8, 8, 16, 16, MotionVector{0, 0});
+  EXPECT_EQ(media::RegionSad(dst, 8, 8, ref, 8, 8, 16, 16), 0u);
+}
+
+}  // namespace
+}  // namespace sieve::codec

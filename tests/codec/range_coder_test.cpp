@@ -1,0 +1,184 @@
+#include "codec/range_coder.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sieve::codec {
+namespace {
+
+std::vector<std::uint8_t> Finish(ByteWriter& w, RangeEncoder& rc) {
+  rc.Flush();
+  return w.Release();
+}
+
+TEST(RangeCoder, SingleBitRoundTrip) {
+  for (int bit : {0, 1}) {
+    ByteWriter w;
+    RangeEncoder enc(&w);
+    BitModel m;
+    enc.EncodeBit(m, bit);
+    const auto bytes = Finish(w, enc);
+    RangeDecoder dec(bytes);
+    BitModel m2;
+    EXPECT_EQ(dec.DecodeBit(m2), bit);
+  }
+}
+
+TEST(RangeCoder, RandomBitSequenceRoundTrip) {
+  Rng rng(1);
+  std::vector<int> bits;
+  for (int i = 0; i < 10000; ++i) bits.push_back(rng.Chance(0.3) ? 1 : 0);
+
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  BitModel m;
+  for (int b : bits) enc.EncodeBit(m, b);
+  const auto bytes = Finish(w, enc);
+
+  RangeDecoder dec(bytes);
+  BitModel m2;
+  for (int b : bits) ASSERT_EQ(dec.DecodeBit(m2), b);
+}
+
+TEST(RangeCoder, SkewedStreamCompresses) {
+  // 99% zeros: the adaptive model should get well under 1 bit/symbol.
+  Rng rng(2);
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  BitModel m;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) enc.EncodeBit(m, rng.Chance(0.01) ? 1 : 0);
+  const auto bytes = Finish(w, enc);
+  EXPECT_LT(bytes.size(), std::size_t(n / 8 / 4))
+      << "expected at least 4x better than raw bits";
+}
+
+TEST(RangeCoder, UniformStreamDoesNotExplode) {
+  Rng rng(3);
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  BitModel m;
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) enc.EncodeBit(m, rng.Chance(0.5) ? 1 : 0);
+  const auto bytes = Finish(w, enc);
+  EXPECT_LT(bytes.size(), std::size_t(n / 8 + n / 80))
+      << "overhead must stay near 1 bit/symbol";
+}
+
+TEST(RangeCoder, DirectBitsRoundTrip) {
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  enc.EncodeDirectBits(0xABCDE, 20);
+  enc.EncodeDirectBits(0x3, 2);
+  enc.EncodeDirectBits(0, 1);
+  const auto bytes = Finish(w, enc);
+  RangeDecoder dec(bytes);
+  EXPECT_EQ(dec.DecodeDirectBits(20), 0xABCDEu);
+  EXPECT_EQ(dec.DecodeDirectBits(2), 0x3u);
+  EXPECT_EQ(dec.DecodeDirectBits(1), 0u);
+}
+
+TEST(RangeCoder, BitTreeRoundTripAllValues) {
+  constexpr int kBits = 6;
+  std::array<BitModel, 1 << kBits> enc_models{}, dec_models{};
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  for (std::uint32_t v = 0; v < (1u << kBits); ++v) {
+    enc.EncodeBitTree(enc_models, v, kBits);
+  }
+  const auto bytes = Finish(w, enc);
+  RangeDecoder dec(bytes);
+  for (std::uint32_t v = 0; v < (1u << kBits); ++v) {
+    ASSERT_EQ(dec.DecodeBitTree(dec_models, kBits), v);
+  }
+}
+
+TEST(RangeCoder, UnsignedRoundTripBoundaries) {
+  const std::uint32_t values[] = {0, 1, 2, 3, 127, 128, 255, 256, 65535,
+                                  1u << 20, 0x7FFFFFFF, 0xFFFFFFFF};
+  std::array<BitModel, kUnsignedLengthModels> em{}, dm{};
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  for (auto v : values) enc.EncodeUnsigned(em, v);
+  const auto bytes = Finish(w, enc);
+  RangeDecoder dec(bytes);
+  for (auto v : values) ASSERT_EQ(dec.DecodeUnsigned(dm), v);
+}
+
+TEST(RangeCoder, MixedSymbolStreamRoundTrip) {
+  Rng rng(7);
+  std::array<BitModel, kUnsignedLengthModels> em{}, dm{};
+  std::array<BitModel, 16> tree_em{}, tree_dm{};
+  BitModel bit_em, bit_dm;
+
+  struct Symbol {
+    int kind;
+    std::uint32_t value;
+  };
+  std::vector<Symbol> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    const int kind = rng.UniformInt(0, 2);
+    std::uint32_t value = 0;
+    if (kind == 0) value = rng.Chance(0.2);
+    if (kind == 1) value = std::uint32_t(rng.UniformInt(0, 15));
+    if (kind == 2) value = std::uint32_t(rng.UniformInt(0, 1 << 16));
+    symbols.push_back({kind, value});
+  }
+
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  for (const auto& s : symbols) {
+    if (s.kind == 0) enc.EncodeBit(bit_em, int(s.value));
+    if (s.kind == 1) enc.EncodeBitTree(tree_em, s.value, 4);
+    if (s.kind == 2) enc.EncodeUnsigned(em, s.value);
+  }
+  const auto bytes = Finish(w, enc);
+  RangeDecoder dec(bytes);
+  for (const auto& s : symbols) {
+    if (s.kind == 0) {
+      ASSERT_EQ(std::uint32_t(dec.DecodeBit(bit_dm)), s.value);
+    }
+    if (s.kind == 1) {
+      ASSERT_EQ(dec.DecodeBitTree(tree_dm, 4), s.value);
+    }
+    if (s.kind == 2) {
+      ASSERT_EQ(dec.DecodeUnsigned(dm), s.value);
+    }
+  }
+}
+
+TEST(RangeCoder, EmptyStreamDecodesZeros) {
+  // Decoding from an empty span must not crash; it yields deterministic 0s.
+  RangeDecoder dec(std::span<const std::uint8_t>{});
+  BitModel m;
+  EXPECT_EQ(dec.DecodeBit(m), 0);
+}
+
+class RangeCoderSkewSweep : public testing::TestWithParam<double> {};
+
+TEST_P(RangeCoderSkewSweep, RoundTripAtEverySkew) {
+  const double p_one = GetParam();
+  Rng rng(std::uint64_t(p_one * 1000) + 11);
+  std::vector<int> bits;
+  for (int i = 0; i < 20000; ++i) bits.push_back(rng.Chance(p_one) ? 1 : 0);
+  ByteWriter w;
+  RangeEncoder enc(&w);
+  BitModel m;
+  for (int b : bits) enc.EncodeBit(m, b);
+  enc.Flush();
+  const auto bytes = w.Release();
+  RangeDecoder dec(bytes);
+  BitModel m2;
+  for (int b : bits) ASSERT_EQ(dec.DecodeBit(m2), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, RangeCoderSkewSweep,
+                         testing::Values(0.001, 0.05, 0.2, 0.5, 0.8, 0.95,
+                                         0.999));
+
+}  // namespace
+}  // namespace sieve::codec

@@ -1,0 +1,251 @@
+// Whole-codec round-trip and semantic-encoding behaviour tests.
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "media/metrics.h"
+#include "synth/scene.h"
+
+namespace sieve::codec {
+namespace {
+
+synth::SyntheticVideo TestScene(std::uint64_t seed = 7, std::size_t frames = 90,
+                                int w = 160, int h = 120) {
+  synth::SceneConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_frames = frames;
+  c.seed = seed;
+  c.mean_gap_seconds = 1.5;
+  c.min_gap_seconds = 0.5;
+  c.mean_dwell_seconds = 1.5;
+  c.min_dwell_seconds = 0.8;
+  c.noise_sigma = 1.0;
+  return synth::GenerateScene(c);
+}
+
+TEST(CodecRoundTrip, DecodeAllMatchesFrameCountAndSize) {
+  const auto scene = TestScene();
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  auto decoder = VideoDecoder::Open(encoded->bytes);
+  ASSERT_TRUE(decoder.ok());
+  auto decoded = decoder->DecodeAll();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->frames.size(), scene.video.frames.size());
+  EXPECT_EQ(decoded->width, scene.video.width);
+  EXPECT_EQ(decoded->height, scene.video.height);
+}
+
+TEST(CodecRoundTrip, QualityFloorAtDefaultQp) {
+  const auto scene = TestScene();
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = VideoDecoder::Open(encoded->bytes)->DecodeAll();
+  ASSERT_TRUE(decoded.ok());
+  for (std::size_t f = 0; f < decoded->frames.size(); ++f) {
+    const double psnr =
+        media::FramePsnr(scene.video.frames[f], decoded->frames[f]);
+    EXPECT_GT(psnr, 30.0) << "frame " << f;
+  }
+}
+
+TEST(CodecRoundTrip, CompressesWellBelowRaw) {
+  const auto scene = TestScene();
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  const std::size_t raw =
+      scene.video.frames.size() * scene.video.frames[0].ByteSize();
+  EXPECT_LT(encoded->bytes.size(), raw / 4)
+      << "expect at least 4x compression on surveillance-like content";
+}
+
+TEST(CodecRoundTrip, LowerQpGivesHigherQualityAndMoreBytes) {
+  const auto scene = TestScene(9, 40);
+  EncoderParams p18, p38;
+  p18.qp = 18;
+  p38.qp = 38;
+  auto e18 = VideoEncoder(p18).Encode(scene.video);
+  auto e38 = VideoEncoder(p38).Encode(scene.video);
+  ASSERT_TRUE(e18.ok() && e38.ok());
+  EXPECT_GT(e18->bytes.size(), e38->bytes.size());
+
+  auto d18 = VideoDecoder::Open(e18->bytes)->DecodeAll();
+  auto d38 = VideoDecoder::Open(e38->bytes)->DecodeAll();
+  double psnr18 = 0, psnr38 = 0;
+  for (std::size_t f = 0; f < scene.video.frames.size(); ++f) {
+    psnr18 += media::FramePsnr(scene.video.frames[f], d18->frames[f]);
+    psnr38 += media::FramePsnr(scene.video.frames[f], d38->frames[f]);
+  }
+  EXPECT_GT(psnr18, psnr38);
+}
+
+TEST(CodecRoundTrip, StreamStartsWithIFrame) {
+  const auto scene = TestScene();
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_FALSE(encoded->records.empty());
+  EXPECT_EQ(encoded->records.front().type, FrameType::kIntra);
+}
+
+TEST(CodecRoundTrip, RecordsMatchContainerWalk) {
+  const auto scene = TestScene();
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  auto walked = WalkFrameIndex(encoded->bytes);
+  ASSERT_TRUE(walked.ok());
+  ASSERT_EQ(walked->size(), encoded->records.size());
+  for (std::size_t i = 0; i < walked->size(); ++i) {
+    EXPECT_EQ((*walked)[i].type, encoded->records[i].type);
+    EXPECT_EQ((*walked)[i].payload_offset, encoded->records[i].payload_offset);
+    EXPECT_EQ((*walked)[i].payload_size, encoded->records[i].payload_size);
+  }
+}
+
+TEST(CodecRoundTrip, RandomAccessIFrameMatchesSequentialDecode) {
+  const auto scene = TestScene(11, 80);
+  EncoderParams params;
+  params.keyframe.gop_size = 20;
+  params.keyframe.scenecut = 0;
+  auto encoded = VideoEncoder(params).Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+
+  auto decoder = VideoDecoder::Open(encoded->bytes);
+  ASSERT_TRUE(decoder.ok());
+  auto all = decoder->DecodeAll();
+  ASSERT_TRUE(all.ok());
+
+  for (const auto& record : encoded->records) {
+    if (record.type != FrameType::kIntra) continue;
+    auto frame = DecodeIntraFrameAt(encoded->bytes, record);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(media::FrameMse(*frame, all->frames[record.index]), 0.0)
+        << "random access must be bit-identical to sequential decode, frame "
+        << record.index;
+  }
+}
+
+TEST(CodecRoundTrip, RandomAccessOnPFrameFails) {
+  const auto scene = TestScene(12, 30);
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  for (const auto& record : encoded->records) {
+    if (record.type == FrameType::kInter) {
+      EXPECT_FALSE(DecodeIntraFrameAt(encoded->bytes, record).ok());
+      return;
+    }
+  }
+  FAIL() << "expected at least one P-frame";
+}
+
+TEST(CodecRoundTrip, EncoderKeyframesMatchAnalysisReplay) {
+  // The tuner's offline replay must agree with the encoder's online choice.
+  const auto scene = TestScene(13, 120);
+  EncoderParams params;
+  params.keyframe.gop_size = 40;
+  params.keyframe.scenecut = 260;
+  auto encoded = VideoEncoder(params).Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+
+  const auto costs = codec::AnalyzeVideo(scene.video, params.analysis);
+  const auto replayed = PlaceKeyframes(costs, params.keyframe);
+  ASSERT_EQ(replayed.size(), encoded->records.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], encoded->records[i].type == FrameType::kIntra)
+        << "frame " << i;
+  }
+}
+
+TEST(CodecRoundTrip, EmptyVideoRejected) {
+  media::RawVideo empty;
+  empty.width = 64;
+  empty.height = 64;
+  EXPECT_FALSE(VideoEncoder().Encode(empty).ok());
+}
+
+TEST(CodecRoundTrip, OddDimensionsRejected) {
+  media::RawVideo video;
+  video.width = 63;
+  video.height = 64;
+  video.frames.push_back(media::Frame(64, 64));
+  EXPECT_FALSE(VideoEncoder().Encode(video).ok());
+}
+
+TEST(CodecRoundTrip, NonMacroblockAlignedDimensionsWork) {
+  // 1920x1080: height is not a multiple of 16 (67.5 MBs); must still work.
+  const auto scene = TestScene(14, 12, 168, 88);  // 168=10.5 MB, 88=5.5 MB
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = VideoDecoder::Open(encoded->bytes)->DecodeAll();
+  ASSERT_TRUE(decoded.ok());
+  for (std::size_t f = 0; f < decoded->frames.size(); ++f) {
+    EXPECT_GT(media::FramePsnr(scene.video.frames[f], decoded->frames[f]), 30.0);
+  }
+}
+
+TEST(CodecRoundTrip, StreamingEncoderMatchesBatch) {
+  const auto scene = TestScene(15, 40);
+  EncoderParams params;
+  auto batch = VideoEncoder(params).Encode(scene.video);
+  ASSERT_TRUE(batch.ok());
+
+  StreamingEncoder streaming(params, scene.video.width, scene.video.height,
+                             scene.video.fps);
+  for (const auto& frame : scene.video.frames) {
+    ASSERT_TRUE(streaming.PushFrame(frame).ok());
+  }
+  const EncodedVideo live = streaming.Finish();
+  EXPECT_EQ(live.bytes, batch->bytes) << "batch and streaming must be identical";
+}
+
+TEST(CodecRoundTrip, StreamingEncoderRejectsWrongSize) {
+  StreamingEncoder streaming(EncoderParams{}, 64, 64, 30.0);
+  EXPECT_FALSE(streaming.PushFrame(media::Frame(32, 32)).ok());
+}
+
+TEST(CodecRoundTrip, SemanticParamsPlaceIFramesAtEvents) {
+  const auto scene = TestScene(16, 150);
+  EncoderParams params = EncoderParams::Semantic(100000, 280);
+  auto encoded = VideoEncoder(params).Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  // Every event transition should have an I-frame within a short window.
+  const auto events = scene.truth.Events();
+  std::size_t covered = 0, transitions = 0;
+  for (std::size_t e = 1; e < events.size(); ++e) {
+    ++transitions;
+    const std::size_t start = events[e].start;
+    for (const auto& record : encoded->records) {
+      // The encoder reacts to *motion onset*, which precedes the label flip
+      // (an entering object crosses the visibility threshold a few frames
+      // after it starts moving in), so accept a window around the start.
+      if (record.type == FrameType::kIntra &&
+          record.index + 14 >= start && record.index <= start + 18) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(transitions, 0u);
+  EXPECT_GE(double(covered) / double(transitions), 0.7)
+      << "most event transitions must receive an I-frame";
+}
+
+TEST(CodecRoundTrip, DecoderRejectsGarbage) {
+  std::vector<std::uint8_t> garbage(100, 0x42);
+  EXPECT_FALSE(VideoDecoder::Open(garbage).ok());
+}
+
+TEST(CodecRoundTrip, DecodeNextPastEndFails) {
+  const auto scene = TestScene(17, 6);
+  auto encoded = VideoEncoder().Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+  auto decoder = VideoDecoder::Open(encoded->bytes);
+  ASSERT_TRUE(decoder.ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(decoder->DecodeNext().ok());
+  EXPECT_FALSE(decoder->DecodeNext().ok());
+  decoder->Rewind();
+  EXPECT_TRUE(decoder->DecodeNext().ok());
+}
+
+}  // namespace
+}  // namespace sieve::codec

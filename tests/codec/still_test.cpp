@@ -1,0 +1,90 @@
+#include "codec/still.h"
+
+#include <gtest/gtest.h>
+
+#include "media/image_ops.h"
+#include "media/metrics.h"
+#include "synth/scene.h"
+
+namespace sieve::codec {
+namespace {
+
+media::Frame TestFrame(int w = 160, int h = 120) {
+  synth::SceneConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_frames = 40;
+  c.seed = 21;
+  c.min_gap_seconds = 0.2;
+  c.mean_gap_seconds = 0.4;
+  const auto scene = synth::GenerateScene(c);
+  // An occupied frame if one exists.
+  for (std::size_t f = 0; f < scene.truth.frame_count(); ++f) {
+    if (!scene.truth.label(f).empty()) return scene.video.frames[f];
+  }
+  return scene.video.frames.back();
+}
+
+TEST(Still, RoundTripQuality) {
+  const media::Frame frame = TestFrame();
+  const auto bytes = EncodeStill(frame);
+  auto decoded = DecodeStill(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->width(), frame.width());
+  EXPECT_EQ(decoded->height(), frame.height());
+  EXPECT_GT(media::FramePsnr(frame, *decoded), 30.0);
+}
+
+TEST(Still, CompressesBelowRaw) {
+  const media::Frame frame = TestFrame();
+  const auto bytes = EncodeStill(frame);
+  EXPECT_LT(bytes.size(), frame.ByteSize() / 2);
+}
+
+TEST(Still, QpControlsSizeQualityTradeoff) {
+  const media::Frame frame = TestFrame();
+  const auto lo = EncodeStill(frame, 14);
+  const auto hi = EncodeStill(frame, 40);
+  EXPECT_GT(lo.size(), hi.size());
+  auto lo_dec = DecodeStill(lo);
+  auto hi_dec = DecodeStill(hi);
+  ASSERT_TRUE(lo_dec.ok() && hi_dec.ok());
+  EXPECT_GT(media::FramePsnr(frame, *lo_dec), media::FramePsnr(frame, *hi_dec));
+}
+
+TEST(Still, The300x300TransferPathWorks) {
+  // The exact Figure-5 unit: a frame resized to the NN's 300x300 input.
+  const media::Frame frame = TestFrame(320, 240);
+  const media::Frame resized = media::ResizeFrame(frame, 300, 300);
+  const auto bytes = EncodeStill(resized);
+  EXPECT_GT(bytes.size(), 500u);
+  EXPECT_LT(bytes.size(), 80000u);
+  auto decoded = DecodeStill(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->width(), 300);
+}
+
+TEST(Still, GarbageRejected) {
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5};
+  EXPECT_FALSE(DecodeStill(garbage).ok());
+}
+
+TEST(Still, TruncatedPayloadRejected) {
+  auto bytes = EncodeStill(TestFrame());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DecodeStill(bytes).ok());
+}
+
+TEST(Still, CorruptMagicRejected) {
+  auto bytes = EncodeStill(TestFrame());
+  bytes[0] = 'X';
+  EXPECT_FALSE(DecodeStill(bytes).ok());
+}
+
+TEST(Still, DeterministicEncoding) {
+  const media::Frame frame = TestFrame();
+  EXPECT_EQ(EncodeStill(frame), EncodeStill(frame));
+}
+
+}  // namespace
+}  // namespace sieve::codec

@@ -1,0 +1,176 @@
+#include "codec/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sieve::codec {
+namespace {
+
+PixelBlock RandomBlock(Rng& rng, int lo = -128, int hi = 127) {
+  PixelBlock b;
+  for (auto& v : b) v = std::int16_t(rng.UniformInt(lo, hi));
+  return b;
+}
+
+TEST(Dct, RoundTripIsNearLossless) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const PixelBlock in = RandomBlock(rng);
+    std::array<float, kBlockPixels> freq;
+    PixelBlock out;
+    ForwardDct(in, freq);
+    InverseDct(freq, out);
+    for (int i = 0; i < kBlockPixels; ++i) {
+      EXPECT_NEAR(out[std::size_t(i)], in[std::size_t(i)], 1) << "index " << i;
+    }
+  }
+}
+
+TEST(Dct, ConstantBlockIsPureDc) {
+  PixelBlock in;
+  in.fill(100);
+  std::array<float, kBlockPixels> freq;
+  ForwardDct(in, freq);
+  EXPECT_NEAR(freq[0], 800.0f, 0.01f);  // 100 * 8 (orthonormal 2D scale)
+  for (int i = 1; i < kBlockPixels; ++i) {
+    EXPECT_NEAR(freq[std::size_t(i)], 0.0f, 0.01f);
+  }
+}
+
+TEST(Dct, EnergyPreservation) {
+  // Orthonormal transform: sum of squares is preserved (Parseval).
+  Rng rng(2);
+  const PixelBlock in = RandomBlock(rng);
+  std::array<float, kBlockPixels> freq;
+  ForwardDct(in, freq);
+  double spatial = 0, spectral = 0;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    spatial += double(in[std::size_t(i)]) * in[std::size_t(i)];
+    spectral += double(freq[std::size_t(i)]) * freq[std::size_t(i)];
+  }
+  EXPECT_NEAR(spectral, spatial, spatial * 1e-4);
+}
+
+TEST(Dct, LinearityInInput) {
+  Rng rng(3);
+  PixelBlock a = RandomBlock(rng, -60, 60);
+  PixelBlock b;
+  for (int i = 0; i < kBlockPixels; ++i) {
+    b[std::size_t(i)] = std::int16_t(2 * a[std::size_t(i)]);
+  }
+  std::array<float, kBlockPixels> fa, fb;
+  ForwardDct(a, fa);
+  ForwardDct(b, fb);
+  for (int i = 0; i < kBlockPixels; ++i) {
+    EXPECT_NEAR(fb[std::size_t(i)], 2 * fa[std::size_t(i)], 0.05);
+  }
+}
+
+TEST(Quant, StepsPositiveAndMonotoneInQp) {
+  const QuantTable q20 = MakeLumaQuant(20);
+  const QuantTable q32 = MakeLumaQuant(32);
+  for (int i = 0; i < kBlockPixels; ++i) {
+    EXPECT_GE(q20.step[std::size_t(i)], 1);
+    EXPECT_GE(q32.step[std::size_t(i)], q20.step[std::size_t(i)]);
+  }
+}
+
+TEST(Quant, QpPlusSixDoublesSteps) {
+  const QuantTable a = MakeLumaQuant(26);
+  const QuantTable b = MakeLumaQuant(32);
+  // Allowing rounding slack on small steps.
+  for (int i = 0; i < kBlockPixels; ++i) {
+    const double ratio = double(b.step[std::size_t(i)]) / a.step[std::size_t(i)];
+    EXPECT_NEAR(ratio, 2.0, 0.5) << "index " << i;
+  }
+}
+
+TEST(Quant, QpClampsToValidRange) {
+  const QuantTable low = MakeLumaQuant(-10);
+  const QuantTable one = MakeLumaQuant(1);
+  for (int i = 0; i < kBlockPixels; ++i) {
+    EXPECT_EQ(low.step[std::size_t(i)], one.step[std::size_t(i)]);
+  }
+}
+
+TEST(Quant, ChromaCoarserThanLumaAtHighFrequencies) {
+  const QuantTable luma = MakeLumaQuant(26);
+  const QuantTable chroma = MakeChromaQuant(26);
+  EXPECT_GE(chroma.step[kBlockPixels - 1], luma.step[kBlockPixels - 1] / 2);
+}
+
+TEST(Quant, QuantizeDequantizeBoundsError) {
+  Rng rng(4);
+  const QuantTable q = MakeLumaQuant(26);
+  std::array<float, kBlockPixels> freq;
+  for (auto& v : freq) v = float(rng.Uniform(-500, 500));
+  CoeffBlock coeffs;
+  Quantize(freq, q, coeffs);
+  std::array<float, kBlockPixels> restored;
+  Dequantize(coeffs, q, restored);
+  for (int i = 0; i < kBlockPixels; ++i) {
+    EXPECT_LE(std::abs(restored[std::size_t(i)] - freq[std::size_t(i)]),
+              q.step[std::size_t(i)] / 2.0f + 0.01f);
+  }
+}
+
+TEST(ZigZag, IsAPermutation) {
+  const auto& zz = ZigZagOrder();
+  std::array<bool, kBlockPixels> seen{};
+  for (int i = 0; i < kBlockPixels; ++i) {
+    ASSERT_GE(zz[std::size_t(i)], 0);
+    ASSERT_LT(zz[std::size_t(i)], kBlockPixels);
+    EXPECT_FALSE(seen[std::size_t(zz[std::size_t(i)])]);
+    seen[std::size_t(zz[std::size_t(i)])] = true;
+  }
+}
+
+TEST(ZigZag, StartsAtDcAndWalksAntiDiagonals) {
+  const auto& zz = ZigZagOrder();
+  EXPECT_EQ(zz[0], 0);
+  EXPECT_EQ(zz[1], 1);       // (0,1)
+  EXPECT_EQ(zz[2], 8);       // (1,0)
+  EXPECT_EQ(zz[63], 63);     // (7,7)
+  // Anti-diagonal index is non-decreasing along the scan.
+  for (int i = 1; i < kBlockPixels; ++i) {
+    const int prev = zz[std::size_t(i - 1)], cur = zz[std::size_t(i)];
+    const int d_prev = prev / 8 + prev % 8, d_cur = cur / 8 + cur % 8;
+    EXPECT_GE(d_cur, d_prev);
+  }
+}
+
+TEST(Reconstruct, EncoderAndDecoderBlocksAgree) {
+  Rng rng(5);
+  const QuantTable q = MakeLumaQuant(28);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PixelBlock src = RandomBlock(rng);
+    CoeffBlock coeffs;
+    PixelBlock encoder_recon, decoder_recon;
+    ReconstructBlock(src, q, coeffs, encoder_recon);
+    DecodeBlock(coeffs, q, decoder_recon);
+    EXPECT_EQ(encoder_recon, decoder_recon)
+        << "encoder reconstruction must be bit-identical to decode";
+  }
+}
+
+TEST(Reconstruct, LowQpIsHigherFidelity) {
+  Rng rng(6);
+  const PixelBlock src = RandomBlock(rng, -100, 100);
+  auto error_at = [&src](int qp) {
+    CoeffBlock c;
+    PixelBlock recon;
+    ReconstructBlock(src, MakeLumaQuant(qp), c, recon);
+    double err = 0;
+    for (int i = 0; i < kBlockPixels; ++i) {
+      err += std::abs(double(recon[std::size_t(i)]) - src[std::size_t(i)]);
+    }
+    return err;
+  };
+  EXPECT_LE(error_at(10), error_at(40));
+}
+
+}  // namespace
+}  // namespace sieve::codec

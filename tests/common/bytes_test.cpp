@@ -1,0 +1,127 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace sieve {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, FloatRoundTrip) {
+  ByteWriter w;
+  w.PutF32(3.14159f);
+  w.PutF64(-2.718281828459045);
+  ByteReader r(w.data());
+  EXPECT_FLOAT_EQ(r.GetF32().value(), 3.14159f);
+  EXPECT_DOUBLE_EQ(r.GetF64().value(), -2.718281828459045);
+}
+
+TEST(Bytes, VarintRoundTripBoundaries) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,    1,          127,        128,
+                                  300,  0xFFFF,     0xFFFFFFFF, (1ull << 62),
+                                  ~0ull};
+  for (auto v : values) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (auto v : values) EXPECT_EQ(r.GetVarint().value(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, VarintIsCompactForSmallValues) {
+  ByteWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello sieve");
+  w.PutString("");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetString().value(), "hello sieve");
+  EXPECT_EQ(r.GetString().value(), "");
+}
+
+TEST(Bytes, ReadPastEndFails) {
+  ByteWriter w;
+  w.PutU16(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU16().ok());
+  EXPECT_FALSE(r.GetU8().ok());
+  EXPECT_FALSE(r.GetU32().ok());
+  EXPECT_FALSE(r.GetU64().ok());
+}
+
+TEST(Bytes, TruncatedVarintFails) {
+  std::vector<std::uint8_t> data{0x80, 0x80};  // continuation with no end
+  ByteReader r(data);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(Bytes, OverlongVarintFails) {
+  std::vector<std::uint8_t> data(11, 0x80);  // > 64 bits of continuation
+  ByteReader r(data);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(Bytes, SpanBorrowAdvances) {
+  ByteWriter w;
+  w.PutU8(1);
+  w.PutU8(2);
+  w.PutU8(3);
+  ByteReader r(w.data());
+  auto span = r.GetSpan(2);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ((*span)[0], 1);
+  EXPECT_EQ((*span)[1], 2);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.GetSpan(2).ok());
+}
+
+TEST(Bytes, SkipRespectsBounds) {
+  ByteWriter w;
+  w.PutU32(0);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.Skip(3).ok());
+  EXPECT_FALSE(r.Skip(2).ok());
+  EXPECT_TRUE(r.Skip(1).ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/sieve_bytes_test.bin";
+  ByteWriter w;
+  for (int i = 0; i < 1000; ++i) w.PutU8(std::uint8_t(i * 7));
+  ASSERT_TRUE(WriteFileBytes(path, w.data()).ok());
+  auto read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, w.data());
+  std::remove(path.c_str());
+}
+
+TEST(Bytes, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFileBytes("/nonexistent/sieve/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace sieve

@@ -1,0 +1,108 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sieve {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+}
+
+TEST(QuantileSketch, ExactQuantilesSmall) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.Add(i);
+  EXPECT_NEAR(q.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(q.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(q.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(q.Quantile(0.99), 99.01, 0.5);
+}
+
+TEST(QuantileSketch, EmptyReturnsZero) {
+  QuantileSketch q;
+  EXPECT_EQ(q.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, BoundedCapacityApproximates) {
+  QuantileSketch q(256);
+  for (int i = 0; i < 100000; ++i) q.Add(i % 1000);
+  EXPECT_EQ(q.count(), 100000u);
+  EXPECT_NEAR(q.Quantile(0.5), 500.0, 120.0);
+}
+
+TEST(Histogram, CountsLandInBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    EXPECT_EQ(h.bucket(b), 1u);
+  }
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.1);
+  h.Add(0.9);
+  const std::string render = h.Render();
+  EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sieve

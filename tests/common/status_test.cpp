@@ -1,0 +1,71 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(Status::Corrupt("x").code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(Status::NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(Status::Precondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(Status::Invalid("bad arg").message(), "bad arg");
+}
+
+TEST(Status, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::Corrupt("truncated header");
+  EXPECT_EQ(s.ToString(), "CORRUPT_DATA: truncated header");
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(Status::NotFound("missing"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_FALSE(bool(e));
+  EXPECT_EQ(e.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(e.status().message(), "missing");
+}
+
+TEST(Expected, ValueOrFallsBack) {
+  Expected<int> ok(7);
+  Expected<int> err(Status::Internal("boom"));
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> e(std::string("payload"));
+  const std::string moved = std::move(e).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Expected, ArrowOperatorAccessesMembers) {
+  Expected<std::string> e(std::string("abc"));
+  EXPECT_EQ(e->size(), 3u);
+}
+
+}  // namespace
+}  // namespace sieve

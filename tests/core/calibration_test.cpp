@@ -1,0 +1,81 @@
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::core {
+namespace {
+
+TEST(ReferenceCostModel, AllCostsPositive) {
+  const CostModel m = ReferenceCostModel();
+  EXPECT_GT(m.seek_per_frame, 0.0);
+  EXPECT_GT(m.decode_i_per_pixel, 0.0);
+  EXPECT_GT(m.decode_p_per_pixel, 0.0);
+  EXPECT_GT(m.encode_still_per_pixel, 0.0);
+  EXPECT_GT(m.mse_per_pixel, 0.0);
+  EXPECT_GT(m.sift_per_pixel, 0.0);
+  EXPECT_GT(m.nn_infer_per_frame, 0.0);
+}
+
+TEST(ReferenceCostModel, SeekIsOrdersOfMagnitudeBelowDecode) {
+  const CostModel m = ReferenceCostModel();
+  // Per 1080p frame: seek vs full decode — the asymmetry behind the paper.
+  const double decode = m.DecodePFrameSeconds(1920, 1080);
+  EXPECT_GT(decode / m.seek_per_frame, 1000.0);
+}
+
+TEST(ReferenceCostModel, SiftCostsMoreThanMse) {
+  const CostModel m = ReferenceCostModel();
+  EXPECT_GT(m.SiftSeconds(640, 360), 10.0 * m.MseSeconds(640, 360));
+}
+
+TEST(Normalization, AnchorsDecodeToEightMsAt1080p) {
+  CostModel m = ReferenceCostModel();
+  m.decode_p_per_pixel = 100e-9;  // deliberately slow: 207 ms at 1080p
+  m.decode_i_per_pixel = 200e-9;
+  const CostModel n = m.NormalizedToProductionCodec();
+  EXPECT_NEAR(n.DecodePFrameSeconds(1920, 1080), 8e-3, 1e-6);
+  // Relative I/P ratio preserved.
+  EXPECT_NEAR(n.decode_i_per_pixel / n.decode_p_per_pixel, 2.0, 1e-9);
+}
+
+TEST(Normalization, NeverScalesUp) {
+  CostModel m = ReferenceCostModel();
+  m.decode_p_per_pixel = 1e-9;  // already faster than the anchor
+  const double before = m.decode_p_per_pixel;
+  const CostModel n = m.NormalizedToProductionCodec();
+  EXPECT_EQ(n.decode_p_per_pixel, before);
+}
+
+TEST(Normalization, DoesNotTouchNonCodecCosts) {
+  CostModel m = ReferenceCostModel();
+  m.decode_p_per_pixel = 100e-9;
+  const CostModel n = m.NormalizedToProductionCodec();
+  EXPECT_EQ(n.mse_per_pixel, m.mse_per_pixel);
+  EXPECT_EQ(n.sift_per_pixel, m.sift_per_pixel);
+  EXPECT_EQ(n.nn_infer_per_frame, m.nn_infer_per_frame);
+  EXPECT_EQ(n.seek_per_frame, m.seek_per_frame);
+}
+
+TEST(MeasureCostModel, MeasuresRealCosts) {
+  CalibrationOptions options;
+  options.probe_width = 160;
+  options.probe_height = 120;
+  options.probe_frames = 24;
+  options.repetitions = 1;
+  auto model = MeasureCostModel(options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->seek_per_frame, 0.0);
+  EXPECT_GT(model->decode_i_per_pixel, 0.0);
+  EXPECT_GT(model->decode_p_per_pixel, 0.0);
+  EXPECT_GT(model->nn_infer_per_frame, 0.0);
+  // Wall-clock comparisons between ops are asserted with generous slack:
+  // the test may run under heavy parallel load. (Tight magnitude claims
+  // live in bench_table3_speed, which runs alone.)
+  EXPECT_LT(model->seek_per_frame,
+            100.0 * model->DecodeIFrameSeconds(options.probe_width,
+                                               options.probe_height));
+  EXPECT_FALSE(model->ToString().empty());
+}
+
+}  // namespace
+}  // namespace sieve::core

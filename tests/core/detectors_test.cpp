@@ -1,0 +1,155 @@
+#include "core/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "synth/scene.h"
+
+namespace sieve::core {
+namespace {
+
+synth::SyntheticVideo TestScene(std::uint64_t seed = 61) {
+  synth::SceneConfig c;
+  c.width = 160;
+  c.height = 120;
+  c.num_frames = 240;
+  c.seed = seed;
+  c.mean_gap_seconds = 1.5;
+  c.min_gap_seconds = 0.8;
+  c.mean_dwell_seconds = 1.5;
+  c.min_dwell_seconds = 0.8;
+  c.noise_sigma = 1.0;
+  return synth::GenerateScene(c);
+}
+
+TEST(Detectors, NamesAreStable) {
+  EXPECT_STREQ(DetectorName(DetectorKind::kSieve), "SiEVE");
+  EXPECT_STREQ(DetectorName(DetectorKind::kMse), "MSE");
+  EXPECT_STREQ(DetectorName(DetectorKind::kSift), "SIFT");
+  EXPECT_STREQ(DetectorName(DetectorKind::kUniform), "Uniform");
+}
+
+TEST(SelectSieve, MatchesKeyframePlacement) {
+  const auto scene = TestScene();
+  const auto costs = codec::AnalyzeVideo(scene.video);
+  const codec::KeyframeParams params{60, 250, 2};
+  const Selection selection = SelectSieve(costs, params);
+  const auto keyframes = codec::PlaceKeyframes(costs, params);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < keyframes.size(); ++i) {
+    if (keyframes[i]) {
+      ASSERT_LT(count, selection.frames.size());
+      EXPECT_EQ(selection.frames[count], i);
+      ++count;
+    }
+  }
+  EXPECT_EQ(selection.frames.size(), count);
+  EXPECT_EQ(selection.kind, DetectorKind::kSieve);
+}
+
+TEST(SelectBySignal, HitsSamplingBudget) {
+  const auto scene = TestScene();
+  const auto signal = vision::MseChangeSignal(scene.video.frames);
+  for (std::size_t budget : {4u, 8u, 16u}) {
+    const Selection s = SelectBySignal(DetectorKind::kMse, signal, budget);
+    EXPECT_NEAR(double(s.frames.size()), double(budget), 2.0);
+    EXPECT_EQ(s.kind, DetectorKind::kMse);
+  }
+}
+
+TEST(SelectBySignalThreshold, UsesFixedThreshold) {
+  const std::vector<double> signal{0.0, 1.0, 5.0, 2.0, 9.0};
+  const Selection s =
+      SelectBySignalThreshold(DetectorKind::kMse, signal, 4.0);
+  EXPECT_EQ(s.frames, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_DOUBLE_EQ(s.threshold, 4.0);
+}
+
+TEST(SelectUniform, EvenSpacing) {
+  const Selection s = SelectUniform(100, 10);
+  ASSERT_EQ(s.frames.size(), 10u);
+  EXPECT_EQ(s.frames[0], 0u);
+  for (std::size_t i = 1; i < s.frames.size(); ++i) {
+    EXPECT_EQ(s.frames[i] - s.frames[i - 1], 10u);
+  }
+}
+
+TEST(SelectUniform, BudgetLargerThanVideo) {
+  const Selection s = SelectUniform(5, 50);
+  EXPECT_EQ(s.frames.size(), 5u);
+}
+
+TEST(SelectUniform, ZeroBudgetEmpty) {
+  EXPECT_TRUE(SelectUniform(100, 0).frames.empty());
+  EXPECT_TRUE(SelectUniform(0, 10).frames.empty());
+}
+
+TEST(Detectors, SieveBeatsUniformAtEqualBudget) {
+  // The core Figure-3 comparison at one operating point: with the same
+  // number of selected frames, SiEVE's event-aligned selection must beat
+  // blind uniform sampling on accuracy.
+  const auto scene = TestScene(62);
+  const auto costs = codec::AnalyzeVideo(scene.video);
+  const Selection sieve = SelectSieve(costs, codec::KeyframeParams{100000, 280, 2});
+  ASSERT_GE(sieve.frames.size(), 2u);
+  const Selection uniform =
+      SelectUniform(scene.video.frames.size(), sieve.frames.size());
+
+  const double sieve_acc =
+      EvaluateSelection(scene.truth, sieve.frames).accuracy;
+  const double uniform_acc =
+      EvaluateSelection(scene.truth, uniform.frames).accuracy;
+  EXPECT_GT(sieve_acc, uniform_acc);
+}
+
+TEST(OnlineDetector, FirstFrameAlwaysSelected) {
+  OnlineSignalDetector detector(DetectorKind::kMse, 1e18);
+  EXPECT_TRUE(detector.Push(media::Frame(64, 64)));
+  EXPECT_FALSE(detector.Push(media::Frame(64, 64)));
+}
+
+TEST(OnlineDetector, MseMatchesBatchSignal) {
+  const auto scene = TestScene(63);
+  const auto signal = vision::MseChangeSignal(scene.video.frames);
+  const double threshold = 20.0;
+  OnlineSignalDetector detector(DetectorKind::kMse, threshold);
+  for (std::size_t f = 0; f < scene.video.frames.size(); ++f) {
+    const bool selected = detector.Push(scene.video.frames[f]);
+    const bool expected = f == 0 || signal[f] > threshold;
+    EXPECT_EQ(selected, expected) << "frame " << f;
+  }
+}
+
+TEST(OnlineDetector, SieveBeatsOnlineMseAtMatchedBudget) {
+  // The online MSE detector fires at motion onsets and misses gradual
+  // exits, so its propagated accuracy is mediocre (Figure 3 shows MSE as
+  // low as ~0.4 at these sampling rates). The claim under test is relative:
+  // SiEVE's selection at the SAME budget is strictly better.
+  const auto scene = TestScene(64);
+  const auto signal = vision::MseChangeSignal(scene.video.frames);
+  const std::size_t events = scene.truth.Events().size();
+  const double threshold = vision::CalibrateThreshold(signal, 3 * events);
+  OnlineSignalDetector detector(DetectorKind::kMse, threshold);
+  std::vector<std::size_t> selected;
+  for (std::size_t f = 0; f < scene.video.frames.size(); ++f) {
+    if (detector.Push(scene.video.frames[f])) selected.push_back(f);
+  }
+  EXPECT_GE(selected.size(), events / 2) << "MSE must fire at real motion";
+  const double mse_acc = EvaluateSelection(scene.truth, selected).accuracy;
+  EXPECT_GT(mse_acc, 0.2);
+
+  const auto costs = codec::AnalyzeVideo(scene.video);
+  // Match SiEVE's budget to MSE's realized selection count via scenecut.
+  double sieve_acc = 0;
+  for (int sc : {200, 250, 300, 350}) {
+    const Selection sieve = SelectSieve(costs, codec::KeyframeParams{100000, sc, 2});
+    if (sieve.frames.size() <= selected.size() + 2) {
+      sieve_acc = std::max(
+          sieve_acc, EvaluateSelection(scene.truth, sieve.frames).accuracy);
+    }
+  }
+  EXPECT_GT(sieve_acc, mse_acc);
+}
+
+}  // namespace
+}  // namespace sieve::core

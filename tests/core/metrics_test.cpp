@@ -1,0 +1,86 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::core {
+namespace {
+
+synth::GroundTruth MakeTruth(const std::vector<int>& pattern) {
+  std::vector<synth::LabelSet> labels;
+  for (int p : pattern) {
+    synth::LabelSet l;
+    if (p) l.Add(synth::ObjectClass::kCar);
+    labels.push_back(l);
+  }
+  return synth::GroundTruth(std::move(labels));
+}
+
+TEST(HarmonicMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.5, 0.5), 0.5);
+  EXPECT_NEAR(HarmonicMean(0.983, 0.979), 0.981, 0.001);  // Table II shape
+}
+
+TEST(HarmonicMean, ZeroDominates) {
+  EXPECT_EQ(HarmonicMean(0.0, 1.0), 0.0);
+  EXPECT_EQ(HarmonicMean(1.0, 0.0), 0.0);
+}
+
+TEST(HarmonicMean, BelowArithmeticMean) {
+  EXPECT_LT(HarmonicMean(0.2, 0.8), 0.5);
+}
+
+TEST(EvaluateSelection, PerfectDetectorHighF1) {
+  const auto truth = MakeTruth({0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0});
+  // Select exactly the event heads: frames 0, 4, 8.
+  const DetectionQuality q = EvaluateSelection(truth, {0, 4, 8});
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(q.sample_rate, 0.25);
+  EXPECT_DOUBLE_EQ(q.filtering_rate, 0.75);
+  EXPECT_DOUBLE_EQ(q.f1, HarmonicMean(1.0, 0.75));
+}
+
+TEST(EvaluateSelection, OversamplingLowersF1NotAccuracy) {
+  const auto truth = MakeTruth({0, 0, 1, 1, 0, 0});
+  std::vector<std::size_t> all{0, 1, 2, 3, 4, 5};
+  const DetectionQuality q = EvaluateSelection(truth, all);
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(q.filtering_rate, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0) << "no filtering -> zero F1 (the paper tradeoff)";
+}
+
+TEST(EvaluateSelection, MissedEventLowersAccuracy) {
+  const auto truth = MakeTruth({0, 0, 1, 1, 1, 1, 0, 0});
+  const DetectionQuality q = EvaluateSelection(truth, {0});
+  EXPECT_DOUBLE_EQ(q.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(q.filtering_rate, 7.0 / 8.0);
+}
+
+TEST(EvaluateKeyframes, FlagsEquivalentToIndices) {
+  const auto truth = MakeTruth({0, 1, 1, 0});
+  const DetectionQuality a =
+      EvaluateKeyframes(truth, {true, true, false, false});
+  const DetectionQuality b = EvaluateSelection(truth, {0, 1});
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+}
+
+TEST(EvaluateSelection, EmptyTruthIsZeroQuality) {
+  const DetectionQuality q = EvaluateSelection(synth::GroundTruth(), {});
+  EXPECT_EQ(q.accuracy, 0.0);
+  EXPECT_EQ(q.f1, 0.0);
+}
+
+TEST(EvaluateSelection, TableIIShapeSanity) {
+  // A selection with ~2% sampling and near-perfect accuracy must score a
+  // very high F1, like the paper's semantic rows (98.1, 98.16, 97.6).
+  std::vector<int> pattern(1000, 0);
+  for (int i = 300; i < 500; ++i) pattern[std::size_t(i)] = 1;
+  const auto truth = MakeTruth(pattern);
+  const DetectionQuality q = EvaluateSelection(truth, {0, 300, 500});
+  EXPECT_GT(q.accuracy, 0.999);
+  EXPECT_GT(q.f1, 0.99);
+}
+
+}  // namespace
+}  // namespace sieve::core

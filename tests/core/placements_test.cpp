@@ -1,0 +1,176 @@
+#include "core/placements.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::core {
+namespace {
+
+/// A hand-built workload so placement math is exactly checkable.
+VideoWorkload TestWorkload() {
+  VideoWorkload w;
+  w.name = "test";
+  w.width = 640;
+  w.height = 360;
+  w.fps = 30;
+  w.total_frames = 100000;
+  w.semantic_iframes = 2000;        // 2%
+  w.semantic_bytes = 500000000;     // 500 MB
+  w.semantic_iframe_payload = 60000000;
+  w.default_bytes = 450000000;      // semantic is ~11% larger
+  w.default_iframes = 400;
+  w.uniform_selected = 2000;
+  w.mse_selected = 5000;            // 2.5x the I-frames
+  w.still_bytes = 20000;            // 20 KB per shipped frame
+  return w;
+}
+
+TEST(Placements, NamesAreStable) {
+  EXPECT_STREQ(PlacementName(Placement::kIFrameEdgeCloudNN),
+               "I-frame edge + cloud NN");
+  EXPECT_STREQ(PlacementName(Placement::kMseEdgeCloudNN), "MSE edge + cloud NN");
+}
+
+TEST(Placements, SemanticEncodingUsage) {
+  EXPECT_TRUE(UsesSemanticEncoding(Placement::kIFrameEdgeCloudNN));
+  EXPECT_TRUE(UsesSemanticEncoding(Placement::kIFrameCloudCloudNN));
+  EXPECT_TRUE(UsesSemanticEncoding(Placement::kIFrameEdgeEdgeNN));
+  EXPECT_FALSE(UsesSemanticEncoding(Placement::kUniformEdgeCloudNN));
+  EXPECT_FALSE(UsesSemanticEncoding(Placement::kMseEdgeCloudNN));
+}
+
+TEST(Transfer, CameraToEdgeCarriesWholeStream) {
+  const VideoWorkload w = TestWorkload();
+  const std::vector<VideoWorkload> ws{w};
+  const auto semantic = ComputeTransfer(Placement::kIFrameEdgeCloudNN, ws);
+  const auto fallback = ComputeTransfer(Placement::kUniformEdgeCloudNN, ws);
+  EXPECT_EQ(semantic.camera_to_edge_bytes, w.semantic_bytes);
+  EXPECT_EQ(fallback.camera_to_edge_bytes, w.default_bytes);
+  EXPECT_GT(semantic.camera_to_edge_bytes, fallback.camera_to_edge_bytes)
+      << "semantic streams carry more I-frames (the paper's 12% overhead)";
+}
+
+TEST(Transfer, EdgeToCloudPerPlacement) {
+  const VideoWorkload w = TestWorkload();
+  const std::vector<VideoWorkload> ws{w};
+  EXPECT_EQ(ComputeTransfer(Placement::kIFrameEdgeCloudNN, ws).edge_to_cloud_bytes,
+            2000u * 20000u);
+  EXPECT_EQ(
+      ComputeTransfer(Placement::kIFrameCloudCloudNN, ws).edge_to_cloud_bytes,
+      w.semantic_bytes);
+  EXPECT_EQ(ComputeTransfer(Placement::kIFrameEdgeEdgeNN, ws).edge_to_cloud_bytes,
+            0u);
+  EXPECT_EQ(
+      ComputeTransfer(Placement::kUniformEdgeCloudNN, ws).edge_to_cloud_bytes,
+      2000u * 20000u);
+  EXPECT_EQ(ComputeTransfer(Placement::kMseEdgeCloudNN, ws).edge_to_cloud_bytes,
+            5000u * 20000u);
+}
+
+TEST(Transfer, MseTransfersMoreThanIFrames) {
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const auto iframe = ComputeTransfer(Placement::kIFrameEdgeCloudNN, ws);
+  const auto mse = ComputeTransfer(Placement::kMseEdgeCloudNN, ws);
+  EXPECT_NEAR(double(mse.edge_to_cloud_bytes) / double(iframe.edge_to_cloud_bytes),
+              2.5, 0.01);
+}
+
+TEST(Transfer, EdgeToCloudMuchSmallerThanInput) {
+  // The paper's 7x reduction claim shape.
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const auto r = ComputeTransfer(Placement::kIFrameEdgeCloudNN, ws);
+  EXPECT_GT(double(r.camera_to_edge_bytes) / double(r.edge_to_cloud_bytes), 4.0);
+}
+
+TEST(Transfer, MultipleWorkloadsAccumulate) {
+  const std::vector<VideoWorkload> ws{TestWorkload(), TestWorkload()};
+  const auto r = ComputeTransfer(Placement::kIFrameEdgeCloudNN, ws);
+  EXPECT_EQ(r.edge_to_cloud_bytes, 2u * 2000u * 20000u);
+}
+
+TEST(Throughput, AllPlacementsCompleteAllJobs) {
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const CostModel costs = ReferenceCostModel();
+  for (int p = 0; p < kNumPlacements; ++p) {
+    const auto report = SimulateThroughput(Placement(p), ws, costs);
+    EXPECT_GT(report.fps, 0.0) << PlacementName(Placement(p));
+    EXPECT_GT(report.jobs, 0u);
+    EXPECT_EQ(report.total_frames, 100000u);
+  }
+}
+
+TEST(Throughput, ThreeTierBeatsCloudOnly) {
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const CostModel costs = ReferenceCostModel();
+  const auto three_tier =
+      SimulateThroughput(Placement::kIFrameEdgeCloudNN, ws, costs);
+  const auto cloud_only =
+      SimulateThroughput(Placement::kIFrameCloudCloudNN, ws, costs);
+  EXPECT_GT(three_tier.fps, cloud_only.fps)
+      << "3-tier must beat shipping the whole stream (Fig. 4 insight 2)";
+}
+
+TEST(Throughput, SemanticBeatsDecodeEverything) {
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const CostModel costs = ReferenceCostModel();
+  const auto sieve = SimulateThroughput(Placement::kIFrameEdgeCloudNN, ws, costs);
+  const auto uniform =
+      SimulateThroughput(Placement::kUniformEdgeCloudNN, ws, costs);
+  const auto mse = SimulateThroughput(Placement::kMseEdgeCloudNN, ws, costs);
+  EXPECT_GT(sieve.fps, uniform.fps) << "Fig. 4 insight 1";
+  EXPECT_GT(sieve.fps, mse.fps);
+  EXPECT_GE(uniform.fps, mse.fps) << "MSE adds similarity cost on top of decode";
+}
+
+TEST(Throughput, MoreVideosMoreTotalFramesSameOrdering) {
+  const std::vector<VideoWorkload> one{TestWorkload()};
+  const std::vector<VideoWorkload> three{TestWorkload(), TestWorkload(),
+                                         TestWorkload()};
+  const CostModel costs = ReferenceCostModel();
+  const auto r1 = SimulateThroughput(Placement::kIFrameEdgeCloudNN, one, costs);
+  const auto r3 = SimulateThroughput(Placement::kIFrameEdgeCloudNN, three, costs);
+  EXPECT_EQ(r3.total_frames, 3 * r1.total_frames);
+  // Throughput cannot triple (shared stations) but must not collapse.
+  EXPECT_GT(r3.fps, 0.5 * r1.fps);
+}
+
+TEST(Throughput, StationsReported) {
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const auto report = SimulateThroughput(Placement::kIFrameEdgeCloudNN, ws,
+                                         ReferenceCostModel());
+  ASSERT_EQ(report.stations.size(), 4u);
+  bool some_busy = false;
+  for (const auto& s : report.stations) some_busy |= s.busy_seconds > 0;
+  EXPECT_TRUE(some_busy);
+}
+
+TEST(Throughput, FasterWanHelpsCloudPlacement) {
+  const std::vector<VideoWorkload> ws{TestWorkload()};
+  const CostModel costs = ReferenceCostModel();
+  const auto slow = SimulateThroughput(Placement::kIFrameCloudCloudNN, ws, costs,
+                                       net::LinkModel{30.0, 20.0});
+  const auto fast = SimulateThroughput(Placement::kIFrameCloudCloudNN, ws, costs,
+                                       net::LinkModel{3000.0, 20.0});
+  EXPECT_GT(fast.fps, slow.fps);
+}
+
+TEST(Workload, BuildFromJacksonProbe) {
+  // Full workload construction on a small probe of the cheapest dataset.
+  WorkloadOptions options;
+  options.probe_frames = 180;
+  options.target_frames = 36000;  // extrapolate 200x
+  options.seed = 3;
+  auto w = BuildWorkload(synth::DatasetId::kJacksonSquare, options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->total_frames, 36000u);
+  EXPECT_GT(w->semantic_iframes, 0u);
+  EXPECT_LT(w->semantic_iframes, w->total_frames / 10);
+  EXPECT_GT(w->semantic_bytes, 0u);
+  EXPECT_GT(w->default_bytes, 0u);
+  EXPECT_GT(w->still_bytes, 1000u);
+  EXPECT_EQ(w->uniform_selected, w->semantic_iframes);
+  EXPECT_GE(w->mse_selected, 1u);
+  EXPECT_GT(w->tuned.scenecut + w->tuned.gop_size, 0);
+}
+
+}  // namespace
+}  // namespace sieve::core

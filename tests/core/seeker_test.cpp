@@ -1,0 +1,101 @@
+#include "core/seeker.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "synth/scene.h"
+
+namespace sieve::core {
+namespace {
+
+codec::EncodedVideo EncodeTestScene(int gop, int scenecut,
+                                    std::size_t frames = 120) {
+  synth::SceneConfig c;
+  c.width = 160;
+  c.height = 120;
+  c.num_frames = frames;
+  c.seed = 51;
+  c.mean_gap_seconds = 1.5;
+  c.min_gap_seconds = 0.5;
+  c.mean_dwell_seconds = 1.5;
+  const auto scene = synth::GenerateScene(c);
+  codec::EncoderParams params;
+  params.keyframe.gop_size = gop;
+  params.keyframe.scenecut = scenecut;
+  auto encoded = codec::VideoEncoder(params).Encode(scene.video);
+  EXPECT_TRUE(encoded.ok());
+  return std::move(*encoded);
+}
+
+TEST(Seeker, FindsExactlyTheEncodersIFrames) {
+  const auto encoded = EncodeTestScene(25, 250);
+  auto report = SeekIFrames(encoded.bytes);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_frames, encoded.records.size());
+  EXPECT_EQ(report->iframes.size(), encoded.IntraFrameCount());
+  std::size_t i = 0;
+  for (const auto& record : encoded.records) {
+    if (record.type == codec::FrameType::kIntra) {
+      ASSERT_LT(i, report->iframes.size());
+      EXPECT_EQ(report->iframes[i].index, record.index);
+      EXPECT_EQ(report->iframes[i].payload_offset, record.payload_offset);
+      ++i;
+    }
+  }
+}
+
+TEST(Seeker, TouchesOnlyHeaderBytes) {
+  const auto encoded = EncodeTestScene(30, 0);
+  auto report = SeekIFrames(encoded.bytes);
+  ASSERT_TRUE(report.ok());
+  // Headers: container header + 5 bytes per frame; a tiny sliver of the file.
+  EXPECT_EQ(report->bytes_scanned,
+            codec::ContainerHeader::kSerializedSize +
+                encoded.records.size() * codec::FrameRecord::kHeaderSize);
+  // On this deliberately tiny test stream headers are a few percent; on any
+  // real stream (KB-scale payloads) they are orders of magnitude less.
+  EXPECT_LT(double(report->bytes_scanned), 0.10 * double(encoded.bytes.size()))
+      << "seeking must touch a small sliver of the stream bytes";
+}
+
+TEST(Seeker, IFrameRateMatchesEncoder) {
+  const auto encoded = EncodeTestScene(20, 0, 100);
+  auto report = SeekIFrames(encoded.bytes);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->iframe_rate(), encoded.IntraFrameRate(), 1e-12);
+  EXPECT_NEAR(report->iframe_rate(), 0.05, 0.011);  // every 20th frame
+}
+
+TEST(Seeker, SelectedIndicesAreSorted) {
+  const auto encoded = EncodeTestScene(15, 260);
+  auto report = SeekIFrames(encoded.bytes);
+  ASSERT_TRUE(report.ok());
+  const auto indices = SelectedIndices(*report);
+  EXPECT_EQ(indices.size(), report->iframes.size());
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    EXPECT_LT(indices[i - 1], indices[i]);
+  }
+  ASSERT_FALSE(indices.empty());
+  EXPECT_EQ(indices.front(), 0u);
+}
+
+TEST(Seeker, GarbageStreamRejected) {
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  EXPECT_FALSE(SeekIFrames(garbage).ok());
+}
+
+TEST(Seeker, SeekThenDecodeMatchesFullDecode) {
+  // The edge's actual data path: seek I-frames, random-access decode each.
+  const auto encoded = EncodeTestScene(25, 250);
+  auto report = SeekIFrames(encoded.bytes);
+  ASSERT_TRUE(report.ok());
+  for (const auto& record : report->iframes) {
+    auto frame = codec::DecodeIntraFrameAt(encoded.bytes, record);
+    ASSERT_TRUE(frame.ok()) << "I-frame " << record.index;
+    EXPECT_EQ(frame->width(), 160);
+  }
+}
+
+}  // namespace
+}  // namespace sieve::core

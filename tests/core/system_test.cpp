@@ -1,0 +1,169 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/scene.h"
+
+namespace sieve::core {
+namespace {
+
+TEST(ResultsDatabase, InsertAndPropagate) {
+  ResultsDatabase db;
+  db.Insert(0, synth::LabelSet());
+  db.Insert(100, synth::LabelSet::Of(synth::ObjectClass::kCar));
+  db.Insert(200, synth::LabelSet());
+
+  EXPECT_TRUE(db.LabelAt(0).empty());
+  EXPECT_TRUE(db.LabelAt(50).empty());
+  EXPECT_TRUE(db.LabelAt(100).Contains(synth::ObjectClass::kCar));
+  EXPECT_TRUE(db.LabelAt(150).Contains(synth::ObjectClass::kCar));
+  EXPECT_TRUE(db.LabelAt(200).empty());
+  EXPECT_TRUE(db.LabelAt(9999).empty());
+}
+
+TEST(ResultsDatabase, LabelBeforeFirstRowIsEmpty) {
+  ResultsDatabase db;
+  db.Insert(50, synth::LabelSet::Of(synth::ObjectClass::kBoat));
+  EXPECT_TRUE(db.LabelAt(10).empty());
+}
+
+TEST(ResultsDatabase, FindObjectRanges) {
+  ResultsDatabase db;
+  db.Insert(0, synth::LabelSet());
+  db.Insert(10, synth::LabelSet::Of(synth::ObjectClass::kCar));
+  db.Insert(30, synth::LabelSet());
+  db.Insert(50, synth::LabelSet::Of(synth::ObjectClass::kCar));
+
+  const auto ranges = db.FindObject(synth::ObjectClass::kCar, 100);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{10, 30}));
+  EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{50, 100}));
+}
+
+TEST(ResultsDatabase, FindObjectMissingClassIsEmpty) {
+  ResultsDatabase db;
+  db.Insert(0, synth::LabelSet::Of(synth::ObjectClass::kCar));
+  EXPECT_TRUE(db.FindObject(synth::ObjectClass::kBoat, 10).empty());
+}
+
+class SystemTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::SceneConfig c;
+    c.width = 128;
+    c.height = 96;
+    c.num_frames = 150;
+    c.seed = 71;
+    c.mean_gap_seconds = 1.2;
+    c.min_gap_seconds = 0.6;
+    c.mean_dwell_seconds = 1.5;
+    c.min_dwell_seconds = 0.8;
+    scene_ = new synth::SyntheticVideo(synth::GenerateScene(c));
+
+    nn::ClassifierParams cp;
+    cp.input_size = 48;
+    cp.embedding_dim = 32;
+    classifier_ = new nn::FrameClassifier(cp);
+    ASSERT_TRUE(classifier_->Fit(scene_->video.frames, scene_->truth, 5).ok());
+
+    codec::EncoderParams params = codec::EncoderParams::Semantic(100000, 280);
+    auto encoded = codec::VideoEncoder(params).Encode(scene_->video);
+    ASSERT_TRUE(encoded.ok());
+    encoded_ = new codec::EncodedVideo(std::move(*encoded));
+  }
+  static void TearDownTestSuite() {
+    delete scene_;
+    delete classifier_;
+    delete encoded_;
+  }
+
+  static synth::SyntheticVideo* scene_;
+  static nn::FrameClassifier* classifier_;
+  static codec::EncodedVideo* encoded_;
+};
+
+synth::SyntheticVideo* SystemTest::scene_ = nullptr;
+nn::FrameClassifier* SystemTest::classifier_ = nullptr;
+codec::EncodedVideo* SystemTest::encoded_ = nullptr;
+
+TEST_F(SystemTest, RequiresFittedClassifier) {
+  nn::FrameClassifier unfitted;
+  SieveSystem system(SystemConfig{}, &unfitted);
+  ResultsDatabase db;
+  EXPECT_FALSE(system.Run(*encoded_, db).ok());
+}
+
+TEST_F(SystemTest, CloudRunProcessesOnlyIFrames) {
+  SystemConfig config;
+  config.nn_input_size = 48;
+  SieveSystem system(config, classifier_);
+  ResultsDatabase db;
+  auto report = system.Run(*encoded_, db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->frames_streamed, encoded_->records.size());
+  EXPECT_EQ(report->iframes_selected, encoded_->IntraFrameCount());
+  EXPECT_EQ(report->labels_written, report->iframes_selected);
+  EXPECT_EQ(db.size(), report->iframes_selected);
+}
+
+TEST_F(SystemTest, BytesAccountedOnBothHops) {
+  SystemConfig config;
+  config.nn_input_size = 48;
+  SieveSystem system(config, classifier_);
+  ResultsDatabase db;
+  auto report = system.Run(*encoded_, db);
+  ASSERT_TRUE(report.ok());
+  // Camera->edge carries every frame (payload + header bytes).
+  std::size_t expected_c2e = 0;
+  for (const auto& r : encoded_->records) {
+    expected_c2e += r.payload_size + codec::FrameRecord::kHeaderSize;
+  }
+  EXPECT_EQ(report->camera_to_edge_bytes, expected_c2e);
+  // Edge->cloud only carries resized stills of I-frames: far smaller.
+  EXPECT_GT(report->edge_to_cloud_bytes, 0u);
+  EXPECT_LT(report->edge_to_cloud_bytes, report->camera_to_edge_bytes / 3);
+}
+
+TEST_F(SystemTest, EdgeNnSendsNothingToCloud) {
+  SystemConfig config;
+  config.nn_tier = NnTier::kEdge;
+  config.nn_input_size = 48;
+  SieveSystem system(config, classifier_);
+  ResultsDatabase db;
+  auto report = system.Run(*encoded_, db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->edge_to_cloud_bytes, 0u);
+  EXPECT_EQ(report->labels_written, encoded_->IntraFrameCount());
+}
+
+TEST_F(SystemTest, PropagatedLabelsAreMostlyCorrect) {
+  SystemConfig config;
+  config.nn_input_size = 48;
+  SieveSystem system(config, classifier_);
+  ResultsDatabase db;
+  ASSERT_TRUE(system.Run(*encoded_, db).ok());
+
+  std::size_t correct = 0;
+  for (std::size_t f = 0; f < scene_->truth.frame_count(); ++f) {
+    if (db.LabelAt(f) == scene_->truth.label(f)) ++correct;
+  }
+  const double accuracy = double(correct) / double(scene_->truth.frame_count());
+  EXPECT_GT(accuracy, 0.7)
+      << "end-to-end propagated per-frame accuracy through the real pipeline";
+}
+
+TEST_F(SystemTest, StageStatsCoverPipeline) {
+  SystemConfig config;
+  config.nn_input_size = 48;
+  SieveSystem system(config, classifier_);
+  ResultsDatabase db;
+  auto report = system.Run(*encoded_, db);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stages.size(), 5u);  // camera, seeker, transcode, wan, nn
+  EXPECT_EQ(report->stages[0].out, encoded_->records.size());
+  EXPECT_EQ(report->stages[1].in, encoded_->records.size());
+  EXPECT_EQ(report->stages[1].out, encoded_->IntraFrameCount());
+}
+
+}  // namespace
+}  // namespace sieve::core

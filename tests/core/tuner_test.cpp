@@ -1,0 +1,173 @@
+#include "core/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/encoder.h"
+#include "synth/scene.h"
+
+namespace sieve::core {
+namespace {
+
+synth::SyntheticVideo TestScene(std::uint64_t seed = 41, std::size_t frames = 300) {
+  synth::SceneConfig c;
+  c.width = 160;
+  c.height = 120;
+  c.num_frames = frames;
+  c.seed = seed;
+  c.mean_gap_seconds = 2.0;
+  c.min_gap_seconds = 1.0;
+  c.mean_dwell_seconds = 2.0;
+  c.min_dwell_seconds = 1.0;
+  c.noise_sigma = 1.0;
+  return synth::GenerateScene(c);
+}
+
+TEST(Tuner, ExploresFullGrid) {
+  const auto scene = TestScene();
+  TunerGrid grid;
+  grid.gop_sizes = {100, 250};
+  grid.scenecuts = {40, 200, 300};
+  const TuningResult result = TuneEncoder(scene.video, scene.truth, grid);
+  EXPECT_EQ(result.all.size(), 6u);  // k * l
+}
+
+TEST(Tuner, BestIsArgmaxF1) {
+  const auto scene = TestScene();
+  const TuningResult result =
+      TuneEncoder(scene.video, scene.truth, TunerGrid::Extended());
+  for (const auto& candidate : result.all) {
+    EXPECT_LE(candidate.quality.f1, result.best.quality.f1 + 1e-12);
+  }
+}
+
+TEST(Tuner, TunedBeatsDefaultParameters) {
+  // The Table II claim: tuned semantic parameters outscore GOP250/sc40.
+  const auto scene = TestScene(43, 400);
+  const auto costs = codec::AnalyzeVideo(scene.video);
+
+  const TuningResult tuned =
+      TuneFromCosts(costs, scene.truth, TunerGrid::Extended());
+  codec::KeyframeParams defaults;  // gop 250, sc 40
+  const auto default_keyframes = codec::PlaceKeyframes(costs, defaults);
+  const DetectionQuality default_quality =
+      EvaluateKeyframes(scene.truth, default_keyframes);
+
+  EXPECT_GT(tuned.best.quality.f1, default_quality.f1);
+  EXPECT_GT(tuned.best.quality.accuracy, default_quality.accuracy);
+}
+
+TEST(Tuner, TuneFromCostsMatchesTuneEncoder) {
+  const auto scene = TestScene(44, 200);
+  const auto costs = codec::AnalyzeVideo(scene.video);
+  TunerGrid grid;
+  grid.gop_sizes = {100};
+  grid.scenecuts = {200, 300};
+  const TuningResult a = TuneFromCosts(costs, scene.truth, grid);
+  const TuningResult b = TuneEncoder(scene.video, scene.truth, grid);
+  ASSERT_EQ(a.all.size(), b.all.size());
+  for (std::size_t i = 0; i < a.all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.all[i].quality.f1, b.all[i].quality.f1);
+  }
+}
+
+TEST(Tuner, PredictionMatchesRealEncode) {
+  // The tuner's replayed keyframe placement must equal what a real encode
+  // with the chosen parameters produces (Section IV's offline/online
+  // consistency).
+  const auto scene = TestScene(45, 250);
+  const TuningResult tuned =
+      TuneEncoder(scene.video, scene.truth, TunerGrid::Extended());
+
+  codec::EncoderParams params;
+  params.keyframe.gop_size = tuned.best.gop_size;
+  params.keyframe.scenecut = tuned.best.scenecut;
+  auto encoded = codec::VideoEncoder(params).Encode(scene.video);
+  ASSERT_TRUE(encoded.ok());
+
+  const DetectionQuality measured = [&] {
+    std::vector<bool> keyframes(encoded->records.size(), false);
+    for (const auto& r : encoded->records) {
+      keyframes[r.index] = r.type == codec::FrameType::kIntra;
+    }
+    return EvaluateKeyframes(scene.truth, keyframes);
+  }();
+  EXPECT_DOUBLE_EQ(measured.accuracy, tuned.best.quality.accuracy);
+  EXPECT_DOUBLE_EQ(measured.f1, tuned.best.quality.f1);
+}
+
+TEST(Tuner, GridCandidatesOrderedGridMajor) {
+  const auto scene = TestScene(46, 150);
+  TunerGrid grid;
+  grid.gop_sizes = {50, 100};
+  grid.scenecuts = {40, 200};
+  const TuningResult result = TuneEncoder(scene.video, scene.truth, grid);
+  ASSERT_EQ(result.all.size(), 4u);
+  EXPECT_EQ(result.all[0].gop_size, 50);
+  EXPECT_EQ(result.all[0].scenecut, 40);
+  EXPECT_EQ(result.all[1].scenecut, 200);
+  EXPECT_EQ(result.all[2].gop_size, 100);
+}
+
+TEST(CameraTable, SetGetRoundTrip) {
+  CameraParameterTable table;
+  codec::KeyframeParams params;
+  params.gop_size = 500;
+  params.scenecut = 250;
+  table.Set("jackson_square", params);
+  ASSERT_TRUE(table.Contains("jackson_square"));
+  auto got = table.Get("jackson_square");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->gop_size, 500);
+  EXPECT_EQ(got->scenecut, 250);
+}
+
+TEST(CameraTable, MissingCameraIsNotFound) {
+  CameraParameterTable table;
+  EXPECT_FALSE(table.Get("nope").ok());
+  EXPECT_FALSE(table.Contains("nope"));
+}
+
+TEST(CameraTable, SerializeDeserializeRoundTrip) {
+  CameraParameterTable table;
+  codec::KeyframeParams a;
+  a.gop_size = 500;
+  a.scenecut = 100;
+  a.min_keyint = 3;
+  codec::KeyframeParams b;
+  b.gop_size = 1000;
+  b.scenecut = 250;
+  table.Set("cam-a", a);
+  table.Set("cam-b", b);
+
+  auto restored = CameraParameterTable::Deserialize(table.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->Get("cam-a")->gop_size, 500);
+  EXPECT_EQ(restored->Get("cam-a")->min_keyint, 3);
+  EXPECT_EQ(restored->Get("cam-b")->scenecut, 250);
+}
+
+TEST(CameraTable, DeserializeRejectsGarbageLines) {
+  EXPECT_FALSE(CameraParameterTable::Deserialize("cam-a not numbers").ok());
+}
+
+TEST(CameraTable, DeserializeSkipsCommentsAndBlanks) {
+  auto table =
+      CameraParameterTable::Deserialize("# header\n\ncam 100 200 2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->Contains("cam"));
+}
+
+TEST(CameraTable, OverwriteReplaces) {
+  CameraParameterTable table;
+  codec::KeyframeParams params;
+  params.gop_size = 100;
+  table.Set("cam", params);
+  params.gop_size = 999;
+  table.Set("cam", params);
+  EXPECT_EQ(table.Get("cam")->gop_size, 999);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sieve::core

@@ -1,0 +1,182 @@
+#include "dataflow/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+namespace sieve::dataflow {
+namespace {
+
+FlowFile NumberedFile(std::uint64_t n) {
+  FlowFile f;
+  f.SetU64("n", n);
+  return f;
+}
+
+TEST(FlowFile, AttributeRoundTrip) {
+  FlowFile f;
+  f.SetAttribute("key", "value");
+  EXPECT_EQ(f.GetAttribute("key").value(), "value");
+  EXPECT_FALSE(f.GetAttribute("missing").has_value());
+}
+
+TEST(FlowFile, U64Attributes) {
+  FlowFile f;
+  f.SetU64("frame", 123456789012345ull);
+  EXPECT_EQ(f.GetU64("frame").value(), 123456789012345ull);
+  f.SetAttribute("bad", "not-a-number");
+  EXPECT_FALSE(f.GetU64("bad").has_value());
+}
+
+TEST(Pipeline, RunWithoutSourceFails) {
+  Pipeline p;
+  p.SetSink("sink", [](FlowFile) {});
+  EXPECT_FALSE(p.Run().ok());
+}
+
+TEST(Pipeline, RunWithoutSinkFails) {
+  Pipeline p;
+  std::size_t n = 0;
+  p.SetSource("src", [&n]() -> std::optional<FlowFile> {
+    if (n++ < 3) return FlowFile{};
+    return std::nullopt;
+  });
+  EXPECT_FALSE(p.Run().ok());
+}
+
+TEST(Pipeline, SourceToSinkDeliversEverything) {
+  Pipeline p;
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 100) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  std::atomic<std::size_t> received{0};
+  p.SetSink("sink", [&received](FlowFile) { received.fetch_add(1); });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(received.load(), 100u);
+  EXPECT_EQ(stats->front().out, 100u);
+  EXPECT_EQ(stats->back().in, 100u);
+}
+
+TEST(Pipeline, StagesTransformInOrder) {
+  Pipeline p;
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 10) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage("double", [](FlowFile f) -> std::optional<FlowFile> {
+    f.SetU64("n", *f.GetU64("n") * 2);
+    return f;
+  });
+  p.AddStage("plus-one", [](FlowFile f) -> std::optional<FlowFile> {
+    f.SetU64("n", *f.GetU64("n") + 1);
+    return f;
+  });
+  std::mutex m;
+  std::set<std::uint64_t> values;
+  p.SetSink("sink", [&](FlowFile f) {
+    std::lock_guard<std::mutex> lock(m);
+    values.insert(*f.GetU64("n"));
+  });
+  ASSERT_TRUE(p.Run().ok());
+  ASSERT_EQ(values.size(), 10u);
+  for (std::uint64_t n = 0; n < 10; ++n) {
+    EXPECT_TRUE(values.contains(n * 2 + 1));
+  }
+}
+
+TEST(Pipeline, FilterStageDropsItems) {
+  Pipeline p;
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 50) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage("evens-only", [](FlowFile f) -> std::optional<FlowFile> {
+    if (*f.GetU64("n") % 2 != 0) return std::nullopt;
+    return f;
+  });
+  std::atomic<std::size_t> received{0};
+  p.SetSink("sink", [&received](FlowFile) { received.fetch_add(1); });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(received.load(), 25u);
+  EXPECT_EQ((*stats)[1].in, 50u);
+  EXPECT_EQ((*stats)[1].out, 25u);
+}
+
+TEST(Pipeline, ParallelStageProcessesEverythingOnce) {
+  Pipeline p(4);
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 200) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage(
+      "work",
+      [](FlowFile f) -> std::optional<FlowFile> { return f; }, 4);
+  std::mutex m;
+  std::multiset<std::uint64_t> seen;
+  p.SetSink("sink", [&](FlowFile f) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.insert(*f.GetU64("n"));
+  });
+  ASSERT_TRUE(p.Run().ok());
+  EXPECT_EQ(seen.size(), 200u);
+  for (std::uint64_t n = 0; n < 200; ++n) EXPECT_EQ(seen.count(n), 1u);
+}
+
+TEST(Pipeline, BackpressureLimitsQueueDepth) {
+  Pipeline p(2);  // tiny connections
+  std::size_t produced = 0;
+  p.SetSource("fast-src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 100) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage("slow", [](FlowFile f) -> std::optional<FlowFile> {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return f;
+  });
+  std::atomic<std::size_t> received{0};
+  p.SetSink("sink", [&received](FlowFile) { received.fetch_add(1); });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(received.load(), 100u);
+  for (const auto& s : *stats) {
+    EXPECT_LE(s.peak_queue, 2u) << s.name;
+  }
+}
+
+TEST(Pipeline, StatsNamesInOrder) {
+  Pipeline p;
+  std::size_t produced = 0;
+  p.SetSource("camera", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 1) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage("edge", [](FlowFile f) -> std::optional<FlowFile> { return f; });
+  p.SetSink("cloud", [](FlowFile) {});
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 3u);
+  EXPECT_EQ((*stats)[0].name, "camera");
+  EXPECT_EQ((*stats)[1].name, "edge");
+  EXPECT_EQ((*stats)[2].name, "cloud");
+}
+
+TEST(Pipeline, EmptySourceCompletesCleanly) {
+  Pipeline p;
+  p.SetSource("empty", []() -> std::optional<FlowFile> { return std::nullopt; });
+  p.SetSink("sink", [](FlowFile) { FAIL() << "nothing should arrive"; });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->back().in, 0u);
+}
+
+}  // namespace
+}  // namespace sieve::dataflow

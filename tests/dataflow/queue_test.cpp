@@ -1,0 +1,128 @@
+#include "dataflow/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sieve::dataflow {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop().value(), i);
+}
+
+TEST(BoundedQueue, PopAfterCloseDrainsThenEnds) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueue, PushAfterCloseFails) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+}
+
+TEST(BoundedQueue, BackpressureBlocksUntilPop) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&q, &third_pushed] {
+    q.Push(3);  // must block until a consumer pops
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_pushed.load()) << "push must block at capacity";
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, BlockedPushWakesOnClose) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&q, &returned] {
+    EXPECT_FALSE(q.Push(2));  // woken by Close, returns failure
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, BlockedPopWakesOnClose) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&q, &returned] {
+    EXPECT_FALSE(q.Pop().has_value());
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, MpmcTransfersEverythingExactlyOnce) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&q, &sum, &popped] {
+      for (;;) {
+        auto v = q.Pop();
+        if (!v) return;
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[std::size_t(p)].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[std::size_t(kProducers + c)].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), (long long)(total) * (total - 1) / 2);
+}
+
+TEST(BoundedQueue, PeakDepthTracksHighWater) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  q.Pop();
+  q.Push(4);
+  EXPECT_EQ(q.peak_depth(), 3u);
+  EXPECT_EQ(q.pushed(), 4u);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_EQ(q.Pop().value(), 1);
+}
+
+}  // namespace
+}  // namespace sieve::dataflow

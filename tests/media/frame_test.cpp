@@ -1,0 +1,94 @@
+#include "media/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::media {
+namespace {
+
+TEST(Plane, DefaultIsEmpty) {
+  Plane p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.width(), 0);
+  EXPECT_EQ(p.height(), 0);
+}
+
+TEST(Plane, ConstructionFills) {
+  Plane p(4, 3, 17);
+  EXPECT_EQ(p.size(), 12u);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) EXPECT_EQ(p.at(x, y), 17);
+  }
+}
+
+TEST(Plane, AtClampedBorders) {
+  Plane p(2, 2);
+  p.at(0, 0) = 1;
+  p.at(1, 0) = 2;
+  p.at(0, 1) = 3;
+  p.at(1, 1) = 4;
+  EXPECT_EQ(p.at_clamped(-5, -5), 1);
+  EXPECT_EQ(p.at_clamped(10, -1), 2);
+  EXPECT_EQ(p.at_clamped(-1, 10), 3);
+  EXPECT_EQ(p.at_clamped(10, 10), 4);
+  EXPECT_EQ(p.at_clamped(0, 0), 1);
+}
+
+TEST(Plane, RowPointersAreContiguous) {
+  Plane p(3, 2);
+  p.at(2, 1) = 99;
+  EXPECT_EQ(p.row(1)[2], 99);
+  EXPECT_EQ(p.data() + 3, p.row(1));
+}
+
+TEST(Plane, FillOverwrites) {
+  Plane p(4, 4, 0);
+  p.Fill(200);
+  EXPECT_EQ(p.at(3, 3), 200);
+}
+
+TEST(Plane, SameSizeComparison) {
+  EXPECT_TRUE(Plane(3, 4).SameSize(Plane(3, 4)));
+  EXPECT_FALSE(Plane(3, 4).SameSize(Plane(4, 3)));
+}
+
+TEST(Frame, ChromaIsHalfResolution) {
+  Frame f(640, 480);
+  EXPECT_EQ(f.y().width(), 640);
+  EXPECT_EQ(f.u().width(), 320);
+  EXPECT_EQ(f.u().height(), 240);
+  EXPECT_EQ(f.v().width(), 320);
+}
+
+TEST(Frame, InitializedToNeutralGrey) {
+  Frame f(16, 16);
+  EXPECT_EQ(f.y().at(0, 0), 128);
+  EXPECT_EQ(f.u().at(0, 0), 128);
+  EXPECT_EQ(f.v().at(0, 0), 128);
+}
+
+TEST(Frame, ByteSizeIs420) {
+  Frame f(64, 32);
+  EXPECT_EQ(f.ByteSize(), std::size_t(64 * 32 * 3 / 2));
+}
+
+TEST(Frame, CreateRejectsOddDimensions) {
+  EXPECT_FALSE(Frame::Create(3, 4).ok());
+  EXPECT_FALSE(Frame::Create(4, 3).ok());
+  EXPECT_TRUE(Frame::Create(4, 4).ok());
+}
+
+TEST(Frame, CreateRejectsNonPositive) {
+  EXPECT_FALSE(Frame::Create(0, 4).ok());
+  EXPECT_FALSE(Frame::Create(4, -2).ok());
+}
+
+TEST(RawVideo, DurationFromFps) {
+  RawVideo v;
+  v.fps = 30.0;
+  v.frames.resize(90, Frame(2, 2));
+  EXPECT_DOUBLE_EQ(v.duration_seconds(), 3.0);
+  EXPECT_EQ(v.frame_count(), 90u);
+}
+
+}  // namespace
+}  // namespace sieve::media

@@ -1,0 +1,149 @@
+#include "media/image_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::media {
+namespace {
+
+Plane Constant(int w, int h, std::uint8_t v) { return Plane(w, h, v); }
+
+TEST(Resize, IdentityPreservesPixels) {
+  Plane p(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) p.at(x, y) = std::uint8_t(x * 10 + y);
+  }
+  const Plane r = ResizePlane(p, 8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(r.at(x, y), p.at(x, y));
+  }
+}
+
+TEST(Resize, ConstantStaysConstant) {
+  const Plane r = ResizePlane(Constant(16, 12, 77), 31, 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 31; ++x) EXPECT_EQ(r.at(x, y), 77);
+  }
+}
+
+TEST(Resize, UpscaleInterpolatesBetweenValues) {
+  Plane p(2, 1);
+  p.at(0, 0) = 0;
+  p.at(1, 0) = 200;
+  const Plane r = ResizePlane(p, 4, 1);
+  EXPECT_LE(r.at(0, 0), r.at(1, 0));
+  EXPECT_LE(r.at(1, 0), r.at(2, 0));
+  EXPECT_LE(r.at(2, 0), r.at(3, 0));
+}
+
+TEST(Resize, FrameKeepsChromaSubsampling) {
+  Frame f(64, 48);
+  const Frame r = ResizeFrame(f, 32, 16);
+  EXPECT_EQ(r.width(), 32);
+  EXPECT_EQ(r.height(), 16);
+  EXPECT_EQ(r.u().width(), 16);
+  EXPECT_EQ(r.u().height(), 8);
+}
+
+TEST(BoxBlur, ZeroRadiusIsCopy) {
+  Plane p(4, 4);
+  p.at(1, 1) = 255;
+  const Plane b = BoxBlur(p, 0);
+  EXPECT_EQ(b.at(1, 1), 255);
+}
+
+TEST(BoxBlur, SpreadsImpulse) {
+  Plane p(9, 9, 0);
+  p.at(4, 4) = 90;
+  const Plane b = BoxBlur(p, 1);
+  EXPECT_EQ(b.at(4, 4), 10);  // 90 / 9
+  EXPECT_EQ(b.at(3, 4), 10);
+  EXPECT_EQ(b.at(0, 0), 0);
+}
+
+TEST(BoxBlur, PreservesConstant) {
+  const Plane b = BoxBlur(Constant(10, 10, 100), 3);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) EXPECT_EQ(b.at(x, y), 100);
+  }
+}
+
+TEST(GaussianBlur, PreservesConstant) {
+  const Plane b = GaussianBlur(Constant(12, 12, 50), 1.5);
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 12; ++x) EXPECT_NEAR(b.at(x, y), 50, 1);
+  }
+}
+
+TEST(GaussianBlur, ReducesImpulsePeak) {
+  Plane p(15, 15, 0);
+  p.at(7, 7) = 255;
+  const Plane b = GaussianBlur(p, 1.0);
+  EXPECT_LT(b.at(7, 7), 80);
+  EXPECT_GT(b.at(7, 7), b.at(5, 7));
+}
+
+TEST(GaussianBlur, NonPositiveSigmaIsCopy) {
+  Plane p(4, 4, 9);
+  p.at(0, 0) = 200;
+  const Plane b = GaussianBlur(p, 0.0);
+  EXPECT_EQ(b.at(0, 0), 200);
+}
+
+TEST(Downsample2x, AveragesQuads) {
+  Plane p(4, 2);
+  p.at(0, 0) = 10;
+  p.at(1, 0) = 20;
+  p.at(0, 1) = 30;
+  p.at(1, 1) = 40;
+  const Plane d = Downsample2x(p);
+  EXPECT_EQ(d.width(), 2);
+  EXPECT_EQ(d.height(), 1);
+  EXPECT_EQ(d.at(0, 0), 25);  // (10+20+30+40+2)/4
+}
+
+TEST(Downsample2x, HalvesDimensions) {
+  const Plane d = Downsample2x(Plane(640, 480));
+  EXPECT_EQ(d.width(), 320);
+  EXPECT_EQ(d.height(), 240);
+}
+
+TEST(Sobel, FlatImageHasZeroGradient) {
+  const GradientField g = SobelGradients(Constant(8, 8, 120));
+  for (auto v : g.dx) EXPECT_EQ(v, 0);
+  for (auto v : g.dy) EXPECT_EQ(v, 0);
+}
+
+TEST(Sobel, VerticalEdgeHasHorizontalGradient) {
+  Plane p(8, 8, 0);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 4; x < 8; ++x) p.at(x, y) = 100;
+  }
+  const GradientField g = SobelGradients(p);
+  const std::size_t idx = 3 * 8 + 4;  // at the edge, interior row
+  EXPECT_GT(g.dx[idx - 1], 0);
+  EXPECT_EQ(g.dy[3 * 8 + 2], 0);  // far from horizontal edges
+}
+
+TEST(ColorConversion, RoundTripIsClose) {
+  for (int r = 0; r <= 255; r += 51) {
+    for (int g = 0; g <= 255; g += 51) {
+      for (int b = 0; b <= 255; b += 51) {
+        const Rgb in{std::uint8_t(r), std::uint8_t(g), std::uint8_t(b)};
+        const Rgb out = YuvToRgb(RgbToYuv(in));
+        EXPECT_NEAR(out.r, in.r, 4);
+        EXPECT_NEAR(out.g, in.g, 4);
+        EXPECT_NEAR(out.b, in.b, 4);
+      }
+    }
+  }
+}
+
+TEST(ColorConversion, GreyIsNeutralChroma) {
+  const Yuv y = RgbToYuv(Rgb{128, 128, 128});
+  EXPECT_NEAR(y.u, 128, 1);
+  EXPECT_NEAR(y.v, 128, 1);
+  EXPECT_NEAR(y.y, 128, 1);
+}
+
+}  // namespace
+}  // namespace sieve::media

@@ -1,0 +1,88 @@
+#include "media/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::media {
+namespace {
+
+TEST(Mse, IdenticalPlanesIsZero) {
+  Plane a(8, 8, 100);
+  EXPECT_EQ(PlaneMse(a, a), 0.0);
+}
+
+TEST(Mse, KnownDifference) {
+  Plane a(2, 2, 10), b(2, 2, 13);
+  EXPECT_DOUBLE_EQ(PlaneMse(a, b), 9.0);
+}
+
+TEST(Mse, MixedDifference) {
+  Plane a(2, 1), b(2, 1);
+  a.at(0, 0) = 0;
+  a.at(1, 0) = 10;
+  b.at(0, 0) = 4;   // diff 4 -> 16
+  b.at(1, 0) = 10;  // diff 0
+  EXPECT_DOUBLE_EQ(PlaneMse(a, b), 8.0);
+}
+
+TEST(Mse, SizeMismatchReturnsZero) {
+  EXPECT_EQ(PlaneMse(Plane(2, 2), Plane(4, 4)), 0.0);
+}
+
+TEST(Psnr, ZeroMseSaturates) { EXPECT_EQ(PsnrFromMse(0.0), 99.0); }
+
+TEST(Psnr, KnownValue) {
+  // MSE 255^2 -> PSNR 0 dB.
+  EXPECT_NEAR(PsnrFromMse(255.0 * 255.0), 0.0, 1e-9);
+  // MSE 1 -> 48.13 dB.
+  EXPECT_NEAR(PsnrFromMse(1.0), 48.1308, 1e-3);
+}
+
+TEST(Psnr, FramePsnrUsesLuma) {
+  Frame a(4, 4), b(4, 4);
+  b.y().Fill(130);  // a is 128
+  EXPECT_NEAR(FramePsnr(a, b), PsnrFromMse(4.0), 1e-9);
+}
+
+TEST(RegionSad, IdenticalRegionsZero) {
+  Plane p(16, 16, 50);
+  EXPECT_EQ(RegionSad(p, 0, 0, p, 0, 0, 8, 8), 0u);
+}
+
+TEST(RegionSad, KnownValue) {
+  Plane a(4, 4, 10), b(4, 4, 14);
+  EXPECT_EQ(RegionSad(a, 0, 0, b, 0, 0, 4, 4), 64u);  // 16 px * 4
+}
+
+TEST(RegionSad, OffsetRegions) {
+  Plane p(8, 1);
+  for (int x = 0; x < 8; ++x) p.at(x, 0) = std::uint8_t(x * 10);
+  // Compare [0..3] against [1..4]: each pair differs by 10.
+  EXPECT_EQ(RegionSad(p, 0, 0, p, 1, 0, 4, 1), 40u);
+}
+
+TEST(RegionSad, OutOfBoundsClampsLikePadding) {
+  Plane a(4, 4, 100);
+  Plane b(4, 4, 100);
+  // Region partially outside: clamped reads should still match.
+  EXPECT_EQ(RegionSad(a, -2, -2, b, -2, -2, 4, 4), 0u);
+}
+
+TEST(RegionVariance, ConstantRegionIsZero) {
+  Plane p(8, 8, 42);
+  EXPECT_DOUBLE_EQ(RegionVariance(p, 0, 0, 8, 8), 0.0);
+}
+
+TEST(RegionVariance, TwoValueRegion) {
+  Plane p(2, 1);
+  p.at(0, 0) = 0;
+  p.at(1, 0) = 100;
+  EXPECT_DOUBLE_EQ(RegionVariance(p, 0, 0, 2, 1), 2500.0);
+}
+
+TEST(RegionVariance, EmptyRegionIsZero) {
+  Plane p(4, 4, 1);
+  EXPECT_EQ(RegionVariance(p, 0, 0, 0, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace sieve::media

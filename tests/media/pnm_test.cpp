@@ -1,0 +1,59 @@
+#include "media/pnm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace sieve::media {
+namespace {
+
+TEST(Pnm, PgmRoundTrip) {
+  Plane p(17, 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 17; ++x) p.at(x, y) = std::uint8_t((x * 31 + y * 7) % 256);
+  }
+  const std::string path = testing::TempDir() + "/sieve_test.pgm";
+  ASSERT_TRUE(WritePgm(path, p).ok());
+  auto read = ReadPgm(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->width(), 17);
+  EXPECT_EQ(read->height(), 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 17; ++x) EXPECT_EQ(read->at(x, y), p.at(x, y));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, ReadMissingPgmFails) {
+  EXPECT_FALSE(ReadPgm("/nonexistent/foo.pgm").ok());
+}
+
+TEST(Pnm, ReadGarbageFails) {
+  const std::string path = testing::TempDir() + "/sieve_garbage.pgm";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("NOT A PGM", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadPgm(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, WritePpmProducesP6Header) {
+  Frame frame(8, 8);
+  const std::string path = testing::TempDir() + "/sieve_test.ppm";
+  ASSERT_TRUE(WritePpm(path, frame).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {0};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(magic, 2), "P6");
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, WriteToBadPathFails) {
+  EXPECT_FALSE(WritePgm("/nonexistent/dir/x.pgm", Plane(2, 2)).ok());
+  EXPECT_FALSE(WritePpm("/nonexistent/dir/x.ppm", Frame(2, 2)).ok());
+}
+
+}  // namespace
+}  // namespace sieve::media

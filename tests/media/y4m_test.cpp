@@ -1,0 +1,119 @@
+#include "media/y4m.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "media/metrics.h"
+
+namespace sieve::media {
+namespace {
+
+RawVideo TestVideo(int frames = 5, int w = 32, int h = 24, double fps = 30.0) {
+  RawVideo v;
+  v.width = w;
+  v.height = h;
+  v.fps = fps;
+  for (int f = 0; f < frames; ++f) {
+    Frame frame(w, h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        frame.y().at(x, y) = std::uint8_t((x * 3 + y * 5 + f * 7) % 256);
+      }
+    }
+    frame.u().Fill(std::uint8_t(100 + f));
+    frame.v().Fill(std::uint8_t(150 - f));
+    v.frames.push_back(std::move(frame));
+  }
+  return v;
+}
+
+TEST(Y4m, RoundTripIsBitExact) {
+  const std::string path = testing::TempDir() + "/sieve_test.y4m";
+  const RawVideo original = TestVideo();
+  ASSERT_TRUE(WriteY4m(path, original).ok());
+  auto read = ReadY4m(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->width, 32);
+  EXPECT_EQ(read->height, 24);
+  EXPECT_DOUBLE_EQ(read->fps, 30.0);
+  ASSERT_EQ(read->frames.size(), original.frames.size());
+  for (std::size_t f = 0; f < original.frames.size(); ++f) {
+    EXPECT_EQ(FrameMse(original.frames[f], read->frames[f]), 0.0);
+    EXPECT_EQ(PlaneMse(original.frames[f].u(), read->frames[f].u()), 0.0);
+    EXPECT_EQ(PlaneMse(original.frames[f].v(), read->frames[f].v()), 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Y4m, FractionalFpsRoundTrip) {
+  const std::string path = testing::TempDir() + "/sieve_2997.y4m";
+  ASSERT_TRUE(WriteY4m(path, TestVideo(2, 16, 16, 29.97)).ok());
+  auto read = ReadY4m(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_NEAR(read->fps, 29.97, 0.001);
+  std::remove(path.c_str());
+}
+
+TEST(Y4m, EmptyVideoRejected) {
+  RawVideo empty;
+  empty.width = 16;
+  empty.height = 16;
+  EXPECT_FALSE(WriteY4m(testing::TempDir() + "/x.y4m", empty).ok());
+}
+
+TEST(Y4m, MissingFileRejected) {
+  EXPECT_FALSE(ReadY4m("/nonexistent/foo.y4m").ok());
+}
+
+TEST(Y4m, GarbageRejected) {
+  const std::string path = testing::TempDir() + "/sieve_garbage.y4m";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("MPEG4YUV nope\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadY4m(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Y4m, TruncatedFrameRejected) {
+  const std::string path = testing::TempDir() + "/sieve_trunc.y4m";
+  ASSERT_TRUE(WriteY4m(path, TestVideo(2)).ok());
+  // Truncate mid-frame.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 100), 0);
+  EXPECT_FALSE(ReadY4m(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Y4m, Non420ChromaRejected) {
+  const std::string path = testing::TempDir() + "/sieve_444.y4m";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("YUV4MPEG2 W4 H4 F30:1 Ip A0:0 C444\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadY4m(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Y4m, FrameParametersToleratedOnFrameLine) {
+  // Some muxers append parameters after FRAME; the reader must accept them.
+  const std::string path = testing::TempDir() + "/sieve_params.y4m";
+  const RawVideo v = TestVideo(1, 4, 4);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("YUV4MPEG2 W4 H4 F30:1\n", f);
+  std::fputs("FRAME Xsomething\n", f);
+  std::fwrite(v.frames[0].y().data(), 1, v.frames[0].y().size(), f);
+  std::fwrite(v.frames[0].u().data(), 1, v.frames[0].u().size(), f);
+  std::fwrite(v.frames[0].v().data(), 1, v.frames[0].v().size(), f);
+  std::fclose(f);
+  auto read = ReadY4m(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->frames.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sieve::media

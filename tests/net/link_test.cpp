@@ -1,0 +1,77 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sieve::net {
+namespace {
+
+TEST(LinkModel, TransferTimeScalesWithBytes) {
+  const LinkModel link{30.0, 0.0};  // 30 Mbps, no RTT
+  // 30 Mbps = 3.75 MB/s -> 3.75 MB takes 1 s.
+  EXPECT_NEAR(link.TransferSeconds(3750000), 1.0, 1e-9);
+  EXPECT_NEAR(link.TransferSeconds(7500000), 2.0, 1e-9);
+}
+
+TEST(LinkModel, RttIsAFloor) {
+  const LinkModel link{1000.0, 50.0};
+  EXPECT_GE(link.TransferSeconds(0), 0.05);
+  EXPECT_NEAR(link.TransferSeconds(0), 0.05, 1e-9);
+}
+
+TEST(LinkModel, WanIsThePapersThirtyMbps) {
+  EXPECT_DOUBLE_EQ(LinkModel::Wan().bandwidth_mbps, 30.0);
+  EXPECT_GT(LinkModel::Lan().bandwidth_mbps, LinkModel::Wan().bandwidth_mbps);
+}
+
+TEST(ByteMeter, AccumulatesAtomically) {
+  ByteMeter meter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&meter] {
+      for (int i = 0; i < 1000; ++i) meter.Record(10);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(meter.bytes(), 40000u);
+  EXPECT_EQ(meter.messages(), 4000u);
+}
+
+TEST(ByteMeter, GigabytesConversion) {
+  ByteMeter meter;
+  meter.Record(2500000000u);
+  EXPECT_NEAR(meter.gigabytes(), 2.5, 1e-9);
+}
+
+TEST(ByteMeter, ResetClears) {
+  ByteMeter meter;
+  meter.Record(100);
+  meter.Reset();
+  EXPECT_EQ(meter.bytes(), 0u);
+  EXPECT_EQ(meter.messages(), 0u);
+}
+
+TEST(RealizedLink, ZeroScaleMetersWithoutSleeping) {
+  RealizedLink link(LinkModel{0.001, 10000.0}, 0.0);  // would be ~80s for 10B
+  const double modelled = link.Transfer(10);
+  EXPECT_GT(modelled, 10.0);  // modelled seconds are large
+  EXPECT_EQ(link.meter().bytes(), 10u);
+}
+
+TEST(RealizedLink, ScaledSleepIsApplied) {
+  // 1 MB at 8 Mbps = 1 s modelled; scale 0.02 -> ~20 ms real.
+  RealizedLink link(LinkModel{8.0, 0.0}, 0.02);
+  const auto start = std::chrono::steady_clock::now();
+  const double modelled = link.Transfer(1000000);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_NEAR(modelled, 1.0, 1e-6);
+  EXPECT_GE(waited, 0.015);
+  EXPECT_LT(waited, 0.5);
+}
+
+}  // namespace
+}  // namespace sieve::net

@@ -1,0 +1,128 @@
+#include "nn/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/scene.h"
+
+namespace sieve::nn {
+namespace {
+
+synth::SyntheticVideo TrainingScene(std::uint64_t seed,
+                                    std::vector<synth::ObjectClass> classes) {
+  synth::SceneConfig c;
+  c.width = 160;
+  c.height = 120;
+  c.num_frames = 400;
+  c.seed = seed;
+  c.classes = std::move(classes);
+  c.mean_gap_seconds = 1.2;
+  c.min_gap_seconds = 0.5;
+  c.mean_dwell_seconds = 2.0;
+  c.min_dwell_seconds = 1.0;
+  c.noise_sigma = 1.0;
+  return synth::GenerateScene(c);
+}
+
+ClassifierParams FastParams() {
+  ClassifierParams p;
+  p.input_size = 48;
+  p.embedding_dim = 32;
+  return p;
+}
+
+TEST(Classifier, PredictBeforeFitFails) {
+  FrameClassifier classifier(FastParams());
+  EXPECT_FALSE(classifier.fitted());
+  EXPECT_FALSE(classifier.Predict(media::Frame(48, 48)).ok());
+}
+
+TEST(Classifier, FitRejectsMismatchedLengths) {
+  FrameClassifier classifier(FastParams());
+  std::vector<media::Frame> frames(3, media::Frame(48, 48));
+  synth::GroundTruth truth(std::vector<synth::LabelSet>(5));
+  EXPECT_FALSE(classifier.Fit(frames, truth).ok());
+}
+
+TEST(Classifier, FitRejectsEmpty) {
+  FrameClassifier classifier(FastParams());
+  EXPECT_FALSE(classifier.Fit({}, synth::GroundTruth()).ok());
+}
+
+TEST(Classifier, EmbeddingIsDeterministic) {
+  FrameClassifier classifier(FastParams());
+  const auto scene = TrainingScene(1, {synth::ObjectClass::kCar});
+  const auto a = classifier.Embed(scene.video.frames[10]);
+  const auto b = classifier.Embed(scene.video.frames[10]);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Classifier, SeparatesEmptyFromOccupied) {
+  const auto scene = TrainingScene(2, {synth::ObjectClass::kCar});
+  FrameClassifier classifier(FastParams());
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 4).ok());
+  EXPECT_GE(classifier.centroid_count(), 2u);
+
+  const double accuracy = classifier.Evaluate(scene.video.frames, scene.truth, 7);
+  EXPECT_GT(accuracy, 0.85) << "near-oracle on its own training distribution";
+}
+
+TEST(Classifier, GeneralizesToHeldOutFramesSameScene) {
+  // Fit on the first half, evaluate on the second half.
+  const auto scene = TrainingScene(3, {synth::ObjectClass::kPerson});
+  const std::size_t half = scene.video.frames.size() / 2;
+  std::vector<media::Frame> train(scene.video.frames.begin(),
+                                  scene.video.frames.begin() + std::ptrdiff_t(half));
+  std::vector<synth::LabelSet> train_labels(
+      scene.truth.labels().begin(),
+      scene.truth.labels().begin() + std::ptrdiff_t(half));
+  std::vector<media::Frame> test(scene.video.frames.begin() + std::ptrdiff_t(half),
+                                 scene.video.frames.end());
+  std::vector<synth::LabelSet> test_labels(
+      scene.truth.labels().begin() + std::ptrdiff_t(half),
+      scene.truth.labels().end());
+
+  FrameClassifier classifier(FastParams());
+  ASSERT_TRUE(classifier
+                  .Fit(train, synth::GroundTruth(std::move(train_labels)), 4)
+                  .ok());
+  const double accuracy =
+      classifier.Evaluate(test, synth::GroundTruth(std::move(test_labels)), 5);
+  EXPECT_GT(accuracy, 0.75);
+}
+
+TEST(Classifier, DistinguishesTwoClasses) {
+  const auto scene = TrainingScene(
+      4, {synth::ObjectClass::kCar, synth::ObjectClass::kPerson});
+  FrameClassifier classifier(FastParams());
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 3).ok());
+
+  // Count per-class prediction accuracy on occupied frames.
+  std::size_t correct = 0, total = 0;
+  for (std::size_t f = 0; f < scene.video.frames.size(); f += 5) {
+    if (scene.truth.label(f).empty()) continue;
+    auto predicted = classifier.Predict(scene.video.frames[f]);
+    ASSERT_TRUE(predicted.ok());
+    ++total;
+    if (*predicted == scene.truth.label(f)) ++correct;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(double(correct) / double(total), 0.7);
+}
+
+TEST(Classifier, EvaluateStrideClampsToOne) {
+  const auto scene = TrainingScene(5, {synth::ObjectClass::kBoat});
+  FrameClassifier classifier(FastParams());
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 20).ok());
+  // stride 0 must not crash (clamped to 1) — evaluate on a small slice.
+  std::vector<media::Frame> slice(scene.video.frames.begin(),
+                                  scene.video.frames.begin() + 10);
+  std::vector<synth::LabelSet> labels(scene.truth.labels().begin(),
+                                      scene.truth.labels().begin() + 10);
+  const double acc =
+      classifier.Evaluate(slice, synth::GroundTruth(std::move(labels)), 0);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace
+}  // namespace sieve::nn

@@ -1,0 +1,99 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::nn {
+namespace {
+
+TEST(Network, BackboneOutputIsEmbedding) {
+  Network net = MakeBackbone(64, 32, 1);
+  Tensor in(Shape{3, 64, 64});
+  const Tensor out = net.Forward(in);
+  EXPECT_EQ(out.shape(), (Shape{32, 1, 1}));
+}
+
+TEST(Network, DeterministicInSeed) {
+  Network a = MakeBackbone(32, 16, 7);
+  Network b = MakeBackbone(32, 16, 7);
+  Tensor in(Shape{3, 32, 32});
+  for (std::size_t i = 0; i < in.size(); ++i) in.values()[i] = float(i % 13) / 13.0f;
+  const Tensor oa = a.Forward(in), ob = b.Forward(in);
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa.values()[i], ob.values()[i]);
+  }
+}
+
+TEST(Network, DifferentSeedsDiffer) {
+  Network a = MakeBackbone(32, 16, 1);
+  Network b = MakeBackbone(32, 16, 2);
+  Tensor in(Shape{3, 32, 32});
+  for (std::size_t i = 0; i < in.size(); ++i) in.values()[i] = 0.5f;
+  const Tensor oa = a.Forward(in), ob = b.Forward(in);
+  bool differ = false;
+  for (std::size_t i = 0; i < oa.size() && !differ; ++i) {
+    differ = oa.values()[i] != ob.values()[i];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Network, ForwardRangeComposes) {
+  Network net = MakeBackbone(32, 16, 3);
+  Tensor in(Shape{3, 32, 32});
+  for (std::size_t i = 0; i < in.size(); ++i) in.values()[i] = float(i % 11) / 11.0f;
+  const Tensor full = net.Forward(in);
+  // Split at every layer boundary: prefix + suffix must equal full forward.
+  for (std::size_t split = 0; split <= net.LayerCount(); ++split) {
+    const Tensor mid = net.ForwardRange(in, 0, split);
+    const Tensor out = net.ForwardRange(mid, split, net.LayerCount());
+    ASSERT_EQ(out.size(), full.size()) << "split " << split;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out.values()[i], full.values()[i])
+          << "split " << split << " elem " << i;
+    }
+  }
+}
+
+TEST(Network, ProfileShapesChain) {
+  Network net = MakeBackbone(96, 64, 4);
+  const auto profile = net.Profile();
+  ASSERT_EQ(profile.size(), net.LayerCount());
+  EXPECT_EQ(profile.back().output_shape, (Shape{64, 1, 1}));
+  for (const auto& entry : profile) {
+    EXPECT_GT(entry.output_bytes, 0u);
+    EXPECT_FALSE(entry.name.empty());
+  }
+}
+
+TEST(Network, ProfileMacsDominatedByConvs) {
+  Network net = MakeBackbone(96, 64, 5);
+  const auto profile = net.Profile();
+  std::uint64_t conv_macs = 0, other_macs = 0;
+  for (const auto& entry : profile) {
+    if (entry.name.rfind("conv", 0) == 0) {
+      conv_macs += entry.macs;
+    } else {
+      other_macs += entry.macs;
+    }
+  }
+  EXPECT_GT(conv_macs, 10 * other_macs);
+}
+
+TEST(Network, MeasuredTimesArePositive) {
+  Network net = MakeBackbone(32, 16, 6);
+  const auto profile = net.MeasureLayerTimes(1);
+  double total = 0;
+  for (const auto& entry : profile) total += entry.measured_ms;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Network, EmptyNetworkForwardIsIdentity) {
+  Network net;
+  net.set_input_shape(Shape{2, 3, 3});
+  Tensor in(Shape{2, 3, 3});
+  in.values()[5] = 1.25f;
+  const Tensor out = net.Forward(in);
+  EXPECT_EQ(out.values()[5], 1.25f);
+}
+
+}  // namespace
+}  // namespace sieve::nn

@@ -1,0 +1,112 @@
+#include "nn/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::nn {
+namespace {
+
+/// Hand-built 3-layer profile: big activations early, tiny late.
+std::vector<LayerProfile> TestProfile() {
+  std::vector<LayerProfile> profile(3);
+  profile[0].name = "conv1";
+  profile[0].measured_ms = 10.0;
+  profile[0].output_bytes = 1000000;  // 1 MB
+  profile[1].name = "conv2";
+  profile[1].measured_ms = 20.0;
+  profile[1].output_bytes = 100000;   // 100 KB
+  profile[2].name = "gap";
+  profile[2].measured_ms = 1.0;
+  profile[2].output_bytes = 256;      // tiny embedding
+  return profile;
+}
+
+PartitionInput BaseInput() {
+  PartitionInput input;
+  input.profile = TestProfile();
+  input.cloud_speedup = 4.0;
+  input.bandwidth_mbps = 30.0;
+  input.rtt_ms = 10.0;
+  input.input_bytes = 2000000;  // raw input is biggest
+  return input;
+}
+
+TEST(Partition, EvaluatesAllSplitPoints) {
+  const auto points = EvaluateSplits(BaseInput());
+  EXPECT_EQ(points.size(), 4u);  // 0..3
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    EXPECT_EQ(points[k].split, k);
+    EXPECT_GE(points[k].total_ms, 0.0);
+    EXPECT_NEAR(points[k].total_ms,
+                points[k].edge_ms + points[k].transfer_ms + points[k].cloud_ms,
+                1e-9);
+  }
+}
+
+TEST(Partition, EdgeComputeGrowsWithSplit) {
+  const auto points = EvaluateSplits(BaseInput());
+  for (std::size_t k = 1; k < points.size(); ++k) {
+    EXPECT_GE(points[k].edge_ms, points[k - 1].edge_ms);
+    EXPECT_LE(points[k].cloud_ms, points[k - 1].cloud_ms);
+  }
+}
+
+TEST(Partition, FastLinkPrefersCloud) {
+  PartitionInput input = BaseInput();
+  input.bandwidth_mbps = 100000.0;  // practically free transfer
+  input.rtt_ms = 0.0;
+  input.cloud_speedup = 10.0;
+  const PartitionPoint best = ChooseSplit(input);
+  EXPECT_EQ(best.split, 0u) << "with a free link and fast cloud, ship the input";
+}
+
+TEST(Partition, SlowLinkPrefersEdge) {
+  PartitionInput input = BaseInput();
+  input.bandwidth_mbps = 0.1;  // nearly unusable link
+  input.cloud_speedup = 4.0;
+  const PartitionPoint best = ChooseSplit(input);
+  EXPECT_EQ(best.split, input.profile.size())
+      << "with no usable link, everything stays at the edge";
+}
+
+TEST(Partition, IntermediateSplitWinsWhenActivationsShrink) {
+  // Expensive late layers + small mid activation: cut in the middle.
+  PartitionInput input;
+  input.profile = TestProfile();
+  input.profile[1].measured_ms = 200.0;  // heavy tail favours cloud
+  input.profile[2].measured_ms = 100.0;
+  input.bandwidth_mbps = 30.0;
+  input.rtt_ms = 5.0;
+  input.cloud_speedup = 8.0;
+  input.input_bytes = 50000000;  // raw input too big to ship
+  const PartitionPoint best = ChooseSplit(input);
+  EXPECT_GT(best.split, 0u);
+  EXPECT_LT(best.split, input.profile.size());
+}
+
+TEST(Partition, ChooseSplitIsArgmin) {
+  const PartitionInput input = BaseInput();
+  const auto points = EvaluateSplits(input);
+  const PartitionPoint best = ChooseSplit(input);
+  for (const auto& p : points) {
+    EXPECT_LE(best.total_ms, p.total_ms + 1e-12);
+  }
+}
+
+TEST(Partition, TransferBytesFollowCutPoint) {
+  const auto points = EvaluateSplits(BaseInput());
+  EXPECT_EQ(points[0].transfer_bytes, 2000000u);  // raw input
+  EXPECT_EQ(points[1].transfer_bytes, 1000000u);  // after conv1
+  EXPECT_EQ(points[2].transfer_bytes, 100000u);   // after conv2
+  EXPECT_EQ(points[3].transfer_bytes, 256u);      // final result
+}
+
+TEST(Partition, EmptyProfileIsAllCloud) {
+  PartitionInput input;
+  input.input_bytes = 1000;
+  const auto points = EvaluateSplits(input);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].split, 0u);
+}
+
+}  // namespace
+}  // namespace sieve::nn

@@ -1,0 +1,82 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::nn {
+namespace {
+
+TEST(Shape, ElementsAndBytes) {
+  const Shape s{3, 4, 5};
+  EXPECT_EQ(s.elements(), 60u);
+  EXPECT_EQ(s.bytes(), 240u);
+  EXPECT_EQ(s.ToString(), "3x4x5");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2, 3}), (Shape{1, 2, 3}));
+  EXPECT_NE((Shape{1, 2, 3}), (Shape{3, 2, 1}));
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3, 3});
+  for (float v : t.values()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(t.size(), 18u);
+}
+
+TEST(Tensor, ChwIndexing) {
+  Tensor t(Shape{2, 2, 2});
+  t.at(0, 0, 0) = 1;
+  t.at(0, 0, 1) = 2;
+  t.at(0, 1, 0) = 3;
+  t.at(1, 0, 0) = 5;
+  EXPECT_EQ(t.values()[0], 1);
+  EXPECT_EQ(t.values()[1], 2);
+  EXPECT_EQ(t.values()[2], 3);
+  EXPECT_EQ(t.values()[4], 5);  // channel stride = h*w = 4
+}
+
+TEST(Gemm, KnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4];
+  Gemm(a, b, c, 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, IdentityPreserves) {
+  const float identity[] = {1, 0, 0, 1};
+  const float m[] = {3, -2, 7, 0.5f};
+  float c[4];
+  Gemm(identity, m, c, 2, 2, 2);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], m[i]);
+}
+
+TEST(Gemm, RectangularShapes) {
+  // 1x3 * 3x2 = 1x2
+  const float a[] = {1, 2, 3};
+  const float b[] = {1, 4, 2, 5, 3, 6};
+  float c[2];
+  Gemm(a, b, c, 1, 3, 2);
+  EXPECT_FLOAT_EQ(c[0], 14);
+  EXPECT_FLOAT_EQ(c[1], 32);
+}
+
+TEST(Gemm, ZeroMatrixShortCircuitStillCorrect) {
+  const float a[] = {0, 0, 0, 0};
+  const float b[] = {1, 2, 3, 4};
+  float c[4] = {9, 9, 9, 9};
+  Gemm(a, b, c, 2, 2, 2);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 0);
+}
+
+TEST(SquaredDistance, KnownValues) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace sieve::nn

@@ -1,0 +1,139 @@
+#include "sim/queue_network.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::sim {
+namespace {
+
+TEST(QueueNetwork, SingleJobSingleStation) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("work", 1, [](Job&) { return 2.0; });
+  net.Inject(Job{}, {s}, 0.0);
+  net.Run();
+  EXPECT_EQ(net.jobs_completed(), 1u);
+  EXPECT_DOUBLE_EQ(net.makespan(), 2.0);
+  EXPECT_DOUBLE_EQ(net.mean_latency(), 2.0);
+}
+
+TEST(QueueNetwork, FcfsQueueingAccumulates) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("work", 1, [](Job&) { return 1.0; });
+  for (int i = 0; i < 5; ++i) net.Inject(Job{}, {s}, 0.0);
+  net.Run();
+  // Serial: completions at 1..5.
+  EXPECT_DOUBLE_EQ(net.makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(net.mean_latency(), 3.0);  // (1+2+3+4+5)/5
+  EXPECT_DOUBLE_EQ(net.stats(s).busy_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(net.stats(s).total_wait_seconds, 10.0);  // 0+1+2+3+4
+}
+
+TEST(QueueNetwork, MultiServerParallelism) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("work", 4, [](Job&) { return 1.0; });
+  for (int i = 0; i < 8; ++i) net.Inject(Job{}, {s}, 0.0);
+  net.Run();
+  EXPECT_DOUBLE_EQ(net.makespan(), 2.0);  // two waves of four
+}
+
+TEST(QueueNetwork, TandemStationsPipeline) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int a = net.AddStation("a", 1, [](Job&) { return 1.0; });
+  const int b = net.AddStation("b", 1, [](Job&) { return 1.0; });
+  for (int i = 0; i < 10; ++i) net.Inject(Job{}, {a, b}, 0.0);
+  net.Run();
+  // Pipelined: first completion at 2, then one per second: makespan 11.
+  EXPECT_DOUBLE_EQ(net.makespan(), 11.0);
+}
+
+TEST(QueueNetwork, BottleneckDominatesMakespan) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int fast = net.AddStation("fast", 1, [](Job&) { return 0.01; });
+  const int slow = net.AddStation("slow", 1, [](Job&) { return 1.0; });
+  for (int i = 0; i < 20; ++i) net.Inject(Job{}, {fast, slow}, 0.0);
+  net.Run();
+  EXPECT_NEAR(net.makespan(), 20.0 + 0.01, 0.02);
+  EXPECT_NEAR(net.stats(slow).busy_seconds, 20.0, 1e-9);
+}
+
+TEST(QueueNetwork, ServiceFnCanInspectJob) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("bytes", 1, [](Job& job) {
+    return double(job.bytes) / 1000.0;
+  });
+  Job big;
+  big.bytes = 5000;
+  Job small;
+  small.bytes = 1000;
+  net.Inject(big, {s}, 0.0);
+  net.Inject(small, {s}, 0.0);
+  net.Run();
+  EXPECT_DOUBLE_EQ(net.makespan(), 6.0);
+}
+
+TEST(QueueNetwork, ServiceFnCanMutateJob) {
+  // A "decode" station that shrinks the payload; the downstream "link"
+  // station charges by the new size.
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int decode = net.AddStation("decode", 1, [](Job& job) {
+    job.bytes /= 10;
+    return 0.5;
+  });
+  const int link = net.AddStation("link", 1, [](Job& job) {
+    return double(job.bytes) / 100.0;
+  });
+  Job job;
+  job.bytes = 1000;
+  net.Inject(job, {decode, link}, 0.0);
+  net.Run();
+  EXPECT_DOUBLE_EQ(net.makespan(), 0.5 + 1.0);
+}
+
+TEST(QueueNetwork, ArrivalsSpreadOverTime) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("work", 1, [](Job&) { return 0.5; });
+  for (int i = 0; i < 4; ++i) net.Inject(Job{}, {s}, double(i));
+  net.Run();
+  // Arrivals 0,1,2,3 each served 0.5s with no queueing.
+  EXPECT_DOUBLE_EQ(net.makespan(), 3.5);
+  EXPECT_DOUBLE_EQ(net.stats(s).total_wait_seconds, 0.0);
+}
+
+TEST(QueueNetwork, EmptyRouteCompletesImmediately) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  net.Inject(Job{}, {}, 1.5);
+  net.Run();
+  EXPECT_EQ(net.jobs_completed(), 1u);
+  EXPECT_DOUBLE_EQ(net.makespan(), 1.5);
+}
+
+TEST(QueueNetwork, StatsTrackPeakQueue) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("work", 1, [](Job&) { return 1.0; });
+  for (int i = 0; i < 6; ++i) net.Inject(Job{}, {s}, 0.0);
+  net.Run();
+  EXPECT_GE(net.stats(s).peak_queue, 5u);
+  EXPECT_EQ(net.stats(s).served, 6u);
+}
+
+TEST(QueueNetwork, UtilizationComputation) {
+  Simulator sim;
+  QueueNetwork net(&sim);
+  const int s = net.AddStation("work", 2, [](Job&) { return 1.0; });
+  for (int i = 0; i < 4; ++i) net.Inject(Job{}, {s}, 0.0);
+  net.Run();
+  // 4 seconds of busy time over makespan 2 with 2 servers: 100%.
+  EXPECT_NEAR(net.stats(s).utilization(net.makespan(), 2), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sieve::sim

@@ -1,0 +1,86 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sieve::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&order] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&order] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1;
+  sim.ScheduleAt(5.5, [&sim, &seen] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 5.5);
+  EXPECT_EQ(sim.Now(), 5.5);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.ScheduleIn(1.0, step);
+  };
+  sim.ScheduleAt(0.0, step);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), 4.0);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&fired] { ++fired; });
+  sim.ScheduleAt(10.0, [&fired] { ++fired; });
+  sim.Run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 5.0);
+  sim.Run();  // finish the rest
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 25; ++i) sim.ScheduleAt(double(i), [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 25u);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double at = -1;
+  sim.ScheduleAt(2.0, [&sim, &at] {
+    sim.ScheduleIn(3.0, [&sim, &at] { at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(at, 5.0);
+}
+
+}  // namespace
+}  // namespace sieve::sim

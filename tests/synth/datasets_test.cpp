@@ -1,0 +1,108 @@
+#include "synth/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::synth {
+namespace {
+
+TEST(Datasets, FiveSpecsInTableOrder) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), std::size_t(kNumDatasets));
+  EXPECT_EQ(specs[0].name, "jackson_square");
+  EXPECT_EQ(specs[1].name, "coral_reef");
+  EXPECT_EQ(specs[2].name, "venice");
+  EXPECT_EQ(specs[3].name, "taipei");
+  EXPECT_EQ(specs[4].name, "amsterdam");
+}
+
+TEST(Datasets, ResolutionsMatchTableI) {
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kJacksonSquare).width, 600);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kJacksonSquare).height, 400);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kCoralReef).width, 1280);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kCoralReef).height, 720);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kVenice).width, 1920);
+  EXPECT_EQ(GetDatasetSpec(DatasetId::kVenice).height, 1080);
+}
+
+TEST(Datasets, LabelsOnlyOnFirstThree) {
+  EXPECT_TRUE(GetDatasetSpec(DatasetId::kJacksonSquare).has_labels);
+  EXPECT_TRUE(GetDatasetSpec(DatasetId::kCoralReef).has_labels);
+  EXPECT_TRUE(GetDatasetSpec(DatasetId::kVenice).has_labels);
+  EXPECT_FALSE(GetDatasetSpec(DatasetId::kTaipei).has_labels);
+  EXPECT_FALSE(GetDatasetSpec(DatasetId::kAmsterdam).has_labels);
+}
+
+TEST(Datasets, ObjectClassesMatchTableI) {
+  const auto& jackson = GetDatasetSpec(DatasetId::kJacksonSquare).classes;
+  EXPECT_EQ(jackson.size(), 3u);  // car, bus, truck
+  const auto& coral = GetDatasetSpec(DatasetId::kCoralReef).classes;
+  ASSERT_EQ(coral.size(), 1u);
+  EXPECT_EQ(coral[0], ObjectClass::kPerson);
+  const auto& venice = GetDatasetSpec(DatasetId::kVenice).classes;
+  ASSERT_EQ(venice.size(), 1u);
+  EXPECT_EQ(venice[0], ObjectClass::kBoat);
+}
+
+TEST(Datasets, ConfigInheritsSpecGeometry) {
+  const SceneConfig c = MakeDatasetConfig(DatasetId::kCoralReef, 300, 1);
+  EXPECT_EQ(c.width, 1280);
+  EXPECT_EQ(c.height, 720);
+  EXPECT_EQ(c.num_frames, 300u);
+  EXPECT_EQ(c.classes.size(), 1u);
+}
+
+TEST(Datasets, CloseUpVsLongShotScales) {
+  const SceneConfig jackson = MakeDatasetConfig(DatasetId::kJacksonSquare, 10, 1);
+  const SceneConfig venice = MakeDatasetConfig(DatasetId::kVenice, 10, 1);
+  EXPECT_GT(jackson.object_scale, 2.5 * venice.object_scale)
+      << "Jackson is close-up, Venice is long-shot";
+}
+
+TEST(Datasets, VeniceEventsAreRarest) {
+  const SceneConfig coral = MakeDatasetConfig(DatasetId::kCoralReef, 10, 1);
+  const SceneConfig venice = MakeDatasetConfig(DatasetId::kVenice, 10, 1);
+  EXPECT_GT(venice.mean_gap_seconds, coral.mean_gap_seconds);
+}
+
+TEST(Datasets, UnlabeledFeedsAreConcurrent) {
+  EXPECT_TRUE(MakeDatasetConfig(DatasetId::kTaipei, 10, 1).allow_concurrent);
+  EXPECT_TRUE(MakeDatasetConfig(DatasetId::kAmsterdam, 10, 1).allow_concurrent);
+  EXPECT_FALSE(
+      MakeDatasetConfig(DatasetId::kJacksonSquare, 10, 1).allow_concurrent);
+}
+
+TEST(Datasets, SeedsDifferAcrossDatasets) {
+  const SceneConfig a = MakeDatasetConfig(DatasetId::kJacksonSquare, 10, 1);
+  const SceneConfig b = MakeDatasetConfig(DatasetId::kCoralReef, 10, 1);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(Datasets, PaperFrameCounts) {
+  // 8h at 30 fps = 864000 frames for each labeled dataset.
+  EXPECT_EQ(PaperFrameCount(DatasetId::kJacksonSquare), 864000u);
+  EXPECT_EQ(PaperFrameCount(DatasetId::kVenice), 864000u);
+  // 4h feeds.
+  EXPECT_EQ(PaperFrameCount(DatasetId::kTaipei), 432000u);
+  // Total across 5 datasets = the paper's 2.16M + the training halves:
+  // 3*864000 + 2*432000 = 3456000; the paper's 20h evaluation slice uses
+  // 4h from each = 2160000.
+  std::size_t four_hours_each = 0;
+  for (const auto& spec : AllDatasetSpecs()) {
+    four_hours_each += std::size_t(4.0 * 3600.0 * spec.fps);
+  }
+  EXPECT_EQ(four_hours_each, 2160000u);
+}
+
+TEST(Datasets, SmallRenderSmokeEveryDataset) {
+  for (const auto& spec : AllDatasetSpecs()) {
+    SceneConfig c = MakeDatasetConfig(spec.id, 16, 3);
+    // Shrink geometry for speed; scene must still generate.
+    c.width = 128;
+    c.height = 96;
+    const SyntheticVideo v = GenerateScene(c);
+    EXPECT_EQ(v.video.frames.size(), 16u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace sieve::synth

@@ -1,0 +1,113 @@
+#include "synth/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::synth {
+namespace {
+
+GroundTruth MakeTruth(const std::vector<int>& pattern) {
+  // 0 = empty, 1 = car, 2 = person, 3 = car+person.
+  std::vector<LabelSet> labels;
+  for (int p : pattern) {
+    LabelSet l;
+    if (p & 1) l.Add(ObjectClass::kCar);
+    if (p & 2) l.Add(ObjectClass::kPerson);
+    labels.push_back(l);
+  }
+  return GroundTruth(std::move(labels));
+}
+
+TEST(GroundTruth, EventsOfEmptyVideo) {
+  GroundTruth t;
+  EXPECT_TRUE(t.Events().empty());
+  EXPECT_EQ(t.TransitionCount(), 0u);
+}
+
+TEST(GroundTruth, SingleEventCoversAll) {
+  const GroundTruth t = MakeTruth({1, 1, 1, 1});
+  const auto events = t.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start, 0u);
+  EXPECT_EQ(events[0].end, 4u);
+  EXPECT_EQ(events[0].length(), 4u);
+}
+
+TEST(GroundTruth, PaperExampleThreeEvents) {
+  // Section IV: no-label, car, no-label.
+  const GroundTruth t = MakeTruth({0, 0, 0, 1, 1, 1, 0, 0, 0});
+  const auto events = t.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].labels.empty());
+  EXPECT_TRUE(events[1].labels.Contains(ObjectClass::kCar));
+  EXPECT_TRUE(events[2].labels.empty());
+  EXPECT_EQ(t.TransitionCount(), 2u);
+}
+
+TEST(GroundTruth, EventsPartitionFrames) {
+  const GroundTruth t = MakeTruth({0, 1, 1, 3, 3, 2, 0, 0, 1});
+  const auto events = t.Events();
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    covered += events[i].length();
+    if (i > 0) {
+      EXPECT_EQ(events[i].start, events[i - 1].end);
+      EXPECT_NE(events[i].labels, events[i - 1].labels);
+    }
+  }
+  EXPECT_EQ(covered, t.frame_count());
+}
+
+TEST(GroundTruth, OccupancyRate) {
+  const GroundTruth t = MakeTruth({0, 0, 1, 1, 1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(t.OccupancyRate(), 0.5);
+}
+
+TEST(PropagatedAccuracy, PerfectWhenEveryEventHeadSelected) {
+  const GroundTruth t = MakeTruth({0, 0, 1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, {0, 2, 4}), 1.0);
+}
+
+TEST(PropagatedAccuracy, MissedEventCostsItsFrames) {
+  const GroundTruth t = MakeTruth({0, 0, 1, 1, 0, 0});
+  // Only frame 0 selected: frames 2,3 mislabeled as {}; frames 4,5 correct.
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, {0}), 4.0 / 6.0);
+}
+
+TEST(PropagatedAccuracy, LateSelectionInsideEvent) {
+  const GroundTruth t = MakeTruth({0, 0, 1, 1, 1, 1, 0, 0});
+  // Selection at frame 4 (event starts at 2): frames 2,3 wrong.
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, {0, 4, 6}), 6.0 / 8.0);
+}
+
+TEST(PropagatedAccuracy, NoSelectionsPredictsEmpty) {
+  const GroundTruth t = MakeTruth({0, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, {}), 0.5);
+}
+
+TEST(PropagatedAccuracy, AllFramesSelectedIsPerfect) {
+  const GroundTruth t = MakeTruth({0, 1, 3, 2, 0, 1, 1, 0});
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < t.frame_count(); ++i) all.push_back(i);
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, all), 1.0);
+}
+
+TEST(PropagatedAccuracy, EmptyVideoIsPerfect) {
+  GroundTruth t;
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, {}), 1.0);
+}
+
+TEST(EventDetectionAccuracy, FlagsMatchIndices) {
+  const GroundTruth t = MakeTruth({0, 0, 1, 1, 0});
+  std::vector<bool> flags{true, false, true, false, true};
+  EXPECT_DOUBLE_EQ(EventDetectionAccuracy(t, flags),
+                   PropagatedLabelAccuracy(t, {0, 2, 4}));
+}
+
+TEST(PropagatedAccuracy, SelectionOrderCoversBoundaryTwice) {
+  // Selecting the same frame twice must not break anything.
+  const GroundTruth t = MakeTruth({0, 1, 1, 0});
+  EXPECT_DOUBLE_EQ(PropagatedLabelAccuracy(t, {0, 1, 1, 3}), 1.0);
+}
+
+}  // namespace
+}  // namespace sieve::synth

@@ -1,0 +1,75 @@
+#include "synth/labels.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::synth {
+namespace {
+
+TEST(LabelSet, DefaultIsEmpty) {
+  LabelSet l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.Count(), 0);
+  EXPECT_EQ(l.ToString(), "{}");
+}
+
+TEST(LabelSet, AddAndContains) {
+  LabelSet l;
+  l.Add(ObjectClass::kCar);
+  EXPECT_TRUE(l.Contains(ObjectClass::kCar));
+  EXPECT_FALSE(l.Contains(ObjectClass::kBus));
+  EXPECT_EQ(l.Count(), 1);
+}
+
+TEST(LabelSet, RemoveClears) {
+  LabelSet l = LabelSet::Of(ObjectClass::kPerson);
+  l.Remove(ObjectClass::kPerson);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(LabelSet, RemoveAbsentIsNoop) {
+  LabelSet l = LabelSet::Of(ObjectClass::kBoat);
+  l.Remove(ObjectClass::kCar);
+  EXPECT_TRUE(l.Contains(ObjectClass::kBoat));
+}
+
+TEST(LabelSet, UnionCombines) {
+  const LabelSet a = LabelSet::Of(ObjectClass::kCar);
+  const LabelSet b = LabelSet::Of(ObjectClass::kPerson);
+  const LabelSet u = a.Union(b);
+  EXPECT_TRUE(u.Contains(ObjectClass::kCar));
+  EXPECT_TRUE(u.Contains(ObjectClass::kPerson));
+  EXPECT_EQ(u.Count(), 2);
+}
+
+TEST(LabelSet, EqualityIsValueBased) {
+  LabelSet a, b;
+  a.Add(ObjectClass::kTruck);
+  b.Add(ObjectClass::kTruck);
+  EXPECT_EQ(a, b);
+  b.Add(ObjectClass::kCar);
+  EXPECT_NE(a, b);
+}
+
+TEST(LabelSet, ToStringListsNames) {
+  LabelSet l;
+  l.Add(ObjectClass::kCar);
+  l.Add(ObjectClass::kBoat);
+  EXPECT_EQ(l.ToString(), "{car,boat}");
+}
+
+TEST(LabelSet, AllClassesFit) {
+  LabelSet l;
+  for (int i = 0; i < kNumObjectClasses; ++i) l.Add(ObjectClass(i));
+  EXPECT_EQ(l.Count(), kNumObjectClasses);
+}
+
+TEST(ObjectClassNames, AreDistinct) {
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kCar), "car");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kBus), "bus");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kTruck), "truck");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kPerson), "person");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kBoat), "boat");
+}
+
+}  // namespace
+}  // namespace sieve::synth

@@ -1,0 +1,207 @@
+#include "synth/scene.h"
+
+#include <gtest/gtest.h>
+
+#include "media/metrics.h"
+
+namespace sieve::synth {
+namespace {
+
+SceneConfig SmallConfig() {
+  SceneConfig c;
+  c.width = 160;
+  c.height = 120;
+  c.num_frames = 240;
+  c.fps = 30;
+  c.seed = 5;
+  c.mean_gap_seconds = 2.0;
+  c.min_gap_seconds = 0.5;
+  c.mean_dwell_seconds = 2.0;
+  c.min_dwell_seconds = 1.0;
+  return c;
+}
+
+TEST(Schedule, DeterministicInSeed) {
+  const auto a = BuildSchedule(SmallConfig());
+  const auto b = BuildSchedule(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t0, b[i].t0);
+    EXPECT_EQ(a[i].t1, b[i].t1);
+    EXPECT_EQ(a[i].w_px, b[i].w_px);
+    EXPECT_EQ(a[i].x_target, b[i].x_target);
+  }
+}
+
+TEST(Schedule, DifferentSeedsDiffer) {
+  SceneConfig c1 = SmallConfig(), c2 = SmallConfig();
+  c2.seed = 6;
+  const auto a = BuildSchedule(c1);
+  const auto b = BuildSchedule(c2);
+  bool different = a.size() != b.size();
+  for (std::size_t i = 0; !different && i < a.size(); ++i) {
+    different = a[i].t0 != b[i].t0 || a[i].x_target != b[i].x_target;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Schedule, NonConcurrentInstancesAreDisjoint) {
+  const auto schedule = BuildSchedule(SmallConfig());
+  ASSERT_GE(schedule.size(), 1u);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].t0, schedule[i - 1].t1);
+  }
+}
+
+TEST(Schedule, LifetimesWithinVideo) {
+  const auto schedule = BuildSchedule(SmallConfig());
+  for (const auto& obj : schedule) {
+    EXPECT_LT(obj.t0, obj.t1);
+    EXPECT_LE(obj.t1, SmallConfig().num_frames);
+  }
+}
+
+TEST(Schedule, EmptyClassListYieldsEmptySchedule) {
+  SceneConfig c = SmallConfig();
+  c.classes.clear();
+  EXPECT_TRUE(BuildSchedule(c).empty());
+}
+
+TEST(BoxAt, StartsAndEndsOutside) {
+  const auto schedule = BuildSchedule(SmallConfig());
+  ASSERT_FALSE(schedule.empty());
+  const auto& obj = schedule.front();
+  const Box at_start = BoxAt(obj, obj.t0);
+  EXPECT_EQ(at_start.VisibleArea(160, 120), 0) << "object must enter from outside";
+}
+
+TEST(BoxAt, VisibleMidLifetime) {
+  const auto schedule = BuildSchedule(SmallConfig());
+  ASSERT_FALSE(schedule.empty());
+  const auto& obj = schedule.front();
+  const Box mid = BoxAt(obj, (obj.t0 + obj.t1) / 2);
+  EXPECT_GT(mid.VisibleArea(160, 120), mid.Area() / 2);
+}
+
+TEST(GroundTruthDerivation, MatchesScheduleOccupancy) {
+  const SceneConfig c = SmallConfig();
+  const auto schedule = BuildSchedule(c);
+  const GroundTruth truth = DeriveGroundTruth(c, schedule);
+  EXPECT_EQ(truth.frame_count(), c.num_frames);
+  // Some frames are empty (gaps exist) and some are occupied.
+  EXPECT_GT(truth.OccupancyRate(), 0.05);
+  EXPECT_LT(truth.OccupancyRate(), 0.95);
+}
+
+TEST(GroundTruthDerivation, EventsAlternateWithEmpty) {
+  const SceneConfig c = SmallConfig();
+  const GroundTruth truth = DeriveGroundTruth(c, BuildSchedule(c));
+  const auto events = truth.Events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    // Non-concurrent scenes: consecutive events differ and at least one of
+    // any adjacent pair is the empty label.
+    EXPECT_NE(events[i].labels, events[i - 1].labels);
+  }
+}
+
+TEST(GenerateScene, FrameDimensionsAndCount) {
+  const SceneConfig c = SmallConfig();
+  const SyntheticVideo v = GenerateScene(c);
+  EXPECT_EQ(v.video.frames.size(), c.num_frames);
+  EXPECT_EQ(v.video.width, 160);
+  EXPECT_EQ(v.video.frames[0].width(), 160);
+  EXPECT_EQ(v.truth.frame_count(), c.num_frames);
+}
+
+TEST(GenerateScene, DeterministicPixels) {
+  const SceneConfig c = SmallConfig();
+  const SyntheticVideo a = GenerateScene(c);
+  const SyntheticVideo b = GenerateScene(c);
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(media::FrameMse(a.video.frames[f], b.video.frames[f]), 0.0);
+  }
+}
+
+TEST(GenerateScene, NoiseMakesConsecutiveQuietFramesDiffer) {
+  SceneConfig c = SmallConfig();
+  c.noise_sigma = 2.0;
+  const SyntheticVideo v = GenerateScene(c);
+  // Find two consecutive empty frames.
+  for (std::size_t f = 1; f < v.truth.frame_count(); ++f) {
+    if (v.truth.label(f).empty() && v.truth.label(f - 1).empty()) {
+      const double mse = media::FrameMse(v.video.frames[f - 1], v.video.frames[f]);
+      EXPECT_GT(mse, 0.5);
+      EXPECT_LT(mse, 50.0);
+      return;
+    }
+  }
+  FAIL() << "no consecutive quiet frames found";
+}
+
+TEST(GenerateScene, ZeroNoiseQuietFramesNearIdentical) {
+  SceneConfig c = SmallConfig();
+  c.noise_sigma = 0.0;
+  const SyntheticVideo v = GenerateScene(c);
+  for (std::size_t f = 1; f < v.truth.frame_count(); ++f) {
+    if (v.truth.label(f).empty() && v.truth.label(f - 1).empty()) {
+      EXPECT_EQ(media::FrameMse(v.video.frames[f - 1], v.video.frames[f]), 0.0);
+      return;
+    }
+  }
+  FAIL() << "no consecutive quiet frames found";
+}
+
+TEST(GenerateScene, ObjectFramesDifferFromBackground) {
+  const SceneConfig c = SmallConfig();
+  const SyntheticVideo v = GenerateScene(c);
+  // Compare an occupied frame with an empty frame: large difference.
+  std::size_t empty_f = SIZE_MAX, full_f = SIZE_MAX;
+  for (std::size_t f = 0; f < v.truth.frame_count(); ++f) {
+    if (v.truth.label(f).empty() && empty_f == SIZE_MAX) empty_f = f;
+    if (!v.truth.label(f).empty() && full_f == SIZE_MAX) full_f = f;
+  }
+  ASSERT_NE(empty_f, SIZE_MAX);
+  ASSERT_NE(full_f, SIZE_MAX);
+  EXPECT_GT(media::FrameMse(v.video.frames[empty_f], v.video.frames[full_f]),
+            30.0);
+}
+
+TEST(GenerateLabelTrack, AgreesWithFullRender) {
+  const SceneConfig c = SmallConfig();
+  const SyntheticVideo full = GenerateScene(c);
+  const SyntheticVideo track = GenerateLabelTrack(c);
+  ASSERT_EQ(full.truth.frame_count(), track.truth.frame_count());
+  for (std::size_t f = 0; f < full.truth.frame_count(); ++f) {
+    EXPECT_EQ(full.truth.label(f), track.truth.label(f)) << "frame " << f;
+  }
+  EXPECT_TRUE(track.video.frames.empty());
+}
+
+TEST(GenerateScene, ConcurrentModeCanOverlap) {
+  SceneConfig c = SmallConfig();
+  c.allow_concurrent = true;
+  c.mean_gap_seconds = 0.8;
+  c.num_frames = 600;
+  c.classes = {ObjectClass::kCar, ObjectClass::kPerson};
+  const auto schedule = BuildSchedule(c);
+  bool overlap = false;
+  for (std::size_t i = 1; i < schedule.size() && !overlap; ++i) {
+    overlap = schedule[i].t0 < schedule[i - 1].t1;
+  }
+  EXPECT_TRUE(overlap) << "expected at least one overlapping pair";
+}
+
+TEST(GenerateScene, JitterShiftsBackground) {
+  SceneConfig c = SmallConfig();
+  c.noise_sigma = 0.0;
+  c.jitter_px = 3;
+  const SyntheticVideo v = GenerateScene(c);
+  double total = 0;
+  for (std::size_t f = 1; f < 10; ++f) {
+    total += media::FrameMse(v.video.frames[f - 1], v.video.frames[f]);
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace sieve::synth

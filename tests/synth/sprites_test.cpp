@@ -1,0 +1,125 @@
+#include "synth/sprites.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::synth {
+namespace {
+
+class SpriteClassTest : public testing::TestWithParam<ObjectClass> {};
+
+TEST_P(SpriteClassTest, DrawChangesPixelsInsideBoxOnly) {
+  media::Frame frame(128, 96);
+  const media::Frame before = frame;
+  const Box box{30, 20, 50, 40};
+  DrawObject(frame, GetParam(), box, SpriteStyle{});
+
+  int changed_inside = 0, changed_outside = 0;
+  for (int y = 0; y < 96; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      if (frame.y().at(x, y) != before.y().at(x, y)) {
+        const bool inside = x >= box.x && x < box.right() && y >= box.y &&
+                            y < box.bottom();
+        (inside ? changed_inside : changed_outside) += 1;
+      }
+    }
+  }
+  EXPECT_GT(changed_inside, box.w * box.h / 10);  // silhouette has real area
+  EXPECT_EQ(changed_outside, 0);
+}
+
+TEST_P(SpriteClassTest, ClippedDrawDoesNotCrash) {
+  media::Frame frame(64, 64);
+  DrawObject(frame, GetParam(), Box{-20, -10, 50, 40}, SpriteStyle{});
+  DrawObject(frame, GetParam(), Box{50, 50, 60, 60}, SpriteStyle{});
+  DrawObject(frame, GetParam(), Box{200, 200, 10, 10}, SpriteStyle{});
+  SUCCEED();
+}
+
+TEST_P(SpriteClassTest, ChromaSignatureIsApplied) {
+  media::Frame frame(64, 64);
+  DrawObject(frame, GetParam(), Box{8, 8, 48, 48}, SpriteStyle{});
+  int off_neutral = 0;
+  for (int y = 0; y < frame.u().height(); ++y) {
+    for (int x = 0; x < frame.u().width(); ++x) {
+      if (frame.u().at(x, y) != 128 || frame.v().at(x, y) != 128) ++off_neutral;
+    }
+  }
+  EXPECT_GT(off_neutral, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, SpriteClassTest,
+                         testing::Values(ObjectClass::kCar, ObjectClass::kBus,
+                                         ObjectClass::kTruck,
+                                         ObjectClass::kPerson,
+                                         ObjectClass::kBoat),
+                         [](const auto& info) {
+                           return ObjectClassName(info.param);
+                         });
+
+TEST(Sprites, DistinctClassesProduceDistinctPixels) {
+  media::Frame car(64, 64), bus(64, 64);
+  const Box box{4, 4, 56, 56};
+  DrawObject(car, ObjectClass::kCar, box, SpriteStyle{});
+  DrawObject(bus, ObjectClass::kBus, box, SpriteStyle{});
+  int diff = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (car.y().at(x, y) != bus.y().at(x, y)) ++diff;
+    }
+  }
+  EXPECT_GT(diff, 200);
+}
+
+TEST(Sprites, FlipMirrorsSprite) {
+  media::Frame a(64, 64), b(64, 64);
+  const Box box{0, 0, 64, 64};
+  SpriteStyle left, right;
+  right.flip = true;
+  DrawObject(a, ObjectClass::kTruck, box, left);   // cab on the right
+  DrawObject(b, ObjectClass::kTruck, box, right);  // cab on the left
+  // Compare column sums: the asymmetric truck must differ between halves.
+  long long sum_a_left = 0, sum_b_left = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      sum_a_left += a.y().at(x, y);
+      sum_b_left += b.y().at(x, y);
+    }
+  }
+  EXPECT_NE(sum_a_left, sum_b_left);
+}
+
+TEST(Sprites, ZeroSizeBoxIsNoop) {
+  media::Frame frame(32, 32);
+  const media::Frame before = frame;
+  DrawObject(frame, ObjectClass::kCar, Box{5, 5, 0, 10}, SpriteStyle{});
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(frame.y().at(x, y), before.y().at(x, y));
+    }
+  }
+}
+
+TEST(Box, VisibleAreaFullyInside) {
+  const Box b{10, 10, 20, 10};
+  EXPECT_EQ(b.VisibleArea(100, 100), 200);
+  EXPECT_EQ(b.Area(), 200);
+}
+
+TEST(Box, VisibleAreaPartiallyOutside) {
+  const Box b{-10, 0, 20, 10};
+  EXPECT_EQ(b.VisibleArea(100, 100), 100);
+}
+
+TEST(Box, VisibleAreaFullyOutside) {
+  EXPECT_EQ((Box{-30, 0, 20, 10}).VisibleArea(100, 100), 0);
+  EXPECT_EQ((Box{200, 0, 20, 10}).VisibleArea(100, 100), 0);
+}
+
+TEST(ClassAspect, VehiclesWiderThanTallPersonsTaller) {
+  EXPECT_GT(ClassAspect(ObjectClass::kCar), 1.0);
+  EXPECT_GT(ClassAspect(ObjectClass::kBus), ClassAspect(ObjectClass::kCar));
+  EXPECT_LT(ClassAspect(ObjectClass::kPerson), 1.0);
+}
+
+}  // namespace
+}  // namespace sieve::synth

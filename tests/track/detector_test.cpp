@@ -1,0 +1,105 @@
+#include "track/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/sprites.h"
+
+namespace sieve::track {
+namespace {
+
+media::Frame Background() {
+  media::Frame f(160, 120);
+  for (int y = 0; y < 120; ++y) {
+    for (int x = 0; x < 160; ++x) {
+      f.y().at(x, y) = std::uint8_t(90 + (x + y) % 7);
+    }
+  }
+  return f;
+}
+
+media::Frame WithObject(const media::Frame& bg, int x, int y, int w, int h) {
+  media::Frame f = bg;
+  synth::DrawObject(f, synth::ObjectClass::kCar, synth::Box{x, y, w, h},
+                    synth::SpriteStyle{});
+  return f;
+}
+
+TEST(Detector, NoChangeNoDetections) {
+  const media::Frame bg = Background();
+  EXPECT_TRUE(DetectMovingObjects(bg, bg).empty());
+}
+
+TEST(Detector, FindsSingleObject) {
+  const media::Frame bg = Background();
+  const media::Frame frame = WithObject(bg, 40, 30, 60, 30);
+  const auto detections = DetectMovingObjects(bg, frame);
+  ASSERT_GE(detections.size(), 1u);
+  const Detection& d = detections.front();
+  // Bounding box overlaps the drawn sprite box.
+  EXPECT_LT(d.x, 100);
+  EXPECT_GT(d.x + d.w, 40);
+  EXPECT_LT(d.y, 60);
+  EXPECT_GT(d.y + d.h, 30);
+}
+
+TEST(Detector, FindsTwoSeparatedObjects) {
+  const media::Frame bg = Background();
+  media::Frame frame = WithObject(bg, 10, 20, 40, 20);
+  synth::DrawObject(frame, synth::ObjectClass::kCar, synth::Box{100, 70, 40, 20},
+                    synth::SpriteStyle{});
+  const auto detections = DetectMovingObjects(bg, frame);
+  EXPECT_GE(detections.size(), 2u);
+}
+
+TEST(Detector, MinAreaFiltersSpecks) {
+  const media::Frame bg = Background();
+  media::Frame frame = bg;
+  // A 3x3 bright speck: below any reasonable min_area.
+  for (int y = 50; y < 53; ++y) {
+    for (int x = 50; x < 53; ++x) frame.y().at(x, y) = 255;
+  }
+  DetectorParams params;
+  params.min_area = 60;
+  EXPECT_TRUE(DetectMovingObjects(bg, frame, params).empty());
+  params.min_area = 1;
+  params.morph_radius = 0;
+  EXPECT_FALSE(DetectMovingObjects(bg, frame, params).empty());
+}
+
+TEST(Detector, SortedByAreaDescending) {
+  const media::Frame bg = Background();
+  media::Frame frame = WithObject(bg, 5, 10, 70, 40);  // big
+  synth::DrawObject(frame, synth::ObjectClass::kCar, synth::Box{110, 80, 30, 16},
+                    synth::SpriteStyle{});  // small
+  const auto detections = DetectMovingObjects(bg, frame);
+  ASSERT_GE(detections.size(), 2u);
+  EXPECT_GE(detections[0].area, detections[1].area);
+}
+
+TEST(Detector, SizeMismatchIsEmpty) {
+  EXPECT_TRUE(
+      DetectMovingObjects(media::Frame(64, 64), media::Frame(32, 32)).empty());
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  const Detection d{10, 10, 20, 20, 400};
+  EXPECT_DOUBLE_EQ(Iou(d, d), 1.0);
+}
+
+TEST(Iou, DisjointBoxesIsZero) {
+  EXPECT_DOUBLE_EQ(Iou(Detection{0, 0, 10, 10}, Detection{20, 20, 10, 10}), 0.0);
+}
+
+TEST(Iou, HalfOverlap) {
+  // Two 10x10 boxes sharing a 5x10 strip: inter 50, union 150.
+  EXPECT_NEAR(Iou(Detection{0, 0, 10, 10}, Detection{5, 0, 10, 10}), 1.0 / 3.0,
+              1e-9);
+}
+
+TEST(Iou, Symmetric) {
+  const Detection a{0, 0, 12, 8}, b{4, 2, 10, 10};
+  EXPECT_DOUBLE_EQ(Iou(a, b), Iou(b, a));
+}
+
+}  // namespace
+}  // namespace sieve::track

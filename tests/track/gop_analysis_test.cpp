@@ -1,0 +1,109 @@
+#include "track/gop_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/encoder.h"
+#include "synth/scene.h"
+
+namespace sieve::track {
+namespace {
+
+struct Fixture {
+  synth::SyntheticVideo scene;
+  codec::EncodedVideo encoded;
+  std::size_t event_frame = 0;    ///< a frame inside an occupied event
+  std::size_t quiet_frame = 0;    ///< a frame inside an empty event
+};
+
+Fixture MakeFixture() {
+  synth::SceneConfig config;
+  config.width = 160;
+  config.height = 120;
+  config.num_frames = 300;
+  config.seed = 91;
+  config.noise_sigma = 0.8;
+  config.mean_gap_seconds = 2.0;
+  config.min_gap_seconds = 1.0;
+  config.mean_dwell_seconds = 2.5;
+  config.min_dwell_seconds = 1.5;
+
+  Fixture fx{synth::GenerateScene(config), {}, 0, 0};
+  auto encoded = codec::VideoEncoder(codec::EncoderParams::Semantic(1000, 300))
+                     .Encode(fx.scene.video);
+  EXPECT_TRUE(encoded.ok());
+  fx.encoded = std::move(*encoded);
+
+  for (const auto& event : fx.scene.truth.Events()) {
+    if (!event.labels.empty() && fx.event_frame == 0 && event.length() > 20) {
+      fx.event_frame = (event.start + event.end) / 2;
+    }
+    if (event.labels.empty() && event.start > 0 && fx.quiet_frame == 0) {
+      fx.quiet_frame = (event.start + event.end) / 2;
+    }
+  }
+  EXPECT_GT(fx.event_frame, 0u);
+  return fx;
+}
+
+TEST(GopAnalysis, DecodesOnlyTheGop) {
+  const Fixture fx = MakeFixture();
+  const media::Frame background = fx.scene.video.frames[0];
+  auto analysis = AnalyzeGopAt(fx.encoded.bytes, fx.event_frame, background);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_LE(analysis->gop_start, fx.event_frame);
+  EXPECT_GT(analysis->gop_end, fx.event_frame);
+  EXPECT_EQ(analysis->frames_decoded, analysis->gop_end - analysis->gop_start);
+  EXPECT_LT(analysis->frames_decoded, fx.encoded.records.size())
+      << "must not decode the whole stream";
+}
+
+TEST(GopAnalysis, TracksTheEventObject) {
+  const Fixture fx = MakeFixture();
+  const media::Frame background = fx.scene.video.frames[0];
+  auto analysis = AnalyzeGopAt(fx.encoded.bytes, fx.event_frame, background);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_GE(analysis->tracks.size(), 1u)
+      << "the object crossing the GOP must produce a track";
+  // The longest track spans a good chunk of the GOP.
+  std::size_t longest = 0;
+  for (const auto& t : analysis->tracks) longest = std::max(longest, t.length());
+  EXPECT_GE(longest, 5u);
+}
+
+TEST(GopAnalysis, GopBoundariesAreIFrames) {
+  const Fixture fx = MakeFixture();
+  auto analysis = AnalyzeGopAt(fx.encoded.bytes, fx.event_frame,
+                               fx.scene.video.frames[0]);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(fx.encoded.records[analysis->gop_start].type,
+            codec::FrameType::kIntra);
+  if (analysis->gop_end < fx.encoded.records.size()) {
+    EXPECT_EQ(fx.encoded.records[analysis->gop_end].type,
+              codec::FrameType::kIntra);
+  }
+}
+
+TEST(GopAnalysis, OutOfRangeFrameRejected) {
+  const Fixture fx = MakeFixture();
+  EXPECT_FALSE(AnalyzeGopAt(fx.encoded.bytes, 999999,
+                            fx.scene.video.frames[0])
+                   .ok());
+}
+
+TEST(GopAnalysis, GarbageStreamRejected) {
+  std::vector<std::uint8_t> garbage(100, 7);
+  EXPECT_FALSE(AnalyzeGopAt(garbage, 0, media::Frame(16, 16)).ok());
+}
+
+TEST(GopAnalysis, StrideReducesObservationsNotTracks) {
+  const Fixture fx = MakeFixture();
+  GopAnalysisParams params;
+  params.frame_stride = 4;
+  auto analysis = AnalyzeGopAt(fx.encoded.bytes, fx.event_frame,
+                               fx.scene.video.frames[0], params);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_GE(analysis->tracks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sieve::track

@@ -1,0 +1,119 @@
+#include "track/tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::track {
+namespace {
+
+Detection Box(int x, int y, int w = 20, int h = 12) {
+  Detection d;
+  d.x = x;
+  d.y = y;
+  d.w = w;
+  d.h = h;
+  d.area = w * h;
+  return d;
+}
+
+TEST(Tracker, SingleMovingObjectOneTrack) {
+  IouTracker tracker;
+  for (std::size_t f = 0; f < 20; ++f) {
+    tracker.Observe(f, {Box(int(10 + 3 * f), 40)});
+  }
+  const auto tracks = tracker.Finish();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].length(), 20u);
+  EXPECT_NEAR(tracks[0].MeanVelocityX(), 3.0, 0.01);
+}
+
+TEST(Tracker, TwoParallelObjectsTwoTracks) {
+  IouTracker tracker;
+  for (std::size_t f = 0; f < 15; ++f) {
+    tracker.Observe(f, {Box(int(10 + 2 * f), 20), Box(int(120 - 2 * f), 80)});
+  }
+  const auto tracks = tracker.Finish();
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_EQ(tracks[0].length(), 15u);
+  EXPECT_EQ(tracks[1].length(), 15u);
+  // One moves right, one left.
+  const double v0 = tracks[0].MeanVelocityX(), v1 = tracks[1].MeanVelocityX();
+  EXPECT_GT(std::max(v0, v1), 1.5);
+  EXPECT_LT(std::min(v0, v1), -1.5);
+}
+
+TEST(Tracker, SurvivesShortOcclusion) {
+  TrackerParams params;
+  params.max_misses = 5;
+  IouTracker tracker(params);
+  std::size_t f = 0;
+  for (; f < 8; ++f) tracker.Observe(f, {Box(int(10 + 2 * f), 40)});
+  for (; f < 11; ++f) tracker.Observe(f, {});  // occluded 3 frames
+  for (; f < 18; ++f) tracker.Observe(f, {Box(int(10 + 2 * f), 40)});
+  const auto tracks = tracker.Finish();
+  ASSERT_EQ(tracks.size(), 1u) << "occlusion shorter than max_misses must not split";
+  EXPECT_EQ(tracks[0].first_frame(), 0u);
+  EXPECT_EQ(tracks[0].last_frame(), 17u);
+}
+
+TEST(Tracker, LongGapSplitsTracks) {
+  TrackerParams params;
+  params.max_misses = 2;
+  params.min_track_length = 3;
+  IouTracker tracker(params);
+  std::size_t f = 0;
+  for (; f < 6; ++f) tracker.Observe(f, {Box(int(10 + 2 * f), 40)});
+  for (; f < 16; ++f) tracker.Observe(f, {});  // long absence
+  for (; f < 22; ++f) tracker.Observe(f, {Box(int(10 + 2 * f), 40)});
+  const auto tracks = tracker.Finish();
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(Tracker, MinLengthFiltersNoise) {
+  TrackerParams params;
+  params.min_track_length = 5;
+  IouTracker tracker(params);
+  tracker.Observe(0, {Box(10, 10)});
+  tracker.Observe(1, {Box(12, 10)});
+  // Track dies (nothing for many frames).
+  for (std::size_t f = 2; f < 20; ++f) tracker.Observe(f, {});
+  EXPECT_TRUE(tracker.Finish().empty());
+}
+
+TEST(Tracker, VelocityPredictionBridgesFastMotion) {
+  // Object moves 8 px/frame: boxes barely overlap frame to frame, but the
+  // velocity model predicts ahead, keeping IoU above the gate.
+  IouTracker tracker;
+  for (std::size_t f = 0; f < 12; ++f) {
+    tracker.Observe(f, {Box(int(10 + 8 * f), 40, 24, 16)});
+  }
+  const auto tracks = tracker.Finish();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].length(), 12u);
+}
+
+TEST(Tracker, IdsAreStableAndOrdered) {
+  IouTracker tracker;
+  tracker.Observe(0, {Box(10, 10)});
+  tracker.Observe(1, {Box(12, 10), Box(100, 80)});
+  tracker.Observe(2, {Box(14, 10), Box(102, 80)});
+  tracker.Observe(3, {Box(16, 10), Box(104, 80)});
+  const auto tracks = tracker.Finish();
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_LT(tracks[0].id, tracks[1].id);
+  EXPECT_EQ(tracks[0].first_frame(), 0u);
+  EXPECT_EQ(tracks[1].first_frame(), 1u);
+}
+
+TEST(Tracker, FinishClearsState) {
+  IouTracker tracker;
+  tracker.Observe(0, {Box(10, 10)});
+  tracker.Observe(1, {Box(12, 10)});
+  tracker.Observe(2, {Box(14, 10)});
+  EXPECT_EQ(tracker.live_track_count(), 1u);
+  (void)tracker.Finish();
+  EXPECT_EQ(tracker.live_track_count(), 0u);
+  EXPECT_TRUE(tracker.Finish().empty());
+}
+
+}  // namespace
+}  // namespace sieve::track

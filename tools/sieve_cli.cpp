@@ -1,0 +1,260 @@
+// sieve — command-line front end for the library.
+//
+// Subcommands:
+//   synth  <out.y4m> [frames] [WxH] [seed]      generate a labelled test feed
+//   tune   <in.y4m> <labels.txt>                Section-IV grid search
+//   encode <in.y4m> <out.svb> [gop] [scenecut] [qp]
+//   info   <in.svb>                             container + frame-type summary
+//   seek   <in.svb>                             list I-frames (metadata only)
+//   decode <in.svb> <out.y4m>                   full decode
+//   extract <in.svb> <frame> <out.ppm>          random-access I-frame decode
+//
+// The labels file for `tune` has one integer label-set bitmask per line
+// (0 = empty scene), matching the video's frame count — the format
+// `synth` writes next to its output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "common/bytes.h"
+#include "core/seeker.h"
+#include "core/tuner.h"
+#include "media/pnm.h"
+#include "media/y4m.h"
+#include "synth/scene.h"
+
+namespace {
+
+using namespace sieve;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdSynth(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: sieve synth <out.y4m> [frames] [WxH] [seed]\n");
+    return 2;
+  }
+  synth::SceneConfig config;
+  config.width = 320;
+  config.height = 240;
+  config.num_frames = argc >= 2 ? std::strtoul(argv[1], nullptr, 10) : 600;
+  if (argc >= 3) std::sscanf(argv[2], "%dx%d", &config.width, &config.height);
+  config.seed = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  config.classes = {synth::ObjectClass::kCar, synth::ObjectClass::kPerson};
+  config.mean_gap_seconds = 3.0;
+  config.mean_dwell_seconds = 3.0;
+
+  const synth::SyntheticVideo scene = synth::GenerateScene(config);
+  if (auto s = media::WriteY4m(argv[0], scene.video); !s.ok()) return Fail(s);
+
+  // Labels sidecar: <out>.labels.txt with one bitmask per frame.
+  const std::string labels_path = std::string(argv[0]) + ".labels.txt";
+  std::string text;
+  for (std::size_t f = 0; f < scene.truth.frame_count(); ++f) {
+    text += std::to_string(int(scene.truth.label(f).bits()));
+    text += '\n';
+  }
+  if (auto s = WriteFileBytes(
+          labels_path, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %zu frames to %s (+ %s), %zu events\n",
+              scene.video.frames.size(), argv[0], labels_path.c_str(),
+              scene.truth.Events().size());
+  return 0;
+}
+
+Expected<synth::GroundTruth> ReadLabels(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<synth::LabelSet> labels;
+  int value = 0;
+  bool in_number = false;
+  for (std::uint8_t b : *bytes) {
+    if (b >= '0' && b <= '9') {
+      value = value * 10 + (b - '0');
+      in_number = true;
+    } else if (in_number) {
+      labels.push_back(synth::LabelSet(std::uint8_t(value)));
+      value = 0;
+      in_number = false;
+    }
+  }
+  if (in_number) labels.push_back(synth::LabelSet(std::uint8_t(value)));
+  return synth::GroundTruth(std::move(labels));
+}
+
+int CmdTune(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: sieve tune <in.y4m> <labels.txt>\n");
+    return 2;
+  }
+  auto video = media::ReadY4m(argv[0]);
+  if (!video.ok()) return Fail(video.status());
+  auto truth = ReadLabels(argv[1]);
+  if (!truth.ok()) return Fail(truth.status());
+  if (truth->frame_count() != video->frames.size()) {
+    std::fprintf(stderr, "error: %zu labels for %zu frames\n",
+                 truth->frame_count(), video->frames.size());
+    return 1;
+  }
+  const core::TuningResult tuned =
+      core::TuneEncoder(*video, *truth, core::TunerGrid::Extended());
+  std::printf("%-8s %-9s %-8s %-8s %-8s\n", "gop", "scenecut", "acc%", "SS%",
+              "F1%");
+  for (const auto& c : tuned.all) {
+    std::printf("%-8d %-9d %-8.2f %-8.2f %-8.2f%s\n", c.gop_size, c.scenecut,
+                c.quality.accuracy * 100, c.quality.sample_rate * 100,
+                c.quality.f1 * 100,
+                (c.gop_size == tuned.best.gop_size &&
+                 c.scenecut == tuned.best.scenecut)
+                    ? "   <-- best"
+                    : "");
+  }
+  std::printf("\nbest: --gop %d --scenecut %d\n", tuned.best.gop_size,
+              tuned.best.scenecut);
+  return 0;
+}
+
+int CmdEncode(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: sieve encode <in.y4m> <out.svb> [gop] [scenecut] [qp]\n");
+    return 2;
+  }
+  auto video = media::ReadY4m(argv[0]);
+  if (!video.ok()) return Fail(video.status());
+  codec::EncoderParams params;
+  if (argc >= 3) params.keyframe.gop_size = std::atoi(argv[2]);
+  if (argc >= 4) params.keyframe.scenecut = std::atoi(argv[3]);
+  if (argc >= 5) params.qp = std::atoi(argv[4]);
+  auto encoded = codec::VideoEncoder(params).Encode(*video);
+  if (!encoded.ok()) return Fail(encoded.status());
+  if (auto s = WriteFileBytes(argv[1], encoded->bytes); !s.ok()) return Fail(s);
+  std::printf("%zu frames -> %zu bytes (%.3f bpp), %zu I-frames (%.2f%%)\n",
+              encoded->records.size(), encoded->bytes.size(),
+              8.0 * double(encoded->bytes.size()) /
+                  (double(video->width) * video->height *
+                   double(video->frames.size())),
+              encoded->IntraFrameCount(), encoded->IntraFrameRate() * 100);
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: sieve info <in.svb>\n");
+    return 2;
+  }
+  auto bytes = ReadFileBytes(argv[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto header = codec::ReadContainerHeader(*bytes);
+  if (!header.ok()) return Fail(header.status());
+  auto records = codec::WalkFrameIndex(*bytes);
+  if (!records.ok()) return Fail(records.status());
+  std::size_t iframes = 0, ibytes = 0, pbytes = 0;
+  for (const auto& r : *records) {
+    if (r.type == codec::FrameType::kIntra) {
+      ++iframes;
+      ibytes += r.payload_size;
+    } else {
+      pbytes += r.payload_size;
+    }
+  }
+  std::printf("%dx%d @ %.3f fps, qp %u, %zu frames (%.1fs)\n", header->width,
+              header->height, header->fps, header->qp, records->size(),
+              double(records->size()) / header->fps);
+  std::printf("I-frames: %zu (%.2f%%), %zu bytes; P-frames: %zu, %zu bytes\n",
+              iframes, 100.0 * double(iframes) / double(records->size()),
+              ibytes, records->size() - iframes, pbytes);
+  return 0;
+}
+
+int CmdSeek(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: sieve seek <in.svb>\n");
+    return 2;
+  }
+  auto bytes = ReadFileBytes(argv[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto report = core::SeekIFrames(*bytes);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("# frame offset size\n");
+  for (const auto& r : report->iframes) {
+    std::printf("%u %zu %zu\n", r.index, r.payload_offset, r.payload_size);
+  }
+  std::fprintf(stderr, "%zu I-frames of %zu frames; scanned %zu of %zu bytes\n",
+               report->iframes.size(), report->total_frames,
+               report->bytes_scanned, bytes->size());
+  return 0;
+}
+
+int CmdDecode(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: sieve decode <in.svb> <out.y4m>\n");
+    return 2;
+  }
+  auto bytes = ReadFileBytes(argv[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto decoder = codec::VideoDecoder::Open(*bytes);
+  if (!decoder.ok()) return Fail(decoder.status());
+  auto video = decoder->DecodeAll();
+  if (!video.ok()) return Fail(video.status());
+  if (auto s = media::WriteY4m(argv[1], *video); !s.ok()) return Fail(s);
+  std::printf("decoded %zu frames to %s\n", video->frames.size(), argv[1]);
+  return 0;
+}
+
+int CmdExtract(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: sieve extract <in.svb> <frame> <out.ppm>\n");
+    return 2;
+  }
+  auto bytes = ReadFileBytes(argv[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto records = codec::WalkFrameIndex(*bytes);
+  if (!records.ok()) return Fail(records.status());
+  const std::size_t index = std::strtoul(argv[1], nullptr, 10);
+  if (index >= records->size()) {
+    std::fprintf(stderr, "error: frame %zu out of range (%zu frames)\n", index,
+                 records->size());
+    return 1;
+  }
+  auto frame = codec::DecodeIntraFrameAt(*bytes, (*records)[index]);
+  if (!frame.ok()) return Fail(frame.status());
+  if (auto s = media::WritePpm(argv[2], *frame); !s.ok()) return Fail(s);
+  std::printf("wrote frame %zu to %s\n", index, argv[2]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "sieve — semantic video encoding toolkit\n"
+                 "commands: synth tune encode info seek decode extract\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (cmd == "synth") return CmdSynth(argc, argv);
+  if (cmd == "tune") return CmdTune(argc, argv);
+  if (cmd == "encode") return CmdEncode(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "seek") return CmdSeek(argc, argv);
+  if (cmd == "decode") return CmdDecode(argc, argv);
+  if (cmd == "extract") return CmdExtract(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
