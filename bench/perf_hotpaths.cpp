@@ -1,0 +1,295 @@
+// Hot-path performance harness: encode throughput, motion-search candidate
+// throughput, and GEMM / CNN-forward arithmetic throughput, each measured
+// against its serial / unpruned / naive reference IN THE SAME RUN so every
+// speedup quoted is apples-to-apples on this machine. Emits a JSON report
+// (default ./BENCH_hotpaths.json, override with argv[1]) that tracks the
+// perf trajectory across PRs.
+//
+// Everything is seeded; two runs on the same machine produce the same work.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "codec/motion.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "media/metrics.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "synth/scene.h"
+
+namespace {
+
+using namespace sieve;
+
+constexpr std::uint64_t kSeed = 20260729;
+
+// ---------------------------------------------------------------- encode --
+
+struct EncodeResult {
+  double reference_fps = 0;   ///< serial, unpruned search (seed path)
+  double serial_fps = 0;      ///< pruned search, 1 thread
+  double parallel_fps = 0;    ///< pruned search, all hardware threads
+  bool bit_identical = false; ///< all three bitstreams byte-equal
+  std::size_t frames = 0;
+  std::size_t bytes = 0;
+};
+
+EncodeResult BenchEncode(int parallel_threads) {
+  // A busy feed: camera jitter defeats zero-motion SKIP and concurrent
+  // objects keep residual coding warm, so every macroblock exercises the
+  // search + transform hot path (the workload the paper's throughput
+  // figures care about, and the one where encoding speed actually matters).
+  synth::SceneConfig cfg;
+  cfg.width = 320;
+  cfg.height = 240;
+  cfg.num_frames = 96;
+  cfg.seed = kSeed;
+  cfg.object_scale = 0.28;
+  cfg.allow_concurrent = true;
+  cfg.mean_gap_seconds = 1.0;
+  cfg.min_gap_seconds = 0.3;
+  cfg.mean_dwell_seconds = 2.0;
+  cfg.min_dwell_seconds = 0.8;
+  cfg.noise_sigma = 2.0;
+  cfg.jitter_px = 2;
+  const auto scene = synth::GenerateScene(cfg);
+  std::fprintf(stderr, "[encode] %dx%d, %zu frames\n", cfg.width, cfg.height,
+               scene.video.frames.size());
+
+  auto run = [&](bool reference, int threads) {
+    codec::EncoderParams params = codec::EncoderParams::DefaultEncoding();
+    params.reference_inter = reference;
+    params.threads = threads;
+    Stopwatch watch;
+    auto encoded = codec::VideoEncoder(params).Encode(scene.video);
+    const double seconds = watch.ElapsedSeconds();
+    return std::pair(std::move(encoded), seconds);
+  };
+
+  EncodeResult out;
+  out.frames = scene.video.frames.size();
+
+  auto [ref, ref_s] = run(true, 1);
+  auto [serial, serial_s] = run(false, 1);
+  auto [parallel, parallel_s] = run(false, parallel_threads);
+  if (!ref.ok() || !serial.ok() || !parallel.ok()) {
+    std::fprintf(stderr, "[encode] encode failed\n");
+    return out;
+  }
+  out.reference_fps = double(out.frames) / ref_s;
+  out.serial_fps = double(out.frames) / serial_s;
+  out.parallel_fps = double(out.frames) / parallel_s;
+  out.bit_identical =
+      ref->bytes == serial->bytes && ref->bytes == parallel->bytes;
+  out.bytes = ref->bytes.size();
+  return out;
+}
+
+// --------------------------------------------------------- motion search --
+
+struct MotionResultRow {
+  double reference_cand_per_s = 0;
+  double pruned_cand_per_s = 0;
+  bool identical = false;
+};
+
+MotionResultRow BenchMotion() {
+  // Two smooth textured planes related by per-block shifts: realistic SAD
+  // surfaces for the pruner (white noise would prune nearly everything).
+  const int w = 320, h = 240, range = 8;
+  media::Plane ref_plane(w, h), cur_plane(w, h);
+  Rng rng(kSeed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int v = int(96 + 64 * ((x / 7 + y / 5) % 3)) + rng.UniformInt(-9, 9);
+      ref_plane.at(x, y) = std::uint8_t(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      cur_plane.at(x, y) = ref_plane.at_clamped(x - 3, y + 2);
+    }
+  }
+
+  const int mb = 16;
+  const std::uint64_t cand_per_block =
+      std::uint64_t(2 * range + 1) * std::uint64_t(2 * range + 1);
+  std::uint64_t blocks = 0;
+  for (int by = 0; by + mb <= h; by += mb) {
+    for (int bx = 0; bx + mb <= w; bx += mb) ++blocks;
+  }
+
+  auto sweep = [&](auto search_fn) {
+    std::uint64_t checksum = 0;
+    for (int by = 0; by + mb <= h; by += mb) {
+      for (int bx = 0; bx + mb <= w; bx += mb) {
+        const codec::MotionResult r =
+            search_fn(cur_plane, ref_plane, bx, by, mb, mb, range,
+                      codec::MotionVector{0, 0}, 8u);
+        checksum = checksum * 1315423911u + r.sad +
+                   std::uint64_t(std::uint32_t(r.mv.dx * 131 + r.mv.dy));
+      }
+    }
+    return checksum;
+  };
+
+  MotionResultRow row;
+  const int laps = 6;
+  Stopwatch watch;
+  std::uint64_t ref_sum = 0;
+  for (int i = 0; i < laps; ++i) ref_sum = sweep(codec::FullSearchReference);
+  const double ref_s = watch.ElapsedSeconds();
+  watch.Start();
+  std::uint64_t pruned_sum = 0;
+  for (int i = 0; i < laps; ++i) pruned_sum = sweep(codec::FullSearch);
+  const double pruned_s = watch.ElapsedSeconds();
+
+  const double total_cand = double(cand_per_block) * double(blocks) * laps;
+  row.reference_cand_per_s = total_cand / ref_s;
+  row.pruned_cand_per_s = total_cand / pruned_s;
+  row.identical = ref_sum == pruned_sum;
+  return row;
+}
+
+// -------------------------------------------------------------------- nn --
+
+struct GemmRow {
+  double naive_gflops = 0;
+  double blocked_gflops = 0;
+};
+
+GemmRow BenchGemm() {
+  // An im2col-shaped problem: m = output pixels, k = patch, n = channels.
+  const int m = 1024, k = 288, n = 64;
+  std::vector<float> a(std::size_t(m) * k), b(std::size_t(k) * n),
+      c(std::size_t(m) * n);
+  Rng rng(kSeed);
+  for (auto& v : a) v = float(rng.Uniform(-1.0, 1.0));
+  for (auto& v : b) v = float(rng.Uniform(-1.0, 1.0));
+
+  const double flops_per_call = 2.0 * double(m) * double(k) * double(n);
+  const int laps = 24;
+  GemmRow row;
+  Stopwatch watch;
+  for (int i = 0; i < laps; ++i) nn::GemmNaive(a.data(), b.data(), c.data(), m, k, n);
+  row.naive_gflops = flops_per_call * laps / watch.ElapsedSeconds() / 1e9;
+  watch.Start();
+  for (int i = 0; i < laps; ++i) nn::Gemm(a.data(), b.data(), c.data(), m, k, n);
+  row.blocked_gflops = flops_per_call * laps / watch.ElapsedSeconds() / 1e9;
+  return row;
+}
+
+struct ConvRow {
+  double forward_ms = 0;
+  double gflops = 0;  ///< MAC-derived arithmetic throughput of a full forward
+};
+
+ConvRow BenchConvForward() {
+  const nn::Network net = nn::MakeBackbone(96, 64, kSeed);
+  std::uint64_t macs = 0;
+  for (const auto& layer : net.Profile()) macs += layer.macs;
+
+  nn::Tensor input(net.input_shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.values()[i] = float((i % 255) / 255.0);
+  }
+  // Warm-up builds the scratch buffers.
+  (void)net.Forward(input);
+  const int laps = 10;
+  Stopwatch watch;
+  for (int i = 0; i < laps; ++i) (void)net.Forward(input);
+  const double seconds = watch.ElapsedSeconds();
+  ConvRow row;
+  row.forward_ms = seconds * 1e3 / laps;
+  row.gflops = 2.0 * double(macs) * laps / seconds / 1e9;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Usage: perf_hotpaths [out.json] [parallel_threads]
+  // parallel_threads overrides the thread count of the parallel encode leg
+  // (default 0 = one per hardware thread).
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_hotpaths.json";
+  const int parallel_threads = argc > 2 ? std::atoi(argv[2]) : 0;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("SiEVE hot-path benchmark (%u hardware threads)\n", hw);
+
+  const EncodeResult enc = BenchEncode(parallel_threads);
+  std::printf("encode:   reference %.1f fps | serial+prune %.1f fps (%.2fx) | "
+              "parallel %.1f fps (%.2fx) | bit-identical: %s\n",
+              enc.reference_fps, enc.serial_fps,
+              enc.serial_fps / enc.reference_fps, enc.parallel_fps,
+              enc.parallel_fps / enc.reference_fps,
+              enc.bit_identical ? "yes" : "NO");
+
+  const MotionResultRow mot = BenchMotion();
+  std::printf("fullsearch: reference %.2fM cand/s | pruned %.2fM cand/s "
+              "(%.2fx) | identical: %s\n",
+              mot.reference_cand_per_s / 1e6, mot.pruned_cand_per_s / 1e6,
+              mot.pruned_cand_per_s / mot.reference_cand_per_s,
+              mot.identical ? "yes" : "NO");
+
+  const GemmRow gemm = BenchGemm();
+  std::printf("gemm 1024x288x64: naive %.2f GFLOP/s | blocked %.2f GFLOP/s "
+              "(%.2fx)\n",
+              gemm.naive_gflops, gemm.blocked_gflops,
+              gemm.blocked_gflops / gemm.naive_gflops);
+
+  const ConvRow conv = BenchConvForward();
+  std::printf("backbone forward (3x96x96): %.2f ms (%.2f GFLOP/s)\n",
+              conv.forward_ms, conv.gflops);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"encode\": {\n"
+               "    \"frames\": %zu,\n"
+               "    \"reference_fps\": %.2f,\n"
+               "    \"serial_pruned_fps\": %.2f,\n"
+               "    \"parallel_fps\": %.2f,\n"
+               "    \"serial_speedup\": %.3f,\n"
+               "    \"parallel_speedup\": %.3f,\n"
+               "    \"bit_identical\": %s\n"
+               "  },\n"
+               "  \"full_search\": {\n"
+               "    \"reference_candidates_per_s\": %.0f,\n"
+               "    \"pruned_candidates_per_s\": %.0f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical\": %s\n"
+               "  },\n"
+               "  \"gemm_1024x288x64\": {\n"
+               "    \"naive_gflops\": %.3f,\n"
+               "    \"blocked_gflops\": %.3f,\n"
+               "    \"speedup\": %.3f\n"
+               "  },\n"
+               "  \"backbone_forward_3x96x96\": {\n"
+               "    \"ms\": %.3f,\n"
+               "    \"gflops\": %.3f\n"
+               "  }\n"
+               "}\n",
+               hw, enc.frames, enc.reference_fps, enc.serial_fps,
+               enc.parallel_fps, enc.serial_fps / enc.reference_fps,
+               enc.parallel_fps / enc.reference_fps,
+               enc.bit_identical ? "true" : "false", mot.reference_cand_per_s,
+               mot.pruned_cand_per_s,
+               mot.pruned_cand_per_s / mot.reference_cand_per_s,
+               mot.identical ? "true" : "false", gemm.naive_gflops,
+               gemm.blocked_gflops, gemm.blocked_gflops / gemm.naive_gflops,
+               conv.forward_ms, conv.gflops);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

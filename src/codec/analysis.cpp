@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "codec/motion.h"
+#include "common/thread_pool.h"
 #include "media/image_ops.h"
 #include "media/metrics.h"
 
@@ -17,6 +18,19 @@ constexpr int kAnalysisBlock = 8;  // MB size at half resolution
 /// intra coding cost that grows with texture.
 double BlockIntraCost(const media::Plane& p, int bx, int by, int size) {
   double sum = 0;
+  if (p.ContainsRect(bx, by, size, size)) {
+    for (int y = 0; y < size; ++y) {
+      const std::uint8_t* row = p.row(by + y) + bx;
+      for (int x = 0; x < size; ++x) sum += row[x];
+    }
+    const double mean = sum / double(size * size);
+    double dev = 0;
+    for (int y = 0; y < size; ++y) {
+      const std::uint8_t* row = p.row(by + y) + bx;
+      for (int x = 0; x < size; ++x) dev += std::abs(double(row[x]) - mean);
+    }
+    return dev;
+  }
   int n = 0;
   for (int y = 0; y < size; ++y) {
     for (int x = 0; x < size; ++x) {
@@ -37,44 +51,84 @@ double BlockIntraCost(const media::Plane& p, int bx, int by, int size) {
 /// SAD at a fixed motion vector with a per-pixel noise deadzone.
 double DeadzoneSad(const media::Plane& cur, const media::Plane& ref, int bx,
                    int by, int size, MotionVector mv, int deadzone) {
+  const int sx = bx + mv.dx, sy = by + mv.dy;
   double acc = 0;
+  if (cur.ContainsRect(bx, by, size, size) &&
+      ref.ContainsRect(sx, sy, size, size)) {
+    for (int y = 0; y < size; ++y) {
+      const std::uint8_t* rc = cur.row(by + y) + bx;
+      const std::uint8_t* rr = ref.row(sy + y) + sx;
+      for (int x = 0; x < size; ++x) {
+        const int d = std::abs(int(rc[x]) - int(rr[x]));
+        if (d > deadzone) acc += d - deadzone;
+      }
+    }
+    return acc;
+  }
   for (int y = 0; y < size; ++y) {
     for (int x = 0; x < size; ++x) {
       const int d = std::abs(int(cur.at_clamped(bx + x, by + y)) -
-                             int(ref.at_clamped(bx + x + mv.dx, by + y + mv.dy)));
+                             int(ref.at_clamped(sx + x, sy + y)));
       if (d > deadzone) acc += d - deadzone;
     }
   }
   return acc;
 }
 
+struct RowCost {
+  double intra = 0;
+  double inter = 0;
+};
+
+/// Costs for one block row. Rows are independent (the MV predictor resets
+/// at the start of every row), which is what lets CostsBetween fan them out.
+RowCost AnalyzeBlockRow(const media::Plane& cur, const media::Plane* prev,
+                        const AnalysisParams& params, int mbs_x, int my) {
+  const int bs = kAnalysisBlock;
+  RowCost out;
+  MotionVector predictor{0, 0};
+  for (int mx = 0; mx < mbs_x; ++mx) {
+    const int bx = mx * bs, by = my * bs;
+    const double ic = BlockIntraCost(cur, bx, by, bs) + 1.0;
+    out.intra += ic;
+    if (prev != nullptr) {
+      const MotionResult mr =
+          DiamondSearch(cur, *prev, bx, by, bs, bs, params.search_range,
+                        predictor, params.lambda);
+      predictor = mr.mv;
+      // Residual energy at the chosen vector, noise-tolerant; a real
+      // encoder would fall back to intra coding for an MB whose inter
+      // cost exceeds its intra cost, so clamp identically to x264.
+      const double dz_sad = DeadzoneSad(cur, *prev, bx, by, bs, mr.mv,
+                                        params.noise_deadzone);
+      out.inter += std::min(dz_sad, ic);
+    }
+  }
+  return out;
+}
+
 FrameCost CostsBetween(const media::Plane& cur, const media::Plane* prev,
-                       const AnalysisParams& params) {
+                       const AnalysisParams& params, ThreadPool* pool) {
   FrameCost out;
   const int bs = kAnalysisBlock;
   const int mbs_x = std::max(1, (cur.width() + bs - 1) / bs);
   const int mbs_y = std::max(1, (cur.height() + bs - 1) / bs);
-  double intra = 0, inter = 0;
-  MotionVector predictor{0, 0};
-  for (int my = 0; my < mbs_y; ++my) {
-    predictor = MotionVector{0, 0};
-    for (int mx = 0; mx < mbs_x; ++mx) {
-      const int bx = mx * bs, by = my * bs;
-      const double ic = BlockIntraCost(cur, bx, by, bs) + 1.0;
-      intra += ic;
-      if (prev != nullptr) {
-        const MotionResult mr =
-            DiamondSearch(cur, *prev, bx, by, bs, bs, params.search_range,
-                          predictor, params.lambda);
-        predictor = mr.mv;
-        // Residual energy at the chosen vector, noise-tolerant; a real
-        // encoder would fall back to intra coding for an MB whose inter
-        // cost exceeds its intra cost, so clamp identically to x264.
-        const double dz_sad = DeadzoneSad(cur, *prev, bx, by, bs, mr.mv,
-                                          params.noise_deadzone);
-        inter += std::min(dz_sad, ic);
-      }
+  // Per-row partials reduced in row order below: the serial and parallel
+  // paths sum in the same order, so results are identical for any pool size.
+  std::vector<RowCost> rows(static_cast<std::size_t>(mbs_y));
+  if (pool != nullptr && pool->size() > 1 && mbs_y > 1) {
+    pool->ParallelFor(std::size_t(mbs_y), [&](std::size_t my) {
+      rows[my] = AnalyzeBlockRow(cur, prev, params, mbs_x, int(my));
+    });
+  } else {
+    for (int my = 0; my < mbs_y; ++my) {
+      rows[std::size_t(my)] = AnalyzeBlockRow(cur, prev, params, mbs_x, my);
     }
+  }
+  double intra = 0, inter = 0;
+  for (const RowCost& r : rows) {
+    intra += r.intra;
+    inter += r.inter;
   }
   const double n = double(mbs_x) * double(mbs_y);
   out.intra_cost = intra / n;
@@ -87,7 +141,8 @@ FrameCost CostsBetween(const media::Plane& cur, const media::Plane* prev,
 FrameCost FrameAnalyzer::Push(const media::Frame& frame) {
   media::Plane cur =
       params_.half_resolution ? media::Downsample2x(frame.y()) : frame.y();
-  const FrameCost cost = CostsBetween(cur, has_prev_ ? &prev_ : nullptr, params_);
+  const FrameCost cost =
+      CostsBetween(cur, has_prev_ ? &prev_ : nullptr, params_, pool_);
   prev_ = std::move(cur);
   has_prev_ = true;
   return cost;

@@ -26,6 +26,10 @@
 
 #include "media/frame.h"
 
+namespace sieve {
+class ThreadPool;
+}
+
 namespace sieve::codec {
 
 /// Per-frame analysis costs, normalized per macroblock so thresholds are
@@ -60,8 +64,14 @@ class FrameAnalyzer {
   FrameCost Push(const media::Frame& frame);
   void Reset();
 
+  /// Fan block-row analysis out over `pool` (null = serial). Costs are
+  /// computed as per-row partials reduced in row order, so the result is
+  /// identical whatever the pool size.
+  void set_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
  private:
   AnalysisParams params_;
+  ThreadPool* pool_ = nullptr;
   media::Plane prev_;  // analysis-scale luma of the previous frame
   bool has_prev_ = false;
 };

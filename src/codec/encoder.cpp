@@ -1,5 +1,7 @@
 #include "codec/encoder.h"
 
+#include <thread>
+
 namespace sieve::codec {
 
 Expected<EncodedVideo> VideoEncoder::Encode(const media::RawVideo& video) const {
@@ -26,6 +28,13 @@ StreamingEncoder::StreamingEncoder(EncoderParams params, int width, int height,
   if (params_.inter.skip_sad_per_pixel == 0) {
     params_.inter.skip_sad_per_pixel = InterParams::AutoSkipThreshold(params_.qp);
   }
+  const unsigned threads =
+      params_.threads > 0 ? unsigned(params_.threads)
+                          : std::max(1u, std::thread::hardware_concurrency());
+  if (threads > 1 && !params_.reference_inter) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+    analyzer_.set_pool(pool_.get());
+  }
 }
 
 Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
@@ -46,8 +55,12 @@ Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
   media::Frame new_recon(header_.width, header_.height);
   if (is_key) {
     EncodeIntraFrame(rc, models, frame, ctx_, new_recon);
+  } else if (params_.reference_inter) {
+    EncodeInterFrameReference(rc, models, frame, recon_, ctx_, params_.inter,
+                              new_recon);
   } else {
-    EncodeInterFrame(rc, models, frame, recon_, ctx_, params_.inter, new_recon);
+    EncodeInterFrame(rc, models, frame, recon_, ctx_, params_.inter, new_recon,
+                     pool_.get(), &inter_scratch_);
   }
   rc.Flush();
   recon_ = std::move(new_recon);

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "codec/analysis.h"
 #include "codec/container.h"
 #include "codec/frame_coding.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "media/frame.h"
 
 namespace sieve::codec {
@@ -23,6 +25,12 @@ struct EncoderParams {
   int qp = 26;                  ///< quantizer (1..51)
   InterParams inter;            ///< motion search and skip settings
   AnalysisParams analysis;      ///< lookahead settings
+  /// Motion-estimation worker threads: 0 = one per hardware thread,
+  /// 1 = serial. The bitstream is identical for every value.
+  int threads = 0;
+  /// Route inter frames through the serial reference coder (unpruned search,
+  /// single pass). Golden/debug path; slow.
+  bool reference_inter = false;
 
   static EncoderParams Defaults() { return EncoderParams{}; }
   /// The paper's "default encoding parameters": GOP 250, scenecut 40.
@@ -94,6 +102,8 @@ class StreamingEncoder {
   ContainerWriter writer_;
   CodingContext ctx_;
   FrameAnalyzer analyzer_;
+  std::unique_ptr<ThreadPool> pool_;  ///< motion-estimation workers (null = serial)
+  InterScratch inter_scratch_;        ///< reused across frames: no per-frame allocs
   media::Frame recon_;
   std::vector<FrameRecord> records_;
   std::vector<FrameCost> costs_;

@@ -1,7 +1,10 @@
 #include "codec/frame_coding.h"
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "media/metrics.h"
 
 namespace sieve::codec {
@@ -11,6 +14,14 @@ namespace {
 /// Extract an 8x8 block (border-clamped) centered by `offset` into int16.
 void LoadBlock(const media::Plane& p, int bx, int by, int offset,
                PixelBlock& out) {
+  if (p.ContainsRect(bx, by, kBlockSize, kBlockSize)) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      const std::uint8_t* row = p.row(by + y) + bx;
+      std::int16_t* dst = out.data() + y * kBlockSize;
+      for (int x = 0; x < kBlockSize; ++x) dst[x] = std::int16_t(int(row[x]) - offset);
+    }
+    return;
+  }
   for (int y = 0; y < kBlockSize; ++y) {
     for (int x = 0; x < kBlockSize; ++x) {
       out[std::size_t(y * kBlockSize + x)] =
@@ -36,6 +47,17 @@ void StoreBlock(const PixelBlock& block, int bx, int by, int offset,
 /// Residual between a source block and a prediction block.
 void LoadResidual(const media::Plane& src, const media::Plane& pred, int bx,
                   int by, PixelBlock& out) {
+  if (src.ContainsRect(bx, by, kBlockSize, kBlockSize) && src.SameSize(pred)) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      const std::uint8_t* rs = src.row(by + y) + bx;
+      const std::uint8_t* rp = pred.row(by + y) + bx;
+      std::int16_t* dst = out.data() + y * kBlockSize;
+      for (int x = 0; x < kBlockSize; ++x) {
+        dst[x] = std::int16_t(int(rs[x]) - int(rp[x]));
+      }
+    }
+    return;
+  }
   for (int y = 0; y < kBlockSize; ++y) {
     for (int x = 0; x < kBlockSize; ++x) {
       out[std::size_t(y * kBlockSize + x)] =
@@ -48,6 +70,17 @@ void LoadResidual(const media::Plane& src, const media::Plane& pred, int bx,
 /// recon = pred + residual, clamped; clipped to plane bounds.
 void StoreResidualRecon(const PixelBlock& residual, const media::Plane& pred,
                         int bx, int by, media::Plane& out) {
+  if (out.ContainsRect(bx, by, kBlockSize, kBlockSize) && out.SameSize(pred)) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      const std::uint8_t* rp = pred.row(by + y) + bx;
+      std::uint8_t* ro = out.row(by + y) + bx;
+      const std::int16_t* res = residual.data() + y * kBlockSize;
+      for (int x = 0; x < kBlockSize; ++x) {
+        ro[x] = std::uint8_t(std::clamp(int(rp[x]) + int(res[x]), 0, 255));
+      }
+    }
+    return;
+  }
   for (int y = 0; y < kBlockSize; ++y) {
     if (by + y >= out.height()) break;
     for (int x = 0; x < kBlockSize; ++x) {
@@ -116,17 +149,18 @@ void DecodeResidualBlock(RangeDecoder& rc, PlaneModels& models,
 void CopyMacroblock(const media::Frame& prev, int mbx, int mby,
                     media::Frame& recon) {
   const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;
+  const int lw = std::min(kMacroblockSize, recon.width() - lx);
   for (int y = 0; y < kMacroblockSize && ly + y < recon.height(); ++y) {
-    for (int x = 0; x < kMacroblockSize && lx + x < recon.width(); ++x) {
-      recon.y().at(lx + x, ly + y) = prev.y().at(lx + x, ly + y);
-    }
+    const std::uint8_t* src = prev.y().row(ly + y) + lx;
+    std::copy(src, src + lw, recon.y().row(ly + y) + lx);
   }
   const int cx = mbx * kBlockSize, cy = mby * kBlockSize;
+  const int cw = std::min(kBlockSize, recon.u().width() - cx);
   for (int y = 0; y < kBlockSize && cy + y < recon.u().height(); ++y) {
-    for (int x = 0; x < kBlockSize && cx + x < recon.u().width(); ++x) {
-      recon.u().at(cx + x, cy + y) = prev.u().at(cx + x, cy + y);
-      recon.v().at(cx + x, cy + y) = prev.v().at(cx + x, cy + y);
-    }
+    const std::uint8_t* su = prev.u().row(cy + y) + cx;
+    const std::uint8_t* sv = prev.v().row(cy + y) + cx;
+    std::copy(su, su + cw, recon.u().row(cy + y) + cx);
+    std::copy(sv, sv + cw, recon.v().row(cy + y) + cx);
   }
 }
 
@@ -147,16 +181,146 @@ void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,
   DecodeIntraPlane(rc, models.chroma_intra, ctx.chroma_q, out.v());
 }
 
+namespace {
+
+/// Pass 1 for one macroblock row: motion estimation, motion compensation,
+/// residual transform + quantization, and reconstruction. Rows are
+/// independent: the MV predictor resets to zero at the start of every row,
+/// the searches read only `src`/`prev_recon` (immutable during pass 1), and
+/// each macroblock writes disjoint regions of the shared pred/recon planes.
+/// Everything here is entropy-free, which is what makes it parallel.
+void ProcessMacroblockRow(const media::Frame& src,
+                          const media::Frame& prev_recon,
+                          const CodingContext& ctx, const InterParams& params,
+                          std::uint64_t skip_threshold, int mbs_x, int mby,
+                          InterMbTask* row, media::Plane& pred_y,
+                          media::Plane& pred_u, media::Plane& pred_v,
+                          media::Frame& recon) {
+  PixelBlock residual, rec_residual;
+  MotionVector predictor{0, 0};
+  for (int mbx = 0; mbx < mbs_x; ++mbx) {
+    const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;
+    // Zero-motion SAD decides SKIP before any search; the scan terminates
+    // early once the threshold is unreachable (decision-identical).
+    const std::uint64_t zero_sad = media::RegionSadBounded(
+        src.y(), lx, ly, prev_recon.y(), lx, ly, kMacroblockSize,
+        kMacroblockSize, skip_threshold);
+    if (zero_sad < skip_threshold) {
+      row[mbx].skip = true;
+      CopyMacroblock(prev_recon, mbx, mby, recon);
+      predictor = MotionVector{0, 0};
+      continue;
+    }
+    const MotionResult mr = DiamondSearch(
+        src.y(), prev_recon.y(), lx, ly, kMacroblockSize, kMacroblockSize,
+        params.search_range, predictor, params.lambda);
+    row[mbx].skip = false;
+    row[mbx].mv = mr.mv;
+    predictor = mr.mv;
+
+    // Luma prediction + residual transform (4 blocks of 8x8).
+    CompensateBlock(prev_recon.y(), pred_y, lx, ly, kMacroblockSize,
+                    kMacroblockSize, mr.mv);
+    for (int sub = 0; sub < 4; ++sub) {
+      const int bx = lx + (sub % 2) * kBlockSize;
+      const int by = ly + (sub / 2) * kBlockSize;
+      LoadResidual(src.y(), pred_y, bx, by, residual);
+      ReconstructBlock(residual, ctx.luma_q, row[mbx].coeffs[std::size_t(sub)],
+                       rec_residual);
+      StoreResidualRecon(rec_residual, pred_y, bx, by, recon.y());
+    }
+    // Chroma: one 8x8 block per plane at half-resolution motion.
+    const MotionVector cmv{mr.mv.dx / 2, mr.mv.dy / 2};
+    const int cx = mbx * kBlockSize, cy = mby * kBlockSize;
+    CompensateBlock(prev_recon.u(), pred_u, cx, cy, kBlockSize, kBlockSize, cmv);
+    LoadResidual(src.u(), pred_u, cx, cy, residual);
+    ReconstructBlock(residual, ctx.chroma_q, row[mbx].coeffs[4], rec_residual);
+    StoreResidualRecon(rec_residual, pred_u, cx, cy, recon.u());
+    CompensateBlock(prev_recon.v(), pred_v, cx, cy, kBlockSize, kBlockSize, cmv);
+    LoadResidual(src.v(), pred_v, cx, cy, residual);
+    ReconstructBlock(residual, ctx.chroma_q, row[mbx].coeffs[5], rec_residual);
+    StoreResidualRecon(rec_residual, pred_v, cx, cy, recon.v());
+  }
+}
+
+}  // namespace
+
 void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const media::Frame& prev_recon,
                       const CodingContext& ctx, const InterParams& params,
-                      media::Frame& recon) {
+                      media::Frame& recon, ThreadPool* pool,
+                      InterScratch* scratch) {
   const int mbs_x = (src.width() + kMacroblockSize - 1) / kMacroblockSize;
   const int mbs_y = (src.height() + kMacroblockSize - 1) / kMacroblockSize;
   const std::uint64_t skip_threshold =
       std::uint64_t(params.skip_sad_per_pixel) * kMacroblockSize * kMacroblockSize;
   // skip_sad_per_pixel == 0 is resolved by the encoder before reaching here;
   // a literal 0 disables skipping entirely (every MB coded).
+
+  // ---- Pass 1: search, compensation, transform, reconstruction ----------
+  // (parallel over macroblock rows).
+  InterScratch local;
+  InterScratch& s = scratch != nullptr ? *scratch : local;
+  if (s.pred_y.width() != src.width() || s.pred_y.height() != src.height()) {
+    s.pred_y = media::Plane(src.width(), src.height());
+    s.pred_u = media::Plane(src.u().width(), src.u().height());
+    s.pred_v = media::Plane(src.v().width(), src.v().height());
+  }
+  // Stale task contents are harmless: pass 1 always writes skip/mv, and
+  // coeffs are written for exactly the macroblocks pass 2 reads them for.
+  s.tasks.resize(std::size_t(mbs_x) * std::size_t(mbs_y));
+  media::Plane& pred_y = s.pred_y;
+  media::Plane& pred_u = s.pred_u;
+  media::Plane& pred_v = s.pred_v;
+  std::vector<InterMbTask>& tasks = s.tasks;
+  auto process_row = [&](std::size_t mby) {
+    ProcessMacroblockRow(src, prev_recon, ctx, params, skip_threshold, mbs_x,
+                         int(mby), tasks.data() + mby * std::size_t(mbs_x),
+                         pred_y, pred_u, pred_v, recon);
+  };
+  if (pool != nullptr && pool->size() > 1 && mbs_y > 1) {
+    pool->ParallelFor(std::size_t(mbs_y), process_row);
+  } else {
+    for (int mby = 0; mby < mbs_y; ++mby) process_row(std::size_t(mby));
+  }
+
+  // ---- Pass 2: entropy coding (serial; adaptive models are sequential). --
+  for (int mby = 0; mby < mbs_y; ++mby) {
+    MotionVector predictor{0, 0};
+    for (int mbx = 0; mbx < mbs_x; ++mbx) {
+      const InterMbTask& t =
+          tasks[std::size_t(mby) * std::size_t(mbs_x) + std::size_t(mbx)];
+      if (t.skip) {
+        rc.EncodeBit(models.skip_flag, 1);
+        predictor = MotionVector{0, 0};
+        continue;
+      }
+      rc.EncodeBit(models.skip_flag, 0);
+      rc.EncodeUnsigned(models.mv_x, ZigzagEncodeSigned(t.mv.dx - predictor.dx));
+      rc.EncodeUnsigned(models.mv_y, ZigzagEncodeSigned(t.mv.dy - predictor.dy));
+      predictor = t.mv;
+
+      for (int sub = 0; sub < 4; ++sub) {
+        std::int32_t zero_pred = 0;  // residual DC has no spatial prediction
+        EncodeCoeffBlock(rc, models.luma_inter, t.coeffs[std::size_t(sub)],
+                         zero_pred);
+      }
+      std::int32_t zero_u = 0, zero_v = 0;
+      EncodeCoeffBlock(rc, models.chroma_inter, t.coeffs[4], zero_u);
+      EncodeCoeffBlock(rc, models.chroma_inter, t.coeffs[5], zero_v);
+    }
+  }
+}
+
+void EncodeInterFrameReference(RangeEncoder& rc, FrameModels& models,
+                               const media::Frame& src,
+                               const media::Frame& prev_recon,
+                               const CodingContext& ctx,
+                               const InterParams& params, media::Frame& recon) {
+  const int mbs_x = (src.width() + kMacroblockSize - 1) / kMacroblockSize;
+  const int mbs_y = (src.height() + kMacroblockSize - 1) / kMacroblockSize;
+  const std::uint64_t skip_threshold =
+      std::uint64_t(params.skip_sad_per_pixel) * kMacroblockSize * kMacroblockSize;
 
   media::Plane pred_y(src.width(), src.height());
   media::Plane pred_u(src.u().width(), src.u().height());
@@ -166,7 +330,6 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
     MotionVector predictor{0, 0};
     for (int mbx = 0; mbx < mbs_x; ++mbx) {
       const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;
-      // Zero-motion SAD decides SKIP before any search.
       const std::uint64_t zero_sad =
           media::RegionSad(src.y(), lx, ly, prev_recon.y(), lx, ly,
                            kMacroblockSize, kMacroblockSize);
@@ -178,14 +341,13 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
       }
       rc.EncodeBit(models.skip_flag, 0);
 
-      const MotionResult mr = DiamondSearch(
+      const MotionResult mr = DiamondSearchReference(
           src.y(), prev_recon.y(), lx, ly, kMacroblockSize, kMacroblockSize,
           params.search_range, predictor, params.lambda);
       rc.EncodeUnsigned(models.mv_x, ZigzagEncodeSigned(mr.mv.dx - predictor.dx));
       rc.EncodeUnsigned(models.mv_y, ZigzagEncodeSigned(mr.mv.dy - predictor.dy));
       predictor = mr.mv;
 
-      // Luma prediction + residual coding (4 blocks of 8x8).
       CompensateBlock(prev_recon.y(), pred_y, lx, ly, kMacroblockSize,
                       kMacroblockSize, mr.mv);
       for (int sub = 0; sub < 4; ++sub) {
@@ -194,7 +356,6 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
         CodeResidualBlock(rc, models.luma_inter, src.y(), pred_y, bx, by,
                           ctx.luma_q, recon.y());
       }
-      // Chroma: one 8x8 block per plane at half-resolution motion.
       const MotionVector cmv{mr.mv.dx / 2, mr.mv.dy / 2};
       const int cx = mbx * kBlockSize, cy = mby * kBlockSize;
       CompensateBlock(prev_recon.u(), pred_u, cx, cy, kBlockSize, kBlockSize, cmv);

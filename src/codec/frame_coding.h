@@ -6,12 +6,17 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "codec/block_codec.h"
 #include "codec/motion.h"
 #include "codec/range_coder.h"
 #include "codec/transform.h"
 #include "media/frame.h"
+
+namespace sieve {
+class ThreadPool;
+}
 
 namespace sieve::codec {
 
@@ -60,11 +65,50 @@ void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
 void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,
                       const CodingContext& ctx, media::Frame& out);
 
+/// Pass-1 work item for one macroblock of an inter frame: the SKIP decision,
+/// the motion vector, and (for coded MBs) the quantized residual
+/// coefficients — 4 luma 8x8 blocks then one U and one V block — ready for
+/// entropy coding.
+struct InterMbTask {
+  bool skip = false;
+  MotionVector mv{0, 0};
+  std::array<CoeffBlock, 6> coeffs;
+};
+
+/// Reusable pass-1 scratch for EncodeInterFrame: prediction planes and the
+/// per-macroblock work list. Streams should pass the same instance for every
+/// frame so steady-state encoding does not allocate (~15 MB/frame at 1080p
+/// otherwise).
+struct InterScratch {
+  media::Plane pred_y, pred_u, pred_v;
+  std::vector<InterMbTask> tasks;
+};
+
 /// Encode `src` as an inter frame predicted from `prev_recon`.
+///
+/// Two-pass design: pass 1 computes per-macroblock SKIP decisions, motion
+/// vectors, and quantized residuals — macroblock rows are independent (the
+/// MV predictor resets at the start of each row, searches read only
+/// `src`/`prev_recon`, and each macroblock touches disjoint plane regions),
+/// so when `pool` is non-null the rows fan out over it. Pass 2 is the
+/// inherently serial entropy-coding sweep consuming those work items. The
+/// bitstream is bit-identical to EncodeInterFrameReference regardless of
+/// `pool`. `scratch` is optional reusable working memory (null = allocate
+/// per call).
 void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const media::Frame& prev_recon,
                       const CodingContext& ctx, const InterParams& params,
-                      media::Frame& recon);
+                      media::Frame& recon, ThreadPool* pool = nullptr,
+                      InterScratch* scratch = nullptr);
+
+/// The single-pass serial reference encoder (the pre-overhaul path, with
+/// unpruned motion search). Golden path for the optimization-equivalence
+/// tests and the benchmark baseline.
+void EncodeInterFrameReference(RangeEncoder& rc, FrameModels& models,
+                               const media::Frame& src,
+                               const media::Frame& prev_recon,
+                               const CodingContext& ctx,
+                               const InterParams& params, media::Frame& recon);
 
 /// Decode an inter frame given the previous reconstructed frame.
 void DecodeInterFrame(RangeDecoder& rc, FrameModels& models,

@@ -24,11 +24,28 @@ std::uint32_t MvCost(MotionVector mv, MotionVector predictor) noexcept {
 
 namespace {
 
-std::uint64_t CandidateCost(const media::Plane& cur, const media::Plane& ref,
-                            int bx, int by, int w, int h, MotionVector mv,
-                            MotionVector predictor, std::uint32_t lambda) {
+/// Exhaustive candidate cost: always sums every pixel.
+std::uint64_t CandidateCostExact(const media::Plane& cur, const media::Plane& ref,
+                                 int bx, int by, int w, int h, MotionVector mv,
+                                 MotionVector predictor, std::uint32_t lambda) {
   return media::RegionSad(cur, bx, by, ref, bx + mv.dx, by + mv.dy, w, h) +
          std::uint64_t(lambda) * MvCost(mv, predictor);
+}
+
+/// Candidate cost with best-so-far pruning. The lambda term is charged first
+/// so a candidate whose vector alone is too expensive skips the SAD entirely;
+/// otherwise the SAD scan terminates once the total can no longer beat
+/// `bound`. Exact when the result is < bound, >= bound otherwise — so a
+/// search accepting only strictly-better candidates is decision-identical to
+/// the exhaustive version.
+std::uint64_t CandidateCost(const media::Plane& cur, const media::Plane& ref,
+                            int bx, int by, int w, int h, MotionVector mv,
+                            MotionVector predictor, std::uint32_t lambda,
+                            std::uint64_t bound) {
+  const std::uint64_t mv_cost = std::uint64_t(lambda) * MvCost(mv, predictor);
+  if (mv_cost >= bound) return mv_cost + 1;  // cannot win; SAD would only add
+  return mv_cost + media::RegionSadBounded(cur, bx, by, ref, bx + mv.dx,
+                                           by + mv.dy, w, h, bound - mv_cost);
 }
 
 }  // namespace
@@ -38,13 +55,34 @@ MotionResult FullSearch(const media::Plane& cur, const media::Plane& ref, int bx
                         std::uint32_t lambda) {
   MotionResult best;
   best.mv = MotionVector{0, 0};
-  best.sad = CandidateCost(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
+  best.sad = CandidateCostExact(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
   for (int dy = -range; dy <= range; ++dy) {
     for (int dx = -range; dx <= range; ++dx) {
       if (dx == 0 && dy == 0) continue;
       const MotionVector mv{dx, dy};
       const std::uint64_t cost =
-          CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda);
+          CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda, best.sad);
+      if (cost < best.sad) {
+        best.sad = cost;
+        best.mv = mv;
+      }
+    }
+  }
+  return best;
+}
+
+MotionResult FullSearchReference(const media::Plane& cur, const media::Plane& ref,
+                                 int bx, int by, int w, int h, int range,
+                                 MotionVector predictor, std::uint32_t lambda) {
+  MotionResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad = CandidateCostExact(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const MotionVector mv{dx, dy};
+      const std::uint64_t cost =
+          CandidateCostExact(cur, ref, bx, by, w, h, mv, predictor, lambda);
       if (cost < best.sad) {
         best.sad = cost;
         best.mv = mv;
@@ -60,10 +98,10 @@ MotionResult DiamondSearch(const media::Plane& cur, const media::Plane& ref,
   // Candidates to seed: zero vector and the predictor.
   MotionResult best;
   best.mv = MotionVector{0, 0};
-  best.sad = CandidateCost(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
+  best.sad = CandidateCostExact(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
   if (!(predictor == best.mv)) {
     const std::uint64_t c =
-        CandidateCost(cur, ref, bx, by, w, h, predictor, predictor, lambda);
+        CandidateCost(cur, ref, bx, by, w, h, predictor, predictor, lambda, best.sad);
     if (c < best.sad) {
       best.sad = c;
       best.mv = predictor;
@@ -81,7 +119,8 @@ MotionResult DiamondSearch(const media::Plane& cur, const media::Plane& ref,
     for (const auto& d : kLarge) {
       MotionVector mv{best.mv.dx + d[0], best.mv.dy + d[1]};
       if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
-      const std::uint64_t c = CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda);
+      const std::uint64_t c =
+          CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda, best.sad);
       if (c < best.sad) {
         best.sad = c;
         best.mv = mv;
@@ -93,7 +132,58 @@ MotionResult DiamondSearch(const media::Plane& cur, const media::Plane& ref,
   for (const auto& d : kSmall) {
     MotionVector mv{best.mv.dx + d[0], best.mv.dy + d[1]};
     if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
-    const std::uint64_t c = CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda);
+    const std::uint64_t c =
+        CandidateCost(cur, ref, bx, by, w, h, mv, predictor, lambda, best.sad);
+    if (c < best.sad) {
+      best.sad = c;
+      best.mv = mv;
+    }
+  }
+  return best;
+}
+
+MotionResult DiamondSearchReference(const media::Plane& cur,
+                                    const media::Plane& ref, int bx, int by,
+                                    int w, int h, int range,
+                                    MotionVector predictor,
+                                    std::uint32_t lambda) {
+  MotionResult best;
+  best.mv = MotionVector{0, 0};
+  best.sad = CandidateCostExact(cur, ref, bx, by, w, h, best.mv, predictor, lambda);
+  if (!(predictor == best.mv)) {
+    const std::uint64_t c =
+        CandidateCostExact(cur, ref, bx, by, w, h, predictor, predictor, lambda);
+    if (c < best.sad) {
+      best.sad = c;
+      best.mv = predictor;
+    }
+  }
+
+  static constexpr int kLarge[4][2] = {{0, -2}, {0, 2}, {-2, 0}, {2, 0}};
+  static constexpr int kSmall[4][2] = {{0, -1}, {0, 1}, {-1, 0}, {1, 0}};
+
+  bool improved = true;
+  int steps = 0;
+  while (improved && steps < 4 * range) {
+    improved = false;
+    for (const auto& d : kLarge) {
+      MotionVector mv{best.mv.dx + d[0], best.mv.dy + d[1]};
+      if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
+      const std::uint64_t c =
+          CandidateCostExact(cur, ref, bx, by, w, h, mv, predictor, lambda);
+      if (c < best.sad) {
+        best.sad = c;
+        best.mv = mv;
+        improved = true;
+      }
+    }
+    ++steps;
+  }
+  for (const auto& d : kSmall) {
+    MotionVector mv{best.mv.dx + d[0], best.mv.dy + d[1]};
+    if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
+    const std::uint64_t c =
+        CandidateCostExact(cur, ref, bx, by, w, h, mv, predictor, lambda);
     if (c < best.sad) {
       best.sad = c;
       best.mv = mv;
@@ -106,9 +196,8 @@ void CompensateBlock(const media::Plane& ref, media::Plane& dst, int bx, int by,
                      int w, int h, MotionVector mv) {
   const int sx = bx + mv.dx;
   const int sy = by + mv.dy;
-  const bool inside = sx >= 0 && sy >= 0 && sx + w <= ref.width() &&
-                      sy + h <= ref.height() && bx >= 0 && by >= 0 &&
-                      bx + w <= dst.width() && by + h <= dst.height();
+  const bool inside =
+      ref.ContainsRect(sx, sy, w, h) && dst.ContainsRect(bx, by, w, h);
   if (inside) {
     for (int y = 0; y < h; ++y) {
       const std::uint8_t* src_row = ref.row(sy + y) + sx;
@@ -117,12 +206,29 @@ void CompensateBlock(const media::Plane& ref, media::Plane& dst, int bx, int by,
     }
     return;
   }
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      if (bx + x >= 0 && bx + x < dst.width() && by + y >= 0 && by + y < dst.height()) {
-        dst.at(bx + x, by + y) = ref.at_clamped(sx + x, sy + y);
-      }
+  // Slow path: clip the destination rectangle once, clamp the source row
+  // once per y, and split each row into [left clamp | interior copy | right
+  // clamp] so the interior needs no per-pixel bounds tests.
+  const int y0 = std::max(0, -by);
+  const int y1 = std::min(h, dst.height() - by);
+  const int x0 = std::max(0, -bx);
+  const int x1 = std::min(w, dst.width() - bx);
+  if (y0 >= y1 || x0 >= x1) return;
+  // First x whose source column is in range, and one past the last.
+  const int lo = std::clamp(-sx, x0, x1);
+  const int hi = std::clamp(ref.width() - sx, x0, x1);
+  for (int y = y0; y < y1; ++y) {
+    const int src_y = std::clamp(sy + y, 0, ref.height() - 1);
+    const std::uint8_t* src_row = ref.row(src_y);
+    // Keep every intermediate pointer inside its allocation: bx and sx may
+    // be negative, so offsets are added only after folding in x (>= -bx and
+    // >= -sx respectively).
+    std::uint8_t* dst_row = dst.row(by + y);
+    for (int x = x0; x < lo; ++x) dst_row[bx + x] = src_row[0];
+    if (lo < hi) {
+      std::copy(src_row + (sx + lo), src_row + (sx + hi), dst_row + (bx + lo));
     }
+    for (int x = hi; x < x1; ++x) dst_row[bx + x] = src_row[ref.width() - 1];
   }
 }
 

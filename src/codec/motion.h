@@ -25,17 +25,32 @@ std::uint32_t MvCost(MotionVector mv, MotionVector predictor) noexcept;
 
 /// Exhaustive search in [-range, range]^2 around (0,0) + predictor seeding.
 /// Block is the w×h region of `cur` at (bx, by); candidates read from `ref`
-/// with border clamping. Minimizes sad + lambda * MvCost.
+/// with border clamping. Minimizes sad + lambda * MvCost. Candidates are
+/// pruned with best-so-far early termination; the result (vector and cost)
+/// is identical to FullSearchReference.
 MotionResult FullSearch(const media::Plane& cur, const media::Plane& ref, int bx,
                         int by, int w, int h, int range, MotionVector predictor,
                         std::uint32_t lambda);
 
 /// Diamond search (large then small pattern) seeded at the predictor; much
 /// cheaper than full search, used by the encoder's default path and the
-/// half-resolution analysis pass.
+/// half-resolution analysis pass. Prunes with best-so-far early termination;
+/// result identical to DiamondSearchReference.
 MotionResult DiamondSearch(const media::Plane& cur, const media::Plane& ref,
                            int bx, int by, int w, int h, int range,
                            MotionVector predictor, std::uint32_t lambda);
+
+/// Reference implementations without candidate pruning: every candidate sums
+/// every pixel. Kept as the golden path for the optimization-equivalence
+/// tests and the benchmark baseline; do not use on hot paths.
+MotionResult FullSearchReference(const media::Plane& cur, const media::Plane& ref,
+                                 int bx, int by, int w, int h, int range,
+                                 MotionVector predictor, std::uint32_t lambda);
+MotionResult DiamondSearchReference(const media::Plane& cur,
+                                    const media::Plane& ref, int bx, int by,
+                                    int w, int h, int range,
+                                    MotionVector predictor,
+                                    std::uint32_t lambda);
 
 /// Motion-compensate one block: copy the w×h region of `ref` displaced by mv
 /// into `dst` at (bx, by) (border clamped reads).

@@ -51,6 +51,12 @@ class Plane {
     return width_ == other.width_ && height_ == other.height_;
   }
 
+  /// True if the w×h rectangle at (x, y) lies fully inside the plane. The
+  /// fast paths of the block/SAD helpers key off this single predicate.
+  bool ContainsRect(int x, int y, int w, int h) const noexcept {
+    return x >= 0 && y >= 0 && x + w <= width_ && y + h <= height_;
+  }
+
  private:
   int width_ = 0;
   int height_ = 0;

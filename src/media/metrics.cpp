@@ -32,9 +32,7 @@ double FramePsnr(const Frame& a, const Frame& b) {
 std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
                         int by, int w, int h) {
   std::uint64_t acc = 0;
-  const bool a_in = ax >= 0 && ay >= 0 && ax + w <= a.width() && ay + h <= a.height();
-  const bool b_in = bx >= 0 && by >= 0 && bx + w <= b.width() && by + h <= b.height();
-  if (a_in && b_in) {
+  if (a.ContainsRect(ax, ay, w, h) && b.ContainsRect(bx, by, w, h)) {
     // Fast path: both regions fully inside; walk rows directly.
     for (int y = 0; y < h; ++y) {
       const std::uint8_t* ra = a.row(ay + y) + ax;
@@ -48,6 +46,33 @@ std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
       acc += std::uint64_t(
           std::abs(int(a.at_clamped(ax + x, ay + y)) - int(b.at_clamped(bx + x, by + y))));
     }
+  }
+  return acc;
+}
+
+std::uint64_t RegionSadBounded(const Plane& a, int ax, int ay, const Plane& b,
+                               int bx, int by, int w, int h,
+                               std::uint64_t bound) {
+  std::uint64_t acc = 0;
+  if (a.ContainsRect(ax, ay, w, h) && b.ContainsRect(bx, by, w, h)) {
+    for (int y = 0; y < h; ++y) {
+      const std::uint8_t* ra = a.row(ay + y) + ax;
+      const std::uint8_t* rb = b.row(by + y) + bx;
+      std::uint64_t row_acc = 0;
+      for (int x = 0; x < w; ++x) {
+        row_acc += std::uint64_t(std::abs(int(ra[x]) - int(rb[x])));
+      }
+      acc += row_acc;
+      if (acc >= bound) return acc;
+    }
+    return acc;
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      acc += std::uint64_t(
+          std::abs(int(a.at_clamped(ax + x, ay + y)) - int(b.at_clamped(bx + x, by + y))));
+    }
+    if (acc >= bound) return acc;
   }
   return acc;
 }

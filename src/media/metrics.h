@@ -26,6 +26,15 @@ double FramePsnr(const Frame& a, const Frame& b);
 std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
                         int by, int w, int h);
 
+/// RegionSad with best-so-far early termination: once the running sum reaches
+/// `bound` the scan stops (checked per row). The return value is exact when it
+/// is < bound and is some value >= bound otherwise, so callers that only
+/// accept results strictly below `bound` (motion search, skip decisions) get
+/// decisions identical to the exhaustive sum at a fraction of the pixel reads.
+std::uint64_t RegionSadBounded(const Plane& a, int ax, int ay, const Plane& b,
+                               int bx, int by, int w, int h,
+                               std::uint64_t bound);
+
 /// Variance of a rectangular region (border-clamped); the codec's intra-cost
 /// proxy uses this.
 double RegionVariance(const Plane& p, int x0, int y0, int w, int h);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace sieve::nn {
@@ -29,6 +30,20 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride,
       bias_(std::size_t(out_channels), 0.0f) {
   HeInit(weights_, std::size_t(in_channels) * std::size_t(kernel) * std::size_t(kernel),
          rng);
+  RebuildTransposedWeights();
+}
+
+void Conv2D::RebuildTransposedWeights() const {
+  const std::size_t patch =
+      std::size_t(in_c_) * std::size_t(kernel_) * std::size_t(kernel_);
+  wt_.resize(patch * std::size_t(out_c_));
+  for (int o = 0; o < out_c_; ++o) {
+    for (std::size_t p = 0; p < patch; ++p) {
+      wt_[p * std::size_t(out_c_) + std::size_t(o)] =
+          weights_[std::size_t(o) * patch + p];
+    }
+  }
+  wt_dirty_ = false;
 }
 
 std::string Conv2D::name() const {
@@ -48,52 +63,56 @@ Shape Conv2D::OutputShape(const Shape& input) const {
 Tensor Conv2D::Forward(const Tensor& input) const {
   const Shape out_shape = OutputShape(input.shape());
   const int oh = out_shape.h, ow = out_shape.w;
+  const int ih = input.shape().h, iw = input.shape().w;
   const int k = kernel_;
   const std::size_t patch = std::size_t(in_c_) * std::size_t(k) * std::size_t(k);
 
-  // im2col: rows = output pixels, cols = receptive-field patch.
-  std::vector<float> cols(std::size_t(oh) * std::size_t(ow) * patch, 0.0f);
+  if (wt_dirty_) RebuildTransposedWeights();
+
+  // im2col: rows = output pixels, cols = receptive-field patch. The scratch
+  // buffer persists across calls so steady-state inference never allocates.
+  cols_.resize(std::size_t(oh) * std::size_t(ow) * patch);
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
-      float* row = cols.data() + (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) * patch;
+      float* row = cols_.data() +
+                   (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) * patch;
       std::size_t idx = 0;
+      const int ix0 = ox * stride_ - pad_;
       for (int c = 0; c < in_c_; ++c) {
+        const float* chan = input.data() + std::size_t(c) * std::size_t(ih) *
+                                               std::size_t(iw);
         for (int ky = 0; ky < k; ++ky) {
           const int iy = oy * stride_ + ky - pad_;
-          for (int kx = 0; kx < k; ++kx) {
-            const int ix = ox * stride_ + kx - pad_;
-            row[idx++] = (iy >= 0 && iy < input.shape().h && ix >= 0 &&
-                          ix < input.shape().w)
-                             ? input.at(c, iy, ix)
-                             : 0.0f;
+          if (iy < 0 || iy >= ih) {
+            for (int kx = 0; kx < k; ++kx) row[idx++] = 0.0f;
+            continue;
+          }
+          const float* src = chan + std::size_t(iy) * std::size_t(iw);
+          if (ix0 >= 0 && ix0 + k <= iw) {
+            for (int kx = 0; kx < k; ++kx) row[idx++] = src[ix0 + kx];
+          } else {
+            for (int kx = 0; kx < k; ++kx) {
+              const int ix = ix0 + kx;
+              row[idx++] = (ix >= 0 && ix < iw) ? src[ix] : 0.0f;
+            }
           }
         }
       }
     }
   }
 
-  // GEMM: [out_c x patch] * [patch x (oh*ow)] would need cols transposed;
-  // instead compute [oh*ow x patch] * [patch x out_c] with weights
-  // transposed on the fly once.
-  std::vector<float> wt(patch * std::size_t(out_c_));
-  for (int o = 0; o < out_c_; ++o) {
-    for (std::size_t p = 0; p < patch; ++p) {
-      wt[p * std::size_t(out_c_) + std::size_t(o)] =
-          weights_[std::size_t(o) * patch + p];
-    }
-  }
-  std::vector<float> result(std::size_t(oh) * std::size_t(ow) * std::size_t(out_c_));
-  Gemm(cols.data(), wt.data(), result.data(), oh * ow, int(patch), out_c_);
+  // GEMM: [oh*ow x patch] * [patch x out_c] against the cached transposed
+  // weights.
+  gemm_out_.resize(std::size_t(oh) * std::size_t(ow) * std::size_t(out_c_));
+  Gemm(cols_.data(), wt_.data(), gemm_out_.data(), oh * ow, int(patch), out_c_);
 
   Tensor out(out_shape);
-  for (int oy = 0; oy < oh; ++oy) {
-    for (int ox = 0; ox < ow; ++ox) {
-      const float* row =
-          result.data() + (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) *
-                              std::size_t(out_c_);
-      for (int o = 0; o < out_c_; ++o) {
-        out.at(o, oy, ox) = row[o] + bias_[std::size_t(o)];
-      }
+  float* dst = out.data();
+  const std::size_t hw = std::size_t(oh) * std::size_t(ow);
+  for (std::size_t px = 0; px < hw; ++px) {
+    const float* row = gemm_out_.data() + px * std::size_t(out_c_);
+    for (int o = 0; o < out_c_; ++o) {
+      dst[std::size_t(o) * hw + px] = row[o] + bias_[std::size_t(o)];
     }
   }
   return out;
@@ -114,25 +133,32 @@ BatchNorm::BatchNorm(int channels, Rng& rng)
 
 Tensor BatchNorm::Forward(const Tensor& input) const {
   Tensor out = input;
-  const Shape& s = input.shape();
+  ForwardInPlace(out);
+  return out;
+}
+
+void BatchNorm::ForwardInPlace(Tensor& t) const {
+  const Shape& s = t.shape();
+  const std::size_t hw = std::size_t(s.h) * std::size_t(s.w);
+  float* p = t.data();
   for (int c = 0; c < s.c; ++c) {
     const float scale = scale_[std::size_t(c)];
     const float shift = shift_[std::size_t(c)];
-    for (int y = 0; y < s.h; ++y) {
-      for (int x = 0; x < s.w; ++x) {
-        out.at(c, y, x) = input.at(c, y, x) * scale + shift;
-      }
-    }
+    float* chan = p + std::size_t(c) * hw;
+    for (std::size_t i = 0; i < hw; ++i) chan[i] = chan[i] * scale + shift;
   }
-  return out;
 }
 
 Tensor LeakyRelu::Forward(const Tensor& input) const {
   Tensor out = input;
-  for (auto& v : out.values()) {
+  ForwardInPlace(out);
+  return out;
+}
+
+void LeakyRelu::ForwardInPlace(Tensor& t) const {
+  for (auto& v : t.values()) {
     if (v < 0) v *= slope_;
   }
-  return out;
 }
 
 Shape MaxPool::OutputShape(const Shape& input) const {
@@ -214,17 +240,21 @@ std::uint64_t Linear::Macs(const Shape&) const {
 
 Tensor Softmax::Forward(const Tensor& input) const {
   Tensor out = input;
+  ForwardInPlace(out);
+  return out;
+}
+
+void Softmax::ForwardInPlace(Tensor& t) const {
   float peak = -std::numeric_limits<float>::infinity();
-  for (float v : input.values()) peak = std::max(peak, v);
+  for (float v : t.values()) peak = std::max(peak, v);
   double sum = 0;
-  for (auto& v : out.values()) {
+  for (auto& v : t.values()) {
     v = std::exp(v - peak);
     sum += v;
   }
   if (sum > 0) {
-    for (auto& v : out.values()) v = float(double(v) / sum);
+    for (auto& v : t.values()) v = float(double(v) / sum);
   }
-  return out;
 }
 
 }  // namespace sieve::nn

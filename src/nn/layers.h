@@ -21,12 +21,22 @@ class Layer {
   /// Output shape for a given input shape (asserts on mismatch).
   virtual Shape OutputShape(const Shape& input) const = 0;
   virtual Tensor Forward(const Tensor& input) const = 0;
+  /// Forward that may reuse `t`'s buffer. Element-wise layers override this
+  /// to mutate in place; the default falls back to Forward. The sequential
+  /// network loop uses this entry point.
+  virtual void ForwardInPlace(Tensor& t) const { t = Forward(t); }
   /// Approximate multiply-accumulate count for one forward pass (cost model
   /// input for the partitioner and the DES calibration).
   virtual std::uint64_t Macs(const Shape& input) const = 0;
 };
 
 /// 2D convolution, square kernel, same dilation 1, zero padding `pad`.
+///
+/// Forward reuses per-instance scratch buffers (im2col columns, GEMM output)
+/// and a cached transposed weight matrix, so it is NOT safe to call
+/// concurrently on one Conv2D instance — and therefore neither is
+/// Network::Forward on one Network. Give each thread its own network
+/// (MakeBackbone is deterministic in its seed, so replicas are identical).
 class Conv2D : public Layer {
  public:
   Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad,
@@ -39,13 +49,30 @@ class Conv2D : public Layer {
 
   int in_channels() const noexcept { return in_c_; }
   int out_channels() const noexcept { return out_c_; }
-  std::vector<float>& weights() noexcept { return weights_; }
+  /// Mutable weight access invalidates the cached transposed copy; the next
+  /// Forward re-derives it once. The invalidation happens at this call, so
+  /// do not retain the reference across a Forward and mutate it afterwards —
+  /// re-call weights() for every round of mutation.
+  std::vector<float>& weights() noexcept {
+    wt_dirty_ = true;
+    return weights_;
+  }
   std::vector<float>& bias() noexcept { return bias_; }
 
  private:
+  void RebuildTransposedWeights() const;
+
   int in_c_, out_c_, kernel_, stride_, pad_;
   std::vector<float> weights_;  ///< [out_c][in_c * k * k] row-major
   std::vector<float> bias_;     ///< [out_c]
+  // GEMM-ready transposed weights [in_c * k * k][out_c], cached at
+  // construction instead of being rebuilt every Forward, plus per-layer
+  // im2col / GEMM scratch reused across calls. Forward stays logically const
+  // but is no longer safe to call concurrently on one layer instance.
+  mutable std::vector<float> wt_;
+  mutable bool wt_dirty_ = false;
+  mutable std::vector<float> cols_;
+  mutable std::vector<float> gemm_out_;
 };
 
 /// Inference-time batch normalization: y = gamma * (x - mean)/sqrt(var+eps) + beta,
@@ -57,6 +84,7 @@ class BatchNorm : public Layer {
   std::string name() const override { return "batchnorm"; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  void ForwardInPlace(Tensor& t) const override;
   std::uint64_t Macs(const Shape& input) const override {
     return input.elements();
   }
@@ -72,6 +100,7 @@ class LeakyRelu : public Layer {
   std::string name() const override { return "leaky_relu"; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  void ForwardInPlace(Tensor& t) const override;
   std::uint64_t Macs(const Shape& input) const override {
     return input.elements();
   }
@@ -126,6 +155,7 @@ class Softmax : public Layer {
   std::string name() const override { return "softmax"; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  void ForwardInPlace(Tensor& t) const override;
   std::uint64_t Macs(const Shape& input) const override {
     return input.elements() * 4;
   }

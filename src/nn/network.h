@@ -35,7 +35,9 @@ class Network {
   Shape input_shape() const noexcept { return input_shape_; }
   void set_input_shape(Shape s) noexcept { input_shape_ = s; }
 
-  /// Full forward pass.
+  /// Full forward pass. Conv layers reuse per-instance scratch, so despite
+  /// being const this is not safe to call concurrently on one Network —
+  /// give each thread its own replica (MakeBackbone is seed-deterministic).
   Tensor Forward(const Tensor& input) const;
 
   /// Forward through layers [begin, end).

@@ -53,8 +53,14 @@ class Tensor {
   std::vector<float> data_;
 };
 
-/// C = A(BxK) * B(KxN) accumulated into a caller-provided row-major buffer.
+/// C = A(MxK) * B(KxN) written into a caller-provided row-major buffer.
+/// Cache-blocked with a register-tiled microkernel; matches GemmNaive to
+/// float rounding (identical k-ascending accumulation order per element).
 void Gemm(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// The straightforward ikj-order GEMM kept as the correctness reference for
+/// the blocked kernel (equivalence tests, benchmark baseline).
+void GemmNaive(const float* a, const float* b, float* c, int m, int k, int n);
 
 /// Euclidean distance squared between two equal-length float vectors.
 double SquaredDistance(const std::vector<float>& a, const std::vector<float>& b);

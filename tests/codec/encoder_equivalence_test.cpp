@@ -1,0 +1,198 @@
+// Optimization-equivalence golden tests: the two-pass parallel/early-exit
+// encoder must produce a bit-identical bitstream (and reconstruction) to the
+// serial reference path, and the pruned motion searches must return exactly
+// the reference results.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codec/encoder.h"
+#include "codec/frame_coding.h"
+#include "codec/motion.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "media/image_ops.h"
+#include "media/metrics.h"
+
+namespace sieve::codec {
+namespace {
+
+media::Plane SmoothTextured(int w, int h, std::uint64_t seed) {
+  media::Plane p(w, h);
+  Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) p.at(x, y) = std::uint8_t(rng.UniformInt(0, 255));
+  }
+  return media::BoxBlur(p, 3);
+}
+
+/// A short clip with global motion plus noise: exercises SKIP, search, and
+/// residual coding together.
+media::RawVideo MovingVideo(int w, int h, int frames, std::uint64_t seed) {
+  media::RawVideo video;
+  video.width = w;
+  video.height = h;
+  const media::Plane base = SmoothTextured(w + 64, h + 64, seed);
+  Rng rng(seed + 1);
+  for (int t = 0; t < frames; ++t) {
+    media::Frame f(w, h);
+    const int ox = 8 + 2 * t, oy = 8 + t;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int noise = rng.UniformInt(-2, 2);
+        const int v = int(base.at_clamped(x + ox, y + oy)) + noise;
+        f.y().at(x, y) = std::uint8_t(v < 0 ? 0 : (v > 255 ? 255 : v));
+      }
+    }
+    for (int y = 0; y < h / 2; ++y) {
+      for (int x = 0; x < w / 2; ++x) {
+        f.u().at(x, y) = base.at_clamped(2 * x + ox / 2, 2 * y);
+        f.v().at(x, y) = base.at_clamped(2 * x, 2 * y + oy / 2);
+      }
+    }
+    video.frames.push_back(std::move(f));
+  }
+  return video;
+}
+
+std::vector<std::uint8_t> EncodeInter(const media::Frame& src,
+                                      const media::Frame& prev,
+                                      const InterParams& params, bool reference,
+                                      ThreadPool* pool, media::Frame* recon) {
+  ByteWriter payload;
+  RangeEncoder rc(&payload);
+  FrameModels models;
+  const CodingContext ctx = CodingContext::ForQp(26);
+  if (reference) {
+    EncodeInterFrameReference(rc, models, src, prev, ctx, params, *recon);
+  } else {
+    EncodeInterFrame(rc, models, src, prev, ctx, params, *recon, pool);
+  }
+  rc.Flush();
+  return payload.data();
+}
+
+TEST(EncoderEquivalence, TwoPassMatchesReferenceBitstream) {
+  const media::RawVideo video = MovingVideo(96, 64, 3, 11);
+  InterParams params;
+  params.skip_sad_per_pixel = 3;
+
+  media::Frame recon_ref(96, 64), recon_opt(96, 64), recon_par(96, 64);
+  ThreadPool pool(4);
+  for (std::size_t i = 1; i < video.frames.size(); ++i) {
+    const auto ref = EncodeInter(video.frames[i], video.frames[i - 1], params,
+                                 true, nullptr, &recon_ref);
+    const auto opt = EncodeInter(video.frames[i], video.frames[i - 1], params,
+                                 false, nullptr, &recon_opt);
+    const auto par = EncodeInter(video.frames[i], video.frames[i - 1], params,
+                                 false, &pool, &recon_par);
+    EXPECT_EQ(ref, opt) << "serial optimized bitstream differs at frame " << i;
+    EXPECT_EQ(ref, par) << "parallel bitstream differs at frame " << i;
+    EXPECT_EQ(media::PlaneMse(recon_ref.y(), recon_opt.y()), 0.0);
+    EXPECT_EQ(media::PlaneMse(recon_ref.y(), recon_par.y()), 0.0);
+    EXPECT_EQ(media::PlaneMse(recon_ref.u(), recon_par.u()), 0.0);
+    EXPECT_EQ(media::PlaneMse(recon_ref.v(), recon_par.v()), 0.0);
+  }
+}
+
+TEST(EncoderEquivalence, WholeStreamIdenticalAcrossThreadCounts) {
+  const media::RawVideo video = MovingVideo(112, 80, 10, 23);
+
+  auto encode = [&](bool reference, int threads) {
+    EncoderParams params = EncoderParams::Semantic(4, 100);
+    params.reference_inter = reference;
+    params.threads = threads;
+    auto encoded = VideoEncoder(params).Encode(video);
+    EXPECT_TRUE(encoded.ok());
+    return encoded.ok() ? encoded->bytes : std::vector<std::uint8_t>{};
+  };
+
+  const auto ref = encode(true, 1);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(ref, encode(false, 1));
+  EXPECT_EQ(ref, encode(false, 3));
+  EXPECT_EQ(ref, encode(false, 0));  // hardware concurrency
+}
+
+TEST(SearchEquivalence, PrunedFullSearchMatchesReference) {
+  const media::Plane ref = SmoothTextured(128, 96, 31);
+  media::Plane cur(128, 96);
+  for (int y = 0; y < 96; ++y) {
+    for (int x = 0; x < 128; ++x) cur.at(x, y) = ref.at_clamped(x - 5, y + 3);
+  }
+  Rng rng(32);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int bx = rng.UniformInt(0, 128 - 16);
+    const int by = rng.UniformInt(0, 96 - 16);
+    const MotionVector pred{rng.UniformInt(-4, 4), rng.UniformInt(-4, 4)};
+    const std::uint32_t lambda = std::uint32_t(rng.UniformInt(0, 12));
+    const auto a = FullSearch(cur, ref, bx, by, 16, 16, 8, pred, lambda);
+    const auto b = FullSearchReference(cur, ref, bx, by, 16, 16, 8, pred, lambda);
+    EXPECT_EQ(a.mv, b.mv);
+    EXPECT_EQ(a.sad, b.sad);
+  }
+}
+
+TEST(SearchEquivalence, PrunedDiamondSearchMatchesReference) {
+  const media::Plane ref = SmoothTextured(128, 96, 41);
+  media::Plane cur(128, 96);
+  for (int y = 0; y < 96; ++y) {
+    for (int x = 0; x < 128; ++x) cur.at(x, y) = ref.at_clamped(x + 2, y - 4);
+  }
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int bx = rng.UniformInt(0, 128 - 16);
+    const int by = rng.UniformInt(0, 96 - 16);
+    const MotionVector pred{rng.UniformInt(-6, 6), rng.UniformInt(-6, 6)};
+    const std::uint32_t lambda = std::uint32_t(rng.UniformInt(0, 12));
+    const auto a = DiamondSearch(cur, ref, bx, by, 16, 16, 12, pred, lambda);
+    const auto b = DiamondSearchReference(cur, ref, bx, by, 16, 16, 12, pred, lambda);
+    EXPECT_EQ(a.mv, b.mv);
+    EXPECT_EQ(a.sad, b.sad);
+  }
+}
+
+TEST(RegionSadBounded, ExactBelowBoundAndSaturatesAbove) {
+  const media::Plane a = SmoothTextured(64, 64, 51);
+  const media::Plane b = SmoothTextured(64, 64, 52);
+  const std::uint64_t exact = media::RegionSad(a, 4, 4, b, 9, 7, 16, 16);
+  // Loose bound: result must be exact.
+  EXPECT_EQ(media::RegionSadBounded(a, 4, 4, b, 9, 7, 16, 16, exact + 1), exact);
+  // Tight bound: result must be >= bound (early exit) and <= exact.
+  const std::uint64_t bounded =
+      media::RegionSadBounded(a, 4, 4, b, 9, 7, 16, 16, exact / 2);
+  EXPECT_GE(bounded, exact / 2);
+  EXPECT_LE(bounded, exact);
+  // Out-of-bounds (clamped) slow path stays exact too.
+  const std::uint64_t edge_exact = media::RegionSad(a, -3, -3, b, -5, 60, 16, 16);
+  EXPECT_EQ(media::RegionSadBounded(a, -3, -3, b, -5, 60, 16, 16,
+                                    edge_exact + 1),
+            edge_exact);
+}
+
+TEST(CompensateEquivalence, SlowPathMatchesPerPixelClamping) {
+  const media::Plane ref = SmoothTextured(48, 40, 61);
+  Rng rng(62);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int bx = rng.UniformInt(-8, 48), by = rng.UniformInt(-8, 40);
+    const MotionVector mv{rng.UniformInt(-20, 20), rng.UniformInt(-20, 20)};
+    const int w = 16, h = 16;
+    media::Plane fast(48, 40, 0), slow(48, 40, 0);
+    CompensateBlock(ref, fast, bx, by, w, h, mv);
+    // Per-pixel reference (the seed's slow path).
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (bx + x >= 0 && bx + x < slow.width() && by + y >= 0 &&
+            by + y < slow.height()) {
+          slow.at(bx + x, by + y) = ref.at_clamped(bx + mv.dx + x, by + mv.dy + y);
+        }
+      }
+    }
+    ASSERT_EQ(media::PlaneMse(fast, slow), 0.0)
+        << "mismatch at bx=" << bx << " by=" << by << " mv=(" << mv.dx << ","
+        << mv.dy << ")";
+  }
+}
+
+}  // namespace
+}  // namespace sieve::codec

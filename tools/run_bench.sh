@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build (Release, -O2) and run the hot-path perf harness with its fixed seed,
+# writing BENCH_hotpaths.json at the repo root. Usage:
+#
+#   tools/run_bench.sh [build_dir] [output_json]
+#
+# The harness is deterministic in the work it performs; timings obviously
+# depend on the machine, which is why every speedup in the JSON is measured
+# against a baseline run in the same process.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_hotpaths.json}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target perf_hotpaths -j "$(nproc)"
+
+"$build_dir/perf_hotpaths" "$out_json"
+echo "benchmark report: $out_json"
