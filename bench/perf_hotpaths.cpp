@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,8 +19,10 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "media/metrics.h"
+#include "nn/classifier.h"
 #include "nn/network.h"
 #include "nn/tensor.h"
+#include "runtime/runtime.h"
 #include "synth/scene.h"
 
 namespace {
@@ -210,6 +213,89 @@ ConvRow BenchConvForward() {
   return row;
 }
 
+// ----------------------------------------------------- multi-camera fleet --
+
+struct MultiSessionResult {
+  std::size_t sessions = 0;
+  std::size_t frames_total = 0;
+  double aggregate_fps = 0;  ///< all cameras' frames / wall seconds
+  std::vector<dataflow::StageStats> stages;  ///< shared-tier stats
+};
+
+MultiSessionResult BenchMultiSession() {
+  // Three concurrent camera sessions on ONE shared runtime/executor: the
+  // scaling scenario the session API exists for. Tracks how fan-in and the
+  // shared pool behave across PRs (aggregate fps + per-stage busy time).
+  constexpr int kSessions = 3;
+  constexpr int kW = 192, kH = 144;
+  constexpr std::size_t kFramesPerCam = 48;
+
+  auto make_scene = [&](int cam) {
+    synth::SceneConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.num_frames = kFramesPerCam;
+    cfg.seed = kSeed + std::uint64_t(cam) * 131;
+    cfg.object_scale = 0.3;
+    cfg.mean_gap_seconds = 0.8;
+    cfg.min_gap_seconds = 0.3;
+    cfg.mean_dwell_seconds = 1.2;
+    cfg.min_dwell_seconds = 0.5;
+    cfg.noise_sigma = 2.0;
+    cfg.jitter_px = 1;
+    return synth::GenerateScene(cfg);
+  };
+  std::vector<synth::SyntheticVideo> scenes;
+  for (int cam = 0; cam < kSessions; ++cam) scenes.push_back(make_scene(cam));
+
+  nn::ClassifierParams cp;
+  cp.input_size = 32;
+  cp.embedding_dim = 16;
+  nn::FrameClassifier classifier(cp);
+  if (!classifier.Fit(scenes[0].video.frames, scenes[0].truth, 8).ok()) {
+    std::fprintf(stderr, "[multi_session] classifier fit failed\n");
+    return {};
+  }
+
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.nn_input_size = 32;
+  runtime::Runtime rt(runtime_config, &classifier);
+  std::vector<std::unique_ptr<runtime::SieveSession>> sessions;
+  for (int cam = 0; cam < kSessions; ++cam) {
+    runtime::SessionConfig sc;
+    sc.width = kW;
+    sc.height = kH;
+    sc.encoder = codec::EncoderParams::Semantic(12, 150);
+    auto session = rt.OpenSession("cam-" + std::to_string(cam), sc);
+    if (!session.ok()) {
+      std::fprintf(stderr, "[multi_session] OpenSession failed\n");
+      return {};
+    }
+    sessions.push_back(std::move(*session));
+  }
+
+  Stopwatch watch;
+  std::vector<std::thread> feeds;
+  for (int cam = 0; cam < kSessions; ++cam) {
+    feeds.emplace_back([cam, &sessions, &scenes] {
+      for (const auto& frame : scenes[std::size_t(cam)].video.frames) {
+        if (!sessions[std::size_t(cam)]->PushFrame(frame).ok()) return;
+      }
+    });
+  }
+  for (auto& t : feeds) t.join();
+  MultiSessionResult out;
+  for (auto& session : sessions) {
+    out.frames_total += session->Drain().frames_pushed;
+  }
+  const double seconds = watch.ElapsedSeconds();
+  out.sessions = kSessions;
+  out.aggregate_fps = seconds > 0 ? double(out.frames_total) / seconds : 0.0;
+  auto stats = rt.Shutdown();
+  if (stats.ok()) out.stages = std::move(*stats);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +333,14 @@ int main(int argc, char** argv) {
   std::printf("backbone forward (3x96x96): %.2f ms (%.2f GFLOP/s)\n",
               conv.forward_ms, conv.gflops);
 
+  const MultiSessionResult multi = BenchMultiSession();
+  std::printf("multi_session: %zu cameras, %zu frames, aggregate %.1f fps\n",
+              multi.sessions, multi.frames_total, multi.aggregate_fps);
+  for (const auto& stage : multi.stages) {
+    std::printf("  stage %-20s in %-5zu out %-5zu busy %.3fs\n",
+                stage.name.c_str(), stage.in, stage.out, stage.busy_seconds);
+  }
+
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -278,8 +372,12 @@ int main(int argc, char** argv) {
                "  \"backbone_forward_3x96x96\": {\n"
                "    \"ms\": %.3f,\n"
                "    \"gflops\": %.3f\n"
-               "  }\n"
-               "}\n",
+               "  },\n"
+               "  \"multi_session\": {\n"
+               "    \"sessions\": %zu,\n"
+               "    \"frames_total\": %zu,\n"
+               "    \"aggregate_fps\": %.2f,\n"
+               "    \"stages\": [",
                hw, enc.frames, enc.reference_fps, enc.serial_fps,
                enc.parallel_fps, enc.serial_fps / enc.reference_fps,
                enc.parallel_fps / enc.reference_fps,
@@ -288,7 +386,20 @@ int main(int argc, char** argv) {
                mot.pruned_cand_per_s / mot.reference_cand_per_s,
                mot.identical ? "true" : "false", gemm.naive_gflops,
                gemm.blocked_gflops, gemm.blocked_gflops / gemm.naive_gflops,
-               conv.forward_ms, conv.gflops);
+               conv.forward_ms, conv.gflops, multi.sessions,
+               multi.frames_total, multi.aggregate_fps);
+  for (std::size_t i = 0; i < multi.stages.size(); ++i) {
+    const auto& stage = multi.stages[i];
+    std::fprintf(f,
+                 "%s\n      {\"name\": \"%s\", \"in\": %zu, \"out\": %zu, "
+                 "\"busy_seconds\": %.4f}",
+                 i == 0 ? "" : ",", stage.name.c_str(), stage.in, stage.out,
+                 stage.busy_seconds);
+  }
+  std::fprintf(f,
+               "\n    ]\n"
+               "  }\n"
+               "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

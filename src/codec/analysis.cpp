@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "codec/motion.h"
-#include "common/thread_pool.h"
+#include "runtime/executor.h"
 #include "media/image_ops.h"
 #include "media/metrics.h"
 
@@ -108,16 +108,16 @@ RowCost AnalyzeBlockRow(const media::Plane& cur, const media::Plane* prev,
 }
 
 FrameCost CostsBetween(const media::Plane& cur, const media::Plane* prev,
-                       const AnalysisParams& params, ThreadPool* pool) {
+                       const AnalysisParams& params, runtime::Executor* executor) {
   FrameCost out;
   const int bs = kAnalysisBlock;
   const int mbs_x = std::max(1, (cur.width() + bs - 1) / bs);
   const int mbs_y = std::max(1, (cur.height() + bs - 1) / bs);
   // Per-row partials reduced in row order below: the serial and parallel
-  // paths sum in the same order, so results are identical for any pool size.
+  // paths sum in the same order, so results are identical for any executor.
   std::vector<RowCost> rows(static_cast<std::size_t>(mbs_y));
-  if (pool != nullptr && pool->size() > 1 && mbs_y > 1) {
-    pool->ParallelFor(std::size_t(mbs_y), [&](std::size_t my) {
+  if (executor != nullptr && executor->concurrency() > 1 && mbs_y > 1) {
+    executor->ParallelFor(std::size_t(mbs_y), [&](std::size_t my) {
       rows[my] = AnalyzeBlockRow(cur, prev, params, mbs_x, int(my));
     });
   } else {
@@ -142,7 +142,7 @@ FrameCost FrameAnalyzer::Push(const media::Frame& frame) {
   media::Plane cur =
       params_.half_resolution ? media::Downsample2x(frame.y()) : frame.y();
   const FrameCost cost =
-      CostsBetween(cur, has_prev_ ? &prev_ : nullptr, params_, pool_);
+      CostsBetween(cur, has_prev_ ? &prev_ : nullptr, params_, executor_);
   prev_ = std::move(cur);
   has_prev_ = true;
   return cost;

@@ -26,8 +26,8 @@
 
 #include "media/frame.h"
 
-namespace sieve {
-class ThreadPool;
+namespace sieve::runtime {
+class Executor;
 }
 
 namespace sieve::codec {
@@ -64,14 +64,16 @@ class FrameAnalyzer {
   FrameCost Push(const media::Frame& frame);
   void Reset();
 
-  /// Fan block-row analysis out over `pool` (null = serial). Costs are
-  /// computed as per-row partials reduced in row order, so the result is
-  /// identical whatever the pool size.
-  void set_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+  /// Fan block-row analysis out over `executor` (null or concurrency 1 =
+  /// serial). Costs are computed as per-row partials reduced in row order,
+  /// so the result is identical whatever the executor.
+  void set_executor(runtime::Executor* executor) noexcept {
+    executor_ = executor;
+  }
 
  private:
   AnalysisParams params_;
-  ThreadPool* pool_ = nullptr;
+  runtime::Executor* executor_ = nullptr;
   media::Plane prev_;  // analysis-scale luma of the previous frame
   bool has_prev_ = false;
 };

@@ -25,7 +25,7 @@ FrameRecord ContainerWriter::AppendFrame(FrameType type,
   record.type = type;
   writer_.PutU8(std::uint8_t(type));
   writer_.PutU32(std::uint32_t(payload.size()));
-  record.payload_offset = writer_.size();
+  record.payload_offset = base_offset_ + writer_.size();
   record.payload_size = payload.size();
   writer_.PutBytes(payload);
   ++frame_count_;

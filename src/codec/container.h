@@ -56,11 +56,34 @@ class ContainerWriter {
   /// Finalizes the stream (patches frame_count) and releases the bytes.
   std::vector<std::uint8_t> Finish();
 
-  std::size_t bytes_so_far() const noexcept { return writer_.size(); }
+  std::size_t bytes_so_far() const noexcept {
+    return base_offset_ + writer_.size();
+  }
   std::uint32_t frames_so_far() const noexcept { return frame_count_; }
+
+  /// Read-only view of the bytes buffered since the last TrimBuffered()
+  /// (stream header + frames when never trimmed). The view starts at
+  /// logical offset trimmed_bytes() and is invalidated by the next
+  /// AppendFrame/TrimBuffered/Finish (the buffer may reallocate).
+  std::span<const std::uint8_t> bytes_view() const noexcept {
+    return writer_.data();
+  }
+
+  /// Drop the buffered bytes while keeping logical frame offsets stable.
+  /// For streaming sessions that copy each frame's bytes as they go and
+  /// never call Finish(): steady-state memory stays bounded no matter how
+  /// long the stream runs. A trimmed writer can no longer produce a valid
+  /// container (Finish() would lack the leading header bytes).
+  void TrimBuffered() {
+    base_offset_ += writer_.size();
+    writer_.Clear();
+  }
+  /// Logical offset of the start of bytes_view().
+  std::size_t trimmed_bytes() const noexcept { return base_offset_; }
 
  private:
   ByteWriter writer_;
+  std::size_t base_offset_ = 0;  ///< logical offset of writer_'s first byte
   std::uint32_t frame_count_ = 0;
   bool finished_ = false;
 };

@@ -1,7 +1,5 @@
 #include "codec/encoder.h"
 
-#include <thread>
-
 namespace sieve::codec {
 
 Expected<EncodedVideo> VideoEncoder::Encode(const media::RawVideo& video) const {
@@ -9,7 +7,8 @@ Expected<EncodedVideo> VideoEncoder::Encode(const media::RawVideo& video) const 
   if (video.width % 2 != 0 || video.height % 2 != 0) {
     return Status::Invalid("Encode: dimensions must be even");
   }
-  StreamingEncoder streaming(params_, video.width, video.height, video.fps);
+  StreamingEncoder streaming(params_, video.width, video.height, video.fps,
+                             executor_);
   for (const auto& frame : video.frames) {
     auto record = streaming.PushFrame(frame);
     if (!record.ok()) return record.status();
@@ -18,7 +17,7 @@ Expected<EncodedVideo> VideoEncoder::Encode(const media::RawVideo& video) const 
 }
 
 StreamingEncoder::StreamingEncoder(EncoderParams params, int width, int height,
-                                   double fps)
+                                   double fps, runtime::Executor* executor)
     : params_(params),
       header_{width, height, fps, 0, std::uint8_t(params.qp)},
       writer_(header_),
@@ -28,13 +27,19 @@ StreamingEncoder::StreamingEncoder(EncoderParams params, int width, int height,
   if (params_.inter.skip_sad_per_pixel == 0) {
     params_.inter.skip_sad_per_pixel = InterParams::AutoSkipThreshold(params_.qp);
   }
-  const unsigned threads =
-      params_.threads > 0 ? unsigned(params_.threads)
-                          : std::max(1u, std::thread::hardware_concurrency());
-  if (threads > 1 && !params_.reference_inter) {
-    pool_ = std::make_unique<ThreadPool>(threads);
-    analyzer_.set_pool(pool_.get());
+  // The reference path is the serial golden path by definition; otherwise an
+  // injected executor wins, and the legacy `threads` knob resolves one
+  // (0 = shared process pool, 1 = inline serial, n > 1 = private pool).
+  if (params_.reference_inter) {
+    executor_ = &runtime::InlineExecutor();
+  } else if (executor != nullptr) {
+    executor_ = executor;
+  } else {
+    runtime::ResolvedExecutor resolved = runtime::ResolveExecutor(params_.threads);
+    executor_ = resolved.executor;
+    owned_executor_ = std::move(resolved.owned);
   }
+  analyzer_.set_executor(executor_);
 }
 
 Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
@@ -60,7 +65,7 @@ Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
                               new_recon);
   } else {
     EncodeInterFrame(rc, models, frame, recon_, ctx_, params_.inter, new_recon,
-                     pool_.get(), &inter_scratch_);
+                     executor_, &inter_scratch_);
   }
   rc.Flush();
   recon_ = std::move(new_recon);
@@ -70,6 +75,20 @@ Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
       std::span<const std::uint8_t>(payload.data().data(), payload.size()));
   records_.push_back(record);
   return record;
+}
+
+std::span<const std::uint8_t> StreamingEncoder::WireBytes(
+    const FrameRecord& record) const {
+  return writer_.bytes_view().subspan(
+      record.payload_offset - writer_.trimmed_bytes() -
+          FrameRecord::kHeaderSize,
+      FrameRecord::kHeaderSize + record.payload_size);
+}
+
+void StreamingEncoder::TrimBuffered() {
+  writer_.TrimBuffered();
+  records_.clear();
+  costs_.clear();
 }
 
 EncodedVideo StreamingEncoder::Finish() {

@@ -15,8 +15,8 @@
 #include "codec/container.h"
 #include "codec/frame_coding.h"
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "media/frame.h"
+#include "runtime/executor.h"
 
 namespace sieve::codec {
 
@@ -25,8 +25,10 @@ struct EncoderParams {
   int qp = 26;                  ///< quantizer (1..51)
   InterParams inter;            ///< motion search and skip settings
   AnalysisParams analysis;      ///< lookahead settings
-  /// Motion-estimation worker threads: 0 = one per hardware thread,
-  /// 1 = serial. The bitstream is identical for every value.
+  /// Back-compat executor knob, consulted only when no Executor is injected:
+  /// 0 = the shared process-wide pool (runtime::SharedExecutor()), 1 =
+  /// serial inline, n > 1 = a private pool of n workers. The bitstream is
+  /// identical for every value and for every executor choice.
   int threads = 0;
   /// Route inter frames through the serial reference coder (unpruned search,
   /// single pass). Golden/debug path; slow.
@@ -69,11 +71,13 @@ struct EncodedVideo {
   }
 };
 
-/// Stateless whole-video encoder.
+/// Stateless whole-video encoder. An injected executor overrides the
+/// `params.threads` resolution (see StreamingEncoder).
 class VideoEncoder {
  public:
-  explicit VideoEncoder(EncoderParams params = EncoderParams::Defaults())
-      : params_(params) {}
+  explicit VideoEncoder(EncoderParams params = EncoderParams::Defaults(),
+                        runtime::Executor* executor = nullptr)
+      : params_(params), executor_(executor) {}
 
   const EncoderParams& params() const noexcept { return params_; }
 
@@ -82,16 +86,39 @@ class VideoEncoder {
 
  private:
   EncoderParams params_;
+  runtime::Executor* executor_;
 };
 
 /// Streaming encoder: push frames one at a time (the camera-side live path).
 /// Keyframe decisions use the same streaming analyzer the batch path uses.
+///
+/// Threading: motion estimation and lookahead analysis fan out over an
+/// injected runtime::Executor. Pass one explicitly (a fleet of encoders
+/// sharing runtime::SharedExecutor() is the intended deployment) or leave it
+/// null to resolve from `params.threads` via runtime::ResolveExecutor. The
+/// encoder never constructs raw threads itself, and the bitstream is
+/// byte-identical for every executor choice.
 class StreamingEncoder {
  public:
-  StreamingEncoder(EncoderParams params, int width, int height, double fps);
+  StreamingEncoder(EncoderParams params, int width, int height, double fps,
+                   runtime::Executor* executor = nullptr);
 
   /// Encodes one frame; returns its record (type reveals the decision).
   Expected<FrameRecord> PushFrame(const media::Frame& frame);
+
+  /// The on-wire bytes of a frame returned by PushFrame: its fixed-size
+  /// header plus entropy-coded payload, exactly as they appear in the final
+  /// container. Valid until the next PushFrame/TrimBuffered/Finish call
+  /// (the underlying buffer may grow); callers that need the bytes longer
+  /// must copy. Only valid for records appended since the last trim.
+  std::span<const std::uint8_t> WireBytes(const FrameRecord& record) const;
+
+  /// Live-session mode: drop the container bytes, frame records, and
+  /// analysis costs buffered so far. A 24/7 session copies each frame's
+  /// WireBytes immediately and never calls Finish(), so trimming after
+  /// every frame keeps steady-state memory bounded regardless of stream
+  /// length. After any trim, Finish() no longer yields a valid container.
+  void TrimBuffered();
 
   /// Finish the stream and release the container bytes.
   EncodedVideo Finish();
@@ -102,7 +129,8 @@ class StreamingEncoder {
   ContainerWriter writer_;
   CodingContext ctx_;
   FrameAnalyzer analyzer_;
-  std::unique_ptr<ThreadPool> pool_;  ///< motion-estimation workers (null = serial)
+  runtime::Executor* executor_ = nullptr;  ///< motion-estimation + lookahead workers
+  std::unique_ptr<runtime::Executor> owned_executor_;  ///< for threads > 1
   InterScratch inter_scratch_;        ///< reused across frames: no per-frame allocs
   media::Frame recon_;
   std::vector<FrameRecord> records_;

@@ -4,7 +4,7 @@
 #include <limits>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "runtime/executor.h"
 #include "media/metrics.h"
 
 namespace sieve::codec {
@@ -248,7 +248,7 @@ void ProcessMacroblockRow(const media::Frame& src,
 void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const media::Frame& prev_recon,
                       const CodingContext& ctx, const InterParams& params,
-                      media::Frame& recon, ThreadPool* pool,
+                      media::Frame& recon, runtime::Executor* executor,
                       InterScratch* scratch) {
   const int mbs_x = (src.width() + kMacroblockSize - 1) / kMacroblockSize;
   const int mbs_y = (src.height() + kMacroblockSize - 1) / kMacroblockSize;
@@ -278,8 +278,8 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                          int(mby), tasks.data() + mby * std::size_t(mbs_x),
                          pred_y, pred_u, pred_v, recon);
   };
-  if (pool != nullptr && pool->size() > 1 && mbs_y > 1) {
-    pool->ParallelFor(std::size_t(mbs_y), process_row);
+  if (executor != nullptr && executor->concurrency() > 1 && mbs_y > 1) {
+    executor->ParallelFor(std::size_t(mbs_y), process_row);
   } else {
     for (int mby = 0; mby < mbs_y; ++mby) process_row(std::size_t(mby));
   }

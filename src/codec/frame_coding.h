@@ -14,8 +14,8 @@
 #include "codec/transform.h"
 #include "media/frame.h"
 
-namespace sieve {
-class ThreadPool;
+namespace sieve::runtime {
+class Executor;
 }
 
 namespace sieve::codec {
@@ -90,15 +90,15 @@ struct InterScratch {
 /// vectors, and quantized residuals — macroblock rows are independent (the
 /// MV predictor resets at the start of each row, searches read only
 /// `src`/`prev_recon`, and each macroblock touches disjoint plane regions),
-/// so when `pool` is non-null the rows fan out over it. Pass 2 is the
-/// inherently serial entropy-coding sweep consuming those work items. The
-/// bitstream is bit-identical to EncodeInterFrameReference regardless of
-/// `pool`. `scratch` is optional reusable working memory (null = allocate
-/// per call).
+/// so when `executor` has concurrency > 1 the rows fan out over it. Pass 2
+/// is the inherently serial entropy-coding sweep consuming those work items.
+/// The bitstream is bit-identical to EncodeInterFrameReference regardless of
+/// the executor (null = serial). `scratch` is optional reusable working
+/// memory (null = allocate per call).
 void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const media::Frame& prev_recon,
                       const CodingContext& ctx, const InterParams& params,
-                      media::Frame& recon, ThreadPool* pool = nullptr,
+                      media::Frame& recon, runtime::Executor* executor = nullptr,
                       InterScratch* scratch = nullptr);
 
 /// The single-pass serial reference encoder (the pre-overhaul path, with

@@ -1,0 +1,36 @@
+#include "core/results_db.h"
+
+namespace sieve::core {
+
+void ResultsDatabase::Insert(std::size_t frame_id, synth::LabelSet labels) {
+  rows_[frame_id] = labels;
+}
+
+synth::LabelSet ResultsDatabase::LabelAt(std::size_t frame_id) const {
+  auto it = rows_.upper_bound(frame_id);
+  if (it == rows_.begin()) return synth::LabelSet();
+  --it;
+  return it->second;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ResultsDatabase::FindObject(
+    synth::ObjectClass cls, std::size_t total_frames) const {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  bool open = false;
+  std::size_t start = 0;
+  for (const auto& [frame, labels] : rows_) {
+    if (labels.Contains(cls) && !open) {
+      open = true;
+      start = frame;
+    } else if (!labels.Contains(cls) && open) {
+      ranges.emplace_back(start, frame);
+      open = false;
+    }
+  }
+  // An event still live at the last analyzed frame extends to the end of the
+  // video; suppress the degenerate case where it opens exactly there.
+  if (open && start < total_frames) ranges.emplace_back(start, total_frames);
+  return ranges;
+}
+
+}  // namespace sieve::core

@@ -1,0 +1,44 @@
+// The cloud-side results store and the NN placement knob, shared by the
+// legacy SieveSystem facade and the multi-camera runtime (each camera
+// session owns one ResultsDatabase).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "synth/labels.h"
+
+namespace sieve::core {
+
+/// Where NN inference runs in the live pipeline.
+enum class NnTier { kCloud, kEdge };
+
+/// The cloud-side results store: (frame id, labels) tuples, queryable with
+/// label propagation (Section III's output contract).
+class ResultsDatabase {
+ public:
+  void Insert(std::size_t frame_id, synth::LabelSet labels);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  const std::map<std::size_t, synth::LabelSet>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Label of an arbitrary frame: the labels of the latest analyzed frame at
+  /// or before it (empty if none).
+  synth::LabelSet LabelAt(std::size_t frame_id) const;
+
+  /// Frame ranges whose propagated labels contain `cls` (event seek-back).
+  /// Ranges are half-open [start, end); an event still live at the last
+  /// analyzed frame is closed at `total_frames`, and empty ranges (an event
+  /// opening exactly at `total_frames`) are not reported.
+  std::vector<std::pair<std::size_t, std::size_t>> FindObject(
+      synth::ObjectClass cls, std::size_t total_frames) const;
+
+ private:
+  std::map<std::size_t, synth::LabelSet> rows_;
+};
+
+}  // namespace sieve::core

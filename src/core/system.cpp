@@ -1,52 +1,11 @@
 #include "core/system.h"
 
-#include <atomic>
-#include <mutex>
+#include <span>
 
-#include "codec/decoder.h"
-#include "codec/still.h"
 #include "common/stopwatch.h"
-#include "media/image_ops.h"
+#include "runtime/runtime.h"
 
 namespace sieve::core {
-
-void ResultsDatabase::Insert(std::size_t frame_id, synth::LabelSet labels) {
-  rows_[frame_id] = labels;
-}
-
-synth::LabelSet ResultsDatabase::LabelAt(std::size_t frame_id) const {
-  auto it = rows_.upper_bound(frame_id);
-  if (it == rows_.begin()) return synth::LabelSet();
-  --it;
-  return it->second;
-}
-
-std::vector<std::pair<std::size_t, std::size_t>> ResultsDatabase::FindObject(
-    synth::ObjectClass cls, std::size_t total_frames) const {
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  bool open = false;
-  std::size_t start = 0;
-  synth::LabelSet current;
-  std::size_t cursor = 0;
-  for (const auto& [frame, labels] : rows_) {
-    // Close/extend the open range across [cursor, frame) with `current`.
-    if (open && !current.Contains(cls)) {
-      open = false;
-    }
-    (void)cursor;
-    if (labels.Contains(cls) && !open) {
-      open = true;
-      start = frame;
-    } else if (!labels.Contains(cls) && open) {
-      ranges.emplace_back(start, frame);
-      open = false;
-    }
-    current = labels;
-    cursor = frame;
-  }
-  if (open) ranges.emplace_back(start, total_frames);
-  return ranges;
-}
 
 Expected<SystemReport> SieveSystem::Run(const codec::EncodedVideo& video,
                                         ResultsDatabase& db) {
@@ -54,108 +13,53 @@ Expected<SystemReport> SieveSystem::Run(const codec::EncodedVideo& video,
     return Status::Precondition("SieveSystem: classifier not fitted");
   }
 
-  SystemReport report;
-  net::RealizedLink camera_edge(config_.camera_to_edge, config_.link_time_scale);
-  net::RealizedLink edge_cloud(config_.edge_to_cloud, config_.link_time_scale);
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.nn_tier = config_.nn_tier;
+  runtime_config.camera_to_edge = config_.camera_to_edge;
+  runtime_config.edge_to_cloud = config_.edge_to_cloud;
+  runtime_config.link_time_scale = config_.link_time_scale;
+  runtime_config.nn_input_size = config_.nn_input_size;
+  runtime_config.still_qp = config_.still_qp;
+  runtime_config.queue_capacity = config_.queue_capacity;
+  runtime::Runtime runtime(runtime_config, classifier_);
 
-  std::atomic<std::size_t> selected{0};
-  std::mutex db_mutex;
-  std::size_t written = 0;
-
-  dataflow::Pipeline pipeline(config_.queue_capacity);
-
-  // --- Camera: stream frame records in capture order ----------------------
-  std::size_t cursor = 0;
-  pipeline.SetSource("camera", [this, &video, &cursor,
-                                &camera_edge]() -> std::optional<dataflow::FlowFile> {
-    if (cursor >= video.records.size()) return std::nullopt;
-    const codec::FrameRecord& record = video.records[cursor++];
-    dataflow::FlowFile file;
-    // Payload: the frame's bytes as they cross camera->edge (header + data).
-    file.payload().assign(
-        video.bytes.begin() + std::ptrdiff_t(record.payload_offset) -
-            std::ptrdiff_t(codec::FrameRecord::kHeaderSize),
-        video.bytes.begin() + std::ptrdiff_t(record.payload_offset) +
-            std::ptrdiff_t(record.payload_size));
-    file.SetU64("frame", record.index);
-    file.SetAttribute("type",
-                      record.type == codec::FrameType::kIntra ? "I" : "P");
-    camera_edge.Transfer(file.size());
-    return file;
-  });
-
-  // --- Edge: I-frame seeker (metadata-only filter) ------------------------
-  pipeline.AddStage(
-      "edge/iframe-seeker",
-      [&selected](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
-        const auto type = file.GetAttribute("type");
-        if (!type || *type != "I") return std::nullopt;  // P-frames: stored only
-        selected.fetch_add(1, std::memory_order_relaxed);
-        return file;
-      });
-
-  // --- Edge: decompress I-frame like a still, resize to the NN input, and
-  // re-encode for the WAN ---------------------------------------------------
-  const codec::ContainerHeader header = video.header;
-  pipeline.AddStage(
-      "edge/still-transcode",
-      [this, header](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
-        // Strip the 5-byte frame header to get the payload.
-        codec::FrameRecord record;
-        record.type = codec::FrameType::kIntra;
-        record.payload_offset = 0;
-        record.payload_size = file.size() - codec::FrameRecord::kHeaderSize;
-        const std::span<const std::uint8_t> payload(
-            file.payload().data() + codec::FrameRecord::kHeaderSize,
-            record.payload_size);
-        codec::RangeDecoder rc(payload);
-        codec::FrameModels models;
-        const codec::CodingContext ctx = codec::CodingContext::ForQp(header.qp);
-        media::Frame frame(header.width, header.height);
-        codec::DecodeIntraFrame(rc, models, ctx, frame);
-
-        const media::Frame resized = media::ResizeFrame(
-            frame, config_.nn_input_size, config_.nn_input_size);
-        dataflow::FlowFile out(codec::EncodeStill(resized, config_.still_qp));
-        out.SetU64("frame", file.GetU64("frame").value_or(0));
-        return out;
-      });
-
-  // --- Edge -> cloud WAN ----------------------------------------------------
-  const bool cloud = config_.nn_tier == NnTier::kCloud;
-  pipeline.AddStage("wan",
-                    [cloud, &edge_cloud](dataflow::FlowFile file)
-                        -> std::optional<dataflow::FlowFile> {
-                      if (cloud) edge_cloud.Transfer(file.size());
-                      return file;
-                    });
-
-  // --- NN inference + results DB -------------------------------------------
-  pipeline.SetSink("nn/classify", [this, &db, &db_mutex,
-                                   &written](dataflow::FlowFile file) {
-    auto still = codec::DecodeStill(file.payload());
-    if (!still.ok()) return;
-    auto labels = classifier_->Predict(*still);
-    if (!labels.ok()) return;
-    std::lock_guard<std::mutex> lock(db_mutex);
-    db.Insert(std::size_t(file.GetU64("frame").value_or(0)), *labels);
-    ++written;
-  });
+  runtime::SessionConfig session_config;
+  session_config.width = video.header.width;
+  session_config.height = video.header.height;
+  session_config.fps = video.header.fps;
+  session_config.encoder.qp = video.header.qp;  // edge decode context
+  session_config.queue_capacity = config_.queue_capacity;
+  auto session = runtime.OpenSession("camera", session_config);
+  if (!session.ok()) return session.status();
 
   Stopwatch watch;
-  auto stages = pipeline.Run();
+  const std::span<const std::uint8_t> bytes(video.bytes);
+  for (const codec::FrameRecord& record : video.records) {
+    // The frame's bytes as they cross camera->edge (header + payload).
+    Status pushed = (*session)->PushEncoded(
+        record.type, record.index,
+        bytes.subspan(record.payload_offset - codec::FrameRecord::kHeaderSize,
+                      codec::FrameRecord::kHeaderSize + record.payload_size));
+    if (!pushed.ok()) return pushed;
+  }
+  const runtime::SessionReport session_report = (*session)->Drain();
+  auto stages = runtime.Shutdown();
   if (!stages.ok()) return stages.status();
 
+  SystemReport report;
   report.wall_seconds = watch.ElapsedSeconds();
-  report.frames_streamed = video.records.size();
-  report.iframes_selected = selected.load();
-  report.labels_written = written;
+  report.frames_streamed = session_report.frames_pushed;
+  report.iframes_selected = session_report.iframes_selected;
+  report.labels_written = session_report.labels_written;
   report.fps = report.wall_seconds > 0
                    ? double(report.frames_streamed) / report.wall_seconds
                    : 0.0;
-  report.camera_to_edge_bytes = camera_edge.meter().bytes();
-  report.edge_to_cloud_bytes = edge_cloud.meter().bytes();
+  report.camera_to_edge_bytes = session_report.camera_to_edge_bytes;
+  report.edge_to_cloud_bytes = session_report.edge_to_cloud_bytes;
   report.stages = std::move(*stages);
+  for (const auto& [frame, labels] : (*session)->db().rows()) {
+    db.Insert(frame, labels);
+  }
   return report;
 }
 

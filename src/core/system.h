@@ -1,51 +1,22 @@
-// SieveSystem: the live 3-tier pipeline of Figure 1, assembled from real
-// components — streaming semantic encoder (camera), I-frame seeker + event
-// queue + still transcode (edge), WAN link, reference NN + results database
-// (cloud) — running on the dataflow engine with real threads, real bytes,
-// and a rate-enforced link. This is the integration path; paper-scale
-// throughput studies use core/placements.h instead.
+// SieveSystem: the legacy single-stream batch facade over the multi-camera
+// runtime. Run() spins up a private runtime::Runtime, opens one session,
+// replays a pre-encoded video through it, and maps the session report back
+// onto the historical SystemReport shape. New code (camera fleets, live
+// feeds) should use runtime::Runtime / SieveSession directly — see
+// docs/runtime.md for the migration.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <vector>
 
 #include "codec/encoder.h"
 #include "common/status.h"
-#include "core/detectors.h"
+#include "core/results_db.h"
 #include "dataflow/pipeline.h"
 #include "net/link.h"
 #include "nn/classifier.h"
-#include "synth/labels.h"
 
 namespace sieve::core {
-
-/// Where NN inference runs in the live pipeline.
-enum class NnTier { kCloud, kEdge };
-
-/// The cloud-side results store: (frame id, labels) tuples, queryable with
-/// label propagation (Section III's output contract).
-class ResultsDatabase {
- public:
-  void Insert(std::size_t frame_id, synth::LabelSet labels);
-
-  std::size_t size() const noexcept { return rows_.size(); }
-  const std::map<std::size_t, synth::LabelSet>& rows() const noexcept {
-    return rows_;
-  }
-
-  /// Label of an arbitrary frame: the labels of the latest analyzed frame at
-  /// or before it (empty if none).
-  synth::LabelSet LabelAt(std::size_t frame_id) const;
-
-  /// Frame ranges whose propagated labels contain `cls` (event seek-back).
-  std::vector<std::pair<std::size_t, std::size_t>> FindObject(
-      synth::ObjectClass cls, std::size_t total_frames) const;
-
- private:
-  std::map<std::size_t, synth::LabelSet> rows_;
-};
 
 struct SystemConfig {
   NnTier nn_tier = NnTier::kCloud;

@@ -1,16 +1,49 @@
 #include "dataflow/pipeline.h"
 
 #include <atomic>
-#include <mutex>
-#include <thread>
+#include <cassert>
 
 #include "common/stopwatch.h"
+#include "runtime/executor.h"
 
 namespace sieve::dataflow {
 
+Pipeline::Pipeline(std::size_t queue_capacity, runtime::Executor* executor)
+    : queue_capacity_(queue_capacity), executor_(executor) {}
+
+Pipeline::~Pipeline() {
+  bool need_finish = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    need_finish = started_ && !finishing_;
+  }
+  // Best-effort drain on destruction; sources must terminate for this to
+  // return (the same contract Finish() documents).
+  if (need_finish) (void)Finish();
+}
+
 void Pipeline::SetSource(std::string name, SourceFn source) {
-  source_name_ = std::move(name);
-  source_ = std::move(source);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Configuration is frozen once started: clearing sources_ here would free
+  // SourceSpecs live workers still write to (and destroy joinable threads).
+  // Post-start attachment goes through AttachSource.
+  assert(!started_ && "Pipeline: SetSource after Start()");
+  if (started_) return;
+  sources_.clear();
+  auto spec = std::make_unique<SourceSpec>();
+  spec->name = std::move(name);
+  spec->fn = std::move(source);
+  sources_.push_back(std::move(spec));
+}
+
+void Pipeline::AddSource(std::string name, SourceFn source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(!started_ && "Pipeline: AddSource after Start(); use AttachSource");
+  if (started_) return;
+  auto spec = std::make_unique<SourceSpec>();
+  spec->name = std::move(name);
+  spec->fn = std::move(source);
+  sources_.push_back(std::move(spec));
 }
 
 void Pipeline::AddStage(std::string name, TransformFn transform,
@@ -24,65 +57,50 @@ void Pipeline::SetSink(std::string name, SinkFn sink) {
   sink_ = std::move(sink);
 }
 
-Expected<std::vector<StageStats>> Pipeline::Run() {
-  if (!source_) return Status::Precondition("Pipeline: no source set");
-  if (!sink_) return Status::Precondition("Pipeline: no sink set");
-
-  const std::size_t num_queues = stages_.size() + 1;
-  std::vector<std::unique_ptr<BoundedQueue<FlowFile>>> queues;
-  queues.reserve(num_queues);
-  for (std::size_t i = 0; i < num_queues; ++i) {
-    queues.push_back(std::make_unique<BoundedQueue<FlowFile>>(queue_capacity_));
-  }
-
-  std::vector<StageStats> stats(stages_.size() + 2);
-  stats.front().name = source_name_;
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    stats[i + 1].name = stages_[i].name;
-  }
-  stats.back().name = sink_name_;
-  std::mutex stats_mutex;
-
-  std::vector<std::thread> threads;
-
-  // Source thread feeds queue 0.
-  threads.emplace_back([this, &queues, &stats, &stats_mutex] {
+void Pipeline::StartSourceLocked(SourceSpec& spec) {
+  spec.worker = executor_->SpawnWorker([this, &spec] {
     Stopwatch watch;
-    std::size_t produced = 0;
     for (;;) {
       watch.Start();
-      std::optional<FlowFile> item = source_();
-      const double elapsed = watch.ElapsedSeconds();
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        stats.front().busy_seconds += elapsed;
-      }
+      std::optional<FlowFile> item = spec.fn();
+      spec.busy_seconds += watch.ElapsedSeconds();
       if (!item) break;
-      if (!queues.front()->Push(std::move(*item))) break;
-      ++produced;
+      if (!queues_.front()->Push(std::move(*item))) break;
+      ++spec.produced;
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex);
-      stats.front().out = produced;
-      stats.front().in = produced;
-    }
-    queues.front()->Close();
   });
+}
+
+Status Pipeline::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return Status::Precondition("Pipeline: already started");
+  if (!sink_) return Status::Precondition("Pipeline: no sink set");
+  started_ = true;
+  if (executor_ == nullptr) executor_ = &runtime::SharedExecutor();
+
+  const std::size_t num_queues = stages_.size() + 1;
+  queues_.reserve(num_queues);
+  for (std::size_t i = 0; i < num_queues; ++i) {
+    queues_.push_back(std::make_unique<BoundedQueue<FlowFile>>(queue_capacity_));
+  }
+
+  stage_stats_.resize(stages_.size() + 1);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stage_stats_[i].name = stages_[i].name;
+  }
+  stage_stats_.back().name = sink_name_;
 
   // Transform stages: queue i -> queue i+1, with per-stage worker counts.
   // Each stage closes its output only after all its workers finish.
-  std::vector<std::unique_ptr<std::atomic<int>>> live_workers;
-  live_workers.reserve(stages_.size());
+  live_workers_.reserve(stages_.size());
   for (const auto& stage : stages_) {
-    live_workers.push_back(std::make_unique<std::atomic<int>>(stage.parallelism));
+    live_workers_.push_back(std::make_unique<std::atomic<int>>(stage.parallelism));
   }
-
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     for (int w = 0; w < stages_[s].parallelism; ++w) {
-      threads.emplace_back([this, s, &queues, &stats, &stats_mutex,
-                            &live_workers] {
-        BoundedQueue<FlowFile>& in = *queues[s];
-        BoundedQueue<FlowFile>& out = *queues[s + 1];
+      workers_.push_back(executor_->SpawnWorker([this, s] {
+        BoundedQueue<FlowFile>& in = *queues_[s];
+        BoundedQueue<FlowFile>& out = *queues_[s + 1];
         std::size_t consumed = 0, emitted = 0;
         double busy = 0;
         Stopwatch watch;
@@ -99,21 +117,21 @@ Expected<std::vector<StageStats>> Pipeline::Run() {
           }
         }
         {
-          std::lock_guard<std::mutex> lock(stats_mutex);
-          stats[s + 1].in += consumed;
-          stats[s + 1].out += emitted;
-          stats[s + 1].busy_seconds += busy;
-          stats[s + 1].peak_queue =
-              std::max(stats[s + 1].peak_queue, in.peak_depth());
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          stage_stats_[s].in += consumed;
+          stage_stats_[s].out += emitted;
+          stage_stats_[s].busy_seconds += busy;
+          stage_stats_[s].peak_queue =
+              std::max(stage_stats_[s].peak_queue, in.peak_depth());
         }
-        if (live_workers[s]->fetch_sub(1) == 1) out.Close();
-      });
+        if (live_workers_[s]->fetch_sub(1) == 1) out.Close();
+      }));
     }
   }
 
-  // Sink thread drains the last queue.
-  threads.emplace_back([this, &queues, &stats, &stats_mutex] {
-    BoundedQueue<FlowFile>& in = *queues.back();
+  // Sink worker drains the last queue.
+  workers_.push_back(executor_->SpawnWorker([this] {
+    BoundedQueue<FlowFile>& in = *queues_.back();
     std::size_t consumed = 0;
     double busy = 0;
     Stopwatch watch;
@@ -125,15 +143,78 @@ Expected<std::vector<StageStats>> Pipeline::Run() {
       sink_(std::move(*item));
       busy += watch.ElapsedSeconds();
     }
-    std::lock_guard<std::mutex> lock(stats_mutex);
-    stats.back().in = consumed;
-    stats.back().out = consumed;
-    stats.back().busy_seconds = busy;
-    stats.back().peak_queue = in.peak_depth();
-  });
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stage_stats_.back().in = consumed;
+    stage_stats_.back().out = consumed;
+    stage_stats_.back().busy_seconds = busy;
+    stage_stats_.back().peak_queue = in.peak_depth();
+  }));
 
-  for (auto& t : threads) t.join();
+  for (auto& source : sources_) StartSourceLocked(*source);
+  return Status::Ok();
+}
+
+Status Pipeline::AttachSource(std::string name, SourceFn source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finishing_) {
+    return Status::Precondition("Pipeline: cannot attach a source while finishing");
+  }
+  auto spec = std::make_unique<SourceSpec>();
+  spec->name = std::move(name);
+  spec->fn = std::move(source);
+  sources_.push_back(std::move(spec));
+  if (started_) StartSourceLocked(*sources_.back());
+  return Status::Ok();
+}
+
+Expected<std::vector<StageStats>> Pipeline::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return Status::Precondition("Pipeline: not started");
+    if (finishing_) {
+      return Status::Precondition("Pipeline: Finish() already invoked");
+    }
+    finishing_ = true;  // freezes sources_: AttachSource refuses from here on
+  }
+
+  // Wait for every source to exhaust, then cascade the close downstream.
+  for (auto& source : sources_) {
+    if (source->worker.joinable()) source->worker.join();
+  }
+  queues_.front()->Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  std::vector<StageStats> stats;
+  stats.reserve(sources_.size() + stage_stats_.size());
+  for (const auto& source : sources_) {
+    StageStats s;
+    s.name = source->name;
+    s.in = source->produced;
+    s.out = source->produced;
+    s.busy_seconds = source->busy_seconds;
+    stats.push_back(std::move(s));
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    for (const auto& s : stage_stats_) stats.push_back(s);
+  }
   return stats;
+}
+
+Expected<std::vector<StageStats>> Pipeline::Run() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) {
+      // Source and stat state are consumed by the first run; rerunning would
+      // silently produce an empty, misleading flow.
+      return Status::Precondition("Pipeline: Run() already invoked");
+    }
+    if (sources_.empty()) return Status::Precondition("Pipeline: no source set");
+  }
+  if (Status s = Start(); !s.ok()) return s;
+  return Finish();
 }
 
 }  // namespace sieve::dataflow

@@ -1,23 +1,44 @@
 // The dataflow engine: a NiFi-style processor pipeline.
 //
-// A Pipeline is a linear chain: one source, any number of transform stages,
-// one sink. Each stage owns worker threads pulling from its inbound bounded
-// connection (backpressure propagates upstream automatically) and pushing
-// to the next. Run() executes the whole flow to completion and reports
-// per-stage statistics. The edge and cloud compute engines of Figure 1 are
-// each one Pipeline; the orchestration layer (Echo in the paper) wires
-// their queues together through a RealizedLink stage.
+// A Pipeline is a fan-in chain: one or more sources, any number of transform
+// stages, one sink. Each stage owns worker threads pulling from its inbound
+// bounded connection (backpressure propagates upstream automatically) and
+// pushing to the next. Sources merge into the first stage's connection, so N
+// camera feeds share one edge chain while each source blocks independently
+// when the chain is saturated. The edge and cloud compute engines of
+// Figure 1 are each one Pipeline; the orchestration layer (Echo in the
+// paper) wires their queues together through a RealizedLink stage.
+//
+// Two execution modes:
+//   * Batch: configure everything, then Run() executes the whole flow to
+//     completion and reports per-stage statistics. Run() is one-shot — a
+//     second invocation returns an error instead of silently re-running
+//     with consumed source state.
+//   * Streaming: Start() launches the stage/sink workers immediately;
+//     sources may then be attached while the flow is live (AttachSource —
+//     this is how the runtime plugs newly opened camera sessions into the
+//     shared edge tier), and Finish() waits for every source to exhaust,
+//     drains the queues, and returns the statistics.
+//
+// Worker threads are obtained from an injected runtime::Executor
+// (SpawnWorker), so the engine itself never constructs raw threads.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "dataflow/bounded_queue.h"
 #include "dataflow/flow_file.h"
+
+namespace sieve::runtime {
+class Executor;
+}
 
 namespace sieve::dataflow {
 
@@ -39,31 +60,77 @@ using SinkFn = std::function<void(FlowFile)>;
 
 class Pipeline {
  public:
-  /// `queue_capacity` bounds every inter-stage connection.
-  explicit Pipeline(std::size_t queue_capacity = 16)
-      : queue_capacity_(queue_capacity) {}
+  /// `queue_capacity` bounds every inter-stage connection. `executor`
+  /// provides the worker threads (null = runtime::SharedExecutor()).
+  explicit Pipeline(std::size_t queue_capacity = 16,
+                    runtime::Executor* executor = nullptr);
+  ~Pipeline();
 
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Replace the source set with this single source (legacy single-camera
+  /// shape). Configuration only — call before Start()/Run(); afterwards it
+  /// asserts (debug) / is ignored (release). Use AttachSource on a live flow.
   void SetSource(std::string name, SourceFn source);
+  /// Add one of several sources; all sources fan into the first stage.
+  /// Same pre-start contract as SetSource.
+  void AddSource(std::string name, SourceFn source);
   void AddStage(std::string name, TransformFn transform, int parallelism = 1);
   void SetSink(std::string name, SinkFn sink);
 
-  /// Runs the flow to completion (source exhausted, queues drained).
-  /// Returns per-stage stats in order: source, stages..., sink.
+  /// Batch mode: runs the flow to completion (sources exhausted, queues
+  /// drained). Returns per-stage stats in order: sources (in registration
+  /// order), stages..., sink. One-shot: a second call returns an error.
   Expected<std::vector<StageStats>> Run();
 
+  // --- Streaming mode ------------------------------------------------------
+
+  /// Launch stage and sink workers (and any sources registered so far).
+  /// After Start(), AttachSource() may add live sources until Finish().
+  Status Start();
+
+  /// Attach a source to the running flow and start pumping it immediately.
+  /// Also usable before Start() (equivalent to AddSource).
+  Status AttachSource(std::string name, SourceFn source);
+
+  /// Wait for every attached source to exhaust, drain all queues, stop the
+  /// workers, and return the statistics. The caller is responsible for
+  /// making sources terminate (e.g. closing the session queues they pop).
+  Expected<std::vector<StageStats>> Finish();
+
  private:
+  struct SourceSpec {
+    std::string name;
+    SourceFn fn;
+    std::size_t produced = 0;
+    double busy_seconds = 0.0;
+    std::thread worker;  ///< joinable only once started
+  };
   struct StageSpec {
     std::string name;
     TransformFn transform;
     int parallelism = 1;
   };
 
+  void StartSourceLocked(SourceSpec& spec);
+
   std::size_t queue_capacity_;
-  std::string source_name_;
-  SourceFn source_;
+  runtime::Executor* executor_;
+  std::vector<std::unique_ptr<SourceSpec>> sources_;  ///< stable addresses
   std::vector<StageSpec> stages_;
   std::string sink_name_;
   SinkFn sink_;
+
+  std::mutex mutex_;               ///< guards sources_ growth + state flags
+  bool started_ = false;
+  bool finishing_ = false;
+
+  std::vector<std::unique_ptr<BoundedQueue<FlowFile>>> queues_;
+  std::vector<std::thread> workers_;            ///< stage + sink workers
+  std::vector<StageStats> stage_stats_;         ///< stages..., sink
+  std::mutex stats_mutex_;
+  std::vector<std::unique_ptr<std::atomic<int>>> live_workers_;
 };
 
 }  // namespace sieve::dataflow

@@ -30,6 +30,11 @@ struct ClassifierParams {
 };
 
 /// Embedding-based frame classifier with centroid calibration.
+///
+/// Const-thread-safe once fitted: Embed/Predict/Evaluate only read the
+/// network and centroids (conv scratch is thread-local inside the layers),
+/// so one instance may serve every runtime session concurrently. Fit() is a
+/// mutation and must not race with predictions.
 class FrameClassifier {
  public:
   explicit FrameClassifier(ClassifierParams params = {});

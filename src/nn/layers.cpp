@@ -43,7 +43,7 @@ void Conv2D::RebuildTransposedWeights() const {
           weights_[std::size_t(o) * patch + p];
     }
   }
-  wt_dirty_ = false;
+  wt_dirty_.store(false, std::memory_order_release);
 }
 
 std::string Conv2D::name() const {
@@ -67,14 +67,21 @@ Tensor Conv2D::Forward(const Tensor& input) const {
   const int k = kernel_;
   const std::size_t patch = std::size_t(in_c_) * std::size_t(k) * std::size_t(k);
 
-  if (wt_dirty_) RebuildTransposedWeights();
+  if (wt_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(wt_mutex_);
+    if (wt_dirty_.load(std::memory_order_relaxed)) RebuildTransposedWeights();
+  }
 
   // im2col: rows = output pixels, cols = receptive-field patch. The scratch
-  // buffer persists across calls so steady-state inference never allocates.
-  cols_.resize(std::size_t(oh) * std::size_t(ow) * patch);
+  // is thread-local — it persists across calls (steady-state inference never
+  // allocates) yet keeps concurrent Forward calls on one shared instance
+  // race-free, which is what lets every runtime session share a classifier.
+  static thread_local std::vector<float> cols;
+  static thread_local std::vector<float> gemm_out;
+  cols.resize(std::size_t(oh) * std::size_t(ow) * patch);
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
-      float* row = cols_.data() +
+      float* row = cols.data() +
                    (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) * patch;
       std::size_t idx = 0;
       const int ix0 = ox * stride_ - pad_;
@@ -103,14 +110,14 @@ Tensor Conv2D::Forward(const Tensor& input) const {
 
   // GEMM: [oh*ow x patch] * [patch x out_c] against the cached transposed
   // weights.
-  gemm_out_.resize(std::size_t(oh) * std::size_t(ow) * std::size_t(out_c_));
-  Gemm(cols_.data(), wt_.data(), gemm_out_.data(), oh * ow, int(patch), out_c_);
+  gemm_out.resize(std::size_t(oh) * std::size_t(ow) * std::size_t(out_c_));
+  Gemm(cols.data(), wt_.data(), gemm_out.data(), oh * ow, int(patch), out_c_);
 
   Tensor out(out_shape);
   float* dst = out.data();
   const std::size_t hw = std::size_t(oh) * std::size_t(ow);
   for (std::size_t px = 0; px < hw; ++px) {
-    const float* row = gemm_out_.data() + px * std::size_t(out_c_);
+    const float* row = gemm_out.data() + px * std::size_t(out_c_);
     for (int o = 0; o < out_c_; ++o) {
       dst[std::size_t(o) * hw + px] = row[o] + bias_[std::size_t(o)];
     }

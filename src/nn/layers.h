@@ -3,7 +3,9 @@
 // initializers) or folded in (BatchNorm).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,11 +34,12 @@ class Layer {
 
 /// 2D convolution, square kernel, same dilation 1, zero padding `pad`.
 ///
-/// Forward reuses per-instance scratch buffers (im2col columns, GEMM output)
-/// and a cached transposed weight matrix, so it is NOT safe to call
-/// concurrently on one Conv2D instance — and therefore neither is
-/// Network::Forward on one Network. Give each thread its own network
-/// (MakeBackbone is deterministic in its seed, so replicas are identical).
+/// Forward is const-thread-safe: the im2col / GEMM scratch lives in
+/// thread-local buffers (steady-state inference never allocates, and any
+/// number of threads may share one instance), and the lazily rebuilt
+/// transposed-weight cache is guarded by an internal mutex. Weight
+/// *mutation* (weights()/bias()) is not synchronized — do not mutate
+/// concurrently with Forward.
 class Conv2D : public Layer {
  public:
   Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad,
@@ -54,7 +57,7 @@ class Conv2D : public Layer {
   /// do not retain the reference across a Forward and mutate it afterwards —
   /// re-call weights() for every round of mutation.
   std::vector<float>& weights() noexcept {
-    wt_dirty_ = true;
+    wt_dirty_.store(true, std::memory_order_release);
     return weights_;
   }
   std::vector<float>& bias() noexcept { return bias_; }
@@ -66,13 +69,12 @@ class Conv2D : public Layer {
   std::vector<float> weights_;  ///< [out_c][in_c * k * k] row-major
   std::vector<float> bias_;     ///< [out_c]
   // GEMM-ready transposed weights [in_c * k * k][out_c], cached at
-  // construction instead of being rebuilt every Forward, plus per-layer
-  // im2col / GEMM scratch reused across calls. Forward stays logically const
-  // but is no longer safe to call concurrently on one layer instance.
+  // construction instead of being rebuilt every Forward. After a weights()
+  // mutation the cache is rebuilt lazily, exactly once, under wt_mutex_, so
+  // concurrent const Forward calls stay safe.
   mutable std::vector<float> wt_;
-  mutable bool wt_dirty_ = false;
-  mutable std::vector<float> cols_;
-  mutable std::vector<float> gemm_out_;
+  mutable std::atomic<bool> wt_dirty_{false};
+  mutable std::mutex wt_mutex_;
 };
 
 /// Inference-time batch normalization: y = gamma * (x - mean)/sqrt(var+eps) + beta,

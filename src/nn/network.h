@@ -35,9 +35,10 @@ class Network {
   Shape input_shape() const noexcept { return input_shape_; }
   void set_input_shape(Shape s) noexcept { input_shape_ = s; }
 
-  /// Full forward pass. Conv layers reuse per-instance scratch, so despite
-  /// being const this is not safe to call concurrently on one Network —
-  /// give each thread its own replica (MakeBackbone is seed-deterministic).
+  /// Full forward pass. Const-thread-safe: conv scratch is thread-local and
+  /// weight caches are internally synchronized, so any number of threads may
+  /// run inference on one shared Network (the runtime's sessions all share
+  /// one classifier this way).
   Tensor Forward(const Tensor& input) const;
 
   /// Forward through layers [begin, end).

@@ -1,0 +1,40 @@
+#include "runtime/executor.h"
+
+namespace sieve::runtime {
+
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t threads)
+    : pool_(threads > 0 ? threads
+                        : std::max(1u, std::thread::hardware_concurrency())) {}
+
+void ThreadPoolExecutor::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  pool_.ParallelFor(n, fn);
+}
+
+Executor& SharedExecutor() {
+  // Leaked on purpose: worker threads must survive static destruction of
+  // arbitrary translation units (encoders and sessions may be destroyed
+  // after main returns in test binaries).
+  static ThreadPoolExecutor* shared = new ThreadPoolExecutor(0);
+  return *shared;
+}
+
+Executor& InlineExecutor() {
+  static SerialExecutor* serial = new SerialExecutor();
+  return *serial;
+}
+
+ResolvedExecutor ResolveExecutor(int threads) {
+  ResolvedExecutor r;
+  if (threads == 0) {
+    r.executor = &SharedExecutor();
+  } else if (threads <= 1) {
+    r.executor = &InlineExecutor();
+  } else {
+    r.owned = std::make_unique<ThreadPoolExecutor>(std::size_t(threads));
+    r.executor = r.owned.get();
+  }
+  return r;
+}
+
+}  // namespace sieve::runtime

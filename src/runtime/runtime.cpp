@@ -1,0 +1,297 @@
+#include "runtime/runtime.h"
+
+#include <utility>
+
+#include "codec/decoder.h"
+#include "codec/still.h"
+#include "media/image_ops.h"
+
+namespace sieve::runtime {
+
+// ----------------------------------------------------------- SieveSession --
+
+Status SieveSession::PushFrame(const media::Frame& frame) {
+  if (frame.width() != config_.width || frame.height() != config_.height) {
+    return Status::Invalid("PushFrame: frame size does not match session");
+  }
+  if (state_->closed.load(std::memory_order_acquire)) {
+    return Status::Precondition("PushFrame: session closed");
+  }
+  if (!encoder_) {
+    encoder_ = std::make_unique<codec::StreamingEncoder>(
+        config_.encoder, config_.width, config_.height, config_.fps,
+        encoder_executor_);
+  }
+  auto record = encoder_->PushFrame(frame);
+  if (!record.ok()) return record.status();
+  Status pushed =
+      PushWire(record->type, record->index, encoder_->WireBytes(*record));
+  // The wire bytes were just copied into the flow; dropping the encoder's
+  // buffered container keeps a 24/7 session's memory bounded.
+  encoder_->TrimBuffered();
+  return pushed;
+}
+
+Status SieveSession::PushEncoded(codec::FrameType type,
+                                 std::uint64_t frame_index,
+                                 std::span<const std::uint8_t> wire_bytes) {
+  if (wire_bytes.size() < codec::FrameRecord::kHeaderSize) {
+    return Status::Invalid("PushEncoded: truncated frame");
+  }
+  if (state_->closed.load(std::memory_order_acquire)) {
+    return Status::Precondition("PushEncoded: session closed");
+  }
+  return PushWire(type, frame_index, wire_bytes);
+}
+
+Status SieveSession::PushWire(codec::FrameType type, std::uint64_t frame_index,
+                              std::span<const std::uint8_t> wire_bytes) {
+  internal::SessionState& st = *state_;
+  dataflow::FlowFile file(
+      std::vector<std::uint8_t>(wire_bytes.begin(), wire_bytes.end()));
+  file.SetU64("frame", frame_index);
+  file.SetAttribute("type", type == codec::FrameType::kIntra ? "I" : "P");
+  file.SetAttribute("camera", st.route);
+  // The camera sends over its LAN hop before the edge queue: backpressure
+  // from a saturated edge blocks right here, in the camera's own thread.
+  st.camera_edge.Transfer(file.size());
+  st.pushed.fetch_add(1, std::memory_order_acq_rel);
+  if (!st.camera_queue.Push(std::move(file))) {
+    st.pushed.fetch_sub(1, std::memory_order_acq_rel);
+    return Status::Precondition("PushFrame: session closed");
+  }
+  return Status::Ok();
+}
+
+void SieveSession::Close() {
+  state_->closed.store(true, std::memory_order_release);
+  state_->camera_queue.Close();
+}
+
+SessionReport SieveSession::Drain() {
+  Close();
+  internal::SessionState& st = *state_;
+  {
+    std::unique_lock<std::mutex> lock(st.mutex);
+    st.settled_cv.wait(lock, [&st] {
+      return st.settled == st.pushed.load(std::memory_order_acquire);
+    });
+  }
+  SessionReport report;
+  report.camera_id = st.camera_id;
+  report.frames_pushed = st.pushed.load();
+  report.iframes_selected = st.iframes.load();
+  report.labels_written = st.labels.load();
+  report.wall_seconds = st.opened.ElapsedSeconds();
+  report.fps = report.wall_seconds > 0
+                   ? double(report.frames_pushed) / report.wall_seconds
+                   : 0.0;
+  report.camera_to_edge_bytes = st.camera_edge.meter().bytes();
+  report.edge_to_cloud_bytes = st.edge_cloud_meter.bytes();
+  return report;
+}
+
+// ---------------------------------------------------------------- Runtime --
+
+Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
+                 Executor* executor)
+    : config_(config),
+      classifier_(classifier),
+      executor_(executor != nullptr ? executor : &SharedExecutor()),
+      edge_cloud_(config.edge_to_cloud, config.link_time_scale),
+      pipeline_(config.queue_capacity, executor_) {
+  BuildTiers();
+  start_status_ = pipeline_.Start();
+}
+
+Runtime::~Runtime() {
+  bool need_shutdown = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    need_shutdown = !shut_down_;
+  }
+  if (need_shutdown) (void)Shutdown();
+}
+
+std::shared_ptr<internal::SessionState> Runtime::FindSession(
+    const dataflow::FlowFile& file) {
+  const auto camera = file.GetAttribute("camera");
+  if (!camera) return nullptr;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = routes_.find(*camera);
+  return it != routes_.end() ? it->second : nullptr;
+}
+
+void Runtime::BuildTiers() {
+  // --- Edge: I-frame seeker (metadata-only filter) ------------------------
+  pipeline_.AddStage(
+      "edge/iframe-seeker",
+      [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        auto session = FindSession(file);
+        if (!session) return std::nullopt;  // unroutable: drop
+        const auto type = file.GetAttribute("type");
+        if (!type || *type != "I") {  // P-frames: stored edge-side only
+          session->Settle();
+          return std::nullopt;
+        }
+        session->iframes.fetch_add(1, std::memory_order_relaxed);
+        return file;
+      });
+
+  // --- Edge: decompress the I-frame like a still, resize to the NN input,
+  // and re-encode for the WAN --------------------------------------------
+  pipeline_.AddStage(
+      "edge/still-transcode",
+      [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        auto session = FindSession(file);
+        if (!session) return std::nullopt;
+        // Strip the fixed frame header to get the entropy-coded payload;
+        // decode with the owning camera's dimensions and quantizer.
+        const codec::ContainerHeader& header = session->header;
+        const std::size_t payload_size =
+            file.size() - codec::FrameRecord::kHeaderSize;
+        const std::span<const std::uint8_t> payload(
+            file.payload().data() + codec::FrameRecord::kHeaderSize,
+            payload_size);
+        codec::RangeDecoder rc(payload);
+        codec::FrameModels models;
+        const codec::CodingContext ctx = codec::CodingContext::ForQp(header.qp);
+        media::Frame frame(header.width, header.height);
+        codec::DecodeIntraFrame(rc, models, ctx, frame);
+
+        const media::Frame resized = media::ResizeFrame(
+            frame, config_.nn_input_size, config_.nn_input_size);
+        dataflow::FlowFile out(codec::EncodeStill(resized, config_.still_qp));
+        out.SetU64("frame", file.GetU64("frame").value_or(0));
+        out.SetAttribute("camera", session->route);
+        return out;
+      },
+      config_.transcode_parallelism);
+
+  // --- Edge -> cloud WAN (shared hop, per-camera accounting) --------------
+  const bool cloud = config_.nn_tier == core::NnTier::kCloud;
+  pipeline_.AddStage(
+      "wan",
+      [this, cloud](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        if (cloud) {
+          edge_cloud_.Transfer(file.size());
+          if (auto session = FindSession(file)) {
+            session->edge_cloud_meter.Record(file.size());
+          }
+        }
+        return file;
+      });
+
+  // --- NN inference + per-camera results DB -------------------------------
+  pipeline_.SetSink("nn/classify", [this](dataflow::FlowFile file) {
+    auto session = FindSession(file);
+    if (!session) return;
+    auto still = codec::DecodeStill(file.payload());
+    if (!still.ok()) {
+      session->Settle();
+      return;
+    }
+    auto labels = classifier_->Predict(*still);
+    if (!labels.ok()) {
+      session->Settle();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(session->mutex);
+      session->db.Insert(std::size_t(file.GetU64("frame").value_or(0)),
+                         *labels);
+    }
+    session->labels.fetch_add(1, std::memory_order_relaxed);
+    session->Settle();
+  });
+}
+
+Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
+    std::string camera_id, SessionConfig config) {
+  if (!start_status_.ok()) return start_status_;
+  if (classifier_ == nullptr || !classifier_->fitted()) {
+    return Status::Precondition("Runtime: classifier not fitted");
+  }
+  if (config.width <= 0 || config.height <= 0 || config.width % 2 != 0 ||
+      config.height % 2 != 0) {
+    return Status::Invalid("OpenSession: dimensions must be positive and even");
+  }
+  std::shared_ptr<internal::SessionState> state;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (shut_down_) {
+      return Status::Precondition("OpenSession: runtime already shut down");
+    }
+    // A camera id may be reused once its previous incarnation closed; the
+    // unique route key keeps that incarnation's in-flight frames routable.
+    auto live = by_id_.find(camera_id);
+    if (live != by_id_.end() &&
+        !live->second->closed.load(std::memory_order_acquire)) {
+      return Status::Invalid("OpenSession: camera id '" + camera_id +
+                             "' is still open");
+    }
+    const std::string route =
+        camera_id + "#" + std::to_string(++session_seq_);
+    const codec::ContainerHeader header{config.width, config.height, config.fps,
+                                        0, std::uint8_t(config.encoder.qp)};
+    state = std::make_shared<internal::SessionState>(
+        camera_id, route, header, config.queue_capacity,
+        config_.camera_to_edge, config_.link_time_scale);
+    routes_.emplace(route, state);
+    by_id_[camera_id] = state;
+  }
+  if (Status s = pipeline_.AttachSource(
+          camera_id,  // display name in stats; routing uses state->route
+          [state]() -> std::optional<dataflow::FlowFile> {
+            return state->camera_queue.Pop();
+          });
+      !s.ok()) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    routes_.erase(state->route);
+    if (auto it = by_id_.find(camera_id);
+        it != by_id_.end() && it->second == state) {
+      by_id_.erase(it);
+    }
+    return s;
+  }
+
+  // The encoder's thread knob maps onto executors: 0 rides this runtime's
+  // shared executor, 1 is serial inline, n > 1 gets a private pool.
+  Executor* enc_exec = executor_;
+  std::unique_ptr<Executor> owned;
+  if (config.encoder.threads != 0) {
+    ResolvedExecutor resolved = ResolveExecutor(config.encoder.threads);
+    enc_exec = resolved.executor;
+    owned = std::move(resolved.owned);
+  }
+  return std::unique_ptr<SieveSession>(new SieveSession(
+      std::move(state), config, enc_exec, std::move(owned)));
+}
+
+Expected<std::vector<dataflow::StageStats>> Runtime::Shutdown() {
+  std::vector<std::shared_ptr<internal::SessionState>> states;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (shut_down_) return Status::Precondition("Runtime: already shut down");
+    shut_down_ = true;
+    states.reserve(routes_.size());
+    for (auto& [route, state] : routes_) states.push_back(state);
+  }
+  for (auto& state : states) {
+    state->closed.store(true, std::memory_order_release);
+    state->camera_queue.Close();
+  }
+  if (!start_status_.ok()) return start_status_;
+  return pipeline_.Finish();
+}
+
+std::size_t Runtime::session_count() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::size_t open = 0;
+  for (const auto& [id, state] : by_id_) {
+    if (!state->closed.load(std::memory_order_acquire)) ++open;
+  }
+  return open;
+}
+
+}  // namespace sieve::runtime

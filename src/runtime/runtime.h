@@ -1,0 +1,247 @@
+// The multi-camera streaming runtime: Figure 1 as a long-lived service.
+//
+// One Runtime hosts the shared edge and cloud tiers — I-frame seeker, still
+// transcode, WAN link, reference classifier, per-camera results databases —
+// as a single live dataflow::Pipeline running on an injected Executor.
+// Cameras come and go as sessions:
+//
+//   runtime::Runtime rt(config, &classifier);          // tiers start here
+//   auto cam = rt.OpenSession("gate-7", session_cfg);  // returns SieveSession
+//   (*cam)->PushFrame(frame);                          // live capture loop
+//   ...
+//   (*cam)->Close();
+//   runtime::SessionReport report = (*cam)->Drain();   // per-camera totals
+//   auto stage_stats = rt.Shutdown();                  // shared-tier stats
+//
+// Each session owns a camera-side StreamingEncoder (motion estimation runs
+// on the shared executor), a bounded per-camera ingress queue (its private
+// backpressure domain: a slow edge stalls that camera's PushFrame, nothing
+// else), a LAN link model, and a ResultsDatabase. The encoded frames of all
+// sessions fan into one edge chain via the pipeline's multi-source fan-in;
+// per-frame "camera" attributes route edge decode parameters and cloud
+// results back to the owning session. The legacy single-shot
+// core::SieveSystem::Run is a thin wrapper over a one-session Runtime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/results_db.h"
+#include "dataflow/pipeline.h"
+#include "media/frame.h"
+#include "net/link.h"
+#include "nn/classifier.h"
+#include "runtime/executor.h"
+
+namespace sieve::runtime {
+
+/// Shared-tier configuration (what core::SystemConfig configured per run).
+struct RuntimeConfig {
+  core::NnTier nn_tier = core::NnTier::kCloud;
+  net::LinkModel camera_to_edge = net::LinkModel::Lan();
+  net::LinkModel edge_to_cloud = net::LinkModel::Wan();
+  /// Wall-clock scale for link waits (0 = account bytes but never sleep;
+  /// 1 = real time). Tests compress time; demos use small nonzero values.
+  double link_time_scale = 0.0;
+  int nn_input_size = 96;   ///< classifier input (even)
+  int still_qp = 26;
+  std::size_t queue_capacity = 8;  ///< edge-chain connection bound
+  int transcode_parallelism = 1;   ///< still-transcode worker count
+};
+
+/// Per-camera configuration.
+struct SessionConfig {
+  int width = 0;    ///< frame width (even, required)
+  int height = 0;   ///< frame height (even, required)
+  double fps = 30.0;
+  /// Camera-side semantic encoder knobs. `encoder.threads` follows the
+  /// executor shim: 0 = the runtime's shared executor, 1 = serial inline,
+  /// n > 1 = a private pool. `encoder.qp` also sets the edge decode context
+  /// for frames pushed pre-encoded.
+  codec::EncoderParams encoder;
+  std::size_t queue_capacity = 8;  ///< per-camera ingress bound (backpressure)
+};
+
+/// Per-camera outcome, returned by SieveSession::Drain().
+struct SessionReport {
+  std::string camera_id;
+  std::size_t frames_pushed = 0;     ///< frames that left this camera
+  std::size_t iframes_selected = 0;  ///< frames passing the seeker
+  std::size_t labels_written = 0;    ///< rows in this camera's database
+  double wall_seconds = 0.0;         ///< open -> drained
+  double fps = 0.0;                  ///< frames_pushed / wall_seconds
+  std::uint64_t camera_to_edge_bytes = 0;
+  std::uint64_t edge_to_cloud_bytes = 0;
+};
+
+namespace internal {
+
+/// Shared state of one camera session. Lives in a shared_ptr: the session
+/// handle, the runtime registry, and in-flight pipeline items all reference
+/// it, so a session handle stays valid even past Runtime shutdown.
+struct SessionState {
+  SessionState(std::string id, std::string route_key,
+               const codec::ContainerHeader& hdr, std::size_t queue_capacity,
+               const net::LinkModel& lan, double time_scale)
+      : camera_id(std::move(id)),
+        route(std::move(route_key)),
+        header(hdr),
+        camera_queue(queue_capacity),
+        camera_edge(lan, time_scale) {}
+
+  /// Mark one in-flight frame fully handled (filtered, failed, or labelled).
+  void Settle() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++settled;
+    settled_cv.notify_all();
+  }
+
+  const std::string camera_id;
+  const std::string route;  ///< unique per-session routing key (id#seq):
+                            ///< lets a reconnecting camera reuse its id while
+                            ///< in-flight frames still reach the old session
+  const codec::ContainerHeader header;  ///< edge decode parameters
+  dataflow::BoundedQueue<dataflow::FlowFile> camera_queue;
+  net::RealizedLink camera_edge;     ///< this camera's LAN hop
+  net::ByteMeter edge_cloud_meter;   ///< this camera's share of the WAN
+  Stopwatch opened;
+  std::atomic<bool> closed{false};
+  std::atomic<std::size_t> pushed{0};
+  std::atomic<std::size_t> iframes{0};
+  std::atomic<std::size_t> labels{0};
+
+  std::mutex mutex;  ///< guards db + settled
+  std::condition_variable settled_cv;
+  std::size_t settled = 0;
+  core::ResultsDatabase db;
+};
+
+}  // namespace internal
+
+class Runtime;
+
+/// Handle to one live camera feed. Single producer: PushFrame/PushEncoded
+/// must not be called concurrently on one session (different sessions are
+/// fully independent). The handle outlives the Runtime safely, but frames
+/// pushed after Runtime::Shutdown() are rejected.
+class SieveSession {
+ public:
+  SieveSession(const SieveSession&) = delete;
+  SieveSession& operator=(const SieveSession&) = delete;
+
+  /// Dropping the handle closes intake (idempotent), so the camera id
+  /// becomes reusable and the session's source worker can wind down even
+  /// when the caller never called Close()/Drain() explicitly.
+  ~SieveSession() { Close(); }
+
+  /// Encode one live frame camera-side and stream it to the edge. Blocks
+  /// when this camera's ingress queue is full (per-camera backpressure).
+  Status PushFrame(const media::Frame& frame);
+
+  /// Stream an already-encoded frame (header + payload wire bytes, e.g. a
+  /// FrameRecord slice of an EncodedVideo container). Do not mix with
+  /// PushFrame on the same session: frame indices come from the encoder.
+  Status PushEncoded(codec::FrameType type, std::uint64_t frame_index,
+                     std::span<const std::uint8_t> wire_bytes);
+
+  /// Stop intake; already-pushed frames continue through the tiers.
+  void Close();
+
+  /// Close() + wait until every pushed frame settled (labelled, filtered,
+  /// or dropped), then report this camera's totals.
+  SessionReport Drain();
+
+  /// This camera's results. Only read after Drain() (or Runtime::Shutdown)
+  /// has returned: while frames are in flight the cloud tier is still
+  /// inserting rows concurrently, and the map is not synchronized for
+  /// external readers.
+  const core::ResultsDatabase& db() const noexcept { return state_->db; }
+  const std::string& camera_id() const noexcept { return state_->camera_id; }
+
+ private:
+  friend class Runtime;
+  SieveSession(std::shared_ptr<internal::SessionState> state,
+               SessionConfig config, Executor* encoder_executor,
+               std::unique_ptr<Executor> owned_encoder_executor)
+      : state_(std::move(state)),
+        config_(config),
+        encoder_executor_(encoder_executor),
+        owned_encoder_executor_(std::move(owned_encoder_executor)) {}
+
+  Status PushWire(codec::FrameType type, std::uint64_t frame_index,
+                  std::span<const std::uint8_t> wire_bytes);
+
+  std::shared_ptr<internal::SessionState> state_;
+  SessionConfig config_;
+  Executor* encoder_executor_;
+  std::unique_ptr<Executor> owned_encoder_executor_;
+  std::unique_ptr<codec::StreamingEncoder> encoder_;  ///< lazy: live path only
+};
+
+/// The shared edge/cloud service. The classifier must be fitted before
+/// sessions open, must stay alive for the Runtime's lifetime, and is shared
+/// by every session (FrameClassifier::Predict is const-thread-safe).
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
+                   Executor* executor = nullptr);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Open a camera session. Fails on odd dimensions, an unfitted
+  /// classifier, a runtime that is already shut down, or a camera id that
+  /// is still open — a Close()d id may be reused (reconnecting camera), and
+  /// in-flight frames of the previous incarnation still reach the old
+  /// session's database via its unique routing key.
+  Expected<std::unique_ptr<SieveSession>> OpenSession(std::string camera_id,
+                                                      SessionConfig config);
+
+  /// Close every session's intake, drain the tiers, stop the workers, and
+  /// return shared-tier statistics (sources in open order, then seeker,
+  /// transcode, wan, classify). One-shot; the destructor calls it if needed.
+  Expected<std::vector<dataflow::StageStats>> Shutdown();
+
+  Executor& executor() const noexcept { return *executor_; }
+  const RuntimeConfig& config() const noexcept { return config_; }
+  /// Sessions whose intake is still open.
+  std::size_t session_count() const;
+
+ private:
+  std::shared_ptr<internal::SessionState> FindSession(
+      const dataflow::FlowFile& file);
+  void BuildTiers();
+
+  RuntimeConfig config_;
+  const nn::FrameClassifier* classifier_;
+  Executor* executor_;
+  net::RealizedLink edge_cloud_;  ///< the shared WAN hop
+  dataflow::Pipeline pipeline_;
+  Status start_status_;
+
+  // Reader-writer registry: every stage routes every frame through
+  // FindSession (shared lock), while OpenSession/Shutdown mutations are
+  // rare (exclusive lock). `routes_` keeps one entry per session ever
+  // opened (in-flight frames and reports need drained sessions until
+  // shutdown); `by_id_` tracks the latest incarnation of each camera id
+  // for duplicate admission.
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::shared_ptr<internal::SessionState>> routes_;
+  std::map<std::string, std::shared_ptr<internal::SessionState>> by_id_;
+  std::uint64_t session_seq_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace sieve::runtime

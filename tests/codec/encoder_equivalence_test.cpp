@@ -4,15 +4,16 @@
 // the reference results.
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "codec/encoder.h"
 #include "codec/frame_coding.h"
 #include "codec/motion.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
 #include "media/image_ops.h"
 #include "media/metrics.h"
+#include "runtime/executor.h"
 
 namespace sieve::codec {
 namespace {
@@ -58,7 +59,8 @@ media::RawVideo MovingVideo(int w, int h, int frames, std::uint64_t seed) {
 std::vector<std::uint8_t> EncodeInter(const media::Frame& src,
                                       const media::Frame& prev,
                                       const InterParams& params, bool reference,
-                                      ThreadPool* pool, media::Frame* recon) {
+                                      runtime::Executor* executor,
+                                      media::Frame* recon) {
   ByteWriter payload;
   RangeEncoder rc(&payload);
   FrameModels models;
@@ -66,7 +68,7 @@ std::vector<std::uint8_t> EncodeInter(const media::Frame& src,
   if (reference) {
     EncodeInterFrameReference(rc, models, src, prev, ctx, params, *recon);
   } else {
-    EncodeInterFrame(rc, models, src, prev, ctx, params, *recon, pool);
+    EncodeInterFrame(rc, models, src, prev, ctx, params, *recon, executor);
   }
   rc.Flush();
   return payload.data();
@@ -78,7 +80,7 @@ TEST(EncoderEquivalence, TwoPassMatchesReferenceBitstream) {
   params.skip_sad_per_pixel = 3;
 
   media::Frame recon_ref(96, 64), recon_opt(96, 64), recon_par(96, 64);
-  ThreadPool pool(4);
+  runtime::ThreadPoolExecutor pool(4);
   for (std::size_t i = 1; i < video.frames.size(); ++i) {
     const auto ref = EncodeInter(video.frames[i], video.frames[i - 1], params,
                                  true, nullptr, &recon_ref);
@@ -109,9 +111,69 @@ TEST(EncoderEquivalence, WholeStreamIdenticalAcrossThreadCounts) {
 
   const auto ref = encode(true, 1);
   ASSERT_FALSE(ref.empty());
-  EXPECT_EQ(ref, encode(false, 1));
-  EXPECT_EQ(ref, encode(false, 3));
-  EXPECT_EQ(ref, encode(false, 0));  // hardware concurrency
+  EXPECT_EQ(ref, encode(false, 1));  // threads=1 -> inline serial executor
+  EXPECT_EQ(ref, encode(false, 3));  // threads=3 -> private 3-worker pool
+  EXPECT_EQ(ref, encode(false, 0));  // threads=0 -> shared process pool
+}
+
+// The EncoderParams::threads shim and explicit executor injection must all
+// produce byte-identical containers: the executor only decides *where*
+// macroblock rows run, never *what* gets coded.
+TEST(EncoderEquivalence, WholeStreamIdenticalAcrossExecutors) {
+  const media::RawVideo video = MovingVideo(112, 80, 8, 29);
+
+  auto encode = [&](runtime::Executor* executor) {
+    EncoderParams params = EncoderParams::Semantic(4, 120);
+    auto encoded = VideoEncoder(params, executor).Encode(video);
+    EXPECT_TRUE(encoded.ok());
+    return encoded.ok() ? encoded->bytes : std::vector<std::uint8_t>{};
+  };
+
+  runtime::SerialExecutor serial;
+  runtime::ThreadPoolExecutor private_pool(3);
+  const auto baseline = encode(&serial);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, encode(&runtime::InlineExecutor()));
+  EXPECT_EQ(baseline, encode(&runtime::SharedExecutor()));
+  EXPECT_EQ(baseline, encode(&private_pool));
+
+  // Two encoders sharing one executor concurrently still match: streaming
+  // sessions multiplex the shared pool without cross-talk.
+  std::vector<std::uint8_t> a, b;
+  std::thread ta([&] { a = encode(&runtime::SharedExecutor()); });
+  std::thread tb([&] { b = encode(&runtime::SharedExecutor()); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(baseline, a);
+  EXPECT_EQ(baseline, b);
+}
+
+// The live-session path (WireBytes + TrimBuffered after every frame) must
+// see exactly the bytes the batch container stores for each frame.
+TEST(EncoderEquivalence, WireBytesUnaffectedByPerFrameTrim) {
+  const media::RawVideo video = MovingVideo(96, 64, 6, 37);
+  const EncoderParams params = EncoderParams::Semantic(3, 100);
+
+  const auto batch = VideoEncoder(params).Encode(video);
+  ASSERT_TRUE(batch.ok());
+
+  StreamingEncoder streaming(params, 96, 64, video.fps);
+  for (std::size_t i = 0; i < video.frames.size(); ++i) {
+    auto record = streaming.PushFrame(video.frames[i]);
+    ASSERT_TRUE(record.ok());
+    const auto wire = streaming.WireBytes(*record);
+    const auto& ref = batch->records[i];
+    EXPECT_EQ(record->type, ref.type);
+    ASSERT_EQ(wire.size(), FrameRecord::kHeaderSize + ref.payload_size);
+    const std::vector<std::uint8_t> expect(
+        batch->bytes.begin() +
+            std::ptrdiff_t(ref.payload_offset - FrameRecord::kHeaderSize),
+        batch->bytes.begin() + std::ptrdiff_t(ref.payload_offset +
+                                              ref.payload_size));
+    EXPECT_EQ(std::vector<std::uint8_t>(wire.begin(), wire.end()), expect)
+        << "frame " << i;
+    streaming.TrimBuffered();  // steady-state memory stays bounded
+  }
 }
 
 TEST(SearchEquivalence, PrunedFullSearchMatchesReference) {

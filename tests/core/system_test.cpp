@@ -46,6 +46,46 @@ TEST(ResultsDatabase, FindObjectMissingClassIsEmpty) {
   EXPECT_TRUE(db.FindObject(synth::ObjectClass::kBoat, 10).empty());
 }
 
+TEST(ResultsDatabase, EmptyDatabaseQueries) {
+  ResultsDatabase db;
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_TRUE(db.LabelAt(0).empty());
+  EXPECT_TRUE(db.LabelAt(12345).empty());
+  EXPECT_TRUE(db.FindObject(synth::ObjectClass::kCar, 0).empty());
+  EXPECT_TRUE(db.FindObject(synth::ObjectClass::kCar, 100).empty());
+}
+
+TEST(ResultsDatabase, QueryBeforeFirstAnalyzedFrame) {
+  ResultsDatabase db;
+  db.Insert(40, synth::LabelSet::Of(synth::ObjectClass::kCar));
+  db.Insert(60, synth::LabelSet());
+  // No propagation backwards: frames before the first analyzed frame have
+  // no labels, and the event range starts at the first analyzed frame.
+  EXPECT_TRUE(db.LabelAt(0).empty());
+  EXPECT_TRUE(db.LabelAt(39).empty());
+  EXPECT_TRUE(db.LabelAt(40).Contains(synth::ObjectClass::kCar));
+  const auto ranges = db.FindObject(synth::ObjectClass::kCar, 100);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{40, 60}));
+}
+
+TEST(ResultsDatabase, EventRangeTouchingTotalFrames) {
+  ResultsDatabase db;
+  db.Insert(0, synth::LabelSet());
+  db.Insert(80, synth::LabelSet::Of(synth::ObjectClass::kBoat));
+  // Still live at the last analyzed frame: the range closes at total_frames.
+  auto ranges = db.FindObject(synth::ObjectClass::kBoat, 120);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{80, 120}));
+  // Event opening exactly at total_frames: no degenerate empty range.
+  EXPECT_TRUE(db.FindObject(synth::ObjectClass::kBoat, 80).empty());
+  // A closing row landing exactly on total_frames reports the range once.
+  db.Insert(120, synth::LabelSet());
+  ranges = db.FindObject(synth::ObjectClass::kBoat, 120);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{80, 120}));
+}
+
 class SystemTest : public testing::Test {
  protected:
   static void SetUpTestSuite() {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <set>
 
@@ -176,6 +178,91 @@ TEST(Pipeline, EmptySourceCompletesCleanly) {
   auto stats = p.Run();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->back().in, 0u);
+}
+
+TEST(Pipeline, SecondRunFails) {
+  // The first run consumes the source and stat state; a silent rerun would
+  // report an empty flow as success. It must be an error instead.
+  Pipeline p;
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < 5) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  std::atomic<std::size_t> received{0};
+  p.SetSink("sink", [&received](FlowFile) { received.fetch_add(1); });
+  ASSERT_TRUE(p.Run().ok());
+  EXPECT_EQ(received.load(), 5u);
+
+  auto rerun = p.Run();
+  ASSERT_FALSE(rerun.ok());
+  EXPECT_EQ(rerun.status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(received.load(), 5u) << "second Run must not process anything";
+}
+
+TEST(Pipeline, MultiSourceFanInMergesEverything) {
+  Pipeline p(4);
+  // Three cameras with distinct id ranges fan into one chain.
+  std::array<std::size_t, 3> produced{0, 0, 0};
+  for (std::size_t cam = 0; cam < 3; ++cam) {
+    p.AddSource("camera-" + std::to_string(cam),
+                [cam, &produced]() -> std::optional<FlowFile> {
+                  if (produced[cam] < 40) {
+                    return NumberedFile(cam * 1000 + produced[cam]++);
+                  }
+                  return std::nullopt;
+                });
+  }
+  p.AddStage("tag", [](FlowFile f) -> std::optional<FlowFile> { return f; });
+  std::mutex m;
+  std::set<std::uint64_t> seen;
+  p.SetSink("sink", [&](FlowFile f) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.insert(*f.GetU64("n"));
+  });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  // Stats: 3 sources, the stage, the sink — in that order.
+  ASSERT_EQ(stats->size(), 5u);
+  for (std::size_t cam = 0; cam < 3; ++cam) {
+    EXPECT_EQ((*stats)[cam].name, "camera-" + std::to_string(cam));
+    EXPECT_EQ((*stats)[cam].out, 40u);
+  }
+  EXPECT_EQ((*stats)[3].in, 120u);
+  EXPECT_EQ(stats->back().in, 120u);
+  ASSERT_EQ(seen.size(), 120u);
+  for (std::size_t cam = 0; cam < 3; ++cam) {
+    for (std::uint64_t n = 0; n < 40; ++n) {
+      EXPECT_TRUE(seen.contains(cam * 1000 + n));
+    }
+  }
+}
+
+TEST(Pipeline, StreamingAttachWhileRunning) {
+  Pipeline p(4);
+  std::atomic<std::size_t> received{0};
+  p.SetSink("sink", [&received](FlowFile) { received.fetch_add(1); });
+  ASSERT_TRUE(p.Start().ok());
+  EXPECT_FALSE(p.Start().ok()) << "Start is one-shot";
+
+  // Attach two live sources after the workers are already running.
+  for (int cam = 0; cam < 2; ++cam) {
+    auto produced = std::make_shared<std::size_t>(0);
+    ASSERT_TRUE(p.AttachSource("live-" + std::to_string(cam),
+                               [produced]() -> std::optional<FlowFile> {
+                                 if (*produced < 30) {
+                                   return NumberedFile((*produced)++);
+                                 }
+                                 return std::nullopt;
+                               })
+                    .ok());
+  }
+  auto stats = p.Finish();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(received.load(), 60u);
+  ASSERT_EQ(stats->size(), 3u);  // two sources + sink
+  EXPECT_FALSE(p.AttachSource("late", [] { return std::nullopt; }).ok());
+  EXPECT_FALSE(p.Finish().ok()) << "Finish is one-shot";
 }
 
 }  // namespace

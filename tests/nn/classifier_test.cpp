@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <thread>
+
 #include "synth/scene.h"
 
 namespace sieve::nn {
@@ -107,6 +110,43 @@ TEST(Classifier, DistinguishesTwoClasses) {
   }
   ASSERT_GT(total, 0u);
   EXPECT_GT(double(correct) / double(total), 0.7);
+}
+
+TEST(Classifier, ConstPredictIsThreadSafe) {
+  // Every runtime session shares one fitted classifier, so concurrent const
+  // Predict calls on one instance must return exactly what a serial caller
+  // sees (thread-local conv scratch, synchronized weight caches).
+  const auto scene = TrainingScene(6, {synth::ObjectClass::kCar});
+  FrameClassifier classifier(FastParams());
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 10).ok());
+
+  constexpr std::size_t kFrames = 24;
+  std::vector<synth::LabelSet> serial(kFrames);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    auto labels = classifier.Predict(scene.video.frames[i * 3]);
+    ASSERT_TRUE(labels.ok());
+    serial[i] = *labels;
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::array<synth::LabelSet, kFrames>> parallel(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &classifier, &scene, &parallel] {
+      for (std::size_t i = 0; i < kFrames; ++i) {
+        auto labels = classifier.Predict(scene.video.frames[i * 3]);
+        ASSERT_TRUE(labels.ok());
+        parallel[std::size_t(t)][i] = *labels;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(parallel[std::size_t(t)][i], serial[i])
+          << "thread " << t << " frame " << i;
+    }
+  }
 }
 
 TEST(Classifier, EvaluateStrideClampsToOne) {

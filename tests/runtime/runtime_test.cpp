@@ -1,0 +1,206 @@
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "synth/scene.h"
+
+namespace sieve::runtime {
+namespace {
+
+synth::SyntheticVideo SmallScene(std::uint64_t seed) {
+  synth::SceneConfig c;
+  c.width = 64;
+  c.height = 48;
+  c.num_frames = 40;
+  c.seed = seed;
+  c.mean_gap_seconds = 0.6;
+  c.min_gap_seconds = 0.3;
+  c.mean_dwell_seconds = 0.8;
+  c.min_dwell_seconds = 0.4;
+  return synth::GenerateScene(c);
+}
+
+class RuntimeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new synth::SyntheticVideo(SmallScene(7));
+    nn::ClassifierParams cp;
+    cp.input_size = 32;
+    cp.embedding_dim = 16;
+    classifier_ = new nn::FrameClassifier(cp);
+    ASSERT_TRUE(classifier_->Fit(scene_->video.frames, scene_->truth, 4).ok());
+  }
+  static void TearDownTestSuite() {
+    delete scene_;
+    delete classifier_;
+  }
+
+  static RuntimeConfig SmallConfig() {
+    RuntimeConfig config;
+    config.nn_input_size = 32;
+    return config;
+  }
+  static SessionConfig SceneSession() {
+    SessionConfig config;
+    config.width = 64;
+    config.height = 48;
+    config.encoder = codec::EncoderParams::Semantic(8, 120);
+    return config;
+  }
+
+  static synth::SyntheticVideo* scene_;
+  static nn::FrameClassifier* classifier_;
+};
+
+synth::SyntheticVideo* RuntimeTest::scene_ = nullptr;
+nn::FrameClassifier* RuntimeTest::classifier_ = nullptr;
+
+TEST_F(RuntimeTest, RejectsUnfittedClassifier) {
+  nn::FrameClassifier unfitted;
+  Runtime runtime(SmallConfig(), &unfitted);
+  EXPECT_FALSE(runtime.OpenSession("cam", SceneSession()).ok());
+}
+
+TEST_F(RuntimeTest, RejectsOddDimensionsAndDuplicateIds) {
+  Runtime runtime(SmallConfig(), classifier_);
+  SessionConfig odd = SceneSession();
+  odd.width = 63;
+  EXPECT_FALSE(runtime.OpenSession("cam", odd).ok());
+
+  auto first = runtime.OpenSession("cam", SceneSession());
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(runtime.OpenSession("cam", SceneSession()).ok());
+  EXPECT_EQ(runtime.session_count(), 1u);
+}
+
+TEST_F(RuntimeTest, SingleSessionStreamsToItsDatabase) {
+  Runtime runtime(SmallConfig(), classifier_);
+  auto session = runtime.OpenSession("gate", SceneSession());
+  ASSERT_TRUE(session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.camera_id, "gate");
+  EXPECT_EQ(report.frames_pushed, scene_->video.frames.size());
+  EXPECT_GT(report.iframes_selected, 0u);
+  EXPECT_EQ(report.labels_written, report.iframes_selected);
+  EXPECT_EQ((*session)->db().size(), report.iframes_selected);
+  EXPECT_GT(report.camera_to_edge_bytes, 0u);
+  EXPECT_GT(report.edge_to_cloud_bytes, 0u);
+
+  auto stats = runtime.Shutdown();
+  ASSERT_TRUE(stats.ok());
+  // One source + seeker, transcode, wan, classify.
+  ASSERT_EQ(stats->size(), 5u);
+  EXPECT_EQ(stats->front().name, "gate");
+  EXPECT_EQ(stats->front().out, report.frames_pushed);
+  EXPECT_EQ(stats->back().name, "nn/classify");
+  EXPECT_EQ(stats->back().in, report.iframes_selected);
+}
+
+TEST_F(RuntimeTest, PushAfterCloseFails) {
+  Runtime runtime(SmallConfig(), classifier_);
+  auto session = runtime.OpenSession("cam", SceneSession());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->PushFrame(scene_->video.frames[0]).ok());
+  (*session)->Close();
+  EXPECT_FALSE((*session)->PushFrame(scene_->video.frames[1]).ok());
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.frames_pushed, 1u);
+}
+
+TEST_F(RuntimeTest, CameraIdReusableAfterClose) {
+  Runtime runtime(SmallConfig(), classifier_);
+  auto first = runtime.OpenSession("gate", SceneSession());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)->PushFrame(scene_->video.frames[0]).ok());
+  const SessionReport first_report = (*first)->Drain();
+  EXPECT_EQ(first_report.frames_pushed, 1u);
+  EXPECT_EQ(runtime.session_count(), 0u);
+
+  // The reconnecting camera reopens under the same id; the first
+  // incarnation's results stay reachable through its own handle.
+  auto second = runtime.OpenSession("gate", SceneSession());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(runtime.session_count(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*second)->PushFrame(scene_->video.frames[i]).ok());
+  }
+  const SessionReport second_report = (*second)->Drain();
+  EXPECT_EQ(second_report.frames_pushed, 5u);
+  EXPECT_EQ((*first)->db().size(), first_report.labels_written);
+  EXPECT_EQ((*second)->db().size(), second_report.labels_written);
+}
+
+TEST_F(RuntimeTest, DroppedHandleClosesSession) {
+  Runtime runtime(SmallConfig(), classifier_);
+  {
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE((*session)->PushFrame(scene_->video.frames[0]).ok());
+  }  // handle dropped without Close()/Drain()
+  EXPECT_EQ(runtime.session_count(), 0u);
+  auto reopened = runtime.OpenSession("gate", SceneSession());
+  EXPECT_TRUE(reopened.ok()) << "dropped handle must free the camera id";
+}
+
+TEST_F(RuntimeTest, ShutdownIsOneShotAndClosesSessions) {
+  Runtime runtime(SmallConfig(), classifier_);
+  auto session = runtime.OpenSession("cam", SceneSession());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->PushFrame(scene_->video.frames[0]).ok());
+  ASSERT_TRUE(runtime.Shutdown().ok());
+  EXPECT_FALSE(runtime.Shutdown().ok());
+  EXPECT_FALSE(runtime.OpenSession("late", SceneSession()).ok());
+  // The in-flight frame settled during shutdown; the session handle stays
+  // valid and Drain() returns immediately.
+  EXPECT_FALSE((*session)->PushFrame(scene_->video.frames[1]).ok());
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.frames_pushed, 1u);
+}
+
+TEST_F(RuntimeTest, ConcurrentSessionsAreIsolated) {
+  Runtime runtime(SmallConfig(), classifier_);
+  const synth::SyntheticVideo other = SmallScene(23);
+
+  auto a = runtime.OpenSession("cam-a", SceneSession());
+  auto b = runtime.OpenSession("cam-b", SceneSession());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  std::thread ta([&] {
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*a)->PushFrame(frame).ok());
+    }
+  });
+  std::thread tb([&] {
+    for (const auto& frame : other.video.frames) {
+      ASSERT_TRUE((*b)->PushFrame(frame).ok());
+    }
+  });
+  ta.join();
+  tb.join();
+  const SessionReport ra = (*a)->Drain();
+  const SessionReport rb = (*b)->Drain();
+  EXPECT_EQ(ra.frames_pushed, scene_->video.frames.size());
+  EXPECT_EQ(rb.frames_pushed, other.video.frames.size());
+  EXPECT_EQ((*a)->db().size(), ra.iframes_selected);
+  EXPECT_EQ((*b)->db().size(), rb.iframes_selected);
+
+  // Same feed through an isolated one-camera runtime: per-camera results
+  // must be unaffected by the other session sharing the tiers.
+  Runtime isolated(SmallConfig(), classifier_);
+  auto solo = isolated.OpenSession("solo", SceneSession());
+  ASSERT_TRUE(solo.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*solo)->PushFrame(frame).ok());
+  }
+  (void)(*solo)->Drain();
+  EXPECT_EQ((*a)->db().rows(), (*solo)->db().rows());
+}
+
+}  // namespace
+}  // namespace sieve::runtime

@@ -6,7 +6,10 @@
 #
 # The harness is deterministic in the work it performs; timings obviously
 # depend on the machine, which is why every speedup in the JSON is measured
-# against a baseline run in the same process.
+# against a baseline run in the same process. Scenarios: encode (reference /
+# serial / parallel), full-search motion, GEMM, backbone forward, and
+# multi_session (3 concurrent camera sessions on one shared runtime
+# executor — the fan-in scaling number to watch across PRs).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
