@@ -14,7 +14,7 @@ int main() {
   std::printf("SiEVE ablation — NN partitioning across edge and cloud\n");
 
   nn::Network net = nn::MakeBackbone(96, 64, 0x51E5E);
-  auto profile = net.MeasureLayerTimes(3);
+  auto profile = net.ProfileLayers(3);
   std::printf("%-24s %12s %14s %12s\n", "layer", "ms (edge)", "activation B",
               "cum ms");
   double cum = 0;

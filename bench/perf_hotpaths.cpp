@@ -1,9 +1,15 @@
 // Hot-path performance harness: encode throughput, motion-search candidate
-// throughput, and GEMM / CNN-forward arithmetic throughput, each measured
-// against its serial / unpruned / naive reference IN THE SAME RUN so every
-// speedup quoted is apples-to-apples on this machine. Emits a JSON report
-// (default ./BENCH_hotpaths.json, override with argv[1]) that tracks the
-// perf trajectory across PRs.
+// throughput, GEMM / CNN-forward arithmetic throughput, multi-camera
+// fan-in, and NN placement (all-edge / all-cloud / auto-split), each
+// measured against its serial / unpruned / naive reference IN THE SAME RUN
+// so every speedup quoted is apples-to-apples on this machine. Emits a JSON
+// report (default ./BENCH_hotpaths.json, override with argv[1]) that tracks
+// the perf trajectory across PRs.
+//
+// Usage: perf_hotpaths [out.json] [parallel_threads] [scenarios]
+//   scenarios: comma-separated subset of
+//     encode,motion,gemm,conv,multi_session,nn_placement
+//   (default: all). Skipped scenarios report zeros in the JSON.
 //
 // Everything is seeded; two runs on the same machine produce the same work.
 #include <cstdio>
@@ -21,7 +27,9 @@
 #include "media/metrics.h"
 #include "nn/classifier.h"
 #include "nn/network.h"
+#include "nn/partition.h"
 #include "nn/tensor.h"
+#include "runtime/placement.h"
 #include "runtime/runtime.h"
 #include "synth/scene.h"
 
@@ -30,6 +38,51 @@ namespace {
 using namespace sieve;
 
 constexpr std::uint64_t kSeed = 20260729;
+
+constexpr const char* kKnownScenarios[] = {
+    "encode", "motion", "gemm", "conv", "multi_session", "nn_placement"};
+
+/// argv[3] scenario filter: empty = everything enabled.
+std::string g_scenarios;
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > pos) tokens.push_back(list.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return tokens;
+}
+
+/// All filter tokens must name real scenarios — a typo silently disabling
+/// everything would overwrite the tracked JSON with zeros.
+bool ValidateScenarios(const std::string& list) {
+  for (const std::string& token : SplitCommas(list)) {
+    bool known = false;
+    for (const char* name : kKnownScenarios) known = known || token == name;
+    if (!known) {
+      std::fprintf(stderr, "unknown scenario '%s'; known:", token.c_str());
+      for (const char* name : kKnownScenarios) std::fprintf(stderr, " %s", name);
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Enabled(const char* name) {
+  if (g_scenarios.empty()) return true;
+  for (const std::string& token : SplitCommas(g_scenarios)) {
+    if (token == name) return true;
+  }
+  return false;
+}
+
+double Ratio(double a, double b) { return b > 0 ? a / b : 0.0; }
 
 // ---------------------------------------------------------------- encode --
 
@@ -296,49 +349,185 @@ MultiSessionResult BenchMultiSession() {
   return out;
 }
 
+// ------------------------------------------------------------ placement --
+
+struct PlacementRow {
+  const char* mode = "";
+  std::size_t split = 0;           ///< layers [0, split) ran at the edge
+  std::size_t frames = 0;
+  std::size_t iframes = 0;
+  double wall_seconds = 0;         ///< open -> drained, end to end
+  double latency_ms_per_frame = 0; ///< wall / frames
+  std::uint64_t wan_bytes = 0;     ///< stills or activations that crossed
+  double predicted_total_ms = 0;   ///< planner estimate at this split
+};
+
+struct NnPlacementResult {
+  std::size_t layer_count = 0;
+  std::vector<PlacementRow> rows;
+};
+
+NnPlacementResult BenchNnPlacement() {
+  // One camera feed pushed through three runtimes that differ only in the
+  // session's placement plan: all-edge, all-cloud, and planner-chosen
+  // auto-split. Tracks end-to-end latency and WAN activation/still bytes —
+  // the trade the paper's NN Deployment service navigates per camera.
+  constexpr int kW = 192, kH = 144;
+  constexpr std::size_t kFrames = 48;
+  synth::SceneConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.num_frames = kFrames;
+  cfg.seed = kSeed + 7;
+  cfg.object_scale = 0.3;
+  cfg.mean_gap_seconds = 0.8;
+  cfg.min_gap_seconds = 0.3;
+  cfg.mean_dwell_seconds = 1.2;
+  cfg.min_dwell_seconds = 0.5;
+  cfg.noise_sigma = 2.0;
+  cfg.jitter_px = 1;
+  const auto scene = synth::GenerateScene(cfg);
+
+  nn::ClassifierParams cp;
+  cp.input_size = 32;
+  cp.embedding_dim = 16;
+  nn::FrameClassifier classifier(cp);
+  if (!classifier.Fit(scene.video.frames, scene.truth, 8).ok()) {
+    std::fprintf(stderr, "[nn_placement] classifier fit failed\n");
+    return {};
+  }
+
+  NnPlacementResult out;
+  out.layer_count = classifier.network().LayerCount();
+
+  // Planner view of this deployment, used to report a predicted latency
+  // for the *fixed* edge/cloud plans (their opens never consult the
+  // planner). Shares the runtime's measurement path — same probe still,
+  // same defaults — so these columns stay comparable to the auto row.
+  const runtime::RuntimeConfig defaults;
+  const nn::PartitionInput planner = runtime::MeasurePlannerInput(
+      classifier, cp.input_size, defaults.still_qp, defaults.edge_to_cloud,
+      defaults.cloud_speedup);
+  const auto predicted = nn::EvaluateSplits(planner);
+
+  const runtime::PlacementMode modes[] = {runtime::PlacementMode::kEdge,
+                                          runtime::PlacementMode::kCloud,
+                                          runtime::PlacementMode::kAuto};
+  for (const runtime::PlacementMode mode : modes) {
+    runtime::RuntimeConfig runtime_config;
+    runtime_config.nn_input_size = 32;
+    runtime::Runtime rt(runtime_config, &classifier);
+    runtime::SessionConfig sc;
+    sc.width = kW;
+    sc.height = kH;
+    sc.encoder = codec::EncoderParams::Semantic(12, 150);
+    sc.placement = mode;
+    auto session = rt.OpenSession("cam", sc);
+    if (!session.ok()) {
+      std::fprintf(stderr, "[nn_placement] OpenSession failed\n");
+      return out;
+    }
+    for (const auto& frame : scene.video.frames) {
+      if (!(*session)->PushFrame(frame).ok()) break;
+    }
+    const runtime::SessionReport report = (*session)->Drain();
+    (void)rt.Shutdown();
+
+    PlacementRow row;
+    row.mode = runtime::PlacementModeName(report.placement);
+    row.split = report.nn_split;
+    row.frames = report.frames_pushed;
+    row.iframes = report.iframes_selected;
+    row.wall_seconds = report.wall_seconds;
+    row.latency_ms_per_frame =
+        Ratio(report.wall_seconds * 1e3, double(report.frames_pushed));
+    row.wan_bytes = report.edge_to_cloud_bytes;
+    if (report.placement == runtime::PlacementMode::kAuto) {
+      // The exact prediction that drove the split decision.
+      row.predicted_total_ms = report.predicted_total_ms;
+    } else if (report.nn_split < predicted.size()) {
+      row.predicted_total_ms = predicted[report.nn_split].total_ms;
+    }
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Usage: perf_hotpaths [out.json] [parallel_threads]
+  // Usage: perf_hotpaths [out.json] [parallel_threads] [scenarios]
   // parallel_threads overrides the thread count of the parallel encode leg
-  // (default 0 = one per hardware thread).
+  // (default 0 = one per hardware thread). scenarios is a comma-separated
+  // filter (default: run everything).
   const char* out_path = argc > 1 ? argv[1] : "BENCH_hotpaths.json";
   const int parallel_threads = argc > 2 ? std::atoi(argv[2]) : 0;
+  if (argc > 3) g_scenarios = argv[3];
+  if (!ValidateScenarios(g_scenarios)) return 2;
   const unsigned hw = std::thread::hardware_concurrency();
 
-  std::printf("SiEVE hot-path benchmark (%u hardware threads)\n", hw);
+  std::printf("SiEVE hot-path benchmark (%u hardware threads)%s%s\n", hw,
+              g_scenarios.empty() ? "" : ", scenarios: ",
+              g_scenarios.c_str());
 
-  const EncodeResult enc = BenchEncode(parallel_threads);
-  std::printf("encode:   reference %.1f fps | serial+prune %.1f fps (%.2fx) | "
-              "parallel %.1f fps (%.2fx) | bit-identical: %s\n",
-              enc.reference_fps, enc.serial_fps,
-              enc.serial_fps / enc.reference_fps, enc.parallel_fps,
-              enc.parallel_fps / enc.reference_fps,
-              enc.bit_identical ? "yes" : "NO");
+  const EncodeResult enc = Enabled("encode") ? BenchEncode(parallel_threads)
+                                             : EncodeResult{};
+  if (Enabled("encode")) {
+    std::printf("encode:   reference %.1f fps | serial+prune %.1f fps (%.2fx) | "
+                "parallel %.1f fps (%.2fx) | bit-identical: %s\n",
+                enc.reference_fps, enc.serial_fps,
+                Ratio(enc.serial_fps, enc.reference_fps), enc.parallel_fps,
+                Ratio(enc.parallel_fps, enc.reference_fps),
+                enc.bit_identical ? "yes" : "NO");
+  }
 
-  const MotionResultRow mot = BenchMotion();
-  std::printf("fullsearch: reference %.2fM cand/s | pruned %.2fM cand/s "
-              "(%.2fx) | identical: %s\n",
-              mot.reference_cand_per_s / 1e6, mot.pruned_cand_per_s / 1e6,
-              mot.pruned_cand_per_s / mot.reference_cand_per_s,
-              mot.identical ? "yes" : "NO");
+  const MotionResultRow mot = Enabled("motion") ? BenchMotion()
+                                                : MotionResultRow{};
+  if (Enabled("motion")) {
+    std::printf("fullsearch: reference %.2fM cand/s | pruned %.2fM cand/s "
+                "(%.2fx) | identical: %s\n",
+                mot.reference_cand_per_s / 1e6, mot.pruned_cand_per_s / 1e6,
+                Ratio(mot.pruned_cand_per_s, mot.reference_cand_per_s),
+                mot.identical ? "yes" : "NO");
+  }
 
-  const GemmRow gemm = BenchGemm();
-  std::printf("gemm 1024x288x64: naive %.2f GFLOP/s | blocked %.2f GFLOP/s "
-              "(%.2fx)\n",
-              gemm.naive_gflops, gemm.blocked_gflops,
-              gemm.blocked_gflops / gemm.naive_gflops);
+  const GemmRow gemm = Enabled("gemm") ? BenchGemm() : GemmRow{};
+  if (Enabled("gemm")) {
+    std::printf("gemm 1024x288x64: naive %.2f GFLOP/s | blocked %.2f GFLOP/s "
+                "(%.2fx)\n",
+                gemm.naive_gflops, gemm.blocked_gflops,
+                Ratio(gemm.blocked_gflops, gemm.naive_gflops));
+  }
 
-  const ConvRow conv = BenchConvForward();
-  std::printf("backbone forward (3x96x96): %.2f ms (%.2f GFLOP/s)\n",
-              conv.forward_ms, conv.gflops);
+  const ConvRow conv = Enabled("conv") ? BenchConvForward() : ConvRow{};
+  if (Enabled("conv")) {
+    std::printf("backbone forward (3x96x96): %.2f ms (%.2f GFLOP/s)\n",
+                conv.forward_ms, conv.gflops);
+  }
 
-  const MultiSessionResult multi = BenchMultiSession();
-  std::printf("multi_session: %zu cameras, %zu frames, aggregate %.1f fps\n",
-              multi.sessions, multi.frames_total, multi.aggregate_fps);
-  for (const auto& stage : multi.stages) {
-    std::printf("  stage %-20s in %-5zu out %-5zu busy %.3fs\n",
-                stage.name.c_str(), stage.in, stage.out, stage.busy_seconds);
+  const MultiSessionResult multi =
+      Enabled("multi_session") ? BenchMultiSession() : MultiSessionResult{};
+  if (Enabled("multi_session")) {
+    std::printf("multi_session: %zu cameras, %zu frames, aggregate %.1f fps\n",
+                multi.sessions, multi.frames_total, multi.aggregate_fps);
+    for (const auto& stage : multi.stages) {
+      std::printf("  stage %-20s in %-5zu out %-5zu busy %.3fs\n",
+                  stage.name.c_str(), stage.in, stage.out, stage.busy_seconds);
+    }
+  }
+
+  const NnPlacementResult placement =
+      Enabled("nn_placement") ? BenchNnPlacement() : NnPlacementResult{};
+  if (Enabled("nn_placement")) {
+    std::printf("nn_placement (%zu layers):\n", placement.layer_count);
+    for (const auto& row : placement.rows) {
+      std::printf("  %-6s split %zu/%zu | %zu frames (%zu I) | %.3fs "
+                  "(%.2f ms/frame, predicted %.2f ms) | WAN %llu bytes\n",
+                  row.mode, row.split, placement.layer_count, row.frames,
+                  row.iframes, row.wall_seconds, row.latency_ms_per_frame,
+                  row.predicted_total_ms,
+                  static_cast<unsigned long long>(row.wan_bytes));
+    }
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -349,6 +538,7 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n"
                "  \"hardware_threads\": %u,\n"
+               "  \"scenarios\": \"%s\",\n"
                "  \"encode\": {\n"
                "    \"frames\": %zu,\n"
                "    \"reference_fps\": %.2f,\n"
@@ -378,14 +568,15 @@ int main(int argc, char** argv) {
                "    \"frames_total\": %zu,\n"
                "    \"aggregate_fps\": %.2f,\n"
                "    \"stages\": [",
-               hw, enc.frames, enc.reference_fps, enc.serial_fps,
-               enc.parallel_fps, enc.serial_fps / enc.reference_fps,
-               enc.parallel_fps / enc.reference_fps,
+               hw, g_scenarios.empty() ? "all" : g_scenarios.c_str(),
+               enc.frames, enc.reference_fps, enc.serial_fps,
+               enc.parallel_fps, Ratio(enc.serial_fps, enc.reference_fps),
+               Ratio(enc.parallel_fps, enc.reference_fps),
                enc.bit_identical ? "true" : "false", mot.reference_cand_per_s,
                mot.pruned_cand_per_s,
-               mot.pruned_cand_per_s / mot.reference_cand_per_s,
+               Ratio(mot.pruned_cand_per_s, mot.reference_cand_per_s),
                mot.identical ? "true" : "false", gemm.naive_gflops,
-               gemm.blocked_gflops, gemm.blocked_gflops / gemm.naive_gflops,
+               gemm.blocked_gflops, Ratio(gemm.blocked_gflops, gemm.naive_gflops),
                conv.forward_ms, conv.gflops, multi.sessions,
                multi.frames_total, multi.aggregate_fps);
   for (std::size_t i = 0; i < multi.stages.size(); ++i) {
@@ -395,6 +586,25 @@ int main(int argc, char** argv) {
                  "\"busy_seconds\": %.4f}",
                  i == 0 ? "" : ",", stage.name.c_str(), stage.in, stage.out,
                  stage.busy_seconds);
+  }
+  std::fprintf(f,
+               "\n    ]\n"
+               "  },\n"
+               "  \"nn_placement\": {\n"
+               "    \"layer_count\": %zu,\n"
+               "    \"plans\": [",
+               placement.layer_count);
+  for (std::size_t i = 0; i < placement.rows.size(); ++i) {
+    const auto& row = placement.rows[i];
+    std::fprintf(f,
+                 "%s\n      {\"mode\": \"%s\", \"split\": %zu, "
+                 "\"frames\": %zu, \"iframes\": %zu, "
+                 "\"wall_seconds\": %.4f, \"latency_ms_per_frame\": %.3f, "
+                 "\"predicted_total_ms\": %.3f, \"wan_bytes\": %llu}",
+                 i == 0 ? "" : ",", row.mode, row.split, row.frames,
+                 row.iframes, row.wall_seconds, row.latency_ms_per_frame,
+                 row.predicted_total_ms,
+                 static_cast<unsigned long long>(row.wan_bytes));
   }
   std::fprintf(f,
                "\n    ]\n"

@@ -18,7 +18,7 @@ int main() {
   nn::Network net = nn::MakeBackbone(96, 64, 123);
   std::printf("profiling backbone (%zu layers) on this machine...\n",
               net.LayerCount());
-  auto profile = net.MeasureLayerTimes(3);
+  auto profile = net.ProfileLayers(3);
 
   std::printf("%-24s %10s %12s\n", "layer", "edge ms", "activation");
   for (const auto& entry : profile) {

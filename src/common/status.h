@@ -63,6 +63,9 @@ class [[nodiscard]] Status {
   static Status Precondition(std::string msg) {
     return Status(ErrorCode::kFailedPrecondition, std::move(msg));
   }
+  static Status Exhausted(std::string msg) {
+    return Status(ErrorCode::kResourceExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(ErrorCode::kInternal, std::move(msg));
   }

@@ -13,8 +13,13 @@ Expected<SystemReport> SieveSystem::Run(const codec::EncodedVideo& video,
     return Status::Precondition("SieveSystem: classifier not fitted");
   }
 
+  // Legacy tier knob -> session placement plan: kCloud ships transcoded
+  // stills to a cloud-side classifier (split 0), kEdge runs the whole
+  // network at the edge (split N, nothing crosses the WAN).
   runtime::RuntimeConfig runtime_config;
-  runtime_config.nn_tier = config_.nn_tier;
+  runtime_config.default_placement = config_.nn_tier == NnTier::kEdge
+                                         ? runtime::PlacementMode::kEdge
+                                         : runtime::PlacementMode::kCloud;
   runtime_config.camera_to_edge = config_.camera_to_edge;
   runtime_config.edge_to_cloud = config_.edge_to_cloud;
   runtime_config.link_time_scale = config_.link_time_scale;

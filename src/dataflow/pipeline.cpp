@@ -2,11 +2,25 @@
 
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 
 #include "common/stopwatch.h"
 #include "runtime/executor.h"
 
 namespace sieve::dataflow {
+
+// Sequencing state of one ordered stage. Pops are serialized under
+// pop_mutex so the sequence numbers mirror the inbound queue order; emits
+// wait under emit_mutex until their turn, so the outbound queue sees the
+// inbound order even with N workers transforming concurrently. A filtered
+// item (transform returned nullopt) still advances the emit cursor.
+struct Pipeline::OrderedGate {
+  std::mutex pop_mutex;
+  std::mutex emit_mutex;
+  std::condition_variable emit_cv;
+  std::uint64_t next_pop = 0;
+  std::uint64_t next_emit = 0;
+};
 
 Pipeline::Pipeline(std::size_t queue_capacity, runtime::Executor* executor)
     : queue_capacity_(queue_capacity), executor_(executor) {}
@@ -47,12 +61,20 @@ void Pipeline::AddSource(std::string name, SourceFn source) {
 }
 
 void Pipeline::AddStage(std::string name, TransformFn transform,
-                        int parallelism) {
+                        int parallelism, bool ordered) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Same freeze contract as the source mutators: live workers index into
+  // stages_, so growing it mid-flight would race a vector reallocation.
+  assert(!started_ && "Pipeline: AddStage after Start()");
+  if (started_) return;
   stages_.push_back(StageSpec{std::move(name), std::move(transform),
-                              std::max(1, parallelism)});
+                              std::max(1, parallelism), ordered});
 }
 
 void Pipeline::SetSink(std::string name, SinkFn sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(!started_ && "Pipeline: SetSink after Start()");
+  if (started_) return;
   sink_name_ = std::move(name);
   sink_ = std::move(sink);
 }
@@ -93,25 +115,60 @@ Status Pipeline::Start() {
   // Transform stages: queue i -> queue i+1, with per-stage worker counts.
   // Each stage closes its output only after all its workers finish.
   live_workers_.reserve(stages_.size());
+  gates_.reserve(stages_.size());
   for (const auto& stage : stages_) {
     live_workers_.push_back(std::make_unique<std::atomic<int>>(stage.parallelism));
+    gates_.push_back(stage.ordered && stage.parallelism > 1
+                         ? std::make_unique<OrderedGate>()
+                         : nullptr);
   }
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     for (int w = 0; w < stages_[s].parallelism; ++w) {
       workers_.push_back(executor_->SpawnWorker([this, s] {
         BoundedQueue<FlowFile>& in = *queues_[s];
         BoundedQueue<FlowFile>& out = *queues_[s + 1];
+        OrderedGate* gate = gates_[s].get();
         std::size_t consumed = 0, emitted = 0;
         double busy = 0;
         Stopwatch watch;
         for (;;) {
-          std::optional<FlowFile> item = in.Pop();
+          std::optional<FlowFile> item;
+          std::uint64_t seq = 0;
+          if (gate != nullptr) {
+            // Serialize pop + sequence claim: seq order == queue order, so
+            // a worker can only ever wait on seqs other workers are already
+            // processing (no circular wait).
+            std::lock_guard<std::mutex> pop_lock(gate->pop_mutex);
+            item = in.Pop();
+            if (item) seq = gate->next_pop++;
+          } else {
+            item = in.Pop();
+          }
           if (!item) break;
           ++consumed;
           watch.Start();
           std::optional<FlowFile> result = stages_[s].transform(std::move(*item));
           busy += watch.ElapsedSeconds();
-          if (result) {
+          if (gate != nullptr) {
+            bool push_failed = false;
+            {
+              std::unique_lock<std::mutex> emit_lock(gate->emit_mutex);
+              gate->emit_cv.wait(emit_lock,
+                                 [&] { return gate->next_emit == seq; });
+              if (result) {
+                // The push happens under emit_mutex: emit order is pop
+                // order even when the outbound queue is contended.
+                if (out.Push(std::move(*result))) {
+                  ++emitted;
+                } else {
+                  push_failed = true;
+                }
+              }
+              ++gate->next_emit;
+            }
+            gate->emit_cv.notify_all();
+            if (push_failed) break;
+          } else if (result) {
             if (!out.Push(std::move(*result))) break;
             ++emitted;
           }

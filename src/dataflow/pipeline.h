@@ -76,7 +76,14 @@ class Pipeline {
   /// Add one of several sources; all sources fan into the first stage.
   /// Same pre-start contract as SetSource.
   void AddSource(std::string name, SourceFn source);
-  void AddStage(std::string name, TransformFn transform, int parallelism = 1);
+  /// Add a transform stage with `parallelism` workers. With `ordered` set,
+  /// a parallel stage emits items in exactly the order it consumed them
+  /// (workers claim a sequence number with their pop and wait their turn to
+  /// push), so downstream serial stages observe the inbound order — the
+  /// still-transcode tier uses this to scale workers without reordering any
+  /// camera's frames. ordered is a no-op at parallelism 1.
+  void AddStage(std::string name, TransformFn transform, int parallelism = 1,
+                bool ordered = false);
   void SetSink(std::string name, SinkFn sink);
 
   /// Batch mode: runs the flow to completion (sources exhausted, queues
@@ -111,7 +118,9 @@ class Pipeline {
     std::string name;
     TransformFn transform;
     int parallelism = 1;
+    bool ordered = false;
   };
+  struct OrderedGate;  ///< pop/emit sequencing state of an ordered stage
 
   void StartSourceLocked(SourceSpec& spec);
 
@@ -127,6 +136,7 @@ class Pipeline {
   bool finishing_ = false;
 
   std::vector<std::unique_ptr<BoundedQueue<FlowFile>>> queues_;
+  std::vector<std::unique_ptr<OrderedGate>> gates_;  ///< one per ordered stage
   std::vector<std::thread> workers_;            ///< stage + sink workers
   std::vector<StageStats> stage_stats_;         ///< stages..., sink
   std::mutex stats_mutex_;

@@ -11,7 +11,7 @@ FrameClassifier::FrameClassifier(ClassifierParams params)
       network_(MakeBackbone(params.input_size, params.embedding_dim,
                             params.seed)) {}
 
-std::vector<float> FrameClassifier::Embed(const media::Frame& frame) const {
+Tensor FrameClassifier::InputTensor(const media::Frame& frame) const {
   const int n = params_.input_size;
   const media::Frame resized =
       (frame.width() == n && frame.height() == n) ? frame
@@ -26,7 +26,11 @@ std::vector<float> FrameClassifier::Embed(const media::Frame& frame) const {
           float(resized.v().at_clamped(x / 2, y / 2)) / 255.0f - 0.5f;
     }
   }
-  return network_.Forward(input).values();
+  return input;
+}
+
+std::vector<float> FrameClassifier::Embed(const media::Frame& frame) const {
+  return network_.Forward(InputTensor(frame)).values();
 }
 
 Status FrameClassifier::Fit(const std::vector<media::Frame>& frames,
@@ -58,12 +62,11 @@ Status FrameClassifier::Fit(const std::vector<media::Frame>& frames,
   return Status::Ok();
 }
 
-Expected<synth::LabelSet> FrameClassifier::Predict(
-    const media::Frame& frame) const {
+Expected<synth::LabelSet> FrameClassifier::PredictFromEmbedding(
+    const std::vector<float>& embedding) const {
   if (centroids_.empty()) {
     return Status::Precondition("Predict: classifier not fitted");
   }
-  const std::vector<float> embedding = Embed(frame);
   double best = std::numeric_limits<double>::max();
   std::uint8_t best_key = 0;
   for (const auto& [key, centroid] : centroids_) {
@@ -74,6 +77,14 @@ Expected<synth::LabelSet> FrameClassifier::Predict(
     }
   }
   return synth::LabelSet(best_key);
+}
+
+Expected<synth::LabelSet> FrameClassifier::Predict(
+    const media::Frame& frame) const {
+  if (centroids_.empty()) {
+    return Status::Precondition("Predict: classifier not fitted");
+  }
+  return PredictFromEmbedding(Embed(frame));
 }
 
 double FrameClassifier::Evaluate(const std::vector<media::Frame>& frames,

@@ -39,8 +39,20 @@ class FrameClassifier {
  public:
   explicit FrameClassifier(ClassifierParams params = {});
 
+  /// Build the network input tensor for a frame (resize + YUV->3-channel
+  /// float). This is the first half of Embed; the runtime's edge tier uses
+  /// it to start a split forward pass (network().ForwardPrefix).
+  Tensor InputTensor(const media::Frame& frame) const;
+
   /// Embed one frame (resize + YUV->3-channel float + backbone).
   std::vector<float> Embed(const media::Frame& frame) const;
+
+  /// The centroid match alone: label set nearest to an already-computed
+  /// embedding. Predict(frame) == PredictFromEmbedding(Embed(frame)); the
+  /// runtime's cloud tier calls this after finishing a split forward pass
+  /// (network().ForwardSuffix on a received activation).
+  Expected<synth::LabelSet> PredictFromEmbedding(
+      const std::vector<float>& embedding) const;
 
   /// Calibrate centroids from labelled frames. `stride` subsamples the
   /// training video (every stride-th frame) to bound calibration cost.

@@ -18,6 +18,14 @@ Tensor Network::ForwardRange(const Tensor& input, std::size_t begin,
   return cur;
 }
 
+Shape Network::ShapeAtLayer(std::size_t split) const {
+  Shape shape = input_shape_;
+  for (std::size_t i = 0; i < split && i < layers_.size(); ++i) {
+    shape = layers_[i]->OutputShape(shape);
+  }
+  return shape;
+}
+
 std::vector<LayerProfile> Network::Profile() const {
   std::vector<LayerProfile> profile;
   profile.reserve(layers_.size());
@@ -34,7 +42,7 @@ std::vector<LayerProfile> Network::Profile() const {
   return profile;
 }
 
-std::vector<LayerProfile> Network::MeasureLayerTimes(int iterations) const {
+std::vector<LayerProfile> Network::ProfileLayers(int iterations) const {
   std::vector<LayerProfile> profile = Profile();
   Tensor input(input_shape_);
   // Deterministic non-trivial input so timings exercise real data paths.

@@ -21,7 +21,7 @@ struct LayerProfile {
   Shape output_shape;
   std::uint64_t macs = 0;           ///< multiply-accumulates
   std::size_t output_bytes = 0;     ///< activation size if cut after this layer
-  double measured_ms = 0.0;         ///< filled by MeasureLayerTimes
+  double measured_ms = 0.0;         ///< filled by ProfileLayers
 };
 
 class Network {
@@ -45,12 +45,34 @@ class Network {
   Tensor ForwardRange(const Tensor& input, std::size_t begin,
                       std::size_t end) const;
 
+  /// The edge half of a split forward pass: layers [0, split), returning the
+  /// cut-point activation. split == 0 returns the input unchanged (all-cloud
+  /// execution); split == LayerCount() runs the whole network at the edge.
+  Tensor ForwardPrefix(const Tensor& input, std::size_t split) const {
+    return ForwardRange(input, 0, split);
+  }
+
+  /// The cloud half: layers [split, N) applied to the (possibly
+  /// deserialized) cut-point activation. For every split,
+  /// ForwardSuffix(ForwardPrefix(x, k), k) is bit-identical to Forward(x) —
+  /// the layers run through the same in-place loop in the same order.
+  Tensor ForwardSuffix(const Tensor& activation, std::size_t split) const {
+    return ForwardRange(activation, split, layers_.size());
+  }
+
+  /// The activation shape entering layer `split` (== input_shape() at 0,
+  /// the final output shape at LayerCount()). What a received cut-point
+  /// activation must match before ForwardSuffix may run on it.
+  Shape ShapeAtLayer(std::size_t split) const;
+
   /// Static profile (shapes, MACs, activation bytes) for the configured
   /// input shape.
   std::vector<LayerProfile> Profile() const;
 
   /// Profile + wall-clock per-layer timing averaged over `iterations` runs.
-  std::vector<LayerProfile> MeasureLayerTimes(int iterations = 3) const;
+  /// This is the measured input the Neurosurgeon-style planner
+  /// (nn/partition.h) consumes as PartitionInput::profile.
+  std::vector<LayerProfile> ProfileLayers(int iterations = 3) const;
 
  private:
   Shape input_shape_;

@@ -1,7 +1,11 @@
-// Minimal dense tensor (float32, NCHW) for the inference engine.
+// Minimal dense tensor (float32, NCHW) for the inference engine, plus the
+// activation wire format used when a split forward pass ships its cut-point
+// tensor from the edge to the cloud tier.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +56,16 @@ class Tensor {
   Shape shape_;
   std::vector<float> data_;
 };
+
+/// Serialize a tensor to the "ACT1" activation wire format: magic (4 bytes),
+/// shape as three u32 (c, h, w), then the float32 payload, all little-endian.
+/// The roundtrip is bit-exact — a split forward pass produces the same
+/// embedding whether the activation crossed the wire or not.
+std::vector<std::uint8_t> SerializeTensor(const Tensor& tensor);
+
+/// Parse an "ACT1" activation. Rejects bad magic, truncated payloads, and
+/// shape/payload size mismatches with kCorruptData.
+Expected<Tensor> DeserializeTensor(std::span<const std::uint8_t> bytes);
 
 /// C = A(MxK) * B(KxN) written into a caller-provided row-major buffer.
 /// Cache-blocked with a register-tiled microkernel; matches GemmNaive to

@@ -5,8 +5,19 @@
 #include "codec/decoder.h"
 #include "codec/still.h"
 #include "media/image_ops.h"
+#include "nn/tensor.h"
 
 namespace sieve::runtime {
+
+namespace {
+
+// Flow-file "kind" attribute values: what the payload holds downstream of
+// the edge-NN stage. Missing attribute reads as a still (split 0).
+constexpr char kKindStill[] = "still";
+constexpr char kKindActivation[] = "act";
+constexpr char kKindLabel[] = "label";
+
+}  // namespace
 
 // ----------------------------------------------------------- SieveSession --
 
@@ -88,6 +99,9 @@ SessionReport SieveSession::Drain() {
                    : 0.0;
   report.camera_to_edge_bytes = st.camera_edge.meter().bytes();
   report.edge_to_cloud_bytes = st.edge_cloud_meter.bytes();
+  report.placement = st.plan.mode;
+  report.nn_split = st.plan.split;
+  report.predicted_total_ms = st.plan.predicted.total_ms;
   return report;
 }
 
@@ -139,7 +153,8 @@ void Runtime::BuildTiers() {
       });
 
   // --- Edge: decompress the I-frame like a still, resize to the NN input,
-  // and re-encode for the WAN --------------------------------------------
+  // and re-encode for the NN stage. Runs transcode_parallelism workers;
+  // the ordered flag keeps every camera's frames in push order downstream.
   pipeline_.AddStage(
       "edge/still-transcode",
       [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
@@ -164,16 +179,60 @@ void Runtime::BuildTiers() {
         dataflow::FlowFile out(codec::EncodeStill(resized, config_.still_qp));
         out.SetU64("frame", file.GetU64("frame").value_or(0));
         out.SetAttribute("camera", session->route);
+        out.SetAttribute("kind", kKindStill);
         return out;
       },
-      config_.transcode_parallelism);
+      config_.transcode_parallelism, /*ordered=*/true);
 
-  // --- Edge -> cloud WAN (shared hop, per-camera accounting) --------------
-  const bool cloud = config_.nn_tier == core::NnTier::kCloud;
+  // --- Edge: the session's share of the split forward pass ----------------
+  // split == 0: pass the still through; the cloud runs the whole network.
+  // 0 < split < N: run layers [0, split) and ship the serialized cut-point
+  //                activation instead of the still.
+  // split >= N: finish inference AND the centroid match here; only the
+  //             label crosses to the cloud tier (all-edge placement).
+  pipeline_.AddStage(
+      "edge/nn",
+      [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        auto session = FindSession(file);
+        if (!session) return std::nullopt;
+        const std::size_t split = session->plan.split;
+        if (split == 0) return file;
+        auto still = codec::DecodeStill(file.payload());
+        if (!still.ok()) {
+          session->Settle();
+          return std::nullopt;
+        }
+        const nn::Tensor input = classifier_->InputTensor(*still);
+        const std::size_t layers = classifier_->network().LayerCount();
+        dataflow::FlowFile out;
+        if (split >= layers) {
+          auto labels = classifier_->PredictFromEmbedding(
+              classifier_->network().Forward(input).values());
+          if (!labels.ok()) {
+            session->Settle();
+            return std::nullopt;
+          }
+          out.SetAttribute("kind", kKindLabel);
+          out.SetU64("label_bits", labels->bits());
+        } else {
+          out.payload() =
+              nn::SerializeTensor(classifier_->network().ForwardPrefix(input, split));
+          out.SetAttribute("kind", kKindActivation);
+          out.SetU64("split", split);
+        }
+        out.SetU64("frame", file.GetU64("frame").value_or(0));
+        out.SetAttribute("camera", session->route);
+        return out;
+      });
+
+  // --- Edge -> cloud WAN (shared hop, per-camera accounting). Labels from
+  // all-edge sessions ride out-of-band (the old kEdge tier's contract:
+  // nothing metered); stills and activations pay their real byte cost. ----
   pipeline_.AddStage(
       "wan",
-      [this, cloud](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
-        if (cloud) {
+      [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        const auto kind = file.GetAttribute("kind");
+        if (!kind || *kind != kKindLabel) {
           edge_cloud_.Transfer(file.size());
           if (auto session = FindSession(file)) {
             session->edge_cloud_meter.Record(file.size());
@@ -182,28 +241,84 @@ void Runtime::BuildTiers() {
         return file;
       });
 
-  // --- NN inference + per-camera results DB -------------------------------
-  pipeline_.SetSink("nn/classify", [this](dataflow::FlowFile file) {
+  // --- Cloud: finish the session's split (suffix layers + centroid match,
+  // or just record an edge-computed label) + per-camera results DB ---------
+  pipeline_.SetSink("cloud/nn", [this](dataflow::FlowFile file) {
     auto session = FindSession(file);
     if (!session) return;
-    auto still = codec::DecodeStill(file.payload());
-    if (!still.ok()) {
-      session->Settle();
-      return;
-    }
-    auto labels = classifier_->Predict(*still);
-    if (!labels.ok()) {
-      session->Settle();
-      return;
+    const std::string kind = file.GetAttribute("kind").value_or(kKindStill);
+    synth::LabelSet labels;
+    if (kind == kKindLabel) {
+      // A label file without its bits is malformed: drop it like every
+      // other corrupt payload instead of recording an empty label set.
+      const auto bits = file.GetU64("label_bits");
+      if (!bits) {
+        session->Settle();
+        return;
+      }
+      labels = synth::LabelSet(std::uint8_t(*bits));
+    } else if (kind == kKindActivation) {
+      auto activation = nn::DeserializeTensor(file.payload());
+      if (!activation.ok()) {
+        session->Settle();
+        return;
+      }
+      // The split rides the wire as an attribute: verify the activation's
+      // shape really is what layer `split` consumes before running layers
+      // on it (a mismatched pair would index out of bounds in Release).
+      const std::size_t split = std::size_t(file.GetU64("split").value_or(0));
+      if (split > classifier_->network().LayerCount() ||
+          !(activation->shape() == classifier_->network().ShapeAtLayer(split))) {
+        session->Settle();
+        return;
+      }
+      auto predicted = classifier_->PredictFromEmbedding(
+          classifier_->network().ForwardSuffix(*activation, split).values());
+      if (!predicted.ok()) {
+        session->Settle();
+        return;
+      }
+      labels = *predicted;
+    } else {
+      auto still = codec::DecodeStill(file.payload());
+      if (!still.ok()) {
+        session->Settle();
+        return;
+      }
+      auto predicted = classifier_->Predict(*still);
+      if (!predicted.ok()) {
+        session->Settle();
+        return;
+      }
+      labels = *predicted;
     }
     {
       std::lock_guard<std::mutex> lock(session->mutex);
       session->db.Insert(std::size_t(file.GetU64("frame").value_or(0)),
-                         *labels);
+                         labels);
     }
     session->labels.fetch_add(1, std::memory_order_relaxed);
     session->Settle();
   });
+}
+
+nn::PartitionInput Runtime::PlannerInput(const SessionConfig& config) {
+  const net::LinkModel wan = config.wan_hint.value_or(config_.edge_to_cloud);
+  std::lock_guard<std::mutex> lock(planner_mutex_);
+  if (planner_profile_.empty()) {
+    nn::PartitionInput measured =
+        MeasurePlannerInput(*classifier_, config_.nn_input_size,
+                            config_.still_qp, wan, config_.cloud_speedup);
+    planner_profile_ = std::move(measured.profile);
+    planner_still_bytes_ = measured.input_bytes;
+  }
+  nn::PartitionInput input;
+  input.profile = planner_profile_;
+  input.input_bytes = planner_still_bytes_;
+  input.cloud_speedup = config_.cloud_speedup;
+  input.bandwidth_mbps = wan.bandwidth_mbps;
+  input.rtt_ms = wan.rtt_ms;
+  return input;
 }
 
 Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
@@ -216,6 +331,18 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
       config.height % 2 != 0) {
     return Status::Invalid("OpenSession: dimensions must be positive and even");
   }
+
+  // Resolve the placement before taking the registry lock: a kAuto open may
+  // measure the layer profile (a few forward passes).
+  PlacementMode mode = config.placement == PlacementMode::kDefault
+                           ? config_.default_placement
+                           : config.placement;
+  if (mode == PlacementMode::kDefault) mode = PlacementMode::kCloud;
+  const PlacementPlan plan = ResolvePlacement(
+      mode,
+      mode == PlacementMode::kAuto ? PlannerInput(config) : nn::PartitionInput{},
+      classifier_->network().LayerCount(), config.fixed_split);
+
   std::shared_ptr<internal::SessionState> state;
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
@@ -230,6 +357,27 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
       return Status::Invalid("OpenSession: camera id '" + camera_id +
                              "' is still open");
     }
+    // Admission control: count what is actually open right now.
+    std::size_t open_sessions = 0;
+    double pixel_rate = 0.0;
+    for (const auto& [id, st] : by_id_) {
+      if (st->closed.load(std::memory_order_acquire)) continue;
+      ++open_sessions;
+      pixel_rate += double(st->header.width) * double(st->header.height) *
+                    st->header.fps;
+    }
+    if (config_.max_sessions != 0 && open_sessions >= config_.max_sessions) {
+      return Status::Exhausted("OpenSession: max_sessions (" +
+                               std::to_string(config_.max_sessions) +
+                               ") already open");
+    }
+    const double session_rate =
+        double(config.width) * double(config.height) * config.fps;
+    if (config_.max_aggregate_pixel_rate > 0.0 &&
+        pixel_rate + session_rate > config_.max_aggregate_pixel_rate) {
+      return Status::Exhausted(
+          "OpenSession: aggregate pixel rate budget exhausted");
+    }
     const std::string route =
         camera_id + "#" + std::to_string(++session_seq_);
     const codec::ContainerHeader header{config.width, config.height, config.fps,
@@ -237,6 +385,7 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
     state = std::make_shared<internal::SessionState>(
         camera_id, route, header, config.queue_capacity,
         config_.camera_to_edge, config_.link_time_scale);
+    state->plan = plan;
     routes_.emplace(route, state);
     by_id_[camera_id] = state;
   }

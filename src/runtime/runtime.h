@@ -16,10 +16,13 @@
 // Each session owns a camera-side StreamingEncoder (motion estimation runs
 // on the shared executor), a bounded per-camera ingress queue (its private
 // backpressure domain: a slow edge stalls that camera's PushFrame, nothing
-// else), a LAN link model, and a ResultsDatabase. The encoded frames of all
-// sessions fan into one edge chain via the pipeline's multi-source fan-in;
-// per-frame "camera" attributes route edge decode parameters and cloud
-// results back to the owning session. The legacy single-shot
+// else), a LAN link model, a ResultsDatabase, and a PlacementPlan deciding
+// where its classifier runs (all-edge / all-cloud / split at a layer chosen
+// by the Neurosurgeon-style planner — see runtime/placement.h); sessions
+// with different plans run concurrently on one Runtime. The encoded frames
+// of all sessions fan into one edge chain via the pipeline's multi-source
+// fan-in; per-frame "camera" attributes route edge decode parameters and
+// cloud results back to the owning session. The legacy single-shot
 // core::SieveSystem::Run is a thin wrapper over a one-session Runtime.
 #pragma once
 
@@ -29,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -43,21 +47,34 @@
 #include "net/link.h"
 #include "nn/classifier.h"
 #include "runtime/executor.h"
+#include "runtime/placement.h"
 
 namespace sieve::runtime {
 
 /// Shared-tier configuration (what core::SystemConfig configured per run).
 struct RuntimeConfig {
-  core::NnTier nn_tier = core::NnTier::kCloud;
+  /// Placement applied to sessions that open with PlacementMode::kDefault.
+  /// Must not itself be kDefault (treated as kCloud). The legacy
+  /// core::NnTier knob maps onto this: kCloud -> kCloud, kEdge -> kEdge.
+  PlacementMode default_placement = PlacementMode::kCloud;
   net::LinkModel camera_to_edge = net::LinkModel::Lan();
   net::LinkModel edge_to_cloud = net::LinkModel::Wan();
   /// Wall-clock scale for link waits (0 = account bytes but never sleep;
   /// 1 = real time). Tests compress time; demos use small nonzero values.
   double link_time_scale = 0.0;
+  /// Planner input for kAuto sessions: cloud compute speed relative to the
+  /// edge (nn::PartitionInput::cloud_speedup).
+  double cloud_speedup = 3.0;
   int nn_input_size = 96;   ///< classifier input (even)
   int still_qp = 26;
   std::size_t queue_capacity = 8;  ///< edge-chain connection bound
-  int transcode_parallelism = 1;   ///< still-transcode worker count
+  int transcode_parallelism = 1;   ///< still-transcode workers (order-kept)
+  /// Admission control: maximum concurrently open sessions (0 = unlimited).
+  /// Over-capacity OpenSession calls fail with kResourceExhausted.
+  std::size_t max_sessions = 0;
+  /// Admission control: cap on the summed width*height*fps of open sessions
+  /// (pixels/second, 0 = unlimited) — the edge tier's decode budget.
+  double max_aggregate_pixel_rate = 0.0;
 };
 
 /// Per-camera configuration.
@@ -71,6 +88,17 @@ struct SessionConfig {
   /// for frames pushed pre-encoded.
   codec::EncoderParams encoder;
   std::size_t queue_capacity = 8;  ///< per-camera ingress bound (backpressure)
+  /// Where this camera's classifier runs (kDefault follows the runtime's
+  /// default_placement). kAuto asks the Neurosurgeon-style planner to pick
+  /// the latency-optimal layer split at OpenSession time; kFixed pins
+  /// `fixed_split` directly.
+  PlacementMode placement = PlacementMode::kDefault;
+  /// The pinned layer split for kFixed (clamped to [0, LayerCount()]).
+  std::size_t fixed_split = 0;
+  /// Planner-only override of the WAN model for this session (a camera
+  /// behind a weaker uplink than RuntimeConfig::edge_to_cloud). Activation
+  /// bytes still cross the runtime's shared realized WAN hop.
+  std::optional<net::LinkModel> wan_hint;
 };
 
 /// Per-camera outcome, returned by SieveSession::Drain().
@@ -82,7 +110,15 @@ struct SessionReport {
   double wall_seconds = 0.0;         ///< open -> drained
   double fps = 0.0;                  ///< frames_pushed / wall_seconds
   std::uint64_t camera_to_edge_bytes = 0;
+  /// What actually crossed the WAN for this camera: transcoded stills for
+  /// split 0, serialized cut-point activations for an intermediate split,
+  /// nothing for all-edge execution (labels travel out-of-band).
   std::uint64_t edge_to_cloud_bytes = 0;
+  PlacementMode placement = PlacementMode::kCloud;  ///< resolved mode
+  std::size_t nn_split = 0;  ///< layers [0, split) ran at the edge
+  /// The planner's predicted end-to-end latency at the chosen split — the
+  /// exact model that drove the decision. Nonzero only for kAuto sessions.
+  double predicted_total_ms = 0.0;
 };
 
 namespace internal {
@@ -112,6 +148,7 @@ struct SessionState {
                             ///< lets a reconnecting camera reuse its id while
                             ///< in-flight frames still reach the old session
   const codec::ContainerHeader header;  ///< edge decode parameters
+  PlacementPlan plan;  ///< set once at OpenSession, read by every tier
   dataflow::BoundedQueue<dataflow::FlowFile> camera_queue;
   net::RealizedLink camera_edge;     ///< this camera's LAN hop
   net::ByteMeter edge_cloud_meter;   ///< this camera's share of the WAN
@@ -211,7 +248,8 @@ class Runtime {
 
   /// Close every session's intake, drain the tiers, stop the workers, and
   /// return shared-tier statistics (sources in open order, then seeker,
-  /// transcode, wan, classify). One-shot; the destructor calls it if needed.
+  /// still-transcode, edge/nn, wan, cloud/nn). One-shot; the destructor
+  /// calls it if needed.
   Expected<std::vector<dataflow::StageStats>> Shutdown();
 
   Executor& executor() const noexcept { return *executor_; }
@@ -223,6 +261,10 @@ class Runtime {
   std::shared_ptr<internal::SessionState> FindSession(
       const dataflow::FlowFile& file);
   void BuildTiers();
+  /// Planner input for a kAuto session: the lazily measured per-layer
+  /// profile (cached across sessions), the session's WAN model, and the
+  /// measured size of a transcoded still (what split 0 ships).
+  nn::PartitionInput PlannerInput(const SessionConfig& config);
 
   RuntimeConfig config_;
   const nn::FrameClassifier* classifier_;
@@ -230,6 +272,12 @@ class Runtime {
   net::RealizedLink edge_cloud_;  ///< the shared WAN hop
   dataflow::Pipeline pipeline_;
   Status start_status_;
+
+  // kAuto planner cache: measuring per-layer latencies costs a few forward
+  // passes, so the first auto session pays it and the rest reuse it.
+  std::mutex planner_mutex_;
+  std::vector<nn::LayerProfile> planner_profile_;
+  std::size_t planner_still_bytes_ = 0;
 
   // Reader-writer registry: every stage routes every frame through
   // FindSession (shared lock), while OpenSession/Shutdown mutations are

@@ -4,9 +4,12 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
+#include <vector>
 
 namespace sieve::dataflow {
 namespace {
@@ -263,6 +266,70 @@ TEST(Pipeline, StreamingAttachWhileRunning) {
   ASSERT_EQ(stats->size(), 3u);  // two sources + sink
   EXPECT_FALSE(p.AttachSource("late", [] { return std::nullopt; }).ok());
   EXPECT_FALSE(p.Finish().ok()) << "Finish is one-shot";
+}
+
+TEST(Pipeline, OrderedParallelStagePreservesInputOrder) {
+  // Workers get adversarial per-item delays (later items finish sooner), so
+  // an unordered parallel stage would almost surely reorder; the ordered
+  // flag must deliver the exact input sequence anyway.
+  constexpr std::size_t kItems = 200;
+  Pipeline p(/*queue_capacity=*/8);
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < kItems) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage(
+      "jitter",
+      [](FlowFile f) -> std::optional<FlowFile> {
+        const std::uint64_t n = f.GetU64("n").value_or(0);
+        std::this_thread::sleep_for(std::chrono::microseconds((3 - n % 4) * 400));
+        return f;
+      },
+      /*parallelism=*/4, /*ordered=*/true);
+  std::vector<std::uint64_t> order;
+  std::mutex order_mutex;
+  p.SetSink("sink", [&](FlowFile f) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(f.GetU64("n").value_or(0));
+  });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(order.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(order[i], i) << "ordered stage emitted out of order";
+  }
+}
+
+TEST(Pipeline, OrderedStageStillFilters) {
+  constexpr std::size_t kItems = 120;
+  Pipeline p(/*queue_capacity=*/4);
+  std::size_t produced = 0;
+  p.SetSource("src", [&produced]() -> std::optional<FlowFile> {
+    if (produced < kItems) return NumberedFile(produced++);
+    return std::nullopt;
+  });
+  p.AddStage(
+      "drop-odd",
+      [](FlowFile f) -> std::optional<FlowFile> {
+        const std::uint64_t n = f.GetU64("n").value_or(0);
+        std::this_thread::sleep_for(std::chrono::microseconds((n % 3) * 300));
+        if (n % 2 == 1) return std::nullopt;  // dropped items advance the gate
+        return f;
+      },
+      /*parallelism=*/3, /*ordered=*/true);
+  std::vector<std::uint64_t> order;
+  std::mutex order_mutex;
+  p.SetSink("sink", [&](FlowFile f) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(f.GetU64("n").value_or(0));
+  });
+  auto stats = p.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(order.size(), kItems / 2);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(order[i], 2 * i);
+  }
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ TEST(Network, ProfileMacsDominatedByConvs) {
 
 TEST(Network, MeasuredTimesArePositive) {
   Network net = MakeBackbone(32, 16, 6);
-  const auto profile = net.MeasureLayerTimes(1);
+  const auto profile = net.ProfileLayers(1);
   double total = 0;
   for (const auto& entry : profile) total += entry.measured_ms;
   EXPECT_GT(total, 0.0);

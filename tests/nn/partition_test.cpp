@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <utility>
+
 namespace sieve::nn {
 namespace {
 
@@ -98,6 +101,64 @@ TEST(Partition, TransferBytesFollowCutPoint) {
   EXPECT_EQ(points[1].transfer_bytes, 1000000u);  // after conv1
   EXPECT_EQ(points[2].transfer_bytes, 100000u);   // after conv2
   EXPECT_EQ(points[3].transfer_bytes, 256u);      // final result
+}
+
+// Golden check: ChooseSplit against an independent brute-force evaluation
+// of the Neurosurgeon objective, re-derived from first principles in the
+// test (not via EvaluateSplits), under several link models.
+TEST(Partition, ChooseSplitMatchesBruteForceUnderSeveralLinks) {
+  // A handful of profiles with different shapes: monotone shrinking
+  // activations, a mid bulge, and a heavy tail.
+  const std::vector<std::vector<std::pair<double, std::size_t>>> profiles = {
+      {{5.0, 800000}, {7.0, 300000}, {9.0, 60000}, {2.0, 128}},
+      {{1.0, 50000}, {3.0, 900000}, {2.0, 900000}, {8.0, 4000}, {1.0, 64}},
+      {{20.0, 10000}, {0.5, 9000}, {0.5, 8000}, {40.0, 7000}},
+  };
+  const std::vector<std::pair<double, double>> links = {
+      {30.0, 20.0},    // the paper's WAN
+      {1.0, 150.0},    // congested cellular
+      {1000.0, 1.0},   // LAN-grade
+      {0.05, 500.0},   // nearly dead
+  };
+  for (const auto& rows : profiles) {
+    for (const auto& [bandwidth, rtt] : links) {
+      PartitionInput input;
+      for (const auto& [ms, bytes] : rows) {
+        LayerProfile layer;
+        layer.measured_ms = ms;
+        layer.output_bytes = bytes;
+        input.profile.push_back(layer);
+      }
+      input.cloud_speedup = 5.0;
+      input.bandwidth_mbps = bandwidth;
+      input.rtt_ms = rtt;
+      input.input_bytes = 1500000;
+
+      // Brute force, from the model's definition.
+      const std::size_t n = rows.size();
+      double best_total = std::numeric_limits<double>::max();
+      std::size_t best_split = 0;
+      for (std::size_t k = 0; k <= n; ++k) {
+        double edge = 0.0, rest = 0.0;
+        for (std::size_t i = 0; i < k; ++i) edge += rows[i].first;
+        for (std::size_t i = k; i < n; ++i) rest += rows[i].first;
+        const std::size_t wire_bytes =
+            k == 0 ? input.input_bytes : rows[k - 1].second;
+        const double transfer =
+            rtt + double(wire_bytes) * 8.0 / (bandwidth * 1e6) * 1e3;
+        const double total = edge + transfer + rest / input.cloud_speedup;
+        if (total < best_total) {
+          best_total = total;
+          best_split = k;
+        }
+      }
+
+      const PartitionPoint chosen = ChooseSplit(input);
+      EXPECT_EQ(chosen.split, best_split)
+          << "bandwidth " << bandwidth << " rtt " << rtt;
+      EXPECT_NEAR(chosen.total_ms, best_total, 1e-9);
+    }
+  }
 }
 
 TEST(Partition, EmptyProfileIsAllCloud) {

@@ -1,0 +1,124 @@
+// Split-execution equivalence: for every cut point k, running the prefix at
+// the "edge", serializing the activation across the "wire", and finishing
+// with the suffix must reproduce the monolithic forward pass bit for bit —
+// the acceptance criterion of the per-session NN placement subsystem.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nn/classifier.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "synth/scene.h"
+
+namespace sieve::nn {
+namespace {
+
+Tensor DeterministicInput(Shape shape) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.values()[i] = float(int(i % 251) - 125) / 125.0f;
+  }
+  return t;
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) return false;
+  return std::memcmp(a.data(), b.data(), a.shape().bytes()) == 0;
+}
+
+TEST(SplitExecution, TensorSerializationRoundTripsExactly) {
+  const Tensor original = DeterministicInput(Shape{5, 7, 3});
+  const std::vector<std::uint8_t> wire = SerializeTensor(original);
+  // Magic + 3 x u32 shape + f32 payload.
+  EXPECT_EQ(wire.size(), 16u + original.shape().bytes());
+  auto restored = DeserializeTensor(wire);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(BitIdentical(original, *restored));
+}
+
+TEST(SplitExecution, DeserializeRejectsCorruptInput) {
+  const std::vector<std::uint8_t> wire =
+      SerializeTensor(DeterministicInput(Shape{2, 4, 4}));
+
+  std::vector<std::uint8_t> bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeTensor(bad_magic).ok());
+
+  std::vector<std::uint8_t> truncated(wire.begin(), wire.end() - 5);
+  EXPECT_FALSE(DeserializeTensor(truncated).ok());
+
+  std::vector<std::uint8_t> short_header(wire.begin(), wire.begin() + 9);
+  EXPECT_FALSE(DeserializeTensor(short_header).ok());
+
+  EXPECT_FALSE(DeserializeTensor({}).ok());
+
+  // Overflowing shape: c=2^30, h=2^30, w=16 wraps elements() to 0, which
+  // would match an empty payload if dimensions went unchecked.
+  std::vector<std::uint8_t> overflow = {'A', 'C', 'T', '1',
+                                        0, 0, 0, 0x40,   // c = 2^30
+                                        0, 0, 0, 0x40,   // h = 2^30
+                                        16, 0, 0, 0};    // w = 16
+  EXPECT_FALSE(DeserializeTensor(overflow).ok());
+
+  // Zero-sized dimensions are implausible activations, not empty tensors.
+  std::vector<std::uint8_t> zero_dim = {'A', 'C', 'T', '1', 0, 0, 0, 0,
+                                        1, 0, 0, 0, 1, 0, 0, 0};
+  EXPECT_FALSE(DeserializeTensor(zero_dim).ok());
+}
+
+TEST(SplitExecution, EverySplitMatchesMonolithicForward) {
+  const Network net = MakeBackbone(32, 16, 0xC0FFEEull);
+  const Tensor input = DeterministicInput(net.input_shape());
+  const Tensor monolithic = net.Forward(input);
+
+  for (std::size_t k = 0; k <= net.LayerCount(); ++k) {
+    const Tensor activation = net.ForwardPrefix(input, k);
+    EXPECT_EQ(activation.shape(), net.ShapeAtLayer(k))
+        << "split " << k << ": cut-point shape mismatch";
+    auto wired = DeserializeTensor(SerializeTensor(activation));
+    ASSERT_TRUE(wired.ok()) << "split " << k;
+    const Tensor out = net.ForwardSuffix(*wired, k);
+    EXPECT_TRUE(BitIdentical(monolithic, out))
+        << "split " << k << ": partitioned forward diverged";
+  }
+}
+
+TEST(SplitExecution, ClassifierPredictionsIdenticalAtEverySplit) {
+  synth::SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.num_frames = 60;
+  cfg.seed = 99;
+  cfg.mean_gap_seconds = 0.6;
+  cfg.min_gap_seconds = 0.3;
+  cfg.mean_dwell_seconds = 0.8;
+  cfg.min_dwell_seconds = 0.4;
+  const synth::SyntheticVideo scene = synth::GenerateScene(cfg);
+
+  ClassifierParams params;
+  params.input_size = 32;
+  params.embedding_dim = 16;
+  FrameClassifier classifier(params);
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 6).ok());
+
+  const Network& net = classifier.network();
+  for (std::size_t f = 0; f < scene.video.frames.size(); f += 11) {
+    const media::Frame& frame = scene.video.frames[f];
+    auto monolithic = classifier.Predict(frame);
+    ASSERT_TRUE(monolithic.ok());
+    const Tensor input = classifier.InputTensor(frame);
+    for (std::size_t k = 0; k <= net.LayerCount(); ++k) {
+      auto wired = DeserializeTensor(SerializeTensor(net.ForwardPrefix(input, k)));
+      ASSERT_TRUE(wired.ok());
+      auto split = classifier.PredictFromEmbedding(
+          net.ForwardSuffix(*wired, k).values());
+      ASSERT_TRUE(split.ok());
+      EXPECT_EQ(split->bits(), monolithic->bits())
+          << "frame " << f << " split " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sieve::nn

@@ -1,0 +1,87 @@
+// Plan resolution: fixed modes pin the split, kAuto delegates to the
+// Neurosurgeon-style planner, kDefault degrades to all-cloud.
+#include "runtime/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace sieve::runtime {
+namespace {
+
+nn::PartitionInput PlannerWith(double bandwidth_mbps, double rtt_ms) {
+  nn::PartitionInput input;
+  input.profile.resize(4);
+  input.profile[0].measured_ms = 4.0;
+  input.profile[0].output_bytes = 500000;
+  input.profile[1].measured_ms = 6.0;
+  input.profile[1].output_bytes = 120000;
+  input.profile[2].measured_ms = 8.0;
+  input.profile[2].output_bytes = 20000;
+  input.profile[3].measured_ms = 1.0;
+  input.profile[3].output_bytes = 64;
+  input.cloud_speedup = 4.0;
+  input.bandwidth_mbps = bandwidth_mbps;
+  input.rtt_ms = rtt_ms;
+  input.input_bytes = 3000;  // a transcoded still is small
+  return input;
+}
+
+TEST(Placement, FixedModesIgnoreThePlanner) {
+  const PlacementPlan edge = ResolvePlacement(PlacementMode::kEdge, {}, 13);
+  EXPECT_EQ(edge.mode, PlacementMode::kEdge);
+  EXPECT_EQ(edge.split, 13u);
+
+  const PlacementPlan cloud = ResolvePlacement(PlacementMode::kCloud, {}, 13);
+  EXPECT_EQ(cloud.mode, PlacementMode::kCloud);
+  EXPECT_EQ(cloud.split, 0u);
+}
+
+TEST(Placement, DefaultResolvesAsCloud) {
+  const PlacementPlan plan = ResolvePlacement(PlacementMode::kDefault, {}, 13);
+  EXPECT_EQ(plan.mode, PlacementMode::kCloud);
+  EXPECT_EQ(plan.split, 0u);
+}
+
+TEST(Placement, AutoPicksThePlannerOptimum) {
+  const nn::PartitionInput planner = PlannerWith(30.0, 20.0);
+  const PlacementPlan plan =
+      ResolvePlacement(PlacementMode::kAuto, planner, planner.profile.size());
+  EXPECT_EQ(plan.mode, PlacementMode::kAuto);
+
+  const auto points = nn::EvaluateSplits(planner);
+  ASSERT_EQ(plan.split, nn::ChooseSplit(planner).split);
+  for (const auto& point : points) {
+    EXPECT_LE(plan.predicted.total_ms, point.total_ms + 1e-12);
+  }
+}
+
+TEST(Placement, AutoFollowsTheLink) {
+  // A cheap-to-ship still and a fast cloud: shipping the input wins.
+  const nn::PartitionInput fast = PlannerWith(1000.0, 0.5);
+  EXPECT_EQ(ResolvePlacement(PlacementMode::kAuto, fast, 4).split, 0u);
+
+  // A dead link: everything stays at the edge.
+  const nn::PartitionInput dead = PlannerWith(0.01, 2000.0);
+  EXPECT_EQ(ResolvePlacement(PlacementMode::kAuto, dead, 4).split, 4u);
+}
+
+TEST(Placement, FixedSplitIsClampedToLayerCount) {
+  const PlacementPlan mid =
+      ResolvePlacement(PlacementMode::kFixed, {}, 13, 5);
+  EXPECT_EQ(mid.mode, PlacementMode::kFixed);
+  EXPECT_EQ(mid.split, 5u);
+
+  const PlacementPlan clamped =
+      ResolvePlacement(PlacementMode::kFixed, {}, 13, 99);
+  EXPECT_EQ(clamped.split, 13u);
+}
+
+TEST(Placement, ModeNamesAreStable) {
+  EXPECT_STREQ(PlacementModeName(PlacementMode::kDefault), "default");
+  EXPECT_STREQ(PlacementModeName(PlacementMode::kEdge), "edge");
+  EXPECT_STREQ(PlacementModeName(PlacementMode::kCloud), "cloud");
+  EXPECT_STREQ(PlacementModeName(PlacementMode::kAuto), "auto");
+  EXPECT_STREQ(PlacementModeName(PlacementMode::kFixed), "fixed");
+}
+
+}  // namespace
+}  // namespace sieve::runtime

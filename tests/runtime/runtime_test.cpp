@@ -93,11 +93,11 @@ TEST_F(RuntimeTest, SingleSessionStreamsToItsDatabase) {
 
   auto stats = runtime.Shutdown();
   ASSERT_TRUE(stats.ok());
-  // One source + seeker, transcode, wan, classify.
-  ASSERT_EQ(stats->size(), 5u);
+  // One source + seeker, transcode, edge-nn, wan, cloud-nn.
+  ASSERT_EQ(stats->size(), 6u);
   EXPECT_EQ(stats->front().name, "gate");
   EXPECT_EQ(stats->front().out, report.frames_pushed);
-  EXPECT_EQ(stats->back().name, "nn/classify");
+  EXPECT_EQ(stats->back().name, "cloud/nn");
   EXPECT_EQ(stats->back().in, report.iframes_selected);
 }
 
@@ -200,6 +200,166 @@ TEST_F(RuntimeTest, ConcurrentSessionsAreIsolated) {
   }
   (void)(*solo)->Drain();
   EXPECT_EQ((*a)->db().rows(), (*solo)->db().rows());
+}
+
+TEST_F(RuntimeTest, AdmissionControlCapsSessionCount) {
+  RuntimeConfig config = SmallConfig();
+  config.max_sessions = 2;
+  Runtime runtime(config, classifier_);
+
+  auto a = runtime.OpenSession("a", SceneSession());
+  auto b = runtime.OpenSession("b", SceneSession());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = runtime.OpenSession("c", SceneSession());
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), ErrorCode::kResourceExhausted);
+
+  // Closing a session frees its slot.
+  (void)(*a)->Drain();
+  auto reopened = runtime.OpenSession("c", SceneSession());
+  EXPECT_TRUE(reopened.ok());
+}
+
+TEST_F(RuntimeTest, AdmissionControlCapsAggregatePixelRate) {
+  RuntimeConfig config = SmallConfig();
+  // Budget for exactly one 64x48@30 camera (92160 px/s) plus slack.
+  config.max_aggregate_pixel_rate = 64 * 48 * 30.0 * 1.5;
+  Runtime runtime(config, classifier_);
+
+  auto a = runtime.OpenSession("a", SceneSession());
+  ASSERT_TRUE(a.ok());
+  auto b = runtime.OpenSession("b", SceneSession());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), ErrorCode::kResourceExhausted);
+
+  // A lighter camera still fits under the remaining budget.
+  SessionConfig light = SceneSession();
+  light.fps = 10.0;
+  EXPECT_TRUE(runtime.OpenSession("light", light).ok());
+}
+
+TEST_F(RuntimeTest, PerSessionPlacementsProduceIdenticalResults) {
+  // One runtime, three cameras, three different plans: placement is a
+  // deployment choice, never a semantic one. All three dbs must agree with
+  // each other (identical feed + bit-identical split execution).
+  Runtime runtime(SmallConfig(), classifier_);
+
+  SessionConfig edge_cfg = SceneSession();
+  edge_cfg.placement = PlacementMode::kEdge;
+  SessionConfig cloud_cfg = SceneSession();
+  cloud_cfg.placement = PlacementMode::kCloud;
+  SessionConfig auto_cfg = SceneSession();
+  auto_cfg.placement = PlacementMode::kAuto;
+
+  auto edge = runtime.OpenSession("edge-cam", edge_cfg);
+  auto cloud = runtime.OpenSession("cloud-cam", cloud_cfg);
+  auto autos = runtime.OpenSession("auto-cam", auto_cfg);
+  ASSERT_TRUE(edge.ok());
+  ASSERT_TRUE(cloud.ok());
+  ASSERT_TRUE(autos.ok());
+
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*edge)->PushFrame(frame).ok());
+    ASSERT_TRUE((*cloud)->PushFrame(frame).ok());
+    ASSERT_TRUE((*autos)->PushFrame(frame).ok());
+  }
+  const SessionReport edge_report = (*edge)->Drain();
+  const SessionReport cloud_report = (*cloud)->Drain();
+  const SessionReport auto_report = (*autos)->Drain();
+
+  const std::size_t layers = classifier_->network().LayerCount();
+  EXPECT_EQ(edge_report.placement, PlacementMode::kEdge);
+  EXPECT_EQ(edge_report.nn_split, layers);
+  EXPECT_EQ(cloud_report.placement, PlacementMode::kCloud);
+  EXPECT_EQ(cloud_report.nn_split, 0u);
+  EXPECT_EQ(auto_report.placement, PlacementMode::kAuto);
+  EXPECT_LE(auto_report.nn_split, layers);
+
+  // All-edge execution ships nothing over the WAN; all-cloud ships stills.
+  EXPECT_EQ(edge_report.edge_to_cloud_bytes, 0u);
+  EXPECT_GT(cloud_report.edge_to_cloud_bytes, 0u);
+
+  EXPECT_GT((*edge)->db().size(), 0u);
+  EXPECT_EQ((*edge)->db().rows(), (*cloud)->db().rows());
+  EXPECT_EQ((*edge)->db().rows(), (*autos)->db().rows());
+}
+
+TEST_F(RuntimeTest, WanHintDrivesAutoPlacement) {
+  // A session behind a dead uplink: the planner must keep everything at the
+  // edge, and nothing may cross the WAN.
+  SessionConfig cfg = SceneSession();
+  cfg.placement = PlacementMode::kAuto;
+  cfg.wan_hint = net::LinkModel{0.01, 2000.0};
+  Runtime runtime(SmallConfig(), classifier_);
+  auto session = runtime.OpenSession("weak-uplink", cfg);
+  ASSERT_TRUE(session.ok());
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*session)->PushFrame(scene_->video.frames[i]).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.nn_split, classifier_->network().LayerCount());
+  EXPECT_EQ(report.edge_to_cloud_bytes, 0u);
+}
+
+TEST_F(RuntimeTest, FixedSplitShipsActivationsAndMatchesCloudResults) {
+  // Pin an intermediate cut: the edge runs the prefix and the serialized
+  // activation crosses the WAN with an exactly predictable byte count
+  // (iframes * (16-byte header + activation payload)).
+  const auto profile = classifier_->network().Profile();
+  const std::size_t split = 2;  // after conv1+bn: a real mid-network tensor
+  ASSERT_LT(split, profile.size());
+
+  SessionConfig cfg = SceneSession();
+  cfg.placement = PlacementMode::kFixed;
+  cfg.fixed_split = split;
+  Runtime runtime(SmallConfig(), classifier_);
+  auto session = runtime.OpenSession("split-cam", cfg);
+  ASSERT_TRUE(session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.placement, PlacementMode::kFixed);
+  EXPECT_EQ(report.nn_split, split);
+  EXPECT_GT(report.iframes_selected, 0u);
+  EXPECT_EQ(report.edge_to_cloud_bytes,
+            report.iframes_selected * (16 + profile[split - 1].output_bytes));
+
+  // Same feed through a default all-cloud runtime: identical labels.
+  Runtime cloud_runtime(SmallConfig(), classifier_);
+  auto cloud = cloud_runtime.OpenSession("cloud-cam", SceneSession());
+  ASSERT_TRUE(cloud.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*cloud)->PushFrame(frame).ok());
+  }
+  (void)(*cloud)->Drain();
+  EXPECT_EQ((*session)->db().rows(), (*cloud)->db().rows());
+}
+
+TEST_F(RuntimeTest, ParallelTranscodePreservesResults) {
+  // The still-transcode tier scaled to 4 ordered workers must produce the
+  // same per-camera database as the serial tier.
+  RuntimeConfig parallel_config = SmallConfig();
+  parallel_config.transcode_parallelism = 4;
+  Runtime parallel_runtime(parallel_config, classifier_);
+  auto parallel_session = parallel_runtime.OpenSession("cam", SceneSession());
+  ASSERT_TRUE(parallel_session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*parallel_session)->PushFrame(frame).ok());
+  }
+  const SessionReport parallel_report = (*parallel_session)->Drain();
+
+  Runtime serial_runtime(SmallConfig(), classifier_);
+  auto serial_session = serial_runtime.OpenSession("cam", SceneSession());
+  ASSERT_TRUE(serial_session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*serial_session)->PushFrame(frame).ok());
+  }
+  const SessionReport serial_report = (*serial_session)->Drain();
+
+  EXPECT_EQ(parallel_report.labels_written, serial_report.labels_written);
+  EXPECT_EQ((*parallel_session)->db().rows(), (*serial_session)->db().rows());
 }
 
 }  // namespace

@@ -2,22 +2,38 @@
 # Build (Release, -O2) and run the hot-path perf harness with its fixed seed,
 # writing BENCH_hotpaths.json at the repo root. Usage:
 #
-#   tools/run_bench.sh [build_dir] [output_json]
+#   tools/run_bench.sh [build_dir] [output_json] [scenarios]
+#
+# `scenarios` is a comma-separated filter (default: everything), e.g.
+#   tools/run_bench.sh build BENCH_placement.json nn_placement,multi_session
+# A filtered run writes zeros for the skipped sections, so when no explicit
+# output path is given it lands in BENCH_hotpaths.filtered.json instead of
+# the tracked BENCH_hotpaths.json.
 #
 # The harness is deterministic in the work it performs; timings obviously
 # depend on the machine, which is why every speedup in the JSON is measured
 # against a baseline run in the same process. Scenarios: encode (reference /
-# serial / parallel), full-search motion, GEMM, backbone forward, and
+# serial / parallel), motion (full-search), gemm, conv (backbone forward),
 # multi_session (3 concurrent camera sessions on one shared runtime
-# executor — the fan-in scaling number to watch across PRs).
+# executor — the fan-in scaling number to watch across PRs), and
+# nn_placement (all-edge / all-cloud / auto-split session placement:
+# end-to-end latency + WAN still/activation bytes per plan).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/BENCH_hotpaths.json}"
+scenarios="${3:-}"
+
+# A filtered run zeroes the unselected sections; never let it clobber the
+# tracked trajectory file unless the caller named that path explicitly.
+if [[ -n "$scenarios" && -z "${2:-}" ]]; then
+  out_json="$repo_root/BENCH_hotpaths.filtered.json"
+  echo "scenario filter active: writing $out_json (tracked JSON untouched)"
+fi
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target perf_hotpaths -j "$(nproc)"
 
-"$build_dir/perf_hotpaths" "$out_json"
+"$build_dir/perf_hotpaths" "$out_json" 0 "$scenarios"
 echo "benchmark report: $out_json"
