@@ -8,10 +8,11 @@
 //
 // Usage: perf_hotpaths [out.json] [parallel_threads] [scenarios]
 //   scenarios: comma-separated subset of
-//     encode,motion,gemm,conv,multi_session,nn_placement
+//     encode,motion,gemm,conv,multi_session,nn_placement,live_query
 //   (default: all). Skipped scenarios report zeros in the JSON.
 //
 // Everything is seeded; two runs on the same machine produce the same work.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,7 +41,8 @@ using namespace sieve;
 constexpr std::uint64_t kSeed = 20260729;
 
 constexpr const char* kKnownScenarios[] = {
-    "encode", "motion", "gemm", "conv", "multi_session", "nn_placement"};
+    "encode", "motion", "gemm",         "conv",
+    "multi_session", "nn_placement", "live_query"};
 
 /// argv[3] scenario filter: empty = everything enabled.
 std::string g_scenarios;
@@ -453,6 +455,136 @@ NnPlacementResult BenchNnPlacement() {
   return out;
 }
 
+// ------------------------------------------------------------ live query --
+
+struct LiveQueryResult {
+  std::size_t sessions = 0;
+  std::size_t frames_total = 0;
+  std::size_t queries = 0;          ///< FindObject calls issued while live
+  double avg_query_micros = 0;      ///< mean FindObject latency under ingest
+  double max_query_micros = 0;
+  std::uint64_t index_updates = 0;  ///< final index version (register+insert+seal)
+  double updates_per_s = 0;         ///< index update throughput while streaming
+  std::size_t subscription_events = 0;  ///< enter/exit deliveries
+  std::size_t hits_final = 0;       ///< drained hits summed over all classes
+};
+
+LiveQueryResult BenchLiveQuery() {
+  // Three streaming cameras with one query thread hammering the live index
+  // (FindObject + WhereIs over every class, continuously): measures read
+  // latency under ingest and the index's update throughput — the query
+  // engine's two numbers to watch across PRs.
+  constexpr int kSessions = 3;
+  constexpr int kW = 192, kH = 144;
+  constexpr std::size_t kFramesPerCam = 48;
+
+  std::vector<synth::SyntheticVideo> scenes;
+  for (int cam = 0; cam < kSessions; ++cam) {
+    synth::SceneConfig cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.num_frames = kFramesPerCam;
+    cfg.seed = kSeed + 31 + std::uint64_t(cam) * 131;
+    cfg.object_scale = 0.3;
+    // A busy feed (short gaps, short dwells): plenty of enter/exit
+    // transitions so the hit lists the query thread reads are non-trivial.
+    cfg.mean_gap_seconds = 0.5;
+    cfg.min_gap_seconds = 0.2;
+    cfg.mean_dwell_seconds = 0.7;
+    cfg.min_dwell_seconds = 0.3;
+    cfg.noise_sigma = 2.0;
+    cfg.jitter_px = 1;
+    scenes.push_back(synth::GenerateScene(cfg));
+  }
+
+  nn::ClassifierParams cp;
+  cp.input_size = 32;
+  cp.embedding_dim = 16;
+  nn::FrameClassifier classifier(cp);
+  if (!classifier.Fit(scenes[0].video.frames, scenes[0].truth, 8).ok()) {
+    std::fprintf(stderr, "[live_query] classifier fit failed\n");
+    return {};
+  }
+
+  runtime::RuntimeConfig runtime_config;
+  runtime_config.nn_input_size = 32;
+  runtime::Runtime rt(runtime_config, &classifier);
+
+  LiveQueryResult out;
+  std::atomic<std::size_t> events{0};
+  for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+    rt.query().Subscribe(synth::ObjectClass(c), [&events](const query::QueryEvent&) {
+      events.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  std::vector<std::unique_ptr<runtime::SieveSession>> sessions;
+  for (int cam = 0; cam < kSessions; ++cam) {
+    runtime::SessionConfig sc;
+    sc.width = kW;
+    sc.height = kH;
+    sc.encoder = codec::EncoderParams::Semantic(12, 150);
+    auto session = rt.OpenSession("cam-" + std::to_string(cam), sc);
+    if (!session.ok()) {
+      std::fprintf(stderr, "[live_query] OpenSession failed\n");
+      return {};
+    }
+    sessions.push_back(std::move(*session));
+  }
+
+  std::atomic<bool> streaming{true};
+  std::size_t queries = 0;
+  double query_seconds_sum = 0, query_seconds_max = 0;
+  std::thread query_thread([&] {
+    const query::QueryService& q = rt.query();
+    while (streaming.load(std::memory_order_acquire)) {
+      for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+        const auto cls = synth::ObjectClass(c);
+        Stopwatch latency;
+        const auto hits = q.FindObject(cls);
+        const double seconds = latency.ElapsedSeconds();
+        ++queries;
+        query_seconds_sum += seconds;
+        if (seconds > query_seconds_max) query_seconds_max = seconds;
+        (void)hits;
+        (void)q.WhereIs(cls);
+      }
+    }
+  });
+
+  Stopwatch watch;
+  std::vector<std::thread> feeds;
+  for (int cam = 0; cam < kSessions; ++cam) {
+    feeds.emplace_back([cam, &sessions, &scenes] {
+      for (const auto& frame : scenes[std::size_t(cam)].video.frames) {
+        if (!sessions[std::size_t(cam)]->PushFrame(frame).ok()) return;
+      }
+    });
+  }
+  for (auto& t : feeds) t.join();
+  for (auto& session : sessions) {
+    out.frames_total += session->Drain().frames_pushed;
+  }
+  const double seconds = watch.ElapsedSeconds();
+  streaming.store(false, std::memory_order_release);
+  query_thread.join();
+
+  out.sessions = kSessions;
+  out.queries = queries;
+  out.avg_query_micros =
+      queries > 0 ? query_seconds_sum * 1e6 / double(queries) : 0.0;
+  out.max_query_micros = query_seconds_max * 1e6;
+  out.index_updates = rt.query().version();
+  out.updates_per_s =
+      seconds > 0 ? double(out.index_updates) / seconds : 0.0;
+  out.subscription_events = events.load();
+  for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+    out.hits_final += rt.query().FindObject(synth::ObjectClass(c)).size();
+  }
+  (void)rt.Shutdown();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -528,6 +660,19 @@ int main(int argc, char** argv) {
                   row.predicted_total_ms,
                   static_cast<unsigned long long>(row.wan_bytes));
     }
+  }
+
+  const LiveQueryResult live =
+      Enabled("live_query") ? BenchLiveQuery() : LiveQueryResult{};
+  if (Enabled("live_query")) {
+    std::printf("live_query: %zu cameras | %zu queries while streaming "
+                "(avg %.1f us, max %.1f us) | %llu index updates "
+                "(%.1f/s) | %zu events, %zu final hits\n",
+                live.sessions, live.queries, live.avg_query_micros,
+                live.max_query_micros,
+                static_cast<unsigned long long>(live.index_updates),
+                live.updates_per_s, live.subscription_events,
+                live.hits_final);
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -608,8 +753,24 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "\n    ]\n"
+               "  },\n"
+               "  \"live_query\": {\n"
+               "    \"sessions\": %zu,\n"
+               "    \"frames_total\": %zu,\n"
+               "    \"queries\": %zu,\n"
+               "    \"avg_query_micros\": %.3f,\n"
+               "    \"max_query_micros\": %.3f,\n"
+               "    \"index_updates\": %llu,\n"
+               "    \"updates_per_s\": %.2f,\n"
+               "    \"subscription_events\": %zu,\n"
+               "    \"hits_final\": %zu\n"
                "  }\n"
-               "}\n");
+               "}\n",
+               live.sessions, live.frames_total, live.queries,
+               live.avg_query_micros, live.max_query_micros,
+               static_cast<unsigned long long>(live.index_updates),
+               live.updates_per_s, live.subscription_events,
+               live.hits_final);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

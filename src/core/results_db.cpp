@@ -2,8 +2,28 @@
 
 namespace sieve::core {
 
+std::vector<std::pair<std::size_t, std::size_t>> ClassIntervals(
+    const std::map<std::size_t, synth::LabelSet>& rows,
+    synth::ObjectClass cls) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  bool open = false;
+  std::size_t start = 0;
+  for (const auto& [frame, labels] : rows) {
+    if (labels.Contains(cls) && !open) {
+      open = true;
+      start = frame;
+    } else if (!labels.Contains(cls) && open) {
+      ranges.emplace_back(start, frame);
+      open = false;
+    }
+  }
+  if (open) ranges.emplace_back(start, kOpenInterval);
+  return ranges;
+}
+
 void ResultsDatabase::Insert(std::size_t frame_id, synth::LabelSet labels) {
   rows_[frame_id] = labels;
+  if (observer_) observer_(*this, frame_id, labels);
 }
 
 synth::LabelSet ResultsDatabase::LabelAt(std::size_t frame_id) const {
@@ -15,21 +35,17 @@ synth::LabelSet ResultsDatabase::LabelAt(std::size_t frame_id) const {
 
 std::vector<std::pair<std::size_t, std::size_t>> ResultsDatabase::FindObject(
     synth::ObjectClass cls, std::size_t total_frames) const {
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  bool open = false;
-  std::size_t start = 0;
-  for (const auto& [frame, labels] : rows_) {
-    if (labels.Contains(cls) && !open) {
-      open = true;
-      start = frame;
-    } else if (!labels.Contains(cls) && open) {
-      ranges.emplace_back(start, frame);
-      open = false;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges =
+      ClassIntervals(rows_, cls);
+  if (!ranges.empty() && ranges.back().second == kOpenInterval) {
+    // An event still live at the last analyzed frame extends to the end of
+    // the video; suppress the degenerate case where it opens exactly there.
+    if (ranges.back().first < total_frames) {
+      ranges.back().second = total_frames;
+    } else {
+      ranges.pop_back();
     }
   }
-  // An event still live at the last analyzed frame extends to the end of the
-  // video; suppress the degenerate case where it opens exactly there.
-  if (open && start < total_frames) ranges.emplace_back(start, total_frames);
   return ranges;
 }
 

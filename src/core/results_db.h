@@ -1,9 +1,9 @@
-// The cloud-side results store and the NN placement knob, shared by the
-// legacy SieveSystem facade and the multi-camera runtime (each camera
-// session owns one ResultsDatabase).
+// The cloud-side results store, shared by the legacy SieveSystem facade and
+// the multi-camera runtime (each camera session owns one ResultsDatabase).
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -12,14 +12,39 @@
 
 namespace sieve::core {
 
-/// Where NN inference runs in the live pipeline.
-enum class NnTier { kCloud, kEdge };
+/// Sentinel `end` of a label run that is still live at the last analyzed
+/// row (no later row has dropped the class yet).
+inline constexpr std::size_t kOpenInterval = std::size_t(-1);
+
+/// The reusable interval-merge core of FindObject: scan the ordered
+/// (frame, labels) rows and build the maximal half-open [start, end) runs
+/// whose propagated labels contain `cls`. A run still live at the last row
+/// is reported with end == kOpenInterval; callers decide how to close it
+/// (FindObject clamps to total_frames, the live query index keeps it open
+/// until the session seals).
+std::vector<std::pair<std::size_t, std::size_t>> ClassIntervals(
+    const std::map<std::size_t, synth::LabelSet>& rows, synth::ObjectClass cls);
 
 /// The cloud-side results store: (frame id, labels) tuples, queryable with
 /// label propagation (Section III's output contract).
 class ResultsDatabase {
  public:
+  /// Insert-observer seam: the live query layer hooks per-session inserts
+  /// here (see query::QueryService). Called after the row has landed, on
+  /// the inserting thread, under whatever lock the caller holds around
+  /// Insert — so the db reference is safe to read for the call's duration.
+  using InsertObserver = std::function<void(
+      const ResultsDatabase& db, std::size_t frame_id,
+      const synth::LabelSet& labels)>;
+
   void Insert(std::size_t frame_id, synth::LabelSet labels);
+
+  /// Install (or clear, with nullptr) the insert observer. Not
+  /// synchronized against concurrent Insert — set it before the database
+  /// starts receiving rows.
+  void set_observer(InsertObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   std::size_t size() const noexcept { return rows_.size(); }
   const std::map<std::size_t, synth::LabelSet>& rows() const noexcept {
@@ -39,6 +64,7 @@ class ResultsDatabase {
 
  private:
   std::map<std::size_t, synth::LabelSet> rows_;
+  InsertObserver observer_;
 };
 
 }  // namespace sieve::core

@@ -18,6 +18,11 @@
 
 namespace sieve::core {
 
+/// Where NN inference runs — the legacy placement knob of the single-stream
+/// facade. SieveSystem::Run maps it onto a runtime::PlacementPlan; new code
+/// sets runtime::SessionConfig::placement per camera instead.
+enum class NnTier { kCloud, kEdge };
+
 struct SystemConfig {
   NnTier nn_tier = NnTier::kCloud;
   net::LinkModel camera_to_edge = net::LinkModel::Lan();

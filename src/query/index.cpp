@@ -1,0 +1,134 @@
+#include "query/index.h"
+
+#include <utility>
+
+namespace sieve::query {
+
+namespace {
+
+bool HasOpenInterval(const std::vector<FrameInterval>& intervals) {
+  return !intervals.empty() && intervals.back().end == kOpenEnd;
+}
+
+QueryEvent MakeEvent(QueryEvent::Kind kind, const CameraRecord& record,
+                     synth::ObjectClass cls, std::size_t frame) {
+  QueryEvent event;
+  event.kind = kind;
+  event.camera_id = record.camera_id;
+  event.cls = cls;
+  event.frame = frame;
+  event.seconds = record.clock.TimeOf(frame);
+  return event;
+}
+
+}  // namespace
+
+void QueryIndex::RegisterCamera(const std::string& route,
+                                std::string camera_id, CameraClock clock) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const auto base = snapshot();
+  if (base->cameras.contains(route)) return;
+  auto record = std::make_shared<CameraRecord>();
+  record->camera_id = std::move(camera_id);
+  record->clock = clock;
+  PublishLocked(*base, route, std::move(record));
+}
+
+std::vector<QueryEvent> QueryIndex::Apply(const std::string& route,
+                                          const core::ResultsDatabase& db,
+                                          std::size_t frame,
+                                          const synth::LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const auto base = snapshot();
+  const auto it = base->cameras.find(route);
+  if (it == base->cameras.end()) return {};  // unregistered: drop
+
+  auto record = std::make_shared<CameraRecord>(*it->second);
+  std::vector<QueryEvent> events;
+  if (!record->has_rows || frame > record->last_frame) {
+    // In-order insert: one incremental step of FindObject's run scan.
+    for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+      const auto cls = synth::ObjectClass(c);
+      auto& runs = record->intervals[std::size_t(c)];
+      const bool open = HasOpenInterval(runs);
+      if (labels.Contains(cls) && !open) {
+        runs.push_back(FrameInterval{frame, kOpenEnd});
+        events.push_back(MakeEvent(QueryEvent::Kind::kEnter, *record, cls,
+                                   frame));
+      } else if (!labels.Contains(cls) && open) {
+        runs.back().end = frame;
+        events.push_back(MakeEvent(QueryEvent::Kind::kExit, *record, cls,
+                                   frame));
+      }
+    }
+    record->last_frame = frame;
+    record->current = labels;
+  } else {
+    // Out-of-order or overwriting insert: the incremental invariants no
+    // longer hold, so rebuild this camera from the authoritative database
+    // (stable for this call: the observer runs under the db's lock).
+    // Events are the per-class liveness transitions the rebuild caused.
+    for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+      const auto cls = synth::ObjectClass(c);
+      auto& runs = record->intervals[std::size_t(c)];
+      const bool was_open = HasOpenInterval(runs);
+      runs.clear();
+      for (const auto& [begin, end] : core::ClassIntervals(db.rows(), cls)) {
+        runs.push_back(FrameInterval{begin, end});
+      }
+      const bool now_open = HasOpenInterval(runs);
+      if (now_open != was_open) {
+        events.push_back(MakeEvent(now_open ? QueryEvent::Kind::kEnter
+                                            : QueryEvent::Kind::kExit,
+                                   *record, cls, frame));
+      }
+    }
+    record->last_frame = db.rows().rbegin()->first;
+    record->current = db.rows().rbegin()->second;
+  }
+  record->has_rows = true;
+  ++record->inserts;
+  PublishLocked(*base, route, std::move(record));
+  return events;
+}
+
+std::vector<QueryEvent> QueryIndex::Seal(const std::string& route,
+                                         std::size_t total_frames) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const auto base = snapshot();
+  const auto it = base->cameras.find(route);
+  if (it == base->cameras.end() || it->second->sealed) return {};
+
+  auto record = std::make_shared<CameraRecord>(*it->second);
+  record->sealed = true;
+  record->total_frames = total_frames;
+  std::vector<QueryEvent> events;
+  for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+    auto& runs = record->intervals[std::size_t(c)];
+    if (!HasOpenInterval(runs)) continue;
+    // Same closing rule as FindObject(cls, total_frames): a live event ends
+    // with the stream; one opening exactly at the end never happened.
+    if (runs.back().begin < total_frames) {
+      runs.back().end = total_frames;
+      events.push_back(MakeEvent(QueryEvent::Kind::kExit, *record,
+                                 synth::ObjectClass(c), total_frames));
+    } else {
+      runs.pop_back();
+    }
+  }
+  PublishLocked(*base, route, std::move(record));
+  return events;
+}
+
+void QueryIndex::PublishLocked(const IndexSnapshot& base,
+                               const std::string& route,
+                               std::shared_ptr<const CameraRecord> record) {
+  auto next = std::make_shared<IndexSnapshot>();
+  next->version = base.version + 1;
+  next->cameras = base.cameras;
+  next->cameras[route] = std::move(record);
+  snapshot_.store(std::shared_ptr<const IndexSnapshot>(std::move(next)),
+                  std::memory_order_release);
+}
+
+}  // namespace sieve::query

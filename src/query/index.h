@@ -1,0 +1,134 @@
+// The live cross-camera inverted index: class -> camera -> interval set.
+//
+// Ingest side: the runtime publishes every per-session ResultsDatabase
+// insert here (through the db's observer seam), and the index folds it into
+// the owning camera's per-class interval lists incrementally — the same
+// label-propagation semantics as ResultsDatabase::FindObject, maintained
+// one row at a time instead of by scanning.
+//
+// Read side: snapshot-consistent, wait-free for readers. The whole index is
+// one immutable IndexSnapshot behind an atomic shared_ptr; writers build
+// the next version (copy-on-write of the one touched CameraRecord plus the
+// small top-level map) under a private mutex and publish it atomically.
+// A reader's snapshot() is a single atomic load — it never blocks ingest,
+// never observes a half-applied insert, and every camera in it reflects an
+// exact prefix of that camera's insert stream (prefix consistency).
+//
+// Equivalence contract (tested): once a camera is sealed with its final
+// frame count, its per-class intervals are bit-exactly the ranges
+// ResultsDatabase::FindObject(cls, total_frames) returns for that camera's
+// drained database.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/results_db.h"
+#include "query/clock.h"
+#include "synth/labels.h"
+
+namespace sieve::query {
+
+/// Sentinel `end` of an interval whose event is still on screen.
+inline constexpr std::size_t kOpenEnd = core::kOpenInterval;
+
+/// One maximal half-open [begin, end) run of frames whose propagated labels
+/// contain a class. end == kOpenEnd while the event is still live.
+struct FrameInterval {
+  std::size_t begin = 0;
+  std::size_t end = kOpenEnd;
+};
+
+/// A standing-query notification: a class entered (first frame seen) or
+/// exited (first frame gone) a camera's view.
+struct QueryEvent {
+  enum class Kind { kEnter, kExit };
+  Kind kind = Kind::kEnter;
+  std::string camera_id;
+  synth::ObjectClass cls = synth::ObjectClass::kCar;
+  std::size_t frame = 0;  ///< session-local frame id of the transition
+  double seconds = 0.0;   ///< the same instant on the shared stream clock
+};
+
+/// Immutable per-camera state inside a snapshot. A reopened camera id gets
+/// a fresh record per incarnation (records are keyed by the session's
+/// unique route, and carry the display id).
+struct CameraRecord {
+  std::string camera_id;  ///< display id (incarnations repeat it)
+  CameraClock clock;
+  std::uint64_t inserts = 0;  ///< rows folded in: this snapshot's prefix length
+  bool sealed = false;        ///< session drained; intervals are final
+  std::size_t total_frames = 0;  ///< frames the session pushed (once sealed)
+  bool has_rows = false;
+  std::size_t last_frame = 0;  ///< highest frame id folded in
+  synth::LabelSet current;     ///< labels of the latest analyzed frame
+  std::array<std::vector<FrameInterval>,
+             std::size_t(synth::kNumObjectClasses)>
+      intervals;  ///< per class, sorted, disjoint; at most the last is open
+};
+
+/// One immutable, internally consistent version of the whole index.
+struct IndexSnapshot {
+  std::uint64_t version = 0;
+  /// Every camera incarnation ever registered, keyed by session route.
+  std::map<std::string, std::shared_ptr<const CameraRecord>> cameras;
+};
+
+/// The concurrent index. One writer mutex serializes ingest; readers only
+/// ever touch published immutable snapshots.
+class QueryIndex {
+ public:
+  QueryIndex() : snapshot_(std::make_shared<const IndexSnapshot>()) {}
+
+  QueryIndex(const QueryIndex&) = delete;
+  QueryIndex& operator=(const QueryIndex&) = delete;
+
+  /// Announce a camera incarnation before its first insert can arrive.
+  /// Re-registering an existing route is ignored.
+  void RegisterCamera(const std::string& route, std::string camera_id,
+                      CameraClock clock);
+
+  /// Fold one ResultsDatabase insert into the camera's intervals and
+  /// publish the next snapshot. In-order inserts (the runtime's ordered
+  /// stages guarantee them) update incrementally; an out-of-order or
+  /// overwriting insert falls back to rebuilding the camera's intervals
+  /// from `db`, which the caller must keep stable for the call (the
+  /// observer seam runs under the session's db lock). Returns the
+  /// enter/exit transitions this insert caused.
+  std::vector<QueryEvent> Apply(const std::string& route,
+                                const core::ResultsDatabase& db,
+                                std::size_t frame,
+                                const synth::LabelSet& labels);
+
+  /// Mark a camera's stream complete at `total_frames`: open intervals
+  /// close there (degenerate ones opening at or past the end are dropped,
+  /// matching FindObject), and the camera stops counting as live.
+  /// Idempotent; returns the exit events of the closed intervals.
+  std::vector<QueryEvent> Seal(const std::string& route,
+                               std::size_t total_frames);
+
+  /// Wait-free consistent view (one atomic load).
+  std::shared_ptr<const IndexSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the latest published snapshot (0 = empty index).
+  std::uint64_t version() const { return snapshot()->version; }
+
+ private:
+  /// Clone-on-write step shared by all mutators: publish `record` as
+  /// route's state in a fresh snapshot. Caller holds write_mutex_.
+  void PublishLocked(const IndexSnapshot& base, const std::string& route,
+                     std::shared_ptr<const CameraRecord> record);
+
+  mutable std::mutex write_mutex_;
+  std::atomic<std::shared_ptr<const IndexSnapshot>> snapshot_;
+};
+
+}  // namespace sieve::query

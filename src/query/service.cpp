@@ -1,0 +1,82 @@
+#include "query/service.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace sieve::query {
+
+void QueryService::RegisterCamera(const std::string& route,
+                                  std::string camera_id, CameraClock clock) {
+  index_.RegisterCamera(route, std::move(camera_id), clock);
+}
+
+void QueryService::Publish(const std::string& route,
+                           const core::ResultsDatabase& db, std::size_t frame,
+                           const synth::LabelSet& labels) {
+  subscriptions_.Notify(index_.Apply(route, db, frame, labels));
+}
+
+void QueryService::Seal(const std::string& route, std::size_t total_frames) {
+  subscriptions_.Notify(index_.Seal(route, total_frames));
+}
+
+std::vector<QueryHit> QueryService::FindObject(synth::ObjectClass cls,
+                                               double t0, double t1) const {
+  const auto snap = snapshot();
+  std::vector<QueryHit> hits;
+  for (const auto& [route, record] : snap->cameras) {
+    for (const FrameInterval& run :
+         record->intervals[std::size_t(std::uint8_t(cls))]) {
+      const bool open = run.end == kOpenEnd;
+      const double begin_seconds = record->clock.TimeOf(run.begin);
+      const double end_seconds =
+          open ? kEndOfTime : record->clock.TimeOf(run.end);
+      // Overlap with the half-open query window, tested before the hit is
+      // materialized (narrow windows filter most of a long history). The
+      // hit itself stays the whole event: seek-back wants the full range,
+      // and unclipped endpoints keep drained hits bit-exact vs. FindObject.
+      if (begin_seconds >= t1 || end_seconds <= t0) continue;
+      QueryHit hit;
+      hit.camera_id = record->camera_id;
+      hit.begin_frame = run.begin;
+      hit.end_frame = run.end;
+      hit.open = open;
+      hit.begin_seconds = begin_seconds;
+      hit.end_seconds = end_seconds;
+      hits.push_back(std::move(hit));
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const QueryHit& a, const QueryHit& b) {
+              return std::tie(a.begin_seconds, a.camera_id, a.begin_frame) <
+                     std::tie(b.begin_seconds, b.camera_id, b.begin_frame);
+            });
+  return hits;
+}
+
+std::vector<std::string> QueryService::WhereIs(synth::ObjectClass cls) const {
+  const auto snap = snapshot();
+  std::vector<std::string> cameras;
+  for (const auto& [route, record] : snap->cameras) {
+    // `current` is the latest analyzed frame's labels; for a live camera
+    // it contains cls exactly when the class's last interval is open.
+    if (!record->sealed && record->current.Contains(cls)) {
+      cameras.push_back(record->camera_id);
+    }
+  }
+  std::sort(cameras.begin(), cameras.end());
+  cameras.erase(std::unique(cameras.begin(), cameras.end()), cameras.end());
+  return cameras;
+}
+
+QueryService::SubscriptionId QueryService::Subscribe(
+    synth::ObjectClass cls, SubscriptionRegistry::Callback callback) {
+  return subscriptions_.Subscribe(cls, std::move(callback));
+}
+
+void QueryService::Unsubscribe(SubscriptionId id) {
+  subscriptions_.Unsubscribe(id);
+}
+
+}  // namespace sieve::query

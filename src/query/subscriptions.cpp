@@ -1,0 +1,46 @@
+#include "query/subscriptions.h"
+
+#include <utility>
+
+namespace sieve::query {
+
+SubscriptionRegistry::Id SubscriptionRegistry::Subscribe(
+    synth::ObjectClass cls, Callback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Id id = next_id_++;
+  subscribers_[id] = Subscriber{
+      cls, std::make_shared<const Callback>(std::move(callback))};
+  return id;
+}
+
+void SubscriptionRegistry::Unsubscribe(Id id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.erase(id);
+}
+
+std::size_t SubscriptionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribers_.size();
+}
+
+void SubscriptionRegistry::Notify(
+    const std::vector<QueryEvent>& events) const {
+  if (events.empty()) return;
+  // Snapshot the matching callbacks under the lock, invoke outside it so a
+  // callback can re-enter Subscribe/Unsubscribe without deadlocking.
+  std::vector<std::pair<std::shared_ptr<const Callback>, const QueryEvent*>>
+      deliveries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const QueryEvent& event : events) {
+      for (const auto& [id, subscriber] : subscribers_) {
+        if (subscriber.cls == event.cls) {
+          deliveries.emplace_back(subscriber.callback, &event);
+        }
+      }
+    }
+  }
+  for (const auto& [callback, event] : deliveries) (*callback)(*event);
+}
+
+}  // namespace sieve::query

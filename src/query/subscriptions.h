@@ -1,0 +1,51 @@
+// Standing queries: subscriber callbacks fired on enter/exit transitions
+// as the live index updates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "query/index.h"
+#include "synth/labels.h"
+
+namespace sieve::query {
+
+/// Registry of class-filtered event subscribers. Thread-safe; callbacks
+/// run on the publishing thread (a runtime worker), outside the registry
+/// lock, so they may subscribe/unsubscribe reentrantly — but they must be
+/// fast and must not block on the session that produced the event (e.g.
+/// calling SieveSession::Drain from a callback deadlocks: the event fires
+/// while the cloud tier holds that session's database lock).
+class SubscriptionRegistry {
+ public:
+  using Callback = std::function<void(const QueryEvent&)>;
+  using Id = std::uint64_t;
+
+  /// Fire `callback` for every future enter/exit of `cls` on any camera.
+  Id Subscribe(synth::ObjectClass cls, Callback callback);
+
+  /// Stop a subscription. An event already being delivered on another
+  /// thread may still arrive; no new deliveries start after this returns.
+  void Unsubscribe(Id id);
+
+  std::size_t size() const;
+
+  /// Deliver a batch of events to every matching subscriber, in order.
+  void Notify(const std::vector<QueryEvent>& events) const;
+
+ private:
+  struct Subscriber {
+    synth::ObjectClass cls;
+    std::shared_ptr<const Callback> callback;  ///< outlives the lock
+  };
+
+  mutable std::mutex mutex_;
+  Id next_id_ = 1;
+  std::map<Id, Subscriber> subscribers_;
+};
+
+}  // namespace sieve::query

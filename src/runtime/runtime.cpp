@@ -69,6 +69,13 @@ Status SieveSession::PushWire(codec::FrameType type, std::uint64_t frame_index,
   st.pushed.fetch_add(1, std::memory_order_acq_rel);
   if (!st.camera_queue.Push(std::move(file))) {
     st.pushed.fetch_sub(1, std::memory_order_acq_rel);
+    // A Drain() racing this failed push may already be waiting on the
+    // transiently inflated count; retaking the lock and notifying ensures
+    // its predicate is re-evaluated (no Settle() will fire for this frame).
+    {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      st.settled_cv.notify_all();
+    }
     return Status::Precondition("PushFrame: session closed");
   }
   return Status::Ok();
@@ -88,6 +95,10 @@ SessionReport SieveSession::Drain() {
       return st.settled == st.pushed.load(std::memory_order_acquire);
     });
   }
+  // Every pushed frame has settled, so the database is final: seal this
+  // camera in the query index (closing still-open intervals at the stream's
+  // end, exactly like FindObject(cls, frames_pushed) would).
+  if (st.query) st.query->Seal(st.route, st.pushed.load());
   SessionReport report;
   report.camera_id = st.camera_id;
   report.frames_pushed = st.pushed.load();
@@ -113,7 +124,8 @@ Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
       classifier_(classifier),
       executor_(executor != nullptr ? executor : &SharedExecutor()),
       edge_cloud_(config.edge_to_cloud, config.link_time_scale),
-      pipeline_(config.queue_capacity, executor_) {
+      pipeline_(config.queue_capacity, executor_),
+      query_(std::make_shared<query::QueryService>()) {
   BuildTiers();
   start_status_ = pipeline_.Start();
 }
@@ -223,7 +235,8 @@ void Runtime::BuildTiers() {
         out.SetU64("frame", file.GetU64("frame").value_or(0));
         out.SetAttribute("camera", session->route);
         return out;
-      });
+      },
+      config_.edge_nn_parallelism, /*ordered=*/true);
 
   // --- Edge -> cloud WAN (shared hop, per-camera accounting). Labels from
   // all-edge sessions ride out-of-band (the old kEdge tier's contract:
@@ -403,6 +416,22 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
     }
     return s;
   }
+  // Plug the session into the query layer. No frame can flow before the
+  // caller holds the session handle, so registering here (after the source
+  // is attached) still precedes the first possible insert. The incarnation
+  // registers on the shared stream clock, and every database insert
+  // publishes through the observer seam (called by the cloud tier under
+  // this session's db lock, so the db reference is stable).
+  state->query = query_;
+  query_->RegisterCamera(
+      state->route, camera_id,
+      query::CameraClock{epoch_.ElapsedSeconds(), config.fps});
+  state->db.set_observer(
+      [service = query_, route = state->route](
+          const core::ResultsDatabase& db, std::size_t frame,
+          const synth::LabelSet& labels) {
+        service->Publish(route, db, frame, labels);
+      });
 
   // The encoder's thread knob maps onto executors: 0 rides this runtime's
   // shared executor, 1 is serial inline, n > 1 gets a private pool.
@@ -431,7 +460,14 @@ Expected<std::vector<dataflow::StageStats>> Runtime::Shutdown() {
     state->camera_queue.Close();
   }
   if (!start_status_.ok()) return start_status_;
-  return pipeline_.Finish();
+  auto stats = pipeline_.Finish();
+  // The tiers are drained: every session's database is final, so seal any
+  // camera the owner never drained explicitly — the query index stays
+  // complete and consistent for post-shutdown queries.
+  for (auto& state : states) {
+    query_->Seal(state->route, state->pushed.load(std::memory_order_acquire));
+  }
+  return stats;
 }
 
 std::size_t Runtime::session_count() const {

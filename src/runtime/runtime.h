@@ -13,6 +13,11 @@
 //   runtime::SessionReport report = (*cam)->Drain();   // per-camera totals
 //   auto stage_stats = rt.Shutdown();                  // shared-tier stats
 //
+// While sessions stream, rt.query() answers live cross-camera questions
+// (find class X on any camera, time-aligned; standing enter/exit
+// subscriptions) from a snapshot-consistent index fed by every database
+// insert — see src/query/ and docs/queries.md.
+//
 // Each session owns a camera-side StreamingEncoder (motion estimation runs
 // on the shared executor), a bounded per-camera ingress queue (its private
 // backpressure domain: a slow edge stalls that camera's PushFrame, nothing
@@ -46,6 +51,7 @@
 #include "media/frame.h"
 #include "net/link.h"
 #include "nn/classifier.h"
+#include "query/service.h"
 #include "runtime/executor.h"
 #include "runtime/placement.h"
 
@@ -69,6 +75,11 @@ struct RuntimeConfig {
   int still_qp = 26;
   std::size_t queue_capacity = 8;  ///< edge-chain connection bound
   int transcode_parallelism = 1;   ///< still-transcode workers (order-kept)
+  /// Edge-NN stage workers (order-kept, like transcode_parallelism): scales
+  /// the prefix/full forward passes of all-edge and split sessions across
+  /// the fan-in. Per-camera result order is preserved (the stage runs
+  /// ordered), so scaling it is invisible to the query layer and the dbs.
+  int edge_nn_parallelism = 1;
   /// Admission control: maximum concurrently open sessions (0 = unlimited).
   /// Over-capacity OpenSession calls fail with kResourceExhausted.
   std::size_t max_sessions = 0;
@@ -158,6 +169,9 @@ struct SessionState {
   std::atomic<std::size_t> iframes{0};
   std::atomic<std::size_t> labels{0};
 
+  /// The runtime's query layer; Drain seals this session's index entry.
+  std::shared_ptr<query::QueryService> query;
+
   std::mutex mutex;  ///< guards db + settled
   std::condition_variable settled_cv;
   std::size_t settled = 0;
@@ -199,10 +213,12 @@ class SieveSession {
   /// or dropped), then report this camera's totals.
   SessionReport Drain();
 
-  /// This camera's results. Only read after Drain() (or Runtime::Shutdown)
-  /// has returned: while frames are in flight the cloud tier is still
-  /// inserting rows concurrently, and the map is not synchronized for
-  /// external readers.
+  /// This camera's raw results map. Direct access is for *drained*
+  /// sessions (after Drain() or Runtime::Shutdown has returned): while
+  /// frames are in flight the cloud tier is still inserting rows, and the
+  /// map is not synchronized for external readers. For live reads use
+  /// Runtime::query() — the query layer observes every insert and serves
+  /// snapshot-consistent cross-camera views while sessions stream.
   const core::ResultsDatabase& db() const noexcept { return state_->db; }
   const std::string& camera_id() const noexcept { return state_->camera_id; }
 
@@ -257,6 +273,12 @@ class Runtime {
   /// Sessions whose intake is still open.
   std::size_t session_count() const;
 
+  /// The live cross-camera query layer (docs/queries.md). Fed by every
+  /// session's database inserts as they happen; safe to read from any
+  /// thread at any time, including while sessions stream. Survives
+  /// Shutdown() for post-hoc queries as long as the Runtime exists.
+  query::QueryService& query() const noexcept { return *query_; }
+
  private:
   std::shared_ptr<internal::SessionState> FindSession(
       const dataflow::FlowFile& file);
@@ -272,6 +294,11 @@ class Runtime {
   net::RealizedLink edge_cloud_;  ///< the shared WAN hop
   dataflow::Pipeline pipeline_;
   Status start_status_;
+  /// Query layer + the shared stream clock's epoch (sessions are stamped
+  /// with their open offset on it). shared_ptr: session states keep the
+  /// service reachable for Drain-time sealing even past the Runtime.
+  std::shared_ptr<query::QueryService> query_;
+  Stopwatch epoch_;
 
   // kAuto planner cache: measuring per-layer latencies costs a few forward
   // passes, so the first auto session pays it and the rest reuse it.

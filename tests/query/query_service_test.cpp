@@ -1,0 +1,290 @@
+#include "query/service.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <initializer_list>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/results_db.h"
+
+namespace sieve::query {
+namespace {
+
+using synth::LabelSet;
+using synth::ObjectClass;
+
+LabelSet L(std::initializer_list<ObjectClass> classes) {
+  LabelSet set;
+  for (ObjectClass c : classes) set.Add(c);
+  return set;
+}
+
+/// One camera wired to a service exactly the way the runtime wires a
+/// session: registered on the clock, every db insert published through the
+/// observer seam.
+struct CameraFeed {
+  CameraFeed(QueryService& service, std::string route_key,
+             const std::string& id, CameraClock clock)
+      : route(std::move(route_key)) {
+    service.RegisterCamera(route, id, clock);
+    db.set_observer([&service, r = route](const core::ResultsDatabase& d,
+                                          std::size_t frame,
+                                          const LabelSet& labels) {
+      service.Publish(r, d, frame, labels);
+    });
+  }
+
+  std::string route;
+  core::ResultsDatabase db;
+};
+
+/// The acceptance-criterion mapping: a drained camera's FindObject ranges
+/// pushed through its shared-clock — what QueryService must return
+/// bit-exactly.
+std::vector<QueryHit> ExpectedHits(const core::ResultsDatabase& db,
+                                   const std::string& camera_id,
+                                   CameraClock clock, ObjectClass cls,
+                                   std::size_t total_frames) {
+  std::vector<QueryHit> hits;
+  for (const auto& [begin, end] : db.FindObject(cls, total_frames)) {
+    QueryHit hit;
+    hit.camera_id = camera_id;
+    hit.begin_frame = begin;
+    hit.end_frame = end;
+    hit.begin_seconds = clock.TimeOf(begin);
+    hit.end_seconds = clock.TimeOf(end);
+    hit.open = false;
+    hits.push_back(hit);
+  }
+  return hits;
+}
+
+void ExpectHitsEqual(const std::vector<QueryHit>& actual,
+                     const std::vector<QueryHit>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].camera_id, expected[i].camera_id);
+    EXPECT_EQ(actual[i].begin_frame, expected[i].begin_frame);
+    EXPECT_EQ(actual[i].end_frame, expected[i].end_frame);
+    // Bit-exact endpoints: both sides computed through CameraClock::TimeOf.
+    EXPECT_EQ(actual[i].begin_seconds, expected[i].begin_seconds);
+    EXPECT_EQ(actual[i].end_seconds, expected[i].end_seconds);
+    EXPECT_EQ(actual[i].open, expected[i].open);
+  }
+}
+
+TEST(ClassIntervals, ReportsOpenRunWithSentinel) {
+  std::map<std::size_t, LabelSet> rows;
+  rows[2] = L({ObjectClass::kCar});
+  rows[5] = LabelSet();
+  rows[8] = L({ObjectClass::kCar});
+  const auto runs = core::ClassIntervals(rows, ObjectClass::kCar);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], std::make_pair(std::size_t(2), std::size_t(5)));
+  EXPECT_EQ(runs[1].first, 8u);
+  EXPECT_EQ(runs[1].second, core::kOpenInterval);
+}
+
+TEST(QueryServiceTest, EmptyIndexAnswersEmpty) {
+  QueryService service;
+  EXPECT_TRUE(service.FindObject(ObjectClass::kCar).empty());
+  EXPECT_TRUE(service.WhereIs(ObjectClass::kCar).empty());
+  EXPECT_EQ(service.version(), 0u);
+}
+
+TEST(QueryServiceTest, LiveHitsTrackInsertsIncrementally) {
+  QueryService service;
+  const CameraClock clock{1.0, 10.0};
+  CameraFeed cam(service, "gate#1", "gate", clock);
+
+  cam.db.Insert(0, LabelSet());
+  cam.db.Insert(3, L({ObjectClass::kCar}));
+  cam.db.Insert(7, L({ObjectClass::kCar, ObjectClass::kPerson}));
+  cam.db.Insert(9, L({ObjectClass::kPerson}));
+
+  const auto car = service.FindObject(ObjectClass::kCar);
+  ASSERT_EQ(car.size(), 1u);
+  EXPECT_EQ(car[0].camera_id, "gate");
+  EXPECT_EQ(car[0].begin_frame, 3u);
+  EXPECT_EQ(car[0].end_frame, 9u);
+  EXPECT_EQ(car[0].begin_seconds, clock.TimeOf(3));
+  EXPECT_EQ(car[0].end_seconds, clock.TimeOf(9));
+  EXPECT_FALSE(car[0].open);
+
+  // The person event is still on screen: open hit, live camera.
+  const auto person = service.FindObject(ObjectClass::kPerson);
+  ASSERT_EQ(person.size(), 1u);
+  EXPECT_TRUE(person[0].open);
+  EXPECT_EQ(person[0].end_frame, kOpenEnd);
+  EXPECT_EQ(person[0].end_seconds, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(service.WhereIs(ObjectClass::kPerson),
+            std::vector<std::string>{"gate"});
+  EXPECT_TRUE(service.WhereIs(ObjectClass::kCar).empty());
+}
+
+TEST(QueryServiceTest, SealedHitsMatchDrainedDatabaseBitExactly) {
+  QueryService service;
+  const CameraClock clock{0.25, 12.5};
+  CameraFeed cam(service, "gate#1", "gate", clock);
+
+  cam.db.Insert(0, L({ObjectClass::kBus}));
+  cam.db.Insert(4, LabelSet());
+  cam.db.Insert(6, L({ObjectClass::kBus, ObjectClass::kBoat}));
+  cam.db.Insert(11, L({ObjectClass::kBoat}));
+  service.Seal("gate#1", 15);
+
+  for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+    const auto cls = ObjectClass(c);
+    ExpectHitsEqual(service.FindObject(cls),
+                    ExpectedHits(cam.db, "gate", clock, cls, 15));
+  }
+  // Sealed cameras are never "currently seeing" anything.
+  EXPECT_TRUE(service.WhereIs(ObjectClass::kBoat).empty());
+}
+
+TEST(QueryServiceTest, SealSuppressesDegenerateOpenInterval) {
+  QueryService service;
+  CameraFeed cam(service, "gate#1", "gate", CameraClock{});
+  cam.db.Insert(5, L({ObjectClass::kCar}));
+  // The event "opens" exactly where the stream ends: FindObject drops it,
+  // so the index must too.
+  service.Seal("gate#1", 5);
+  EXPECT_TRUE(service.FindObject(ObjectClass::kCar).empty());
+  ExpectHitsEqual(service.FindObject(ObjectClass::kCar),
+                  ExpectedHits(cam.db, "gate", CameraClock{},
+                               ObjectClass::kCar, 5));
+}
+
+TEST(QueryServiceTest, TimeWindowSelectsOverlappingEventsUnclipped) {
+  QueryService service;
+  const CameraClock clock{10.0, 2.0};  // frame f at 10 + f/2
+  CameraFeed cam(service, "cam#1", "cam", clock);
+  cam.db.Insert(4, L({ObjectClass::kCar}));   // car on at t=12
+  cam.db.Insert(8, LabelSet());               // car off at t=14
+  service.Seal("cam#1", 10);
+
+  EXPECT_TRUE(service.FindObject(ObjectClass::kCar, 0.0, 12.0).empty());
+  EXPECT_TRUE(service.FindObject(ObjectClass::kCar, 14.0, 99.0).empty());
+  const auto overlapping = service.FindObject(ObjectClass::kCar, 13.5, 13.6);
+  ASSERT_EQ(overlapping.size(), 1u);
+  // The hit is the whole event, not the clipped window.
+  EXPECT_EQ(overlapping[0].begin_seconds, 12.0);
+  EXPECT_EQ(overlapping[0].end_seconds, 14.0);
+}
+
+TEST(QueryServiceTest, CrossCameraHitsAreTimeAlignedAndSorted) {
+  QueryService service;
+  const CameraClock early{0.0, 1.0};
+  const CameraClock late{0.5, 1.0};
+  CameraFeed a(service, "a#1", "a", late);
+  CameraFeed b(service, "b#1", "b", early);
+
+  a.db.Insert(1, L({ObjectClass::kTruck}));  // t=1.5
+  b.db.Insert(2, L({ObjectClass::kTruck}));  // t=2.0
+  b.db.Insert(0, LabelSet());  // keeps b's earlier state explicit
+  service.Seal("a#1", 4);
+  service.Seal("b#1", 4);
+
+  const auto hits = service.FindObject(ObjectClass::kTruck);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].camera_id, "a");  // 1.5s on the shared clock
+  EXPECT_EQ(hits[1].camera_id, "b");  // 2.0s
+  EXPECT_LT(hits[0].begin_seconds, hits[1].begin_seconds);
+}
+
+TEST(QueryServiceTest, OutOfOrderInsertRebuildsFromDatabase) {
+  QueryService service;
+  CameraFeed cam(service, "cam#1", "cam", CameraClock{});
+  cam.db.Insert(5, L({ObjectClass::kCar}));
+  cam.db.Insert(2, LabelSet());                // out of order
+  cam.db.Insert(5, LabelSet());                // overwrite: car gone
+  cam.db.Insert(8, L({ObjectClass::kCar}));    // back in order
+  service.Seal("cam#1", 12);
+
+  ExpectHitsEqual(
+      service.FindObject(ObjectClass::kCar),
+      ExpectedHits(cam.db, "cam", CameraClock{}, ObjectClass::kCar, 12));
+}
+
+TEST(QueryServiceTest, ReopenedCameraIdKeepsBothIncarnations) {
+  QueryService service;
+  const CameraClock first_clock{0.0, 30.0};
+  const CameraClock second_clock{9.0, 30.0};
+  CameraFeed first(service, "gate#1", "gate", first_clock);
+  first.db.Insert(0, L({ObjectClass::kCar}));
+  service.Seal("gate#1", 3);
+
+  CameraFeed second(service, "gate#2", "gate", second_clock);
+  second.db.Insert(1, L({ObjectClass::kCar}));
+
+  const auto hits = service.FindObject(ObjectClass::kCar);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].camera_id, "gate");
+  EXPECT_EQ(hits[1].camera_id, "gate");
+  EXPECT_FALSE(hits[0].open);
+  EXPECT_TRUE(hits[1].open);
+  // WhereIs reports the id once, from the live incarnation only.
+  EXPECT_EQ(service.WhereIs(ObjectClass::kCar),
+            std::vector<std::string>{"gate"});
+}
+
+TEST(QueryServiceTest, SubscriptionsFireEnterAndExitInOrder) {
+  QueryService service;
+  const CameraClock clock{2.0, 4.0};
+  CameraFeed cam(service, "cam#1", "cam", clock);
+
+  std::vector<QueryEvent> car_events;
+  const auto id = service.Subscribe(
+      ObjectClass::kCar,
+      [&car_events](const QueryEvent& e) { car_events.push_back(e); });
+  std::size_t person_events = 0;
+  service.Subscribe(ObjectClass::kPerson,
+                    [&person_events](const QueryEvent&) { ++person_events; });
+
+  cam.db.Insert(1, L({ObjectClass::kCar}));
+  cam.db.Insert(3, LabelSet());
+  cam.db.Insert(6, L({ObjectClass::kCar}));
+  service.Seal("cam#1", 9);  // closes the live event -> exit at 9
+
+  ASSERT_EQ(car_events.size(), 4u);
+  EXPECT_EQ(car_events[0].kind, QueryEvent::Kind::kEnter);
+  EXPECT_EQ(car_events[0].frame, 1u);
+  EXPECT_EQ(car_events[0].seconds, clock.TimeOf(1));
+  EXPECT_EQ(car_events[0].camera_id, "cam");
+  EXPECT_EQ(car_events[1].kind, QueryEvent::Kind::kExit);
+  EXPECT_EQ(car_events[1].frame, 3u);
+  EXPECT_EQ(car_events[2].kind, QueryEvent::Kind::kEnter);
+  EXPECT_EQ(car_events[2].frame, 6u);
+  EXPECT_EQ(car_events[3].kind, QueryEvent::Kind::kExit);
+  EXPECT_EQ(car_events[3].frame, 9u);
+  EXPECT_EQ(person_events, 0u);  // class filter held
+
+  // Unsubscribed: later transitions stay silent.
+  service.Unsubscribe(id);
+  CameraFeed other(service, "cam#2", "cam", clock);
+  other.db.Insert(0, L({ObjectClass::kCar}));
+  EXPECT_EQ(car_events.size(), 4u);
+}
+
+TEST(QueryServiceTest, VersionGrowsWithEveryIndexUpdate) {
+  QueryService service;
+  EXPECT_EQ(service.version(), 0u);
+  CameraFeed cam(service, "cam#1", "cam", CameraClock{});
+  const auto after_register = service.version();
+  EXPECT_GT(after_register, 0u);
+  cam.db.Insert(0, L({ObjectClass::kCar}));
+  EXPECT_GT(service.version(), after_register);
+  const auto after_insert = service.version();
+  service.Seal("cam#1", 1);
+  EXPECT_GT(service.version(), after_insert);
+  // Snapshots are immutable: an old handle still reads its own version.
+  const auto snap = service.snapshot();
+  service.Seal("cam#1", 1);  // idempotent: no new version
+  EXPECT_EQ(service.version(), snap->version);
+}
+
+}  // namespace
+}  // namespace sieve::query

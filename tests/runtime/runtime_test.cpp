@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <tuple>
+#include <vector>
 
 #include "synth/scene.h"
 
@@ -335,6 +340,61 @@ TEST_F(RuntimeTest, FixedSplitShipsActivationsAndMatchesCloudResults) {
   }
   (void)(*cloud)->Drain();
   EXPECT_EQ((*session)->db().rows(), (*cloud)->db().rows());
+}
+
+TEST_F(RuntimeTest, ParallelEdgeNnPreservesPerCameraOrder) {
+  // The edge-NN tier scaled to 4 ordered workers, with all-edge placement
+  // so the whole forward pass runs in that stage. Per-camera result order
+  // is observed through the query layer's standing subscriptions (events
+  // fire in database-insert order), and the databases must match a serial
+  // edge-NN runtime exactly.
+  const synth::SyntheticVideo other = SmallScene(23);
+  auto run = [&](int parallelism) {
+    RuntimeConfig config = SmallConfig();
+    config.edge_nn_parallelism = parallelism;
+    config.default_placement = PlacementMode::kEdge;
+    Runtime runtime(config, classifier_);
+
+    std::mutex mutex;
+    std::map<std::string, std::vector<std::size_t>> event_frames;
+    for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+      runtime.query().Subscribe(
+          synth::ObjectClass(c), [&](const query::QueryEvent& e) {
+            std::lock_guard<std::mutex> lock(mutex);
+            event_frames[e.camera_id].push_back(e.frame);
+          });
+    }
+
+    auto a = runtime.OpenSession("cam-a", SceneSession());
+    auto b = runtime.OpenSession("cam-b", SceneSession());
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(b.ok());
+    std::thread ta([&] {
+      for (const auto& frame : scene_->video.frames) {
+        ASSERT_TRUE((*a)->PushFrame(frame).ok());
+      }
+    });
+    std::thread tb([&] {
+      for (const auto& frame : other.video.frames) {
+        ASSERT_TRUE((*b)->PushFrame(frame).ok());
+      }
+    });
+    ta.join();
+    tb.join();
+    (void)(*a)->Drain();
+    (void)(*b)->Drain();
+    return std::tuple((*a)->db().rows(), (*b)->db().rows(), event_frames);
+  };
+
+  const auto [a4, b4, events4] = run(4);
+  for (const auto& [camera, frames] : events4) {
+    EXPECT_TRUE(std::is_sorted(frames.begin(), frames.end()))
+        << "events of " << camera << " arrived out of frame order";
+  }
+  const auto [a1, b1, events1] = run(1);
+  EXPECT_EQ(a4, a1);
+  EXPECT_EQ(b4, b1);
+  EXPECT_EQ(events4, events1);  // same transitions, same order, per camera
 }
 
 TEST_F(RuntimeTest, ParallelTranscodePreservesResults) {

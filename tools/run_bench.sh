@@ -15,9 +15,12 @@
 # against a baseline run in the same process. Scenarios: encode (reference /
 # serial / parallel), motion (full-search), gemm, conv (backbone forward),
 # multi_session (3 concurrent camera sessions on one shared runtime
-# executor — the fan-in scaling number to watch across PRs), and
+# executor — the fan-in scaling number to watch across PRs),
 # nn_placement (all-edge / all-cloud / auto-split session placement:
-# end-to-end latency + WAN still/activation bytes per plan).
+# end-to-end latency + WAN still/activation bytes per plan), and
+# live_query (3 streaming cameras with a reader thread hammering the
+# cross-camera query index: FindObject latency under ingest + index update
+# throughput).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
