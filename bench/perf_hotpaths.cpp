@@ -8,10 +8,14 @@
 //
 // Usage: perf_hotpaths [out.json] [parallel_threads] [scenarios]
 //   scenarios: comma-separated subset of
-//     encode,motion,gemm,conv,multi_session,nn_placement,live_query
+//     encode,motion,gemm,conv,multi_session,nn_placement,live_query,
+//     dct_sad_kernels
 //   (default: all). Skipped scenarios report zeros in the JSON.
 //
+// Exits nonzero if any scenario failed to run (the JSON still gets written,
+// with zeros in the failed sections, so the caller decides what to keep).
 // Everything is seeded; two runs on the same machine produce the same work.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +27,9 @@
 
 #include "codec/encoder.h"
 #include "codec/motion.h"
+#include "codec/transform.h"
 #include "common/rng.h"
+#include "common/simd/kernels.h"
 #include "common/stopwatch.h"
 #include "media/metrics.h"
 #include "nn/classifier.h"
@@ -42,7 +48,16 @@ constexpr std::uint64_t kSeed = 20260729;
 
 constexpr const char* kKnownScenarios[] = {
     "encode", "motion", "gemm",         "conv",
-    "multi_session", "nn_placement", "live_query"};
+    "multi_session", "nn_placement", "live_query", "dct_sad_kernels"};
+
+/// Set when a scenario could not run (encode failure, session failure...);
+/// main exits nonzero so tools/run_bench.sh never commits a partial report.
+std::atomic<bool> g_scenario_failed{false};
+
+void ReportScenarioFailure(const char* scenario, const char* what) {
+  std::fprintf(stderr, "[%s] %s\n", scenario, what);
+  g_scenario_failed.store(true, std::memory_order_relaxed);
+}
 
 /// argv[3] scenario filter: empty = everything enabled.
 std::string g_scenarios;
@@ -136,7 +151,7 @@ EncodeResult BenchEncode(int parallel_threads) {
   auto [serial, serial_s] = run(false, 1);
   auto [parallel, parallel_s] = run(false, parallel_threads);
   if (!ref.ok() || !serial.ok() || !parallel.ok()) {
-    std::fprintf(stderr, "[encode] encode failed\n");
+    ReportScenarioFailure("encode", "encode failed");
     return out;
   }
   out.reference_fps = double(out.frames) / ref_s;
@@ -268,6 +283,153 @@ ConvRow BenchConvForward() {
   return row;
 }
 
+// --------------------------------------------------------- kernel micros --
+
+struct KernelBenchRow {
+  const char* active_arch = "";
+  bool simd_available = false;   ///< active table != scalar
+  double fdct_scalar_mblocks_s = 0, fdct_simd_mblocks_s = 0, fdct_speedup = 0;
+  double idct_scalar_mblocks_s = 0, idct_simd_mblocks_s = 0, idct_speedup = 0;
+  double sad_scalar_mpix_s = 0, sad_simd_mpix_s = 0, sad_speedup = 0;
+  double quant_scalar_mblocks_s = 0, quant_simd_mblocks_s = 0,
+         quant_speedup = 0;
+  bool identical = false;  ///< SIMD outputs bit-equal to scalar on this data
+};
+
+/// A/B microbench of the dispatch layer itself: the scalar table against the
+/// best supported table on the same random blocks, verifying bit-equality of
+/// every output while timing. This is the acceptance number for the SIMD
+/// kernels (>= 2.5x ForwardDct, >= 2x SAD on SIMD-capable hardware).
+KernelBenchRow BenchDctSadKernels() {
+  const simd::KernelTable& scalar = simd::KernelsFor(simd::KernelArch::kScalar);
+  // Measure the best compiled table even under SIEVE_FORCE_SCALAR: the env
+  // pins production dispatch, not the A/B harness.
+  simd::KernelArch best = simd::KernelArch::kScalar;
+  for (simd::KernelArch arch : simd::CompiledArches()) {
+    if (arch != simd::KernelArch::kScalar && simd::ArchSupported(arch)) {
+      best = arch;
+    }
+  }
+  const simd::KernelTable& vec = simd::KernelsFor(best);
+
+  KernelBenchRow row;
+  row.active_arch = simd::KernelArchName(best);
+  row.simd_available = best != simd::KernelArch::kScalar;
+  row.identical = true;
+
+  constexpr int kBlocks = 256;
+  constexpr int kLaps = 2000;
+  Rng rng(kSeed + 99);
+  std::vector<std::int16_t> pixels(std::size_t(kBlocks) * simd::kBlockLen);
+  for (auto& v : pixels) v = std::int16_t(rng.UniformInt(-255, 255));
+  const codec::QuantTable q = codec::MakeLumaQuant(26);
+
+  std::vector<float> freq_a(pixels.size()), freq_b(pixels.size());
+  std::vector<std::int32_t> coeff_a(pixels.size()), coeff_b(pixels.size());
+  std::vector<std::int16_t> rec_a(pixels.size()), rec_b(pixels.size());
+
+  const double total_blocks = double(kBlocks) * kLaps;
+  auto time_blocks = [&](auto&& fn) {
+    Stopwatch watch;
+    for (int lap = 0; lap < kLaps; ++lap) {
+      for (int blk = 0; blk < kBlocks; ++blk) fn(blk);
+    }
+    return total_blocks / watch.ElapsedSeconds() / 1e6;  // Mblocks/s
+  };
+
+  // Forward DCT.
+  row.fdct_scalar_mblocks_s = time_blocks([&](int blk) {
+    scalar.fdct8x8(pixels.data() + blk * simd::kBlockLen,
+                   freq_a.data() + blk * simd::kBlockLen);
+  });
+  row.fdct_simd_mblocks_s = time_blocks([&](int blk) {
+    vec.fdct8x8(pixels.data() + blk * simd::kBlockLen,
+                freq_b.data() + blk * simd::kBlockLen);
+  });
+  row.fdct_speedup = Ratio(row.fdct_simd_mblocks_s, row.fdct_scalar_mblocks_s);
+  row.identical = row.identical &&
+                  std::memcmp(freq_a.data(), freq_b.data(),
+                              freq_a.size() * sizeof(float)) == 0;
+
+  // Quantize (uses the fdct outputs).
+  row.quant_scalar_mblocks_s = time_blocks([&](int blk) {
+    scalar.quantize8x8(freq_a.data() + blk * simd::kBlockLen, q.step.data(),
+                       coeff_a.data() + blk * simd::kBlockLen);
+  });
+  row.quant_simd_mblocks_s = time_blocks([&](int blk) {
+    vec.quantize8x8(freq_a.data() + blk * simd::kBlockLen, q.step.data(),
+                    coeff_b.data() + blk * simd::kBlockLen);
+  });
+  row.quant_speedup =
+      Ratio(row.quant_simd_mblocks_s, row.quant_scalar_mblocks_s);
+  row.identical = row.identical &&
+                  std::memcmp(coeff_a.data(), coeff_b.data(),
+                              coeff_a.size() * sizeof(std::int32_t)) == 0;
+
+  // Inverse DCT over dequantized coefficients.
+  for (int blk = 0; blk < kBlocks; ++blk) {
+    scalar.dequantize8x8(coeff_a.data() + blk * simd::kBlockLen, q.step.data(),
+                         freq_a.data() + blk * simd::kBlockLen);
+  }
+  row.idct_scalar_mblocks_s = time_blocks([&](int blk) {
+    scalar.idct8x8(freq_a.data() + blk * simd::kBlockLen,
+                   rec_a.data() + blk * simd::kBlockLen);
+  });
+  row.idct_simd_mblocks_s = time_blocks([&](int blk) {
+    vec.idct8x8(freq_a.data() + blk * simd::kBlockLen,
+                rec_b.data() + blk * simd::kBlockLen);
+  });
+  row.idct_speedup = Ratio(row.idct_simd_mblocks_s, row.idct_scalar_mblocks_s);
+  row.identical = row.identical &&
+                  std::memcmp(rec_a.data(), rec_b.data(),
+                              rec_a.size() * sizeof(std::int16_t)) == 0;
+
+  // SAD: 16x16 macroblocks over two textured planes (the motion-search
+  // shape), measured in pixels/s.
+  const int w = 320, h = 240;
+  media::Plane pa(w, h), pb(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      pa.at(x, y) = std::uint8_t(rng.UniformInt(0, 255));
+    }
+  }
+  // pb = pa shifted by 2px + small noise (fill pa fully first): the
+  // motion-search-shaped input, with realistic small differences.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int v = int(pa.at_clamped(x + 2, y)) + rng.UniformInt(0, 8);
+      pb.at(x, y) = std::uint8_t(v > 255 ? 255 : v);
+    }
+  }
+  const int sad_laps = 400;
+  auto time_sad = [&](const simd::KernelTable& table, std::uint64_t* checksum) {
+    std::uint64_t sum = 0;
+    double pixels_scanned = 0;
+    Stopwatch watch;
+    for (int lap = 0; lap < sad_laps; ++lap) {
+      for (int by = 0; by + 16 <= h; by += 16) {
+        for (int bx = 0; bx + 16 <= w; bx += 16) {
+          sum += table.sad16xh(pa.row(by) + bx, w, pb.row(by) + bx, w, 16);
+          pixels_scanned += 256;
+        }
+      }
+    }
+    *checksum = sum;
+    return pixels_scanned / watch.ElapsedSeconds() / 1e6;  // Mpix/s
+  };
+  std::uint64_t sum_scalar = 0, sum_simd = 0;
+  row.sad_scalar_mpix_s = time_sad(scalar, &sum_scalar);
+  row.sad_simd_mpix_s = time_sad(vec, &sum_simd);
+  row.sad_speedup = Ratio(row.sad_simd_mpix_s, row.sad_scalar_mpix_s);
+  row.identical = row.identical && sum_scalar == sum_simd;
+
+  if (!row.identical) {
+    ReportScenarioFailure("dct_sad_kernels",
+                          "SIMD outputs differ from scalar reference");
+  }
+  return row;
+}
+
 // ----------------------------------------------------- multi-camera fleet --
 
 struct MultiSessionResult {
@@ -308,7 +470,7 @@ MultiSessionResult BenchMultiSession() {
   cp.embedding_dim = 16;
   nn::FrameClassifier classifier(cp);
   if (!classifier.Fit(scenes[0].video.frames, scenes[0].truth, 8).ok()) {
-    std::fprintf(stderr, "[multi_session] classifier fit failed\n");
+    ReportScenarioFailure("multi_session", "classifier fit failed");
     return {};
   }
 
@@ -323,7 +485,7 @@ MultiSessionResult BenchMultiSession() {
     sc.encoder = codec::EncoderParams::Semantic(12, 150);
     auto session = rt.OpenSession("cam-" + std::to_string(cam), sc);
     if (!session.ok()) {
-      std::fprintf(stderr, "[multi_session] OpenSession failed\n");
+      ReportScenarioFailure("multi_session", "OpenSession failed");
       return {};
     }
     sessions.push_back(std::move(*session));
@@ -395,7 +557,7 @@ NnPlacementResult BenchNnPlacement() {
   cp.embedding_dim = 16;
   nn::FrameClassifier classifier(cp);
   if (!classifier.Fit(scene.video.frames, scene.truth, 8).ok()) {
-    std::fprintf(stderr, "[nn_placement] classifier fit failed\n");
+    ReportScenarioFailure("nn_placement", "classifier fit failed");
     return {};
   }
 
@@ -426,7 +588,7 @@ NnPlacementResult BenchNnPlacement() {
     sc.placement = mode;
     auto session = rt.OpenSession("cam", sc);
     if (!session.ok()) {
-      std::fprintf(stderr, "[nn_placement] OpenSession failed\n");
+      ReportScenarioFailure("nn_placement", "OpenSession failed");
       return out;
     }
     for (const auto& frame : scene.video.frames) {
@@ -462,6 +624,10 @@ struct LiveQueryResult {
   std::size_t frames_total = 0;
   std::size_t queries = 0;          ///< FindObject calls issued while live
   double avg_query_micros = 0;      ///< mean FindObject latency under ingest
+  /// 99th-percentile FindObject latency: the number to watch. The max is
+  /// kept for visibility but is dominated by one-off warmup/scheduling
+  /// artifacts (a single 40 ms page-fault-shaped outlier in early runs).
+  double p99_query_micros = 0;
   double max_query_micros = 0;
   std::uint64_t index_updates = 0;  ///< final index version (register+insert+seal)
   double updates_per_s = 0;         ///< index update throughput while streaming
@@ -502,7 +668,7 @@ LiveQueryResult BenchLiveQuery() {
   cp.embedding_dim = 16;
   nn::FrameClassifier classifier(cp);
   if (!classifier.Fit(scenes[0].video.frames, scenes[0].truth, 8).ok()) {
-    std::fprintf(stderr, "[live_query] classifier fit failed\n");
+    ReportScenarioFailure("live_query", "classifier fit failed");
     return {};
   }
 
@@ -526,7 +692,7 @@ LiveQueryResult BenchLiveQuery() {
     sc.encoder = codec::EncoderParams::Semantic(12, 150);
     auto session = rt.OpenSession("cam-" + std::to_string(cam), sc);
     if (!session.ok()) {
-      std::fprintf(stderr, "[live_query] OpenSession failed\n");
+      ReportScenarioFailure("live_query", "OpenSession failed");
       return {};
     }
     sessions.push_back(std::move(*session));
@@ -535,6 +701,8 @@ LiveQueryResult BenchLiveQuery() {
   std::atomic<bool> streaming{true};
   std::size_t queries = 0;
   double query_seconds_sum = 0, query_seconds_max = 0;
+  std::vector<double> query_seconds;
+  query_seconds.reserve(1u << 20);
   std::thread query_thread([&] {
     const query::QueryService& q = rt.query();
     while (streaming.load(std::memory_order_acquire)) {
@@ -546,6 +714,7 @@ LiveQueryResult BenchLiveQuery() {
         ++queries;
         query_seconds_sum += seconds;
         if (seconds > query_seconds_max) query_seconds_max = seconds;
+        query_seconds.push_back(seconds);
         (void)hits;
         (void)q.WhereIs(cls);
       }
@@ -573,6 +742,15 @@ LiveQueryResult BenchLiveQuery() {
   out.queries = queries;
   out.avg_query_micros =
       queries > 0 ? query_seconds_sum * 1e6 / double(queries) : 0.0;
+  if (!query_seconds.empty()) {
+    // p99 by rank (nearest-rank on the sorted sample).
+    const std::size_t rank =
+        std::size_t(0.99 * double(query_seconds.size() - 1));
+    std::nth_element(query_seconds.begin(),
+                     query_seconds.begin() + std::ptrdiff_t(rank),
+                     query_seconds.end());
+    out.p99_query_micros = query_seconds[rank] * 1e6;
+  }
   out.max_query_micros = query_seconds_max * 1e6;
   out.index_updates = rt.query().version();
   out.updates_per_s =
@@ -623,6 +801,23 @@ int main(int argc, char** argv) {
                 mot.identical ? "yes" : "NO");
   }
 
+  const KernelBenchRow kernels = Enabled("dct_sad_kernels")
+                                     ? BenchDctSadKernels()
+                                     : KernelBenchRow{};
+  if (Enabled("dct_sad_kernels")) {
+    std::printf("dct_sad_kernels (%s): fdct %.2f -> %.2f Mblk/s (%.2fx) | "
+                "idct %.2f -> %.2f Mblk/s (%.2fx) | sad16 %.0f -> %.0f "
+                "Mpix/s (%.2fx) | quant %.2f -> %.2f Mblk/s (%.2fx) | "
+                "identical: %s\n",
+                kernels.active_arch, kernels.fdct_scalar_mblocks_s,
+                kernels.fdct_simd_mblocks_s, kernels.fdct_speedup,
+                kernels.idct_scalar_mblocks_s, kernels.idct_simd_mblocks_s,
+                kernels.idct_speedup, kernels.sad_scalar_mpix_s,
+                kernels.sad_simd_mpix_s, kernels.sad_speedup,
+                kernels.quant_scalar_mblocks_s, kernels.quant_simd_mblocks_s,
+                kernels.quant_speedup, kernels.identical ? "yes" : "NO");
+  }
+
   const GemmRow gemm = Enabled("gemm") ? BenchGemm() : GemmRow{};
   if (Enabled("gemm")) {
     std::printf("gemm 1024x288x64: naive %.2f GFLOP/s | blocked %.2f GFLOP/s "
@@ -666,10 +861,10 @@ int main(int argc, char** argv) {
       Enabled("live_query") ? BenchLiveQuery() : LiveQueryResult{};
   if (Enabled("live_query")) {
     std::printf("live_query: %zu cameras | %zu queries while streaming "
-                "(avg %.1f us, max %.1f us) | %llu index updates "
+                "(avg %.1f us, p99 %.1f us, max %.1f us) | %llu index updates "
                 "(%.1f/s) | %zu events, %zu final hits\n",
                 live.sessions, live.queries, live.avg_query_micros,
-                live.max_query_micros,
+                live.p99_query_micros, live.max_query_micros,
                 static_cast<unsigned long long>(live.index_updates),
                 live.updates_per_s, live.subscription_events,
                 live.hits_final);
@@ -699,6 +894,23 @@ int main(int argc, char** argv) {
                "    \"speedup\": %.3f,\n"
                "    \"identical\": %s\n"
                "  },\n"
+               "  \"dct_sad_kernels\": {\n"
+               "    \"active_arch\": \"%s\",\n"
+               "    \"simd_available\": %s,\n"
+               "    \"fdct_scalar_mblocks_s\": %.3f,\n"
+               "    \"fdct_simd_mblocks_s\": %.3f,\n"
+               "    \"fdct_speedup\": %.3f,\n"
+               "    \"idct_scalar_mblocks_s\": %.3f,\n"
+               "    \"idct_simd_mblocks_s\": %.3f,\n"
+               "    \"idct_speedup\": %.3f,\n"
+               "    \"sad_scalar_mpix_s\": %.1f,\n"
+               "    \"sad_simd_mpix_s\": %.1f,\n"
+               "    \"sad_speedup\": %.3f,\n"
+               "    \"quant_scalar_mblocks_s\": %.3f,\n"
+               "    \"quant_simd_mblocks_s\": %.3f,\n"
+               "    \"quant_speedup\": %.3f,\n"
+               "    \"identical\": %s\n"
+               "  },\n"
                "  \"gemm_1024x288x64\": {\n"
                "    \"naive_gflops\": %.3f,\n"
                "    \"blocked_gflops\": %.3f,\n"
@@ -720,7 +932,15 @@ int main(int argc, char** argv) {
                enc.bit_identical ? "true" : "false", mot.reference_cand_per_s,
                mot.pruned_cand_per_s,
                Ratio(mot.pruned_cand_per_s, mot.reference_cand_per_s),
-               mot.identical ? "true" : "false", gemm.naive_gflops,
+               mot.identical ? "true" : "false", kernels.active_arch,
+               kernels.simd_available ? "true" : "false",
+               kernels.fdct_scalar_mblocks_s, kernels.fdct_simd_mblocks_s,
+               kernels.fdct_speedup, kernels.idct_scalar_mblocks_s,
+               kernels.idct_simd_mblocks_s, kernels.idct_speedup,
+               kernels.sad_scalar_mpix_s, kernels.sad_simd_mpix_s,
+               kernels.sad_speedup, kernels.quant_scalar_mblocks_s,
+               kernels.quant_simd_mblocks_s, kernels.quant_speedup,
+               kernels.identical ? "true" : "false", gemm.naive_gflops,
                gemm.blocked_gflops, Ratio(gemm.blocked_gflops, gemm.naive_gflops),
                conv.forward_ms, conv.gflops, multi.sessions,
                multi.frames_total, multi.aggregate_fps);
@@ -759,6 +979,7 @@ int main(int argc, char** argv) {
                "    \"frames_total\": %zu,\n"
                "    \"queries\": %zu,\n"
                "    \"avg_query_micros\": %.3f,\n"
+               "    \"p99_query_micros\": %.3f,\n"
                "    \"max_query_micros\": %.3f,\n"
                "    \"index_updates\": %llu,\n"
                "    \"updates_per_s\": %.2f,\n"
@@ -767,11 +988,17 @@ int main(int argc, char** argv) {
                "  }\n"
                "}\n",
                live.sessions, live.frames_total, live.queries,
-               live.avg_query_micros, live.max_query_micros,
+               live.avg_query_micros, live.p99_query_micros,
+               live.max_query_micros,
                static_cast<unsigned long long>(live.index_updates),
                live.updates_per_s, live.subscription_events,
                live.hits_final);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
+  if (g_scenario_failed.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "one or more scenarios failed; report is partial (zeros)\n");
+    return 1;
+  }
   return 0;
 }

@@ -59,7 +59,11 @@ Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
   FrameModels models;  // fresh per frame: payloads are self-contained
   media::Frame new_recon(header_.width, header_.height);
   if (is_key) {
-    EncodeIntraFrame(rc, models, frame, ctx_, new_recon);
+    // Same two-pass split as inter frames: the reference path pinned the
+    // executor to inline-serial in the constructor, so the golden encode
+    // stays single-threaded by construction.
+    EncodeIntraFrame(rc, models, frame, ctx_, new_recon, executor_,
+                     &intra_scratch_);
   } else if (params_.reference_inter) {
     EncodeInterFrameReference(rc, models, frame, recon_, ctx_, params_.inter,
                               new_recon);

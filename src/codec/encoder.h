@@ -132,6 +132,7 @@ class StreamingEncoder {
   runtime::Executor* executor_ = nullptr;  ///< motion-estimation + lookahead workers
   std::unique_ptr<runtime::Executor> owned_executor_;  ///< for threads > 1
   InterScratch inter_scratch_;        ///< reused across frames: no per-frame allocs
+  IntraScratch intra_scratch_;        ///< I-frame pass-1 coefficients, reused
   media::Frame recon_;
   std::vector<FrameRecord> records_;
   std::vector<FrameCost> costs_;

@@ -92,18 +92,46 @@ void StoreResidualRecon(const PixelBlock& residual, const media::Plane& pred,
   }
 }
 
+/// Intra plane coding, split like the inter coder: pass 1 (per-block DCT +
+/// quantization + reconstruction) is entropy-free and parallelizes over
+/// 8-pixel block rows — blocks read only `src` and write disjoint regions of
+/// `recon` and the coefficient list. Pass 2 is the serial DC-predicted
+/// entropy sweep over the stored coefficients in raster order; the quantized
+/// coefficients do not depend on the DC predictor (prediction happens at the
+/// entropy stage), so the bitstream is byte-identical to the fused serial
+/// loop for every executor.
 void CodeIntraPlane(RangeEncoder& rc, PlaneModels& models, const media::Plane& src,
-                    const QuantTable& q, media::Plane& recon) {
-  std::int32_t dc_pred = 0;
-  PixelBlock block, rec;
-  CoeffBlock coeffs;
-  for (int by = 0; by < src.height(); by += kBlockSize) {
-    for (int bx = 0; bx < src.width(); bx += kBlockSize) {
+                    const QuantTable& q, media::Plane& recon,
+                    runtime::Executor* executor,
+                    std::vector<CoeffBlock>& coeffs) {
+  const int blocks_x = (src.width() + kBlockSize - 1) / kBlockSize;
+  const int blocks_y = (src.height() + kBlockSize - 1) / kBlockSize;
+  coeffs.resize(std::size_t(blocks_x) * std::size_t(blocks_y));
+
+  // ---- Pass 1: transform + quantization + reconstruction ----------------
+  auto code_row = [&](std::size_t row) {
+    PixelBlock block, rec;
+    const int by = int(row) * kBlockSize;
+    CoeffBlock* out = coeffs.data() + row * std::size_t(blocks_x);
+    for (int i = 0; i < blocks_x; ++i) {
+      const int bx = i * kBlockSize;
       LoadBlock(src, bx, by, 128, block);
-      ReconstructBlock(block, q, coeffs, rec);
-      EncodeCoeffBlock(rc, models, coeffs, dc_pred);
+      ReconstructBlock(block, q, out[i], rec);
       StoreBlock(rec, bx, by, 128, recon);
     }
+  };
+  if (executor != nullptr && executor->concurrency() > 1 && blocks_y > 1) {
+    executor->ParallelFor(std::size_t(blocks_y), code_row);
+  } else {
+    for (int row = 0; row < blocks_y; ++row) code_row(std::size_t(row));
+  }
+
+  // ---- Pass 2: DC-predicted entropy coding (serial; the predictor and the
+  // adaptive models are sequential across the whole plane). ----------------
+  std::int32_t dc_pred = 0;
+  const std::size_t n = std::size_t(blocks_x) * std::size_t(blocks_y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EncodeCoeffBlock(rc, models, coeffs[i], dc_pred);
   }
 }
 
@@ -168,10 +196,16 @@ void CopyMacroblock(const media::Frame& prev, int mbx, int mby,
 
 void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const CodingContext& ctx,
-                      media::Frame& recon) {
-  CodeIntraPlane(rc, models.luma_intra, src.y(), ctx.luma_q, recon.y());
-  CodeIntraPlane(rc, models.chroma_intra, src.u(), ctx.chroma_q, recon.u());
-  CodeIntraPlane(rc, models.chroma_intra, src.v(), ctx.chroma_q, recon.v());
+                      media::Frame& recon, runtime::Executor* executor,
+                      IntraScratch* scratch) {
+  IntraScratch local;
+  IntraScratch& s = scratch != nullptr ? *scratch : local;
+  CodeIntraPlane(rc, models.luma_intra, src.y(), ctx.luma_q, recon.y(),
+                 executor, s.coeffs);
+  CodeIntraPlane(rc, models.chroma_intra, src.u(), ctx.chroma_q, recon.u(),
+                 executor, s.coeffs);
+  CodeIntraPlane(rc, models.chroma_intra, src.v(), ctx.chroma_q, recon.v(),
+                 executor, s.coeffs);
 }
 
 void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,

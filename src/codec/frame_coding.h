@@ -55,11 +55,25 @@ struct FrameModels {
   std::array<BitModel, kUnsignedLengthModels> mv_y;
 };
 
+/// Reusable pass-1 scratch for EncodeIntraFrame: the per-block quantized
+/// coefficients of the plane being coded. Streams should pass the same
+/// instance every frame so steady-state I-frame coding does not allocate.
+struct IntraScratch {
+  std::vector<CoeffBlock> coeffs;
+};
+
 /// Encode `src` as an intra frame; writes the reconstruction (what any
 /// decoder will produce) into `recon`, which must be src-sized.
+///
+/// Two-pass design mirroring EncodeInterFrame: pass 1 (DCT + quantization +
+/// reconstruction per 8x8 block) parallelizes over block rows on `executor`;
+/// pass 2 is the serial DC-predicted entropy sweep over the stored
+/// coefficients. The bitstream is byte-identical for every executor choice
+/// (null = serial). `scratch` is optional reusable working memory.
 void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const CodingContext& ctx,
-                      media::Frame& recon);
+                      media::Frame& recon, runtime::Executor* executor = nullptr,
+                      IntraScratch* scratch = nullptr);
 
 /// Decode an intra frame of known dimensions.
 void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,

@@ -9,7 +9,8 @@ namespace {
 constexpr std::uint8_t kStillMagic[4] = {'S', 'I', 'M', '1'};
 }
 
-std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp) {
+std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp,
+                                      runtime::Executor* executor) {
   ByteWriter out;
   out.PutBytes(std::span<const std::uint8_t>(kStillMagic, 4));
   out.PutU16(std::uint16_t(frame.width()));
@@ -21,7 +22,7 @@ std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp) {
   FrameModels models;
   const CodingContext ctx = CodingContext::ForQp(qp);
   media::Frame recon(frame.width(), frame.height());
-  EncodeIntraFrame(rc, models, frame, ctx, recon);
+  EncodeIntraFrame(rc, models, frame, ctx, recon, executor);
   rc.Flush();
 
   out.PutU32(std::uint32_t(payload.size()));

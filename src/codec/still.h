@@ -13,10 +13,17 @@
 #include "common/status.h"
 #include "media/frame.h"
 
+namespace sieve::runtime {
+class Executor;
+}
+
 namespace sieve::codec {
 
-/// Encode a frame as a standalone still image ("SIM1" format).
-std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp = 26);
+/// Encode a frame as a standalone still image ("SIM1" format). An executor
+/// parallelizes the intra decision pass over block rows (see
+/// EncodeIntraFrame); the bytes are identical for every executor choice.
+std::vector<std::uint8_t> EncodeStill(const media::Frame& frame, int qp = 26,
+                                      runtime::Executor* executor = nullptr);
 
 /// Decode a SIM1 still image.
 Expected<media::Frame> DecodeStill(std::span<const std::uint8_t> bytes);

@@ -2,28 +2,15 @@
 
 #include <cmath>
 
+#include "common/simd/kernels.h"
+
 namespace sieve::codec {
 
+// The 8x8 transform kernels live in the dispatch layer; the codec's block
+// geometry must match theirs.
+static_assert(kBlockSize == simd::kBlockDim && kBlockPixels == simd::kBlockLen);
+
 namespace {
-
-/// DCT-II basis matrix C[k][n] = s(k) * cos((2n+1)kπ/16).
-struct DctBasis {
-  float c[kBlockSize][kBlockSize];
-  DctBasis() {
-    const double pi = std::acos(-1.0);
-    for (int k = 0; k < kBlockSize; ++k) {
-      const double s = k == 0 ? std::sqrt(1.0 / kBlockSize) : std::sqrt(2.0 / kBlockSize);
-      for (int n = 0; n < kBlockSize; ++n) {
-        c[k][n] = float(s * std::cos((2.0 * n + 1.0) * k * pi / (2.0 * kBlockSize)));
-      }
-    }
-  }
-};
-
-const DctBasis& Basis() {
-  static const DctBasis basis;
-  return basis;
-}
 
 // JPEG Annex K base quantization matrices (quality-50 reference points).
 constexpr std::array<int, kBlockPixels> kLumaBase = {
@@ -63,49 +50,11 @@ QuantTable MakeQuant(const std::array<int, kBlockPixels>& base, int qp) {
 }  // namespace
 
 void ForwardDct(const PixelBlock& in, std::array<float, kBlockPixels>& out) {
-  const auto& B = Basis();
-  float tmp[kBlockSize][kBlockSize];
-  // Rows: tmp[y][k] = sum_x in[y][x] * C[k][x]
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int k = 0; k < kBlockSize; ++k) {
-      float acc = 0;
-      for (int x = 0; x < kBlockSize; ++x) {
-        acc += float(in[std::size_t(y * kBlockSize + x)]) * B.c[k][x];
-      }
-      tmp[y][k] = acc;
-    }
-  }
-  // Columns: out[v][k] = sum_y tmp[y][k] * C[v][y]
-  for (int v = 0; v < kBlockSize; ++v) {
-    for (int k = 0; k < kBlockSize; ++k) {
-      float acc = 0;
-      for (int y = 0; y < kBlockSize; ++y) acc += tmp[y][k] * B.c[v][y];
-      out[std::size_t(v * kBlockSize + k)] = acc;
-    }
-  }
+  simd::ActiveKernels().fdct8x8(in.data(), out.data());
 }
 
 void InverseDct(const std::array<float, kBlockPixels>& in, PixelBlock& out) {
-  const auto& B = Basis();
-  float tmp[kBlockSize][kBlockSize];
-  // Columns first: tmp[y][k] = sum_v in[v][k] * C[v][y]
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int k = 0; k < kBlockSize; ++k) {
-      float acc = 0;
-      for (int v = 0; v < kBlockSize; ++v) {
-        acc += in[std::size_t(v * kBlockSize + k)] * B.c[v][y];
-      }
-      tmp[y][k] = acc;
-    }
-  }
-  // Rows: out[y][x] = sum_k tmp[y][k] * C[k][x]
-  for (int y = 0; y < kBlockSize; ++y) {
-    for (int x = 0; x < kBlockSize; ++x) {
-      float acc = 0;
-      for (int k = 0; k < kBlockSize; ++k) acc += tmp[y][k] * B.c[k][x];
-      out[std::size_t(y * kBlockSize + x)] = std::int16_t(std::lround(acc));
-    }
-  }
+  simd::ActiveKernels().idct8x8(in.data(), out.data());
 }
 
 QuantTable MakeLumaQuant(int qp) { return MakeQuant(kLumaBase, qp); }
@@ -113,17 +62,12 @@ QuantTable MakeChromaQuant(int qp) { return MakeQuant(kChromaBase, qp); }
 
 void Quantize(const std::array<float, kBlockPixels>& dct, const QuantTable& q,
               CoeffBlock& out) {
-  for (int i = 0; i < kBlockPixels; ++i) {
-    out[std::size_t(i)] =
-        std::int32_t(std::lround(dct[std::size_t(i)] / float(q.step[std::size_t(i)])));
-  }
+  simd::ActiveKernels().quantize8x8(dct.data(), q.step.data(), out.data());
 }
 
 void Dequantize(const CoeffBlock& in, const QuantTable& q,
                 std::array<float, kBlockPixels>& out) {
-  for (int i = 0; i < kBlockPixels; ++i) {
-    out[std::size_t(i)] = float(in[std::size_t(i)]) * float(q.step[std::size_t(i)]);
-  }
+  simd::ActiveKernels().dequantize8x8(in.data(), q.step.data(), out.data());
 }
 
 const std::array<int, kBlockPixels>& ZigZagOrder() {

@@ -1,4 +1,10 @@
 // 8x8 DCT-II / IDCT, quantization, and zig-zag scan — the transform stage.
+//
+// The arithmetic runs through the SIMD kernel layer (common/simd/kernels.h):
+// ForwardDct/InverseDct/Quantize/Dequantize dispatch to the active table
+// (scalar, SSE2, or NEON), all of which are bit-exact with each other, so
+// bitstreams do not depend on the dispatch choice. SIEVE_FORCE_SCALAR=1
+// pins the scalar reference path.
 #pragma once
 
 #include <array>
@@ -16,7 +22,8 @@ using CoeffBlock = std::array<std::int32_t, kBlockPixels>;  ///< quantized coeff
 void ForwardDct(const PixelBlock& in, std::array<float, kBlockPixels>& out);
 
 /// Inverse 8x8 DCT of float coefficients back to (centered) pixels,
-/// rounded to nearest integer.
+/// rounded to nearest integer (half away from zero) and clamped to the
+/// int16 range (reachable only from corrupt bitstreams).
 void InverseDct(const std::array<float, kBlockPixels>& in, PixelBlock& out);
 
 /// Per-coefficient quantizer step sizes for one plane kind at one qp.

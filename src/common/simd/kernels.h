@@ -1,0 +1,131 @@
+// SIMD kernel layer: runtime-dispatched implementations of the codec's
+// innermost loops — block SAD and the 8x8 DCT/IDCT + quantizer pair that
+// profiling puts at the top of a motion-heavy encode.
+//
+// Design rules (the whole point of this layer):
+//
+//  * Every kernel is BIT-EXACT across architectures. The scalar table is the
+//    reference; the SSE2/NEON tables perform the same floating-point
+//    operations in the same order (vectorized across independent *outputs*,
+//    never across a single output's accumulation), use IEEE-exact ops only
+//    (mul/add/div — no FMA, no rsqrt/rcp approximations), and replicate
+//    std::lround's round-half-away-from-zero. The kernel translation units
+//    are compiled with -ffp-contract=off so the compiler cannot contract the
+//    scalar path into FMA either. Consequence: encoded bitstreams are
+//    byte-identical whichever table is active.
+//
+//  * Dispatch is compile-time gated (each arch TU compiles to a stub
+//    returning nullptr when its ISA is unavailable) plus runtime-verified
+//    (CPUID on x86). The SIEVE_FORCE_SCALAR environment variable — set and
+//    not "0" — pins the scalar table, and SetActiveKernels() overrides both
+//    for tests and tools.
+//
+//  * This layer sits at the bottom of the dependency graph (raw pointers and
+//    strides only, no media/codec types) so media/ and codec/ can both call
+//    it.
+//
+// See docs/perf.md ("The SIMD kernel layer") for how to add a kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sieve::simd {
+
+/// All transform kernels operate on 8x8 blocks in row-major order.
+inline constexpr int kBlockDim = 8;
+inline constexpr int kBlockLen = kBlockDim * kBlockDim;
+
+/// One architecture's implementations of the hot kernels. Strides are in
+/// elements (== bytes for the uint8 SAD inputs). All pointers must be valid
+/// for the full extent they describe; transform pointers must not alias.
+struct KernelTable {
+  const char* name;  ///< "scalar" | "sse2" | "neon"
+
+  /// Sum of absolute differences over one row of `w` pixels.
+  std::uint32_t (*sad_row)(const std::uint8_t* a, const std::uint8_t* b, int w);
+
+  /// SAD of a 16-wide, h-tall region (the macroblock fast case).
+  std::uint64_t (*sad16xh)(const std::uint8_t* a, int a_stride,
+                           const std::uint8_t* b, int b_stride, int h);
+
+  /// SAD of a w×h region with row-granular early termination: after each
+  /// row, if the running sum has reached `bound` the scan stops and the
+  /// partial sum is returned. Exact when the result is < bound; some value
+  /// in [bound, exact] otherwise. Every table checks at the same row
+  /// boundaries, so return values are identical across architectures.
+  std::uint64_t (*sad_bounded)(const std::uint8_t* a, int a_stride,
+                               const std::uint8_t* b, int b_stride, int w,
+                               int h, std::uint64_t bound);
+
+  /// Forward 8x8 DCT-II (orthonormal) of centered int16 pixels into floats.
+  void (*fdct8x8)(const std::int16_t* in, float* out);
+
+  /// Inverse 8x8 DCT of floats back to int16 pixels, rounded half away from
+  /// zero (std::lround semantics) and clamped to the int16 range. Inputs
+  /// must be finite with magnitude < 2^30.
+  void (*idct8x8)(const float* in, std::int16_t* out);
+
+  /// out[i] = lround(dct[i] / float(step[i])). Steps must be in [1, 2^24);
+  /// |dct[i] / step[i]| must be < 2^31.
+  void (*quantize8x8)(const float* dct, const std::int32_t* step,
+                      std::int32_t* out);
+
+  /// out[i] = float(in[i]) * float(step[i]).
+  void (*dequantize8x8)(const std::int32_t* in, const std::int32_t* step,
+                        float* out);
+};
+
+enum class KernelArch { kScalar, kSse2, kNeon };
+
+const char* KernelArchName(KernelArch arch) noexcept;
+
+/// True if the given architecture's table was compiled into this binary.
+bool ArchCompiled(KernelArch arch) noexcept;
+
+/// True if the architecture is compiled in AND the running CPU supports it
+/// (CPUID-checked on x86; NEON presence is implied by compiling for it).
+bool ArchSupported(KernelArch arch) noexcept;
+
+/// The table for an architecture; falls back to scalar when that arch was
+/// not compiled in. (kScalar always exists.)
+const KernelTable& KernelsFor(KernelArch arch) noexcept;
+
+/// All architectures compiled into this binary (always includes kScalar).
+std::vector<KernelArch> CompiledArches();
+
+/// True if SIEVE_FORCE_SCALAR is set in the environment (and not "0").
+bool ScalarForcedByEnv() noexcept;
+
+/// The best supported architecture, honoring SIEVE_FORCE_SCALAR.
+KernelArch BestArch() noexcept;
+
+/// The table the hot paths dispatch through. Resolved on first use from
+/// BestArch(); a relaxed atomic pointer load thereafter.
+const KernelTable& ActiveKernels() noexcept;
+
+/// Override the active table (tests, tools, A/B benches). Takes precedence
+/// over SIEVE_FORCE_SCALAR; falls back to scalar if `arch` is not compiled
+/// in. Not intended to be raced against in-flight encodes — switch between
+/// them.
+void SetActiveKernels(KernelArch arch) noexcept;
+
+/// The architecture of the currently active table.
+KernelArch ActiveArch() noexcept;
+
+/// RAII override of the active table (tests, A/B tools): activates `arch`
+/// on construction and restores the previously active table on destruction.
+class ScopedKernelArch {
+ public:
+  explicit ScopedKernelArch(KernelArch arch) noexcept : prev_(ActiveArch()) {
+    SetActiveKernels(arch);
+  }
+  ~ScopedKernelArch() { SetActiveKernels(prev_); }
+  ScopedKernelArch(const ScopedKernelArch&) = delete;
+  ScopedKernelArch& operator=(const ScopedKernelArch&) = delete;
+
+ private:
+  KernelArch prev_;
+};
+
+}  // namespace sieve::simd

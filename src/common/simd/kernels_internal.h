@@ -1,0 +1,31 @@
+// Internal sharing between the kernel-layer translation units: the DCT basis
+// tables every architecture reads, and the per-arch table accessors the
+// dispatcher resolves (stubs return nullptr when the ISA is not compiled in).
+// Not part of the public surface — include common/simd/kernels.h instead.
+#pragma once
+
+#include <cstdint>
+
+#include "common/simd/kernels.h"
+
+namespace sieve::simd {
+
+/// Orthonormal DCT-II basis C[k][n] = s(k) * cos((2n+1)kπ/16), in the two
+/// layouts the kernels consume. Both are the exact float values the original
+/// scalar transform computed, so the scalar kernel is bit-compatible with
+/// the pre-dispatch code.
+struct DctTables {
+  alignas(16) float basis[kBlockLen];    ///< basis[k*8 + n]   = C[k][n]
+  alignas(16) float basis_t[kBlockLen];  ///< basis_t[n*8 + k] = C[k][n]
+  DctTables();
+};
+
+const DctTables& Tables() noexcept;
+
+/// Per-architecture tables; nullptr when the ISA was not compiled in. The
+/// SSE2/NEON TUs always compile (their bodies are preprocessor-gated), so
+/// these symbols always link.
+const KernelTable* Sse2KernelTable() noexcept;
+const KernelTable* NeonKernelTable() noexcept;
+
+}  // namespace sieve::simd

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/simd/kernels.h"
+
 namespace sieve::media {
 
 double PlaneMse(const Plane& a, const Plane& b) {
@@ -33,11 +35,15 @@ std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
                         int by, int w, int h) {
   std::uint64_t acc = 0;
   if (a.ContainsRect(ax, ay, w, h) && b.ContainsRect(bx, by, w, h)) {
-    // Fast path: both regions fully inside; walk rows directly.
+    // Fast path: both regions fully inside — dispatch to the active SIMD
+    // kernel table (row stride == plane width; planes are contiguous).
+    const simd::KernelTable& kernels = simd::ActiveKernels();
+    if (w == 16) {
+      return kernels.sad16xh(a.row(ay) + ax, a.width(), b.row(by) + bx,
+                             b.width(), h);
+    }
     for (int y = 0; y < h; ++y) {
-      const std::uint8_t* ra = a.row(ay + y) + ax;
-      const std::uint8_t* rb = b.row(by + y) + bx;
-      for (int x = 0; x < w; ++x) acc += std::uint64_t(std::abs(int(ra[x]) - int(rb[x])));
+      acc += kernels.sad_row(a.row(ay + y) + ax, b.row(by + y) + bx, w);
     }
     return acc;
   }
@@ -55,17 +61,11 @@ std::uint64_t RegionSadBounded(const Plane& a, int ax, int ay, const Plane& b,
                                std::uint64_t bound) {
   std::uint64_t acc = 0;
   if (a.ContainsRect(ax, ay, w, h) && b.ContainsRect(bx, by, w, h)) {
-    for (int y = 0; y < h; ++y) {
-      const std::uint8_t* ra = a.row(ay + y) + ax;
-      const std::uint8_t* rb = b.row(by + y) + bx;
-      std::uint64_t row_acc = 0;
-      for (int x = 0; x < w; ++x) {
-        row_acc += std::uint64_t(std::abs(int(ra[x]) - int(rb[x])));
-      }
-      acc += row_acc;
-      if (acc >= bound) return acc;
-    }
-    return acc;
+    // Every kernel table checks the bound at the same row boundaries, so
+    // the returned (possibly saturated) value is dispatch-independent.
+    return simd::ActiveKernels().sad_bounded(a.row(ay) + ax, a.width(),
+                                             b.row(by) + bx, b.width(), w, h,
+                                             bound);
   }
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {

@@ -23,6 +23,8 @@ double FramePsnr(const Frame& a, const Frame& b);
 
 /// Sum of absolute differences between two rectangular luma regions.
 /// (ax, ay) and (bx, by) are top-left corners; reads are border-clamped.
+/// Fully-inside regions dispatch to the SIMD kernel layer
+/// (common/simd/kernels.h); results are exact for every dispatch choice.
 std::uint64_t RegionSad(const Plane& a, int ax, int ay, const Plane& b, int bx,
                         int by, int w, int h);
 

@@ -188,6 +188,11 @@ void Runtime::BuildTiers() {
 
         const media::Frame resized = media::ResizeFrame(
             frame, config_.nn_input_size, config_.nn_input_size);
+        // Deliberately no executor: this stage already scales ACROSS stills
+        // via transcode_parallelism workers; nesting per-still row
+        // parallelism here would oversubscribe the shared pool. (Stills are
+        // NN-input-sized — a handful of block rows — so the inner win is
+        // small anyway.)
         dataflow::FlowFile out(codec::EncodeStill(resized, config_.still_qp));
         out.SetU64("frame", file.GetU64("frame").value_or(0));
         out.SetAttribute("camera", session->route);

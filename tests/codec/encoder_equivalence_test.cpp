@@ -10,7 +10,9 @@
 #include "codec/encoder.h"
 #include "codec/frame_coding.h"
 #include "codec/motion.h"
+#include "codec/still.h"
 #include "common/rng.h"
+#include "common/simd/kernels.h"
 #include "media/image_ops.h"
 #include "media/metrics.h"
 #include "runtime/executor.h"
@@ -173,6 +175,95 @@ TEST(EncoderEquivalence, WireBytesUnaffectedByPerFrameTrim) {
     EXPECT_EQ(std::vector<std::uint8_t>(wire.begin(), wire.end()), expect)
         << "frame " << i;
     streaming.TrimBuffered();  // steady-state memory stays bounded
+  }
+}
+
+// Intra frames use the same two-pass split as inter frames: an all-intra
+// stream (gop 1) must be byte-identical across the serial reference, every
+// thread count, and an explicit parallel executor — and the parallel intra
+// reconstruction must match the serial one exactly (it seeds later frames).
+TEST(EncoderEquivalence, AllIntraStreamIdenticalAcrossThreadCounts) {
+  const media::RawVideo video = MovingVideo(112, 80, 6, 53);
+
+  auto encode = [&](bool reference, int threads) {
+    EncoderParams params = EncoderParams::Semantic(1, 100);  // every frame I
+    params.reference_inter = reference;
+    params.threads = threads;
+    auto encoded = VideoEncoder(params).Encode(video);
+    EXPECT_TRUE(encoded.ok());
+    if (encoded.ok()) {
+      EXPECT_EQ(encoded->IntraFrameCount(), video.frames.size());
+    }
+    return encoded.ok() ? encoded->bytes : std::vector<std::uint8_t>{};
+  };
+
+  const auto ref = encode(true, 1);
+  ASSERT_FALSE(ref.empty());
+  EXPECT_EQ(ref, encode(false, 1));
+  EXPECT_EQ(ref, encode(false, 3));
+  EXPECT_EQ(ref, encode(false, 0));
+}
+
+TEST(EncoderEquivalence, IntraFramePayloadAndReconIdenticalSerialVsParallel) {
+  const media::RawVideo video = MovingVideo(104, 72, 1, 59);
+  const CodingContext ctx = CodingContext::ForQp(26);
+
+  auto encode_intra = [&](runtime::Executor* executor, media::Frame* recon) {
+    ByteWriter payload;
+    RangeEncoder rc(&payload);
+    FrameModels models;
+    IntraScratch scratch;
+    EncodeIntraFrame(rc, models, video.frames[0], ctx, *recon, executor,
+                     &scratch);
+    rc.Flush();
+    return payload.data();
+  };
+
+  media::Frame recon_serial(104, 72), recon_parallel(104, 72);
+  runtime::ThreadPoolExecutor pool(4);
+  const auto serial = encode_intra(nullptr, &recon_serial);
+  const auto parallel = encode_intra(&pool, &recon_parallel);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(media::PlaneMse(recon_serial.y(), recon_parallel.y()), 0.0);
+  EXPECT_EQ(media::PlaneMse(recon_serial.u(), recon_parallel.u()), 0.0);
+  EXPECT_EQ(media::PlaneMse(recon_serial.v(), recon_parallel.v()), 0.0);
+}
+
+// The WAN-shipped still images must also be executor-independent.
+TEST(EncoderEquivalence, StillBytesIdenticalSerialVsParallel) {
+  const media::RawVideo video = MovingVideo(96, 64, 1, 61);
+  runtime::ThreadPoolExecutor pool(3);
+  EXPECT_EQ(EncodeStill(video.frames[0], 26),
+            EncodeStill(video.frames[0], 26, &pool));
+}
+
+// The kernel-dispatch acceptance criterion: the container bytes must not
+// depend on which kernel table (scalar or any compiled SIMD arch) was
+// active, for both all-intra and motion-heavy inter streams — and decoding
+// under a different table than the encoder used must reproduce the frames.
+TEST(EncoderEquivalence, BitstreamIdenticalAcrossKernelDispatchChoices) {
+  simd::ScopedKernelArch guard(simd::ActiveArch());  // restore after switches
+
+  const media::RawVideo video = MovingVideo(112, 80, 8, 67);
+  auto encode = [&](int gop) {
+    EncoderParams params = EncoderParams::Semantic(gop, 100);
+    auto encoded = VideoEncoder(params).Encode(video);
+    EXPECT_TRUE(encoded.ok());
+    return encoded.ok() ? encoded->bytes : std::vector<std::uint8_t>{};
+  };
+
+  for (int gop : {1, 4}) {
+    simd::SetActiveKernels(simd::KernelArch::kScalar);
+    const auto scalar_bytes = encode(gop);
+    ASSERT_FALSE(scalar_bytes.empty());
+    for (simd::KernelArch arch : simd::CompiledArches()) {
+      if (arch == simd::KernelArch::kScalar || !simd::ArchSupported(arch)) {
+        continue;
+      }
+      simd::SetActiveKernels(arch);
+      EXPECT_EQ(scalar_bytes, encode(gop))
+          << simd::KernelArchName(arch) << " bitstream differs, gop " << gop;
+    }
   }
 }
 

@@ -1,0 +1,296 @@
+// Scalar-vs-SIMD kernel equivalence: every architecture compiled into this
+// binary must be BIT-exact with the scalar reference table — float DCT/IDCT
+// outputs, lround rounding (half away from zero, including exact .5
+// quotients), SAD over unaligned widths and strides, and the row-granular
+// early-termination values of the bounded SAD. Plus the dispatch machinery
+// itself and the clamped out-of-bounds compensation path the region helpers
+// guard.
+#include "common/simd/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "codec/transform.h"
+#include "common/rng.h"
+#include "media/metrics.h"
+
+namespace sieve::simd {
+namespace {
+
+/// Every non-scalar arch compiled into this binary and usable on this CPU.
+std::vector<KernelArch> SimdArches() {
+  std::vector<KernelArch> out;
+  for (KernelArch arch : CompiledArches()) {
+    if (arch != KernelArch::kScalar && ArchSupported(arch)) out.push_back(arch);
+  }
+  return out;
+}
+
+TEST(KernelDispatch, ScalarAlwaysCompiledAndBestArchSupported) {
+  EXPECT_TRUE(ArchCompiled(KernelArch::kScalar));
+  EXPECT_TRUE(ArchSupported(BestArch()));
+  const auto arches = CompiledArches();
+  EXPECT_GE(arches.size(), 1u);
+  EXPECT_EQ(arches.front(), KernelArch::kScalar);
+#if defined(__x86_64__)
+  // x86-64 guarantees SSE2: the vector table must exist and be selectable.
+  EXPECT_TRUE(ArchSupported(KernelArch::kSse2));
+#endif
+}
+
+TEST(KernelDispatch, KernelsForFallsBackToScalarWhenNotCompiled) {
+  for (KernelArch arch :
+       {KernelArch::kScalar, KernelArch::kSse2, KernelArch::kNeon}) {
+    const KernelTable& table = KernelsFor(arch);
+    if (!ArchCompiled(arch)) {
+      EXPECT_STREQ(table.name, "scalar");
+    } else {
+      EXPECT_STREQ(table.name, KernelArchName(arch));
+    }
+  }
+}
+
+TEST(KernelDispatch, ScopedOverrideSwitchesAndRestores) {
+  const KernelArch before = ActiveArch();
+  {
+    ScopedKernelArch scalar(KernelArch::kScalar);
+    EXPECT_EQ(ActiveArch(), KernelArch::kScalar);
+    EXPECT_STREQ(ActiveKernels().name, "scalar");
+    for (KernelArch arch : SimdArches()) {
+      ScopedKernelArch inner(arch);
+      EXPECT_EQ(ActiveArch(), arch);
+    }
+    EXPECT_EQ(ActiveArch(), KernelArch::kScalar);
+  }
+  EXPECT_EQ(ActiveArch(), before);
+}
+
+// ---------------------------------------------------------------- DCT/IDCT --
+
+TEST(KernelEquivalence, ForwardDctBitExact) {
+  const KernelTable& scalar = KernelsFor(KernelArch::kScalar);
+  Rng rng(101);
+  for (KernelArch arch : SimdArches()) {
+    const KernelTable& simd = KernelsFor(arch);
+    for (int trial = 0; trial < 500; ++trial) {
+      std::int16_t in[kBlockLen];
+      // Centered pixels and residuals live in [-255, 255]; test wider.
+      for (auto& v : in) v = std::int16_t(rng.UniformInt(-2048, 2048));
+      float a[kBlockLen], b[kBlockLen];
+      scalar.fdct8x8(in, a);
+      simd.fdct8x8(in, b);
+      ASSERT_EQ(std::memcmp(a, b, sizeof(a)), 0)
+          << KernelArchName(arch) << " fdct differs at trial " << trial;
+    }
+  }
+}
+
+TEST(KernelEquivalence, InverseDctBitExactIncludingRoundingAndClamp) {
+  const KernelTable& scalar = KernelsFor(KernelArch::kScalar);
+  Rng rng(102);
+  for (KernelArch arch : SimdArches()) {
+    const KernelTable& simd = KernelsFor(arch);
+    for (int trial = 0; trial < 500; ++trial) {
+      float in[kBlockLen];
+      for (int i = 0; i < kBlockLen; ++i) {
+        switch (trial % 4) {
+          case 0:  // typical dequantized coefficients
+            in[i] = float(rng.Uniform(-2500.0, 2500.0));
+            break;
+          case 1:  // exact halves: pins round-half-away-from-zero
+            in[i] = float(rng.UniformInt(-300, 300)) + 0.5f;
+            break;
+          case 2:  // values whose spatial output brushes the int16 clamp
+            in[i] = float(rng.Uniform(-60000.0, 60000.0));
+            break;
+          default:  // tiny magnitudes around +-0.5
+            in[i] = float(rng.Uniform(-1.5, 1.5));
+            break;
+        }
+      }
+      std::int16_t a[kBlockLen], b[kBlockLen];
+      scalar.idct8x8(in, a);
+      simd.idct8x8(in, b);
+      ASSERT_EQ(std::memcmp(a, b, sizeof(a)), 0)
+          << KernelArchName(arch) << " idct differs at trial " << trial;
+    }
+  }
+}
+
+TEST(KernelEquivalence, QuantizeDequantizeBitExact) {
+  const KernelTable& scalar = KernelsFor(KernelArch::kScalar);
+  Rng rng(103);
+  for (KernelArch arch : SimdArches()) {
+    const KernelTable& simd = KernelsFor(arch);
+    for (int qp : {1, 10, 26, 40, 51}) {
+      const codec::QuantTable q = codec::MakeLumaQuant(qp);
+      for (int trial = 0; trial < 200; ++trial) {
+        float dct[kBlockLen];
+        for (int i = 0; i < kBlockLen; ++i) {
+          if (trial % 2 == 0) {
+            dct[i] = float(rng.Uniform(-2500.0, 2500.0));
+          } else {
+            // Exact .5 quotients: (n + 0.5) * step divides back to n.5
+            // exactly (step * 0.5 is exact in float), pinning the rounding.
+            dct[i] = (float(rng.UniformInt(-40, 40)) + 0.5f) *
+                     float(q.step[std::size_t(i)]);
+          }
+        }
+        std::int32_t qa[kBlockLen], qb[kBlockLen];
+        scalar.quantize8x8(dct, q.step.data(), qa);
+        simd.quantize8x8(dct, q.step.data(), qb);
+        ASSERT_EQ(std::memcmp(qa, qb, sizeof(qa)), 0)
+            << KernelArchName(arch) << " quantize differs, qp " << qp;
+        float da[kBlockLen], db[kBlockLen];
+        scalar.dequantize8x8(qa, q.step.data(), da);
+        simd.dequantize8x8(qb, q.step.data(), db);
+        ASSERT_EQ(std::memcmp(da, db, sizeof(da)), 0)
+            << KernelArchName(arch) << " dequantize differs, qp " << qp;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, FullTransformRoundTripMatchesAcrossArches) {
+  // The composition the codec actually runs: fdct -> quantize -> dequantize
+  // -> idct, compared block-for-block across every table.
+  const KernelTable& scalar = KernelsFor(KernelArch::kScalar);
+  const codec::QuantTable q = codec::MakeLumaQuant(26);
+  Rng rng(104);
+  for (KernelArch arch : SimdArches()) {
+    const KernelTable& simd = KernelsFor(arch);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::int16_t in[kBlockLen];
+      for (auto& v : in) v = std::int16_t(rng.UniformInt(-128, 127));
+      std::int16_t rec_a[kBlockLen], rec_b[kBlockLen];
+      float freq[kBlockLen];
+      std::int32_t coeff[kBlockLen];
+      scalar.fdct8x8(in, freq);
+      scalar.quantize8x8(freq, q.step.data(), coeff);
+      scalar.dequantize8x8(coeff, q.step.data(), freq);
+      scalar.idct8x8(freq, rec_a);
+      simd.fdct8x8(in, freq);
+      simd.quantize8x8(freq, q.step.data(), coeff);
+      simd.dequantize8x8(coeff, q.step.data(), freq);
+      simd.idct8x8(freq, rec_b);
+      ASSERT_EQ(std::memcmp(rec_a, rec_b, sizeof(rec_a)), 0)
+          << KernelArchName(arch) << " round trip differs at trial " << trial;
+    }
+  }
+}
+
+// --------------------------------------------------------------------- SAD --
+
+TEST(KernelEquivalence, SadRowAllWidths) {
+  const KernelTable& scalar = KernelsFor(KernelArch::kScalar);
+  Rng rng(105);
+  std::vector<std::uint8_t> a(256), b(256);
+  for (KernelArch arch : SimdArches()) {
+    const KernelTable& simd = KernelsFor(arch);
+    for (int trial = 0; trial < 50; ++trial) {
+      for (auto& v : a) v = std::uint8_t(rng.UniformInt(0, 255));
+      for (auto& v : b) v = std::uint8_t(rng.UniformInt(0, 255));
+      // Every width 1..64 covers the 16-lane blocks, the 8-lane step, and
+      // the scalar tail (unaligned widths), plus unaligned base pointers.
+      for (int w = 1; w <= 64; ++w) {
+        const int off = trial % 3;  // misalign the loads
+        ASSERT_EQ(scalar.sad_row(a.data() + off, b.data() + off, w),
+                  simd.sad_row(a.data() + off, b.data() + off, w))
+            << KernelArchName(arch) << " width " << w;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, Sad16xHAndBoundedRowGranularValues) {
+  const KernelTable& scalar = KernelsFor(KernelArch::kScalar);
+  Rng rng(106);
+  const int stride_a = 37, stride_b = 41;  // non-equal, non-multiple-of-16
+  std::vector<std::uint8_t> a(std::size_t(stride_a) * 64),
+      b(std::size_t(stride_b) * 64);
+  for (KernelArch arch : SimdArches()) {
+    const KernelTable& simd = KernelsFor(arch);
+    for (int trial = 0; trial < 40; ++trial) {
+      for (auto& v : a) v = std::uint8_t(rng.UniformInt(0, 255));
+      for (auto& v : b) v = std::uint8_t(rng.UniformInt(0, 255));
+      for (int h : {1, 3, 8, 16}) {
+        const std::uint64_t exact =
+            scalar.sad16xh(a.data(), stride_a, b.data(), stride_b, h);
+        EXPECT_EQ(exact, simd.sad16xh(a.data(), stride_a, b.data(), stride_b, h))
+            << KernelArchName(arch) << " h " << h;
+        for (int w : {5, 8, 13, 16, 21}) {
+          // All bound regimes: impossible, mid-scan, and beyond-exact. The
+          // return value (not just the decision) must match because both
+          // tables check the bound at the same row boundaries.
+          const std::uint64_t full =
+              scalar.sad_bounded(a.data(), stride_a, b.data(), stride_b, w, h,
+                                 ~std::uint64_t{0});
+          for (std::uint64_t bound :
+               {std::uint64_t{1}, full / 2 + 1, full, full + 1, full + 1000}) {
+            EXPECT_EQ(scalar.sad_bounded(a.data(), stride_a, b.data(),
+                                         stride_b, w, h, bound),
+                      simd.sad_bounded(a.data(), stride_a, b.data(), stride_b,
+                                       w, h, bound))
+                << KernelArchName(arch) << " w " << w << " h " << h
+                << " bound " << bound;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, RegionSadClampedOutOfBoundsPathDispatchIndependent) {
+  // The clamped compensation path (blocks hanging off the plane edges) and
+  // the interior fast path must agree for every dispatch choice — this is
+  // the seam motion search relies on at frame borders.
+  ScopedKernelArch guard(ActiveArch());  // restore after the switches below
+  media::Plane pa(48, 40), pb(48, 40);
+  Rng rng(107);
+  for (int y = 0; y < 40; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      pa.at(x, y) = std::uint8_t(rng.UniformInt(0, 255));
+      pb.at(x, y) = std::uint8_t(rng.UniformInt(0, 255));
+    }
+  }
+  struct Case {
+    int ax, ay, bx, by, w, h;
+  };
+  const Case cases[] = {
+      {-3, -3, -5, 36, 16, 16},  // clamped both regions
+      {4, 4, 9, 7, 16, 16},      // interior, w == 16 kernel
+      {2, 3, 5, 1, 13, 9},       // interior, unaligned width
+      {40, 30, 44, 36, 16, 16},  // clamped bottom-right
+  };
+  for (const Case& c : cases) {
+    SetActiveKernels(KernelArch::kScalar);
+    const std::uint64_t scalar_sad =
+        media::RegionSad(pa, c.ax, c.ay, pb, c.bx, c.by, c.w, c.h);
+    EXPECT_EQ(media::RegionSadBounded(pa, c.ax, c.ay, pb, c.bx, c.by, c.w, c.h,
+                                      scalar_sad + 1),
+              scalar_sad);  // loose bound stays exact
+    const std::uint64_t scalar_tight = media::RegionSadBounded(
+        pa, c.ax, c.ay, pb, c.bx, c.by, c.w, c.h, scalar_sad / 2);
+    for (KernelArch arch : SimdArches()) {
+      SetActiveKernels(arch);
+      EXPECT_EQ(media::RegionSad(pa, c.ax, c.ay, pb, c.bx, c.by, c.w, c.h),
+                scalar_sad)
+          << KernelArchName(arch);
+      EXPECT_EQ(media::RegionSadBounded(pa, c.ax, c.ay, pb, c.bx, c.by, c.w,
+                                        c.h, scalar_sad + 1),
+                scalar_sad)
+          << KernelArchName(arch);
+      // Saturated return values match too: row-granular early exit on both.
+      EXPECT_EQ(media::RegionSadBounded(pa, c.ax, c.ay, pb, c.bx, c.by, c.w,
+                                        c.h, scalar_sad / 2),
+                scalar_tight)
+          << KernelArchName(arch);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sieve::simd

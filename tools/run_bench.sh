@@ -17,10 +17,14 @@
 # multi_session (3 concurrent camera sessions on one shared runtime
 # executor — the fan-in scaling number to watch across PRs),
 # nn_placement (all-edge / all-cloud / auto-split session placement:
-# end-to-end latency + WAN still/activation bytes per plan), and
+# end-to-end latency + WAN still/activation bytes per plan),
 # live_query (3 streaming cameras with a reader thread hammering the
-# cross-camera query index: FindObject latency under ingest + index update
-# throughput).
+# cross-camera query index: FindObject avg/p99 latency under ingest + index
+# update throughput), and dct_sad_kernels (scalar vs SIMD A/B of the
+# dispatch-layer DCT/IDCT/quant/SAD kernels, with bit-equality checks).
+#
+# Gate a fresh report against the committed baseline with
+#   python3 tools/check_bench.py BENCH_hotpaths.json fresh.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -38,5 +42,15 @@ fi
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target perf_hotpaths -j "$(nproc)"
 
-"$build_dir/perf_hotpaths" "$out_json" 0 "$scenarios"
+# Run into a temp file and move into place only on success: a failed or
+# crashed harness (it exits nonzero when any scenario fails) must never
+# replace the tracked trajectory JSON with a partial/zeroed report.
+tmp_json="$(mktemp "${out_json}.XXXXXX")"
+trap 'rm -f "$tmp_json"' EXIT
+if ! "$build_dir/perf_hotpaths" "$tmp_json" 0 "$scenarios"; then
+  echo "perf_hotpaths failed; keeping existing $out_json" >&2
+  exit 1
+fi
+mv "$tmp_json" "$out_json"
+trap - EXIT
 echo "benchmark report: $out_json"
