@@ -47,8 +47,8 @@ using namespace sieve;
 constexpr std::uint64_t kSeed = 20260729;
 
 constexpr const char* kKnownScenarios[] = {
-    "encode", "motion", "gemm",         "conv",
-    "multi_session", "nn_placement", "live_query", "dct_sad_kernels"};
+    "encode", "motion", "gemm",         "conv",      "multi_session",
+    "nn_placement", "live_query", "dct_sad_kernels", "wan_chaos"};
 
 /// Set when a scenario could not run (encode failure, session failure...);
 /// main exits nonzero so tools/run_bench.sh never commits a partial report.
@@ -763,6 +763,128 @@ LiveQueryResult BenchLiveQuery() {
   return out;
 }
 
+// ------------------------------------------------------------- wan chaos --
+
+struct WanChaosRow {
+  double loss = 0;             ///< configured per-attempt drop probability
+  std::size_t frames = 0;
+  std::size_t delivered = 0;   ///< I-frames labelled despite the loss
+  std::size_t dropped = 0;     ///< explicit give-ups (never silent)
+  std::uint64_t retries = 0;   ///< extra WAN attempts the loss cost
+  double aggregate_fps = 0;    ///< frames / wall seconds, loss included
+  double p99_frame_ms = 0;     ///< push-to-settle p99 of delivered frames
+};
+
+struct WanChaosResult {
+  std::vector<WanChaosRow> rows;   ///< the loss sweep (0 / 1 / 5 / 20 %)
+  std::uint64_t outage_replans = 0;  ///< plan swaps over the outage leg
+  std::size_t outage_dropped = 0;
+  bool reconciled = true;  ///< every leg: pushed == stored+delivered+dropped
+};
+
+WanChaosResult BenchWanChaos() {
+  // The transport's overhead curve: one camera session pushed through the
+  // reliable WAN send path at increasing packet loss (retry/backoff doing
+  // its work, adaptive placement off so the plan never moves), plus an
+  // outage leg with adaptive placement on (degrade-to-edge + re-promote).
+  // Tracks throughput and delivered-frame p99 latency as the loss climbs,
+  // and that the delivered-or-dropped ledger reconciles on every leg.
+  constexpr int kW = 64, kH = 48;
+  constexpr std::size_t kFrames = 96;
+  synth::SceneConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.num_frames = kFrames;
+  cfg.seed = kSeed + 47;
+  cfg.object_scale = 0.3;
+  cfg.mean_gap_seconds = 0.6;
+  cfg.min_gap_seconds = 0.3;
+  cfg.mean_dwell_seconds = 0.8;
+  cfg.min_dwell_seconds = 0.4;
+  cfg.noise_sigma = 2.0;
+  cfg.jitter_px = 1;
+  const auto scene = synth::GenerateScene(cfg);
+
+  nn::ClassifierParams cp;
+  cp.input_size = 32;
+  cp.embedding_dim = 16;
+  nn::FrameClassifier classifier(cp);
+  if (!classifier.Fit(scene.video.frames, scene.truth, 4).ok()) {
+    ReportScenarioFailure("wan_chaos", "classifier fit failed");
+    return {};
+  }
+
+  WanChaosResult out;
+  const auto reconciles = [](const runtime::SessionReport& r) {
+    return r.frames_pushed == r.frames_stored_edge + r.frames_delivered +
+                                  r.frames_dropped &&
+           r.frames_delivered == r.labels_written;
+  };
+  const auto run_leg = [&](runtime::RuntimeConfig rc, double fps)
+      -> std::pair<runtime::SessionReport, runtime::RuntimeHealth> {
+    rc.nn_input_size = 32;
+    runtime::Runtime rt(rc, &classifier);
+    runtime::SessionConfig sc;
+    sc.width = kW;
+    sc.height = kH;
+    sc.fps = fps;
+    // GOP 4: an I-frame (WAN message) every 4th frame, so the loss sweep
+    // exercises the retry path on a meaningful message count.
+    sc.encoder = codec::EncoderParams::Semantic(4, 120);
+    auto session = rt.OpenSession("chaos-cam", sc);
+    if (!session.ok()) {
+      ReportScenarioFailure("wan_chaos", "OpenSession failed");
+      return {};
+    }
+    for (const auto& frame : scene.video.frames) {
+      if (!(*session)->PushFrame(frame).ok()) break;
+    }
+    const runtime::SessionReport report = (*session)->Drain();
+    const runtime::RuntimeHealth health = rt.health();
+    (void)rt.Shutdown();
+    return {report, health};
+  };
+
+  for (const double loss : {0.0, 0.01, 0.05, 0.20}) {
+    runtime::RuntimeConfig rc;
+    rc.wan_faults.seed = kSeed + std::uint64_t(loss * 1000.0);
+    rc.wan_faults.drop_probability = loss;
+    rc.adaptive_placement = false;  // measure the transport, not the planner
+    const auto [report, health] = run_leg(rc, 30.0);
+    WanChaosRow row;
+    row.loss = loss;
+    row.frames = report.frames_pushed;
+    row.delivered = report.frames_delivered;
+    row.dropped = report.frames_dropped;
+    row.retries = report.wan_retries;
+    row.aggregate_fps =
+        Ratio(double(report.frames_pushed), report.wall_seconds);
+    row.p99_frame_ms = report.latency_p99_ms;
+    out.reconciled = out.reconciled && reconciles(report);
+    out.rows.push_back(row);
+  }
+
+  // The outage leg: a hard [1.5, 4.5) window over an 8 s stream (96 frames
+  // at 12 fps), adaptive placement reacting — degrade to edge, re-promote.
+  {
+    runtime::RuntimeConfig rc;
+    rc.wan_faults.seed = kSeed + 9;
+    rc.wan_faults.drop_probability = 0.05;
+    rc.wan_faults.outages.push_back({1.5, 4.5});
+    rc.wan_retry.max_attempts = 3;
+    rc.wan_retry.deadline_ms = 2000.0;
+    rc.wan_health.down_after_failures = 3;
+    rc.wan_health.loss_alpha = 0.5;
+    rc.wan_health.healthy_loss = 0.25;
+    rc.wan_health.promote_after_successes = 2;
+    const auto [report, health] = run_leg(rc, 12.0);
+    out.outage_replans = health.replans;
+    out.outage_dropped = report.frames_dropped;
+    out.reconciled = out.reconciled && reconciles(report);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -868,6 +990,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(live.index_updates),
                 live.updates_per_s, live.subscription_events,
                 live.hits_final);
+  }
+
+  const WanChaosResult chaos =
+      Enabled("wan_chaos") ? BenchWanChaos() : WanChaosResult{};
+  if (Enabled("wan_chaos")) {
+    std::printf("wan_chaos: outage leg %llu replans, %zu dropped | "
+                "reconciled: %s\n",
+                static_cast<unsigned long long>(chaos.outage_replans),
+                chaos.outage_dropped, chaos.reconciled ? "yes" : "NO");
+    for (const auto& row : chaos.rows) {
+      std::printf("  loss %4.0f%% | %zu frames %.1f fps | delivered %zu "
+                  "dropped %zu retries %llu | p99 %.2f ms\n",
+                  row.loss * 100.0, row.frames, row.aggregate_fps,
+                  row.delivered, row.dropped,
+                  static_cast<unsigned long long>(row.retries),
+                  row.p99_frame_ms);
+    }
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -985,14 +1124,36 @@ int main(int argc, char** argv) {
                "    \"updates_per_s\": %.2f,\n"
                "    \"subscription_events\": %zu,\n"
                "    \"hits_final\": %zu\n"
-               "  }\n"
-               "}\n",
+               "  },\n"
+               "  \"wan_chaos\": {\n"
+               "    \"reconciled\": %s,\n"
+               "    \"outage_replans\": %llu,\n"
+               "    \"outage_dropped\": %zu,\n"
+               "    \"loss5_p99_frame_ms\": %.3f,\n"
+               "    \"loss_sweep\": [",
                live.sessions, live.frames_total, live.queries,
                live.avg_query_micros, live.p99_query_micros,
                live.max_query_micros,
                static_cast<unsigned long long>(live.index_updates),
                live.updates_per_s, live.subscription_events,
-               live.hits_final);
+               live.hits_final, chaos.reconciled ? "true" : "false",
+               static_cast<unsigned long long>(chaos.outage_replans),
+               chaos.outage_dropped,
+               chaos.rows.size() > 2 ? chaos.rows[2].p99_frame_ms : 0.0);
+  for (std::size_t i = 0; i < chaos.rows.size(); ++i) {
+    const auto& row = chaos.rows[i];
+    std::fprintf(f,
+                 "%s\n      {\"loss\": %.2f, \"frames\": %zu, "
+                 "\"delivered\": %zu, \"dropped\": %zu, \"retries\": %llu, "
+                 "\"aggregate_fps\": %.2f, \"p99_frame_ms\": %.3f}",
+                 i == 0 ? "" : ",", row.loss, row.frames, row.delivered,
+                 row.dropped, static_cast<unsigned long long>(row.retries),
+                 row.aggregate_fps, row.p99_frame_ms);
+  }
+  std::fprintf(f,
+               "\n    ]\n"
+               "  }\n"
+               "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   if (g_scenario_failed.load(std::memory_order_relaxed)) {

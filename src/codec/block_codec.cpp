@@ -1,6 +1,21 @@
 #include "codec/block_codec.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace sieve::codec {
+
+namespace {
+// Corrupt streams can decode arbitrary magnitudes, so the decoder folds its
+// arithmetic through 64 bits and clamps: predictor accumulation and the
+// magnitude bias must stay defined for any input. Valid streams never come
+// near the bound, so valid decoding is bit-identical.
+std::int32_t ClampCoeff(std::int64_t v) {
+  return std::int32_t(
+      std::clamp<std::int64_t>(v, std::numeric_limits<std::int32_t>::min(),
+                               std::numeric_limits<std::int32_t>::max()));
+}
+}  // namespace
 
 void EncodeCoeffBlock(RangeEncoder& rc, PlaneModels& models,
                       const CoeffBlock& coeffs, std::int32_t& dc_pred) {
@@ -28,14 +43,15 @@ void DecodeCoeffBlock(RangeDecoder& rc, PlaneModels& models, CoeffBlock& coeffs,
   coeffs.fill(0);
   const std::int32_t delta =
       ZigzagDecodeSigned(rc.DecodeUnsigned(models.dc_magnitude));
-  const std::int32_t dc = dc_pred + delta;
+  const std::int32_t dc = ClampCoeff(std::int64_t(dc_pred) + delta);
   coeffs[std::size_t(zz[0])] = dc;
   dc_pred = dc;
   for (int i = 1; i < kBlockPixels; ++i) {
     if (rc.DecodeBit(models.significance[std::size_t(i)]) != 0) {
       const bool negative = rc.DecodeDirectBits(1) != 0;
-      const std::int32_t mag = std::int32_t(rc.DecodeUnsigned(models.ac_magnitude)) + 1;
-      coeffs[std::size_t(zz[std::size_t(i)])] = negative ? -mag : mag;
+      const std::int64_t mag =
+          std::int64_t(rc.DecodeUnsigned(models.ac_magnitude)) + 1;
+      coeffs[std::size_t(zz[std::size_t(i)])] = ClampCoeff(negative ? -mag : mag);
     }
   }
 }

@@ -1,5 +1,8 @@
 #include "codec/container.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace sieve::codec {
 
 namespace {
@@ -72,6 +75,18 @@ Expected<ContainerHeader> ReadContainerHeader(
   if (header.width <= 0 || header.height <= 0) {
     return Status::Corrupt("SVB: invalid dimensions");
   }
+  // Bit-flipped headers must not drive the decoder's allocations: bound the
+  // frame size (2^26 pixels covers 8K) and require a sane finite fps (the
+  // field is a raw double on the wire — corruption can make it NaN/inf,
+  // which would poison every downstream stream-time computation).
+  if (std::size_t(header.width) * std::size_t(header.height) >
+      (std::size_t(1) << 26)) {
+    return Status::Corrupt("SVB: implausible dimensions");
+  }
+  if (!std::isfinite(header.fps) || header.fps <= 0.0 ||
+      header.fps > 100000.0) {
+    return Status::Corrupt("SVB: implausible fps");
+  }
   return header;
 }
 
@@ -80,7 +95,11 @@ Expected<std::vector<FrameRecord>> WalkFrameIndex(
   auto header = ReadContainerHeader(bytes);
   if (!header.ok()) return header.status();
   std::vector<FrameRecord> records;
-  records.reserve(header->frame_count);
+  // The header's frame_count is untrusted wire data: reserve no more than
+  // the byte stream could possibly hold (each frame costs at least a header)
+  // so a length-lying count cannot force a huge allocation up front.
+  records.reserve(std::min<std::size_t>(
+      header->frame_count, bytes.size() / FrameRecord::kHeaderSize));
   std::size_t pos = ContainerHeader::kSerializedSize;
   std::uint32_t index = 0;
   while (pos < bytes.size()) {

@@ -420,9 +420,19 @@ void DecodeInterFrame(RangeDecoder& rc, FrameModels& models,
         predictor = MotionVector{0, 0};
         continue;
       }
+      // Corrupt streams can decode wild deltas: accumulate in 64 bits and
+      // clamp far beyond any real search range, so the predictor chain and
+      // CompensateBlock's coordinate math stay defined for any input.
+      constexpr std::int64_t kMvLimit = 1 << 20;
       MotionVector mv;
-      mv.dx = predictor.dx + ZigzagDecodeSigned(rc.DecodeUnsigned(models.mv_x));
-      mv.dy = predictor.dy + ZigzagDecodeSigned(rc.DecodeUnsigned(models.mv_y));
+      mv.dx = int(std::clamp<std::int64_t>(
+          std::int64_t(predictor.dx) +
+              ZigzagDecodeSigned(rc.DecodeUnsigned(models.mv_x)),
+          -kMvLimit, kMvLimit));
+      mv.dy = int(std::clamp<std::int64_t>(
+          std::int64_t(predictor.dy) +
+              ZigzagDecodeSigned(rc.DecodeUnsigned(models.mv_y)),
+          -kMvLimit, kMvLimit));
       predictor = mv;
 
       const int lx = mbx * kMacroblockSize, ly = mby * kMacroblockSize;

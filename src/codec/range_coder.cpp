@@ -1,5 +1,6 @@
 #include "codec/range_coder.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sieve::codec {
@@ -131,7 +132,11 @@ std::uint32_t RangeDecoder::DecodeBitTree(std::span<BitModel> models,
 }
 
 std::uint32_t RangeDecoder::DecodeUnsigned(std::span<BitModel> length_models) {
-  const int bits = int(DecodeBitTree(length_models, 6));
+  // The length tree spans 6 bits (0..63), but a valid stream never encodes a
+  // length above 32: values are 32-bit. A corrupt stream can decode any
+  // length, so clamp before shifting; the garbage value then fails callers'
+  // range checks instead of being a UB shift.
+  const int bits = std::min(int(DecodeBitTree(length_models, 6)), 32);
   if (bits == 0) return 0;
   if (bits == 1) return 1;
   return (1u << (bits - 1)) | DecodeDirectBits(bits - 1);

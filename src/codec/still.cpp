@@ -52,6 +52,12 @@ Expected<media::Frame> DecodeStill(std::span<const std::uint8_t> bytes) {
   if (*w == 0 || *h == 0 || *w % 2 != 0 || *h % 2 != 0) {
     return Status::Corrupt("SIM1: invalid dimensions");
   }
+  // Bound the decode allocation: a bit-flipped dimension field must not
+  // turn into a multi-gigabyte frame. 2^26 pixels (~8K video) is far above
+  // any legitimate still this codec produces.
+  if (std::size_t(*w) * std::size_t(*h) > (std::size_t(1) << 26)) {
+    return Status::Corrupt("SIM1: implausible dimensions");
+  }
 
   RangeDecoder rc(*payload);
   FrameModels models;

@@ -26,6 +26,9 @@ enum class ErrorCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  kUnavailable,        ///< transient transport failure (retryable)
+  kDeadlineExceeded,   ///< gave up: the per-message deadline passed
+  kCancelled,          ///< interrupted by shutdown/cancel
 };
 
 /// Human-readable name for an ErrorCode (stable, for logs and tests).
@@ -39,6 +42,9 @@ constexpr const char* ErrorCodeName(ErrorCode c) noexcept {
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -68,6 +74,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(ErrorCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(ErrorCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(ErrorCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(ErrorCode::kCancelled, std::move(msg));
   }
 
   bool ok() const noexcept { return code_ == ErrorCode::kOk; }

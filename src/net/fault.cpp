@@ -1,0 +1,112 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+namespace sieve::net {
+
+FaultDecision FaultInjector::Next(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FaultDecision d;
+  if (plan_.InOutage(now_seconds)) {
+    d.outage = true;
+    return d;  // an outage consumes no random draws: replay stays aligned
+  }
+  if (!plan_.any()) return d;
+  // Fixed draw order per attempt keeps the stream aligned across replays
+  // even when individual probabilities are zero.
+  const bool drop = rng_.Chance(plan_.drop_probability);
+  const bool corrupt = rng_.Chance(plan_.corrupt_probability);
+  const bool duplicate = rng_.Chance(plan_.duplicate_probability);
+  const bool spike = rng_.Chance(plan_.spike_probability);
+  const std::uint64_t corrupt_seed = rng_.UniformU64(1, ~std::uint64_t(0));
+  if (drop) {
+    d.drop = true;
+    return d;
+  }
+  d.corrupt = corrupt;
+  d.duplicate = duplicate;
+  d.corrupt_seed = corrupt_seed;
+  if (spike) d.spike_seconds = plan_.spike_ms / 1e3;
+  return d;
+}
+
+void FaultInjector::CorruptPayload(std::uint64_t seed,
+                                   std::span<std::uint8_t> payload) {
+  if (payload.empty()) return;
+  Rng rng(seed);
+  // A burst of 1..8 single-bit flips: enough to break magic bytes, length
+  // fields, or float payloads, small enough that most flips land mid-stream
+  // and exercise the decoders' entropy-level robustness.
+  const int flips = rng.UniformInt(1, 8);
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t pos =
+        std::size_t(rng.UniformU64(0, payload.size() - 1));
+    payload[pos] ^= std::uint8_t(1u << rng.UniformInt(0, 7));
+  }
+}
+
+double FaultyLink::AdvanceTo(double hint) {
+  std::lock_guard<std::mutex> lock(clock_mutex_);
+  clock_ = std::max(clock_, hint);
+  return clock_;
+}
+
+void FaultyLink::AdvanceBy(double seconds) {
+  if (seconds <= 0) return;
+  std::lock_guard<std::mutex> lock(clock_mutex_);
+  clock_ += seconds;
+}
+
+double FaultyLink::now() const {
+  std::lock_guard<std::mutex> lock(clock_mutex_);
+  return clock_;
+}
+
+bool FaultyLink::Wait(double modelled_seconds) {
+  AdvanceBy(modelled_seconds);
+  return link_.WaitScaled(modelled_seconds);
+}
+
+FaultyLink::TransferResult FaultyLink::Transfer(
+    std::span<std::uint8_t> payload, double now_hint) {
+  TransferResult result;
+  const double now = AdvanceTo(now_hint);
+  const FaultDecision decision = injector_.Next(now);
+  const double seconds =
+      model().TransferSeconds(payload.size()) + decision.spike_seconds;
+  result.modelled_seconds = seconds;
+  AdvanceBy(seconds);
+  if (decision.outage || decision.drop) {
+    // The attempt occupies the link until the sender's ack timeout; nothing
+    // arrives, nothing is metered as goodput.
+    if (!link_.WaitScaled(seconds)) {
+      result.status = Status::Cancelled("link: transfer interrupted");
+      return result;
+    }
+    result.status = decision.outage
+                        ? Status::Unavailable("link: outage window")
+                        : Status::Unavailable("link: packet lost");
+    return result;
+  }
+  if (!link_.WaitScaled(seconds)) {
+    result.status = Status::Cancelled("link: transfer interrupted");
+    return result;
+  }
+  meter().Record(payload.size());
+  if (decision.corrupt) {
+    FaultInjector::CorruptPayload(decision.corrupt_seed, payload);
+    result.corrupted = true;
+  }
+  if (decision.duplicate) {
+    // The receiver dedups by sequence number; the copy only wastes link
+    // time and bytes.
+    AdvanceBy(seconds);
+    (void)link_.WaitScaled(seconds);
+    meter().RecordRetransmit(payload.size());
+    result.duplicated = true;
+  }
+  result.status = Status::Ok();
+  return result;
+}
+
+}  // namespace sieve::net

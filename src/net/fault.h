@@ -1,0 +1,149 @@
+// Deterministic WAN fault injection.
+//
+// A FaultPlan is a seeded, scriptable chaos schedule for one link: per-send
+// probabilities of packet drop, payload corruption, duplication, and latency
+// spikes, plus hard outage windows scripted on the link clock. FaultyLink
+// wraps a RealizedLink and applies the plan to every transfer, so chaos is
+// exactly replayable: the same seed produces the same per-message decision
+// sequence regardless of wall-clock speed (the link clock is virtual —
+// advanced by modelled transfer/backoff time and by caller-supplied stream
+// time, never by the host clock).
+//
+// FaultyLink models a single unreliable hop; it does not retry. The
+// retry/timeout/backoff send path lives one layer up in ReliableTransport
+// (net/transport.h), which drives this link and turns its per-attempt
+// failures into delivered-or-dropped message outcomes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/link.h"
+
+namespace sieve::net {
+
+/// The scripted chaos schedule for one link. Default-constructed: a perfect
+/// link (every probability zero, no outages) — the runtime's default.
+struct FaultPlan {
+  std::uint64_t seed = 1;            ///< drives every stochastic decision
+  double drop_probability = 0.0;     ///< attempt silently lost in transit
+  double corrupt_probability = 0.0;  ///< delivered, but payload bits flipped
+  double duplicate_probability = 0.0;  ///< delivered twice (receiver dedups)
+  double spike_probability = 0.0;    ///< extra latency added to the attempt
+  double spike_ms = 250.0;           ///< magnitude of a latency spike
+
+  /// Hard outage: every attempt inside [begin, end) on the link clock fails.
+  struct Outage {
+    double begin_seconds = 0.0;
+    double end_seconds = 0.0;
+  };
+  std::vector<Outage> outages;
+
+  bool any() const noexcept {
+    return drop_probability > 0 || corrupt_probability > 0 ||
+           duplicate_probability > 0 || spike_probability > 0 ||
+           !outages.empty();
+  }
+  bool InOutage(double now_seconds) const noexcept {
+    for (const Outage& o : outages) {
+      if (now_seconds >= o.begin_seconds && now_seconds < o.end_seconds) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// What the injector decided for one send attempt.
+struct FaultDecision {
+  bool outage = false;     ///< inside a scripted outage window
+  bool drop = false;       ///< stochastic packet loss
+  bool corrupt = false;    ///< deliver with flipped payload bits
+  bool duplicate = false;  ///< deliver, then transmit a wasted copy
+  double spike_seconds = 0.0;      ///< extra modelled latency
+  std::uint64_t corrupt_seed = 0;  ///< seeds the byte flips when corrupt
+};
+
+/// Seeded per-attempt decision source. Thread-safe; decisions depend only
+/// on the seed, the draw sequence, and the supplied link-clock time — never
+/// on wall time — so a fixed-seed chaos run replays the same fault pattern.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  /// Decide the fate of the next send attempt at link-clock `now_seconds`.
+  FaultDecision Next(double now_seconds);
+
+  /// Deterministically flip a few payload bits (seeded by the decision).
+  static void CorruptPayload(std::uint64_t seed,
+                             std::span<std::uint8_t> payload);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::mutex mutex_;
+};
+
+/// One unreliable realized hop: a RealizedLink plus a FaultPlan plus the
+/// virtual link clock the plan's outage windows are scripted against.
+class FaultyLink {
+ public:
+  FaultyLink(LinkModel model, double time_scale, FaultPlan plan)
+      : link_(model, time_scale), injector_(std::move(plan)) {}
+
+  struct TransferResult {
+    Status status;                 ///< Ok / Unavailable (lost) / Cancelled
+    double modelled_seconds = 0.0;  ///< time the attempt occupied the link
+    bool corrupted = false;
+    bool duplicated = false;
+  };
+
+  /// One send attempt. `now_hint` (stream seconds) ratchets the link clock
+  /// forward before the fault decision — callers embed the sender's stream
+  /// position so scripted outages line up with stream content, not wall
+  /// time. The payload may be corrupted in place (that is the point).
+  /// A lost attempt still occupies the link for its modelled duration (the
+  /// sender waits out the ack timeout) but delivers and meters nothing.
+  TransferResult Transfer(std::span<std::uint8_t> payload,
+                          double now_hint = 0.0);
+
+  /// Interruptible scaled wait that also advances the link clock (the
+  /// transport's backoff sleeps must move scripted outages along).
+  /// Returns false if cancelled.
+  bool Wait(double modelled_seconds);
+
+  void Cancel() { link_.Cancel(); }
+  bool cancelled() const noexcept { return link_.cancelled(); }
+
+  /// Ratchet the link clock to at least `stream_seconds` without
+  /// transferring anything (label-only traffic still marks time).
+  void ObserveTime(double stream_seconds) { (void)AdvanceTo(stream_seconds); }
+
+  /// The virtual link clock (seconds): max of accumulated modelled time and
+  /// every hint seen so far. Monotone.
+  double now() const;
+
+  RealizedLink& link() noexcept { return link_; }
+  const LinkModel& model() const noexcept { return link_.model(); }
+  ByteMeter& meter() noexcept { return link_.meter(); }
+  const FaultPlan& plan() const noexcept { return injector_.plan(); }
+
+ private:
+  double AdvanceTo(double hint);       ///< ratchet, returns the new now
+  void AdvanceBy(double seconds);
+
+  RealizedLink link_;
+  FaultInjector injector_;
+  mutable std::mutex clock_mutex_;
+  double clock_ = 0.0;
+};
+
+}  // namespace sieve::net

@@ -1,18 +1,36 @@
 #include "net/link.h"
 
 #include <chrono>
-#include <thread>
 
 namespace sieve::net {
 
-double RealizedLink::Transfer(std::size_t bytes) {
+bool RealizedLink::WaitScaled(double modelled_seconds) {
+  if (cancelled_.load(std::memory_order_acquire)) return false;
+  const double wait = modelled_seconds * time_scale_;
+  if (wait <= 0) return true;
+  std::unique_lock<std::mutex> lock(cancel_mutex_);
+  cancel_cv_.wait_for(lock, std::chrono::duration<double>(wait), [this] {
+    return cancelled_.load(std::memory_order_acquire);
+  });
+  return !cancelled_.load(std::memory_order_acquire);
+}
+
+Status RealizedLink::Transfer(std::size_t bytes, double* modelled_seconds) {
   const double seconds = model_.TransferSeconds(bytes);
-  meter_.Record(bytes);
-  const double wait = seconds * time_scale_;
-  if (wait > 0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+  if (modelled_seconds != nullptr) *modelled_seconds = seconds;
+  if (!WaitScaled(seconds)) {
+    return Status::Cancelled("link: transfer interrupted by shutdown");
   }
-  return seconds;
+  meter_.Record(bytes);
+  return Status::Ok();
+}
+
+void RealizedLink::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  cancel_cv_.notify_all();
 }
 
 }  // namespace sieve::net

@@ -1,0 +1,170 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <array>
+
+namespace sieve::net {
+
+const char* LinkHealthName(LinkHealth health) noexcept {
+  switch (health) {
+    case LinkHealth::kHealthy: return "healthy";
+    case LinkHealth::kDegraded: return "degraded";
+    case LinkHealth::kDown: return "down";
+  }
+  return "unknown";
+}
+
+ReliableTransport::ReliableTransport(LinkModel model, double time_scale,
+                                     FaultPlan faults, RetryPolicy retry,
+                                     HealthPolicy health)
+    : link_(model, time_scale, faults),
+      retry_(retry),
+      health_policy_(health),
+      // Decorrelate the backoff jitter from the fault schedule: both are
+      // replayable, neither perturbs the other's draw sequence.
+      jitter_rng_(Rng(faults.seed).Fork(0x6a69747465720000ULL)) {}
+
+void ReliableTransport::NoteAttempt(bool success) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.attempts;
+  const double a = health_policy_.loss_alpha;
+  stats_.loss_ewma = a * (success ? 0.0 : 1.0) + (1.0 - a) * stats_.loss_ewma;
+  if (success) {
+    consecutive_failures_ = 0;
+    ++consecutive_successes_;
+  } else {
+    consecutive_successes_ = 0;
+    ++consecutive_failures_;
+  }
+  LinkHealth next = stats_.health;
+  if (consecutive_failures_ >= health_policy_.down_after_failures) {
+    next = LinkHealth::kDown;
+  } else if (stats_.health == LinkHealth::kHealthy &&
+             stats_.loss_ewma > health_policy_.degraded_loss) {
+    next = LinkHealth::kDegraded;
+  } else if (stats_.health != LinkHealth::kHealthy &&
+             stats_.loss_ewma < health_policy_.healthy_loss &&
+             consecutive_successes_ >= health_policy_.promote_after_successes) {
+    next = LinkHealth::kHealthy;
+  }
+  if (next != stats_.health) {
+    stats_.health = next;
+    ++stats_.health_transitions;
+  }
+}
+
+SendOutcome ReliableTransport::Send(std::span<std::uint8_t> payload,
+                                    double now_hint) {
+  SendOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages_sent;
+  }
+  const double start = std::max(link_.now(), now_hint);
+  const double deadline = start + retry_.deadline_ms / 1e3;
+  double backoff_ms = retry_.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    const auto result = link_.Transfer(payload, now_hint);
+    outcome.modelled_seconds += result.modelled_seconds;
+    if (result.status.code() == ErrorCode::kCancelled) {
+      outcome.status = result.status;
+      break;
+    }
+    if (result.status.ok()) {
+      NoteAttempt(true);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.messages_delivered;
+      stats_.retries += std::uint64_t(attempt - 1);
+      if (result.corrupted) ++stats_.corrupted_deliveries;
+      if (result.duplicated) {
+        ++stats_.duplicates;
+        outcome.retransmit_bytes += payload.size();
+      }
+      outcome.corrupted = result.corrupted;
+      outcome.status = Status::Ok();
+      return outcome;
+    }
+    // Lost attempt: the bytes crossed (part of) the link for nothing.
+    NoteAttempt(false);
+    outcome.retransmit_bytes += payload.size();
+    link_.meter().RecordRetransmit(payload.size());
+    if (attempt >= retry_.max_attempts) {
+      outcome.status =
+          Status::Unavailable("transport: retry budget exhausted after " +
+                              std::to_string(attempt) + " attempts");
+      break;
+    }
+    const double jitter =
+        1.0 + retry_.jitter * ([this] {
+          std::lock_guard<std::mutex> lock(mutex_);
+          return jitter_rng_.Uniform(-1.0, 1.0);
+        }());
+    const double backoff_s = backoff_ms * jitter / 1e3;
+    if (link_.now() + backoff_s > deadline) {
+      outcome.status =
+          Status::DeadlineExceeded("transport: message deadline passed");
+      break;
+    }
+    if (!link_.Wait(backoff_s)) {
+      outcome.status = Status::Cancelled("transport: cancelled in backoff");
+      break;
+    }
+    backoff_ms = std::min(backoff_ms * retry_.backoff_multiplier,
+                          retry_.max_backoff_ms);
+  }
+  link_.meter().RecordDrop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.messages_dropped;
+  stats_.retries += std::uint64_t(outcome.attempts - 1);
+  return outcome;
+}
+
+void ReliableTransport::Probe(double now_hint) {
+  // Ratchet the clock even when no probe is due: label-only traffic from
+  // edge-fallback sessions is what moves scripted outage windows along.
+  link_.ObserveTime(now_hint);
+  const double now = link_.now();
+  bool probe_due = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stats_.health != LinkHealth::kHealthy &&
+        now - last_probe_ >= kProbeIntervalSeconds) {
+      last_probe_ = now;
+      ++stats_.probes;
+      probe_due = true;
+    }
+  }
+  if (!probe_due) return;
+  std::array<std::uint8_t, kProbeBytes> scratch{};
+  const auto result = link_.Transfer(std::span<std::uint8_t>(scratch), now);
+  if (result.status.code() != ErrorCode::kCancelled) {
+    NoteAttempt(result.status.ok());
+  }
+}
+
+LinkHealth ReliableTransport::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.health;
+}
+
+LinkModel ReliableTransport::EffectiveModel() const {
+  double loss;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    loss = std::min(stats_.loss_ewma, 0.95);
+  }
+  LinkModel m = link_.model();
+  m.bandwidth_mbps *= (1.0 - loss);
+  m.rtt_ms /= (1.0 - loss);
+  return m;
+}
+
+TransportStats ReliableTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TransportStats s = stats_;
+  s.link_clock_seconds = link_.now();
+  return s;
+}
+
+}  // namespace sieve::net

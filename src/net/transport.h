@@ -1,0 +1,141 @@
+// Reliable WAN transport: retry/timeout/backoff over a faulty link, plus
+// measured link health.
+//
+// ReliableTransport is the runtime's send path for everything that crosses
+// the edge->cloud WAN. It wraps a FaultyLink (net/fault.h) and turns that
+// link's per-attempt failures into a hard per-message contract: Send()
+// either delivers the payload or returns an explicit error — kUnavailable
+// (retry budget exhausted), kDeadlineExceeded (the message aged out on the
+// link clock), or kCancelled (shutdown) — never a silent loss. The caller
+// (the runtime's wan stage) maps those errors onto per-session drop
+// accounting, so every frame reconciles as delivered-or-dropped.
+//
+// Retry policy: exponential backoff with seeded jitter, a per-message
+// attempt budget, and a per-message deadline on the virtual link clock. The
+// backoff sleeps ride the link's cancel gate, so Runtime::Shutdown wakes a
+// transport mid-backoff instantly.
+//
+// Health: every attempt feeds an EWMA loss estimate and a consecutive
+// failure/success counter. Crossing the configured thresholds moves the
+// link through kHealthy -> kDegraded -> kDown and back; the runtime
+// observes transitions after each send and replans session placements
+// (graceful degradation toward edge-only). EffectiveModel() folds the
+// measured loss into the planner's LinkModel so ChooseSplit sees the WAN
+// that actually exists, not the one that was configured.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/fault.h"
+#include "net/link.h"
+
+namespace sieve::net {
+
+/// Retry/timeout policy for one message.
+struct RetryPolicy {
+  int max_attempts = 5;              ///< total attempts (first + retries)
+  double initial_backoff_ms = 50.0;  ///< wait after the first failure
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  double jitter = 0.2;         ///< +/- fraction applied to each backoff
+  double deadline_ms = 15000;  ///< per-message budget on the link clock
+};
+
+/// Thresholds for the health state machine.
+struct HealthPolicy {
+  int down_after_failures = 4;     ///< consecutive attempt failures -> kDown
+  double degraded_loss = 0.30;     ///< EWMA loss above -> kDegraded
+  double healthy_loss = 0.10;      ///< EWMA loss below (plus successes) ->
+                                   ///< eligible for kHealthy
+  int promote_after_successes = 3; ///< consecutive successes to re-promote
+  double loss_alpha = 0.30;        ///< EWMA smoothing per attempt
+};
+
+enum class LinkHealth { kHealthy, kDegraded, kDown };
+
+const char* LinkHealthName(LinkHealth health) noexcept;
+
+/// Counters snapshot; all values are totals since construction.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;       ///< Send() calls
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;    ///< explicit give-ups
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;             ///< attempts beyond each first
+  std::uint64_t duplicates = 0;
+  std::uint64_t corrupted_deliveries = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t health_transitions = 0;
+  double loss_ewma = 0.0;
+  LinkHealth health = LinkHealth::kHealthy;
+  double link_clock_seconds = 0.0;
+};
+
+/// Outcome of one Send().
+struct SendOutcome {
+  Status status;           ///< Ok / Unavailable / DeadlineExceeded / Cancelled
+  int attempts = 1;
+  bool corrupted = false;  ///< delivered, but bits flipped in transit
+  std::uint64_t retransmit_bytes = 0;  ///< wasted attempt + duplicate bytes
+  double modelled_seconds = 0.0;       ///< link time the message consumed
+};
+
+class ReliableTransport {
+ public:
+  ReliableTransport(LinkModel model, double time_scale, FaultPlan faults,
+                    RetryPolicy retry = {}, HealthPolicy health = {});
+
+  /// Deliver `payload` or fail explicitly. Blocks through retries/backoffs
+  /// (all waits scaled by the link's time_scale and interruptible by
+  /// Cancel). `now_hint` is the sender's stream position in seconds; it
+  /// ratchets the link clock so scripted outages and per-message deadlines
+  /// track stream content. The payload may come back corrupted — transport
+  /// integrity is the downstream decoder's problem, by design (that is what
+  /// the hardened parsers are for).
+  SendOutcome Send(std::span<std::uint8_t> payload, double now_hint = 0.0);
+
+  /// Cheap keepalive. Always advances the link clock; when the link is not
+  /// healthy (and at most every kProbeIntervalSeconds of link time) it also
+  /// sends a tiny probe so recovery is detected even while every session
+  /// has fallen back to edge-only and no payload crosses the WAN.
+  void Probe(double now_hint);
+
+  /// Wake every in-progress wait; all further sends fail with kCancelled.
+  void Cancel() { link_.Cancel(); }
+
+  LinkHealth health() const;
+  /// The configured model with the measured loss folded in: retransmissions
+  /// eat bandwidth (factor 1-p) and stretch expected latency (the mean
+  /// geometric retry count 1/(1-p) multiplies the RTT).
+  LinkModel EffectiveModel() const;
+  TransportStats stats() const;
+
+  ByteMeter& meter() noexcept { return link_.meter(); }
+  const LinkModel& model() const noexcept { return link_.model(); }
+  FaultyLink& faulty_link() noexcept { return link_; }
+
+  static constexpr std::size_t kProbeBytes = 64;
+  static constexpr double kProbeIntervalSeconds = 0.25;
+
+ private:
+  void NoteAttempt(bool success);  ///< EWMA + health transition bookkeeping
+
+  FaultyLink link_;
+  RetryPolicy retry_;
+  HealthPolicy health_policy_;
+  Rng jitter_rng_;
+
+  mutable std::mutex mutex_;  ///< guards stats_ + health state
+  TransportStats stats_;
+  int consecutive_failures_ = 0;
+  int consecutive_successes_ = 0;
+  double last_probe_ = -1e9;  ///< link-clock time of the last real probe
+};
+
+}  // namespace sieve::net

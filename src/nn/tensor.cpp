@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 
@@ -88,6 +89,16 @@ Expected<Tensor> DeserializeTensor(std::span<const std::uint8_t> bytes) {
       float v;
       std::memcpy(&v, &bits, sizeof v);
       tensor.values()[i] = v;
+    }
+  }
+  // A bit flip in transit can land in a float's exponent and produce
+  // NaN/inf, which the suffix layers would propagate into every label
+  // distance. Activations are post-ReLU bounded values: non-finite means
+  // corrupt, and catching it here keeps the failure at the transport
+  // boundary instead of deep inside the classifier.
+  for (const float v : tensor.values()) {
+    if (!std::isfinite(v)) {
+      return Status::Corrupt("activation: non-finite values");
     }
   }
   return tensor;

@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "codec/decoder.h"
@@ -18,6 +20,50 @@ constexpr char kKindActivation[] = "act";
 constexpr char kKindLabel[] = "label";
 
 }  // namespace
+
+const char* SessionHealthName(SessionHealth health) noexcept {
+  switch (health) {
+    case SessionHealth::kHealthy: return "healthy";
+    case SessionHealth::kDegraded: return "degraded";
+    case SessionHealth::kEdgeFallback: return "edge-fallback";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+void SessionState::RecordOutcome(const dataflow::FlowFile& file,
+                                 FrameOutcome outcome) {
+  double latency_ms = -1.0;
+  if (outcome == FrameOutcome::kDelivered) {
+    if (const auto t_push = file.GetU64("t_push_us")) {
+      const double now_us = opened.ElapsedMicros();
+      if (now_us >= double(*t_push)) {
+        latency_ms = (now_us - double(*t_push)) / 1e3;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  switch (outcome) {
+    case FrameOutcome::kStoredEdge: ++stored_edge; break;
+    case FrameOutcome::kDelivered: ++delivered; break;
+    case FrameOutcome::kDroppedWan: ++dropped_wan; break;
+    case FrameOutcome::kDroppedCorrupt: ++dropped_corrupt; break;
+    case FrameOutcome::kDroppedShutdown: ++dropped_shutdown; break;
+  }
+  if (latency_ms >= 0.0) {
+    ++latency_count;
+    latency_sum_ms += latency_ms;
+    latency_max_ms = std::max(latency_max_ms, latency_ms);
+    if (latency_samples.size() < kMaxLatencySamples) {
+      latency_samples.push_back(float(latency_ms));
+    }
+  }
+  ++settled;
+  settled_cv.notify_all();
+}
+
+}  // namespace internal
 
 // ----------------------------------------------------------- SieveSession --
 
@@ -63,9 +109,16 @@ Status SieveSession::PushWire(codec::FrameType type, std::uint64_t frame_index,
   file.SetU64("frame", frame_index);
   file.SetAttribute("type", type == codec::FrameType::kIntra ? "I" : "P");
   file.SetAttribute("camera", st.route);
+  // Push-time stamp on this session's stopwatch: the delivered-frame
+  // latency ledger measures push -> settle against it.
+  file.SetU64("t_push_us", std::uint64_t(st.opened.ElapsedMicros()));
   // The camera sends over its LAN hop before the edge queue: backpressure
   // from a saturated edge blocks right here, in the camera's own thread.
-  st.camera_edge.Transfer(file.size());
+  // Shutdown cancels the link, which unblocks a camera mid-transfer; the
+  // frame never entered the tiers, so it is rejected, not counted dropped.
+  if (Status lan = st.camera_edge.Transfer(file.size()); !lan.ok()) {
+    return lan;
+  }
   st.pushed.fetch_add(1, std::memory_order_acq_rel);
   if (!st.camera_queue.Push(std::move(file))) {
     st.pushed.fetch_sub(1, std::memory_order_acq_rel);
@@ -110,9 +163,35 @@ SessionReport SieveSession::Drain() {
                    : 0.0;
   report.camera_to_edge_bytes = st.camera_edge.meter().bytes();
   report.edge_to_cloud_bytes = st.edge_cloud_meter.bytes();
-  report.placement = st.plan.mode;
-  report.nn_split = st.plan.split;
-  report.predicted_total_ms = st.plan.predicted.total_ms;
+  const auto plan = st.ActivePlan();
+  report.placement = plan->mode;
+  report.nn_split = plan->split;
+  report.predicted_total_ms = plan->predicted.total_ms;
+  report.wan_retries = st.wan_retries.load(std::memory_order_relaxed);
+  report.wan_retransmit_bytes = st.edge_cloud_meter.retransmit_bytes();
+  report.replans = st.replans.load(std::memory_order_relaxed);
+  report.health = st.health.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    report.frames_stored_edge = st.stored_edge;
+    report.frames_delivered = st.delivered;
+    report.dropped_wan = st.dropped_wan;
+    report.dropped_corrupt = st.dropped_corrupt;
+    report.dropped_shutdown = st.dropped_shutdown;
+    report.frames_dropped =
+        st.dropped_wan + st.dropped_corrupt + st.dropped_shutdown;
+    if (st.latency_count > 0) {
+      report.latency_avg_ms = st.latency_sum_ms / double(st.latency_count);
+      report.latency_max_ms = st.latency_max_ms;
+      std::vector<float> samples = st.latency_samples;
+      std::sort(samples.begin(), samples.end());
+      const std::size_t idx = std::min(
+          samples.size() - 1,
+          std::size_t(std::ceil(0.99 * double(samples.size()))) -
+              std::size_t(1));
+      report.latency_p99_ms = double(samples[idx]);
+    }
+  }
   return report;
 }
 
@@ -123,7 +202,8 @@ Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
     : config_(config),
       classifier_(classifier),
       executor_(executor != nullptr ? executor : &SharedExecutor()),
-      edge_cloud_(config.edge_to_cloud, config.link_time_scale),
+      wan_(config.edge_to_cloud, config.link_time_scale, config.wan_faults,
+           config.wan_retry, config.wan_health),
       pipeline_(config.queue_capacity, executor_),
       query_(std::make_shared<query::QueryService>()) {
   BuildTiers();
@@ -157,7 +237,7 @@ void Runtime::BuildTiers() {
         if (!session) return std::nullopt;  // unroutable: drop
         const auto type = file.GetAttribute("type");
         if (!type || *type != "I") {  // P-frames: stored edge-side only
-          session->Settle();
+          session->RecordOutcome(file, internal::FrameOutcome::kStoredEdge);
           return std::nullopt;
         }
         session->iframes.fetch_add(1, std::memory_order_relaxed);
@@ -195,6 +275,7 @@ void Runtime::BuildTiers() {
         // small anyway.)
         dataflow::FlowFile out(codec::EncodeStill(resized, config_.still_qp));
         out.SetU64("frame", file.GetU64("frame").value_or(0));
+        out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
         out.SetAttribute("camera", session->route);
         out.SetAttribute("kind", kKindStill);
         return out;
@@ -212,11 +293,15 @@ void Runtime::BuildTiers() {
       [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
         auto session = FindSession(file);
         if (!session) return std::nullopt;
-        const std::size_t split = session->plan.split;
+        // Load the live plan once per frame and latch the split into the
+        // flow file: this is the plan-swap barrier. A health-driven replan
+        // only affects frames that have not yet passed this stage;
+        // in-flight activations finish on the plan they started with.
+        const std::size_t split = session->ActivePlan()->split;
         if (split == 0) return file;
         auto still = codec::DecodeStill(file.payload());
         if (!still.ok()) {
-          session->Settle();
+          session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
           return std::nullopt;
         }
         const nn::Tensor input = classifier_->InputTensor(*still);
@@ -226,7 +311,8 @@ void Runtime::BuildTiers() {
           auto labels = classifier_->PredictFromEmbedding(
               classifier_->network().Forward(input).values());
           if (!labels.ok()) {
-            session->Settle();
+            session->RecordOutcome(file,
+                                   internal::FrameOutcome::kDroppedCorrupt);
             return std::nullopt;
           }
           out.SetAttribute("kind", kKindLabel);
@@ -238,6 +324,7 @@ void Runtime::BuildTiers() {
           out.SetU64("split", split);
         }
         out.SetU64("frame", file.GetU64("frame").value_or(0));
+        out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
         out.SetAttribute("camera", session->route);
         return out;
       },
@@ -245,17 +332,52 @@ void Runtime::BuildTiers() {
 
   // --- Edge -> cloud WAN (shared hop, per-camera accounting). Labels from
   // all-edge sessions ride out-of-band (the old kEdge tier's contract:
-  // nothing metered); stills and activations pay their real byte cost. ----
+  // nothing metered) but still ratchet the link clock via Probe, so
+  // scripted outages progress — and recovery is detected — even when every
+  // session has fallen back to edge-only. Stills and activations go through
+  // the reliable send path: delivered (possibly corrupted — the hardened
+  // decoders downstream are the integrity check) or counted dropped. ------
   pipeline_.AddStage(
       "wan",
       [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        auto session = FindSession(file);
+        // The sender's stream position (open offset + frame time) ratchets
+        // the virtual link clock: outage windows line up with stream
+        // content, not wall time, so chaos runs replay exactly.
+        double hint = 0.0;
+        if (session) {
+          const double fps = session->header.fps > 0 ? session->header.fps : 1;
+          hint = session->open_seconds +
+                 double(file.GetU64("frame").value_or(0)) / fps;
+        }
         const auto kind = file.GetAttribute("kind");
-        if (!kind || *kind != kKindLabel) {
-          edge_cloud_.Transfer(file.size());
-          if (auto session = FindSession(file)) {
-            session->edge_cloud_meter.Record(file.size());
+        if (kind && *kind == kKindLabel) {
+          wan_.Probe(hint);
+          MaybeReactToWanHealth();
+          return file;
+        }
+        const net::SendOutcome outcome =
+            wan_.Send(std::span<std::uint8_t>(file.payload()), hint);
+        if (session) {
+          session->wan_retries.fetch_add(std::uint64_t(outcome.attempts - 1),
+                                         std::memory_order_relaxed);
+          if (outcome.retransmit_bytes > 0) {
+            session->edge_cloud_meter.RecordRetransmit(outcome.retransmit_bytes);
           }
         }
+        if (!outcome.status.ok()) {
+          if (session) {
+            session->edge_cloud_meter.RecordDrop();
+            session->RecordOutcome(
+                file, outcome.status.code() == ErrorCode::kCancelled
+                          ? internal::FrameOutcome::kDroppedShutdown
+                          : internal::FrameOutcome::kDroppedWan);
+          }
+          MaybeReactToWanHealth();
+          return std::nullopt;
+        }
+        if (session) session->edge_cloud_meter.Record(file.size());
+        MaybeReactToWanHealth();
         return file;
       });
 
@@ -271,14 +393,14 @@ void Runtime::BuildTiers() {
       // other corrupt payload instead of recording an empty label set.
       const auto bits = file.GetU64("label_bits");
       if (!bits) {
-        session->Settle();
+        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
       labels = synth::LabelSet(std::uint8_t(*bits));
     } else if (kind == kKindActivation) {
       auto activation = nn::DeserializeTensor(file.payload());
       if (!activation.ok()) {
-        session->Settle();
+        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
       // The split rides the wire as an attribute: verify the activation's
@@ -287,25 +409,25 @@ void Runtime::BuildTiers() {
       const std::size_t split = std::size_t(file.GetU64("split").value_or(0));
       if (split > classifier_->network().LayerCount() ||
           !(activation->shape() == classifier_->network().ShapeAtLayer(split))) {
-        session->Settle();
+        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
       auto predicted = classifier_->PredictFromEmbedding(
           classifier_->network().ForwardSuffix(*activation, split).values());
       if (!predicted.ok()) {
-        session->Settle();
+        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
       labels = *predicted;
     } else {
       auto still = codec::DecodeStill(file.payload());
       if (!still.ok()) {
-        session->Settle();
+        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
       auto predicted = classifier_->Predict(*still);
       if (!predicted.ok()) {
-        session->Settle();
+        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
       labels = *predicted;
@@ -316,12 +438,15 @@ void Runtime::BuildTiers() {
                          labels);
     }
     session->labels.fetch_add(1, std::memory_order_relaxed);
-    session->Settle();
+    session->RecordOutcome(file, internal::FrameOutcome::kDelivered);
   });
 }
 
 nn::PartitionInput Runtime::PlannerInput(const SessionConfig& config) {
-  const net::LinkModel wan = config.wan_hint.value_or(config_.edge_to_cloud);
+  return PlannerInputForModel(config.wan_hint.value_or(config_.edge_to_cloud));
+}
+
+nn::PartitionInput Runtime::PlannerInputForModel(const net::LinkModel& wan) {
   std::lock_guard<std::mutex> lock(planner_mutex_);
   if (planner_profile_.empty()) {
     nn::PartitionInput measured =
@@ -337,6 +462,82 @@ nn::PartitionInput Runtime::PlannerInput(const SessionConfig& config) {
   input.bandwidth_mbps = wan.bandwidth_mbps;
   input.rtt_ms = wan.rtt_ms;
   return input;
+}
+
+void Runtime::MaybeReactToWanHealth() {
+  if (!config_.adaptive_placement) return;
+  const int current = int(wan_.health());
+  int expected = reacted_health_.load(std::memory_order_acquire);
+  while (expected != current) {
+    if (reacted_health_.compare_exchange_weak(expected, current,
+                                              std::memory_order_acq_rel)) {
+      ApplyWanHealth(net::LinkHealth(current));
+      return;
+    }
+  }
+}
+
+void Runtime::ApplyWanHealth(net::LinkHealth link) {
+  const std::size_t layers = classifier_->network().LayerCount();
+  std::vector<std::shared_ptr<internal::SessionState>> states;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    states.reserve(by_id_.size());
+    for (auto& [id, state] : by_id_) states.push_back(state);
+  }
+  for (auto& state : states) {
+    // Sessions already all-edge by configuration have nothing crossing the
+    // WAN: their delivery is unaffected, their plan and health stay put.
+    const bool uses_wan = state->base_plan.split < layers;
+    PlacementPlan next = state->base_plan;
+    SessionHealth health = SessionHealth::kHealthy;
+    if (uses_wan && link == net::LinkHealth::kDown) {
+      // Graceful degradation: run the whole network at the edge; only
+      // labels (out-of-band) leave the site until the link recovers.
+      next.split = layers;
+      health = SessionHealth::kEdgeFallback;
+    } else if (uses_wan && link == net::LinkHealth::kDegraded) {
+      // Replan against the measured link (loss folded into bandwidth and
+      // RTT), never shipping more than the base plan would: the split can
+      // only move toward the edge while the WAN is lossy.
+      const PlacementPlan planned =
+          ResolvePlacement(PlacementMode::kAuto,
+                           PlannerInputForModel(wan_.EffectiveModel()),
+                           layers, /*fixed_split=*/0);
+      next.split = std::max(state->base_plan.split, planned.split);
+      next.predicted = planned.predicted;
+      health = SessionHealth::kDegraded;
+    }
+    if (state->ActivePlan()->split != next.split) {
+      state->active_plan.store(std::make_shared<const PlacementPlan>(next),
+                               std::memory_order_release);
+      state->replans.fetch_add(1, std::memory_order_relaxed);
+      replans_.fetch_add(1, std::memory_order_relaxed);
+    }
+    state->health.store(health, std::memory_order_relaxed);
+  }
+}
+
+RuntimeHealth Runtime::health() const {
+  RuntimeHealth h;
+  const net::TransportStats stats = wan_.stats();
+  h.wan_link = stats.health;
+  h.wan_loss_ewma = stats.loss_ewma;
+  h.wan_messages_delivered = stats.messages_delivered;
+  h.wan_messages_dropped = stats.messages_dropped;
+  h.wan_retries = stats.retries;
+  h.wan_probes = stats.probes;
+  h.replans = replans_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [id, state] : by_id_) {
+    if (state->closed.load(std::memory_order_acquire)) continue;
+    switch (state->health.load(std::memory_order_relaxed)) {
+      case SessionHealth::kHealthy: ++h.sessions_healthy; break;
+      case SessionHealth::kDegraded: ++h.sessions_degraded; break;
+      case SessionHealth::kEdgeFallback: ++h.sessions_edge_fallback; break;
+    }
+  }
+  return h;
 }
 
 Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
@@ -403,7 +604,9 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
     state = std::make_shared<internal::SessionState>(
         camera_id, route, header, config.queue_capacity,
         config_.camera_to_edge, config_.link_time_scale);
-    state->plan = plan;
+    state->base_plan = plan;
+    state->active_plan.store(std::make_shared<const PlacementPlan>(plan),
+                             std::memory_order_release);
     routes_.emplace(route, state);
     by_id_[camera_id] = state;
   }
@@ -428,9 +631,12 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
   // publishes through the observer seam (called by the cloud tier under
   // this session's db lock, so the db reference is stable).
   state->query = query_;
+  // One timestamp serves both clocks: the query layer's stream alignment
+  // and the WAN link-clock hints (open offset + frame/fps).
+  state->open_seconds = epoch_.ElapsedSeconds();
   query_->RegisterCamera(
       state->route, camera_id,
-      query::CameraClock{epoch_.ElapsedSeconds(), config.fps});
+      query::CameraClock{state->open_seconds, config.fps});
   state->db.set_observer(
       [service = query_, route = state->route](
           const core::ResultsDatabase& db, std::size_t frame,
@@ -460,8 +666,15 @@ Expected<std::vector<dataflow::StageStats>> Runtime::Shutdown() {
     states.reserve(routes_.size());
     for (auto& [route, state] : routes_) states.push_back(state);
   }
+  // Cancel the links before draining: a transport mid-backoff (or a camera
+  // mid-LAN-transfer) wakes immediately, and every frame still in the tiers
+  // settles promptly — delivered if it no longer needs the WAN, counted
+  // dropped_shutdown otherwise. With link_time_scale == 0 there are no
+  // waits to interrupt, so a zero-scale shutdown drains exactly as before.
+  wan_.Cancel();
   for (auto& state : states) {
     state->closed.store(true, std::memory_order_release);
+    state->camera_edge.Cancel();
     state->camera_queue.Close();
   }
   if (!start_status_.ok()) return start_status_;

@@ -49,7 +49,9 @@
 #include "core/results_db.h"
 #include "dataflow/pipeline.h"
 #include "media/frame.h"
+#include "net/fault.h"
 #include "net/link.h"
+#include "net/transport.h"
 #include "nn/classifier.h"
 #include "query/service.h"
 #include "runtime/executor.h"
@@ -86,6 +88,42 @@ struct RuntimeConfig {
   /// Admission control: cap on the summed width*height*fps of open sessions
   /// (pixels/second, 0 = unlimited) — the edge tier's decode budget.
   double max_aggregate_pixel_rate = 0.0;
+  /// Scripted chaos on the shared WAN hop (default: a perfect link). The
+  /// schedule is seeded and scripted on the link's virtual clock, so runs
+  /// replay exactly (docs/robustness.md).
+  net::FaultPlan wan_faults;
+  /// Retry/timeout/backoff policy of the WAN send path.
+  net::RetryPolicy wan_retry;
+  /// Thresholds of the WAN health state machine (degrade / down / promote).
+  net::HealthPolicy wan_health;
+  /// React to WAN health transitions by replanning session placements
+  /// (graceful degradation toward edge-only, re-promotion on recovery).
+  /// Off: sessions keep their opening plan and undeliverable frames are
+  /// simply counted dropped.
+  bool adaptive_placement = true;
+};
+
+/// Per-session degradation state, surfaced through SessionReport and
+/// Runtime::health(). kDegraded: the session was re-planned against the
+/// measured (lossy) link model. kEdgeFallback: the link is down and the
+/// session runs all-edge regardless of its configured placement.
+enum class SessionHealth { kHealthy, kDegraded, kEdgeFallback };
+
+const char* SessionHealthName(SessionHealth health) noexcept;
+
+/// Runtime-wide health snapshot: the WAN transport's state plus the fleet's
+/// per-session supervision counters. Readable from any thread at any time.
+struct RuntimeHealth {
+  net::LinkHealth wan_link = net::LinkHealth::kHealthy;
+  double wan_loss_ewma = 0.0;
+  std::uint64_t wan_messages_delivered = 0;
+  std::uint64_t wan_messages_dropped = 0;
+  std::uint64_t wan_retries = 0;
+  std::uint64_t wan_probes = 0;
+  std::uint64_t replans = 0;  ///< plan swaps across all sessions
+  std::size_t sessions_healthy = 0;
+  std::size_t sessions_degraded = 0;
+  std::size_t sessions_edge_fallback = 0;
 };
 
 /// Per-camera configuration.
@@ -126,13 +164,45 @@ struct SessionReport {
   /// nothing for all-edge execution (labels travel out-of-band).
   std::uint64_t edge_to_cloud_bytes = 0;
   PlacementMode placement = PlacementMode::kCloud;  ///< resolved mode
-  std::size_t nn_split = 0;  ///< layers [0, split) ran at the edge
+  std::size_t nn_split = 0;  ///< layers [0, split) ran at the edge (active
+                             ///< plan at drain time)
   /// The planner's predicted end-to-end latency at the chosen split — the
   /// exact model that drove the decision. Nonzero only for kAuto sessions.
   double predicted_total_ms = 0.0;
+
+  // --- Failure semantics (docs/runtime.md). Every pushed frame reconciles:
+  //   frames_pushed == frames_stored_edge + frames_delivered + frames_dropped
+  // where frames_stored_edge are the P-frames the seeker filtered (stored
+  // edge-side, per the paper) and frames_delivered == labels_written. A
+  // frame is never silently lost.
+  std::size_t frames_stored_edge = 0;  ///< P-frames filtered by the seeker
+  std::size_t frames_delivered = 0;    ///< I-frames labelled into the db
+  std::size_t frames_dropped = 0;      ///< explicit drops, by reason below
+  std::size_t dropped_wan = 0;      ///< WAN gave up (retry budget/deadline)
+  std::size_t dropped_corrupt = 0;  ///< payload failed decode/validation
+  std::size_t dropped_shutdown = 0;  ///< in flight when Shutdown cancelled
+  std::uint64_t wan_retries = 0;     ///< extra WAN attempts for this camera
+  /// Bytes this camera wasted on the WAN beyond goodput (failed attempts
+  /// and duplicates); edge_to_cloud_bytes stays pure goodput.
+  std::uint64_t wan_retransmit_bytes = 0;
+  std::uint64_t replans = 0;         ///< plan swaps this session saw
+  SessionHealth health = SessionHealth::kHealthy;  ///< state at drain
+  // Push-to-settle latency of delivered frames (milliseconds).
+  double latency_avg_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
 };
 
 namespace internal {
+
+/// How one in-flight frame settled (the delivered-vs-dropped ledger).
+enum class FrameOutcome {
+  kStoredEdge,      ///< P-frame: filtered by the seeker, stored edge-side
+  kDelivered,       ///< labelled into the session's database
+  kDroppedWan,      ///< the WAN transport gave up (Unavailable / deadline)
+  kDroppedCorrupt,  ///< payload failed decode or validation downstream
+  kDroppedShutdown  ///< in flight when Shutdown cancelled the links
+};
 
 /// Shared state of one camera session. Lives in a shared_ptr: the session
 /// handle, the runtime registry, and in-flight pipeline items all reference
@@ -154,12 +224,31 @@ struct SessionState {
     settled_cv.notify_all();
   }
 
+  /// Settle one frame AND account for how it ended: outcome counters plus,
+  /// for delivered frames, the push-to-settle latency (the flow file's
+  /// "t_push_us" stamp against this session's stopwatch). Every frame that
+  /// enters the tiers leaves through exactly one RecordOutcome call.
+  void RecordOutcome(const dataflow::FlowFile& file, FrameOutcome outcome);
+
+  /// The placement the next frame will execute under. In-flight frames are
+  /// unaffected by a swap: each frame latches its split when it passes the
+  /// edge-NN stage (the "split" wire attribute), so activations always
+  /// finish on the plan they started with — that is the plan-swap barrier.
+  std::shared_ptr<const PlacementPlan> ActivePlan() const {
+    return active_plan.load(std::memory_order_acquire);
+  }
+
   const std::string camera_id;
   const std::string route;  ///< unique per-session routing key (id#seq):
                             ///< lets a reconnecting camera reuse its id while
                             ///< in-flight frames still reach the old session
   const codec::ContainerHeader header;  ///< edge decode parameters
-  PlacementPlan plan;  ///< set once at OpenSession, read by every tier
+  PlacementPlan base_plan;  ///< resolved at OpenSession; restored on recovery
+  /// The live plan (swapped by the runtime on WAN health transitions).
+  std::atomic<std::shared_ptr<const PlacementPlan>> active_plan;
+  std::atomic<SessionHealth> health{SessionHealth::kHealthy};
+  std::atomic<std::uint64_t> replans{0};
+  double open_seconds = 0.0;  ///< offset on the runtime's shared epoch
   dataflow::BoundedQueue<dataflow::FlowFile> camera_queue;
   net::RealizedLink camera_edge;     ///< this camera's LAN hop
   net::ByteMeter edge_cloud_meter;   ///< this camera's share of the WAN
@@ -168,13 +257,27 @@ struct SessionState {
   std::atomic<std::size_t> pushed{0};
   std::atomic<std::size_t> iframes{0};
   std::atomic<std::size_t> labels{0};
+  std::atomic<std::uint64_t> wan_retries{0};
 
   /// The runtime's query layer; Drain seals this session's index entry.
   std::shared_ptr<query::QueryService> query;
 
-  std::mutex mutex;  ///< guards db + settled
+  std::mutex mutex;  ///< guards db + settled + outcome/latency ledger
   std::condition_variable settled_cv;
   std::size_t settled = 0;
+  // Outcome ledger (guarded by `mutex`).
+  std::size_t stored_edge = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped_wan = 0;
+  std::size_t dropped_corrupt = 0;
+  std::size_t dropped_shutdown = 0;
+  // Push-to-settle latencies of delivered frames, milliseconds (guarded by
+  // `mutex`; the sample is capped so a 24/7 session stays bounded).
+  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
+  std::size_t latency_count = 0;
+  double latency_sum_ms = 0.0;
+  double latency_max_ms = 0.0;
+  std::vector<float> latency_samples;
   core::ResultsDatabase db;
 };
 
@@ -279,6 +382,14 @@ class Runtime {
   /// Shutdown() for post-hoc queries as long as the Runtime exists.
   query::QueryService& query() const noexcept { return *query_; }
 
+  /// Runtime-wide health snapshot: WAN transport state + fleet supervision
+  /// counters. Safe from any thread, any time (including post-Shutdown).
+  RuntimeHealth health() const;
+
+  /// The WAN transport (fault plan, retry policy, live stats). Exposed for
+  /// tests and benches; sessions never touch it directly.
+  net::ReliableTransport& wan() noexcept { return wan_; }
+
  private:
   std::shared_ptr<internal::SessionState> FindSession(
       const dataflow::FlowFile& file);
@@ -287,11 +398,25 @@ class Runtime {
   /// profile (cached across sessions), the session's WAN model, and the
   /// measured size of a transcoded still (what split 0 ships).
   nn::PartitionInput PlannerInput(const SessionConfig& config);
+  /// Planner input against an explicit WAN model (replans use the measured
+  /// EffectiveModel instead of the configured one).
+  nn::PartitionInput PlannerInputForModel(const net::LinkModel& wan);
+  /// Swap every open session's plan to match the given WAN health:
+  /// kDown -> edge-only fallback, kDegraded -> replan against the measured
+  /// link, kHealthy -> restore each session's base plan.
+  void ApplyWanHealth(net::LinkHealth health);
+  /// Called by the wan stage after each send/probe: if the transport's
+  /// health changed since the last reaction, run ApplyWanHealth once.
+  void MaybeReactToWanHealth();
 
   RuntimeConfig config_;
   const nn::FrameClassifier* classifier_;
   Executor* executor_;
-  net::RealizedLink edge_cloud_;  ///< the shared WAN hop
+  net::ReliableTransport wan_;  ///< the shared WAN hop (reliable send path)
+  /// Last LinkHealth ApplyWanHealth ran for (as int); CAS'd by the wan
+  /// stage so each transition triggers exactly one replan sweep.
+  std::atomic<int> reacted_health_{0};
+  std::atomic<std::uint64_t> replans_{0};  ///< fleet-wide plan swaps
   dataflow::Pipeline pipeline_;
   Status start_status_;
   /// Query layer + the shared stream clock's epoch (sessions are stamped

@@ -1,0 +1,181 @@
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sieve::net {
+namespace {
+
+std::vector<std::uint8_t> Payload(std::size_t n) {
+  std::vector<std::uint8_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = std::uint8_t(i * 31 + 7);
+  return bytes;
+}
+
+TEST(FaultPlan, DefaultIsAPerfectLink) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.InOutage(0.0));
+  EXPECT_FALSE(plan.InOutage(1e9));
+}
+
+TEST(FaultPlan, OutageWindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.outages.push_back({2.0, 5.0});
+  EXPECT_FALSE(plan.InOutage(1.999));
+  EXPECT_TRUE(plan.InOutage(2.0));
+  EXPECT_TRUE(plan.InOutage(4.999));
+  EXPECT_FALSE(plan.InOutage(5.0));
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_probability = 0.3;
+  plan.corrupt_probability = 0.2;
+  plan.duplicate_probability = 0.1;
+  plan.spike_probability = 0.15;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    const FaultDecision da = a.Next(double(i) * 0.1);
+    const FaultDecision db = b.Next(double(i) * 0.1);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.spike_seconds, db.spike_seconds);
+    EXPECT_EQ(da.corrupt_seed, db.corrupt_seed);
+  }
+}
+
+TEST(FaultInjector, DropRateTracksTheConfiguredProbability) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 0.25;
+  FaultInjector injector(plan);
+  int drops = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (injector.Next(0.0).drop) ++drops;
+  }
+  const double rate = double(drops) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(FaultInjector, OutagesConsumeNoRandomDraws) {
+  // Two schedules that differ only in an outage window must produce the
+  // same post-outage decision stream: outage attempts take no draws, so
+  // replays with different outage scripts stay aligned.
+  FaultPlan with, without;
+  with.seed = without.seed = 9;
+  with.drop_probability = without.drop_probability = 0.4;
+  with.outages.push_back({0.0, 1.0});
+  FaultInjector a(with), b(without);
+  for (int i = 0; i < 50; ++i) {
+    const FaultDecision d = a.Next(0.5);  // inside the outage
+    EXPECT_TRUE(d.outage);
+    EXPECT_FALSE(d.drop);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Next(2.0).drop, b.Next(2.0).drop);
+  }
+}
+
+TEST(FaultInjector, CorruptPayloadFlipsBitsDeterministically) {
+  auto a = Payload(256);
+  auto b = Payload(256);
+  const auto original = Payload(256);
+  FaultInjector::CorruptPayload(0xDEADBEEF, a);
+  FaultInjector::CorruptPayload(0xDEADBEEF, b);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, original);  // at least one bit flipped
+  // An empty payload is a no-op, not UB.
+  std::vector<std::uint8_t> empty;
+  FaultInjector::CorruptPayload(1, empty);
+}
+
+TEST(FaultyLink, PerfectPlanDeliversAndMetersGoodput) {
+  FaultyLink link(LinkModel{1000.0, 0.0}, 0.0, FaultPlan{});
+  auto payload = Payload(1000);
+  const auto result = link.Transfer(payload, 0.0);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.corrupted);
+  EXPECT_FALSE(result.duplicated);
+  EXPECT_EQ(link.meter().bytes(), 1000u);
+  EXPECT_EQ(payload, Payload(1000));  // untouched
+}
+
+TEST(FaultyLink, OutageFailsEveryAttemptInsideTheWindow) {
+  FaultPlan plan;
+  plan.outages.push_back({10.0, 20.0});
+  FaultyLink link(LinkModel{1000.0, 0.0}, 0.0, plan);
+  auto payload = Payload(100);
+  EXPECT_TRUE(link.Transfer(payload, 5.0).status.ok());
+  const auto lost = link.Transfer(payload, 15.0);
+  EXPECT_EQ(lost.status.code(), ErrorCode::kUnavailable);
+  // Only the delivered attempt metered goodput.
+  EXPECT_EQ(link.meter().bytes(), 100u);
+}
+
+TEST(FaultyLink, ClockIsMonotoneAndRatchetsOnHints) {
+  FaultyLink link(LinkModel{8.0, 0.0}, 0.0, FaultPlan{});
+  EXPECT_DOUBLE_EQ(link.now(), 0.0);
+  link.ObserveTime(5.0);
+  EXPECT_DOUBLE_EQ(link.now(), 5.0);
+  link.ObserveTime(3.0);  // hints never move the clock backwards
+  EXPECT_DOUBLE_EQ(link.now(), 5.0);
+  auto payload = Payload(1000000);  // 1 MB at 8 Mbps = 1 s modelled
+  (void)link.Transfer(payload, 0.0);
+  EXPECT_NEAR(link.now(), 6.0, 1e-6);  // transfers advance the clock too
+}
+
+TEST(FaultyLink, CorruptionFlipsPayloadInPlace) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt_probability = 1.0;
+  FaultyLink link(LinkModel{1000.0, 0.0}, 0.0, plan);
+  auto payload = Payload(64);
+  const auto result = link.Transfer(payload, 0.0);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.corrupted);
+  EXPECT_NE(payload, Payload(64));
+}
+
+TEST(FaultyLink, DuplicatesCostBytesButDeliverOnce) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.duplicate_probability = 1.0;
+  FaultyLink link(LinkModel{1000.0, 0.0}, 0.0, plan);
+  auto payload = Payload(500);
+  const auto result = link.Transfer(payload, 0.0);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.duplicated);
+  EXPECT_EQ(link.meter().bytes(), 500u);             // goodput: one copy
+  EXPECT_EQ(link.meter().retransmit_bytes(), 500u);  // the wasted copy
+}
+
+TEST(FaultyLink, ScriptedRunReplaysExactly) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_probability = 0.2;
+  plan.corrupt_probability = 0.1;
+  plan.outages.push_back({3.0, 6.0});
+
+  const auto run = [&plan] {
+    FaultyLink link(LinkModel{100.0, 5.0}, 0.0, plan);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      auto payload = Payload(200);
+      const auto r = link.Transfer(payload, double(i) * 0.05);
+      outcomes.push_back(r.status.ok() ? (r.corrupted ? 2 : 1) : 0);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sieve::net

@@ -48,14 +48,33 @@ TEST(ByteMeter, GigabytesConversion) {
 TEST(ByteMeter, ResetClears) {
   ByteMeter meter;
   meter.Record(100);
+  meter.RecordRetransmit(50);
+  meter.RecordDrop();
   meter.Reset();
   EXPECT_EQ(meter.bytes(), 0u);
   EXPECT_EQ(meter.messages(), 0u);
+  EXPECT_EQ(meter.retransmit_bytes(), 0u);
+  EXPECT_EQ(meter.retransmits(), 0u);
+  EXPECT_EQ(meter.drops(), 0u);
+}
+
+TEST(ByteMeter, SeparatesGoodputFromRetransmissions) {
+  ByteMeter meter;
+  meter.Record(1000);          // goodput
+  meter.RecordRetransmit(400); // wasted attempt
+  meter.RecordRetransmit(400);
+  meter.RecordDrop();
+  EXPECT_EQ(meter.bytes(), 1000u);  // goodput stays pure
+  EXPECT_EQ(meter.retransmit_bytes(), 800u);
+  EXPECT_EQ(meter.retransmits(), 2u);
+  EXPECT_EQ(meter.total_bytes(), 1800u);
+  EXPECT_EQ(meter.drops(), 1u);
 }
 
 TEST(RealizedLink, ZeroScaleMetersWithoutSleeping) {
   RealizedLink link(LinkModel{0.001, 10000.0}, 0.0);  // would be ~80s for 10B
-  const double modelled = link.Transfer(10);
+  double modelled = 0.0;
+  EXPECT_TRUE(link.Transfer(10, &modelled).ok());
   EXPECT_GT(modelled, 10.0);  // modelled seconds are large
   EXPECT_EQ(link.meter().bytes(), 10u);
 }
@@ -64,13 +83,51 @@ TEST(RealizedLink, ScaledSleepIsApplied) {
   // 1 MB at 8 Mbps = 1 s modelled; scale 0.02 -> ~20 ms real.
   RealizedLink link(LinkModel{8.0, 0.0}, 0.02);
   const auto start = std::chrono::steady_clock::now();
-  const double modelled = link.Transfer(1000000);
+  double modelled = 0.0;
+  EXPECT_TRUE(link.Transfer(1000000, &modelled).ok());
   const double waited =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   EXPECT_NEAR(modelled, 1.0, 1e-6);
   EXPECT_GE(waited, 0.015);
   EXPECT_LT(waited, 0.5);
+}
+
+TEST(RealizedLink, CancelInterruptsALongTransfer) {
+  // 10 MB at 1 Mbps = 80 s modelled; scale 1.0 would block for 80 s real.
+  RealizedLink link(LinkModel{1.0, 0.0}, 1.0);
+  const auto start = std::chrono::steady_clock::now();
+  std::thread canceller([&link] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    link.Cancel();
+  });
+  const Status status = link.Transfer(10000000);
+  canceller.join();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(status.code(), ErrorCode::kCancelled);
+  EXPECT_LT(waited, 5.0);  // woke early, not after 80 s
+  // An interrupted transfer delivers nothing.
+  EXPECT_EQ(link.meter().bytes(), 0u);
+}
+
+TEST(RealizedLink, CancelFailsTransfersAtAnyScale) {
+  // Cancel is a hard stop even at zero scale (where transfers never wait):
+  // a shut-down link refuses new work instead of silently accounting it.
+  RealizedLink link(LinkModel{8.0, 0.0}, 0.0);
+  EXPECT_TRUE(link.Transfer(1000).ok());
+  link.Cancel();
+  EXPECT_EQ(link.Transfer(1000).code(), ErrorCode::kCancelled);
+  EXPECT_EQ(link.meter().bytes(), 1000u);  // only the pre-cancel transfer
+}
+
+TEST(RealizedLink, CancelledFlagIsSticky) {
+  RealizedLink link(LinkModel{8.0, 0.0}, 1.0);
+  EXPECT_FALSE(link.cancelled());
+  link.Cancel();
+  EXPECT_TRUE(link.cancelled());
+  EXPECT_FALSE(link.WaitScaled(10.0));  // would block 10 s; returns instantly
 }
 
 }  // namespace

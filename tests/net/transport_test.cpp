@@ -1,0 +1,195 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace sieve::net {
+namespace {
+
+std::vector<std::uint8_t> Payload(std::size_t n) {
+  std::vector<std::uint8_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) bytes[i] = std::uint8_t(i);
+  return bytes;
+}
+
+TEST(ReliableTransport, PerfectLinkDeliversFirstAttempt) {
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 0.0, FaultPlan{});
+  auto payload = Payload(1000);
+  const SendOutcome outcome = wan.Send(payload, 0.0);
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.retransmit_bytes, 0u);
+  const TransportStats stats = wan.stats();
+  EXPECT_EQ(stats.messages_sent, 1u);
+  EXPECT_EQ(stats.messages_delivered, 1u);
+  EXPECT_EQ(stats.messages_dropped, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.health, LinkHealth::kHealthy);
+}
+
+TEST(ReliableTransport, RetriesThroughModerateLossAndDelivers) {
+  FaultPlan faults;
+  faults.seed = 5;
+  faults.drop_probability = 0.3;
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 0.0, faults);
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto payload = Payload(500);
+    if (wan.Send(payload, double(i)).status.ok()) ++delivered;
+  }
+  // 30% per-attempt loss with a 5-attempt budget: essentially everything
+  // gets through on a retry.
+  EXPECT_GE(delivered, 95);
+  const TransportStats stats = wan.stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.messages_delivered + stats.messages_dropped, 100u);
+  // Wasted attempts were accounted as retransmissions, not goodput.
+  EXPECT_EQ(wan.meter().bytes(), std::uint64_t(delivered) * 500u);
+  EXPECT_GT(wan.meter().retransmit_bytes(), 0u);
+}
+
+TEST(ReliableTransport, OutageExhaustsRetryBudgetExplicitly) {
+  FaultPlan faults;
+  faults.outages.push_back({0.0, 1e9});  // permanently down
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 0.0, faults, retry);
+  auto payload = Payload(100);
+  const SendOutcome outcome = wan.Send(payload, 0.0);
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(outcome.attempts, 3);
+  const TransportStats stats = wan.stats();
+  EXPECT_EQ(stats.messages_dropped, 1u);
+  EXPECT_EQ(wan.meter().drops(), 1u);
+  EXPECT_EQ(wan.meter().bytes(), 0u);  // nothing ever crossed
+}
+
+TEST(ReliableTransport, DeadlineBoundsTheLinkClockSpentPerMessage) {
+  FaultPlan faults;
+  faults.outages.push_back({0.0, 1e9});
+  RetryPolicy retry;
+  retry.max_attempts = 1000;        // budget never binds...
+  retry.deadline_ms = 500;          // ...the deadline does
+  retry.initial_backoff_ms = 100;
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 0.0, faults, retry);
+  auto payload = Payload(100);
+  const SendOutcome outcome = wan.Send(payload, 0.0);
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_LT(outcome.attempts, 20);  // gave up after ~0.5 s of link time
+}
+
+TEST(ReliableTransport, HealthDegradesUnderLossAndRecovers) {
+  FaultPlan faults;
+  faults.outages.push_back({0.0, 10.0});
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.deadline_ms = 200.0;
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 0.0, faults, retry);
+  EXPECT_EQ(wan.health(), LinkHealth::kHealthy);
+  // Hammer the link inside the outage: consecutive failures must trip kDown.
+  for (int i = 0; i < 5; ++i) {
+    auto payload = Payload(100);
+    (void)wan.Send(payload, 0.0);
+    if (wan.health() == LinkHealth::kDown) break;
+  }
+  EXPECT_EQ(wan.health(), LinkHealth::kDown);
+  // Past the outage, successes drain the EWMA and re-promote the link.
+  for (int i = 0; i < 50 && wan.health() != LinkHealth::kHealthy; ++i) {
+    auto payload = Payload(100);
+    (void)wan.Send(payload, 20.0);
+  }
+  EXPECT_EQ(wan.health(), LinkHealth::kHealthy);
+  EXPECT_GE(wan.stats().health_transitions, 2u);
+}
+
+TEST(ReliableTransport, ProbeRatchetsClockAndDetectsRecovery) {
+  FaultPlan faults;
+  faults.outages.push_back({0.0, 10.0});
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.deadline_ms = 100.0;
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 0.0, faults, retry);
+  // Drive the link down inside the outage.
+  while (wan.health() != LinkHealth::kDown) {
+    auto payload = Payload(50);
+    (void)wan.Send(payload, 1.0);
+  }
+  // Now only probes touch the link (every session fell back to edge). They
+  // advance the clock past the outage and detect recovery without any
+  // payload traffic.
+  for (int i = 0; i < 200 && wan.health() != LinkHealth::kHealthy; ++i) {
+    wan.Probe(10.0 + double(i) * 0.5);
+  }
+  EXPECT_EQ(wan.health(), LinkHealth::kHealthy);
+  EXPECT_GT(wan.stats().probes, 0u);
+  EXPECT_GE(wan.stats().link_clock_seconds, 10.0);
+}
+
+TEST(ReliableTransport, EffectiveModelFoldsMeasuredLossIn) {
+  FaultPlan faults;
+  faults.seed = 11;
+  faults.drop_probability = 0.5;
+  ReliableTransport wan(LinkModel{30.0, 20.0}, 0.0, faults);
+  for (int i = 0; i < 50; ++i) {
+    auto payload = Payload(100);
+    (void)wan.Send(payload, double(i));
+  }
+  const LinkModel effective = wan.EffectiveModel();
+  EXPECT_LT(effective.bandwidth_mbps, 30.0);
+  EXPECT_GT(effective.rtt_ms, 20.0);
+}
+
+TEST(ReliableTransport, CancelWakesABlockedBackoffPromptly) {
+  FaultPlan faults;
+  faults.outages.push_back({0.0, 1e9});
+  RetryPolicy retry;
+  retry.max_attempts = 1000;
+  retry.deadline_ms = 1e7;
+  retry.initial_backoff_ms = 60000;  // one minute of modelled backoff
+  // Real time scale: without Cancel this Send would block for minutes.
+  ReliableTransport wan(LinkModel{1000.0, 0.0}, 1.0, faults, retry);
+  const auto start = std::chrono::steady_clock::now();
+  std::thread canceller([&wan] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    wan.Cancel();
+  });
+  auto payload = Payload(100);
+  const SendOutcome outcome = wan.Send(payload, 0.0);
+  canceller.join();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(outcome.status.code(), ErrorCode::kCancelled);
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(ReliableTransport, FixedSeedRunsAreBitIdentical) {
+  const auto run = [] {
+    FaultPlan faults;
+    faults.seed = 123;
+    faults.drop_probability = 0.25;
+    faults.corrupt_probability = 0.05;
+    faults.outages.push_back({2.0, 4.0});
+    ReliableTransport wan(LinkModel{100.0, 10.0}, 0.0, faults);
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 150; ++i) {
+      auto payload = Payload(300);
+      const SendOutcome outcome = wan.Send(payload, double(i) * 0.05);
+      trace.push_back(std::uint64_t(outcome.attempts) |
+                      (outcome.status.ok() ? 1u << 8 : 0u) |
+                      (outcome.corrupted ? 1u << 9 : 0u));
+    }
+    const TransportStats stats = wan.stats();
+    trace.push_back(stats.retries);
+    trace.push_back(stats.messages_dropped);
+    trace.push_back(stats.health_transitions);
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sieve::net

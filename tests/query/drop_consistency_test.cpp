@@ -1,0 +1,169 @@
+// Query-index consistency when frames go missing: WAN drops punch holes in
+// the analyzed-frame stream, and the incrementally maintained index must
+// behave exactly like a from-scratch rebuild over the surviving rows —
+// sealed intervals sorted, disjoint, and closed; FindObject bit-exact
+// against ResultsDatabase::FindObject mapped through the camera clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "query/service.h"
+#include "runtime/runtime.h"
+#include "synth/scene.h"
+
+namespace sieve::runtime {
+namespace {
+
+/// Assert a camera record's invariants: per class, intervals sorted and
+/// disjoint, and (once sealed) none open.
+void ExpectWellFormed(const query::CameraRecord& record, bool sealed) {
+  for (std::size_t c = 0; c < std::size_t(synth::kNumObjectClasses); ++c) {
+    const auto& intervals = record.intervals[c];
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      EXPECT_LT(intervals[i].begin, intervals[i].end);
+      if (i > 0) {
+        EXPECT_LT(intervals[i - 1].end, intervals[i].begin + 1)
+            << "intervals must be disjoint and sorted";
+        EXPECT_NE(intervals[i - 1].end, query::kOpenEnd)
+            << "only the last interval may be open";
+      }
+      if (sealed) EXPECT_NE(intervals[i].end, query::kOpenEnd);
+    }
+  }
+}
+
+/// Bit-exact equivalence of the live index against a from-scratch rebuild
+/// over the final databases (the drained-equivalence contract).
+void ExpectMatchesRebuild(
+    const query::QueryService& service,
+    const std::map<std::string, const core::ResultsDatabase*>& dbs,
+    const std::map<std::string, std::size_t>& totals) {
+  const auto snap = service.snapshot();
+  std::map<std::string, query::CameraClock> clocks;
+  for (const auto& [route, record] : snap->cameras) {
+    clocks[record->camera_id] = record->clock;
+    ExpectWellFormed(*record, record->sealed);
+  }
+  for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+    const auto cls = synth::ObjectClass(c);
+    struct Expected {
+      std::string camera;
+      std::size_t begin, end;
+      double begin_s, end_s;
+    };
+    std::vector<Expected> expected;
+    for (const auto& [id, db] : dbs) {
+      const query::CameraClock clock = clocks.at(id);
+      for (const auto& [begin, end] : db->FindObject(cls, totals.at(id))) {
+        expected.push_back(Expected{id, begin, end, clock.TimeOf(begin),
+                                    clock.TimeOf(end)});
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Expected& a, const Expected& b) {
+                return std::tie(a.begin_s, a.camera, a.begin) <
+                       std::tie(b.begin_s, b.camera, b.begin);
+              });
+    const auto hits = service.FindObject(cls);
+    ASSERT_EQ(hits.size(), expected.size()) << "class " << c;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].camera_id, expected[i].camera);
+      EXPECT_EQ(hits[i].begin_frame, expected[i].begin);
+      EXPECT_EQ(hits[i].end_frame, expected[i].end);
+      EXPECT_EQ(hits[i].begin_seconds, expected[i].begin_s);
+      EXPECT_EQ(hits[i].end_seconds, expected[i].end_s);
+      EXPECT_FALSE(hits[i].open);
+    }
+  }
+}
+
+TEST(DropConsistency, StandaloneProducerWithMissingInteriorFrames) {
+  // A hand-driven producer: 60-frame stream, an insert every 3rd frame
+  // (the seeker's I-frames), with several "WAN-dropped" analyzed frames
+  // punched out of the middle — including a run of consecutive drops.
+  query::QueryService service;
+  core::ResultsDatabase db;
+  const std::string route = "cam#1";
+  service.RegisterCamera(route, "cam", query::CameraClock{0.0, 10.0});
+  db.set_observer([&service, &route](const core::ResultsDatabase& d,
+                                     std::size_t frame,
+                                     const synth::LabelSet& labels) {
+    service.Publish(route, d, frame, labels);
+  });
+
+  const std::size_t kTotal = 60;
+  for (std::size_t frame = 0; frame < kTotal; frame += 3) {
+    const bool dropped =
+        frame == 9 || frame == 21 || frame == 24 || frame == 27 ||
+        frame == 45;
+    if (dropped) continue;  // the frame never reached the cloud tier
+    // A label pattern with enters, exits, and overlaps across classes.
+    std::uint8_t bits = 0;
+    if ((frame / 6) % 2 == 0) bits |= 1u << 0;
+    if (frame >= 12 && frame < 42) bits |= 1u << 1;
+    if ((frame / 9) % 3 == 1) bits |= 1u << 2;
+    db.Insert(frame, synth::LabelSet(bits));
+  }
+  service.Seal(route, kTotal);
+
+  ExpectMatchesRebuild(service, {{"cam", &db}}, {{"cam", kTotal}});
+}
+
+TEST(DropConsistency, RuntimeSessionsUnderWanLossMatchRebuild) {
+  synth::SceneConfig sc;
+  sc.width = 64;
+  sc.height = 48;
+  sc.num_frames = 48;
+  sc.seed = 77;
+  sc.mean_gap_seconds = 0.5;
+  sc.min_gap_seconds = 0.2;
+  sc.mean_dwell_seconds = 0.7;
+  sc.min_dwell_seconds = 0.3;
+  const synth::SyntheticVideo scene = synth::GenerateScene(sc);
+
+  nn::ClassifierParams cp;
+  cp.input_size = 32;
+  cp.embedding_dim = 16;
+  nn::FrameClassifier classifier(cp);
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 4).ok());
+
+  RuntimeConfig config;
+  config.nn_input_size = 32;
+  // Heavy loss against a short retry budget: a meaningful fraction of
+  // analyzed frames must actually give up and punch holes in the stream.
+  config.wan_faults.seed = 99;
+  config.wan_faults.drop_probability = 0.6;
+  config.wan_retry.max_attempts = 2;
+  Runtime runtime(config, &classifier);
+
+  SessionConfig sconfig;
+  sconfig.width = 64;
+  sconfig.height = 48;
+  sconfig.encoder = codec::EncoderParams::Semantic(4, 120);
+  auto a = runtime.OpenSession("cam-a", sconfig);
+  auto b = runtime.OpenSession("cam-b", sconfig);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& frame : scene.video.frames) {
+    ASSERT_TRUE((*a)->PushFrame(frame).ok());
+    ASSERT_TRUE((*b)->PushFrame(frame).ok());
+  }
+  const SessionReport ra = (*a)->Drain();
+  const SessionReport rb = (*b)->Drain();
+  // The loss must actually have bitten for this test to mean anything.
+  EXPECT_GT(ra.dropped_wan + rb.dropped_wan, 0u)
+      << "fault seed produced no drops; tune drop_probability";
+
+  ExpectMatchesRebuild(
+      runtime.query(),
+      {{"cam-a", &(*a)->db()}, {"cam-b", &(*b)->db()}},
+      {{"cam-a", ra.frames_pushed}, {"cam-b", rb.frames_pushed}});
+  ASSERT_TRUE(runtime.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace sieve::runtime

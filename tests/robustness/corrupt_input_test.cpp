@@ -1,0 +1,188 @@
+// Corpus-driven hardening of every parser that sits behind the WAN: the
+// activation deserializer, the still decoder, and the container walker all
+// consume bytes that may have been bit-flipped, truncated, or length-lied
+// in transit (net/fault.h corrupts payloads in place, by design). Each
+// corpus entry is a valid artifact; each mutation must produce either a
+// successful decode or a clean error — never a crash, hang, OOM-scale
+// allocation, or out-of-bounds read (the sanitizer CI jobs run this test).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/still.h"
+#include "common/rng.h"
+#include "net/fault.h"
+#include "nn/tensor.h"
+#include "synth/scene.h"
+
+namespace sieve {
+namespace {
+
+const synth::SyntheticVideo& Scene() {
+  static const synth::SyntheticVideo scene = [] {
+    synth::SceneConfig c;
+    c.width = 64;
+    c.height = 48;
+    c.num_frames = 16;
+    c.seed = 31;
+    c.mean_gap_seconds = 0.5;
+    c.min_gap_seconds = 0.2;
+    c.mean_dwell_seconds = 0.8;
+    return synth::GenerateScene(c);
+  }();
+  return scene;
+}
+
+/// The corpus: one valid instance of every wire format that crosses a hop.
+std::vector<std::vector<std::uint8_t>> Corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  // Serialized activation tensor (what a split session ships).
+  nn::Tensor tensor(nn::Shape{4, 6, 6});
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    tensor.values()[i] = float(i) * 0.25f - 3.0f;
+  }
+  corpus.push_back(nn::SerializeTensor(tensor));
+  // Encoded still (what a split-0 session ships).
+  corpus.push_back(codec::EncodeStill(Scene().video.frames[0], 26));
+  // Full container (what PushEncoded slices frames out of).
+  auto encoded =
+      codec::VideoEncoder(codec::EncoderParams::Semantic(8, 200))
+          .Encode(Scene().video);
+  corpus.push_back(std::move(encoded->bytes));
+  return corpus;
+}
+
+/// Feed one mutated artifact to every parser: whichever magic it happens to
+/// carry, the right parser engages and the rest reject it cheaply. All
+/// outcomes except a crash are acceptable.
+void TryAllParsers(const std::vector<std::uint8_t>& bytes) {
+  (void)nn::DeserializeTensor(bytes);
+  (void)codec::DecodeStill(bytes);
+  if (auto decoder = codec::VideoDecoder::Open(bytes); decoder.ok()) {
+    while (!decoder->AtEnd()) {
+      if (!decoder->DecodeNext().ok()) break;
+    }
+  }
+}
+
+TEST(CorruptInput, TruncationAtEveryLength) {
+  for (const auto& artifact : Corpus()) {
+    // Every prefix around the header (dense) plus strides through the body.
+    for (std::size_t len = 0; len < artifact.size();
+         len += (len < 64 ? 1 : 37)) {
+      TryAllParsers({artifact.begin(), artifact.begin() + long(len)});
+    }
+  }
+}
+
+TEST(CorruptInput, SingleBitFlipsAcrossTheWholeArtifact) {
+  for (const auto& artifact : Corpus()) {
+    // Dense over the header (where length fields and dims live), strided
+    // through the payload.
+    for (std::size_t pos = 0; pos < artifact.size();
+         pos += (pos < 32 ? 1 : 53)) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto mutated = artifact;
+        mutated[pos] ^= std::uint8_t(1u << bit);
+        TryAllParsers(mutated);
+      }
+    }
+  }
+}
+
+TEST(CorruptInput, WanStyleBurstCorruption) {
+  // The exact corruption the fault injector applies in chaos runs.
+  for (const auto& artifact : Corpus()) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+      auto mutated = artifact;
+      net::FaultInjector::CorruptPayload(seed, mutated);
+      TryAllParsers(mutated);
+    }
+  }
+}
+
+TEST(CorruptInput, TensorShapeFieldLies) {
+  nn::Tensor tensor(nn::Shape{2, 3, 3});
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    tensor.values()[i] = 1.0f;
+  }
+  const auto valid = nn::SerializeTensor(tensor);
+  // Overwrite each shape u32 (offsets 4, 8, 12) with hostile values: zero,
+  // huge, and the overflow-bait 2^16+1. None may allocate anything close to
+  // the claimed size — the payload-length check must reject first.
+  for (std::size_t offset : {std::size_t(4), std::size_t(8), std::size_t(12)}) {
+    for (std::uint32_t lie : {0u, 0xFFFFFFFFu, (1u << 16) + 1u, 1u << 31}) {
+      auto mutated = valid;
+      std::memcpy(mutated.data() + offset, &lie, sizeof lie);
+      EXPECT_FALSE(nn::DeserializeTensor(mutated).ok());
+    }
+  }
+}
+
+TEST(CorruptInput, TensorNonFiniteValuesAreRejected) {
+  nn::Tensor tensor(nn::Shape{1, 2, 2});
+  tensor.values()[0] = 1.0f;
+  auto bytes = nn::SerializeTensor(tensor);
+  ASSERT_TRUE(nn::DeserializeTensor(bytes).ok());
+  // Set the first payload float's exponent bits to all-ones (inf).
+  const std::size_t payload = 16;  // magic + 3 shape u32s
+  bytes[payload + 3] = 0x7F;
+  bytes[payload + 2] |= 0x80;
+  const auto rejected = nn::DeserializeTensor(bytes);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(CorruptInput, ContainerFrameCountLiesCannotForceAllocation) {
+  auto encoded =
+      codec::VideoEncoder(codec::EncoderParams::Semantic(8, 200))
+          .Encode(Scene().video);
+  auto bytes = encoded->bytes;
+  // frame_count lives after magic(4) + dims(4) + fps(8).
+  const std::uint32_t lie = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + 16, &lie, sizeof lie);
+  // The walker must reject the count mismatch without reserving 4G records.
+  EXPECT_FALSE(codec::WalkFrameIndex(bytes).ok());
+}
+
+TEST(CorruptInput, ContainerHeaderDimAndFpsLiesAreRejected) {
+  auto encoded =
+      codec::VideoEncoder(codec::EncoderParams::Semantic(8, 200))
+          .Encode(Scene().video);
+  {
+    auto bytes = encoded->bytes;  // both dims to 0xFFFF: ~4G pixels
+    bytes[4] = bytes[5] = bytes[6] = bytes[7] = 0xFF;
+    EXPECT_FALSE(codec::ReadContainerHeader(bytes).ok());
+  }
+  {
+    auto bytes = encoded->bytes;  // fps = NaN
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(bytes.data() + 8, &nan, sizeof nan);
+    EXPECT_FALSE(codec::ReadContainerHeader(bytes).ok());
+  }
+  {
+    auto bytes = encoded->bytes;  // fps = -30
+    const double neg = -30.0;
+    std::memcpy(bytes.data() + 8, &neg, sizeof neg);
+    EXPECT_FALSE(codec::ReadContainerHeader(bytes).ok());
+  }
+}
+
+TEST(CorruptInput, StillDimensionLiesAreRejected) {
+  const auto valid = codec::EncodeStill(Scene().video.frames[0], 26);
+  auto bytes = valid;
+  // Dims live after the 4-byte magic: 0xFFFE x 0xFFFE (even, ~4G pixels).
+  bytes[4] = 0xFE;
+  bytes[5] = 0xFF;
+  bytes[6] = 0xFE;
+  bytes[7] = 0xFF;
+  EXPECT_FALSE(codec::DecodeStill(bytes).ok());
+}
+
+}  // namespace
+}  // namespace sieve

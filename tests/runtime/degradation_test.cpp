@@ -1,0 +1,184 @@
+// Graceful degradation: WAN health driving per-session placement swaps.
+//
+// These tests script outages and loss on the runtime's WAN transport and
+// assert the supervision contract: every pushed frame reconciles as
+// stored-edge / delivered / dropped, sessions fall back toward edge-only
+// when the link goes down, and recovery re-promotes them to their base
+// plan. All runs use link_time_scale = 0 and a fixed fault seed, so the
+// chaos schedule is deterministic and the tests never sleep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "synth/scene.h"
+
+namespace sieve::runtime {
+namespace {
+
+synth::SyntheticVideo SmallScene(std::uint64_t seed) {
+  synth::SceneConfig c;
+  c.width = 64;
+  c.height = 48;
+  c.num_frames = 40;
+  c.seed = seed;
+  c.mean_gap_seconds = 0.6;
+  c.min_gap_seconds = 0.3;
+  c.mean_dwell_seconds = 0.8;
+  c.min_dwell_seconds = 0.4;
+  return synth::GenerateScene(c);
+}
+
+class DegradationTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new synth::SyntheticVideo(SmallScene(7));
+    nn::ClassifierParams cp;
+    cp.input_size = 32;
+    cp.embedding_dim = 16;
+    classifier_ = new nn::FrameClassifier(cp);
+    ASSERT_TRUE(classifier_->Fit(scene_->video.frames, scene_->truth, 4).ok());
+  }
+  static void TearDownTestSuite() {
+    delete scene_;
+    delete classifier_;
+  }
+
+  static RuntimeConfig BaseConfig() {
+    RuntimeConfig config;
+    config.nn_input_size = 32;
+    return config;
+  }
+  static SessionConfig SceneSession() {
+    SessionConfig config;
+    config.width = 64;
+    config.height = 48;
+    config.fps = 5.0;  // 40 frames = 8 s of stream (link-clock) time
+    // GOP 4: an I-frame (WAN-touching event) every 0.8 stream seconds, so
+    // outage windows and recovery always see several sends on each side.
+    config.encoder = codec::EncoderParams::Semantic(4, 120);
+    return config;
+  }
+
+  static void ExpectReconciled(const SessionReport& r) {
+    EXPECT_EQ(r.frames_pushed,
+              r.frames_stored_edge + r.frames_delivered + r.frames_dropped)
+        << "a frame was silently lost";
+    EXPECT_EQ(r.frames_dropped,
+              r.dropped_wan + r.dropped_corrupt + r.dropped_shutdown);
+    EXPECT_EQ(r.frames_delivered, r.labels_written);
+  }
+
+  static synth::SyntheticVideo* scene_;
+  static nn::FrameClassifier* classifier_;
+};
+
+synth::SyntheticVideo* DegradationTest::scene_ = nullptr;
+nn::FrameClassifier* DegradationTest::classifier_ = nullptr;
+
+TEST_F(DegradationTest, EveryFrameReconcilesUnderPacketLoss) {
+  RuntimeConfig config = BaseConfig();
+  config.wan_faults.seed = 21;
+  config.wan_faults.drop_probability = 0.05;
+  Runtime runtime(config, classifier_);
+  auto session = runtime.OpenSession("lossy", SceneSession());
+  ASSERT_TRUE(session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  ExpectReconciled(report);
+  EXPECT_EQ(report.frames_pushed, scene_->video.frames.size());
+  EXPECT_GT(report.frames_delivered, 0u);
+  // 5% loss with a 5-attempt budget: retries happen, goodput survives.
+  EXPECT_EQ((*session)->db().size(), report.frames_delivered);
+  ASSERT_TRUE(runtime.Shutdown().ok());
+}
+
+TEST_F(DegradationTest, OutageFallsBackToEdgeAndRecoveryRepromotes) {
+  RuntimeConfig config = BaseConfig();
+  // Hard outage over stream seconds [1, 4) of an 8 s stream. Recovery is
+  // tuned to be fast (high EWMA alpha, low promote threshold) so the
+  // re-promotion lands well inside the remaining stream.
+  config.wan_faults.outages.push_back({1.0, 4.0});
+  config.wan_retry.max_attempts = 3;
+  config.wan_retry.deadline_ms = 2000.0;
+  config.wan_health.down_after_failures = 3;
+  config.wan_health.loss_alpha = 0.5;
+  config.wan_health.healthy_loss = 0.25;
+  config.wan_health.promote_after_successes = 2;
+  Runtime runtime(config, classifier_);
+  auto session = runtime.OpenSession("flaky", SceneSession());
+  ASSERT_TRUE(session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  ExpectReconciled(report);
+  // The outage tripped kDown -> edge fallback, recovery restored the base
+  // plan: at least two plan swaps (down, then back up).
+  EXPECT_GE(report.replans, 2u);
+  EXPECT_EQ(report.health, SessionHealth::kHealthy) << "link recovered";
+  EXPECT_EQ(report.nn_split, 0u) << "base all-cloud plan restored";
+  // The frames that hit the dead WAN before fallback are explicit drops;
+  // everything the edge labelled during the outage still got delivered.
+  EXPECT_GE(report.dropped_wan, 1u);
+  EXPECT_GT(report.frames_delivered, 0u);
+  EXPECT_GT(report.wan_retries, 0u);
+
+  const RuntimeHealth health = runtime.health();
+  EXPECT_GE(health.replans, 2u);
+  EXPECT_GE(health.wan_messages_dropped, 1u);
+  EXPECT_EQ(health.wan_link, net::LinkHealth::kHealthy);
+  ASSERT_TRUE(runtime.Shutdown().ok());
+}
+
+TEST_F(DegradationTest, AdaptivePlacementOffJustCountsDrops) {
+  RuntimeConfig config = BaseConfig();
+  config.adaptive_placement = false;
+  config.wan_faults.outages.push_back({0.0, 1e9});  // WAN permanently dead
+  config.wan_retry.max_attempts = 2;
+  config.wan_retry.deadline_ms = 500.0;
+  Runtime runtime(config, classifier_);
+  auto session = runtime.OpenSession("stubborn", SceneSession());
+  ASSERT_TRUE(session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  ExpectReconciled(report);
+  // No replanning: the session kept its all-cloud plan and every I-frame
+  // died on the WAN — counted, not silently lost.
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_EQ(report.nn_split, 0u);
+  EXPECT_EQ(report.frames_delivered, 0u);
+  EXPECT_EQ(report.dropped_wan, report.iframes_selected);
+  EXPECT_EQ((*session)->db().size(), 0u);
+  ASSERT_TRUE(runtime.Shutdown().ok());
+}
+
+TEST_F(DegradationTest, AllEdgeSessionsAreImmuneToWanChaos) {
+  RuntimeConfig config = BaseConfig();
+  config.wan_faults.outages.push_back({0.0, 1e9});
+  config.wan_retry.max_attempts = 2;
+  config.wan_retry.deadline_ms = 500.0;
+  Runtime runtime(config, classifier_);
+  SessionConfig edge = SceneSession();
+  edge.placement = PlacementMode::kEdge;
+  auto session = runtime.OpenSession("edge-only", edge);
+  ASSERT_TRUE(session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  ExpectReconciled(report);
+  // Labels ride out-of-band: nothing to drop, nothing to replan.
+  EXPECT_EQ(report.frames_dropped, 0u);
+  EXPECT_EQ(report.frames_delivered, report.iframes_selected);
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_EQ(report.health, SessionHealth::kHealthy);
+  ASSERT_TRUE(runtime.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace sieve::runtime

@@ -45,6 +45,7 @@ SCENARIO_OF = {
     "encode": "encode",
     "live_query": "live_query",
     "dct_sad_kernels": "dct_sad_kernels",
+    "wan_chaos": "wan_chaos",
 }
 
 
@@ -80,6 +81,11 @@ METRICS = [
     ("encode.serial_speedup", False, 2.0),
     ("encode.parallel_speedup", False, 2.0),
     ("live_query.p99_query_micros", True, 20.0),
+    # Absolute latency like live_query p99 (no in-run reference), measured
+    # over a small delivered-frame sample on whatever box runs CI — the
+    # widest band: only a transport-level blowup (a retry path that sleeps
+    # real time, a lock held across the WAN hop) moves it 4x.
+    ("wan_chaos.loss5_p99_frame_ms", True, 20.0),
     ("dct_sad_kernels.fdct_speedup", False, 2.0),
     ("dct_sad_kernels.idct_speedup", False, 2.0),
     ("dct_sad_kernels.sad_speedup", False, 2.0),
@@ -89,6 +95,9 @@ BOOLEANS = [
     "encode.bit_identical",
     "full_search.identical",
     "dct_sad_kernels.identical",
+    # Every chaos leg's delivered-or-dropped ledger must balance — a false
+    # here means the transport silently lost a frame under load.
+    "wan_chaos.reconciled",
 ]
 
 
