@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -23,6 +24,7 @@ class BoundedQueue {
     if (closed_) return false;
     items_.push_back(std::move(item));
     peak_depth_ = std::max(peak_depth_, items_.size());
+    depth_sum_ += items_.size();
     ++pushed_;
     not_empty_.notify_one();
     return true;
@@ -59,6 +61,13 @@ class BoundedQueue {
     std::lock_guard<std::mutex> lock(mutex_);
     return pushed_;
   }
+  /// Mean queue depth observed at push time (0 when nothing was pushed).
+  /// Near-capacity values mean this connection's consumer is the
+  /// bottleneck; near-zero means it keeps up.
+  double avg_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_ > 0 ? double(depth_sum_) / double(pushed_) : 0.0;
+  }
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -70,6 +79,7 @@ class BoundedQueue {
   bool closed_ = false;
   std::size_t peak_depth_ = 0;
   std::size_t pushed_ = 0;
+  std::uint64_t depth_sum_ = 0;  ///< summed post-push depths (avg_depth)
 };
 
 }  // namespace sieve::dataflow

@@ -109,8 +109,10 @@ Status Pipeline::Start() {
   stage_stats_.resize(stages_.size() + 1);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     stage_stats_[i].name = stages_[i].name;
+    stage_stats_[i].workers = std::size_t(stages_[i].parallelism);
   }
   stage_stats_.back().name = sink_name_;
+  stage_stats_.back().workers = 1;
 
   // Transform stages: queue i -> queue i+1, with per-stage worker counts.
   // Each stage closes its output only after all its workers finish.
@@ -180,6 +182,7 @@ Status Pipeline::Start() {
           stage_stats_[s].busy_seconds += busy;
           stage_stats_[s].peak_queue =
               std::max(stage_stats_[s].peak_queue, in.peak_depth());
+          stage_stats_[s].avg_queue = in.avg_depth();
         }
         if (live_workers_[s]->fetch_sub(1) == 1) out.Close();
       }));
@@ -205,6 +208,7 @@ Status Pipeline::Start() {
     stage_stats_.back().out = consumed;
     stage_stats_.back().busy_seconds = busy;
     stage_stats_.back().peak_queue = in.peak_depth();
+    stage_stats_.back().avg_queue = in.avg_depth();
   }));
 
   for (auto& source : sources_) StartSourceLocked(*source);

@@ -49,6 +49,12 @@ struct StageStats {
   std::size_t out = 0;         ///< items emitted (in - filtered)
   double busy_seconds = 0.0;   ///< summed processing wall time
   std::size_t peak_queue = 0;  ///< peak inbound queue depth
+  /// Mean inbound queue depth at push time. Together with peak_queue this
+  /// is the fan-in profile: a stage whose average rides near the connection
+  /// capacity is the pipeline's bottleneck (widen its `parallelism`), one
+  /// near zero keeps up with upstream. Sources report 0 (no inbound queue).
+  double avg_queue = 0.0;
+  std::size_t workers = 1;     ///< worker threads this stage ran with
 };
 
 /// A source yields items until exhausted (std::nullopt).

@@ -1,0 +1,184 @@
+#include "fleet/batcher.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sieve::fleet {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point then,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+}  // namespace
+
+InferenceBatcher::InferenceBatcher(const nn::FrameClassifier& classifier,
+                                   runtime::Executor& executor,
+                                   FleetSchedulerPolicy policy,
+                                   std::size_t pending_capacity)
+    : classifier_(classifier),
+      scheduler_(policy),
+      capacity_(pending_capacity != 0
+                    ? pending_capacity
+                    : std::max<std::size_t>(
+                          4 * scheduler_.policy().batch_max, 8)) {
+  flusher_ = executor.SpawnWorker([this] { FlusherLoop(); });
+}
+
+InferenceBatcher::~InferenceBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+double InferenceBatcher::OldestAgeMs(
+    const std::deque<Item>& queue, std::chrono::steady_clock::time_point now) {
+  return queue.empty() ? 0.0 : MsSince(queue.front().enqueued, now);
+}
+
+void InferenceBatcher::Submit(std::uint64_t camera, std::size_t split,
+                              nn::Tensor activation, DoneFn done) {
+  const nn::Network& net = classifier_.network();
+  if (split > net.LayerCount() ||
+      !(activation.shape() == net.ShapeAtLayer(split))) {
+    done(Status::Invalid("batcher: activation shape does not match split"), 0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_cv_.wait(lock,
+                   [this] { return stop_ || pending_total_ < capacity_; });
+    if (stop_) {
+      lock.unlock();
+      done(Status::Cancelled("batcher: stopped"), 0);
+      return;
+    }
+    pending_[split].push_back(Item{std::move(activation), camera,
+                                   std::move(done),
+                                   std::chrono::steady_clock::now()});
+    ++pending_total_;
+    ++stats_.submitted;
+    stats_.peak_pending = std::max(stats_.peak_pending, pending_total_);
+  }
+  work_cv_.notify_all();
+}
+
+void InferenceBatcher::FlushAll() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_total_ == 0) return;
+    force_flush_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void InferenceBatcher::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (pending_total_ > 0) force_flush_ = true;
+  work_cv_.notify_all();
+  idle_cv_.wait(lock,
+                [this] { return pending_total_ == 0 && in_flight_ == 0; });
+}
+
+void InferenceBatcher::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // --- Pick the next flush (or sleep until one is due) -------------------
+    std::size_t flush_split = 0;
+    bool found = false;
+    for (;;) {
+      if (pending_total_ == 0) {
+        force_flush_ = false;  // nothing left to force
+        idle_cv_.notify_all();
+        if (stop_) return;
+        work_cv_.wait(lock);
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      const bool forced = stop_ || force_flush_;
+      std::chrono::steady_clock::time_point earliest{};
+      bool have_earliest = false;
+      for (const auto& [split, queue] : pending_) {
+        if (queue.empty()) continue;
+        if (forced ||
+            scheduler_.ShouldFlush(queue.size(), OldestAgeMs(queue, now))) {
+          flush_split = split;
+          found = true;
+          break;
+        }
+        if (!have_earliest || queue.front().enqueued < earliest) {
+          earliest = queue.front().enqueued;
+          have_earliest = true;
+        }
+      }
+      if (found) break;
+      // No key is due yet: sleep until the oldest sample hits the deadline
+      // (or a submit/force/stop wakes us earlier).
+      const auto deadline =
+          earliest + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             scheduler_.policy().deadline_ms));
+      work_cv_.wait_until(lock, deadline);
+    }
+
+    // --- Extract the batch (fairness-planned FIFO prefix) ------------------
+    std::deque<Item>& queue = pending_[flush_split];
+    std::vector<std::uint64_t> cameras;
+    cameras.reserve(queue.size());
+    for (const Item& item : queue) cameras.push_back(item.camera);
+    const std::vector<std::size_t> plan = scheduler_.PlanBatch(cameras);
+    std::vector<Item> batch;
+    batch.reserve(plan.size());
+    // `plan` is ascending, so erasing back-to-front keeps earlier indices
+    // valid; reverse the extraction order afterwards.
+    for (auto it = plan.rbegin(); it != plan.rend(); ++it) {
+      batch.push_back(std::move(queue[*it]));
+      queue.erase(queue.begin() + std::ptrdiff_t(*it));
+    }
+    std::reverse(batch.begin(), batch.end());
+    if (queue.empty()) pending_.erase(flush_split);
+    const std::size_t n = batch.size();
+    pending_total_ -= n;
+    in_flight_ = n;
+    ++stats_.batches;
+    stats_.samples += n;
+    stats_.max_batch = std::max(stats_.max_batch, n);
+    if (n >= scheduler_.policy().batch_max) {
+      ++stats_.size_flushes;
+    } else if (stop_ || force_flush_) {
+      ++stats_.forced_flushes;
+    } else {
+      ++stats_.deadline_flushes;
+    }
+
+    // --- Run the batched pass and route predictions back -------------------
+    lock.unlock();
+    space_cv_.notify_all();
+    std::vector<nn::Tensor> activations;
+    activations.reserve(n);
+    for (Item& item : batch) activations.push_back(std::move(item.activation));
+    std::vector<Expected<synth::LabelSet>> predictions =
+        classifier_.PredictBatch(std::move(activations), flush_split);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch[i].done(std::move(predictions[i]), n);
+    }
+    lock.lock();
+    in_flight_ = 0;
+    if (pending_total_ == 0) idle_cv_.notify_all();
+  }
+}
+
+BatcherStats InferenceBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sieve::fleet

@@ -1,0 +1,131 @@
+// Cross-session batched cloud inference: the fleet tier's fan-in point.
+//
+// Many camera sessions deliver cut-point activations (stills decode to the
+// split-0 activation) to one cloud; running each through ForwardSuffix alone
+// re-streams the suffix weights through cache per frame. The InferenceBatcher
+// instead collects delivered activations keyed by their split point, flushes
+// a batch when a FleetSchedulerPolicy says so (size threshold, or a deadline
+// so lightly loaded fleets keep their latency bound), runs ONE
+// FrameClassifier::PredictBatch pass per flush, and routes every prediction
+// back to its session through a per-sample completion callback.
+//
+// The batch is invisible to correctness: PredictBatch is bit-exact per
+// sample vs the per-frame path (see Layer::ForwardBatch), so a camera's
+// database is identical whether its frames rode batches or not. Submit
+// blocks when the pending window is full (backpressure into the pipeline's
+// serial sink, exactly like a bounded queue), and a session's samples flush
+// in submission order, so per-camera delivery order is preserved.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "fleet/scheduler.h"
+#include "nn/classifier.h"
+#include "runtime/executor.h"
+#include "synth/labels.h"
+
+namespace sieve::fleet {
+
+/// Aggregate counters of one batcher (cheap snapshot, any thread).
+struct BatcherStats {
+  std::uint64_t submitted = 0;        ///< samples accepted by Submit
+  std::uint64_t batches = 0;          ///< PredictBatch flushes run
+  std::uint64_t samples = 0;          ///< samples across all flushes
+  std::uint64_t size_flushes = 0;     ///< flushes triggered by batch_max
+  std::uint64_t deadline_flushes = 0; ///< flushes triggered by the deadline
+  std::uint64_t forced_flushes = 0;   ///< flushes from FlushAll/Drain/stop
+  std::size_t peak_pending = 0;       ///< max samples ever queued at once
+  std::size_t max_batch = 0;          ///< largest single flush
+
+  /// Mean batch occupancy (samples per flush) — the amortization factor.
+  double occupancy_avg() const noexcept {
+    return batches > 0 ? double(samples) / double(batches) : 0.0;
+  }
+};
+
+/// Collects activations from many sessions and serves them in batches.
+/// Thread-safe: any number of submitters; one internal flusher worker runs
+/// the batched passes and the completion callbacks.
+class InferenceBatcher {
+ public:
+  /// Called on the flusher thread with the sample's prediction (or the
+  /// error that killed its batch slot) and the size of the batch it rode in.
+  using DoneFn =
+      std::function<void(Expected<synth::LabelSet>, std::size_t batch_size)>;
+
+  /// `pending_capacity` bounds queued samples across all keys (backpressure
+  /// window); 0 sizes it to 4 * batch_max. The classifier must outlive the
+  /// batcher and be fitted before the first flush.
+  InferenceBatcher(const nn::FrameClassifier& classifier,
+                   runtime::Executor& executor, FleetSchedulerPolicy policy,
+                   std::size_t pending_capacity = 0);
+  /// Drains pending work (forced flushes), then stops the flusher.
+  ~InferenceBatcher();
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  /// Queue one activation for the batched suffix pass at `split`. `camera`
+  /// is the fairness key (one value per session). Blocks while the pending
+  /// window is full. An activation whose shape does not match the network's
+  /// ShapeAtLayer(split) is rejected immediately: `done` fires on the
+  /// calling thread with the error and batch_size 0.
+  void Submit(std::uint64_t camera, std::size_t split, nn::Tensor activation,
+              DoneFn done);
+
+  /// Force-flush everything queued, ignoring size/deadline policy. Async:
+  /// sets the flush flag and returns; the flusher drains promptly. The
+  /// runtime calls this when the WAN goes down, so frames that already
+  /// crossed the link settle (delivered) instead of aging toward the
+  /// deadline while sessions swap to edge fallback.
+  void FlushAll();
+
+  /// Block until every queued and in-flight sample has completed (its
+  /// callback returned). Pending work is force-flushed. Callers must stop
+  /// submitting first (the runtime drains the pipeline, then the batcher).
+  void Drain();
+
+  BatcherStats stats() const;
+  const FleetScheduler& scheduler() const noexcept { return scheduler_; }
+
+ private:
+  struct Item {
+    nn::Tensor activation;
+    std::uint64_t camera = 0;
+    DoneFn done;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void FlusherLoop();
+  /// Age (ms) of the oldest sample in `queue` at `now`.
+  static double OldestAgeMs(const std::deque<Item>& queue,
+                            std::chrono::steady_clock::time_point now);
+
+  const nn::FrameClassifier& classifier_;
+  const FleetScheduler scheduler_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes the flusher
+  std::condition_variable space_cv_;  ///< wakes blocked submitters
+  std::condition_variable idle_cv_;   ///< wakes Drain
+  std::map<std::size_t, std::deque<Item>> pending_;  ///< batch key: split
+  std::size_t pending_total_ = 0;
+  std::size_t in_flight_ = 0;  ///< samples inside the current flush
+  bool force_flush_ = false;
+  bool stop_ = false;
+  BatcherStats stats_;
+
+  std::thread flusher_;  ///< last member: joins before state tears down
+};
+
+}  // namespace sieve::fleet

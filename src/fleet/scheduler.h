@@ -1,0 +1,60 @@
+// Fleet-tier batching policy: when does the cloud flush a batch, and whose
+// samples ride in it.
+//
+// The policy is deliberately pure — no clocks, no threads, no tensors — so
+// the exact same object drives both the real InferenceBatcher and the
+// discrete-event queue-network model (sim/queue_network's batch stations).
+// That is what lets a candidate policy be validated at 10k-camera scale in
+// virtual time before the live runtime ever hosts it (docs/fleet.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sieve::fleet {
+
+/// Knobs of the fleet batching tier.
+struct FleetSchedulerPolicy {
+  /// Flush as soon as this many samples pend for one batch key. 1 disables
+  /// batching (every sample is its own flush).
+  std::size_t batch_max = 16;
+  /// Flush when the oldest pending sample has waited this long, whatever
+  /// the occupancy — the latency bound a lightly loaded fleet pays instead
+  /// of waiting forever for a full batch.
+  double deadline_ms = 10.0;
+  /// Fairness cap: at most this many samples from one camera per batch
+  /// (0 = uncapped). Keeps a single hot camera from monopolizing every
+  /// flush while other cameras' frames age toward the deadline.
+  std::size_t fairness_share = 0;
+};
+
+/// Pure flush-planning over a FleetSchedulerPolicy.
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(FleetSchedulerPolicy policy = {});
+
+  const FleetSchedulerPolicy& policy() const noexcept { return policy_; }
+
+  /// Should a queue of `pending` samples whose oldest entry has waited
+  /// `oldest_age_ms` flush now?
+  bool ShouldFlush(std::size_t pending, double oldest_age_ms) const noexcept;
+
+  /// The deadline-driven wait budget (ms) left for a queue whose oldest
+  /// sample has waited `oldest_age_ms`. <= 0 means flush now.
+  double RemainingMs(double oldest_age_ms) const noexcept;
+
+  /// Compose the next batch from a FIFO of pending samples, identified by
+  /// their camera keys in arrival order. Returns the chosen indices,
+  /// ascending: the FIFO prefix, except that once a camera already holds
+  /// fairness_share slots its later samples are passed over (they stay
+  /// queued, still in per-camera order, for the next flush). At most
+  /// batch_max indices.
+  std::vector<std::size_t> PlanBatch(
+      const std::vector<std::uint64_t>& pending_cameras) const;
+
+ private:
+  FleetSchedulerPolicy policy_;
+};
+
+}  // namespace sieve::fleet

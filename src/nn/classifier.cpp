@@ -79,6 +79,19 @@ Expected<synth::LabelSet> FrameClassifier::PredictFromEmbedding(
   return synth::LabelSet(best_key);
 }
 
+std::vector<Expected<synth::LabelSet>> FrameClassifier::PredictBatch(
+    std::vector<Tensor> activations, std::size_t split) const {
+  std::vector<Expected<synth::LabelSet>> out;
+  out.reserve(activations.size());
+  if (activations.empty()) return out;
+  std::vector<Tensor> embeddings =
+      network_.ForwardSuffixBatch(std::move(activations), split);
+  for (const Tensor& e : embeddings) {
+    out.push_back(PredictFromEmbedding(e.values()));
+  }
+  return out;
+}
+
 Expected<synth::LabelSet> FrameClassifier::Predict(
     const media::Frame& frame) const {
   if (centroids_.empty()) {

@@ -54,6 +54,17 @@ class FrameClassifier {
   Expected<synth::LabelSet> PredictFromEmbedding(
       const std::vector<float>& embedding) const;
 
+  /// Batched cloud-side prediction: run layers [split, N) over many
+  /// sessions' cut-point activations in one ForwardSuffixBatch pass, then
+  /// match each resulting embedding against the centroids. Element i of the
+  /// result is bit-identical to
+  /// PredictFromEmbedding(network().ForwardSuffix(activations[i], split)) —
+  /// the fleet batcher relies on this to keep batched serving
+  /// indistinguishable from per-frame serving. All activations must share
+  /// the shape ShapeAtLayer(split).
+  std::vector<Expected<synth::LabelSet>> PredictBatch(
+      std::vector<Tensor> activations, std::size_t split) const;
+
   /// Calibrate centroids from labelled frames. `stride` subsamples the
   /// training video (every stride-th frame) to bound calibration cost.
   Status Fit(const std::vector<media::Frame>& frames,

@@ -60,29 +60,16 @@ Shape Conv2D::OutputShape(const Shape& input) const {
   return Shape{out_c_, oh, ow};
 }
 
-Tensor Conv2D::Forward(const Tensor& input) const {
-  const Shape out_shape = OutputShape(input.shape());
+void Conv2D::Im2Col(const Tensor& input, const Shape& out_shape,
+                    float* cols) const {
   const int oh = out_shape.h, ow = out_shape.w;
   const int ih = input.shape().h, iw = input.shape().w;
   const int k = kernel_;
   const std::size_t patch = std::size_t(in_c_) * std::size_t(k) * std::size_t(k);
-
-  if (wt_dirty_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(wt_mutex_);
-    if (wt_dirty_.load(std::memory_order_relaxed)) RebuildTransposedWeights();
-  }
-
-  // im2col: rows = output pixels, cols = receptive-field patch. The scratch
-  // is thread-local — it persists across calls (steady-state inference never
-  // allocates) yet keeps concurrent Forward calls on one shared instance
-  // race-free, which is what lets every runtime session share a classifier.
-  static thread_local std::vector<float> cols;
-  static thread_local std::vector<float> gemm_out;
-  cols.resize(std::size_t(oh) * std::size_t(ow) * patch);
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
-      float* row = cols.data() +
-                   (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) * patch;
+      float* row =
+          cols + (std::size_t(oy) * std::size_t(ow) + std::size_t(ox)) * patch;
       std::size_t idx = 0;
       const int ix0 = ox * stride_ - pad_;
       for (int c = 0; c < in_c_; ++c) {
@@ -107,6 +94,38 @@ Tensor Conv2D::Forward(const Tensor& input) const {
       }
     }
   }
+}
+
+void Conv2D::ScatterOutput(const float* gemm_rows, Tensor& out) const {
+  float* dst = out.data();
+  const std::size_t hw = std::size_t(out.shape().h) * std::size_t(out.shape().w);
+  for (std::size_t px = 0; px < hw; ++px) {
+    const float* row = gemm_rows + px * std::size_t(out_c_);
+    for (int o = 0; o < out_c_; ++o) {
+      dst[std::size_t(o) * hw + px] = row[o] + bias_[std::size_t(o)];
+    }
+  }
+}
+
+Tensor Conv2D::Forward(const Tensor& input) const {
+  const Shape out_shape = OutputShape(input.shape());
+  const int oh = out_shape.h, ow = out_shape.w;
+  const std::size_t patch =
+      std::size_t(in_c_) * std::size_t(kernel_) * std::size_t(kernel_);
+
+  if (wt_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(wt_mutex_);
+    if (wt_dirty_.load(std::memory_order_relaxed)) RebuildTransposedWeights();
+  }
+
+  // im2col: rows = output pixels, cols = receptive-field patch. The scratch
+  // is thread-local — it persists across calls (steady-state inference never
+  // allocates) yet keeps concurrent Forward calls on one shared instance
+  // race-free, which is what lets every runtime session share a classifier.
+  static thread_local std::vector<float> cols;
+  static thread_local std::vector<float> gemm_out;
+  cols.resize(std::size_t(oh) * std::size_t(ow) * patch);
+  Im2Col(input, out_shape, cols.data());
 
   // GEMM: [oh*ow x patch] * [patch x out_c] against the cached transposed
   // weights.
@@ -114,15 +133,61 @@ Tensor Conv2D::Forward(const Tensor& input) const {
   Gemm(cols.data(), wt_.data(), gemm_out.data(), oh * ow, int(patch), out_c_);
 
   Tensor out(out_shape);
-  float* dst = out.data();
-  const std::size_t hw = std::size_t(oh) * std::size_t(ow);
-  for (std::size_t px = 0; px < hw; ++px) {
-    const float* row = gemm_out.data() + px * std::size_t(out_c_);
-    for (int o = 0; o < out_c_; ++o) {
-      dst[std::size_t(o) * hw + px] = row[o] + bias_[std::size_t(o)];
+  ScatterOutput(gemm_out.data(), out);
+  return out;
+}
+
+void Conv2D::ForwardBatch(std::vector<Tensor>& batch) const {
+  if (batch.empty()) return;
+  if (batch.size() == 1) {
+    ForwardInPlace(batch.front());
+    return;
+  }
+  const Shape in_shape = batch.front().shape();
+  for (const Tensor& t : batch) assert(t.shape() == in_shape);
+  const Shape out_shape = OutputShape(in_shape);
+  const std::size_t hw = std::size_t(out_shape.h) * std::size_t(out_shape.w);
+  const std::size_t patch =
+      std::size_t(in_c_) * std::size_t(kernel_) * std::size_t(kernel_);
+  const std::size_t b = batch.size();
+
+  if (wt_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(wt_mutex_);
+    if (wt_dirty_.load(std::memory_order_relaxed)) RebuildTransposedWeights();
+  }
+
+  // Stack samples' im2col rows into one [chunk*oh*ow x patch] matrix per
+  // cache-sized chunk and GEMM each chunk: within a chunk the
+  // transposed-weight panel streams through cache once instead of once per
+  // frame, while the chunk bound keeps the stacked cols matrix from blowing
+  // the last-level cache (stacking a 32-sample batch wholesale is *slower*
+  // than per-frame — the giant cols buffer turns the GEMM memory-bound).
+  // Bit-exactness holds at any chunking because each output element is an
+  // independent k-ascending dot product whose accumulation order does not
+  // depend on M (see Gemm in nn/tensor.h), and Im2Col/ScatterOutput are the
+  // very same code the per-frame path runs.
+  constexpr std::size_t kColsBudgetBytes = 256 * 1024;
+  const std::size_t sample_cols_bytes = hw * patch * sizeof(float);
+  const std::size_t chunk_samples = std::min(
+      b, std::max<std::size_t>(1, kColsBudgetBytes / std::max<std::size_t>(
+                                      1, sample_cols_bytes)));
+  static thread_local std::vector<float> cols;
+  static thread_local std::vector<float> gemm_out;
+  cols.resize(chunk_samples * hw * patch);
+  gemm_out.resize(chunk_samples * hw * std::size_t(out_c_));
+  for (std::size_t base = 0; base < b; base += chunk_samples) {
+    const std::size_t n = std::min(chunk_samples, b - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      Im2Col(batch[base + i], out_shape, cols.data() + i * hw * patch);
+    }
+    Gemm(cols.data(), wt_.data(), gemm_out.data(), int(n * hw), int(patch),
+         out_c_);
+    for (std::size_t i = 0; i < n; ++i) {
+      Tensor out(out_shape);
+      ScatterOutput(gemm_out.data() + i * hw * std::size_t(out_c_), out);
+      batch[base + i] = std::move(out);
     }
   }
-  return out;
 }
 
 std::uint64_t Conv2D::Macs(const Shape& input) const {

@@ -27,6 +27,17 @@ class Layer {
   /// to mutate in place; the default falls back to Forward. The sequential
   /// network loop uses this entry point.
   virtual void ForwardInPlace(Tensor& t) const { t = Forward(t); }
+  /// Forward a batch of same-shaped samples. The contract is strict
+  /// bit-exactness per sample: ForwardBatch([x0..xB]) element i must equal
+  /// ForwardInPlace(xi) to the last float bit, for every batch size — the
+  /// fleet tier's batched cloud inference relies on it to produce the same
+  /// databases as the per-frame path. The default runs samples one by one
+  /// (trivially exact); layers with a real batched fast path (Conv2D's
+  /// stacked-im2col single GEMM) override it with an implementation whose
+  /// per-element accumulation order is batch-size-invariant.
+  virtual void ForwardBatch(std::vector<Tensor>& batch) const {
+    for (Tensor& t : batch) ForwardInPlace(t);
+  }
   /// Approximate multiply-accumulate count for one forward pass (cost model
   /// input for the partitioner and the DES calibration).
   virtual std::uint64_t Macs(const Shape& input) const = 0;
@@ -48,6 +59,14 @@ class Conv2D : public Layer {
   std::string name() const override;
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  /// True batched convolution: the batch's im2col rows are stacked into one
+  /// [B*oh*ow x patch] matrix and multiplied by the transposed weights in a
+  /// single blocked GEMM call (the microkernel takes arbitrary M), so the
+  /// weight panel streams through cache once per batch instead of once per
+  /// frame. Bit-exact vs the per-sample path: each output element is an
+  /// independent k-ascending dot product whose accumulation order does not
+  /// depend on M (see Gemm in nn/tensor.h).
+  void ForwardBatch(std::vector<Tensor>& batch) const override;
   std::uint64_t Macs(const Shape& input) const override;
 
   int in_channels() const noexcept { return in_c_; }
@@ -64,6 +83,13 @@ class Conv2D : public Layer {
 
  private:
   void RebuildTransposedWeights() const;
+  /// Fill `cols` ([oh*ow x patch], row-major) with the im2col expansion of
+  /// one input. Shared by Forward and ForwardBatch so both paths lay out
+  /// bit-identical GEMM operands.
+  void Im2Col(const Tensor& input, const Shape& out_shape, float* cols) const;
+  /// The shared epilogue: transpose one sample's [oh*ow x out_c] GEMM rows
+  /// into CHW order and add the bias.
+  void ScatterOutput(const float* gemm_rows, Tensor& out) const;
 
   int in_c_, out_c_, kernel_, stride_, pad_;
   std::vector<float> weights_;  ///< [out_c][in_c * k * k] row-major

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <utility>
 
 #include "codec/decoder.h"
@@ -180,6 +181,11 @@ SessionReport SieveSession::Drain() {
     report.dropped_shutdown = st.dropped_shutdown;
     report.frames_dropped =
         st.dropped_wan + st.dropped_corrupt + st.dropped_shutdown;
+    report.cloud_batched_frames = std::size_t(st.cloud_batched_frames);
+    if (st.cloud_batched_frames > 0) {
+      report.cloud_batch_occupancy_avg =
+          double(st.cloud_batch_size_sum) / double(st.cloud_batched_frames);
+    }
     if (st.latency_count > 0) {
       report.latency_avg_ms = st.latency_sum_ms / double(st.latency_count);
       report.latency_max_ms = st.latency_max_ms;
@@ -206,6 +212,14 @@ Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
            config.wan_retry, config.wan_health),
       pipeline_(config.queue_capacity, executor_),
       query_(std::make_shared<query::QueryService>()) {
+  if (config_.cloud_batch_max > 1 && classifier_ != nullptr) {
+    fleet::FleetSchedulerPolicy policy;
+    policy.batch_max = config_.cloud_batch_max;
+    policy.deadline_ms = config_.cloud_batch_deadline_ms;
+    policy.fairness_share = config_.cloud_batch_fairness_share;
+    batcher_ = std::make_unique<fleet::InferenceBatcher>(*classifier_,
+                                                         *executor_, policy);
+  }
   BuildTiers();
   start_status_ = pipeline_.Start();
 }
@@ -379,59 +393,141 @@ void Runtime::BuildTiers() {
         if (session) session->edge_cloud_meter.Record(file.size());
         MaybeReactToWanHealth();
         return file;
-      });
+      },
+      config_.wan_parallelism, /*ordered=*/true);
 
-  // --- Cloud: finish the session's split (suffix layers + centroid match,
-  // or just record an edge-computed label) + per-camera results DB ---------
-  pipeline_.SetSink("cloud/nn", [this](dataflow::FlowFile file) {
+  // --- Cloud: the widened NN stage. Decodes and validates every payload in
+  // parallel (cloud_nn_parallelism workers, order-kept per camera), then:
+  //   * batching off — finishes the split right here (suffix layers +
+  //     centroid match), emitting a label file for the sink to record;
+  //   * batching on — normalizes everything to a validated cut-point
+  //     activation (a still decodes to the split-0 activation) and passes
+  //     it through; the serial sink feeds the fleet batcher, which runs one
+  //     batched suffix pass per flush. Bit-exact either way.
+  pipeline_.AddStage(
+      "cloud/nn",
+      [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
+        auto session = FindSession(file);
+        if (!session) return std::nullopt;
+        const std::string kind = file.GetAttribute("kind").value_or(kKindStill);
+        if (kind == kKindLabel) return file;  // edge-computed; sink records it
+        const bool batching = batcher_ != nullptr;
+        std::optional<nn::Tensor> activation;
+        std::size_t split = 0;
+        if (kind == kKindActivation) {
+          auto parsed = nn::DeserializeTensor(file.payload());
+          if (!parsed.ok()) {
+            session->RecordOutcome(file,
+                                   internal::FrameOutcome::kDroppedCorrupt);
+            return std::nullopt;
+          }
+          // The split rides the wire as an attribute: verify the
+          // activation's shape really is what layer `split` consumes before
+          // running layers on it (a mismatched pair would index out of
+          // bounds in Release).
+          split = std::size_t(file.GetU64("split").value_or(0));
+          if (split > classifier_->network().LayerCount() ||
+              !(parsed->shape() ==
+                classifier_->network().ShapeAtLayer(split))) {
+            session->RecordOutcome(file,
+                                   internal::FrameOutcome::kDroppedCorrupt);
+            return std::nullopt;
+          }
+          if (batching) return file;  // validated; the sink batches it
+          activation = std::move(*parsed);
+        } else {
+          auto still = codec::DecodeStill(file.payload());
+          if (!still.ok()) {
+            session->RecordOutcome(file,
+                                   internal::FrameOutcome::kDroppedCorrupt);
+            return std::nullopt;
+          }
+          // A still is the split-0 cut point: the whole network runs here.
+          activation = classifier_->InputTensor(*still);
+          split = 0;
+          if (batching) {
+            dataflow::FlowFile out;
+            out.payload() = nn::SerializeTensor(*activation);
+            out.SetAttribute("kind", kKindActivation);
+            out.SetU64("split", 0);
+            out.SetU64("frame", file.GetU64("frame").value_or(0));
+            out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
+            out.SetAttribute("camera", session->route);
+            return out;
+          }
+        }
+        auto predicted = classifier_->PredictFromEmbedding(
+            classifier_->network().ForwardSuffix(*activation, split).values());
+        if (!predicted.ok()) {
+          session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
+          return std::nullopt;
+        }
+        dataflow::FlowFile out;
+        out.SetAttribute("kind", kKindLabel);
+        out.SetU64("label_bits", predicted->bits());
+        out.SetU64("frame", file.GetU64("frame").value_or(0));
+        out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
+        out.SetAttribute("camera", session->route);
+        return out;
+      },
+      config_.cloud_nn_parallelism, /*ordered=*/true);
+
+  // --- Cloud sink: record results into the per-camera databases. Serial on
+  // purpose — batcher submissions must happen in per-camera arrival order
+  // (the ordered stages upstream only order *emissions*, not transform side
+  // effects), and the db insert itself is cheap.
+  pipeline_.SetSink("cloud/sink", [this](dataflow::FlowFile file) {
     auto session = FindSession(file);
     if (!session) return;
     const std::string kind = file.GetAttribute("kind").value_or(kKindStill);
-    synth::LabelSet labels;
-    if (kind == kKindLabel) {
-      // A label file without its bits is malformed: drop it like every
-      // other corrupt payload instead of recording an empty label set.
-      const auto bits = file.GetU64("label_bits");
-      if (!bits) {
-        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
-        return;
-      }
-      labels = synth::LabelSet(std::uint8_t(*bits));
-    } else if (kind == kKindActivation) {
+    if (kind == kKindActivation && batcher_ != nullptr) {
       auto activation = nn::DeserializeTensor(file.payload());
       if (!activation.ok()) {
         session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
         return;
       }
-      // The split rides the wire as an attribute: verify the activation's
-      // shape really is what layer `split` consumes before running layers
-      // on it (a mismatched pair would index out of bounds in Release).
       const std::size_t split = std::size_t(file.GetU64("split").value_or(0));
-      if (split > classifier_->network().LayerCount() ||
-          !(activation->shape() == classifier_->network().ShapeAtLayer(split))) {
-        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
-        return;
-      }
-      auto predicted = classifier_->PredictFromEmbedding(
-          classifier_->network().ForwardSuffix(*activation, split).values());
-      if (!predicted.ok()) {
-        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
-        return;
-      }
-      labels = *predicted;
-    } else {
-      auto still = codec::DecodeStill(file.payload());
-      if (!still.ok()) {
-        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
-        return;
-      }
-      auto predicted = classifier_->Predict(*still);
-      if (!predicted.ok()) {
-        session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
-        return;
-      }
-      labels = *predicted;
+      // Fairness key: one stable value per session incarnation.
+      const std::uint64_t camera_key =
+          std::uint64_t(std::hash<std::string>{}(session->route));
+      // Submit blocks while the batcher's window is full — that is this
+      // pipeline's backpressure propagating into the fleet tier. The
+      // callback runs on the flusher thread after the batched pass.
+      batcher_->Submit(
+          camera_key, split, std::move(*activation),
+          [session, file = std::move(file)](
+              Expected<synth::LabelSet> label, std::size_t batch_size) mutable {
+            if (!label.ok()) {
+              session->RecordOutcome(file,
+                                     internal::FrameOutcome::kDroppedCorrupt);
+              return;
+            }
+            {
+              std::lock_guard<std::mutex> lock(session->mutex);
+              session->db.Insert(
+                  std::size_t(file.GetU64("frame").value_or(0)), *label);
+              ++session->cloud_batched_frames;
+              session->cloud_batch_size_sum += batch_size;
+            }
+            session->labels.fetch_add(1, std::memory_order_relaxed);
+            session->RecordOutcome(file, internal::FrameOutcome::kDelivered);
+          });
+      return;
     }
+    if (kind != kKindLabel) {
+      // Nothing but labels (and, under batching, validated activations)
+      // reaches the sink; anything else is malformed.
+      session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
+      return;
+    }
+    // A label file without its bits is malformed: drop it like every other
+    // corrupt payload instead of recording an empty label set.
+    const auto bits = file.GetU64("label_bits");
+    if (!bits) {
+      session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
+      return;
+    }
+    const synth::LabelSet labels{std::uint8_t(*bits)};
     {
       std::lock_guard<std::mutex> lock(session->mutex);
       session->db.Insert(std::size_t(file.GetU64("frame").value_or(0)),
@@ -478,6 +574,13 @@ void Runtime::MaybeReactToWanHealth() {
 }
 
 void Runtime::ApplyWanHealth(net::LinkHealth link) {
+  // Link down: frames already past the WAN sit in the batcher aging toward
+  // its deadline while every session swaps to edge fallback. Force-flush so
+  // they settle (delivered) promptly and the delivered-or-dropped ledger
+  // reconciles exactly across the outage.
+  if (link == net::LinkHealth::kDown && batcher_ != nullptr) {
+    batcher_->FlushAll();
+  }
   const std::size_t layers = classifier_->network().LayerCount();
   std::vector<std::shared_ptr<internal::SessionState>> states;
   {
@@ -528,6 +631,13 @@ RuntimeHealth Runtime::health() const {
   h.wan_retries = stats.retries;
   h.wan_probes = stats.probes;
   h.replans = replans_.load(std::memory_order_relaxed);
+  if (batcher_ != nullptr) {
+    const fleet::BatcherStats bs = batcher_->stats();
+    h.cloud_batches = bs.batches;
+    h.cloud_batch_samples = bs.samples;
+    h.cloud_batch_occupancy_avg = bs.occupancy_avg();
+    h.cloud_batch_peak_pending = bs.peak_pending;
+  }
   std::shared_lock<std::shared_mutex> lock(mutex_);
   for (const auto& [id, state] : by_id_) {
     if (state->closed.load(std::memory_order_acquire)) continue;
@@ -679,6 +789,9 @@ Expected<std::vector<dataflow::StageStats>> Runtime::Shutdown() {
   }
   if (!start_status_.ok()) return start_status_;
   auto stats = pipeline_.Finish();
+  // The pipeline can no longer submit; flush and drain the fleet batcher so
+  // every frame that reached the cloud settles before the ledgers are read.
+  if (batcher_ != nullptr) batcher_->Drain();
   // The tiers are drained: every session's database is final, so seal any
   // camera the owner never drained explicitly — the query index stays
   // complete and consistent for post-shutdown queries.

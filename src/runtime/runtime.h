@@ -48,6 +48,7 @@
 #include "common/stopwatch.h"
 #include "core/results_db.h"
 #include "dataflow/pipeline.h"
+#include "fleet/batcher.h"
 #include "media/frame.h"
 #include "net/fault.h"
 #include "net/link.h"
@@ -82,6 +83,28 @@ struct RuntimeConfig {
   /// the fan-in. Per-camera result order is preserved (the stage runs
   /// ordered), so scaling it is invisible to the query layer and the dbs.
   int edge_nn_parallelism = 1;
+  /// WAN-stage workers (order-kept): concurrent reliable sends over the
+  /// shared hop. The transport and meters are internally synchronized; the
+  /// ordered gate keeps per-camera delivery order. At fleet scale the
+  /// serial WAN worker is the first fan-in bottleneck (see docs/fleet.md).
+  int wan_parallelism = 1;
+  /// Cloud-NN stage workers (order-kept): parallel payload decode and
+  /// validation, plus — when batching is off — the per-frame suffix
+  /// inference itself.
+  int cloud_nn_parallelism = 1;
+  /// Cross-session batched cloud inference (src/fleet/): > 1 routes every
+  /// delivered activation/still through an InferenceBatcher that flushes
+  /// one batched ForwardSuffix pass per size threshold or deadline.
+  /// Per-sample results are bit-exact vs the per-frame path, so enabling
+  /// batching never changes any camera's database. <= 1 disables batching
+  /// (the cloud/nn stage predicts inline, frame by frame).
+  std::size_t cloud_batch_max = 1;
+  /// Age bound (ms) on a partially filled batch: a lightly loaded fleet
+  /// flushes at this deadline instead of waiting for a full batch.
+  double cloud_batch_deadline_ms = 10.0;
+  /// Fairness: max samples one camera may hold in a single batch
+  /// (0 = uncapped); see fleet::FleetSchedulerPolicy.
+  std::size_t cloud_batch_fairness_share = 0;
   /// Admission control: maximum concurrently open sessions (0 = unlimited).
   /// Over-capacity OpenSession calls fail with kResourceExhausted.
   std::size_t max_sessions = 0;
@@ -124,6 +147,11 @@ struct RuntimeHealth {
   std::size_t sessions_healthy = 0;
   std::size_t sessions_degraded = 0;
   std::size_t sessions_edge_fallback = 0;
+  // Fleet batching tier (zero when cloud_batch_max <= 1).
+  std::uint64_t cloud_batches = 0;        ///< batched flushes run
+  std::uint64_t cloud_batch_samples = 0;  ///< frames served by batches
+  double cloud_batch_occupancy_avg = 0.0; ///< mean samples per flush
+  std::size_t cloud_batch_peak_pending = 0;  ///< max queued in the batcher
 };
 
 /// Per-camera configuration.
@@ -191,6 +219,12 @@ struct SessionReport {
   double latency_avg_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;
+  /// Frames of this camera that rode the fleet batcher's batched cloud
+  /// passes (0 unless RuntimeConfig::cloud_batch_max > 1).
+  std::size_t cloud_batched_frames = 0;
+  /// Frame-weighted mean size of the batches those frames rode in — this
+  /// camera's share of the fleet's amortization.
+  double cloud_batch_occupancy_avg = 0.0;
 };
 
 namespace internal {
@@ -271,6 +305,10 @@ struct SessionState {
   std::size_t dropped_wan = 0;
   std::size_t dropped_corrupt = 0;
   std::size_t dropped_shutdown = 0;
+  // Fleet batching share of this camera (guarded by `mutex`): frames that
+  // rode batched cloud passes and the summed sizes of those batches.
+  std::uint64_t cloud_batched_frames = 0;
+  std::uint64_t cloud_batch_size_sum = 0;
   // Push-to-settle latencies of delivered frames, milliseconds (guarded by
   // `mutex`; the sample is capped so a 24/7 session stays bounded).
   static constexpr std::size_t kMaxLatencySamples = 1 << 16;
@@ -367,8 +405,8 @@ class Runtime {
 
   /// Close every session's intake, drain the tiers, stop the workers, and
   /// return shared-tier statistics (sources in open order, then seeker,
-  /// still-transcode, edge/nn, wan, cloud/nn). One-shot; the destructor
-  /// calls it if needed.
+  /// still-transcode, edge/nn, wan, cloud/nn, cloud/sink). One-shot; the
+  /// destructor calls it if needed.
   Expected<std::vector<dataflow::StageStats>> Shutdown();
 
   Executor& executor() const noexcept { return *executor_; }
@@ -417,6 +455,10 @@ class Runtime {
   /// stage so each transition triggers exactly one replan sweep.
   std::atomic<int> reacted_health_{0};
   std::atomic<std::uint64_t> replans_{0};  ///< fleet-wide plan swaps
+  /// The fleet batching tier (null when cloud_batch_max <= 1). Declared
+  /// before pipeline_ on purpose: the sink submits into the batcher, so it
+  /// must outlive the pipeline's teardown.
+  std::unique_ptr<fleet::InferenceBatcher> batcher_;
   dataflow::Pipeline pipeline_;
   Status start_status_;
   /// Query layer + the shared stream clock's epoch (sessions are stamped

@@ -199,8 +199,8 @@ TEST_F(SystemTest, StageStatsCoverPipeline) {
   ResultsDatabase db;
   auto report = system.Run(*encoded_, db);
   ASSERT_TRUE(report.ok());
-  // camera, seeker, transcode, edge-nn, wan, cloud-nn
-  ASSERT_EQ(report->stages.size(), 6u);
+  // camera, seeker, transcode, edge-nn, wan, cloud-nn, cloud-sink
+  ASSERT_EQ(report->stages.size(), 7u);
   EXPECT_EQ(report->stages[0].out, encoded_->records.size());
   EXPECT_EQ(report->stages[1].in, encoded_->records.size());
   EXPECT_EQ(report->stages[1].out, encoded_->IntraFrameCount());

@@ -111,7 +111,7 @@ TEST(MultiCameraRuntime, SharedRuntimeMatchesIsolatedSystems) {
 
   auto stats = runtime.Shutdown();
   ASSERT_TRUE(stats.ok());
-  ASSERT_EQ(stats->size(), std::size_t(kCameras) + 5);  // sources + 4 stages + sink
+  ASSERT_EQ(stats->size(), std::size_t(kCameras) + 6);  // sources + 5 stages + sink
   std::size_t fan_in = 0;
   for (int cam = 0; cam < kCameras; ++cam) fan_in += (*stats)[std::size_t(cam)].out;
   EXPECT_EQ(fan_in, std::size_t(kCameras) * kFrames);

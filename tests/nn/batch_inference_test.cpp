@@ -1,0 +1,139 @@
+// Batched inference equivalence: element i of a batched suffix pass must
+// equal the per-frame suffix pass to the last float bit, for every split
+// point, every batch size, and every compiled kernel arch — the contract
+// that makes fleet batching invisible to per-camera results.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/simd/kernels.h"
+#include "nn/classifier.h"
+#include "nn/layers.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "synth/scene.h"
+
+namespace sieve::nn {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 2, 7, 32};
+
+Tensor DeterministicInput(Shape shape, std::size_t salt) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.values()[i] = float(int((i + 31 * salt) % 251) - 125) / 125.0f;
+  }
+  return t;
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) return false;
+  return std::memcmp(a.data(), b.data(), a.shape().bytes()) == 0;
+}
+
+TEST(BatchInference, Conv2DForwardBatchMatchesForward) {
+  Rng rng(0xBA7C4ull);
+  const Conv2D conv(3, 8, 3, 1, 1, rng);
+  const Shape in{3, 12, 16};
+  for (const std::size_t b : kBatchSizes) {
+    std::vector<Tensor> batch;
+    batch.reserve(b);
+    for (std::size_t i = 0; i < b; ++i) {
+      batch.push_back(DeterministicInput(in, i));
+    }
+    std::vector<Tensor> expected;
+    expected.reserve(b);
+    for (const Tensor& x : batch) expected.push_back(conv.Forward(x));
+    conv.ForwardBatch(batch);
+    ASSERT_EQ(batch.size(), b);
+    for (std::size_t i = 0; i < b; ++i) {
+      EXPECT_TRUE(BitIdentical(batch[i], expected[i]))
+          << "batch " << b << " sample " << i;
+    }
+  }
+}
+
+TEST(BatchInference, ForwardSuffixBatchBitExactEverySplitEveryArch) {
+  const Network net = MakeBackbone(32, 16, 0xF1EE7ull);
+  for (const simd::KernelArch arch : simd::CompiledArches()) {
+    if (!simd::ArchSupported(arch)) continue;
+    simd::ScopedKernelArch scoped(arch);
+    for (std::size_t k = 0; k <= net.LayerCount(); ++k) {
+      for (const std::size_t b : kBatchSizes) {
+        std::vector<Tensor> activations;
+        std::vector<Tensor> expected;
+        activations.reserve(b);
+        expected.reserve(b);
+        for (std::size_t i = 0; i < b; ++i) {
+          const Tensor input = DeterministicInput(net.input_shape(), i);
+          activations.push_back(net.ForwardPrefix(input, k));
+          expected.push_back(net.ForwardSuffix(activations.back(), k));
+        }
+        const std::vector<Tensor> batched =
+            net.ForwardSuffixBatch(std::move(activations), k);
+        ASSERT_EQ(batched.size(), b);
+        for (std::size_t i = 0; i < b; ++i) {
+          EXPECT_TRUE(BitIdentical(batched[i], expected[i]))
+              << simd::KernelArchName(arch) << " split " << k << " batch "
+              << b << " sample " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchInference, PredictBatchMatchesPerFramePredictions) {
+  synth::SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.num_frames = 48;
+  cfg.seed = 2024;
+  cfg.mean_gap_seconds = 0.6;
+  cfg.min_gap_seconds = 0.3;
+  cfg.mean_dwell_seconds = 0.8;
+  cfg.min_dwell_seconds = 0.4;
+  const synth::SyntheticVideo scene = synth::GenerateScene(cfg);
+
+  ClassifierParams params;
+  params.input_size = 32;
+  params.embedding_dim = 16;
+  FrameClassifier classifier(params);
+  ASSERT_TRUE(classifier.Fit(scene.video.frames, scene.truth, 6).ok());
+
+  const Network& net = classifier.network();
+  for (const simd::KernelArch arch : simd::CompiledArches()) {
+    if (!simd::ArchSupported(arch)) continue;
+    simd::ScopedKernelArch scoped(arch);
+    for (std::size_t k = 0; k <= net.LayerCount(); ++k) {
+      for (const std::size_t b : kBatchSizes) {
+        std::vector<Tensor> activations;
+        std::vector<std::uint32_t> expected_bits;
+        activations.reserve(b);
+        expected_bits.reserve(b);
+        for (std::size_t i = 0; i < b; ++i) {
+          const media::Frame& frame =
+              scene.video.frames[(i * 5) % scene.video.frames.size()];
+          const Tensor act = net.ForwardPrefix(classifier.InputTensor(frame), k);
+          auto single = classifier.PredictFromEmbedding(
+              net.ForwardSuffix(act, k).values());
+          ASSERT_TRUE(single.ok());
+          expected_bits.push_back(single->bits());
+          activations.push_back(act);
+        }
+        const auto batched = classifier.PredictBatch(std::move(activations), k);
+        ASSERT_EQ(batched.size(), b);
+        for (std::size_t i = 0; i < b; ++i) {
+          ASSERT_TRUE(batched[i].ok())
+              << simd::KernelArchName(arch) << " split " << k << " batch " << b;
+          EXPECT_EQ(batched[i]->bits(), expected_bits[i])
+              << simd::KernelArchName(arch) << " split " << k << " batch "
+              << b << " sample " << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sieve::nn

@@ -98,11 +98,11 @@ TEST_F(RuntimeTest, SingleSessionStreamsToItsDatabase) {
 
   auto stats = runtime.Shutdown();
   ASSERT_TRUE(stats.ok());
-  // One source + seeker, transcode, edge-nn, wan, cloud-nn.
-  ASSERT_EQ(stats->size(), 6u);
+  // One source + seeker, transcode, edge-nn, wan, cloud-nn, cloud-sink.
+  ASSERT_EQ(stats->size(), 7u);
   EXPECT_EQ(stats->front().name, "gate");
   EXPECT_EQ(stats->front().out, report.frames_pushed);
-  EXPECT_EQ(stats->back().name, "cloud/nn");
+  EXPECT_EQ(stats->back().name, "cloud/sink");
   EXPECT_EQ(stats->back().in, report.iframes_selected);
 }
 

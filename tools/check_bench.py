@@ -12,6 +12,9 @@ Fails (exit 1) on a >threshold regression in the tracked scenarios:
                     p99-by-rank is the honest, stable number — avg is
                     tail-polluted and max is a one-off warmup artifact)
   * dct_sad_kernels — SIMD-vs-scalar speedups of the kernel layer
+  * fleet_scale   — batched-vs-unbatched serving at the largest fleet, plus
+                    a hard-fail bit_identical boolean (batching must never
+                    change a prediction)
 
 Ratio metrics (speedups) are machine-normalized — both legs run in the same
 process on the same box — so they are comparable between the committed
@@ -46,6 +49,7 @@ SCENARIO_OF = {
     "live_query": "live_query",
     "dct_sad_kernels": "dct_sad_kernels",
     "wan_chaos": "wan_chaos",
+    "fleet_scale": "fleet_scale",
 }
 
 
@@ -89,6 +93,19 @@ METRICS = [
     ("dct_sad_kernels.fdct_speedup", False, 2.0),
     ("dct_sad_kernels.idct_speedup", False, 2.0),
     ("dct_sad_kernels.sad_speedup", False, 2.0),
+    # Batched-vs-unbatched fleet serving. The speedup is same-process and
+    # machine-normalized, but each leg is a full 64-session pipeline run
+    # whose inference share of wall time varies with core count — on a
+    # 1-core box the ratio hovers near 1.0 while multi-core runners see the
+    # batcher's amortization. Gate only a collapse (batching made serving
+    # dramatically slower), not the exact ratio.
+    ("fleet_scale.speedup_at_max", False, 2.0),
+    # Aggregate batched fps / worst-camera p99 at the largest fleet:
+    # absolute numbers with no in-run reference, so the widest band — they
+    # fire only on a serving-path catastrophe (batcher serializing the
+    # fleet, a deadline that sleeps real time per frame).
+    ("fleet_scale.batched_fps_at_max", False, 4.0),
+    ("fleet_scale.batched_p99_at_max_ms", True, 20.0),
 ]
 
 BOOLEANS = [
@@ -98,6 +115,11 @@ BOOLEANS = [
     # Every chaos leg's delivered-or-dropped ledger must balance — a false
     # here means the transport silently lost a frame under load.
     "wan_chaos.reconciled",
+    # Hard gate: batched cloud inference must be bit-identical to the
+    # per-frame path for every camera at every fleet size. A false here is
+    # a correctness bug in ForwardSuffixBatch or the batcher's routing, not
+    # noise — no band, no skip.
+    "fleet_scale.bit_identical",
 ]
 
 

@@ -20,8 +20,11 @@
 # end-to-end latency + WAN still/activation bytes per plan),
 # live_query (3 streaming cameras with a reader thread hammering the
 # cross-camera query index: FindObject avg/p99 latency under ingest + index
-# update throughput), and dct_sad_kernels (scalar vs SIMD A/B of the
-# dispatch-layer DCT/IDCT/quant/SAD kernels, with bit-equality checks).
+# update throughput), dct_sad_kernels (scalar vs SIMD A/B of the
+# dispatch-layer DCT/IDCT/quant/SAD kernels, with bit-equality checks),
+# wan_chaos (delivered-frame latency + ledger reconciliation under scripted
+# loss), and fleet_scale (batched vs unbatched cloud inference across a
+# 8/32/64-session sweep, with per-camera bit-equality checks).
 #
 # Gate a fresh report against the committed baseline with
 #   python3 tools/check_bench.py BENCH_hotpaths.json fresh.json
