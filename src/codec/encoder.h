@@ -7,13 +7,18 @@
 // downstream analysis needs to decode nothing else.
 #pragma once
 
+#include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "codec/analysis.h"
 #include "codec/container.h"
 #include "codec/frame_coding.h"
+#include "common/bytes.h"
 #include "common/status.h"
 #include "media/frame.h"
 #include "runtime/executor.h"
@@ -33,6 +38,16 @@ struct EncoderParams {
   /// Route inter frames through the serial reference coder (unpruned search,
   /// single pass). Golden/debug path; slow.
   bool reference_inter = false;
+  /// Frame-level pipelining: overlap frame N's serial entropy sweep (on a
+  /// dedicated worker) with frame N+1's parallel pass 1. The handoff is the
+  /// reconstructed reference — pass 1 of frame N+1 needs only frame N's
+  /// recon, which pass 1 of frame N already produced; the deferred entropy
+  /// sweep reads nothing but its own coefficient scratch. Bitstreams stay
+  /// byte-identical to the non-pipelined path for every executor choice.
+  /// Consumed by StreamingEncoder::PushFramePipelined (and by
+  /// VideoEncoder::Encode, which switches to that entry point); the plain
+  /// PushFrame stays synchronous regardless. Ignored under reference_inter.
+  bool pipeline = false;
 
   static EncoderParams Defaults() { return EncoderParams{}; }
   /// The paper's "default encoding parameters": GOP 250, scenecut 40.
@@ -102,9 +117,25 @@ class StreamingEncoder {
  public:
   StreamingEncoder(EncoderParams params, int width, int height, double fps,
                    runtime::Executor* executor = nullptr);
+  ~StreamingEncoder();
+  StreamingEncoder(const StreamingEncoder&) = delete;
+  StreamingEncoder& operator=(const StreamingEncoder&) = delete;
 
   /// Encodes one frame; returns its record (type reveals the decision).
+  /// Synchronous: any in-flight pipelined entropy pass is drained first, so
+  /// mixing PushFrame and PushFramePipelined on one stream is safe.
   Expected<FrameRecord> PushFrame(const media::Frame& frame);
+
+  /// Pipelined push (params.pipeline): runs this frame's parallel pass 1
+  /// immediately — overlapping the previous frame's serial entropy sweep,
+  /// which is still running on a dedicated worker — then hands this frame's
+  /// entropy off to the worker and returns. Records complete one frame
+  /// behind: each call appends the records that finished (0 or 1; more after
+  /// a mixed-call drain) to `done` in stream order, and Finish() drains the
+  /// tail. The container bytes and records are byte-identical to a PushFrame
+  /// stream. Falls back to synchronous encoding under reference_inter.
+  Status PushFramePipelined(const media::Frame& frame,
+                            std::vector<FrameRecord>* done = nullptr);
 
   /// The on-wire bytes of a frame returned by PushFrame: its fixed-size
   /// header plus entropy-coded payload, exactly as they appear in the final
@@ -120,10 +151,35 @@ class StreamingEncoder {
   /// length. After any trim, Finish() no longer yields a valid container.
   void TrimBuffered();
 
-  /// Finish the stream and release the container bytes.
+  /// Finish the stream and release the container bytes. Drains any
+  /// in-flight pipelined entropy pass first.
   EncodedVideo Finish();
 
  private:
+  /// One frame's deferred-entropy state: the pass-1 coefficient scratch, the
+  /// fresh-per-frame adaptive models, and the payload the entropy worker
+  /// writes. Two slots alternate — the worker drains one while the next
+  /// frame's pass 1 fills the other — so steady state never allocates.
+  struct PipelineSlot {
+    ByteWriter payload;
+    FrameModels models;
+    IntraScratch intra;
+    InterScratch inter;
+    FrameType type = FrameType::kIntra;
+  };
+
+  /// Shared front half of both push paths: lookahead analysis plus the
+  /// in-order keyframe decision (updates first_/frames_since_keyframe_).
+  bool DecideKeyframe(const media::Frame& frame);
+  /// Hand `slot`'s entropy sweep to the dedicated worker (spawned lazily via
+  /// executor_->SpawnWorker on first use).
+  void StartEntropy(PipelineSlot& slot);
+  /// Join the in-flight entropy pass, append its frame to the container, and
+  /// record it (also into `done` when non-null). No-op when nothing pends.
+  void DrainPipeline(std::vector<FrameRecord>* done);
+  void StopEntropyWorker();
+  void EntropyWorkerLoop();
+
   EncoderParams params_;
   ContainerHeader header_;
   ContainerWriter writer_;
@@ -138,6 +194,20 @@ class StreamingEncoder {
   std::vector<FrameCost> costs_;
   std::size_t frames_since_keyframe_ = 0;
   bool first_ = true;
+
+  // Pipeline state (PushFramePipelined). recon_ double-buffers against
+  // recon_spare_: pass 1 reads recon_ (the previous frame's reference) while
+  // writing recon_spare_, then the two swap — the deferred entropy sweep
+  // never touches either.
+  std::array<PipelineSlot, 2> slots_;
+  int cur_slot_ = 0;
+  bool entropy_pending_ = false;  ///< slots_[1 - cur_slot_] awaiting drain
+  media::Frame recon_spare_;
+  std::thread entropy_worker_;
+  std::mutex pipe_mu_;
+  std::condition_variable pipe_cv_;
+  PipelineSlot* job_ = nullptr;   ///< guarded by pipe_mu_; null = worker idle
+  bool stop_worker_ = false;      ///< guarded by pipe_mu_
 };
 
 }  // namespace sieve::codec

@@ -92,23 +92,16 @@ void StoreResidualRecon(const PixelBlock& residual, const media::Plane& pred,
   }
 }
 
-/// Intra plane coding, split like the inter coder: pass 1 (per-block DCT +
-/// quantization + reconstruction) is entropy-free and parallelizes over
-/// 8-pixel block rows — blocks read only `src` and write disjoint regions of
-/// `recon` and the coefficient list. Pass 2 is the serial DC-predicted
-/// entropy sweep over the stored coefficients in raster order; the quantized
-/// coefficients do not depend on the DC predictor (prediction happens at the
-/// entropy stage), so the bitstream is byte-identical to the fused serial
-/// loop for every executor.
-void CodeIntraPlane(RangeEncoder& rc, PlaneModels& models, const media::Plane& src,
-                    const QuantTable& q, media::Plane& recon,
-                    runtime::Executor* executor,
-                    std::vector<CoeffBlock>& coeffs) {
+/// Intra plane pass 1 (per-block DCT + quantization + reconstruction):
+/// entropy-free, parallelizes over 8-pixel block rows — blocks read only
+/// `src` and write disjoint regions of `recon` and the coefficient list.
+void CodeIntraPlanePass1(const media::Plane& src, const QuantTable& q,
+                         media::Plane& recon, runtime::Executor* executor,
+                         std::vector<CoeffBlock>& coeffs) {
   const int blocks_x = (src.width() + kBlockSize - 1) / kBlockSize;
   const int blocks_y = (src.height() + kBlockSize - 1) / kBlockSize;
   coeffs.resize(std::size_t(blocks_x) * std::size_t(blocks_y));
 
-  // ---- Pass 1: transform + quantization + reconstruction ----------------
   auto code_row = [&](std::size_t row) {
     PixelBlock block, rec;
     const int by = int(row) * kBlockSize;
@@ -125,13 +118,19 @@ void CodeIntraPlane(RangeEncoder& rc, PlaneModels& models, const media::Plane& s
   } else {
     for (int row = 0; row < blocks_y; ++row) code_row(std::size_t(row));
   }
+}
 
-  // ---- Pass 2: DC-predicted entropy coding (serial; the predictor and the
-  // adaptive models are sequential across the whole plane). ----------------
+/// Intra plane pass 2: the serial DC-predicted entropy sweep over the stored
+/// coefficients in raster order (the predictor and the adaptive models are
+/// sequential across the whole plane). The quantized coefficients do not
+/// depend on the DC predictor (prediction happens at the entropy stage), so
+/// pass 1 + pass 2 is byte-identical to a fused serial loop for every
+/// executor and for any pass-1/pass-2 interleaving across planes or frames.
+void CodeIntraPlaneEntropy(RangeEncoder& rc, PlaneModels& models,
+                           const std::vector<CoeffBlock>& coeffs) {
   std::int32_t dc_pred = 0;
-  const std::size_t n = std::size_t(blocks_x) * std::size_t(blocks_y);
-  for (std::size_t i = 0; i < n; ++i) {
-    EncodeCoeffBlock(rc, models, coeffs[i], dc_pred);
+  for (const CoeffBlock& c : coeffs) {
+    EncodeCoeffBlock(rc, models, c, dc_pred);
   }
 }
 
@@ -200,12 +199,26 @@ void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
                       IntraScratch* scratch) {
   IntraScratch local;
   IntraScratch& s = scratch != nullptr ? *scratch : local;
-  CodeIntraPlane(rc, models.luma_intra, src.y(), ctx.luma_q, recon.y(),
-                 executor, s.coeffs);
-  CodeIntraPlane(rc, models.chroma_intra, src.u(), ctx.chroma_q, recon.u(),
-                 executor, s.coeffs);
-  CodeIntraPlane(rc, models.chroma_intra, src.v(), ctx.chroma_q, recon.v(),
-                 executor, s.coeffs);
+  EncodeIntraFramePass1(src, ctx, recon, executor, s);
+  EncodeIntraFrameEntropy(rc, models, s);
+}
+
+void EncodeIntraFramePass1(const media::Frame& src, const CodingContext& ctx,
+                           media::Frame& recon, runtime::Executor* executor,
+                           IntraScratch& scratch) {
+  CodeIntraPlanePass1(src.y(), ctx.luma_q, recon.y(), executor,
+                      scratch.coeffs[0]);
+  CodeIntraPlanePass1(src.u(), ctx.chroma_q, recon.u(), executor,
+                      scratch.coeffs[1]);
+  CodeIntraPlanePass1(src.v(), ctx.chroma_q, recon.v(), executor,
+                      scratch.coeffs[2]);
+}
+
+void EncodeIntraFrameEntropy(RangeEncoder& rc, FrameModels& models,
+                             const IntraScratch& scratch) {
+  CodeIntraPlaneEntropy(rc, models.luma_intra, scratch.coeffs[0]);
+  CodeIntraPlaneEntropy(rc, models.chroma_intra, scratch.coeffs[1]);
+  CodeIntraPlaneEntropy(rc, models.chroma_intra, scratch.coeffs[2]);
 }
 
 void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,
@@ -284,6 +297,17 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                       const CodingContext& ctx, const InterParams& params,
                       media::Frame& recon, runtime::Executor* executor,
                       InterScratch* scratch) {
+  InterScratch local;
+  InterScratch& s = scratch != nullptr ? *scratch : local;
+  EncodeInterFramePass1(src, prev_recon, ctx, params, recon, executor, s);
+  EncodeInterFrameEntropy(rc, models, s);
+}
+
+void EncodeInterFramePass1(const media::Frame& src,
+                           const media::Frame& prev_recon,
+                           const CodingContext& ctx, const InterParams& params,
+                           media::Frame& recon, runtime::Executor* executor,
+                           InterScratch& s) {
   const int mbs_x = (src.width() + kMacroblockSize - 1) / kMacroblockSize;
   const int mbs_y = (src.height() + kMacroblockSize - 1) / kMacroblockSize;
   const std::uint64_t skip_threshold =
@@ -291,10 +315,10 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
   // skip_sad_per_pixel == 0 is resolved by the encoder before reaching here;
   // a literal 0 disables skipping entirely (every MB coded).
 
-  // ---- Pass 1: search, compensation, transform, reconstruction ----------
-  // (parallel over macroblock rows).
-  InterScratch local;
-  InterScratch& s = scratch != nullptr ? *scratch : local;
+  // Search, compensation, transform, reconstruction — parallel over
+  // macroblock rows.
+  s.mbs_x = mbs_x;
+  s.mbs_y = mbs_y;
   if (s.pred_y.width() != src.width() || s.pred_y.height() != src.height()) {
     s.pred_y = media::Plane(src.width(), src.height());
     s.pred_u = media::Plane(src.u().width(), src.u().height());
@@ -317,13 +341,16 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
   } else {
     for (int mby = 0; mby < mbs_y; ++mby) process_row(std::size_t(mby));
   }
+}
 
-  // ---- Pass 2: entropy coding (serial; adaptive models are sequential). --
-  for (int mby = 0; mby < mbs_y; ++mby) {
+void EncodeInterFrameEntropy(RangeEncoder& rc, FrameModels& models,
+                             const InterScratch& s) {
+  // Serial: the adaptive models and the per-row MV predictor are sequential.
+  for (int mby = 0; mby < s.mbs_y; ++mby) {
     MotionVector predictor{0, 0};
-    for (int mbx = 0; mbx < mbs_x; ++mbx) {
+    for (int mbx = 0; mbx < s.mbs_x; ++mbx) {
       const InterMbTask& t =
-          tasks[std::size_t(mby) * std::size_t(mbs_x) + std::size_t(mbx)];
+          s.tasks[std::size_t(mby) * std::size_t(s.mbs_x) + std::size_t(mbx)];
       if (t.skip) {
         rc.EncodeBit(models.skip_flag, 1);
         predictor = MotionVector{0, 0};

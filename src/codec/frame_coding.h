@@ -56,10 +56,13 @@ struct FrameModels {
 };
 
 /// Reusable pass-1 scratch for EncodeIntraFrame: the per-block quantized
-/// coefficients of the plane being coded. Streams should pass the same
-/// instance every frame so steady-state I-frame coding does not allocate.
+/// coefficients of each plane (Y, U, V). One list per plane — not one shared
+/// list — so the whole frame's pass 1 can complete before any entropy coding
+/// starts, which is what lets a pipelined encoder defer the entropy sweep.
+/// Streams should pass the same instance every frame so steady-state I-frame
+/// coding does not allocate.
 struct IntraScratch {
-  std::vector<CoeffBlock> coeffs;
+  std::array<std::vector<CoeffBlock>, 3> coeffs;  ///< Y, U, V in coding order
 };
 
 /// Encode `src` as an intra frame; writes the reconstruction (what any
@@ -74,6 +77,23 @@ void EncodeIntraFrame(RangeEncoder& rc, FrameModels& models,
                       const media::Frame& src, const CodingContext& ctx,
                       media::Frame& recon, runtime::Executor* executor = nullptr,
                       IntraScratch* scratch = nullptr);
+
+/// Pass 1 of EncodeIntraFrame alone: DCT + quantization + reconstruction for
+/// all three planes, no entropy coding. Fills `scratch` with the per-plane
+/// coefficient lists EncodeIntraFrameEntropy consumes. `recon` is complete
+/// when this returns, so the next frame's motion search can start while this
+/// frame's entropy sweep is still pending — the seam the pipelined encoder
+/// overlaps on.
+void EncodeIntraFramePass1(const media::Frame& src, const CodingContext& ctx,
+                           media::Frame& recon, runtime::Executor* executor,
+                           IntraScratch& scratch);
+
+/// Pass 2 of EncodeIntraFrame: the serial DC-predicted entropy sweep over a
+/// scratch filled by EncodeIntraFramePass1. The quantized coefficients do
+/// not depend on the DC predictor (prediction happens here, at the entropy
+/// stage), so Pass1 + Entropy is byte-identical to the fused EncodeIntraFrame.
+void EncodeIntraFrameEntropy(RangeEncoder& rc, FrameModels& models,
+                             const IntraScratch& scratch);
 
 /// Decode an intra frame of known dimensions.
 void DecodeIntraFrame(RangeDecoder& rc, FrameModels& models,
@@ -96,6 +116,9 @@ struct InterMbTask {
 struct InterScratch {
   media::Plane pred_y, pred_u, pred_v;
   std::vector<InterMbTask> tasks;
+  /// Macroblock grid of the frame pass 1 last processed; recorded so a
+  /// deferred EncodeInterFrameEntropy call needs nothing but this scratch.
+  int mbs_x = 0, mbs_y = 0;
 };
 
 /// Encode `src` as an inter frame predicted from `prev_recon`.
@@ -114,6 +137,24 @@ void EncodeInterFrame(RangeEncoder& rc, FrameModels& models,
                       const CodingContext& ctx, const InterParams& params,
                       media::Frame& recon, runtime::Executor* executor = nullptr,
                       InterScratch* scratch = nullptr);
+
+/// Pass 1 of EncodeInterFrame alone: SKIP decisions, motion search,
+/// compensation, residual transform, and reconstruction — everything
+/// entropy-free. Fills `scratch` (work list + grid dimensions) for a later
+/// EncodeInterFrameEntropy call. `recon` is complete when this returns; the
+/// entropy sweep reads only `scratch`, so the next frame's pass 1 can run
+/// against `recon` while this frame's entropy is still pending.
+void EncodeInterFramePass1(const media::Frame& src,
+                           const media::Frame& prev_recon,
+                           const CodingContext& ctx, const InterParams& params,
+                           media::Frame& recon, runtime::Executor* executor,
+                           InterScratch& scratch);
+
+/// Pass 2 of EncodeInterFrame: the serial entropy sweep over a scratch
+/// filled by EncodeInterFramePass1. Pass1 + Entropy is byte-identical to the
+/// fused EncodeInterFrame (and therefore to EncodeInterFrameReference).
+void EncodeInterFrameEntropy(RangeEncoder& rc, FrameModels& models,
+                             const InterScratch& scratch);
 
 /// The single-pass serial reference encoder (the pre-overhaul path, with
 /// unpruned motion search). Golden path for the optimization-equivalence

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/simd/kernels_internal.h"
 
@@ -140,9 +141,48 @@ void Dequantize8x8Scalar(const std::int32_t* in, const std::int32_t* step,
   }
 }
 
+// ------------------------------------------------------ scalar int8 GEMM --
+
+// The reference semantics for gemm_u8s8. The inner loops walk the packed-B
+// layout (k-pairs outer, columns inner) exactly like the SIMD tables;
+// integer accumulation is associative for these magnitudes, so any table
+// order (including the vector tables' 4-row M tiling) is bit-identical
+// anyway.
+void GemmU8S8Scalar(const std::uint8_t* a, int lda, int m,
+                    const std::int8_t* b_packed, int k, int n_cols,
+                    std::int32_t* out, int ldo) {
+  const int pairs = (k + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + std::ptrdiff_t(i) * lda;
+    std::int32_t* orow = out + std::ptrdiff_t(i) * ldo;
+    for (int n = 0; n < n_cols; ++n) orow[n] = 0;
+    for (int p = 0; p < pairs; ++p) {
+      const std::int32_t a0 = arow[2 * p];
+      const std::int32_t a1 = (2 * p + 1 < k) ? arow[2 * p + 1] : 0;
+      const std::int8_t* row = b_packed + std::ptrdiff_t(p) * n_cols * 2;
+      for (int n = 0; n < n_cols; ++n) {
+        orow[n] += a0 * std::int32_t(row[2 * n]) +
+                   a1 * std::int32_t(row[2 * n + 1]);
+      }
+    }
+  }
+}
+
+// Reference semantics for quantize_act_u8: one IEEE multiply, one IEEE add,
+// a truncating float->int convert, then the [0, 255] clamp. The vector
+// tables run the identical op sequence per lane.
+void QuantizeActU8Scalar(const float* x, std::size_t len, float inv_scale,
+                         float bias, std::uint8_t* out) {
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::int32_t code = std::int32_t(x[i] * inv_scale + bias);
+    out[i] = std::uint8_t(code < 0 ? 0 : (code > 255 ? 255 : code));
+  }
+}
+
 const KernelTable kScalarTable = {
     "scalar",        SadRowScalar,      Sad16xHScalar,      SadBoundedScalar,
     Fdct8x8Scalar,   Idct8x8Scalar,     Quantize8x8Scalar,  Dequantize8x8Scalar,
+    GemmU8S8Scalar,  QuantizeActU8Scalar,
 };
 
 // --------------------------------------------------------------- dispatch --
@@ -155,14 +195,40 @@ bool CpuSupportsSse2() noexcept {
 #endif
 }
 
+bool CpuSupportsAvx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
 std::atomic<const KernelTable*> g_active{nullptr};
 
 }  // namespace
+
+std::size_t PackedGemmBSize(int k, int n_cols) noexcept {
+  return std::size_t((k + 1) / 2) * std::size_t(n_cols) * 2;
+}
+
+void PackGemmB(const std::int8_t* b, int k, int n_cols,
+               std::int8_t* packed) noexcept {
+  const int pairs = (k + 1) / 2;
+  for (int p = 0; p < pairs; ++p) {
+    std::int8_t* row = packed + std::ptrdiff_t(p) * n_cols * 2;
+    for (int n = 0; n < n_cols; ++n) {
+      row[2 * n] = b[std::ptrdiff_t(n) * k + 2 * p];
+      row[2 * n + 1] =
+          (2 * p + 1 < k) ? b[std::ptrdiff_t(n) * k + 2 * p + 1] : 0;
+    }
+  }
+}
 
 const char* KernelArchName(KernelArch arch) noexcept {
   switch (arch) {
     case KernelArch::kScalar: return "scalar";
     case KernelArch::kSse2: return "sse2";
+    case KernelArch::kAvx2: return "avx2";
     case KernelArch::kNeon: return "neon";
   }
   return "unknown";
@@ -172,6 +238,7 @@ bool ArchCompiled(KernelArch arch) noexcept {
   switch (arch) {
     case KernelArch::kScalar: return true;
     case KernelArch::kSse2: return Sse2KernelTable() != nullptr;
+    case KernelArch::kAvx2: return Avx2KernelTable() != nullptr;
     case KernelArch::kNeon: return NeonKernelTable() != nullptr;
   }
   return false;
@@ -179,9 +246,11 @@ bool ArchCompiled(KernelArch arch) noexcept {
 
 bool ArchSupported(KernelArch arch) noexcept {
   if (!ArchCompiled(arch)) return false;
-  // A binary compiled for NEON only runs on NEON hardware; SSE2 presence is
-  // CPUID-verified so a generic x86 build stays safe on ancient cores.
+  // A binary compiled for NEON only runs on NEON hardware; SSE2/AVX2
+  // presence is CPUID-verified so a generic x86 build stays safe on cores
+  // that lack the wider ISA.
   if (arch == KernelArch::kSse2) return CpuSupportsSse2();
+  if (arch == KernelArch::kAvx2) return CpuSupportsAvx2();
   return true;
 }
 
@@ -190,6 +259,9 @@ const KernelTable& KernelsFor(KernelArch arch) noexcept {
     case KernelArch::kScalar: break;
     case KernelArch::kSse2:
       if (const KernelTable* t = Sse2KernelTable()) return *t;
+      break;
+    case KernelArch::kAvx2:
+      if (const KernelTable* t = Avx2KernelTable()) return *t;
       break;
     case KernelArch::kNeon:
       if (const KernelTable* t = NeonKernelTable()) return *t;
@@ -201,6 +273,7 @@ const KernelTable& KernelsFor(KernelArch arch) noexcept {
 std::vector<KernelArch> CompiledArches() {
   std::vector<KernelArch> arches{KernelArch::kScalar};
   if (ArchCompiled(KernelArch::kSse2)) arches.push_back(KernelArch::kSse2);
+  if (ArchCompiled(KernelArch::kAvx2)) arches.push_back(KernelArch::kAvx2);
   if (ArchCompiled(KernelArch::kNeon)) arches.push_back(KernelArch::kNeon);
   return arches;
 }
@@ -210,9 +283,26 @@ bool ScalarForcedByEnv() noexcept {
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
+bool KernelArchFromEnv(KernelArch* out) noexcept {
+  if (const char* v = std::getenv("SIEVE_KERNEL_ARCH")) {
+    if (std::strcmp(v, "scalar") == 0) { *out = KernelArch::kScalar; return true; }
+    if (std::strcmp(v, "sse2") == 0)   { *out = KernelArch::kSse2;   return true; }
+    if (std::strcmp(v, "avx2") == 0)   { *out = KernelArch::kAvx2;   return true; }
+    if (std::strcmp(v, "neon") == 0)   { *out = KernelArch::kNeon;   return true; }
+    return false;  // malformed: ignored, hardware-best wins
+  }
+  if (ScalarForcedByEnv()) {
+    *out = KernelArch::kScalar;
+    return true;
+  }
+  return false;
+}
+
 KernelArch BestArch() noexcept {
-  if (ScalarForcedByEnv()) return KernelArch::kScalar;
+  KernelArch forced;
+  if (KernelArchFromEnv(&forced) && ArchSupported(forced)) return forced;
   if (ArchSupported(KernelArch::kNeon)) return KernelArch::kNeon;
+  if (ArchSupported(KernelArch::kAvx2)) return KernelArch::kAvx2;
   if (ArchSupported(KernelArch::kSse2)) return KernelArch::kSse2;
   return KernelArch::kScalar;
 }
@@ -236,6 +326,10 @@ KernelArch ActiveArch() noexcept {
   if (ArchCompiled(KernelArch::kSse2) &&
       table == &KernelsFor(KernelArch::kSse2)) {
     return KernelArch::kSse2;
+  }
+  if (ArchCompiled(KernelArch::kAvx2) &&
+      table == &KernelsFor(KernelArch::kAvx2)) {
+    return KernelArch::kAvx2;
   }
   if (ArchCompiled(KernelArch::kNeon) &&
       table == &KernelsFor(KernelArch::kNeon)) {

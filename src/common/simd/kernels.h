@@ -16,9 +16,11 @@
 //
 //  * Dispatch is compile-time gated (each arch TU compiles to a stub
 //    returning nullptr when its ISA is unavailable) plus runtime-verified
-//    (CPUID on x86). The SIEVE_FORCE_SCALAR environment variable — set and
-//    not "0" — pins the scalar table, and SetActiveKernels() overrides both
-//    for tests and tools.
+//    (CPUID on x86). The SIEVE_KERNEL_ARCH environment variable
+//    (scalar|sse2|avx2|neon) pins any compiled-in, CPU-supported table;
+//    SIEVE_FORCE_SCALAR — set and not "0" — remains as a legacy alias for
+//    SIEVE_KERNEL_ARCH=scalar. SetActiveKernels() overrides both for tests
+//    and tools.
 //
 //  * This layer sits at the bottom of the dependency graph (raw pointers and
 //    strides only, no media/codec types) so media/ and codec/ can both call
@@ -27,6 +29,7 @@
 // See docs/perf.md ("The SIMD kernel layer") for how to add a kernel.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -40,7 +43,7 @@ inline constexpr int kBlockLen = kBlockDim * kBlockDim;
 /// elements (== bytes for the uint8 SAD inputs). All pointers must be valid
 /// for the full extent they describe; transform pointers must not alias.
 struct KernelTable {
-  const char* name;  ///< "scalar" | "sse2" | "neon"
+  const char* name;  ///< "scalar" | "sse2" | "avx2" | "neon"
 
   /// Sum of absolute differences over one row of `w` pixels.
   std::uint32_t (*sad_row)(const std::uint8_t* a, const std::uint8_t* b, int w);
@@ -74,9 +77,35 @@ struct KernelTable {
   /// out[i] = float(in[i]) * float(step[i]).
   void (*dequantize8x8)(const std::int32_t* in, const std::int32_t* step,
                         float* out);
+
+  /// Quantized GEMM microkernel: for each row i in [0, m),
+  /// out[i*ldo + n] = sum_{p<k} int32(a[i*lda + p]) * int32(b[p][n]) for n
+  /// in [0, n_cols). `a` holds m rows of k unsigned-8-bit quantized
+  /// activations with row stride `lda`; `b_packed` holds signed-8-bit
+  /// weights in the k-pair interleaved layout produced by PackGemmB. The
+  /// vector tables tile m (4 rows per B-panel pass) so the weight panel is
+  /// loaded once per tile instead of once per row — that, not the 8-bit
+  /// multiplies alone, is where the int8 speedup over fp32 comes from. All
+  /// arithmetic is exact 32-bit integer math (no saturating widening
+  /// multiplies), so every table returns identical accumulators regardless
+  /// of tiling. Safe for k <= 2^16 (the worst case 255 * 128 * 2^16 stays
+  /// inside int32).
+  void (*gemm_u8s8)(const std::uint8_t* a, int lda, int m,
+                    const std::int8_t* b_packed, int k, int n_cols,
+                    std::int32_t* out, int ldo);
+
+  /// Activation quantizer: out[i] = clamp(trunc(x[i] * inv_scale + bias),
+  /// 0, 255) where bias = zero_point + 0.5 — i.e. round half up for the
+  /// values that survive the clamp (truncation equals floor once the value
+  /// is >= 0, and every negative value clamps to 0 either way). The
+  /// multiply and add are single IEEE float ops and the truncating convert
+  /// is the same cvtt on every lane width, so all tables produce identical
+  /// codes. Inputs must be finite.
+  void (*quantize_act_u8)(const float* x, std::size_t len, float inv_scale,
+                          float bias, std::uint8_t* out);
 };
 
-enum class KernelArch { kScalar, kSse2, kNeon };
+enum class KernelArch { kScalar, kSse2, kAvx2, kNeon };
 
 const char* KernelArchName(KernelArch arch) noexcept;
 
@@ -94,10 +123,32 @@ const KernelTable& KernelsFor(KernelArch arch) noexcept;
 /// All architectures compiled into this binary (always includes kScalar).
 std::vector<KernelArch> CompiledArches();
 
+/// Element count of the packed B buffer gemm_u8s8 consumes for a k × n_cols
+/// weight matrix: ((k + 1) / 2) * n_cols * 2 (odd k is zero-padded).
+std::size_t PackedGemmBSize(int k, int n_cols) noexcept;
+
+/// Packs a row-major [n_cols][k] signed-int8 weight matrix (b[n * k + p] is
+/// output column n, reduction index p) into the k-pair interleaved layout
+/// gemm_u8s8 consumes: packed[(p2 * n_cols + n) * 2 + j] = b[n][2*p2 + j],
+/// with the odd tail element zero-padded. `packed` must hold
+/// PackedGemmBSize(k, n_cols) elements.
+void PackGemmB(const std::int8_t* b, int k, int n_cols,
+               std::int8_t* packed) noexcept;
+
 /// True if SIEVE_FORCE_SCALAR is set in the environment (and not "0").
+/// Legacy alias for SIEVE_KERNEL_ARCH=scalar.
 bool ScalarForcedByEnv() noexcept;
 
-/// The best supported architecture, honoring SIEVE_FORCE_SCALAR.
+/// Parses the SIEVE_KERNEL_ARCH environment override
+/// ("scalar"|"sse2"|"avx2"|"neon"). Returns true and writes `*out` when the
+/// variable is set to a recognized name; malformed values are ignored. When
+/// SIEVE_KERNEL_ARCH is unset, SIEVE_FORCE_SCALAR (set and not "0") reports
+/// kScalar, as before.
+bool KernelArchFromEnv(KernelArch* out) noexcept;
+
+/// The best supported architecture, honoring SIEVE_KERNEL_ARCH /
+/// SIEVE_FORCE_SCALAR. An env override naming an unsupported or uncompiled
+/// arch is ignored (the hardware-best table is used instead).
 KernelArch BestArch() noexcept;
 
 /// The table the hot paths dispatch through. Resolved on first use from
@@ -105,7 +156,7 @@ KernelArch BestArch() noexcept;
 const KernelTable& ActiveKernels() noexcept;
 
 /// Override the active table (tests, tools, A/B benches). Takes precedence
-/// over SIEVE_FORCE_SCALAR; falls back to scalar if `arch` is not compiled
+/// over the environment overrides; falls back to scalar if `arch` is not compiled
 /// in. Not intended to be raced against in-flight encodes — switch between
 /// them.
 void SetActiveKernels(KernelArch arch) noexcept;

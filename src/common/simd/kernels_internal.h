@@ -23,9 +23,10 @@ struct DctTables {
 const DctTables& Tables() noexcept;
 
 /// Per-architecture tables; nullptr when the ISA was not compiled in. The
-/// SSE2/NEON TUs always compile (their bodies are preprocessor-gated), so
-/// these symbols always link.
+/// SSE2/AVX2/NEON TUs always compile (their bodies are preprocessor-gated),
+/// so these symbols always link.
 const KernelTable* Sse2KernelTable() noexcept;
+const KernelTable* Avx2KernelTable() noexcept;
 const KernelTable* NeonKernelTable() noexcept;
 
 }  // namespace sieve::simd

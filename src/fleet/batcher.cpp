@@ -44,7 +44,8 @@ double InferenceBatcher::OldestAgeMs(
 }
 
 void InferenceBatcher::Submit(std::uint64_t camera, std::size_t split,
-                              nn::Tensor activation, DoneFn done) {
+                              nn::Tensor activation, nn::Precision precision,
+                              DoneFn done) {
   const nn::Network& net = classifier_.network();
   if (split > net.LayerCount() ||
       !(activation.shape() == net.ShapeAtLayer(split))) {
@@ -60,9 +61,9 @@ void InferenceBatcher::Submit(std::uint64_t camera, std::size_t split,
       done(Status::Cancelled("batcher: stopped"), 0);
       return;
     }
-    pending_[split].push_back(Item{std::move(activation), camera,
-                                   std::move(done),
-                                   std::chrono::steady_clock::now()});
+    pending_[BatchKey{split, precision}].push_back(
+        Item{std::move(activation), camera, std::move(done),
+             std::chrono::steady_clock::now()});
     ++pending_total_;
     ++stats_.submitted;
     stats_.peak_pending = std::max(stats_.peak_pending, pending_total_);
@@ -91,7 +92,7 @@ void InferenceBatcher::FlusherLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     // --- Pick the next flush (or sleep until one is due) -------------------
-    std::size_t flush_split = 0;
+    BatchKey flush_key{0, nn::Precision::kFp32};
     bool found = false;
     for (;;) {
       if (pending_total_ == 0) {
@@ -105,11 +106,11 @@ void InferenceBatcher::FlusherLoop() {
       const bool forced = stop_ || force_flush_;
       std::chrono::steady_clock::time_point earliest{};
       bool have_earliest = false;
-      for (const auto& [split, queue] : pending_) {
+      for (const auto& [key, queue] : pending_) {
         if (queue.empty()) continue;
         if (forced ||
             scheduler_.ShouldFlush(queue.size(), OldestAgeMs(queue, now))) {
-          flush_split = split;
+          flush_key = key;
           found = true;
           break;
         }
@@ -130,7 +131,7 @@ void InferenceBatcher::FlusherLoop() {
     }
 
     // --- Extract the batch (fairness-planned FIFO prefix) ------------------
-    std::deque<Item>& queue = pending_[flush_split];
+    std::deque<Item>& queue = pending_[flush_key];
     std::vector<std::uint64_t> cameras;
     cameras.reserve(queue.size());
     for (const Item& item : queue) cameras.push_back(item.camera);
@@ -144,7 +145,7 @@ void InferenceBatcher::FlusherLoop() {
       queue.erase(queue.begin() + std::ptrdiff_t(*it));
     }
     std::reverse(batch.begin(), batch.end());
-    if (queue.empty()) pending_.erase(flush_split);
+    if (queue.empty()) pending_.erase(flush_key);
     const std::size_t n = batch.size();
     pending_total_ -= n;
     in_flight_ = n;
@@ -166,7 +167,8 @@ void InferenceBatcher::FlusherLoop() {
     activations.reserve(n);
     for (Item& item : batch) activations.push_back(std::move(item.activation));
     std::vector<Expected<synth::LabelSet>> predictions =
-        classifier_.PredictBatch(std::move(activations), flush_split);
+        classifier_.PredictBatch(std::move(activations), flush_key.first,
+                                 flush_key.second);
     for (std::size_t i = 0; i < n; ++i) {
       batch[i].done(std::move(predictions[i]), n);
     }

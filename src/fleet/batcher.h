@@ -3,11 +3,14 @@
 // Many camera sessions deliver cut-point activations (stills decode to the
 // split-0 activation) to one cloud; running each through ForwardSuffix alone
 // re-streams the suffix weights through cache per frame. The InferenceBatcher
-// instead collects delivered activations keyed by their split point, flushes
-// a batch when a FleetSchedulerPolicy says so (size threshold, or a deadline
-// so lightly loaded fleets keep their latency bound), runs ONE
-// FrameClassifier::PredictBatch pass per flush, and routes every prediction
-// back to its session through a per-sample completion callback.
+// instead collects delivered activations keyed by (split point, inference
+// precision), flushes a batch when a FleetSchedulerPolicy says so (size
+// threshold, or a deadline so lightly loaded fleets keep their latency
+// bound), runs ONE FrameClassifier::PredictBatch pass per flush, and routes
+// every prediction back to its session through a per-sample completion
+// callback. Precision is part of the key so a fleet mixing int8 and fp32
+// sessions never cross-batches: each sample rides a pass at exactly the
+// precision its session asked for.
 //
 // The batch is invisible to correctness: PredictBatch is bit-exact per
 // sample vs the per-frame path (see Layer::ForwardBatch), so a camera's
@@ -27,9 +30,12 @@
 #include <mutex>
 #include <thread>
 
+#include <utility>
+
 #include "common/status.h"
 #include "fleet/scheduler.h"
 #include "nn/classifier.h"
+#include "nn/precision.h"
 #include "runtime/executor.h"
 #include "synth/labels.h"
 
@@ -74,13 +80,22 @@ class InferenceBatcher {
   InferenceBatcher(const InferenceBatcher&) = delete;
   InferenceBatcher& operator=(const InferenceBatcher&) = delete;
 
-  /// Queue one activation for the batched suffix pass at `split`. `camera`
-  /// is the fairness key (one value per session). Blocks while the pending
-  /// window is full. An activation whose shape does not match the network's
-  /// ShapeAtLayer(split) is rejected immediately: `done` fires on the
-  /// calling thread with the error and batch_size 0.
+  /// Queue one activation for the batched suffix pass at `split`, run at
+  /// `precision` (samples only ever batch with others at the same split AND
+  /// precision). `camera` is the fairness key (one value per session).
+  /// Blocks while the pending window is full. An activation whose shape
+  /// does not match the network's ShapeAtLayer(split) is rejected
+  /// immediately: `done` fires on the calling thread with the error and
+  /// batch_size 0.
   void Submit(std::uint64_t camera, std::size_t split, nn::Tensor activation,
-              DoneFn done);
+              nn::Precision precision, DoneFn done);
+
+  /// Back-compat convenience: fp32 submit.
+  void Submit(std::uint64_t camera, std::size_t split, nn::Tensor activation,
+              DoneFn done) {
+    Submit(camera, split, std::move(activation), nn::Precision::kFp32,
+           std::move(done));
+  }
 
   /// Force-flush everything queued, ignoring size/deadline policy. Async:
   /// sets the flush flag and returns; the flusher drains promptly. The
@@ -98,6 +113,10 @@ class InferenceBatcher {
   const FleetScheduler& scheduler() const noexcept { return scheduler_; }
 
  private:
+  /// What one flush runs: every sample in a batch shares the split (shape
+  /// compatibility) and the precision (one PredictBatch mode per pass).
+  using BatchKey = std::pair<std::size_t, nn::Precision>;
+
   struct Item {
     nn::Tensor activation;
     std::uint64_t camera = 0;
@@ -118,7 +137,7 @@ class InferenceBatcher {
   std::condition_variable work_cv_;   ///< wakes the flusher
   std::condition_variable space_cv_;  ///< wakes blocked submitters
   std::condition_variable idle_cv_;   ///< wakes Drain
-  std::map<std::size_t, std::deque<Item>> pending_;  ///< batch key: split
+  std::map<BatchKey, std::deque<Item>> pending_;  ///< (split, precision)
   std::size_t pending_total_ = 0;
   std::size_t in_flight_ = 0;  ///< samples inside the current flush
   bool force_flush_ = false;

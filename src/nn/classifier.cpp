@@ -1,5 +1,6 @@
 #include "nn/classifier.h"
 
+#include <cmath>
 #include <limits>
 
 #include "media/image_ops.h"
@@ -29,8 +30,9 @@ Tensor FrameClassifier::InputTensor(const media::Frame& frame) const {
   return input;
 }
 
-std::vector<float> FrameClassifier::Embed(const media::Frame& frame) const {
-  return network_.Forward(InputTensor(frame)).values();
+std::vector<float> FrameClassifier::Embed(const media::Frame& frame,
+                                          Precision precision) const {
+  return network_.Forward(InputTensor(frame), precision).values();
 }
 
 Status FrameClassifier::Fit(const std::vector<media::Frame>& frames,
@@ -79,35 +81,59 @@ Expected<synth::LabelSet> FrameClassifier::PredictFromEmbedding(
   return synth::LabelSet(best_key);
 }
 
+double FrameClassifier::PredictionMargin(
+    const std::vector<float>& embedding) const {
+  if (centroids_.empty()) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  double second = std::numeric_limits<double>::max();
+  for (const auto& [key, centroid] : centroids_) {
+    const double d = SquaredDistance(embedding, centroid);
+    if (d < best) {
+      second = best;
+      best = d;
+    } else if (d < second) {
+      second = d;
+    }
+  }
+  if (second == std::numeric_limits<double>::max()) return 1.0;
+  double norm_sq = 0.0;
+  for (float v : embedding) norm_sq += double(v) * double(v);
+  const double norm = std::sqrt(norm_sq);
+  if (norm <= 0.0) return 0.0;
+  return (std::sqrt(second) - std::sqrt(best)) / (2.0 * norm);
+}
+
 std::vector<Expected<synth::LabelSet>> FrameClassifier::PredictBatch(
-    std::vector<Tensor> activations, std::size_t split) const {
+    std::vector<Tensor> activations, std::size_t split,
+    Precision precision) const {
   std::vector<Expected<synth::LabelSet>> out;
   out.reserve(activations.size());
   if (activations.empty()) return out;
   std::vector<Tensor> embeddings =
-      network_.ForwardSuffixBatch(std::move(activations), split);
+      network_.ForwardSuffixBatch(std::move(activations), split, precision);
   for (const Tensor& e : embeddings) {
     out.push_back(PredictFromEmbedding(e.values()));
   }
   return out;
 }
 
-Expected<synth::LabelSet> FrameClassifier::Predict(
-    const media::Frame& frame) const {
+Expected<synth::LabelSet> FrameClassifier::Predict(const media::Frame& frame,
+                                                   Precision precision) const {
   if (centroids_.empty()) {
     return Status::Precondition("Predict: classifier not fitted");
   }
-  return PredictFromEmbedding(Embed(frame));
+  return PredictFromEmbedding(Embed(frame, precision));
 }
 
 double FrameClassifier::Evaluate(const std::vector<media::Frame>& frames,
                                  const synth::GroundTruth& truth,
-                                 std::size_t stride) const {
+                                 std::size_t stride,
+                                 Precision precision) const {
   stride = std::max<std::size_t>(1, stride);
   std::size_t total = 0, correct = 0;
   for (std::size_t i = 0; i < frames.size() && i < truth.frame_count();
        i += stride) {
-    auto predicted = Predict(frames[i]);
+    auto predicted = Predict(frames[i], precision);
     if (predicted.ok() && *predicted == truth.label(i)) ++correct;
     ++total;
   }

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/precision.h"
+#include "nn/quantize.h"
 #include "nn/tensor.h"
 
 namespace sieve::nn {
@@ -37,6 +39,26 @@ class Layer {
   /// per-element accumulation order is batch-size-invariant.
   virtual void ForwardBatch(std::vector<Tensor>& batch) const {
     for (Tensor& t : batch) ForwardInPlace(t);
+  }
+  /// Precision-aware forward. The default ignores the precision and runs the
+  /// fp32 path — correct for every layer without a quantized implementation
+  /// (elementwise/pooling layers run fp32 even inside an int8 pass; only the
+  /// GEMM-shaped layers — Conv2D, Linear — override this with an int8 path).
+  virtual void ForwardInPlace(Tensor& t, Precision precision) const {
+    (void)precision;
+    ForwardInPlace(t);
+  }
+  /// Precision-aware batched forward. fp32 routes to the (possibly
+  /// batched-fast-path) fp32 overload; int8 runs samples one by one, which
+  /// keeps the per-sample bit-exactness contract trivially (each sample's
+  /// dynamic activation scale depends only on that sample).
+  virtual void ForwardBatch(std::vector<Tensor>& batch,
+                            Precision precision) const {
+    if (precision == Precision::kFp32) {
+      ForwardBatch(batch);
+      return;
+    }
+    for (Tensor& t : batch) ForwardInPlace(t, precision);
   }
   /// Approximate multiply-accumulate count for one forward pass (cost model
   /// input for the partitioner and the DES calibration).
@@ -67,22 +89,40 @@ class Conv2D : public Layer {
   /// independent k-ascending dot product whose accumulation order does not
   /// depend on M (see Gemm in nn/tensor.h).
   void ForwardBatch(std::vector<Tensor>& batch) const override;
+  using Layer::ForwardInPlace;  // keep the 1-arg fp32 overload visible
+  /// Int8 path: the input is quantized once (dynamic per-tensor scale), the
+  /// im2col gather runs on uint8 codes (padding = zero_point), and each
+  /// output pixel's channels come from one gemm_u8s8 microkernel call
+  /// against the cached per-channel-quantized weight panel. See
+  /// nn/quantize.h for the dequantization identity.
+  void ForwardInPlace(Tensor& t, Precision precision) const override;
   std::uint64_t Macs(const Shape& input) const override;
 
   int in_channels() const noexcept { return in_c_; }
   int out_channels() const noexcept { return out_c_; }
-  /// Mutable weight access invalidates the cached transposed copy; the next
-  /// Forward re-derives it once. The invalidation happens at this call, so
-  /// do not retain the reference across a Forward and mutate it afterwards —
-  /// re-call weights() for every round of mutation.
+  /// Mutable weight access invalidates the cached transposed copy AND the
+  /// cached int8 weight panel; the next Forward at each precision re-derives
+  /// its cache once. The invalidation happens at this call, so do not retain
+  /// the reference across a Forward and mutate it afterwards — re-call
+  /// weights() for every round of mutation.
   std::vector<float>& weights() noexcept {
     wt_dirty_.store(true, std::memory_order_release);
+    qw_dirty_.store(true, std::memory_order_release);
     return weights_;
   }
   std::vector<float>& bias() noexcept { return bias_; }
 
  private:
   void RebuildTransposedWeights() const;
+  void RebuildQuantizedWeights() const;
+  Tensor ForwardInt8(const Tensor& input) const;
+  /// Quantized im2col twin: gathers uint8 codes from the pre-quantized
+  /// input plane, writing `zero_point` into padded positions. `cols` must
+  /// have one byte of slack past oh*ow*patch — the interior 3x3 fast path
+  /// uses overlapped 4-byte copies whose last spill byte lands there.
+  void Im2ColU8(const std::uint8_t* qinput, const Shape& in_shape,
+                const Shape& out_shape, std::uint8_t pad_code,
+                std::uint8_t* cols) const;
   /// Fill `cols` ([oh*ow x patch], row-major) with the im2col expansion of
   /// one input. Shared by Forward and ForwardBatch so both paths lay out
   /// bit-identical GEMM operands.
@@ -101,6 +141,10 @@ class Conv2D : public Layer {
   mutable std::vector<float> wt_;
   mutable std::atomic<bool> wt_dirty_{false};
   mutable std::mutex wt_mutex_;
+  // Int8 weight panel (packed for gemm_u8s8), built lazily on the first
+  // int8 forward and after weight mutation, under the same mutex.
+  mutable QuantizedWeights qw_;
+  mutable std::atomic<bool> qw_dirty_{true};
 };
 
 /// Inference-time batch normalization: y = gamma * (x - mean)/sqrt(var+eps) + beta,
@@ -112,6 +156,7 @@ class BatchNorm : public Layer {
   std::string name() const override { return "batchnorm"; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  using Layer::ForwardInPlace;
   void ForwardInPlace(Tensor& t) const override;
   std::uint64_t Macs(const Shape& input) const override {
     return input.elements();
@@ -128,6 +173,7 @@ class LeakyRelu : public Layer {
   std::string name() const override { return "leaky_relu"; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  using Layer::ForwardInPlace;
   void ForwardInPlace(Tensor& t) const override;
   std::uint64_t Macs(const Shape& input) const override {
     return input.elements();
@@ -170,12 +216,18 @@ class Linear : public Layer {
   std::string name() const override;
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  using Layer::ForwardInPlace;  // keep the 1-arg fp32 overload visible
+  /// Int8 path: one gemm_u8s8 call over the quantized input vector against
+  /// the per-channel-quantized weight panel (built once at construction —
+  /// Linear weights are immutable after the seeded init).
+  void ForwardInPlace(Tensor& t, Precision precision) const override;
   std::uint64_t Macs(const Shape& input) const override;
 
  private:
   int in_f_, out_f_;
   std::vector<float> weights_;  ///< [out][in]
   std::vector<float> bias_;
+  QuantizedWeights qw_;  ///< packed int8 twin of weights_
 };
 
 class Softmax : public Layer {
@@ -183,6 +235,7 @@ class Softmax : public Layer {
   std::string name() const override { return "softmax"; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  using Layer::ForwardInPlace;
   void ForwardInPlace(Tensor& t) const override;
   std::uint64_t Macs(const Shape& input) const override {
     return input.elements() * 4;

@@ -4,25 +4,26 @@
 
 namespace sieve::nn {
 
-Tensor Network::Forward(const Tensor& input) const {
-  return ForwardRange(input, 0, layers_.size());
+Tensor Network::Forward(const Tensor& input, Precision precision) const {
+  return ForwardRange(input, 0, layers_.size(), precision);
 }
 
 Tensor Network::ForwardRange(const Tensor& input, std::size_t begin,
-                             std::size_t end) const {
+                             std::size_t end, Precision precision) const {
   Tensor cur = input;
   for (std::size_t i = begin; i < end && i < layers_.size(); ++i) {
     // Element-wise layers mutate cur's buffer; the rest fall back to Forward.
-    layers_[i]->ForwardInPlace(cur);
+    layers_[i]->ForwardInPlace(cur, precision);
   }
   return cur;
 }
 
 std::vector<Tensor> Network::ForwardRangeBatch(std::vector<Tensor> batch,
                                                std::size_t begin,
-                                               std::size_t end) const {
+                                               std::size_t end,
+                                               Precision precision) const {
   for (std::size_t i = begin; i < end && i < layers_.size(); ++i) {
-    layers_[i]->ForwardBatch(batch);
+    layers_[i]->ForwardBatch(batch, precision);
   }
   return batch;
 }
@@ -51,7 +52,8 @@ std::vector<LayerProfile> Network::Profile() const {
   return profile;
 }
 
-std::vector<LayerProfile> Network::ProfileLayers(int iterations) const {
+std::vector<LayerProfile> Network::ProfileLayers(int iterations,
+                                                 Precision precision) const {
   std::vector<LayerProfile> profile = Profile();
   Tensor input(input_shape_);
   // Deterministic non-trivial input so timings exercise real data paths.
@@ -64,7 +66,7 @@ std::vector<LayerProfile> Network::ProfileLayers(int iterations) const {
       // Time the same entry point the inference loop uses: element-wise
       // layers run in place, so their timings carry no copy overhead.
       Stopwatch watch;
-      layers_[i]->ForwardInPlace(cur);
+      layers_[i]->ForwardInPlace(cur, precision);
       profile[i].measured_ms += watch.ElapsedMillis() / iterations;
     }
   }

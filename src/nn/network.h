@@ -38,43 +38,49 @@ class Network {
   /// Full forward pass. Const-thread-safe: conv scratch is thread-local and
   /// weight caches are internally synchronized, so any number of threads may
   /// run inference on one shared Network (the runtime's sessions all share
-  /// one classifier this way).
-  Tensor Forward(const Tensor& input) const;
+  /// one classifier this way). `precision` selects fp32 (default) or the
+  /// int8 quantized path (see nn/quantize.h) for the GEMM-shaped layers.
+  Tensor Forward(const Tensor& input,
+                 Precision precision = Precision::kFp32) const;
 
   /// Forward through layers [begin, end).
-  Tensor ForwardRange(const Tensor& input, std::size_t begin,
-                      std::size_t end) const;
+  Tensor ForwardRange(const Tensor& input, std::size_t begin, std::size_t end,
+                      Precision precision = Precision::kFp32) const;
 
   /// Batched forward through layers [begin, end). Every sample must share
   /// one shape. Per-sample results are bit-identical to running
   /// ForwardRange on each input alone — each layer's ForwardBatch carries
   /// that contract (see Layer::ForwardBatch) — so batched cloud serving
   /// produces exactly the databases the per-frame path would.
-  std::vector<Tensor> ForwardRangeBatch(std::vector<Tensor> batch,
-                                        std::size_t begin,
-                                        std::size_t end) const;
+  std::vector<Tensor> ForwardRangeBatch(
+      std::vector<Tensor> batch, std::size_t begin, std::size_t end,
+      Precision precision = Precision::kFp32) const;
 
   /// The batched cloud half: layers [split, N) over many sessions'
   /// cut-point activations at the same split. Bit-exact per sample vs
   /// ForwardSuffix.
-  std::vector<Tensor> ForwardSuffixBatch(std::vector<Tensor> activations,
-                                         std::size_t split) const {
-    return ForwardRangeBatch(std::move(activations), split, layers_.size());
+  std::vector<Tensor> ForwardSuffixBatch(
+      std::vector<Tensor> activations, std::size_t split,
+      Precision precision = Precision::kFp32) const {
+    return ForwardRangeBatch(std::move(activations), split, layers_.size(),
+                             precision);
   }
 
   /// The edge half of a split forward pass: layers [0, split), returning the
   /// cut-point activation. split == 0 returns the input unchanged (all-cloud
   /// execution); split == LayerCount() runs the whole network at the edge.
-  Tensor ForwardPrefix(const Tensor& input, std::size_t split) const {
-    return ForwardRange(input, 0, split);
+  Tensor ForwardPrefix(const Tensor& input, std::size_t split,
+                       Precision precision = Precision::kFp32) const {
+    return ForwardRange(input, 0, split, precision);
   }
 
   /// The cloud half: layers [split, N) applied to the (possibly
   /// deserialized) cut-point activation. For every split,
   /// ForwardSuffix(ForwardPrefix(x, k), k) is bit-identical to Forward(x) —
   /// the layers run through the same in-place loop in the same order.
-  Tensor ForwardSuffix(const Tensor& activation, std::size_t split) const {
-    return ForwardRange(activation, split, layers_.size());
+  Tensor ForwardSuffix(const Tensor& activation, std::size_t split,
+                       Precision precision = Precision::kFp32) const {
+    return ForwardRange(activation, split, layers_.size(), precision);
   }
 
   /// The activation shape entering layer `split` (== input_shape() at 0,
@@ -86,10 +92,13 @@ class Network {
   /// input shape.
   std::vector<LayerProfile> Profile() const;
 
-  /// Profile + wall-clock per-layer timing averaged over `iterations` runs.
-  /// This is the measured input the Neurosurgeon-style planner
-  /// (nn/partition.h) consumes as PartitionInput::profile.
-  std::vector<LayerProfile> ProfileLayers(int iterations = 3) const;
+  /// Profile + wall-clock per-layer timing averaged over `iterations` runs,
+  /// at the given precision — an int8 session must be planned against int8
+  /// timings, not fp32 ones. This is the measured input the
+  /// Neurosurgeon-style planner (nn/partition.h) consumes as
+  /// PartitionInput::profile.
+  std::vector<LayerProfile> ProfileLayers(
+      int iterations = 3, Precision precision = Precision::kFp32) const;
 
  private:
   Shape input_shape_;

@@ -1,0 +1,96 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/simd/kernels.h"
+#include "nn/precision.h"
+
+namespace sieve::nn {
+
+const char* PrecisionName(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+QuantizedWeights QuantizeWeightsPerChannel(const float* w, int n, int k) {
+  QuantizedWeights out;
+  out.k = k;
+  out.n = n;
+  out.scales.resize(std::size_t(n));
+  out.row_sums.resize(std::size_t(n));
+  std::vector<std::int8_t> codes(std::size_t(n) * std::size_t(k));
+  for (int o = 0; o < n; ++o) {
+    const float* row = w + std::ptrdiff_t(o) * k;
+    float peak = 0.0f;
+    for (int p = 0; p < k; ++p) peak = std::max(peak, std::fabs(row[p]));
+    const float scale = peak > 0.0f ? peak / 127.0f : 1.0f;
+    out.scales[std::size_t(o)] = scale;
+    std::int32_t sum = 0;
+    std::int8_t* crow = codes.data() + std::ptrdiff_t(o) * k;
+    for (int p = 0; p < k; ++p) {
+      long q = std::lround(row[p] / scale);
+      q = std::clamp<long>(q, -127, 127);
+      crow[p] = std::int8_t(q);
+      sum += std::int32_t(q);
+    }
+    out.row_sums[std::size_t(o)] = sum;
+  }
+  out.packed.resize(simd::PackedGemmBSize(k, n));
+  simd::PackGemmB(codes.data(), k, n, out.packed.data());
+  return out;
+}
+
+ActivationQuant ChooseActivationQuant(const float* x,
+                                      std::size_t len) noexcept {
+  ActivationQuant q;
+  if (len == 0) return q;
+  // Four independent min/max chains; min/max over finite floats is order-
+  // independent, so this matches the single-chain scan exactly while
+  // breaking the serial dependency.
+  float lo0 = x[0], hi0 = x[0], lo1 = x[0], hi1 = x[0];
+  float lo2 = x[0], hi2 = x[0], lo3 = x[0], hi3 = x[0];
+  std::size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    lo0 = std::min(lo0, x[i]);
+    hi0 = std::max(hi0, x[i]);
+    lo1 = std::min(lo1, x[i + 1]);
+    hi1 = std::max(hi1, x[i + 1]);
+    lo2 = std::min(lo2, x[i + 2]);
+    hi2 = std::max(hi2, x[i + 2]);
+    lo3 = std::min(lo3, x[i + 3]);
+    hi3 = std::max(hi3, x[i + 3]);
+  }
+  float lo = std::min(std::min(lo0, lo1), std::min(lo2, lo3));
+  float hi = std::max(std::max(hi0, hi1), std::max(hi2, hi3));
+  for (; i < len; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  // Make sure 0 is representable: padding and the zero-point correction
+  // both assume code `zero_point` dequantizes to exactly 0.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  const float range = hi - lo;
+  q.scale = range > 0.0f ? range / 255.0f : 1.0f;
+  q.zero_point = std::int32_t(
+      std::clamp<long>(std::lround(-lo / q.scale), 0, 255));
+  return q;
+}
+
+void QuantizeActivations(const float* x, std::size_t len, ActivationQuant q,
+                         std::uint8_t* out) noexcept {
+  // Hot path — this runs over every activation of every conv input, so it
+  // goes through the vectorized kernel table. Truncation of
+  // (x * inv + zp + 0.5) equals floor — i.e. round half up — whenever the
+  // value is >= 0; negative values truncate toward zero, but every such
+  // code lands at or below 0 after the clamp either way, so the clamped
+  // result is identical (see quantize_act_u8 in common/simd/kernels.h).
+  simd::ActiveKernels().quantize_act_u8(x, len, 1.0f / q.scale,
+                                        float(q.zero_point) + 0.5f, out);
+}
+
+}  // namespace sieve::nn

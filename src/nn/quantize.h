@@ -1,0 +1,72 @@
+// Int8 quantization for Conv2D / Linear inference.
+//
+// Scheme (the "int8 quantization contract", also documented in
+// docs/perf.md):
+//
+//  * Weights: per-output-channel symmetric int8. For channel o,
+//    scale_w[o] = max|w[o][.]| / 127 and q_w[o][p] = lround(w[o][p] /
+//    scale_w[o]) clamped to [-127, 127]. Channels that are all zero get
+//    scale 1 (and all-zero codes).
+//  * Activations: dynamic per-tensor asymmetric uint8. scale_a =
+//    (max - min) / 255, zero_point = clamp(lround(-min / scale_a), 0, 255),
+//    q_a[i] = clamp(floor(x[i] * (1 / scale_a) + zero_point + 0.5), 0, 255)
+//    — round half up via the reciprocal, which is one multiply per element
+//    on the hot path. A constant tensor gets scale 1 so the mapping stays
+//    invertible.
+//  * Accumulation: acc[o] = sum_p q_a[p] * q_w[o][p] in exact int32 via the
+//    simd::KernelTable gemm_u8s8 microkernel. Dequantization applies the
+//    zero-point correction through the precomputed weight row sums:
+//      y[o] = scale_a * scale_w[o] * (acc[o] - zero_point * row_sum[o])
+//             + bias[o]
+//    Convolution padding must be written as `zero_point` in the quantized
+//    im2col (it dequantizes to exactly 0 and keeps the correction valid
+//    over the full reduction length).
+//
+// Determinism: the integer accumulators are bit-identical across every
+// kernel table (integer math is exact), and the surrounding float ops are
+// elementwise, so int8 inference results do not depend on the dispatch
+// choice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sieve::nn {
+
+/// Per-output-channel symmetric int8 weights, stored pre-packed in the
+/// layout simd::KernelTable::gemm_u8s8 consumes.
+struct QuantizedWeights {
+  std::vector<std::int8_t> packed;     ///< PackGemmB([n][k]) layout
+  std::vector<float> scales;           ///< [n] per-channel scale_w
+  std::vector<std::int32_t> row_sums;  ///< [n] sum_p q_w[n][p]
+  int k = 0;                           ///< reduction length
+  int n = 0;                           ///< output channels
+};
+
+/// Quantizes a row-major [n][k] float weight matrix (output-channel major —
+/// the natural layout of Conv2D::weights_ and Linear::weights_).
+QuantizedWeights QuantizeWeightsPerChannel(const float* w, int n, int k);
+
+/// Dynamic per-tensor activation parameters.
+struct ActivationQuant {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+/// Min/max scan over `x` choosing scale and zero point as documented above.
+ActivationQuant ChooseActivationQuant(const float* x, std::size_t len) noexcept;
+
+/// q[i] = clamp(floor(x[i] * (1 / scale) + zero_point + 0.5), 0, 255).
+void QuantizeActivations(const float* x, std::size_t len, ActivationQuant q,
+                         std::uint8_t* out) noexcept;
+
+/// The inverse map for one code: scale * (code - zero_point). Round-trip
+/// bound: |Dequantize(Quantize(x)) - x| <= scale / 2 for x inside the
+/// observed [min, max].
+inline float DequantizeActivation(std::uint8_t code,
+                                  ActivationQuant q) noexcept {
+  return q.scale * float(std::int32_t(code) - q.zero_point);
+}
+
+}  // namespace sieve::nn

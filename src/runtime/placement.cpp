@@ -50,9 +50,11 @@ nn::PartitionInput MeasurePlannerInput(const nn::FrameClassifier& classifier,
                                        int nn_input_size, int still_qp,
                                        const net::LinkModel& wan,
                                        double cloud_speedup,
-                                       int profile_iterations) {
+                                       int profile_iterations,
+                                       nn::Precision precision) {
   nn::PartitionInput input;
-  input.profile = classifier.network().ProfileLayers(profile_iterations);
+  input.profile =
+      classifier.network().ProfileLayers(profile_iterations, precision);
   // What split 0 actually ships: a transcoded still of the NN input frame.
   // Encode one (mid-grey + gradient, representative texture) and take its
   // real size.

@@ -23,6 +23,7 @@
 
 #include "net/link.h"
 #include "nn/partition.h"
+#include "nn/precision.h"
 
 namespace sieve::nn {
 class FrameClassifier;
@@ -63,12 +64,14 @@ PlacementPlan ResolvePlacement(PlacementMode mode,
 /// per-layer wall-clock profile plus the bytes split 0 actually ships (a
 /// transcoded still of the NN input frame, really encoded — not guessed
 /// from tensor sizes). This is the one implementation both the Runtime
-/// (kAuto opens, cached) and the bench (predicted-latency columns) use, so
-/// their predictions never diverge.
-nn::PartitionInput MeasurePlannerInput(const nn::FrameClassifier& classifier,
-                                       int nn_input_size, int still_qp,
-                                       const net::LinkModel& wan,
-                                       double cloud_speedup,
-                                       int profile_iterations = 2);
+/// (kAuto opens, cached per precision) and the bench (predicted-latency
+/// columns) use, so their predictions never diverge. `precision` selects
+/// the inference mode the layers are timed at: an int8 session's split
+/// must be planned against int8 timings.
+nn::PartitionInput MeasurePlannerInput(
+    const nn::FrameClassifier& classifier, int nn_input_size, int still_qp,
+    const net::LinkModel& wan, double cloud_speedup,
+    int profile_iterations = 2,
+    nn::Precision precision = nn::Precision::kFp32);
 
 }  // namespace sieve::runtime

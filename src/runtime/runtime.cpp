@@ -168,6 +168,7 @@ SessionReport SieveSession::Drain() {
   report.placement = plan->mode;
   report.nn_split = plan->split;
   report.predicted_total_ms = plan->predicted.total_ms;
+  report.precision = st.precision;
   report.wan_retries = st.wan_retries.load(std::memory_order_relaxed);
   report.wan_retransmit_bytes = st.edge_cloud_meter.retransmit_bytes();
   report.replans = st.replans.load(std::memory_order_relaxed);
@@ -320,10 +321,14 @@ void Runtime::BuildTiers() {
         }
         const nn::Tensor input = classifier_->InputTensor(*still);
         const std::size_t layers = classifier_->network().LayerCount();
+        // Session-fixed (unlike the split, which replans): the cloud suffix
+        // and the fleet batcher read the same field, so both halves of a
+        // split forward always run at one precision.
+        const nn::Precision precision = session->precision;
         dataflow::FlowFile out;
         if (split >= layers) {
           auto labels = classifier_->PredictFromEmbedding(
-              classifier_->network().Forward(input).values());
+              classifier_->network().Forward(input, precision).values());
           if (!labels.ok()) {
             session->RecordOutcome(file,
                                    internal::FrameOutcome::kDroppedCorrupt);
@@ -332,8 +337,8 @@ void Runtime::BuildTiers() {
           out.SetAttribute("kind", kKindLabel);
           out.SetU64("label_bits", labels->bits());
         } else {
-          out.payload() =
-              nn::SerializeTensor(classifier_->network().ForwardPrefix(input, split));
+          out.payload() = nn::SerializeTensor(
+              classifier_->network().ForwardPrefix(input, split, precision));
           out.SetAttribute("kind", kKindActivation);
           out.SetU64("split", split);
         }
@@ -457,7 +462,9 @@ void Runtime::BuildTiers() {
           }
         }
         auto predicted = classifier_->PredictFromEmbedding(
-            classifier_->network().ForwardSuffix(*activation, split).values());
+            classifier_->network()
+                .ForwardSuffix(*activation, split, session->precision)
+                .values());
         if (!predicted.ok()) {
           session->RecordOutcome(file, internal::FrameOutcome::kDroppedCorrupt);
           return std::nullopt;
@@ -495,6 +502,7 @@ void Runtime::BuildTiers() {
       // callback runs on the flusher thread after the batched pass.
       batcher_->Submit(
           camera_key, split, std::move(*activation),
+          session->precision,
           [session, file = std::move(file)](
               Expected<synth::LabelSet> label, std::size_t batch_size) mutable {
             if (!label.ok()) {
@@ -539,21 +547,24 @@ void Runtime::BuildTiers() {
 }
 
 nn::PartitionInput Runtime::PlannerInput(const SessionConfig& config) {
-  return PlannerInputForModel(config.wan_hint.value_or(config_.edge_to_cloud));
+  return PlannerInputForModel(config.wan_hint.value_or(config_.edge_to_cloud),
+                              config.precision);
 }
 
-nn::PartitionInput Runtime::PlannerInputForModel(const net::LinkModel& wan) {
+nn::PartitionInput Runtime::PlannerInputForModel(const net::LinkModel& wan,
+                                                 nn::Precision precision) {
   std::lock_guard<std::mutex> lock(planner_mutex_);
-  if (planner_profile_.empty()) {
-    nn::PartitionInput measured =
-        MeasurePlannerInput(*classifier_, config_.nn_input_size,
-                            config_.still_qp, wan, config_.cloud_speedup);
-    planner_profile_ = std::move(measured.profile);
-    planner_still_bytes_ = measured.input_bytes;
+  PlannerCacheEntry& entry = planner_cache_[precision];
+  if (entry.profile.empty()) {
+    nn::PartitionInput measured = MeasurePlannerInput(
+        *classifier_, config_.nn_input_size, config_.still_qp, wan,
+        config_.cloud_speedup, /*profile_iterations=*/2, precision);
+    entry.profile = std::move(measured.profile);
+    entry.still_bytes = measured.input_bytes;
   }
   nn::PartitionInput input;
-  input.profile = planner_profile_;
-  input.input_bytes = planner_still_bytes_;
+  input.profile = entry.profile;
+  input.input_bytes = entry.still_bytes;
   input.cloud_speedup = config_.cloud_speedup;
   input.bandwidth_mbps = wan.bandwidth_mbps;
   input.rtt_ms = wan.rtt_ms;
@@ -603,10 +614,10 @@ void Runtime::ApplyWanHealth(net::LinkHealth link) {
       // Replan against the measured link (loss folded into bandwidth and
       // RTT), never shipping more than the base plan would: the split can
       // only move toward the edge while the WAN is lossy.
-      const PlacementPlan planned =
-          ResolvePlacement(PlacementMode::kAuto,
-                           PlannerInputForModel(wan_.EffectiveModel()),
-                           layers, /*fixed_split=*/0);
+      const PlacementPlan planned = ResolvePlacement(
+          PlacementMode::kAuto,
+          PlannerInputForModel(wan_.EffectiveModel(), state->precision),
+          layers, /*fixed_split=*/0);
       next.split = std::max(state->base_plan.split, planned.split);
       next.predicted = planned.predicted;
       health = SessionHealth::kDegraded;
@@ -714,6 +725,7 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
     state = std::make_shared<internal::SessionState>(
         camera_id, route, header, config.queue_capacity,
         config_.camera_to_edge, config_.link_time_scale);
+    state->precision = config.precision;
     state->base_plan = plan;
     state->active_plan.store(std::make_shared<const PlacementPlan>(plan),
                              std::memory_order_release);

@@ -54,6 +54,7 @@
 #include "net/link.h"
 #include "net/transport.h"
 #include "nn/classifier.h"
+#include "nn/precision.h"
 #include "query/service.h"
 #include "runtime/executor.h"
 #include "runtime/placement.h"
@@ -176,6 +177,15 @@ struct SessionConfig {
   /// behind a weaker uplink than RuntimeConfig::edge_to_cloud). Activation
   /// bytes still cross the runtime's shared realized WAN hop.
   std::optional<net::LinkModel> wan_hint;
+  /// Inference precision for this session's classifier work — everywhere it
+  /// runs: the edge prefix/full forward, the cloud suffix, and the fleet
+  /// batcher's batched passes (which never mix precisions in one flush).
+  /// Fixed for the session's lifetime; the split may replan on WAN health,
+  /// the precision does not. kAuto placements are planned against per-layer
+  /// timings measured at this precision — an int8 session's split must come
+  /// from int8 numbers (see nn/precision.h and docs/perf.md for the int8
+  /// arithmetic contract).
+  nn::Precision precision = nn::Precision::kFp32;
 };
 
 /// Per-camera outcome, returned by SieveSession::Drain().
@@ -197,6 +207,9 @@ struct SessionReport {
   /// The planner's predicted end-to-end latency at the chosen split — the
   /// exact model that drove the decision. Nonzero only for kAuto sessions.
   double predicted_total_ms = 0.0;
+  /// The precision every inference for this session ran at (from
+  /// SessionConfig::precision).
+  nn::Precision precision = nn::Precision::kFp32;
 
   // --- Failure semantics (docs/runtime.md). Every pushed frame reconciles:
   //   frames_pushed == frames_stored_edge + frames_delivered + frames_dropped
@@ -277,6 +290,11 @@ struct SessionState {
                             ///< lets a reconnecting camera reuse its id while
                             ///< in-flight frames still reach the old session
   const codec::ContainerHeader header;  ///< edge decode parameters
+  /// Inference precision for every tier touching this session's frames.
+  /// Written once at OpenSession (before the state is published to the
+  /// registry) and never swapped, so stages read it without the plan-swap
+  /// barrier that splits need.
+  nn::Precision precision = nn::Precision::kFp32;
   PlacementPlan base_plan;  ///< resolved at OpenSession; restored on recovery
   /// The live plan (swapped by the runtime on WAN health transitions).
   std::atomic<std::shared_ptr<const PlacementPlan>> active_plan;
@@ -437,8 +455,10 @@ class Runtime {
   /// measured size of a transcoded still (what split 0 ships).
   nn::PartitionInput PlannerInput(const SessionConfig& config);
   /// Planner input against an explicit WAN model (replans use the measured
-  /// EffectiveModel instead of the configured one).
-  nn::PartitionInput PlannerInputForModel(const net::LinkModel& wan);
+  /// EffectiveModel instead of the configured one) at a given inference
+  /// precision (int8 sessions plan against int8 timings).
+  nn::PartitionInput PlannerInputForModel(const net::LinkModel& wan,
+                                          nn::Precision precision);
   /// Swap every open session's plan to match the given WAN health:
   /// kDown -> edge-only fallback, kDegraded -> replan against the measured
   /// link, kHealthy -> restore each session's base plan.
@@ -467,11 +487,17 @@ class Runtime {
   std::shared_ptr<query::QueryService> query_;
   Stopwatch epoch_;
 
-  // kAuto planner cache: measuring per-layer latencies costs a few forward
-  // passes, so the first auto session pays it and the rest reuse it.
+  // kAuto planner cache, keyed by inference precision: measuring per-layer
+  // latencies costs a few forward passes, so the first auto session at each
+  // precision pays it and the rest reuse it. Keying matters — int8 layer
+  // timings differ from fp32 by the quantized speedup, and a split planned
+  // against the wrong precision's profile would land at the wrong layer.
+  struct PlannerCacheEntry {
+    std::vector<nn::LayerProfile> profile;
+    std::size_t still_bytes = 0;
+  };
   std::mutex planner_mutex_;
-  std::vector<nn::LayerProfile> planner_profile_;
-  std::size_t planner_still_bytes_ = 0;
+  std::map<nn::Precision, PlannerCacheEntry> planner_cache_;
 
   // Reader-writer registry: every stage routes every frame through
   // FindSession (shared lock), while OpenSession/Shutdown mutations are

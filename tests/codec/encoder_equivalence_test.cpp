@@ -229,6 +229,67 @@ TEST(EncoderEquivalence, IntraFramePayloadAndReconIdenticalSerialVsParallel) {
   EXPECT_EQ(media::PlaneMse(recon_serial.v(), recon_parallel.v()), 0.0);
 }
 
+// Frame-level pipelining hands each frame's entropy sweep to a worker that
+// overlaps the next frame's pass 1. The container must stay byte-identical
+// to the synchronous path at every thread count, for mixed I/P and all-intra
+// streams (the keyframe decisions, pass-1 outputs, and per-frame models are
+// all unchanged — only *when* the serial sweep runs moves).
+TEST(EncoderEquivalence, PipelinedStreamIdenticalAcrossThreadCounts) {
+  const media::RawVideo video = MovingVideo(112, 80, 10, 71);
+
+  for (int gop : {1, 4}) {
+    auto encode = [&](bool pipeline, int threads) {
+      EncoderParams params = EncoderParams::Semantic(gop, 100);
+      params.pipeline = pipeline;
+      params.threads = threads;
+      auto encoded = VideoEncoder(params).Encode(video);
+      EXPECT_TRUE(encoded.ok());
+      return encoded.ok() ? encoded->bytes : std::vector<std::uint8_t>{};
+    };
+    const auto ref = encode(false, 1);
+    ASSERT_FALSE(ref.empty());
+    for (int threads : {1, 2, 3, 0}) {
+      EXPECT_EQ(ref, encode(true, threads))
+          << "pipelined bitstream differs: gop " << gop << " threads "
+          << threads;
+    }
+  }
+}
+
+// PushFramePipelined completes records one frame behind; Finish() joins the
+// tail. The drained records and final container must match the synchronous
+// batch encode exactly, and mixing a synchronous PushFrame into a pipelined
+// stream must drain the in-flight frame first (container order preserved).
+TEST(EncoderEquivalence, PipelinedRecordsDrainInOrder) {
+  const media::RawVideo video = MovingVideo(96, 64, 6, 73);
+  const EncoderParams params = EncoderParams::Semantic(3, 100);
+  const auto batch = VideoEncoder(params).Encode(video);
+  ASSERT_TRUE(batch.ok());
+
+  EncoderParams pipelined = params;
+  pipelined.pipeline = true;
+  StreamingEncoder streaming(pipelined, 96, 64, video.fps);
+  std::vector<FrameRecord> drained;
+  for (std::size_t i = 0; i + 1 < video.frames.size(); ++i) {
+    ASSERT_TRUE(streaming.PushFramePipelined(video.frames[i], &drained).ok());
+    EXPECT_EQ(drained.size(), i) << "records must drain one frame behind";
+  }
+  // Last frame via the synchronous path: it must first land the pipelined
+  // frame still in flight, then its own record.
+  auto last = streaming.PushFrame(video.frames.back());
+  ASSERT_TRUE(last.ok());
+  const EncodedVideo out = streaming.Finish();
+  EXPECT_EQ(out.bytes, batch->bytes);
+  ASSERT_EQ(out.records.size(), video.frames.size());
+  ASSERT_EQ(drained.size(), video.frames.size() - 2);
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].payload_offset, out.records[i].payload_offset);
+    EXPECT_EQ(drained[i].payload_size, out.records[i].payload_size);
+    EXPECT_EQ(drained[i].type, out.records[i].type);
+  }
+  EXPECT_EQ(last->payload_offset, out.records.back().payload_offset);
+}
+
 // The WAN-shipped still images must also be executor-independent.
 TEST(EncoderEquivalence, StillBytesIdenticalSerialVsParallel) {
   const media::RawVideo video = MovingVideo(96, 64, 1, 61);

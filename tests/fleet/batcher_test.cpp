@@ -223,6 +223,51 @@ TEST(InferenceBatcher, PerCameraCallbackOrderSurvivesConcurrentSubmitters) {
   }
 }
 
+TEST(InferenceBatcher, MixedPrecisionsNeverCrossBatch) {
+  const nn::FrameClassifier& classifier = SharedClassifier();
+  const nn::Network& net = classifier.network();
+  const std::size_t split = net.LayerCount() / 2;
+
+  runtime::SerialExecutor executor;
+  FleetSchedulerPolicy policy;
+  policy.batch_max = 4;
+  policy.deadline_ms = 60'000.0;  // size-only: a mixed batch would reach 4
+  Collector collector;
+  std::vector<std::uint32_t> expected_bits(8);
+  {
+    InferenceBatcher batcher(classifier, executor, policy);
+    // Interleave fp32 and int8 submissions. With precision in the batch
+    // key, each mode fills its own 4-slot batch; without it the first four
+    // interleaved samples would flush as one mixed batch and the int8
+    // samples would silently run at the wrong precision.
+    for (std::size_t i = 0; i < 8; ++i) {
+      const nn::Precision precision =
+          i % 2 == 0 ? nn::Precision::kFp32 : nn::Precision::kInt8;
+      nn::Tensor act = net.ForwardPrefix(DeterministicInput(net.input_shape(), i),
+                                         split, precision);
+      auto single = classifier.PredictFromEmbedding(
+          net.ForwardSuffix(act, split, precision).values());
+      ASSERT_TRUE(single.ok());
+      expected_bits[i] = single->bits();
+      batcher.Submit(i, split, std::move(act), precision,
+                     collector.Callback(i, i));
+    }
+    batcher.Drain();
+    const BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.samples, 8u);
+    EXPECT_EQ(stats.batches, 2u) << "one full batch per precision";
+    EXPECT_EQ(stats.size_flushes, 2u);
+  }
+  ASSERT_EQ(collector.done.size(), 8u);
+  for (const auto& d : collector.done) {
+    ASSERT_TRUE(d.label.ok());
+    EXPECT_EQ(d.batch_size, 4u);
+    EXPECT_EQ(d.label->bits(), expected_bits[d.seq])
+        << "sample " << d.seq << ": batched prediction diverged from the "
+        << "per-sample pass at its own precision";
+  }
+}
+
 TEST(InferenceBatcher, DestructorDrainsOutstandingWork) {
   const nn::FrameClassifier& classifier = SharedClassifier();
   const nn::Network& net = classifier.network();

@@ -422,5 +422,83 @@ TEST_F(RuntimeTest, ParallelTranscodePreservesResults) {
   EXPECT_EQ((*parallel_session)->db().rows(), (*serial_session)->db().rows());
 }
 
+TEST_F(RuntimeTest, Int8SessionsAgreeAcrossPlacements) {
+  // Precision is a per-session deployment mode, orthogonal to placement.
+  // Four int8 cameras — all-edge, all-cloud, a pinned intermediate split,
+  // and planner-chosen — see the same feed, so the int8 split-invariance
+  // contract (prefix+suffix == fused, bit-identical) makes all four
+  // databases identical. The kAuto session additionally exercises the
+  // precision-keyed planner cache: its split comes from int8 layer timings.
+  Runtime runtime(SmallConfig(), classifier_);
+
+  const std::vector<std::pair<std::string, PlacementMode>> cams = {
+      {"i8-edge", PlacementMode::kEdge},
+      {"i8-cloud", PlacementMode::kCloud},
+      {"i8-fixed", PlacementMode::kFixed},
+      {"i8-auto", PlacementMode::kAuto}};
+  std::vector<std::unique_ptr<SieveSession>> sessions;
+  for (const auto& [id, mode] : cams) {
+    SessionConfig cfg = SceneSession();
+    cfg.precision = nn::Precision::kInt8;
+    cfg.placement = mode;
+    cfg.fixed_split = 2;
+    auto session = runtime.OpenSession(id, cfg);
+    ASSERT_TRUE(session.ok()) << id;
+    sessions.push_back(std::move(*session));
+  }
+  for (const auto& frame : scene_->video.frames) {
+    for (auto& session : sessions) {
+      ASSERT_TRUE(session->PushFrame(frame).ok());
+    }
+  }
+  std::vector<SessionReport> reports;
+  for (auto& session : sessions) reports.push_back(session->Drain());
+
+  for (const auto& report : reports) {
+    EXPECT_EQ(report.precision, nn::Precision::kInt8) << report.camera_id;
+    EXPECT_GT(report.labels_written, 0u) << report.camera_id;
+  }
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    EXPECT_EQ(sessions[0]->db().rows(), sessions[i]->db().rows())
+        << cams[i].first << ": int8 results must not depend on placement";
+  }
+}
+
+TEST_F(RuntimeTest, Int8SessionsRideTheirOwnBatches) {
+  // Batched cloud serving at mixed precisions: the fleet batcher keys
+  // batches by (split, precision), so an int8 camera's frames ride int8
+  // passes and its database matches an unbatched int8 session exactly.
+  RuntimeConfig batched_config = SmallConfig();
+  batched_config.cloud_batch_max = 4;
+  batched_config.cloud_batch_deadline_ms = 1.0;
+  Runtime runtime(batched_config, classifier_);
+
+  SessionConfig int8_cfg = SceneSession();
+  int8_cfg.precision = nn::Precision::kInt8;
+  auto int8_session = runtime.OpenSession("i8-batched", int8_cfg);
+  auto fp32_session = runtime.OpenSession("fp32-batched", SceneSession());
+  ASSERT_TRUE(int8_session.ok());
+  ASSERT_TRUE(fp32_session.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*int8_session)->PushFrame(frame).ok());
+    ASSERT_TRUE((*fp32_session)->PushFrame(frame).ok());
+  }
+  const SessionReport int8_report = (*int8_session)->Drain();
+  (void)(*fp32_session)->Drain();
+  EXPECT_EQ(int8_report.precision, nn::Precision::kInt8);
+  EXPECT_GT(int8_report.cloud_batched_frames, 0u);
+
+  // Reference: the same int8 feed without batching.
+  Runtime plain_runtime(SmallConfig(), classifier_);
+  auto plain = plain_runtime.OpenSession("i8-plain", int8_cfg);
+  ASSERT_TRUE(plain.ok());
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*plain)->PushFrame(frame).ok());
+  }
+  (void)(*plain)->Drain();
+  EXPECT_EQ((*int8_session)->db().rows(), (*plain)->db().rows())
+      << "batched int8 results diverged from the per-frame int8 path";
+}
+
 }  // namespace
 }  // namespace sieve::runtime

@@ -11,10 +11,20 @@ Fails (exit 1) on a >threshold regression in the tracked scenarios:
   * live_query    — p99 FindObject latency under ingest (lower better;
                     p99-by-rank is the honest, stable number — avg is
                     tail-polluted and max is a one-off warmup artifact)
-  * dct_sad_kernels — SIMD-vs-scalar speedups of the kernel layer
+  * dct_sad_kernels — SIMD-vs-scalar speedups of the kernel layer, plus a
+                    per-arch check that the avx2 table is not slower than
+                    the sse2 table when both ran (a wider table that loses
+                    to the narrower one means a broken kernel or dispatch)
   * fleet_scale   — batched-vs-unbatched serving at the largest fleet, plus
                     a hard-fail bit_identical boolean (batching must never
                     change a prediction)
+  * int8_inference — int8-vs-fp32 backbone speedup, plus a hard-fail
+                    agreement_ok boolean (the quantization contract:
+                    >= 99% top-1 agreement on decidable frames and every
+                    flip below the noise floor — see docs/perf.md)
+  * pipelined_encode — pipelined-vs-plain encode speedup (skipped on
+                    single-core runners, where there is nothing to overlap
+                    with) plus a hard-fail bit_identical boolean
 
 Ratio metrics (speedups) are machine-normalized — both legs run in the same
 process on the same box — so they are comparable between the committed
@@ -50,6 +60,8 @@ SCENARIO_OF = {
     "dct_sad_kernels": "dct_sad_kernels",
     "wan_chaos": "wan_chaos",
     "fleet_scale": "fleet_scale",
+    "int8_inference": "int8_inference",
+    "pipelined_encode": "pipelined_encode",
 }
 
 
@@ -106,7 +118,25 @@ METRICS = [
     # fleet, a deadline that sleeps real time per frame).
     ("fleet_scale.batched_fps_at_max", False, 4.0),
     ("fleet_scale.batched_p99_at_max_ms", True, 20.0),
+    # Int8-vs-fp32 backbone forward: same-process and machine-normalized,
+    # but the int8 advantage shifts with the SIMD tier the runner's CPU
+    # offers (AVX2 u8s8 dot vs scalar accumulate), so the widened band —
+    # a real regression (quantized path silently falling back to fp32)
+    # drops the ratio to ~1.0, far outside it.
+    ("int8_inference.speedup", False, 2.0),
+    # Pipelined-vs-plain encode. Same-process ratio, but the overlap
+    # dividend only exists with >= 2 cores; main() skips this metric
+    # entirely on single-core runners (fresh hardware_threads < 2), where
+    # the honest value hovers at 1.0 regardless of code health.
+    ("pipelined_encode.speedup", False, 2.0),
 ]
+
+# Fresh-report metrics gated only on capable hardware: metric path ->
+# minimum hardware_threads the fresh runner needs for the number to mean
+# anything.
+MIN_THREADS_OF = {
+    "pipelined_encode.speedup": 2,
+}
 
 BOOLEANS = [
     "encode.bit_identical",
@@ -120,7 +150,40 @@ BOOLEANS = [
     # a correctness bug in ForwardSuffixBatch or the batcher's routing, not
     # noise — no band, no skip.
     "fleet_scale.bit_identical",
+    # Hard gate: the int8 quantization contract (>= 99% top-1 agreement on
+    # decidable frames, every flip below the noise floor, raw agreement
+    # >= 90%). A false is a broken scale/zero-point or a drifted backbone,
+    # not noise.
+    "int8_inference.agreement_ok",
+    # Hard gate: the pipelined encoder must produce byte-identical
+    # bitstreams to the non-pipelined path (core or not — bit-equality
+    # holds everywhere even when the speedup doesn't).
+    "pipelined_encode.bit_identical",
 ]
+
+
+def check_kernel_arches(fresh, failures):
+    """The per-arch kernel columns: every measured arch must be bit-equal
+    to scalar, and when both sse2 and avx2 ran, the avx2 table must not
+    lose to sse2 on the DCT (a wider table slower than the narrower one
+    means a broken kernel or a dispatch mix-up, not noise — 10% band for
+    run-to-run wobble)."""
+    arches = {col.get("arch"): col
+              for col in get(fresh, "dct_sad_kernels.arches") or []}
+    for name, col in arches.items():
+        if col.get("identical") is not True:
+            failures.append(f"dct_sad_kernels.arches[{name}].identical: "
+                            f"expected true, got {col.get('identical')!r}")
+    if "sse2" in arches and "avx2" in arches:
+        sse2 = arches["sse2"].get("fdct_mblocks_s") or 0
+        avx2 = arches["avx2"].get("fdct_mblocks_s") or 0
+        mark = "ok" if avx2 >= 0.9 * sse2 else "FAIL"
+        print(f"{'dct_sad_kernels avx2-vs-sse2 fdct':44s} "
+              f"{sse2:10.3f} {avx2:10.3f}   {mark}")
+        if mark == "FAIL":
+            failures.append(
+                f"dct_sad_kernels: avx2 fdct ({avx2:.3f} Mblk/s) slower "
+                f"than sse2 ({sse2:.3f} Mblk/s)")
 
 
 def main():
@@ -141,6 +204,11 @@ def main():
     for path, lower_better, noise in METRICS:
         if not scenario_ran(baseline, path) or not scenario_ran(fresh, path):
             print(f"{path:44s} {'-':>10s} {'-':>10s}   skipped (filtered run)")
+            continue
+        min_threads = MIN_THREADS_OF.get(path)
+        if min_threads and fresh.get("hardware_threads", 0) < min_threads:
+            print(f"{path:44s} {'-':>10s} {'-':>10s}   skipped "
+                  f"(needs >= {min_threads} hardware threads)")
             continue
         base = get(baseline, path)
         new = get(fresh, path)
@@ -178,6 +246,9 @@ def main():
             print(f"{path:44s} {'true':>10s} {str(new):>10s}   FAIL")
         else:
             print(f"{path:44s} {'true':>10s} {'true':>10s}   ok")
+
+    if scenario_ran(fresh, "dct_sad_kernels.arches"):
+        check_kernel_arches(fresh, failures)
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond "

@@ -21,10 +21,14 @@
 # live_query (3 streaming cameras with a reader thread hammering the
 # cross-camera query index: FindObject avg/p99 latency under ingest + index
 # update throughput), dct_sad_kernels (scalar vs SIMD A/B of the
-# dispatch-layer DCT/IDCT/quant/SAD kernels, with bit-equality checks),
-# wan_chaos (delivered-frame latency + ledger reconciliation under scripted
-# loss), and fleet_scale (batched vs unbatched cloud inference across a
-# 8/32/64-session sweep, with per-camera bit-equality checks).
+# dispatch-layer DCT/IDCT/quant/SAD kernels — every supported table, sse2
+# AND avx2, each bit-equality-checked against scalar), wan_chaos
+# (delivered-frame latency + ledger reconciliation under scripted loss),
+# fleet_scale (batched vs unbatched cloud inference across a 8/32/64-session
+# sweep, with per-camera bit-equality checks), int8_inference (int8 vs fp32
+# backbone forward latency + the top-1 agreement contract over a labelled
+# scene), and pipelined_encode (frame-level pipelining on vs off at the same
+# parallelism, with a byte-equality check on the bitstreams).
 #
 # Gate a fresh report against the committed baseline with
 #   python3 tools/check_bench.py BENCH_hotpaths.json fresh.json
