@@ -10,7 +10,11 @@
 // cloud inference enabled (docs/fleet.md), so many cameras' activations
 // share each ForwardSuffix pass instead of paying it per frame.
 //
-// Run:  ./camera_fleet [--cameras N]
+// Run:  ./camera_fleet [--cameras N] [--trace-out trace.json]
+//
+// --trace-out records a Chrome trace of the live-fleet act (per-frame spans
+// from encode through WAN to the db inserts) and dumps the runtime's metric
+// registry next to it as <trace>.metrics.json (docs/observability.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +30,7 @@
 #include "core/metrics.h"
 #include "core/tuner.h"
 #include "nn/classifier.h"
+#include "obs/export.h"
 #include "runtime/runtime.h"
 #include "synth/datasets.h"
 
@@ -33,11 +38,15 @@ int main(int argc, char** argv) {
   using namespace sieve;
 
   int fleet_cameras = 16;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cameras") == 0 && i + 1 < argc) {
       fleet_cameras = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
-      std::printf("usage: %s [--cameras N]\n", argv[0]);
+      std::printf("usage: %s [--cameras N] [--trace-out trace.json]\n",
+                  argv[0]);
       return 1;
     }
   }
@@ -109,6 +118,11 @@ int main(int argc, char** argv) {
 
   runtime::RuntimeConfig runtime_config;
   runtime_config.nn_input_size = 48;
+  if (!trace_out.empty()) {
+    runtime_config.trace.enabled = true;
+    runtime_config.trace.chrome_trace_path = trace_out;
+    runtime_config.trace.metrics_path = trace_out + ".metrics.json";
+  }
   runtime::Runtime rt(runtime_config, &classifier);
 
   static constexpr std::size_t kLiveFrames = 150;  // stream the first 5 seconds
@@ -156,11 +170,13 @@ int main(int argc, char** argv) {
     std::printf("shutdown FAILED: %s\n", stats.status().ToString().c_str());
     return 1;
   }
-  std::printf("shared tiers: ");
-  for (const auto& stage : *stats) {
-    std::printf("[%s %zu->%zu] ", stage.name.c_str(), stage.in, stage.out);
+  // Full stage table (queue columns read n/a for sources — they pop their
+  // own camera queue; the pipeline connection stats don't apply).
+  std::printf("shared tiers:\n%s", obs::FormatStageStats(*stats).c_str());
+  if (!trace_out.empty()) {
+    std::printf("trace written to %s (+ %s.metrics.json)\n", trace_out.c_str(),
+                trace_out.c_str());
   }
-  std::printf("\n");
 
   // --- Fleet scale: N cameras sharing batched cloud inference --------------
   // One short scene is encoded once and every synthetic camera replays the

@@ -73,8 +73,13 @@ Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
   // Mixed-call safety: a record still in flight from PushFramePipelined must
   // land in the container before this frame does.
   DrainPipeline(nullptr);
+  const obs::TraceContext trace{trace_track_, frames_in_++};
+  obs::TraceSpan analyze_span("encode/analyze", trace);
   const bool is_key = DecideKeyframe(frame);
+  analyze_span.End();
 
+  obs::TraceSpan pass_span("encode/pass", trace);
+  pass_span.Arg("key", is_key ? 1 : 0);
   ByteWriter payload;
   RangeEncoder rc(&payload);
   FrameModels models;  // fresh per frame: payloads are self-contained
@@ -93,6 +98,7 @@ Expected<FrameRecord> StreamingEncoder::PushFrame(const media::Frame& frame) {
                      executor_, &inter_scratch_);
   }
   rc.Flush();
+  pass_span.End();
   recon_ = std::move(new_recon);
 
   const FrameRecord record = writer_.AppendFrame(
@@ -115,23 +121,30 @@ Status StreamingEncoder::PushFramePipelined(const media::Frame& frame,
   if (frame.width() != header_.width || frame.height() != header_.height) {
     return Status::Invalid("PushFrame: frame size does not match stream");
   }
+  const obs::TraceContext trace{trace_track_, frames_in_++};
+  obs::TraceSpan analyze_span("encode/analyze", trace);
   const bool is_key = DecideKeyframe(frame);
+  analyze_span.End();
 
   PipelineSlot& slot = slots_[std::size_t(cur_slot_)];
   slot.payload.Clear();
   slot.models = FrameModels{};  // fresh per frame: payloads are self-contained
   slot.type = is_key ? FrameType::kIntra : FrameType::kInter;
+  slot.trace = trace;
 
   // Pass 1 runs here, overlapping the previous frame's entropy sweep on the
   // worker. It reads recon_ (the previous reconstruction, complete since the
   // previous pass 1) and writes recon_spare_; the in-flight sweep touches
   // neither.
+  obs::TraceSpan pass1_span("encode/pass1", trace);
+  pass1_span.Arg("key", is_key ? 1 : 0);
   if (is_key) {
     EncodeIntraFramePass1(frame, ctx_, recon_spare_, executor_, slot.intra);
   } else {
     EncodeInterFramePass1(frame, recon_, ctx_, params_.inter, recon_spare_,
                           executor_, slot.inter);
   }
+  pass1_span.End();
   std::swap(recon_, recon_spare_);
 
   // Land the previous frame in the container (order!) before handing this
@@ -182,12 +195,14 @@ void StreamingEncoder::StopEntropyWorker() {
 }
 
 void StreamingEncoder::EntropyWorkerLoop() {
+  obs::SetThreadName("encode/entropy-worker");
   std::unique_lock<std::mutex> lk(pipe_mu_);
   for (;;) {
     pipe_cv_.wait(lk, [&] { return job_ != nullptr || stop_worker_; });
     if (job_ == nullptr) return;  // stop requested, nothing in flight
     PipelineSlot* slot = job_;
     lk.unlock();
+    obs::TraceSpan entropy_span("encode/entropy", slot->trace);
     RangeEncoder rc(&slot->payload);
     if (slot->type == FrameType::kIntra) {
       EncodeIntraFrameEntropy(rc, slot->models, slot->intra);
@@ -195,6 +210,7 @@ void StreamingEncoder::EntropyWorkerLoop() {
       EncodeInterFrameEntropy(rc, slot->models, slot->inter);
     }
     rc.Flush();
+    entropy_span.End();
     lk.lock();
     job_ = nullptr;
     pipe_cv_.notify_all();

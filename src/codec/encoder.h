@@ -21,6 +21,7 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "media/frame.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 
 namespace sieve::codec {
@@ -155,6 +156,11 @@ class StreamingEncoder {
   /// in-flight pipelined entropy pass first.
   EncodedVideo Finish();
 
+  /// Attach this stream's trace track (obs::HashTrack of the owning
+  /// session's route): encode-pass spans then join the session's per-frame
+  /// span trees. 0 (default) records spans without a frame identity.
+  void set_trace_track(std::uint64_t track) noexcept { trace_track_ = track; }
+
  private:
   /// One frame's deferred-entropy state: the pass-1 coefficient scratch, the
   /// fresh-per-frame adaptive models, and the payload the entropy worker
@@ -166,6 +172,7 @@ class StreamingEncoder {
     IntraScratch intra;
     InterScratch inter;
     FrameType type = FrameType::kIntra;
+    obs::TraceContext trace;  ///< identity for the deferred entropy span
   };
 
   /// Shared front half of both push paths: lookahead analysis plus the
@@ -194,6 +201,8 @@ class StreamingEncoder {
   std::vector<FrameCost> costs_;
   std::size_t frames_since_keyframe_ = 0;
   bool first_ = true;
+  std::uint64_t trace_track_ = 0;  ///< see set_trace_track
+  std::uint64_t frames_in_ = 0;    ///< frames pushed (trace frame index)
 
   // Pipeline state (PushFramePipelined). recon_ double-buffers against
   // recon_spare_: pass 1 reads recon_ (the previous frame's reference) while

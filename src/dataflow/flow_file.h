@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace sieve::dataflow {
 
 class FlowFile {
@@ -18,6 +20,13 @@ class FlowFile {
   FlowFile() = default;
   explicit FlowFile(std::vector<std::uint8_t> payload)
       : payload_(std::move(payload)) {}
+
+  /// Per-frame trace identity (session track + frame index), stamped when
+  /// the frame enters the flow and copied by processors that construct a
+  /// fresh FlowFile, so every stage's span joins the same frame tree. A
+  /// plain public member: it is provenance, not payload, and processors
+  /// forward it wholesale.
+  obs::TraceContext trace;
 
   const std::vector<std::uint8_t>& payload() const noexcept { return payload_; }
   std::vector<std::uint8_t>& payload() noexcept { return payload_; }

@@ -5,6 +5,7 @@
 #include <condition_variable>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 
 namespace sieve::dataflow {
@@ -107,12 +108,15 @@ Status Pipeline::Start() {
   }
 
   stage_stats_.resize(stages_.size() + 1);
+  stage_trace_names_.reserve(stages_.size());
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     stage_stats_[i].name = stages_[i].name;
     stage_stats_[i].workers = std::size_t(stages_[i].parallelism);
+    stage_trace_names_.push_back(obs::InternName("stage/" + stages_[i].name));
   }
   stage_stats_.back().name = sink_name_;
   stage_stats_.back().workers = 1;
+  sink_trace_name_ = obs::InternName("stage/" + sink_name_);
 
   // Transform stages: queue i -> queue i+1, with per-stage worker counts.
   // Each stage closes its output only after all its workers finish.
@@ -149,7 +153,18 @@ Status Pipeline::Start() {
           if (!item) break;
           ++consumed;
           watch.Start();
-          std::optional<FlowFile> result = stages_[s].transform(std::move(*item));
+          std::optional<FlowFile> result;
+          if (obs::TracingEnabled()) {
+            // Capture the frame identity before the move; end the span
+            // before the push so it strictly precedes downstream pops in
+            // the trace (causal ordering per frame).
+            const obs::TraceContext ctx = item->trace;
+            const std::uint64_t t0 = obs::NowMicros();
+            result = stages_[s].transform(std::move(*item));
+            obs::RecordSpan(stage_trace_names_[s], ctx, t0, obs::NowMicros());
+          } else {
+            result = stages_[s].transform(std::move(*item));
+          }
           busy += watch.ElapsedSeconds();
           if (gate != nullptr) {
             bool push_failed = false;
@@ -200,7 +215,14 @@ Status Pipeline::Start() {
       if (!item) break;
       ++consumed;
       watch.Start();
-      sink_(std::move(*item));
+      if (obs::TracingEnabled()) {
+        const obs::TraceContext ctx = item->trace;
+        const std::uint64_t t0 = obs::NowMicros();
+        sink_(std::move(*item));
+        obs::RecordSpan(sink_trace_name_, ctx, t0, obs::NowMicros());
+      } else {
+        sink_(std::move(*item));
+      }
       busy += watch.ElapsedSeconds();
     }
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -255,6 +277,7 @@ Expected<std::vector<StageStats>> Pipeline::Finish() {
     s.in = source->produced;
     s.out = source->produced;
     s.busy_seconds = source->busy_seconds;
+    s.has_queue = false;  // sources pull, they have no inbound connection
     stats.push_back(std::move(s));
   }
   {

@@ -52,9 +52,13 @@ struct StageStats {
   /// Mean inbound queue depth at push time. Together with peak_queue this
   /// is the fan-in profile: a stage whose average rides near the connection
   /// capacity is the pipeline's bottleneck (widen its `parallelism`), one
-  /// near zero keeps up with upstream. Sources report 0 (no inbound queue).
+  /// near zero keeps up with upstream.
   double avg_queue = 0.0;
   std::size_t workers = 1;     ///< worker threads this stage ran with
+  /// False for sources: they have no inbound queue, so peak_queue/avg_queue
+  /// are meaningless for them — exporters print `n/a` instead of a
+  /// misleading 0 (obs::FormatStageStats) and skip the queue gauges.
+  bool has_queue = true;
 };
 
 /// A source yields items until exhausted (std::nullopt).
@@ -140,6 +144,11 @@ class Pipeline {
   std::mutex mutex_;               ///< guards sources_ growth + state flags
   bool started_ = false;
   bool finishing_ = false;
+
+  /// Interned c_str stage names for trace spans (events may outlive the
+  /// Pipeline; interned pointers outlive everything).
+  std::vector<const char*> stage_trace_names_;
+  const char* sink_trace_name_ = nullptr;
 
   std::vector<std::unique_ptr<BoundedQueue<FlowFile>>> queues_;
   std::vector<std::unique_ptr<OrderedGate>> gates_;  ///< one per ordered stage

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace sieve::fleet {
 
 namespace {
@@ -89,6 +91,7 @@ void InferenceBatcher::Drain() {
 }
 
 void InferenceBatcher::FlusherLoop() {
+  obs::SetThreadName("batch/flusher");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     // --- Pick the next flush (or sleep until one is due) -------------------
@@ -166,9 +169,15 @@ void InferenceBatcher::FlusherLoop() {
     std::vector<nn::Tensor> activations;
     activations.reserve(n);
     for (Item& item : batch) activations.push_back(std::move(item.activation));
+    // The flush span covers the batched pass itself; per-sample callbacks
+    // (db inserts) trace on each frame's own track from inside `done`.
+    obs::TraceSpan flush_span("batch/flush", obs::TraceContext{});
+    flush_span.Arg("batch_size", n);
+    flush_span.Arg("split", flush_key.first);
     std::vector<Expected<synth::LabelSet>> predictions =
         classifier_.PredictBatch(std::move(activations), flush_key.first,
                                  flush_key.second);
+    flush_span.End();
     for (std::size_t i = 0; i < n; ++i) {
       batch[i].done(std::move(predictions[i]), n);
     }

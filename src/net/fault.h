@@ -134,6 +134,7 @@ class FaultyLink {
   RealizedLink& link() noexcept { return link_; }
   const LinkModel& model() const noexcept { return link_.model(); }
   ByteMeter& meter() noexcept { return link_.meter(); }
+  const ByteMeter& meter() const noexcept { return link_.meter(); }
   const FaultPlan& plan() const noexcept { return injector_.plan(); }
 
  private:

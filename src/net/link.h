@@ -60,6 +60,16 @@ class ByteMeter {
   void RecordDrop() noexcept {
     drops_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// A delivery previously counted as goodput turned out corrupt (the
+  /// downstream decoder rejected it): move its bytes out of goodput into
+  /// the corrupt column. Without this, a delivered-but-unusable payload
+  /// inflates the Figure-5 "useful bytes" while the frame itself is counted
+  /// dropped — the meters and the frame ledger would disagree.
+  void ReclassifyCorrupt(std::size_t bytes) noexcept {
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    corrupt_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::uint64_t bytes() const noexcept {
     return bytes_.load(std::memory_order_relaxed);
@@ -76,9 +86,16 @@ class ByteMeter {
   std::uint64_t drops() const noexcept {
     return drops_.load(std::memory_order_relaxed);
   }
-  /// Everything the link carried: goodput + retransmitted bytes.
+  /// Bytes delivered but rejected as corrupt downstream (not goodput).
+  std::uint64_t corrupt_bytes() const noexcept {
+    return corrupt_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t corrupted() const noexcept {
+    return corrupted_.load(std::memory_order_relaxed);
+  }
+  /// Everything the link carried: goodput + retransmitted + corrupt bytes.
   std::uint64_t total_bytes() const noexcept {
-    return bytes() + retransmit_bytes();
+    return bytes() + retransmit_bytes() + corrupt_bytes();
   }
   double gigabytes() const noexcept { return double(bytes()) / 1e9; }
   void Reset() noexcept {
@@ -89,6 +106,8 @@ class ByteMeter {
     retransmit_bytes_.store(0, std::memory_order_relaxed);
     retransmits_.store(0, std::memory_order_relaxed);
     drops_.store(0, std::memory_order_relaxed);
+    corrupt_bytes_.store(0, std::memory_order_relaxed);
+    corrupted_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -97,6 +116,8 @@ class ByteMeter {
   std::atomic<std::uint64_t> retransmit_bytes_{0};
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> corrupt_bytes_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
 };
 
 /// A link that really waits: Transfer() blocks the calling thread for the

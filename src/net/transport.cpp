@@ -54,7 +54,7 @@ void ReliableTransport::NoteAttempt(bool success) {
 }
 
 SendOutcome ReliableTransport::Send(std::span<std::uint8_t> payload,
-                                    double now_hint) {
+                                    double now_hint, obs::TraceContext ctx) {
   SendOutcome outcome;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -83,12 +83,16 @@ SendOutcome ReliableTransport::Send(std::span<std::uint8_t> payload,
       }
       outcome.corrupted = result.corrupted;
       outcome.status = Status::Ok();
+      obs::RecordInstant("wan/sent", ctx, "attempts", std::uint64_t(attempt),
+                         "corrupted", result.corrupted ? 1 : 0);
       return outcome;
     }
     // Lost attempt: the bytes crossed (part of) the link for nothing.
     NoteAttempt(false);
     outcome.retransmit_bytes += payload.size();
     link_.meter().RecordRetransmit(payload.size());
+    obs::RecordInstant("wan/retry", ctx, "attempt", std::uint64_t(attempt),
+                       "backoff_ms", std::uint64_t(backoff_ms));
     if (attempt >= retry_.max_attempts) {
       outcome.status =
           Status::Unavailable("transport: retry budget exhausted after " +
@@ -114,6 +118,9 @@ SendOutcome ReliableTransport::Send(std::span<std::uint8_t> payload,
                           retry_.max_backoff_ms);
   }
   link_.meter().RecordDrop();
+  obs::RecordInstant("wan/drop", ctx, "attempts",
+                     std::uint64_t(outcome.attempts), "status",
+                     std::uint64_t(outcome.status.code()));
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.messages_dropped;
   stats_.retries += std::uint64_t(outcome.attempts - 1);

@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "net/fault.h"
 #include "net/link.h"
+#include "obs/trace.h"
 
 namespace sieve::net {
 
@@ -97,8 +98,12 @@ class ReliableTransport {
   /// ratchets the link clock so scripted outages and per-message deadlines
   /// track stream content. The payload may come back corrupted — transport
   /// integrity is the downstream decoder's problem, by design (that is what
-  /// the hardened parsers are for).
-  SendOutcome Send(std::span<std::uint8_t> payload, double now_hint = 0.0);
+  /// the hardened parsers are for). `ctx` is the frame's trace identity:
+  /// when tracing is on, every retry becomes a "wan/retry" instant (attempt
+  /// number + backoff) and the final outcome a "wan/sent" or "wan/drop"
+  /// instant on the frame's track, so backoff storms are visible per frame.
+  SendOutcome Send(std::span<std::uint8_t> payload, double now_hint = 0.0,
+                   obs::TraceContext ctx = {});
 
   /// Cheap keepalive. Always advances the link clock; when the link is not
   /// healthy (and at most every kProbeIntervalSeconds of link time) it also
@@ -117,6 +122,7 @@ class ReliableTransport {
   TransportStats stats() const;
 
   ByteMeter& meter() noexcept { return link_.meter(); }
+  const ByteMeter& meter() const noexcept { return link_.meter(); }
   const LinkModel& model() const noexcept { return link_.model(); }
   FaultyLink& faulty_link() noexcept { return link_; }
 

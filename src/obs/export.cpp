@@ -1,0 +1,262 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sieve::obs {
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Unavailable("obs: cannot open " + path);
+  out.write(content.data(), std::streamsize(content.size()));
+  out.flush();
+  if (!out) return Status::Unavailable("obs: short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<ThreadTrace>& traces) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Metadata: name each recorded thread so rows are labelled in the UI.
+  for (const auto& tt : traces) {
+    if (tt.thread_name.empty()) continue;
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    AppendU64(out, tt.tid);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(out, tt.thread_name);
+    out += "}}";
+  }
+  for (const auto& tt : traces) {
+    for (const TraceEvent& ev : tt.events) {
+      if (ev.name == nullptr) continue;
+      comma();
+      out += "{\"name\":";
+      AppendJsonString(out, ev.name);
+      out += ",\"ph\":\"";
+      out += ev.phase == 'i' ? 'i' : 'X';
+      out += "\",\"pid\":1,\"tid\":";
+      AppendU64(out, tt.tid);
+      out += ",\"ts\":";
+      AppendU64(out, ev.ts_us);
+      if (ev.phase == 'i') {
+        out += ",\"s\":\"t\"";  // thread-scoped instant
+      } else {
+        out += ",\"dur\":";
+        AppendU64(out, ev.dur_us);
+      }
+      out += ",\"args\":{";
+      bool first_arg = true;
+      auto arg_comma = [&] {
+        if (!first_arg) out += ',';
+        first_arg = false;
+      };
+      if (ev.track != 0) {
+        const std::string cam = TrackName(ev.track);
+        arg_comma();
+        out += "\"cam\":";
+        if (!cam.empty()) {
+          AppendJsonString(out, cam);
+        } else {
+          AppendJsonString(out, "track-" + std::to_string(ev.track));
+        }
+        arg_comma();
+        out += "\"frame\":";
+        AppendU64(out, ev.frame);
+      }
+      if (ev.a0_name != nullptr) {
+        arg_comma();
+        AppendJsonString(out, ev.a0_name);
+        out += ':';
+        AppendU64(out, ev.a0);
+      }
+      if (ev.a1_name != nullptr) {
+        arg_comma();
+        AppendJsonString(out, ev.a1_name);
+        out += ':';
+        AppendU64(out, ev.a1);
+      }
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteFile(path, ChromeTraceJson(SnapshotTrace()));
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendU64(out, value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendDouble(out, value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": {\"count\": ";
+    AppendU64(out, h.count);
+    out += ", \"sum\": ";
+    AppendDouble(out, h.sum);
+    out += ", \"max\": ";
+    AppendDouble(out, h.max);
+    out += ", \"p50\": ";
+    AppendDouble(out, h.p50);
+    out += ", \"p99\": ";
+    AppendDouble(out, h.p99);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  char line[256];
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(line, sizeof line, "  %-48s %20" PRIu64 "\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::snprintf(line, sizeof line, "  %-48s %20.3f\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms:                                        "
+           "     count       p50       p99       max\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      std::snprintf(line, sizeof line,
+                    "  %-48s %9" PRIu64 " %9.3f %9.3f %9.3f\n", name.c_str(),
+                    h.count, h.p50, h.p99, h.max);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+Status WriteMetricsJson(const Registry& registry, const std::string& path) {
+  return WriteFile(path, MetricsJson(registry.Snapshot()));
+}
+
+void PublishStageStats(Registry& registry,
+                       const std::vector<dataflow::StageStats>& stats) {
+  for (const auto& s : stats) {
+    const std::string prefix = "stage." + s.name + ".";
+    registry.GetGauge(prefix + "in")->Set(double(s.in));
+    registry.GetGauge(prefix + "out")->Set(double(s.out));
+    registry.GetGauge(prefix + "busy_seconds")->Set(s.busy_seconds);
+    registry.GetGauge(prefix + "workers")->Set(double(s.workers));
+    if (s.has_queue) {
+      // Sources have no inbound queue: publishing 0 would read as "always
+      // empty", so their queue gauges are simply absent.
+      registry.GetGauge(prefix + "peak_queue")->Set(double(s.peak_queue));
+      registry.GetGauge(prefix + "avg_queue")->Set(s.avg_queue);
+    }
+  }
+}
+
+std::string FormatStageStats(const std::vector<dataflow::StageStats>& stats) {
+  std::ostringstream out;
+  out << "stage                         in       out    busy_s  "
+         "peak_q   avg_q  workers\n";
+  char line[192];
+  for (const auto& s : stats) {
+    if (s.has_queue) {
+      std::snprintf(line, sizeof line,
+                    "%-24s %8zu  %8zu  %8.3f  %6zu  %6.2f  %7zu\n",
+                    s.name.c_str(), s.in, s.out, s.busy_seconds, s.peak_queue,
+                    s.avg_queue, s.workers);
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%-24s %8zu  %8zu  %8.3f  %6s  %6s  %7zu\n",
+                    s.name.c_str(), s.in, s.out, s.busy_seconds, "n/a", "n/a",
+                    s.workers);
+    }
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace sieve::obs

@@ -1,0 +1,52 @@
+// Exporters for the trace recorder and metrics registry.
+//
+// Chrome trace_event JSON loads directly in chrome://tracing or
+// ui.perfetto.dev: one row per recorded thread, every span/instant carrying
+// its frame identity as args ({"cam": "<route>", "frame": N}), so
+// filtering on a frame number shows that frame's whole journey across
+// threads — encode, stages, WAN retries, batcher, db insert.
+//
+// Metrics export in two shapes: a JSON object (machines, bench artifacts)
+// and an aligned text table (humans, CLI dumps). Stage statistics from the
+// dataflow engine publish into a Registry as `stage.<name>.*` gauges;
+// sources have no inbound queue, so their queue gauges are omitted and the
+// text formatter prints `n/a` instead of a misleading 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sieve::obs {
+
+/// Serialize thread traces as Chrome trace_event JSON.
+std::string ChromeTraceJson(const std::vector<ThreadTrace>& traces);
+
+/// SnapshotTrace() + ChromeTraceJson() + write to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Serialize a metrics snapshot as a JSON object (counters, gauges,
+/// histograms with count/sum/max/p50/p99).
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Aligned human-readable dump of a metrics snapshot.
+std::string MetricsText(const MetricsSnapshot& snapshot);
+
+/// Snapshot `registry` and write MetricsJson to `path`.
+Status WriteMetricsJson(const Registry& registry, const std::string& path);
+
+/// Publish per-stage pipeline statistics as registry gauges:
+/// `stage.<name>.in/out/busy_seconds/workers`, plus
+/// `peak_queue/avg_queue` only for stages that have an inbound queue.
+void PublishStageStats(Registry& registry,
+                       const std::vector<dataflow::StageStats>& stats);
+
+/// Text table of stage statistics; sources print `n/a` in the queue
+/// columns (they have no inbound queue — 0 would read as "always empty").
+std::string FormatStageStats(const std::vector<dataflow::StageStats>& stats);
+
+}  // namespace sieve::obs

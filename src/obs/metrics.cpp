@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sieve::obs {
+
+double Histogram::UpperBound(std::size_t i) noexcept {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return kFirstBound * double(std::uint64_t(1) << i);
+}
+
+void Histogram::Record(double v) noexcept {
+  if (!(v >= 0.0)) v = 0.0;  // NaN/negative clamp to the first bucket
+  std::size_t i = 0;
+  while (i + 1 < kBuckets && v > UpperBound(i)) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Exact sum/max via CAS loops; contention is per-histogram and brief.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; walk buckets to find where it lands.
+  const std::uint64_t rank =
+      std::uint64_t(std::ceil(q * double(n))) > 0
+          ? std::uint64_t(std::ceil(q * double(n)))
+          : 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lo = i == 0 ? 0.0 : UpperBound(i - 1);
+      double hi = UpperBound(i);
+      if (std::isinf(hi)) {
+        // Overflow bucket has no upper bound; the exact max is the honest
+        // ceiling there.
+        hi = max() > lo ? max() : lo;
+      }
+      // Linear interpolation of the rank's position within the bucket.
+      const double frac = double(rank - cumulative) / double(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.max = histogram->max();
+    h.p50 = histogram->Percentile(0.50);
+    h.p99 = histogram->Percentile(0.99);
+    h.buckets.reserve(Histogram::kBuckets);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets.push_back(histogram->bucket(i));
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // immortal for teardown safety
+  return *registry;
+}
+
+}  // namespace sieve::obs

@@ -1,0 +1,130 @@
+// Metrics registry: named counters, gauges, and fixed-bucket latency
+// histograms behind one snapshot API.
+//
+// Handles returned by Registry::Counter()/Gauge()/Histogram() have stable
+// addresses for the registry's lifetime, so callers resolve a metric once
+// (at session open, at stage registration) and then touch only atomics on
+// the hot path — the registry mutex is taken at registration and snapshot
+// time, never per-increment. Histograms use fixed exponential buckets, so
+// p50/p99 are derivable from a snapshot without locks on the read path and
+// without storing samples (bounded memory regardless of run length).
+//
+// Naming convention (docs/observability.md): dot-separated, lowest-cardinality
+// prefix first — `session.<route>.frames_delivered`, `stage.<name>.avg_queue`,
+// `wan.retries`, `batch.flushes`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sieve::obs {
+
+/// Monotonic counter. Relaxed atomics: counters are statistics, not
+/// synchronization points.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, occupancy).
+class Gauge {
+ public:
+  void Set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram for latency-like values. Bucket i counts samples
+/// in (UpperBound(i-1), UpperBound(i)]; the last bucket is +inf. Bounds are
+/// exponential — kFirstBound * 2^i — covering 1µs-scale to hour-scale when
+/// recording milliseconds. Sum/count/max are exact; percentiles are
+/// interpolated within the landing bucket (error bounded by the 2x bucket
+/// ratio, fine for p50/p99 reporting; exact max is kept separately).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+  static constexpr double kFirstBound = 1e-3;
+
+  static double UpperBound(std::size_t i) noexcept;
+
+  void Record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// q in [0,1]. Lock-free (reads the relaxed bucket counts; during
+  /// concurrent recording the result is a consistent-enough estimate).
+  double Percentile(double q) const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of one histogram, with derived percentiles.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< kBuckets counts (JSON export)
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Resolve-or-create. Returned pointers are stable for the registry's
+  /// lifetime; resolving an existing name returns the same handle.
+  class Counter* GetCounter(const std::string& name);
+  class Gauge* GetGauge(const std::string& name);
+  class Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide registry (Runtime, encoder, transport all publish
+  /// here; tests may construct private registries).
+  static Registry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<class Counter>> counters_;
+  std::map<std::string, std::unique_ptr<class Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<class Histogram>> histograms_;
+};
+
+}  // namespace sieve::obs

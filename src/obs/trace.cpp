@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sieve::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One thread's ring. The mutex is per-ring: the owning thread takes it for
+// each append, SnapshotTrace/StartTracing take it to copy/reset. Appends
+// are uncontended in steady state, so the lock is a few atomic ops — cheap
+// enough for the overhead contract, and it makes concurrent snapshots
+// TSan-clean without lock-free heroics.
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<TraceEvent> buf;  // fixed capacity; `total` says how much is real
+  std::size_t next = 0;         // next write slot
+  std::uint64_t total = 0;      // events ever recorded since last reset
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards rings growth, capacity, track names
+  std::vector<std::shared_ptr<ThreadRing>> rings;  // rings outlive threads
+  std::size_t capacity = 16384;
+  // Epoch as raw steady-clock ticks: NowMicros is on every span's hot path
+  // and must not touch the registry mutex.
+  std::atomic<std::int64_t> epoch_ticks{Clock::now().time_since_epoch().count()};
+  std::uint32_t next_tid = 1;
+  std::unordered_map<std::uint64_t, std::string> track_names;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // immortal: threads may
+  return *state;                                // record during teardown
+}
+
+struct InternTable {
+  std::mutex mu;
+  std::unordered_set<std::string> names;  // node-based: c_str() is stable
+};
+
+InternTable& Interned() {
+  static InternTable* table = new InternTable();
+  return *table;
+}
+
+thread_local std::shared_ptr<ThreadRing> t_ring;
+thread_local std::string t_thread_name;
+
+ThreadRing& Ring() {
+  if (!t_ring) {
+    auto ring = std::make_shared<ThreadRing>();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    ring->tid = state.next_tid++;
+    ring->name = t_thread_name;
+    ring->buf.resize(state.capacity);
+    state.rings.push_back(ring);
+    t_ring = std::move(ring);
+  }
+  return *t_ring;
+}
+
+void Emit(const TraceEvent& ev) {
+  ThreadRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.buf.empty()) return;
+  ring.buf[ring.next] = ev;
+  ring.next = (ring.next + 1) % ring.buf.size();
+  ++ring.total;
+}
+
+}  // namespace
+
+void StartTracing(std::size_t events_per_thread) {
+  if (events_per_thread == 0) events_per_thread = 1;
+  TraceState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.capacity = events_per_thread;
+    state.epoch_ticks.store(Clock::now().time_since_epoch().count(),
+                            std::memory_order_relaxed);
+    for (auto& ring : state.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      ring->buf.assign(events_per_thread, TraceEvent{});
+      ring->next = 0;
+      ring->total = 0;
+    }
+  }
+  // Release so a recorder that observes enabled==true also sees the epoch.
+  internal::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t NowMicros() noexcept {
+  const std::int64_t epoch =
+      State().epoch_ticks.load(std::memory_order_relaxed);
+  const Clock::duration since =
+      Clock::now().time_since_epoch() - Clock::duration(epoch);
+  const std::int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(since).count();
+  return us > 0 ? std::uint64_t(us) : 0;
+}
+
+std::vector<ThreadTrace> SnapshotTrace() {
+  TraceState& state = State();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    rings = state.rings;
+  }
+  std::vector<ThreadTrace> out;
+  out.reserve(rings.size());
+  for (auto& ring : rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ThreadTrace tt;
+    tt.tid = ring->tid;
+    tt.thread_name = ring->name;
+    const std::size_t cap = ring->buf.size();
+    const std::size_t valid =
+        std::size_t(ring->total < cap ? ring->total : cap);
+    tt.dropped = ring->total > cap ? ring->total - cap : 0;
+    tt.events.reserve(valid);
+    // Oldest-first: a wrapped ring starts at `next` (the slot about to be
+    // overwritten holds the oldest surviving event).
+    const std::size_t start = ring->total > cap ? ring->next : 0;
+    for (std::size_t i = 0; i < valid; ++i) {
+      tt.events.push_back(ring->buf[(start + i) % cap]);
+    }
+    if (!tt.events.empty() || !tt.thread_name.empty()) {
+      out.push_back(std::move(tt));
+    }
+  }
+  return out;
+}
+
+void RecordInstant(const char* name, TraceContext ctx, const char* a0_name,
+                   std::uint64_t a0, const char* a1_name, std::uint64_t a1) {
+  if (!TracingEnabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.track = ctx.track;
+  ev.frame = ctx.frame;
+  ev.ts_us = NowMicros();
+  ev.a0_name = a0_name;
+  ev.a0 = a0;
+  ev.a1_name = a1_name;
+  ev.a1 = a1;
+  Emit(ev);
+}
+
+void RecordSpan(const char* name, TraceContext ctx, std::uint64_t start_us,
+                std::uint64_t end_us, const char* a0_name, std::uint64_t a0,
+                const char* a1_name, std::uint64_t a1) {
+  if (!TracingEnabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'X';
+  ev.track = ctx.track;
+  ev.frame = ctx.frame;
+  ev.ts_us = start_us;
+  ev.dur_us = end_us > start_us ? end_us - start_us : 0;
+  ev.a0_name = a0_name;
+  ev.a0 = a0;
+  ev.a1_name = a1_name;
+  ev.a1 = a1;
+  Emit(ev);
+}
+
+const char* InternName(const std::string& name) {
+  InternTable& table = Interned();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return table.names.insert(name).first->c_str();
+}
+
+std::uint64_t HashTrack(const std::string& route) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : route) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+void NameTrack(std::uint64_t track, const std::string& name) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.track_names[track] = name;
+}
+
+std::string TrackName(std::uint64_t track) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.track_names.find(track);
+  return it == state.track_names.end() ? std::string() : it->second;
+}
+
+void SetThreadName(const std::string& name) {
+  t_thread_name = name;
+  if (t_ring) {
+    std::lock_guard<std::mutex> lock(t_ring->mu);
+    t_ring->name = name;
+  }
+}
+
+}  // namespace sieve::obs

@@ -9,6 +9,7 @@
 #include "codec/still.h"
 #include "media/image_ops.h"
 #include "nn/tensor.h"
+#include "obs/export.h"
 
 namespace sieve::runtime {
 
@@ -33,33 +34,62 @@ const char* SessionHealthName(SessionHealth health) noexcept {
 
 namespace internal {
 
+void SessionState::BindMetrics(std::shared_ptr<obs::Registry> reg) {
+  registry = std::move(reg);
+  const std::string p = "session." + route + ".";
+  metrics.iframes = registry->GetCounter(p + "iframes");
+  metrics.labels = registry->GetCounter(p + "labels");
+  metrics.stored_edge = registry->GetCounter(p + "stored_edge");
+  metrics.delivered = registry->GetCounter(p + "delivered");
+  metrics.dropped_wan = registry->GetCounter(p + "dropped_wan");
+  metrics.dropped_corrupt = registry->GetCounter(p + "dropped_corrupt");
+  metrics.dropped_shutdown = registry->GetCounter(p + "dropped_shutdown");
+  metrics.wan_retries = registry->GetCounter(p + "wan_retries");
+  metrics.cloud_batched_frames =
+      registry->GetCounter(p + "cloud_batched_frames");
+  metrics.cloud_batch_size_sum =
+      registry->GetCounter(p + "cloud_batch_size_sum");
+  metrics.latency_ms = registry->GetHistogram(p + "latency_ms");
+}
+
 void SessionState::RecordOutcome(const dataflow::FlowFile& file,
                                  FrameOutcome outcome) {
-  double latency_ms = -1.0;
-  if (outcome == FrameOutcome::kDelivered) {
-    if (const auto t_push = file.GetU64("t_push_us")) {
-      const double now_us = opened.ElapsedMicros();
-      if (now_us >= double(*t_push)) {
-        latency_ms = (now_us - double(*t_push)) / 1e3;
+  switch (outcome) {
+    case FrameOutcome::kStoredEdge:
+      metrics.stored_edge->Add();
+      obs::RecordInstant("frame/stored-edge", file.trace);
+      break;
+    case FrameOutcome::kDelivered:
+      metrics.delivered->Add();
+      if (const auto t_push = file.GetU64("t_push_us")) {
+        const double now_us = opened.ElapsedMicros();
+        if (now_us >= double(*t_push)) {
+          metrics.latency_ms->Record((now_us - double(*t_push)) / 1e3);
+        }
       }
-    }
+      obs::RecordInstant("frame/delivered", file.trace);
+      break;
+    case FrameOutcome::kDroppedWan:
+      metrics.dropped_wan->Add();
+      obs::RecordInstant("frame/dropped-wan", file.trace);
+      break;
+    case FrameOutcome::kDroppedCorrupt:
+      metrics.dropped_corrupt->Add();
+      // The WAN metered this frame's bytes as goodput when its (corrupt)
+      // delivery succeeded; the frame is now known wasted, so move exactly
+      // those bytes to the corrupt column. Frames dropped before the WAN
+      // never carry the stamp. Keeps goodput = bytes that became labels.
+      if (const auto wan_bytes = file.GetU64("wan_bytes")) {
+        edge_cloud_meter.ReclassifyCorrupt(*wan_bytes);
+      }
+      obs::RecordInstant("frame/dropped-corrupt", file.trace);
+      break;
+    case FrameOutcome::kDroppedShutdown:
+      metrics.dropped_shutdown->Add();
+      obs::RecordInstant("frame/dropped-shutdown", file.trace);
+      break;
   }
   std::lock_guard<std::mutex> lock(mutex);
-  switch (outcome) {
-    case FrameOutcome::kStoredEdge: ++stored_edge; break;
-    case FrameOutcome::kDelivered: ++delivered; break;
-    case FrameOutcome::kDroppedWan: ++dropped_wan; break;
-    case FrameOutcome::kDroppedCorrupt: ++dropped_corrupt; break;
-    case FrameOutcome::kDroppedShutdown: ++dropped_shutdown; break;
-  }
-  if (latency_ms >= 0.0) {
-    ++latency_count;
-    latency_sum_ms += latency_ms;
-    latency_max_ms = std::max(latency_max_ms, latency_ms);
-    if (latency_samples.size() < kMaxLatencySamples) {
-      latency_samples.push_back(float(latency_ms));
-    }
-  }
   ++settled;
   settled_cv.notify_all();
 }
@@ -79,6 +109,8 @@ Status SieveSession::PushFrame(const media::Frame& frame) {
     encoder_ = std::make_unique<codec::StreamingEncoder>(
         config_.encoder, config_.width, config_.height, config_.fps,
         encoder_executor_);
+    // Encode-pass spans join this session's per-frame span trees.
+    encoder_->set_trace_track(state_->track);
   }
   auto record = encoder_->PushFrame(frame);
   if (!record.ok()) return record.status();
@@ -113,6 +145,10 @@ Status SieveSession::PushWire(codec::FrameType type, std::uint64_t frame_index,
   // Push-time stamp on this session's stopwatch: the delivered-frame
   // latency ledger measures push -> settle against it.
   file.SetU64("t_push_us", std::uint64_t(st.opened.ElapsedMicros()));
+  // Trace identity: every span/instant this frame triggers downstream —
+  // stage transforms, WAN retries, batcher residency, the db insert, its
+  // terminal outcome — lands on this (track, frame) pair.
+  file.trace = obs::TraceContext{st.track, frame_index};
   // The camera sends over its LAN hop before the edge queue: backpressure
   // from a saturated edge blocks right here, in the camera's own thread.
   // Shutdown cancels the link, which unblocks a camera mid-transfer; the
@@ -153,11 +189,15 @@ SessionReport SieveSession::Drain() {
   // camera in the query index (closing still-open intervals at the stream's
   // end, exactly like FindObject(cls, frames_pushed) would).
   if (st.query) st.query->Seal(st.route, st.pushed.load());
+  // Every counter below is a view over the session's obs::Registry handles
+  // (plus the byte meters): the report is the drain-time snapshot of the
+  // same metrics a live registry dump shows. No lock — all frames settled.
+  const internal::SessionMetrics& m = st.metrics;
   SessionReport report;
   report.camera_id = st.camera_id;
   report.frames_pushed = st.pushed.load();
-  report.iframes_selected = st.iframes.load();
-  report.labels_written = st.labels.load();
+  report.iframes_selected = std::size_t(m.iframes->value());
+  report.labels_written = std::size_t(m.labels->value());
   report.wall_seconds = st.opened.ElapsedSeconds();
   report.fps = report.wall_seconds > 0
                    ? double(report.frames_pushed) / report.wall_seconds
@@ -169,35 +209,29 @@ SessionReport SieveSession::Drain() {
   report.nn_split = plan->split;
   report.predicted_total_ms = plan->predicted.total_ms;
   report.precision = st.precision;
-  report.wan_retries = st.wan_retries.load(std::memory_order_relaxed);
+  report.wan_retries = m.wan_retries->value();
   report.wan_retransmit_bytes = st.edge_cloud_meter.retransmit_bytes();
+  report.wan_corrupt_bytes = st.edge_cloud_meter.corrupt_bytes();
   report.replans = st.replans.load(std::memory_order_relaxed);
   report.health = st.health.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(st.mutex);
-    report.frames_stored_edge = st.stored_edge;
-    report.frames_delivered = st.delivered;
-    report.dropped_wan = st.dropped_wan;
-    report.dropped_corrupt = st.dropped_corrupt;
-    report.dropped_shutdown = st.dropped_shutdown;
-    report.frames_dropped =
-        st.dropped_wan + st.dropped_corrupt + st.dropped_shutdown;
-    report.cloud_batched_frames = std::size_t(st.cloud_batched_frames);
-    if (st.cloud_batched_frames > 0) {
-      report.cloud_batch_occupancy_avg =
-          double(st.cloud_batch_size_sum) / double(st.cloud_batched_frames);
-    }
-    if (st.latency_count > 0) {
-      report.latency_avg_ms = st.latency_sum_ms / double(st.latency_count);
-      report.latency_max_ms = st.latency_max_ms;
-      std::vector<float> samples = st.latency_samples;
-      std::sort(samples.begin(), samples.end());
-      const std::size_t idx = std::min(
-          samples.size() - 1,
-          std::size_t(std::ceil(0.99 * double(samples.size()))) -
-              std::size_t(1));
-      report.latency_p99_ms = double(samples[idx]);
-    }
+  report.frames_stored_edge = std::size_t(m.stored_edge->value());
+  report.frames_delivered = std::size_t(m.delivered->value());
+  report.dropped_wan = std::size_t(m.dropped_wan->value());
+  report.dropped_corrupt = std::size_t(m.dropped_corrupt->value());
+  report.dropped_shutdown = std::size_t(m.dropped_shutdown->value());
+  report.frames_dropped =
+      report.dropped_wan + report.dropped_corrupt + report.dropped_shutdown;
+  report.cloud_batched_frames = std::size_t(m.cloud_batched_frames->value());
+  if (report.cloud_batched_frames > 0) {
+    report.cloud_batch_occupancy_avg =
+        double(m.cloud_batch_size_sum->value()) /
+        double(report.cloud_batched_frames);
+  }
+  if (m.latency_ms->count() > 0) {
+    report.latency_avg_ms = m.latency_ms->sum() / double(m.latency_ms->count());
+    report.latency_max_ms = m.latency_ms->max();
+    report.latency_p99_ms =
+        std::min(m.latency_ms->Percentile(0.99), m.latency_ms->max());
   }
   return report;
 }
@@ -209,10 +243,14 @@ Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
     : config_(config),
       classifier_(classifier),
       executor_(executor != nullptr ? executor : &SharedExecutor()),
+      registry_(std::make_shared<obs::Registry>()),
       wan_(config.edge_to_cloud, config.link_time_scale, config.wan_faults,
            config.wan_retry, config.wan_health),
       pipeline_(config.queue_capacity, executor_),
       query_(std::make_shared<query::QueryService>()) {
+  if (config_.trace.enabled) {
+    obs::StartTracing(config_.trace.events_per_thread);
+  }
   if (config_.cloud_batch_max > 1 && classifier_ != nullptr) {
     fleet::FleetSchedulerPolicy policy;
     policy.batch_max = config_.cloud_batch_max;
@@ -255,7 +293,7 @@ void Runtime::BuildTiers() {
           session->RecordOutcome(file, internal::FrameOutcome::kStoredEdge);
           return std::nullopt;
         }
-        session->iframes.fetch_add(1, std::memory_order_relaxed);
+        session->metrics.iframes->Add();
         return file;
       });
 
@@ -289,6 +327,7 @@ void Runtime::BuildTiers() {
         // NN-input-sized — a handful of block rows — so the inner win is
         // small anyway.)
         dataflow::FlowFile out(codec::EncodeStill(resized, config_.still_qp));
+        out.trace = file.trace;
         out.SetU64("frame", file.GetU64("frame").value_or(0));
         out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
         out.SetAttribute("camera", session->route);
@@ -342,6 +381,7 @@ void Runtime::BuildTiers() {
           out.SetAttribute("kind", kKindActivation);
           out.SetU64("split", split);
         }
+        out.trace = file.trace;
         out.SetU64("frame", file.GetU64("frame").value_or(0));
         out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
         out.SetAttribute("camera", session->route);
@@ -376,10 +416,13 @@ void Runtime::BuildTiers() {
           return file;
         }
         const net::SendOutcome outcome =
-            wan_.Send(std::span<std::uint8_t>(file.payload()), hint);
+            wan_.Send(std::span<std::uint8_t>(file.payload()), hint,
+                      file.trace);
         if (session) {
-          session->wan_retries.fetch_add(std::uint64_t(outcome.attempts - 1),
-                                         std::memory_order_relaxed);
+          if (outcome.attempts > 1) {
+            session->metrics.wan_retries->Add(
+                std::uint64_t(outcome.attempts - 1));
+          }
           if (outcome.retransmit_bytes > 0) {
             session->edge_cloud_meter.RecordRetransmit(outcome.retransmit_bytes);
           }
@@ -395,7 +438,13 @@ void Runtime::BuildTiers() {
           MaybeReactToWanHealth();
           return std::nullopt;
         }
-        if (session) session->edge_cloud_meter.Record(file.size());
+        if (session) {
+          session->edge_cloud_meter.Record(file.size());
+          // Stamp what this frame just cost on the WAN: if it later fails
+          // decode/validation, RecordOutcome reclassifies exactly these
+          // bytes from goodput to the corrupt column.
+          file.SetU64("wan_bytes", file.size());
+        }
         MaybeReactToWanHealth();
         return file;
       },
@@ -453,10 +502,14 @@ void Runtime::BuildTiers() {
           if (batching) {
             dataflow::FlowFile out;
             out.payload() = nn::SerializeTensor(*activation);
+            out.trace = file.trace;
             out.SetAttribute("kind", kKindActivation);
             out.SetU64("split", 0);
             out.SetU64("frame", file.GetU64("frame").value_or(0));
             out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
+            if (const auto wb = file.GetU64("wan_bytes")) {
+              out.SetU64("wan_bytes", *wb);
+            }
             out.SetAttribute("camera", session->route);
             return out;
           }
@@ -470,10 +523,14 @@ void Runtime::BuildTiers() {
           return std::nullopt;
         }
         dataflow::FlowFile out;
+        out.trace = file.trace;
         out.SetAttribute("kind", kKindLabel);
         out.SetU64("label_bits", predicted->bits());
         out.SetU64("frame", file.GetU64("frame").value_or(0));
         out.SetU64("t_push_us", file.GetU64("t_push_us").value_or(0));
+        if (const auto wb = file.GetU64("wan_bytes")) {
+          out.SetU64("wan_bytes", *wb);
+        }
         out.SetAttribute("camera", session->route);
         return out;
       },
@@ -497,6 +554,12 @@ void Runtime::BuildTiers() {
       // Fairness key: one stable value per session incarnation.
       const std::uint64_t camera_key =
           std::uint64_t(std::hash<std::string>{}(session->route));
+      // Batcher residency is observable per frame: the submit instant here,
+      // the covering "batch/flush" span on the flusher thread, and the
+      // "db/insert" span in the callback bound the time the frame spent
+      // queued versus in the batched pass.
+      obs::RecordInstant("batch/submit", file.trace, "split",
+                         std::uint64_t(split));
       // Submit blocks while the batcher's window is full — that is this
       // pipeline's backpressure propagating into the fleet tier. The
       // callback runs on the flusher thread after the batched pass.
@@ -511,13 +574,15 @@ void Runtime::BuildTiers() {
               return;
             }
             {
+              obs::TraceSpan insert_span("db/insert", file.trace);
+              insert_span.Arg("batch_size", batch_size);
               std::lock_guard<std::mutex> lock(session->mutex);
               session->db.Insert(
                   std::size_t(file.GetU64("frame").value_or(0)), *label);
-              ++session->cloud_batched_frames;
-              session->cloud_batch_size_sum += batch_size;
             }
-            session->labels.fetch_add(1, std::memory_order_relaxed);
+            session->metrics.cloud_batched_frames->Add();
+            session->metrics.cloud_batch_size_sum->Add(batch_size);
+            session->metrics.labels->Add();
             session->RecordOutcome(file, internal::FrameOutcome::kDelivered);
           });
       return;
@@ -537,11 +602,12 @@ void Runtime::BuildTiers() {
     }
     const synth::LabelSet labels{std::uint8_t(*bits)};
     {
+      obs::TraceSpan insert_span("db/insert", file.trace);
       std::lock_guard<std::mutex> lock(session->mutex);
       session->db.Insert(std::size_t(file.GetU64("frame").value_or(0)),
                          labels);
     }
-    session->labels.fetch_add(1, std::memory_order_relaxed);
+    session->metrics.labels->Add();
     session->RecordOutcome(file, internal::FrameOutcome::kDelivered);
   });
 }
@@ -632,32 +698,75 @@ void Runtime::ApplyWanHealth(net::LinkHealth link) {
   }
 }
 
-RuntimeHealth Runtime::health() const {
-  RuntimeHealth h;
-  const net::TransportStats stats = wan_.stats();
-  h.wan_link = stats.health;
-  h.wan_loss_ewma = stats.loss_ewma;
-  h.wan_messages_delivered = stats.messages_delivered;
-  h.wan_messages_dropped = stats.messages_dropped;
-  h.wan_retries = stats.retries;
-  h.wan_probes = stats.probes;
-  h.replans = replans_.load(std::memory_order_relaxed);
+void Runtime::PublishMetrics() const {
+  obs::Registry& reg = *registry_;
+  const net::TransportStats ts = wan_.stats();
+  reg.GetGauge("wan.health")->Set(double(int(ts.health)));
+  reg.GetGauge("wan.loss_ewma")->Set(ts.loss_ewma);
+  reg.GetGauge("wan.messages_sent")->Set(double(ts.messages_sent));
+  reg.GetGauge("wan.messages_delivered")->Set(double(ts.messages_delivered));
+  reg.GetGauge("wan.messages_dropped")->Set(double(ts.messages_dropped));
+  reg.GetGauge("wan.retries")->Set(double(ts.retries));
+  reg.GetGauge("wan.probes")->Set(double(ts.probes));
+  reg.GetGauge("wan.duplicates")->Set(double(ts.duplicates));
+  reg.GetGauge("wan.corrupted_deliveries")
+      ->Set(double(ts.corrupted_deliveries));
+  reg.GetGauge("wan.health_transitions")->Set(double(ts.health_transitions));
+  const net::ByteMeter& meter = wan_.meter();
+  reg.GetGauge("wan.goodput_bytes")->Set(double(meter.bytes()));
+  reg.GetGauge("wan.retransmit_bytes")->Set(double(meter.retransmit_bytes()));
+  reg.GetGauge("wan.corrupt_bytes")->Set(double(meter.corrupt_bytes()));
+  reg.GetGauge("runtime.replans")
+      ->Set(double(replans_.load(std::memory_order_relaxed)));
   if (batcher_ != nullptr) {
     const fleet::BatcherStats bs = batcher_->stats();
-    h.cloud_batches = bs.batches;
-    h.cloud_batch_samples = bs.samples;
-    h.cloud_batch_occupancy_avg = bs.occupancy_avg();
-    h.cloud_batch_peak_pending = bs.peak_pending;
+    reg.GetGauge("batch.flushes")->Set(double(bs.batches));
+    reg.GetGauge("batch.samples")->Set(double(bs.samples));
+    reg.GetGauge("batch.occupancy_avg")->Set(bs.occupancy_avg());
+    reg.GetGauge("batch.peak_pending")->Set(double(bs.peak_pending));
   }
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  for (const auto& [id, state] : by_id_) {
-    if (state->closed.load(std::memory_order_acquire)) continue;
-    switch (state->health.load(std::memory_order_relaxed)) {
-      case SessionHealth::kHealthy: ++h.sessions_healthy; break;
-      case SessionHealth::kDegraded: ++h.sessions_degraded; break;
-      case SessionHealth::kEdgeFallback: ++h.sessions_edge_fallback; break;
+  std::size_t healthy = 0, degraded = 0, fallback = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [id, state] : by_id_) {
+      if (state->closed.load(std::memory_order_acquire)) continue;
+      switch (state->health.load(std::memory_order_relaxed)) {
+        case SessionHealth::kHealthy: ++healthy; break;
+        case SessionHealth::kDegraded: ++degraded; break;
+        case SessionHealth::kEdgeFallback: ++fallback; break;
+      }
     }
   }
+  reg.GetGauge("runtime.sessions_healthy")->Set(double(healthy));
+  reg.GetGauge("runtime.sessions_degraded")->Set(double(degraded));
+  reg.GetGauge("runtime.sessions_edge_fallback")->Set(double(fallback));
+}
+
+RuntimeHealth Runtime::health() const {
+  // Refresh the gauges, then build the snapshot as a view over the registry:
+  // health() and an external metrics dump can never disagree, because they
+  // read the same store.
+  PublishMetrics();
+  obs::Registry& reg = *registry_;
+  const auto gauge = [&reg](const char* name) {
+    return reg.GetGauge(name)->value();
+  };
+  RuntimeHealth h;
+  h.wan_link = net::LinkHealth(int(gauge("wan.health")));
+  h.wan_loss_ewma = gauge("wan.loss_ewma");
+  h.wan_messages_delivered = std::uint64_t(gauge("wan.messages_delivered"));
+  h.wan_messages_dropped = std::uint64_t(gauge("wan.messages_dropped"));
+  h.wan_retries = std::uint64_t(gauge("wan.retries"));
+  h.wan_probes = std::uint64_t(gauge("wan.probes"));
+  h.replans = std::uint64_t(gauge("runtime.replans"));
+  h.sessions_healthy = std::size_t(gauge("runtime.sessions_healthy"));
+  h.sessions_degraded = std::size_t(gauge("runtime.sessions_degraded"));
+  h.sessions_edge_fallback =
+      std::size_t(gauge("runtime.sessions_edge_fallback"));
+  h.cloud_batches = std::uint64_t(gauge("batch.flushes"));
+  h.cloud_batch_samples = std::uint64_t(gauge("batch.samples"));
+  h.cloud_batch_occupancy_avg = gauge("batch.occupancy_avg");
+  h.cloud_batch_peak_pending = std::size_t(gauge("batch.peak_pending"));
   return h;
 }
 
@@ -724,7 +833,10 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
                                         0, std::uint8_t(config.encoder.qp)};
     state = std::make_shared<internal::SessionState>(
         camera_id, route, header, config.queue_capacity,
-        config_.camera_to_edge, config_.link_time_scale);
+        config_.camera_to_edge, config_.link_time_scale, registry_);
+    // Trace exports label this session's track by its route, so two
+    // incarnations of one camera id stay distinguishable in the viewer.
+    obs::NameTrack(state->track, route);
     state->precision = config.precision;
     state->base_plan = plan;
     state->active_plan.store(std::make_shared<const PlacementPlan>(plan),
@@ -810,6 +922,18 @@ Expected<std::vector<dataflow::StageStats>> Runtime::Shutdown() {
   for (auto& state : states) {
     query_->Seal(state->route, state->pushed.load(std::memory_order_acquire));
   }
+  // Final observability flush: refresh the shared-tier gauges, publish the
+  // drained pipeline's stage stats as registry gauges, and write any
+  // configured exports. Tracing stops only if this runtime started it.
+  PublishMetrics();
+  if (stats.ok()) obs::PublishStageStats(*registry_, *stats);
+  if (!config_.trace.chrome_trace_path.empty()) {
+    (void)obs::WriteChromeTrace(config_.trace.chrome_trace_path);
+  }
+  if (!config_.trace.metrics_path.empty()) {
+    (void)obs::WriteMetricsJson(*registry_, config_.trace.metrics_path);
+  }
+  if (config_.trace.enabled) obs::StopTracing();
   return stats;
 }
 

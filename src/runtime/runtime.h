@@ -55,11 +55,29 @@
 #include "net/transport.h"
 #include "nn/classifier.h"
 #include "nn/precision.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/service.h"
 #include "runtime/executor.h"
 #include "runtime/placement.h"
 
 namespace sieve::runtime {
+
+/// Observability knobs (docs/observability.md). Tracing is process-global
+/// (obs::StartTracing); the exports are written once, at Shutdown.
+struct TraceOptions {
+  /// Enable the trace recorder for this runtime's lifetime. Off by default:
+  /// the disabled fast path costs one branch per probe and the bitstreams,
+  /// databases, and reports are byte-identical either way (the bench's
+  /// trace_overhead scenario gates both properties).
+  bool enabled = false;
+  std::size_t events_per_thread = 16384;  ///< per-thread ring capacity
+  /// When non-empty, Shutdown writes a Chrome trace_event JSON here
+  /// (load in chrome://tracing or ui.perfetto.dev).
+  std::string chrome_trace_path;
+  /// When non-empty, Shutdown writes the metrics registry as JSON here.
+  std::string metrics_path;
+};
 
 /// Shared-tier configuration (what core::SystemConfig configured per run).
 struct RuntimeConfig {
@@ -125,6 +143,8 @@ struct RuntimeConfig {
   /// Off: sessions keep their opening plan and undeliverable frames are
   /// simply counted dropped.
   bool adaptive_placement = true;
+  /// Per-frame tracing + metric export (docs/observability.md).
+  TraceOptions trace;
 };
 
 /// Per-session degradation state, surfaced through SessionReport and
@@ -226,6 +246,11 @@ struct SessionReport {
   /// Bytes this camera wasted on the WAN beyond goodput (failed attempts
   /// and duplicates); edge_to_cloud_bytes stays pure goodput.
   std::uint64_t wan_retransmit_bytes = 0;
+  /// Bytes that crossed the WAN but arrived corrupt and were dropped
+  /// downstream. Reclassified out of edge_to_cloud_bytes when the frame
+  /// settles as dropped_corrupt, so goodput counts only frames that
+  /// actually became labels (a corrupt delivery used to inflate it).
+  std::uint64_t wan_corrupt_bytes = 0;
   std::uint64_t replans = 0;         ///< plan swaps this session saw
   SessionHealth health = SessionHealth::kHealthy;  ///< state at drain
   // Push-to-settle latency of delivered frames (milliseconds).
@@ -251,18 +276,46 @@ enum class FrameOutcome {
   kDroppedShutdown  ///< in flight when Shutdown cancelled the links
 };
 
+/// Resolved obs::Registry handles for one session's counters — named
+/// "session.<route>.<metric>". Handles are resolved once (BindMetrics) and
+/// have stable addresses; the hot path touches only the atomic behind each
+/// one, never the registry map. SessionReport is a drain-time view over
+/// these (plus the byte meters).
+struct SessionMetrics {
+  obs::Counter* iframes = nullptr;       ///< frames passing the seeker
+  obs::Counter* labels = nullptr;        ///< rows inserted into the db
+  obs::Counter* stored_edge = nullptr;   ///< P-frames filtered edge-side
+  obs::Counter* delivered = nullptr;     ///< frames labelled into the db
+  obs::Counter* dropped_wan = nullptr;
+  obs::Counter* dropped_corrupt = nullptr;
+  obs::Counter* dropped_shutdown = nullptr;
+  obs::Counter* wan_retries = nullptr;
+  obs::Counter* cloud_batched_frames = nullptr;
+  obs::Counter* cloud_batch_size_sum = nullptr;
+  /// Push-to-settle latency of delivered frames, milliseconds.
+  obs::Histogram* latency_ms = nullptr;
+};
+
 /// Shared state of one camera session. Lives in a shared_ptr: the session
 /// handle, the runtime registry, and in-flight pipeline items all reference
 /// it, so a session handle stays valid even past Runtime shutdown.
 struct SessionState {
   SessionState(std::string id, std::string route_key,
                const codec::ContainerHeader& hdr, std::size_t queue_capacity,
-               const net::LinkModel& lan, double time_scale)
+               const net::LinkModel& lan, double time_scale,
+               std::shared_ptr<obs::Registry> reg)
       : camera_id(std::move(id)),
         route(std::move(route_key)),
+        track(obs::HashTrack(route)),
         header(hdr),
         camera_queue(queue_capacity),
-        camera_edge(lan, time_scale) {}
+        camera_edge(lan, time_scale) {
+    BindMetrics(std::move(reg));
+  }
+
+  /// Resolve this session's registry handles ("session.<route>.*"). Called
+  /// from the constructor so no frame can ever observe an unbound handle.
+  void BindMetrics(std::shared_ptr<obs::Registry> reg);
 
   /// Mark one in-flight frame fully handled (filtered, failed, or labelled).
   void Settle() {
@@ -289,6 +342,9 @@ struct SessionState {
   const std::string route;  ///< unique per-session routing key (id#seq):
                             ///< lets a reconnecting camera reuse its id while
                             ///< in-flight frames still reach the old session
+  /// obs::HashTrack(route): the trace-track identity stamped into every
+  /// frame's TraceContext, so per-frame spans group per session.
+  const std::uint64_t track;
   const codec::ContainerHeader header;  ///< edge decode parameters
   /// Inference precision for every tier touching this session's frames.
   /// Written once at OpenSession (before the state is published to the
@@ -307,33 +363,20 @@ struct SessionState {
   Stopwatch opened;
   std::atomic<bool> closed{false};
   std::atomic<std::size_t> pushed{0};
-  std::atomic<std::size_t> iframes{0};
-  std::atomic<std::size_t> labels{0};
-  std::atomic<std::uint64_t> wan_retries{0};
+
+  /// Keepalive for the metric handles: a session handle outlives the
+  /// Runtime safely, so the registry the handles point into must too.
+  std::shared_ptr<obs::Registry> registry;
+  /// The outcome ledger and latency distribution, as registry handles
+  /// (lock-free on the settle path; SessionReport reads them at drain).
+  SessionMetrics metrics;
 
   /// The runtime's query layer; Drain seals this session's index entry.
   std::shared_ptr<query::QueryService> query;
 
-  std::mutex mutex;  ///< guards db + settled + outcome/latency ledger
+  std::mutex mutex;  ///< guards db + settled
   std::condition_variable settled_cv;
   std::size_t settled = 0;
-  // Outcome ledger (guarded by `mutex`).
-  std::size_t stored_edge = 0;
-  std::size_t delivered = 0;
-  std::size_t dropped_wan = 0;
-  std::size_t dropped_corrupt = 0;
-  std::size_t dropped_shutdown = 0;
-  // Fleet batching share of this camera (guarded by `mutex`): frames that
-  // rode batched cloud passes and the summed sizes of those batches.
-  std::uint64_t cloud_batched_frames = 0;
-  std::uint64_t cloud_batch_size_sum = 0;
-  // Push-to-settle latencies of delivered frames, milliseconds (guarded by
-  // `mutex`; the sample is capped so a 24/7 session stays bounded).
-  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
-  std::size_t latency_count = 0;
-  double latency_sum_ms = 0.0;
-  double latency_max_ms = 0.0;
-  std::vector<float> latency_samples;
   core::ResultsDatabase db;
 };
 
@@ -446,6 +489,18 @@ class Runtime {
   /// tests and benches; sessions never touch it directly.
   net::ReliableTransport& wan() noexcept { return wan_; }
 
+  /// This runtime's metrics registry. Per-runtime (not process-global) so
+  /// two Runtimes in one process never mix "session.<route>.*" families —
+  /// route keys restart at "<id>#1" per runtime. Session counters land here
+  /// as frames settle; PublishMetrics() refreshes the shared-tier gauges.
+  obs::Registry& registry() const noexcept { return *registry_; }
+
+  /// Refresh the wan.* / batch.* / runtime.* gauges from their live
+  /// sources (transport stats, byte meters, batcher, supervision states).
+  /// health() calls this; call it directly before registry().Snapshot()
+  /// to get a coherent external dump.
+  void PublishMetrics() const;
+
  private:
   std::shared_ptr<internal::SessionState> FindSession(
       const dataflow::FlowFile& file);
@@ -470,6 +525,9 @@ class Runtime {
   RuntimeConfig config_;
   const nn::FrameClassifier* classifier_;
   Executor* executor_;
+  /// Owns this runtime's metric families; session states share it so their
+  /// handles stay valid past the Runtime (see SessionState::registry).
+  std::shared_ptr<obs::Registry> registry_;
   net::ReliableTransport wan_;  ///< the shared WAN hop (reliable send path)
   /// Last LinkHealth ApplyWanHealth ran for (as int); CAS'd by the wan
   /// stage so each transition triggers exactly one replan sweep.

@@ -1,0 +1,166 @@
+// Metrics registry unit tests: bucket edge placement, interpolated
+// percentiles against known distributions, exact count/sum/max, handle
+// stability, and snapshot consistency.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sieve::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, HistogramBucketBoundsAreExponential) {
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(0), 1e-3);
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(1), 2e-3);
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(10), 1e-3 * 1024);
+  EXPECT_TRUE(std::isinf(Histogram::UpperBound(Histogram::kBuckets - 1)));
+}
+
+TEST(Metrics, HistogramBucketEdgesAreRightClosed) {
+  // Bucket i holds (UpperBound(i-1), UpperBound(i)]: a sample exactly on a
+  // bound lands in that bound's bucket, one ulp above lands in the next.
+  Histogram h;
+  h.Record(Histogram::UpperBound(3));  // exactly 8e-3 -> bucket 3
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 0u);
+  h.Record(std::nextafter(Histogram::UpperBound(3), 1.0));  // just above
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Metrics, HistogramFirstAndOverflowBuckets) {
+  Histogram h;
+  h.Record(0.0);        // below the first bound
+  h.Record(-5.0);       // negative clamps into the first bucket
+  h.Record(std::nan("1"));  // NaN clamps too, never lost
+  EXPECT_EQ(h.bucket(0), 3u);
+  h.Record(1e12);  // beyond every finite bound -> overflow bucket
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Metrics, HistogramCountSumMaxAreExact) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(Metrics, PercentileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Percentile(0.99), 0.0);
+}
+
+TEST(Metrics, PercentileLandsInsideTheRightBucket) {
+  // 100 identical samples at 0.4: every percentile must interpolate within
+  // 0.4's bucket — (0.256, 0.512] — never outside it.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0.4);
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) {
+    const double p = h.Percentile(q);
+    EXPECT_GT(p, 0.256) << "q=" << q;
+    EXPECT_LE(p, 0.512) << "q=" << q;
+  }
+}
+
+TEST(Metrics, PercentileSeparatesBimodalDistribution) {
+  // 90 fast samples (~2ms) and 10 slow ones (~1s): p50 must report the
+  // fast mode, p99 the slow one — the whole point of keeping a histogram
+  // instead of an average.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(0.002);
+  for (int i = 0; i < 10; ++i) h.Record(1.0);
+  EXPECT_LE(h.Percentile(0.5), 0.004);
+  EXPECT_GT(h.Percentile(0.99), 0.5);
+}
+
+TEST(Metrics, PercentileOverflowBucketUsesExactMax) {
+  // Samples in the +inf bucket have no upper bound; the interpolation must
+  // fall back to the exact tracked max, not infinity.
+  Histogram h;
+  h.Record(1e12);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_FALSE(std::isinf(p99));
+  EXPECT_LE(p99, 1e12);
+}
+
+TEST(Metrics, RegistryHandlesAreStableAndShared) {
+  Registry reg;
+  Counter* a = reg.GetCounter("test.counter");
+  Counter* b = reg.GetCounter("test.counter");
+  EXPECT_EQ(a, b);  // same name -> same handle
+  EXPECT_NE(a, reg.GetCounter("test.other"));
+  Gauge* g = reg.GetGauge("test.gauge");
+  EXPECT_EQ(g, reg.GetGauge("test.gauge"));
+  Histogram* h = reg.GetHistogram("test.hist");
+  EXPECT_EQ(h, reg.GetHistogram("test.hist"));
+  // A counter and a gauge may share a name without colliding: separate
+  // namespaces per metric kind.
+  EXPECT_NE(static_cast<void*>(reg.GetCounter("test.same")),
+            static_cast<void*>(reg.GetGauge("test.same")));
+}
+
+TEST(Metrics, SnapshotReflectsEveryRegisteredMetric) {
+  Registry reg;
+  reg.GetCounter("snap.counter")->Add(7);
+  reg.GetGauge("snap.gauge")->Set(2.5);
+  Histogram* h = reg.GetHistogram("snap.hist");
+  h->Record(0.010);
+  h->Record(0.020);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.count("snap.counter"), 1u);
+  EXPECT_EQ(snap.counters.at("snap.counter"), 7u);
+  ASSERT_EQ(snap.gauges.count("snap.gauge"), 1u);
+  EXPECT_EQ(snap.gauges.at("snap.gauge"), 2.5);
+  ASSERT_EQ(snap.histograms.count("snap.hist"), 1u);
+  const HistogramSnapshot& hs = snap.histograms.at("snap.hist");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_DOUBLE_EQ(hs.sum, 0.030);
+  EXPECT_DOUBLE_EQ(hs.max, 0.020);
+  EXPECT_EQ(hs.buckets.size(), Histogram::kBuckets);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : hs.buckets) total += b;
+  EXPECT_EQ(total, hs.count) << "bucket counts must sum to the total";
+  EXPECT_GT(hs.p50, 0.0);
+  EXPECT_LE(hs.p50, hs.p99);
+}
+
+TEST(Metrics, SnapshotIsAPointInTimeCopy) {
+  Registry reg;
+  Counter* c = reg.GetCounter("copy.counter");
+  c->Add(1);
+  const MetricsSnapshot before = reg.Snapshot();
+  c->Add(100);
+  EXPECT_EQ(before.counters.at("copy.counter"), 1u)
+      << "later increments must not leak into an earlier snapshot";
+  EXPECT_EQ(reg.Snapshot().counters.at("copy.counter"), 101u);
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+}  // namespace
+}  // namespace sieve::obs

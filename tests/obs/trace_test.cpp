@@ -1,0 +1,177 @@
+// Trace recorder unit tests: the disabled fast path records nothing, rings
+// wrap (oldest events overwritten and counted) instead of growing, span /
+// instant payloads survive the snapshot intact, and the naming helpers
+// (track hash/registry, interning, thread names) behave.
+//
+// Tracing state is process-global; every test that records starts with
+// StartTracing(n) — which resets all rings — and ends with StopTracing(),
+// so tests stay order-independent.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sieve::obs {
+namespace {
+
+/// Total events across all rings whose name matches.
+std::size_t CountEvents(const std::vector<ThreadTrace>& traces,
+                        const std::string& name) {
+  std::size_t n = 0;
+  for (const ThreadTrace& t : traces) {
+    for (const TraceEvent& e : t.events) {
+      if (e.name != nullptr && name == e.name) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  StartTracing(64);  // resets rings from any earlier test
+  StopTracing();
+  ASSERT_FALSE(TracingEnabled());
+  RecordInstant("trace-test/disabled", {1, 2});
+  { TraceSpan span("trace-test/disabled-span", {1, 2}); }
+  EXPECT_EQ(CountEvents(SnapshotTrace(), "trace-test/disabled"), 0u);
+  EXPECT_EQ(CountEvents(SnapshotTrace(), "trace-test/disabled-span"), 0u);
+}
+
+TEST(Trace, StartStopTogglesTheFastPath) {
+  StartTracing(64);
+  EXPECT_TRUE(TracingEnabled());
+  StopTracing();
+  EXPECT_FALSE(TracingEnabled());
+}
+
+TEST(Trace, InstantCarriesContextAndArgs) {
+  StartTracing(64);
+  RecordInstant("trace-test/instant", {7, 42}, "a", 11, "b", 22);
+  StopTracing();
+  const auto traces = SnapshotTrace();
+  const TraceEvent* found = nullptr;
+  for (const ThreadTrace& t : traces) {
+    for (const TraceEvent& e : t.events) {
+      if (e.name != nullptr && std::string("trace-test/instant") == e.name) {
+        found = &e;
+      }
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->phase, 'i');
+  EXPECT_EQ(found->track, 7u);
+  EXPECT_EQ(found->frame, 42u);
+  EXPECT_STREQ(found->a0_name, "a");
+  EXPECT_EQ(found->a0, 11u);
+  EXPECT_STREQ(found->a1_name, "b");
+  EXPECT_EQ(found->a1, 22u);
+}
+
+TEST(Trace, SpanStampsDurationAndEndsOnce) {
+  StartTracing(64);
+  {
+    TraceSpan span("trace-test/span", {3, 9});
+    span.Arg("payload", 123);
+    span.End();
+    span.End();  // idempotent: must not record a second event
+  }              // destructor after End(): also a no-op
+  StopTracing();
+  const auto traces = SnapshotTrace();
+  EXPECT_EQ(CountEvents(traces, "trace-test/span"), 1u);
+  for (const ThreadTrace& t : traces) {
+    for (const TraceEvent& e : t.events) {
+      if (e.name != nullptr && std::string("trace-test/span") == e.name) {
+        EXPECT_EQ(e.phase, 'X');
+        EXPECT_EQ(e.track, 3u);
+        EXPECT_EQ(e.frame, 9u);
+        EXPECT_STREQ(e.a0_name, "payload");
+        EXPECT_EQ(e.a0, 123u);
+      }
+    }
+  }
+}
+
+TEST(Trace, RingWrapsOverwritingOldestAndCountsDropped) {
+  constexpr std::size_t kCapacity = 16;
+  constexpr std::uint64_t kRecorded = 50;
+  StartTracing(kCapacity);
+  for (std::uint64_t i = 0; i < kRecorded; ++i) {
+    RecordInstant("trace-test/wrap", {1, i}, "i", i);
+  }
+  StopTracing();
+  // This thread's ring: exactly kCapacity survivors, the REST counted as
+  // dropped, and the survivors are the newest kCapacity in order.
+  const auto traces = SnapshotTrace();
+  for (const ThreadTrace& t : traces) {
+    if (CountEvents({t}, "trace-test/wrap") == 0) continue;
+    EXPECT_EQ(t.events.size(), kCapacity);
+    EXPECT_EQ(t.dropped, kRecorded - kCapacity);
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      EXPECT_EQ(t.events[i].a0, kRecorded - kCapacity + i)
+          << "survivors must be the newest events, oldest first";
+    }
+    return;
+  }
+  FAIL() << "no ring contained the wrap events";
+}
+
+TEST(Trace, RestartResetsRingsAndEpoch) {
+  StartTracing(64);
+  RecordInstant("trace-test/before-restart", {1, 1});
+  StartTracing(64);  // restart: prior events must be gone
+  StopTracing();
+  EXPECT_EQ(CountEvents(SnapshotTrace(), "trace-test/before-restart"), 0u);
+}
+
+TEST(Trace, TimestampsAreMonotonicWithinAThread) {
+  StartTracing(64);
+  const std::uint64_t a = NowMicros();
+  const std::uint64_t b = NowMicros();
+  StopTracing();
+  EXPECT_LE(a, b);
+}
+
+TEST(Trace, ThreadNameAndEventsAppearPerThread) {
+  StartTracing(64);
+  std::thread worker([] {
+    SetThreadName("trace-test-worker");
+    RecordInstant("trace-test/from-worker", {5, 0});
+  });
+  worker.join();
+  StopTracing();
+  bool found = false;
+  for (const ThreadTrace& t : SnapshotTrace()) {
+    if (CountEvents({t}, "trace-test/from-worker") == 1) {
+      EXPECT_EQ(t.thread_name, "trace-test-worker");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, HashTrackIsStableAndNeverZero) {
+  EXPECT_NE(HashTrack("cam-a#1"), 0u);
+  EXPECT_EQ(HashTrack("cam-a#1"), HashTrack("cam-a#1"));
+  EXPECT_NE(HashTrack("cam-a#1"), HashTrack("cam-a#2"));
+  EXPECT_NE(HashTrack(""), 0u);  // even the empty route gets a track
+}
+
+TEST(Trace, NameTrackRoundTrips) {
+  const std::uint64_t track = HashTrack("trace-test-route#9");
+  NameTrack(track, "trace-test-route#9");
+  EXPECT_EQ(TrackName(track), "trace-test-route#9");
+  EXPECT_EQ(TrackName(0xdeadbeefdeadbeefull), "");
+}
+
+TEST(Trace, InternNameReturnsStablePointer) {
+  const char* a = InternName(std::string("trace-test-dynamic-name"));
+  const char* b = InternName(std::string("trace-test-dynamic-name"));
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "trace-test-dynamic-name");
+}
+
+}  // namespace
+}  // namespace sieve::obs

@@ -25,6 +25,11 @@ Fails (exit 1) on a >threshold regression in the tracked scenarios:
   * pipelined_encode — pipelined-vs-plain encode speedup (skipped on
                     single-core runners, where there is nothing to overlap
                     with) plus a hard-fail bit_identical boolean
+  * trace_overhead — the observability contract: tracing on must cost < 2%
+                    CPU over tracing off (absolute gate, no baseline, no
+                    noise band — the scenario medians paired legs to stay
+                    below measurement noise) and must not change one byte
+                    of bitstream or db (hard-fail bit_identical)
 
 Ratio metrics (speedups) are machine-normalized — both legs run in the same
 process on the same box — so they are comparable between the committed
@@ -62,6 +67,7 @@ SCENARIO_OF = {
     "fleet_scale": "fleet_scale",
     "int8_inference": "int8_inference",
     "pipelined_encode": "pipelined_encode",
+    "trace_overhead": "trace_overhead",
 }
 
 
@@ -159,7 +165,41 @@ BOOLEANS = [
     # bitstreams to the non-pipelined path (core or not — bit-equality
     # holds everywhere even when the speedup doesn't).
     "pipelined_encode.bit_identical",
+    # Hard gate: enabling the trace recorder must not change one byte of
+    # bitstream or db output. A false is an observer effect (a probe
+    # feeding back into encode decisions or frame routing), not noise.
+    "trace_overhead.bit_identical",
 ]
+
+# The trace recorder's overhead contract (docs/observability.md): enabling
+# tracing costs < this much CPU on the bench's encode+serve workload. An
+# ABSOLUTE ceiling on the fresh report — no baseline ratio, no noise band;
+# the harness medians interleaved order-balanced paired legs specifically
+# so this number sits well below the gate when the recorder is healthy.
+TRACE_OVERHEAD_LIMIT_PCT = 2.0
+
+
+def check_trace_overhead(fresh, failures):
+    pct = get(fresh, "trace_overhead.overhead_pct")
+    events = get(fresh, "trace_overhead.events")
+    if pct is None or not isinstance(pct, (int, float)):
+        failures.append("trace_overhead.overhead_pct: missing in fresh report")
+        print(f"{'trace_overhead.overhead_pct':44s} {'<2.0%':>10s} "
+              f"{'MISSING':>10s}   FAIL")
+        return
+    mark = "ok" if pct < TRACE_OVERHEAD_LIMIT_PCT else "FAIL"
+    print(f"{'trace_overhead.overhead_pct':44s} {'<2.0%':>10s} "
+          f"{pct:9.2f}%   {mark}")
+    if mark == "FAIL":
+        failures.append(
+            f"trace_overhead.overhead_pct: {pct:.2f}% >= "
+            f"{TRACE_OVERHEAD_LIMIT_PCT:.1f}% (tracing must stay cheap)")
+    # A recorder that silently stopped recording would ace the gate — the
+    # scenario must actually have captured events for the number to count.
+    if not events:
+        failures.append("trace_overhead.events: traced leg recorded nothing")
+        print(f"{'trace_overhead.events':44s} {'>0':>10s} "
+              f"{str(events):>10s}   FAIL")
 
 
 def check_kernel_arches(fresh, failures):
@@ -249,6 +289,9 @@ def main():
 
     if scenario_ran(fresh, "dct_sad_kernels.arches"):
         check_kernel_arches(fresh, failures)
+
+    if scenario_ran(fresh, "trace_overhead.overhead_pct"):
+        check_trace_overhead(fresh, failures)
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond "

@@ -2,13 +2,19 @@
 # Build (Release, -O2) and run the hot-path perf harness with its fixed seed,
 # writing BENCH_hotpaths.json at the repo root. Usage:
 #
-#   tools/run_bench.sh [build_dir] [output_json] [scenarios]
+#   tools/run_bench.sh [--trace[=trace.json]] [build_dir] [output_json] [scenarios]
 #
 # `scenarios` is a comma-separated filter (default: everything), e.g.
 #   tools/run_bench.sh build BENCH_placement.json nn_placement,multi_session
 # A filtered run writes zeros for the skipped sections, so when no explicit
 # output path is given it lands in BENCH_hotpaths.filtered.json instead of
 # the tracked BENCH_hotpaths.json.
+#
+# `--trace` makes the trace_overhead scenario write its traced leg's Chrome
+# trace (default BENCH_trace.json at the repo root; override with
+# --trace=path). Load it in chrome://tracing or Perfetto — per-frame spans
+# from encode passes through WAN retries to the db inserts
+# (docs/observability.md).
 #
 # The harness is deterministic in the work it performs; timings obviously
 # depend on the machine, which is why every speedup in the JSON is measured
@@ -27,14 +33,27 @@
 # fleet_scale (batched vs unbatched cloud inference across a 8/32/64-session
 # sweep, with per-camera bit-equality checks), int8_inference (int8 vs fp32
 # backbone forward latency + the top-1 agreement contract over a labelled
-# scene), and pipelined_encode (frame-level pipelining on vs off at the same
-# parallelism, with a byte-equality check on the bitstreams).
+# scene), pipelined_encode (frame-level pipelining on vs off at the same
+# parallelism, with a byte-equality check on the bitstreams), and
+# trace_overhead (the observability contract: trace recorder on vs off over
+# one encode+serve workload — CPU overhead must stay under 2% and the
+# outputs byte-identical).
 #
 # Gate a fresh report against the committed baseline with
 #   python3 tools/check_bench.py BENCH_hotpaths.json fresh.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+trace_json=""
+if [[ "${1:-}" == --trace ]]; then
+  trace_json="$repo_root/BENCH_trace.json"
+  shift
+elif [[ "${1:-}" == --trace=* ]]; then
+  trace_json="${1#--trace=}"
+  shift
+fi
+
 build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/BENCH_hotpaths.json}"
 scenarios="${3:-}"
@@ -54,10 +73,13 @@ cmake --build "$build_dir" --target perf_hotpaths -j "$(nproc)"
 # replace the tracked trajectory JSON with a partial/zeroed report.
 tmp_json="$(mktemp "${out_json}.XXXXXX")"
 trap 'rm -f "$tmp_json"' EXIT
-if ! "$build_dir/perf_hotpaths" "$tmp_json" 0 "$scenarios"; then
+if ! "$build_dir/perf_hotpaths" "$tmp_json" 0 "$scenarios" "$trace_json"; then
   echo "perf_hotpaths failed; keeping existing $out_json" >&2
   exit 1
 fi
 mv "$tmp_json" "$out_json"
 trap - EXIT
 echo "benchmark report: $out_json"
+if [[ -n "$trace_json" ]]; then
+  echo "chrome trace: $trace_json (load in chrome://tracing)"
+fi

@@ -12,6 +12,10 @@
 // The labels file for `tune` has one integer label-set bitmask per line
 // (0 = empty scene), matching the video's frame count — the format
 // `synth` writes next to its output.
+//
+// A global `--trace-out=PATH` flag (before the subcommand) records a Chrome
+// trace of the run — encode-pass spans and all — and writes it to PATH on
+// exit; load it in chrome://tracing (docs/observability.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +29,7 @@
 #include "core/tuner.h"
 #include "media/pnm.h"
 #include "media/y4m.h"
+#include "obs/export.h"
 #include "synth/scene.h"
 
 namespace {
@@ -239,22 +244,38 @@ int CmdExtract(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_out;
+  if (argc >= 2 && std::strncmp(argv[1], "--trace-out=", 12) == 0) {
+    trace_out = argv[1] + 12;
+    --argc;
+    ++argv;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "sieve — semantic video encoding toolkit\n"
+                 "usage: sieve [--trace-out=trace.json] <command> ...\n"
                  "commands: synth tune encode info seek decode extract\n");
     return 2;
   }
+  if (!trace_out.empty()) sieve::obs::StartTracing();
   const std::string cmd = argv[1];
   argc -= 2;
   argv += 2;
-  if (cmd == "synth") return CmdSynth(argc, argv);
-  if (cmd == "tune") return CmdTune(argc, argv);
-  if (cmd == "encode") return CmdEncode(argc, argv);
-  if (cmd == "info") return CmdInfo(argc, argv);
-  if (cmd == "seek") return CmdSeek(argc, argv);
-  if (cmd == "decode") return CmdDecode(argc, argv);
-  if (cmd == "extract") return CmdExtract(argc, argv);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
+  int rc = 2;
+  if (cmd == "synth") rc = CmdSynth(argc, argv);
+  else if (cmd == "tune") rc = CmdTune(argc, argv);
+  else if (cmd == "encode") rc = CmdEncode(argc, argv);
+  else if (cmd == "info") rc = CmdInfo(argc, argv);
+  else if (cmd == "seek") rc = CmdSeek(argc, argv);
+  else if (cmd == "decode") rc = CmdDecode(argc, argv);
+  else if (cmd == "extract") rc = CmdExtract(argc, argv);
+  else std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  if (!trace_out.empty()) {
+    sieve::obs::StopTracing();
+    if (auto s = sieve::obs::WriteChromeTrace(trace_out); !s.ok()) {
+      return Fail(s);
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
+  return rc;
 }
