@@ -10,7 +10,7 @@
 //   scenarios: comma-separated subset of
 //     encode,motion,gemm,conv,multi_session,nn_placement,live_query,
 //     dct_sad_kernels,wan_chaos,fleet_scale,int8_inference,pipelined_encode,
-//     trace_overhead
+//     trace_overhead,durability
 //   (default: all). Skipped scenarios report zeros in the JSON.
 //   trace.json: when given, the trace_overhead scenario writes its traced
 //   leg's Chrome trace there (load in chrome://tracing).
@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "codec/container.h"
 #include "codec/encoder.h"
 #include "codec/motion.h"
@@ -45,8 +47,11 @@
 #include "nn/tensor.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "query/service.h"
 #include "runtime/placement.h"
 #include "runtime/runtime.h"
+#include "store/journal.h"
+#include "store/recovery.h"
 #include "synth/scene.h"
 
 namespace {
@@ -58,7 +63,8 @@ constexpr std::uint64_t kSeed = 20260729;
 constexpr const char* kKnownScenarios[] = {
     "encode", "motion", "gemm",         "conv",      "multi_session",
     "nn_placement", "live_query", "dct_sad_kernels", "wan_chaos",
-    "fleet_scale", "int8_inference", "pipelined_encode", "trace_overhead"};
+    "fleet_scale", "int8_inference", "pipelined_encode", "trace_overhead",
+    "durability"};
 
 /// Set when a scenario could not run (encode failure, session failure...);
 /// main exits nonzero so tools/run_bench.sh never commits a partial report.
@@ -1499,6 +1505,326 @@ TraceOverheadRow BenchTraceOverhead(int parallel_threads,
   return row;
 }
 
+// ------------------------------------------------------------ durability --
+
+struct DurabilityRow {
+  // Journal ingest overhead: identical camera sessions served through the
+  // runtime with the results store on vs off, paired interleaved CPU-time
+  // legs, median ratio (gated < 5%).
+  std::size_t ingest_rows = 0;  ///< frames pushed through the sessions
+  double journal_off_s = 0;
+  double journal_on_s = 0;
+  double journal_overhead_pct = 0;
+  // Boot-time recovery of a 100k-record journal: RecoverStore + replay
+  // into a live QueryService, wall time.
+  std::size_t recovery_records = 0;
+  double recovery_s = 0;
+  double recovery_records_per_s = 0;
+  bool recovered_identical = false;  ///< replay == live-run snapshot
+  // Snapshot-publication cost vs history depth: per-insert Publish with
+  // ~1k intervals behind the camera vs ~100k (gated flat, < 3x — the
+  // pre-sharding index was ~100x here).
+  std::size_t publish_history = 0;
+  double publish_small_us = 0;
+  double publish_large_us = 0;
+  double publish_flat_ratio = 0;
+};
+
+/// Deterministic ingest label stream: a few-frame cadence over two classes
+/// so intervals keep opening and closing on the incremental publish path.
+std::uint8_t DurabilityBits(std::size_t i) {
+  switch (i % 6) {
+    case 0:
+    case 1:
+      return 0x01;  // car
+    case 2:
+      return 0x03;  // car+bus
+    case 3:
+      return 0x02;  // bus
+    default:
+      return 0x00;  // empty
+  }
+}
+
+DurabilityRow BenchDurability() {
+  namespace fs = std::filesystem;
+  DurabilityRow row;
+  const std::string scratch =
+      (fs::temp_directory_path() / "sieve_bench_durability").string();
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+  fs::create_directories(scratch, ec);
+  if (ec) {
+    ReportScenarioFailure("durability", "cannot create scratch dir");
+    return row;
+  }
+
+  // Part 1 — journal ingest overhead, measured where it matters: the
+  // runtime's session ingest path. Two identical camera sessions stream a
+  // scene through encode + classify + store, once with the results store
+  // off (the pre-durability configuration) and once journaling every insert
+  // at the default group-commit cadence into a fresh store dir. Timed in
+  // process CPU seconds like trace_overhead (group commit makes device
+  // waits rare; the recurring cost is CPU — framing, CRC32, buffered
+  // fwrite). Legs are paired and order-flipped per rep; the gate takes the
+  // median ratio.
+  constexpr int kW = 64, kH = 48;
+  constexpr std::size_t kFrames = 96;
+  synth::SceneConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.num_frames = kFrames;
+  cfg.seed = kSeed + 101;
+  cfg.object_scale = 0.3;
+  cfg.mean_gap_seconds = 0.6;
+  cfg.min_gap_seconds = 0.3;
+  cfg.mean_dwell_seconds = 0.8;
+  cfg.min_dwell_seconds = 0.4;
+  cfg.noise_sigma = 2.0;
+  cfg.jitter_px = 1;
+  const auto scene = synth::GenerateScene(cfg);
+  nn::ClassifierParams cp;
+  cp.input_size = 32;
+  cp.embedding_dim = 16;
+  nn::FrameClassifier classifier(cp);
+  if (!classifier.Fit(scene.video.frames, scene.truth, 4).ok()) {
+    ReportScenarioFailure("durability", "classifier fit failed");
+    return row;
+  }
+  // Each session pushes the scene several times over: a leg has to run
+  // ~0.2s+ of CPU for the paired ratio to resolve a 5% gate above
+  // scheduler noise (same reasoning as trace_overhead's leg length).
+  constexpr std::size_t kPasses = 8;
+  row.ingest_rows = 2 * kPasses * kFrames;
+  int leg_serial = 0;
+  const auto ingest_leg = [&](bool journaled) -> double {
+    runtime::RuntimeConfig rc;
+    rc.nn_input_size = 32;
+    rc.adaptive_placement = false;  // same plan both legs, deterministic
+    if (journaled) {
+      // A fresh dir per leg: reusing one would turn the second leg into a
+      // reconnect/resume run, a different code path.
+      rc.store.dir = scratch + "/ingest" + std::to_string(leg_serial++);
+    }
+    const std::clock_t cpu_start = std::clock();
+    runtime::Runtime rt(rc, &classifier);
+    std::vector<std::unique_ptr<runtime::SieveSession>> sessions;
+    for (int cam = 0; cam < 2; ++cam) {
+      runtime::SessionConfig sc;
+      sc.width = kW;
+      sc.height = kH;
+      auto session = rt.OpenSession("dur-" + std::to_string(cam), sc);
+      if (!session.ok()) {
+        ReportScenarioFailure("durability", "OpenSession failed");
+        return -1.0;
+      }
+      sessions.push_back(std::move(*session));
+    }
+    std::size_t frames = 0;
+    for (auto& session : sessions) {
+      for (std::size_t pass = 0; pass < kPasses; ++pass) {
+        for (const auto& frame : scene.video.frames) {
+          if (!session->PushFrame(frame).ok()) break;
+        }
+      }
+      frames += session->Drain().frames_pushed;
+    }
+    (void)rt.Shutdown();
+    const double s = double(std::clock() - cpu_start) / CLOCKS_PER_SEC;
+    if (frames != 2 * kPasses * kFrames) {
+      ReportScenarioFailure("durability", "an ingest leg lost frames");
+      return -1.0;
+    }
+    return s;
+  };
+
+  constexpr int kReps = 6;
+  {
+    std::vector<double> ratios;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const bool on_first = rep % 2 != 0;
+      const double first = ingest_leg(on_first);
+      const double second = ingest_leg(!on_first);
+      if (first < 0 || second < 0) return row;
+      const double off = on_first ? second : first;
+      const double on = on_first ? first : second;
+      ratios.push_back(Ratio(on, off));
+      if (row.journal_off_s == 0 || off < row.journal_off_s)
+        row.journal_off_s = off;
+      if (row.journal_on_s == 0 || on < row.journal_on_s)
+        row.journal_on_s = on;
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const std::size_t mid = ratios.size() / 2;
+    const double median = ratios.size() % 2 != 0
+                              ? ratios[mid]
+                              : (ratios[mid - 1] + ratios[mid]) / 2.0;
+    row.journal_overhead_pct = (median - 1.0) * 100.0;
+  }
+
+  // Part 2 — 100k-record boot recovery. Write a sealed 100k-insert journal,
+  // then time the full boot path: RecoverStore (scan + repair) plus replay
+  // into a fresh QueryService through a ResultsDatabase observer — exactly
+  // what Runtime does before accepting sessions. Identity check: the
+  // recovered snapshot must match a live run of the same stream.
+  constexpr std::size_t kRecoveryRows = 100'000;
+  const std::string rec_dir = scratch + "/recover";
+  fs::create_directories(rec_dir, ec);
+  {
+    auto writer = store::JournalWriter::Open(
+        rec_dir + "/" + store::JournalFileName("deep#1"), store::FsyncPolicy{});
+    if (!writer.ok()) {
+      ReportScenarioFailure("durability", "recovery journal open failed");
+      return row;
+    }
+    bool ok = (*writer)->AppendRegister("deep#1", "deep", 4.0, 30.0).ok();
+    for (std::size_t i = 0; ok && i < kRecoveryRows; ++i) {
+      ok = (*writer)->AppendInsert(std::uint64_t(i), DurabilityBits(i)).ok();
+    }
+    ok = ok && (*writer)->AppendSeal(kRecoveryRows).ok() &&
+         (*writer)->Close().ok();
+    if (!ok) {
+      ReportScenarioFailure("durability", "recovery journal write failed");
+      return row;
+    }
+  }
+  // The live-run reference the replay must reproduce.
+  query::QueryService live_ref;
+  {
+    live_ref.RegisterCamera("deep#1", "deep", query::CameraClock{4.0, 30.0});
+    core::ResultsDatabase db;
+    db.set_observer([&live_ref](const core::ResultsDatabase& d,
+                                std::size_t frame,
+                                const synth::LabelSet& labels) {
+      live_ref.Publish("deep#1", d, frame, labels);
+    });
+    for (std::size_t i = 0; i < kRecoveryRows; ++i) {
+      db.Insert(i, synth::LabelSet(DurabilityBits(i)));
+    }
+    live_ref.Seal("deep#1", kRecoveryRows);
+  }
+  query::QueryService recovered;
+  {
+    Stopwatch timer;
+    auto report = store::RecoverStore(rec_dir);
+    if (!report.ok()) {
+      ReportScenarioFailure("durability", "RecoverStore failed");
+      return row;
+    }
+    for (const auto& cam : report->cameras) {
+      recovered.RegisterCamera(
+          cam.route, cam.camera_id,
+          query::CameraClock{cam.open_seconds, cam.fps});
+      core::ResultsDatabase db;
+      db.set_observer([&recovered, &cam](const core::ResultsDatabase& d,
+                                         std::size_t frame,
+                                         const synth::LabelSet& labels) {
+        recovered.Publish(cam.route, d, frame, labels);
+      });
+      for (const auto& ins : cam.inserts) {
+        db.Insert(std::size_t(ins.frame), synth::LabelSet(ins.label_bits));
+      }
+      if (cam.sealed) recovered.Seal(cam.route, std::size_t(cam.total_frames));
+    }
+    row.recovery_s = timer.ElapsedSeconds();
+    row.recovery_records = report->records;
+  }
+  row.recovery_records_per_s =
+      row.recovery_s > 0 ? double(row.recovery_records) / row.recovery_s : 0;
+  {
+    const auto want = live_ref.snapshot();
+    const auto got = recovered.snapshot();
+    row.recovered_identical = want->cameras.size() == got->cameras.size();
+    for (const auto& [route, ref] : want->cameras) {
+      const auto it = got->cameras.find(route);
+      if (it == got->cameras.end()) {
+        row.recovered_identical = false;
+        break;
+      }
+      const auto& rec = *it->second;
+      row.recovered_identical =
+          row.recovered_identical && rec.sealed == ref->sealed &&
+          rec.total_frames == ref->total_frames &&
+          rec.inserts == ref->inserts;
+      for (std::size_t c = 0; c < std::size_t(synth::kNumObjectClasses); ++c) {
+        row.recovered_identical =
+            row.recovered_identical &&
+            rec.intervals[c].Materialize() == ref->intervals[c].Materialize();
+      }
+    }
+    if (!row.recovered_identical) {
+      ReportScenarioFailure("durability",
+                            "recovered snapshot differs from the live run");
+    }
+  }
+
+  // Part 3 — snapshot publication vs history depth. Publish cost must not
+  // grow with a camera's interval history (ROADMAP item 3): probe the
+  // per-insert Publish cost against a camera with ~1k intervals behind it
+  // and one with ~100k. Publishes go straight to the service (in-order, so
+  // the index never touches the db); the probe continues the alternating
+  // stream so every probe insert does real open/close interval work. The
+  // deep camera is built once; each rep rebuilds a fresh shallow camera and
+  // order-flips its probes. Ratio is the median across reps.
+  constexpr std::size_t kSmallIntervals = 1'000;
+  constexpr std::size_t kLargeIntervals = 100'000;
+  constexpr std::size_t kProbeRows = 5'000;
+  row.publish_history = kLargeIntervals;
+  {
+    query::QueryService service;
+    const core::ResultsDatabase dummy;  // in-order publishes never read it
+    const auto alternating = [](std::size_t i) {
+      // Even frame opens a car interval, odd closes it: one interval per
+      // two rows on exactly one chain.
+      return synth::LabelSet(i % 2 == 0 ? 0x01 : 0x00);
+    };
+    const auto build = [&](const std::string& route, std::size_t intervals) {
+      service.RegisterCamera(route, "probe", query::CameraClock{0.0, 30.0});
+      for (std::size_t i = 0; i < 2 * intervals; ++i) {
+        service.Publish(route, dummy, i, alternating(i));
+      }
+      return 2 * intervals;  // the next frame id
+    };
+    std::size_t deep_next = build("deep#probe", kLargeIntervals);
+    const auto probe = [&](const std::string& route,
+                           std::size_t& next) -> double {
+      const std::clock_t cpu_start = std::clock();
+      for (std::size_t i = 0; i < kProbeRows; ++i) {
+        service.Publish(route, dummy, next, alternating(next));
+        ++next;
+      }
+      const double s = double(std::clock() - cpu_start) / CLOCKS_PER_SEC;
+      return s * 1e6 / double(kProbeRows);
+    };
+    std::vector<double> ratios;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const std::string small_route = "small#" + std::to_string(rep);
+      std::size_t small_next = build(small_route, kSmallIntervals);
+      double small_us, large_us;
+      if (rep % 2 != 0) {
+        large_us = probe("deep#probe", deep_next);
+        small_us = probe(small_route, small_next);
+      } else {
+        small_us = probe(small_route, small_next);
+        large_us = probe("deep#probe", deep_next);
+      }
+      ratios.push_back(Ratio(large_us, small_us));
+      if (row.publish_small_us == 0 || small_us < row.publish_small_us)
+        row.publish_small_us = small_us;
+      if (row.publish_large_us == 0 || large_us < row.publish_large_us)
+        row.publish_large_us = large_us;
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const std::size_t mid = ratios.size() / 2;
+    row.publish_flat_ratio = ratios.size() % 2 != 0
+                                 ? ratios[mid]
+                                 : (ratios[mid - 1] + ratios[mid]) / 2.0;
+  }
+
+  fs::remove_all(scratch, ec);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1686,6 +2012,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(trace.events),
                 static_cast<unsigned long long>(trace.dropped_events),
                 trace.bit_identical ? "yes" : "NO");
+  }
+
+  const DurabilityRow dur =
+      Enabled("durability") ? BenchDurability() : DurabilityRow{};
+  if (Enabled("durability")) {
+    std::printf("durability: ingest %zu frames %.3fs off -> %.3fs on (%+.2f%%) "
+                "| recovery %zu records in %.3fs (%.0fk rec/s) | publish "
+                "%.3f -> %.3f us/insert (%.2fx at %zux history) | recovered "
+                "identical: %s\n",
+                dur.ingest_rows, dur.journal_off_s, dur.journal_on_s,
+                dur.journal_overhead_pct, dur.recovery_records,
+                dur.recovery_s, dur.recovery_records_per_s / 1e3,
+                dur.publish_small_us, dur.publish_large_us,
+                dur.publish_flat_ratio, dur.publish_history,
+                dur.recovered_identical ? "yes" : "NO");
   }
 
   std::FILE* f = std::fopen(out_path, "w");
@@ -1905,6 +2246,20 @@ int main(int argc, char** argv) {
                "    \"events\": %llu,\n"
                "    \"dropped_events\": %llu,\n"
                "    \"bit_identical\": %s\n"
+               "  },\n"
+               "  \"durability\": {\n"
+               "    \"ingest_rows\": %zu,\n"
+               "    \"journal_off_s\": %.4f,\n"
+               "    \"journal_on_s\": %.4f,\n"
+               "    \"journal_overhead_pct\": %.3f,\n"
+               "    \"recovery_records\": %zu,\n"
+               "    \"recovery_s\": %.4f,\n"
+               "    \"recovery_records_per_s\": %.0f,\n"
+               "    \"recovered_identical\": %s,\n"
+               "    \"publish_history\": %zu,\n"
+               "    \"publish_small_us\": %.4f,\n"
+               "    \"publish_large_us\": %.4f,\n"
+               "    \"publish_flat_ratio\": %.3f\n"
                "  }\n"
                "}\n",
                int8.fp32_forward_ms, int8.int8_forward_ms, int8.speedup,
@@ -1917,7 +2272,13 @@ int main(int argc, char** argv) {
                trace.untraced_s, trace.traced_s, trace.overhead_pct,
                static_cast<unsigned long long>(trace.events),
                static_cast<unsigned long long>(trace.dropped_events),
-               trace.bit_identical ? "true" : "false");
+               trace.bit_identical ? "true" : "false", dur.ingest_rows,
+               dur.journal_off_s, dur.journal_on_s, dur.journal_overhead_pct,
+               dur.recovery_records, dur.recovery_s,
+               dur.recovery_records_per_s,
+               dur.recovered_identical ? "true" : "false",
+               dur.publish_history, dur.publish_small_us,
+               dur.publish_large_us, dur.publish_flat_ratio);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   if (g_scenario_failed.load(std::memory_order_relaxed)) {

@@ -1,5 +1,8 @@
 #include "core/results_db.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace sieve::core {
 
 std::vector<std::pair<std::size_t, std::size_t>> ClassIntervals(
@@ -22,8 +25,35 @@ std::vector<std::pair<std::size_t, std::size_t>> ClassIntervals(
 }
 
 void ResultsDatabase::Insert(std::size_t frame_id, synth::LabelSet labels) {
+  inserted_ = true;
   rows_[frame_id] = labels;
   if (observer_) observer_(*this, frame_id, labels);
+}
+
+void ResultsDatabase::set_observer(InsertObserver observer) {
+  if (observer && inserted_) {
+    // A late observer has already missed rows; every downstream consumer
+    // (query index, journal) would silently diverge from the database.
+    // This is a wiring bug, not a runtime condition — fail loudly.
+    std::fprintf(stderr,
+                 "ResultsDatabase::set_observer: observer installed after "
+                 "first Insert (%zu rows already unobserved)\n",
+                 rows_.size());
+    std::abort();
+  }
+  observer_ = std::move(observer);
+}
+
+Status ResultsDatabase::Restore(std::map<std::size_t, synth::LabelSet> rows) {
+  if (!rows_.empty() || inserted_) {
+    return Status::Precondition("ResultsDatabase::Restore: database not empty");
+  }
+  if (observer_) {
+    return Status::Precondition(
+        "ResultsDatabase::Restore: observer already installed");
+  }
+  rows_ = std::move(rows);
+  return Status::Ok();
 }
 
 synth::LabelSet ResultsDatabase::LabelAt(std::size_t frame_id) const {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "synth/labels.h"
 
 namespace sieve::core {
@@ -40,11 +41,19 @@ class ResultsDatabase {
   void Insert(std::size_t frame_id, synth::LabelSet labels);
 
   /// Install (or clear, with nullptr) the insert observer. Not
-  /// synchronized against concurrent Insert — set it before the database
-  /// starts receiving rows.
-  void set_observer(InsertObserver observer) {
-    observer_ = std::move(observer);
-  }
+  /// synchronized against concurrent Insert — the observer MUST be
+  /// installed before the database receives its first Insert. Installing
+  /// one later is a hard error (the observer would have missed rows, and
+  /// downstream consumers like the query index would silently diverge):
+  /// it aborts rather than corrupt. Rows loaded via Restore() don't count
+  /// — replayed state may be re-observed from scratch.
+  void set_observer(InsertObserver observer);
+
+  /// Bulk-load recovered rows into an empty, unobserved database (journal
+  /// replay at boot). Fails if any row was already inserted or an observer
+  /// is installed; does not fire the observer and does not close the
+  /// set_observer window, so the caller can attach one after restoring.
+  Status Restore(std::map<std::size_t, synth::LabelSet> rows);
 
   std::size_t size() const noexcept { return rows_.size(); }
   const std::map<std::size_t, synth::LabelSet>& rows() const noexcept {
@@ -65,6 +74,7 @@ class ResultsDatabase {
  private:
   std::map<std::size_t, synth::LabelSet> rows_;
   InsertObserver observer_;
+  bool inserted_ = false;  ///< any live Insert seen (Restore doesn't count)
 };
 
 }  // namespace sieve::core

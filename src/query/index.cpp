@@ -2,13 +2,11 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace sieve::query {
 
 namespace {
-
-bool HasOpenInterval(const std::vector<FrameInterval>& intervals) {
-  return !intervals.empty() && intervals.back().end == kOpenEnd;
-}
 
 QueryEvent MakeEvent(QueryEvent::Kind kind, const CameraRecord& record,
                      synth::ObjectClass cls, std::size_t frame) {
@@ -25,38 +23,51 @@ QueryEvent MakeEvent(QueryEvent::Kind kind, const CameraRecord& record,
 
 void QueryIndex::RegisterCamera(const std::string& route,
                                 std::string camera_id, CameraClock clock) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  const auto base = snapshot();
-  if (base->cameras.contains(route)) return;
+  std::lock_guard<std::mutex> lock(register_mutex_);
+  const auto dir = directory_.load(std::memory_order_acquire);
+  if (dir->contains(route)) return;
+
   auto record = std::make_shared<CameraRecord>();
   record->camera_id = std::move(camera_id);
   record->clock = clock;
-  PublishLocked(*base, route, std::move(record));
+  auto shard = std::make_shared<CameraShard>();
+  shard->record.store(std::move(record), std::memory_order_release);
+
+  // Registration is the only directory clone — O(#cameras), but it happens
+  // once per session, not per insert.
+  auto next = std::make_shared<Directory>(*dir);
+  (*next)[route] = std::move(shard);
+  directory_.store(std::shared_ptr<const Directory>(std::move(next)),
+                   std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::vector<QueryEvent> QueryIndex::Apply(const std::string& route,
                                           const core::ResultsDatabase& db,
                                           std::size_t frame,
                                           const synth::LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  const auto base = snapshot();
-  const auto it = base->cameras.find(route);
-  if (it == base->cameras.end()) return {};  // unregistered: drop
+  const auto dir = directory_.load(std::memory_order_acquire);
+  const auto it = dir->find(route);
+  if (it == dir->end()) return {};  // unregistered: drop
+  CameraShard& shard = *it->second;
 
-  auto record = std::make_shared<CameraRecord>(*it->second);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto base = shard.record.load(std::memory_order_acquire);
+  // O(1) clone: chains share their frozen chunks with `base`.
+  auto record = std::make_shared<CameraRecord>(*base);
   std::vector<QueryEvent> events;
   if (!record->has_rows || frame > record->last_frame) {
     // In-order insert: one incremental step of FindObject's run scan.
     for (int c = 0; c < synth::kNumObjectClasses; ++c) {
       const auto cls = synth::ObjectClass(c);
       auto& runs = record->intervals[std::size_t(c)];
-      const bool open = HasOpenInterval(runs);
+      const bool open = runs.has_open();
       if (labels.Contains(cls) && !open) {
         runs.push_back(FrameInterval{frame, kOpenEnd});
         events.push_back(MakeEvent(QueryEvent::Kind::kEnter, *record, cls,
                                    frame));
       } else if (!labels.Contains(cls) && open) {
-        runs.back().end = frame;
+        runs.close_back(frame);
         events.push_back(MakeEvent(QueryEvent::Kind::kExit, *record, cls,
                                    frame));
       }
@@ -68,15 +79,17 @@ std::vector<QueryEvent> QueryIndex::Apply(const std::string& route,
     // longer hold, so rebuild this camera from the authoritative database
     // (stable for this call: the observer runs under the db's lock).
     // Events are the per-class liveness transitions the rebuild caused.
+    // Rebuilds are O(history) — surfaced through the counter and trace
+    // instant so recovery-heavy runs are visible (docs/observability.md).
+    if (rebuilds_ != nullptr) rebuilds_->Add();
+    obs::RecordInstant("query/rebuild",
+                       obs::TraceContext{obs::HashTrack(route), frame});
     for (int c = 0; c < synth::kNumObjectClasses; ++c) {
       const auto cls = synth::ObjectClass(c);
       auto& runs = record->intervals[std::size_t(c)];
-      const bool was_open = HasOpenInterval(runs);
-      runs.clear();
-      for (const auto& [begin, end] : core::ClassIntervals(db.rows(), cls)) {
-        runs.push_back(FrameInterval{begin, end});
-      }
-      const bool now_open = HasOpenInterval(runs);
+      const bool was_open = runs.has_open();
+      runs = IntervalChain::FromRuns(core::ClassIntervals(db.rows(), cls));
+      const bool now_open = runs.has_open();
       if (now_open != was_open) {
         events.push_back(MakeEvent(now_open ? QueryEvent::Kind::kEnter
                                             : QueryEvent::Kind::kExit,
@@ -88,47 +101,57 @@ std::vector<QueryEvent> QueryIndex::Apply(const std::string& route,
   }
   record->has_rows = true;
   ++record->inserts;
-  PublishLocked(*base, route, std::move(record));
+  shard.record.store(std::shared_ptr<const CameraRecord>(std::move(record)),
+                     std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return events;
 }
 
 std::vector<QueryEvent> QueryIndex::Seal(const std::string& route,
                                          std::size_t total_frames) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  const auto base = snapshot();
-  const auto it = base->cameras.find(route);
-  if (it == base->cameras.end() || it->second->sealed) return {};
+  const auto dir = directory_.load(std::memory_order_acquire);
+  const auto it = dir->find(route);
+  if (it == dir->end()) return {};
+  CameraShard& shard = *it->second;
 
-  auto record = std::make_shared<CameraRecord>(*it->second);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto base = shard.record.load(std::memory_order_acquire);
+  if (base->sealed) return {};  // first writer won
+
+  auto record = std::make_shared<CameraRecord>(*base);
   record->sealed = true;
   record->total_frames = total_frames;
   std::vector<QueryEvent> events;
   for (int c = 0; c < synth::kNumObjectClasses; ++c) {
     auto& runs = record->intervals[std::size_t(c)];
-    if (!HasOpenInterval(runs)) continue;
+    if (!runs.has_open()) continue;
     // Same closing rule as FindObject(cls, total_frames): a live event ends
     // with the stream; one opening exactly at the end never happened.
     if (runs.back().begin < total_frames) {
-      runs.back().end = total_frames;
+      runs.close_back(total_frames);
       events.push_back(MakeEvent(QueryEvent::Kind::kExit, *record,
                                  synth::ObjectClass(c), total_frames));
     } else {
       runs.pop_back();
     }
   }
-  PublishLocked(*base, route, std::move(record));
+  shard.record.store(std::shared_ptr<const CameraRecord>(std::move(record)),
+                     std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return events;
 }
 
-void QueryIndex::PublishLocked(const IndexSnapshot& base,
-                               const std::string& route,
-                               std::shared_ptr<const CameraRecord> record) {
-  auto next = std::make_shared<IndexSnapshot>();
-  next->version = base.version + 1;
-  next->cameras = base.cameras;
-  next->cameras[route] = std::move(record);
-  snapshot_.store(std::shared_ptr<const IndexSnapshot>(std::move(next)),
-                  std::memory_order_release);
+std::shared_ptr<const IndexSnapshot> QueryIndex::snapshot() const {
+  // Version first: the materialized view contains at least everything the
+  // stamped version covers, so successive snapshots stay monotonic.
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->version = version_.load(std::memory_order_acquire);
+  const auto dir = directory_.load(std::memory_order_acquire);
+  for (const auto& [route, shard] : *dir) {
+    snap->cameras.emplace(route,
+                          shard->record.load(std::memory_order_acquire));
+  }
+  return snap;
 }
 
 }  // namespace sieve::query

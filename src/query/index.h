@@ -6,13 +6,29 @@
 // label-propagation semantics as ResultsDatabase::FindObject, maintained
 // one row at a time instead of by scanning.
 //
-// Read side: snapshot-consistent, wait-free for readers. The whole index is
-// one immutable IndexSnapshot behind an atomic shared_ptr; writers build
-// the next version (copy-on-write of the one touched CameraRecord plus the
-// small top-level map) under a private mutex and publish it atomically.
-// A reader's snapshot() is a single atomic load — it never blocks ingest,
-// never observes a half-applied insert, and every camera in it reflects an
-// exact prefix of that camera's insert stream (prefix consistency).
+// Publication is O(1) per insert regardless of history length (ROADMAP
+// item 3). Two structures make that true:
+//
+//  - The index is sharded by camera: a read-mostly directory (route ->
+//    shard) behind an atomic shared_ptr, cloned only when a camera
+//    registers; each shard holds its camera's immutable CameraRecord
+//    behind its own atomic shared_ptr. An insert locks one shard, clones
+//    one record, and swaps one pointer — other cameras' records are
+//    untouched and never copied.
+//
+//  - A record's per-class interval list is an IntervalChain: closed
+//    intervals are frozen into immutable chunk nodes shared between
+//    record versions (a clone copies one shared_ptr plus a bounded
+//    mutable tail), so cloning a camera with 100k intervals costs the
+//    same as cloning one with 10.
+//
+// Read side: wait-free. snapshot() materializes an IndexSnapshot from the
+// directory with one atomic load per camera; FindObject walks chains
+// without locks. Consistency is per-camera prefix consistency: each
+// camera's record in a snapshot reflects an exact prefix of that camera's
+// insert stream. (The pre-sharding index additionally froze all cameras at
+// one instant; sharding trades that cross-camera point-in-time atomicity —
+// which no query needed — for O(1) publication.)
 //
 // Equivalence contract (tested): once a camera is sealed with its final
 // frame count, its per-class intervals are bit-exactly the ranges
@@ -27,9 +43,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/results_db.h"
+#include "obs/metrics.h"
 #include "query/clock.h"
 #include "synth/labels.h"
 
@@ -43,6 +61,8 @@ inline constexpr std::size_t kOpenEnd = core::kOpenInterval;
 struct FrameInterval {
   std::size_t begin = 0;
   std::size_t end = kOpenEnd;
+
+  friend bool operator==(const FrameInterval&, const FrameInterval&) = default;
 };
 
 /// A standing-query notification: a class entered (first frame seen) or
@@ -56,9 +76,97 @@ struct QueryEvent {
   double seconds = 0.0;   ///< the same instant on the shared stream clock
 };
 
+/// Persistent (immutable-shared) interval list. Closed intervals are frozen
+/// into chunk nodes of kChunk runs; nodes link newest-to-oldest and are
+/// shared by every record version cloned after the freeze. Only the tail —
+/// at most kChunk closed runs plus one open run — is a mutable vector, so
+/// copying a chain is O(1): one shared_ptr + one bounded vector.
+///
+/// Mutation contract (exactly the incremental FindObject scan):
+///  - push_back() appends a run; at most the last run is ever open.
+///  - close_back(end) closes the open last run.
+///  - pop_back() drops the open last run (degenerate seal).
+/// Frozen runs are always closed: freezing happens inside push_back, which
+/// the scan only reaches when no run is open.
+class IntervalChain {
+ public:
+  static constexpr std::size_t kChunk = 64;
+
+  std::size_t size() const noexcept { return frozen_count_ + tail_.size(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// True when the newest run is still open (always in the tail: frozen
+  /// runs are closed by construction).
+  bool has_open() const noexcept {
+    return !tail_.empty() && tail_.back().end == kOpenEnd;
+  }
+  const FrameInterval& back() const noexcept { return tail_.back(); }
+
+  void push_back(FrameInterval run) {
+    if (tail_.size() >= kChunk) {
+      // No run is open here (see class contract), so the whole tail is
+      // closed and can be frozen for sharing.
+      auto node = std::make_shared<Node>();
+      node->prev = std::move(frozen_);
+      node->runs = std::move(tail_);
+      frozen_ = std::move(node);
+      frozen_count_ += kChunk;
+      tail_.clear();
+    }
+    tail_.push_back(run);
+  }
+
+  void close_back(std::size_t end) noexcept { tail_.back().end = end; }
+  void pop_back() noexcept { tail_.pop_back(); }
+
+  /// Visit every run, oldest first, without materializing.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    // Nodes link newest-to-oldest; walk them reversed.
+    std::vector<const Node*> nodes;
+    for (const Node* n = frozen_.get(); n != nullptr; n = n->prev.get()) {
+      nodes.push_back(n);
+    }
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+      for (const FrameInterval& run : (*it)->runs) fn(run);
+    }
+    for (const FrameInterval& run : tail_) fn(run);
+  }
+
+  /// Flat copy, oldest first (tests, rebuild comparisons).
+  std::vector<FrameInterval> Materialize() const {
+    std::vector<FrameInterval> out;
+    out.reserve(size());
+    ForEach([&out](const FrameInterval& run) { out.push_back(run); });
+    return out;
+  }
+
+  /// Replace the chain's contents with `runs` (the out-of-order rebuild
+  /// path — O(history), which is exactly why rebuilds are counted).
+  static IntervalChain FromRuns(
+      const std::vector<std::pair<std::size_t, std::size_t>>& runs) {
+    IntervalChain chain;
+    for (const auto& [begin, end] : runs) {
+      chain.push_back(FrameInterval{begin, end});
+    }
+    return chain;
+  }
+
+ private:
+  struct Node {
+    std::shared_ptr<const Node> prev;  ///< next-older chunk
+    std::vector<FrameInterval> runs;   ///< kChunk closed runs, oldest first
+  };
+
+  std::shared_ptr<const Node> frozen_;
+  std::size_t frozen_count_ = 0;
+  std::vector<FrameInterval> tail_;
+};
+
 /// Immutable per-camera state inside a snapshot. A reopened camera id gets
 /// a fresh record per incarnation (records are keyed by the session's
-/// unique route, and carry the display id).
+/// unique route, and carry the display id). Cloning one is O(1): the
+/// interval chains share their frozen history with the parent version.
 struct CameraRecord {
   std::string camera_id;  ///< display id (incarnations repeat it)
   CameraClock clock;
@@ -68,23 +176,27 @@ struct CameraRecord {
   bool has_rows = false;
   std::size_t last_frame = 0;  ///< highest frame id folded in
   synth::LabelSet current;     ///< labels of the latest analyzed frame
-  std::array<std::vector<FrameInterval>,
-             std::size_t(synth::kNumObjectClasses)>
+  std::array<IntervalChain, std::size_t(synth::kNumObjectClasses)>
       intervals;  ///< per class, sorted, disjoint; at most the last is open
 };
 
-/// One immutable, internally consistent version of the whole index.
+/// One materialized, per-camera-consistent view of the whole index (see
+/// the consistency note in the header comment).
 struct IndexSnapshot {
   std::uint64_t version = 0;
   /// Every camera incarnation ever registered, keyed by session route.
   std::map<std::string, std::shared_ptr<const CameraRecord>> cameras;
 };
 
-/// The concurrent index. One writer mutex serializes ingest; readers only
-/// ever touch published immutable snapshots.
+/// The concurrent index, sharded by camera. Each shard's mutex serializes
+/// that camera's ingest; readers only ever touch immutable records.
 class QueryIndex {
  public:
-  QueryIndex() : snapshot_(std::make_shared<const IndexSnapshot>()) {}
+  /// `rebuilds` (optional) counts out-of-order rebuild fallbacks — the
+  /// "query.rebuilds" counter when owned by a QueryService.
+  explicit QueryIndex(obs::Counter* rebuilds = nullptr)
+      : rebuilds_(rebuilds),
+        directory_(std::make_shared<const Directory>()) {}
 
   QueryIndex(const QueryIndex&) = delete;
   QueryIndex& operator=(const QueryIndex&) = delete;
@@ -95,9 +207,10 @@ class QueryIndex {
                       CameraClock clock);
 
   /// Fold one ResultsDatabase insert into the camera's intervals and
-  /// publish the next snapshot. In-order inserts (the runtime's ordered
-  /// stages guarantee them) update incrementally; an out-of-order or
-  /// overwriting insert falls back to rebuilding the camera's intervals
+  /// publish the camera's next record — O(1) work and O(1) copied state
+  /// regardless of the camera's history. In-order inserts (the runtime's
+  /// ordered stages guarantee them) update incrementally; an out-of-order
+  /// or overwriting insert falls back to rebuilding the camera's intervals
   /// from `db`, which the caller must keep stable for the call (the
   /// observer seam runs under the session's db lock). Returns the
   /// enter/exit transitions this insert caused.
@@ -109,26 +222,33 @@ class QueryIndex {
   /// Mark a camera's stream complete at `total_frames`: open intervals
   /// close there (degenerate ones opening at or past the end are dropped,
   /// matching FindObject), and the camera stops counting as live.
-  /// Idempotent; returns the exit events of the closed intervals.
+  /// Idempotent — first writer wins; returns the exit events of the closed
+  /// intervals.
   std::vector<QueryEvent> Seal(const std::string& route,
                                std::size_t total_frames);
 
-  /// Wait-free consistent view (one atomic load).
-  std::shared_ptr<const IndexSnapshot> snapshot() const {
-    return snapshot_.load(std::memory_order_acquire);
+  /// Wait-free consistent view, materialized from the shards (one atomic
+  /// load per camera; records are immutable).
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+  /// Version of the index (0 = empty): bumps on every effective update.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
   }
 
-  /// Version of the latest published snapshot (0 = empty index).
-  std::uint64_t version() const { return snapshot()->version; }
-
  private:
-  /// Clone-on-write step shared by all mutators: publish `record` as
-  /// route's state in a fresh snapshot. Caller holds write_mutex_.
-  void PublishLocked(const IndexSnapshot& base, const std::string& route,
-                     std::shared_ptr<const CameraRecord> record);
+  /// One camera's ingest lane: the mutex serializes writers for this
+  /// camera only; readers just load the record pointer.
+  struct CameraShard {
+    mutable std::mutex mu;
+    std::atomic<std::shared_ptr<const CameraRecord>> record;
+  };
+  using Directory = std::map<std::string, std::shared_ptr<CameraShard>>;
 
-  mutable std::mutex write_mutex_;
-  std::atomic<std::shared_ptr<const IndexSnapshot>> snapshot_;
+  obs::Counter* rebuilds_ = nullptr;
+  std::mutex register_mutex_;  ///< serializes directory clones only
+  std::atomic<std::shared_ptr<const Directory>> directory_;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace sieve::query

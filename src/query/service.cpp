@@ -26,26 +26,28 @@ std::vector<QueryHit> QueryService::FindObject(synth::ObjectClass cls,
   const auto snap = snapshot();
   std::vector<QueryHit> hits;
   for (const auto& [route, record] : snap->cameras) {
-    for (const FrameInterval& run :
-         record->intervals[std::size_t(std::uint8_t(cls))]) {
-      const bool open = run.end == kOpenEnd;
-      const double begin_seconds = record->clock.TimeOf(run.begin);
-      const double end_seconds =
-          open ? kEndOfTime : record->clock.TimeOf(run.end);
-      // Overlap with the half-open query window, tested before the hit is
-      // materialized (narrow windows filter most of a long history). The
-      // hit itself stays the whole event: seek-back wants the full range,
-      // and unclipped endpoints keep drained hits bit-exact vs. FindObject.
-      if (begin_seconds >= t1 || end_seconds <= t0) continue;
-      QueryHit hit;
-      hit.camera_id = record->camera_id;
-      hit.begin_frame = run.begin;
-      hit.end_frame = run.end;
-      hit.open = open;
-      hit.begin_seconds = begin_seconds;
-      hit.end_seconds = end_seconds;
-      hits.push_back(std::move(hit));
-    }
+    const CameraRecord& cam = *record;
+    cam.intervals[std::size_t(std::uint8_t(cls))].ForEach(
+        [&](const FrameInterval& run) {
+          const bool open = run.end == kOpenEnd;
+          const double begin_seconds = cam.clock.TimeOf(run.begin);
+          const double end_seconds =
+              open ? kEndOfTime : cam.clock.TimeOf(run.end);
+          // Overlap with the half-open query window, tested before the hit
+          // is materialized (narrow windows filter most of a long history).
+          // The hit itself stays the whole event: seek-back wants the full
+          // range, and unclipped endpoints keep drained hits bit-exact vs.
+          // FindObject.
+          if (begin_seconds >= t1 || end_seconds <= t0) return;
+          QueryHit hit;
+          hit.camera_id = cam.camera_id;
+          hit.begin_frame = run.begin;
+          hit.end_frame = run.end;
+          hit.open = open;
+          hit.begin_seconds = begin_seconds;
+          hit.end_seconds = end_seconds;
+          hits.push_back(std::move(hit));
+        });
   }
   std::sort(hits.begin(), hits.end(),
             [](const QueryHit& a, const QueryHit& b) {

@@ -13,8 +13,10 @@
 //
 // Consistency model (see query/index.h for the mechanism): reads are
 // wait-free snapshots — never blocking ingest, never torn, and always a
-// prefix-consistent view of every camera's insert stream. Once a session
-// drains, its hits are bit-exactly its drained database's
+// prefix-consistent view of every camera's insert stream (per camera; the
+// sharded index takes each camera's point independently, trading the old
+// cross-camera point-in-time atomicity for O(1) publication). Once a
+// session drains, its hits are bit-exactly its drained database's
 // FindObject(cls, frames_pushed) ranges mapped through the shared clock.
 #pragma once
 
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "core/results_db.h"
+#include "obs/metrics.h"
 #include "query/clock.h"
 #include "query/index.h"
 #include "query/subscriptions.h"
@@ -48,6 +51,17 @@ struct QueryHit {
 class QueryService {
  public:
   using SubscriptionId = SubscriptionRegistry::Id;
+
+  /// `registry` (optional) receives the query.* metrics — currently
+  /// "query.rebuilds", counting the index's out-of-order rebuild fallback
+  /// (each also traced as a "query/rebuild" instant). The runtime passes
+  /// its per-runtime registry; a null registry falls back to the
+  /// process-global one so standalone services are observable too.
+  explicit QueryService(std::shared_ptr<obs::Registry> registry = nullptr)
+      : registry_(std::move(registry)),
+        index_(registry_ ? registry_->GetCounter("query.rebuilds")
+                         : obs::Registry::Global().GetCounter(
+                               "query.rebuilds")) {}
 
   static constexpr double kBeginningOfTime =
       -std::numeric_limits<double>::infinity();
@@ -112,6 +126,8 @@ class QueryService {
   void Unsubscribe(SubscriptionId id);
 
  private:
+  /// Keepalive for the counter handle (declared before index_ on purpose).
+  std::shared_ptr<obs::Registry> registry_;
   QueryIndex index_;
   SubscriptionRegistry subscriptions_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <utility>
 
@@ -20,6 +21,13 @@ namespace {
 constexpr char kKindStill[] = "still";
 constexpr char kKindActivation[] = "act";
 constexpr char kKindLabel[] = "label";
+
+// The incarnation sequence minted into a route ("gate-7#12" -> 12).
+std::uint64_t RouteSeq(const std::string& route) {
+  const auto pos = route.rfind('#');
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(route.c_str() + pos + 1, nullptr, 10);
+}
 
 }  // namespace
 
@@ -44,6 +52,7 @@ void SessionState::BindMetrics(std::shared_ptr<obs::Registry> reg) {
   metrics.dropped_wan = registry->GetCounter(p + "dropped_wan");
   metrics.dropped_corrupt = registry->GetCounter(p + "dropped_corrupt");
   metrics.dropped_shutdown = registry->GetCounter(p + "dropped_shutdown");
+  metrics.resumed = registry->GetCounter(p + "resumed");
   metrics.wan_retries = registry->GetCounter(p + "wan_retries");
   metrics.cloud_batched_frames =
       registry->GetCounter(p + "cloud_batched_frames");
@@ -87,6 +96,10 @@ void SessionState::RecordOutcome(const dataflow::FlowFile& file,
     case FrameOutcome::kDroppedShutdown:
       metrics.dropped_shutdown->Add();
       obs::RecordInstant("frame/dropped-shutdown", file.trace);
+      break;
+    case FrameOutcome::kResumedAck:
+      metrics.resumed->Add();
+      obs::RecordInstant("frame/resumed-ack", file.trace);
       break;
   }
   std::lock_guard<std::mutex> lock(mutex);
@@ -168,6 +181,14 @@ Status SieveSession::PushWire(codec::FrameType type, std::uint64_t frame_index,
     }
     return Status::Precondition("PushFrame: session closed");
   }
+  // Track the stream's length in frame-id space (a resumed session's seal
+  // must cover the journaled prefix plus everything pushed since). Only
+  // after the push is accepted: a rejected frame never entered the stream.
+  std::size_t prev = st.max_frame_excl.load(std::memory_order_relaxed);
+  while (prev < frame_index + 1 &&
+         !st.max_frame_excl.compare_exchange_weak(prev, frame_index + 1,
+                                                  std::memory_order_acq_rel)) {
+  }
   return Status::Ok();
 }
 
@@ -185,10 +206,14 @@ SessionReport SieveSession::Drain() {
       return st.settled == st.pushed.load(std::memory_order_acquire);
     });
   }
-  // Every pushed frame has settled, so the database is final: seal this
-  // camera in the query index (closing still-open intervals at the stream's
-  // end, exactly like FindObject(cls, frames_pushed) would).
-  if (st.query) st.query->Seal(st.route, st.pushed.load());
+  // Every pushed frame has settled, so the database is final. Seal the
+  // journal first (write-ahead: a crash between the two leaves the durable
+  // state ahead of the index, never behind), then seal this camera in the
+  // query index (closing still-open intervals at the stream's end, exactly
+  // like FindObject(cls, total) would).
+  const std::size_t total = st.SealTotal();
+  st.JournalSeal(total);
+  if (st.query) st.query->Seal(st.route, total);
   // Every counter below is a view over the session's obs::Registry handles
   // (plus the byte meters): the report is the drain-time snapshot of the
   // same metrics a live registry dump shows. No lock — all frames settled.
@@ -221,6 +246,7 @@ SessionReport SieveSession::Drain() {
   report.dropped_shutdown = std::size_t(m.dropped_shutdown->value());
   report.frames_dropped =
       report.dropped_wan + report.dropped_corrupt + report.dropped_shutdown;
+  report.frames_resumed = std::size_t(m.resumed->value());
   report.cloud_batched_frames = std::size_t(m.cloud_batched_frames->value());
   if (report.cloud_batched_frames > 0) {
     report.cloud_batch_occupancy_avg =
@@ -247,10 +273,14 @@ Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
       wan_(config.edge_to_cloud, config.link_time_scale, config.wan_faults,
            config.wan_retry, config.wan_health),
       pipeline_(config.queue_capacity, executor_),
-      query_(std::make_shared<query::QueryService>()) {
+      query_(std::make_shared<query::QueryService>(registry_)) {
   if (config_.trace.enabled) {
     obs::StartTracing(config_.trace.events_per_thread);
   }
+  // Boot-time recovery runs before the tiers exist, let alone a session:
+  // by the time OpenSession can be called, the index already serves every
+  // journaled camera and `recovered_` stages the resumable ones.
+  if (config_.store.enabled()) RecoverFromStore();
   if (config_.cloud_batch_max > 1 && classifier_ != nullptr) {
     fleet::FleetSchedulerPolicy policy;
     policy.batch_max = config_.cloud_batch_max;
@@ -260,7 +290,69 @@ Runtime::Runtime(RuntimeConfig config, const nn::FrameClassifier* classifier,
                                                          *executor_, policy);
   }
   BuildTiers();
-  start_status_ = pipeline_.Start();
+  // Recovery failure (unusable store dir) already poisoned start_status_;
+  // don't let a clean pipeline start mask it.
+  if (start_status_.ok()) start_status_ = pipeline_.Start();
+}
+
+void Runtime::RecoverFromStore() {
+  obs::TraceSpan recover_span("store/recover", obs::TraceContext{});
+  auto report = store::RecoverStore(config_.store.dir);
+  if (!report.ok()) {
+    // An unusable store directory is a construction failure, not a silent
+    // in-memory fallback: the caller asked for durability.
+    start_status_ = report.status();
+    return;
+  }
+  obs::Registry& reg = *registry_;
+  reg.GetCounter("store.recover.files")->Add(report->files);
+  reg.GetCounter("store.recover.records")->Add(report->records);
+  reg.GetCounter("store.recover.truncated_tails")->Add(report->truncated_tails);
+  reg.GetCounter("store.recover.quarantined")->Add(report->quarantined);
+  reg.GetCounter("store.recover.unreadable")->Add(report->unreadable);
+  reg.GetCounter("store.recover.cameras")->Add(report->cameras.size());
+  recover_span.Arg("cameras", report->cameras.size());
+  recover_span.Arg("records", report->records);
+
+  for (store::RecoveredCamera& cam : report->cameras) {
+    const std::uint64_t track = obs::HashTrack(cam.route);
+    obs::NameTrack(track, cam.route);
+    obs::TraceSpan replay_span("store/replay", obs::TraceContext{track, 0});
+    replay_span.Arg("inserts", cam.inserts.size());
+
+    // Rebuild the incarnation through the exact incremental path a live
+    // session uses: register on the journaled clock, then publish each
+    // journaled insert in delivery order via a replay db's observer seam.
+    // Recovery and a live run therefore produce the same index state by
+    // construction, out-of-order rebuilds included.
+    query_->RegisterCamera(cam.route, cam.camera_id,
+                           query::CameraClock{cam.open_seconds, cam.fps});
+    core::ResultsDatabase replay_db;
+    replay_db.set_observer(
+        [this, &cam](const core::ResultsDatabase& db, std::size_t frame,
+                     const synth::LabelSet& labels) {
+          query_->Publish(cam.route, db, frame, labels);
+        });
+    for (const auto& ins : cam.inserts) {
+      replay_db.Insert(std::size_t(ins.frame), synth::LabelSet{ins.label_bits});
+    }
+    if (cam.sealed) {
+      query_->Seal(cam.route, std::size_t(cam.total_frames));
+    }
+
+    // New routes must never collide with journaled ones.
+    session_seq_ = std::max(session_seq_, RouteSeq(cam.route));
+
+    if (!cam.sealed) {
+      // Stage the incarnation for a reconnecting camera; when several
+      // unsealed incarnations of one id survive, the newest one resumes
+      // (the older ones stay queryable but closed to appends).
+      auto [it, inserted] = recovered_.try_emplace(cam.camera_id);
+      if (inserted || RouteSeq(it->second.route) < RouteSeq(cam.route)) {
+        it->second = std::move(cam);
+      }
+    }
+  }
 }
 
 Runtime::~Runtime() {
@@ -288,6 +380,15 @@ void Runtime::BuildTiers() {
       [this](dataflow::FlowFile file) -> std::optional<dataflow::FlowFile> {
         auto session = FindSession(file);
         if (!session) return std::nullopt;  // unroutable: drop
+        // Resumed session replaying its backlog: frames at or below the
+        // journaled high-water mark are already durable and indexed — ack
+        // them here, before any tier spends work on them, instead of
+        // re-storing (the recovery contract in docs/durability.md).
+        if (session->resumed &&
+            file.GetU64("frame").value_or(0) <= session->resume_floor) {
+          session->RecordOutcome(file, internal::FrameOutcome::kResumedAck);
+          return std::nullopt;
+        }
         const auto type = file.GetAttribute("type");
         if (!type || *type != "I") {  // P-frames: stored edge-side only
           session->RecordOutcome(file, internal::FrameOutcome::kStoredEdge);
@@ -793,6 +894,9 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
       classifier_->network().LayerCount(), config.fixed_split);
 
   std::shared_ptr<internal::SessionState> state;
+  // The recovered incarnation this camera resumes, if the store replayed
+  // one at boot (consumed here: a later reopen is a fresh incarnation).
+  std::optional<store::RecoveredCamera> resume;
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     if (shut_down_) {
@@ -827,8 +931,15 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
       return Status::Exhausted(
           "OpenSession: aggregate pixel rate budget exhausted");
     }
+    if (auto rec = recovered_.find(camera_id); rec != recovered_.end()) {
+      resume = std::move(rec->second);
+      recovered_.erase(rec);
+    }
+    // A resuming camera keeps its journaled route: the index already holds
+    // that incarnation, and the journal file is appended, not restarted.
     const std::string route =
-        camera_id + "#" + std::to_string(++session_seq_);
+        resume ? resume->route
+               : camera_id + "#" + std::to_string(++session_seq_);
     const codec::ContainerHeader header{config.width, config.height, config.fps,
                                         0, std::uint8_t(config.encoder.qp)};
     state = std::make_shared<internal::SessionState>(
@@ -865,17 +976,59 @@ Expected<std::unique_ptr<SieveSession>> Runtime::OpenSession(
   // publishes through the observer seam (called by the cloud tier under
   // this session's db lock, so the db reference is stable).
   state->query = query_;
-  // One timestamp serves both clocks: the query layer's stream alignment
-  // and the WAN link-clock hints (open offset + frame/fps).
-  state->open_seconds = epoch_.ElapsedSeconds();
-  query_->RegisterCamera(
-      state->route, camera_id,
-      query::CameraClock{state->open_seconds, config.fps});
+  if (resume) {
+    // Boot recovery already registered this incarnation on its journaled
+    // clock and published its rows; the session only has to rebuild its
+    // local database to match and remember where the durable prefix ends.
+    state->open_seconds = resume->open_seconds;
+    state->resumed = resume->has_rows;
+    state->resume_floor = std::size_t(resume->high_water);
+    std::map<std::size_t, synth::LabelSet> rows;
+    for (const auto& ins : resume->inserts) {
+      rows[std::size_t(ins.frame)] = synth::LabelSet{ins.label_bits};
+    }
+    (void)state->db.Restore(std::move(rows));
+  } else {
+    // One timestamp serves both clocks: the query layer's stream alignment
+    // and the WAN link-clock hints (open offset + frame/fps).
+    state->open_seconds = epoch_.ElapsedSeconds();
+    query_->RegisterCamera(
+        state->route, camera_id,
+        query::CameraClock{state->open_seconds, config.fps});
+  }
+  if (config_.store.enabled()) {
+    const std::string path =
+        config_.store.dir + "/" + store::JournalFileName(state->route);
+    auto journal = store::JournalWriter::Open(
+        path, config_.store.fsync, config_.store.crash, registry_.get());
+    if (journal.ok()) {
+      state->journal = std::move(*journal);
+      // A fresh incarnation journals its registration first so recovery
+      // can rebuild the camera's clock; a resumed one already has it.
+      if (!resume) {
+        (void)state->journal->AppendRegister(state->route, camera_id,
+                                             state->open_seconds, config.fps);
+      }
+    } else {
+      // The camera still opens — durability degrades to in-memory for this
+      // session rather than refusing service — but loudly.
+      registry_->GetCounter("store.journal.open_failures")->Add();
+    }
+  }
   state->db.set_observer(
-      [service = query_, route = state->route](
+      [service = query_, st = state.get()](
           const core::ResultsDatabase& db, std::size_t frame,
           const synth::LabelSet& labels) {
-        service->Publish(route, db, frame, labels);
+        // Write-ahead: the row hits the journal before the live index. Runs
+        // under the session's db lock (the cloud tier holds it around
+        // Insert), which also serializes appends; `st` outlives the db that
+        // owns this observer. Append failures (ENOSPC, scripted crash) are
+        // counted by the writer and degrade this session to in-memory — the
+        // insert still publishes.
+        if (st->journal) {
+          (void)st->journal->AppendInsert(std::uint64_t(frame), labels.bits());
+        }
+        service->Publish(st->route, db, frame, labels);
       });
 
   // The encoder's thread knob maps onto executors: 0 rides this runtime's
@@ -920,7 +1073,13 @@ Expected<std::vector<dataflow::StageStats>> Runtime::Shutdown() {
   // camera the owner never drained explicitly — the query index stays
   // complete and consistent for post-shutdown queries.
   for (auto& state : states) {
-    query_->Seal(state->route, state->pushed.load(std::memory_order_acquire));
+    const std::size_t total = state->SealTotal();
+    // Write-ahead ordering again: the seal is durable before the index
+    // reports the stream closed. Recovered-but-never-resumed cameras are
+    // not in routes_, so they stay unsealed on disk and in the index —
+    // exactly the state the pre-crash live runtime advertised.
+    state->JournalSeal(total);
+    query_->Seal(state->route, total);
   }
   // Final observability flush: refresh the shared-tier gauges, publish the
   // drained pipeline's stage stats as registry gauges, and write any

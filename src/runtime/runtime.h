@@ -60,6 +60,7 @@
 #include "query/service.h"
 #include "runtime/executor.h"
 #include "runtime/placement.h"
+#include "store/recovery.h"
 
 namespace sieve::runtime {
 
@@ -145,6 +146,14 @@ struct RuntimeConfig {
   bool adaptive_placement = true;
   /// Per-frame tracing + metric export (docs/observability.md).
   TraceOptions trace;
+  /// Crash-safe durability (docs/durability.md). When store.dir is set,
+  /// every session's results are write-ahead journaled there, the Runtime
+  /// constructor replays existing journals into fresh databases and the
+  /// live query index before accepting sessions, and a camera id found
+  /// unsealed in the store resumes at its journaled high-water mark (the
+  /// replayed prefix is acked, not re-stored). Empty dir (default) keeps
+  /// the pre-store behaviour: all state in memory.
+  store::StoreOptions store;
 };
 
 /// Per-session degradation state, surfaced through SessionReport and
@@ -233,12 +242,19 @@ struct SessionReport {
 
   // --- Failure semantics (docs/runtime.md). Every pushed frame reconciles:
   //   frames_pushed == frames_stored_edge + frames_delivered + frames_dropped
+  //                    + frames_resumed
   // where frames_stored_edge are the P-frames the seeker filtered (stored
-  // edge-side, per the paper) and frames_delivered == labels_written. A
-  // frame is never silently lost.
+  // edge-side, per the paper), frames_delivered == labels_written, and
+  // frames_resumed are re-pushed frames at or below a resumed session's
+  // journaled high-water mark (already durable: acked, not re-processed).
+  // A frame is never silently lost.
   std::size_t frames_stored_edge = 0;  ///< P-frames filtered by the seeker
   std::size_t frames_delivered = 0;    ///< I-frames labelled into the db
   std::size_t frames_dropped = 0;      ///< explicit drops, by reason below
+  /// Frames acked against the journal on a resumed session (<= the
+  /// journaled high-water mark); 0 unless this session resumed a recovered
+  /// incarnation (docs/durability.md).
+  std::size_t frames_resumed = 0;
   std::size_t dropped_wan = 0;      ///< WAN gave up (retry budget/deadline)
   std::size_t dropped_corrupt = 0;  ///< payload failed decode/validation
   std::size_t dropped_shutdown = 0;  ///< in flight when Shutdown cancelled
@@ -273,7 +289,8 @@ enum class FrameOutcome {
   kDelivered,       ///< labelled into the session's database
   kDroppedWan,      ///< the WAN transport gave up (Unavailable / deadline)
   kDroppedCorrupt,  ///< payload failed decode or validation downstream
-  kDroppedShutdown  ///< in flight when Shutdown cancelled the links
+  kDroppedShutdown, ///< in flight when Shutdown cancelled the links
+  kResumedAck       ///< already journaled pre-crash: acked, not re-stored
 };
 
 /// Resolved obs::Registry handles for one session's counters — named
@@ -289,6 +306,7 @@ struct SessionMetrics {
   obs::Counter* dropped_wan = nullptr;
   obs::Counter* dropped_corrupt = nullptr;
   obs::Counter* dropped_shutdown = nullptr;
+  obs::Counter* resumed = nullptr;  ///< frames acked against the journal
   obs::Counter* wan_retries = nullptr;
   obs::Counter* cloud_batched_frames = nullptr;
   obs::Counter* cloud_batch_size_sum = nullptr;
@@ -374,10 +392,52 @@ struct SessionState {
   /// The runtime's query layer; Drain seals this session's index entry.
   std::shared_ptr<query::QueryService> query;
 
-  std::mutex mutex;  ///< guards db + settled
+  // --- Durability (docs/durability.md; all set before the state is
+  // published, so stages read them without synchronization except where
+  // noted).
+  /// True when this session resumed a recovered unsealed incarnation with
+  /// journaled rows: the seeker acks (kResumedAck) every frame at or below
+  /// resume_floor instead of re-processing it.
+  bool resumed = false;
+  std::size_t resume_floor = 0;  ///< journaled high-water frame id
+  /// Highest frame_index + 1 ever pushed (fetch-max in PushWire): a
+  /// resumed session's stream length, where `pushed` only counts this
+  /// incarnation's pushes.
+  std::atomic<std::size_t> max_frame_excl{0};
+
+  /// The stream's total frame count for sealing. A fresh session's frames
+  /// are the frames it pushed (the pre-store contract, bit-compatible); a
+  /// resumed session extends the journaled stream, so its length is the
+  /// highest frame pushed across both lives (and never below the journaled
+  /// high-water mark, even if the camera reconnects and pushes nothing).
+  std::size_t SealTotal() const {
+    const std::size_t n = pushed.load(std::memory_order_acquire);
+    if (!resumed) return n;
+    return std::max(max_frame_excl.load(std::memory_order_acquire),
+                    resume_floor + 1);
+  }
+
+  /// Write-ahead the stream's seal and close the journal (no-op without
+  /// one). Called before the index Seal so a crash between the two leaves
+  /// the durable state ahead of the in-memory state, never behind. Safe to
+  /// call from both Drain and Shutdown: first caller wins.
+  void JournalSeal(std::size_t total_frames) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!journal || seal_done) return;
+    seal_done = true;
+    (void)journal->AppendSeal(total_frames);
+    (void)journal->Close();
+  }
+
+  std::mutex mutex;  ///< guards db + journal + settled
   std::condition_variable settled_cv;
   std::size_t settled = 0;
   core::ResultsDatabase db;
+  /// This incarnation's write-ahead journal (null = durability off or the
+  /// journal failed to open). Appended under `mutex`, on the insert path,
+  /// BEFORE the row is published to the query layer.
+  std::unique_ptr<store::JournalWriter> journal;
+  bool seal_done = false;  ///< guarded by mutex; JournalSeal ran
 };
 
 }  // namespace internal
@@ -505,6 +565,12 @@ class Runtime {
   std::shared_ptr<internal::SessionState> FindSession(
       const dataflow::FlowFile& file);
   void BuildTiers();
+  /// Boot-time recovery (constructor, before any session can open): scan
+  /// RuntimeConfig::store.dir, replay every journal into the live query
+  /// index through the exact incremental publish path a live session uses,
+  /// seal sealed incarnations, and stage unsealed ones in `recovered_` for
+  /// reconnecting cameras. Bumps session_seq_ past every recovered route.
+  void RecoverFromStore();
   /// Planner input for a kAuto session: the lazily measured per-layer
   /// profile (cached across sessions), the session's WAN model, and the
   /// measured size of a transcoded still (what split 0 ships).
@@ -566,6 +632,10 @@ class Runtime {
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<internal::SessionState>> routes_;
   std::map<std::string, std::shared_ptr<internal::SessionState>> by_id_;
+  /// Latest unsealed incarnation recovered from the store, per camera id:
+  /// what a reconnecting camera resumes (consumed by OpenSession). Guarded
+  /// by mutex_ after construction.
+  std::map<std::string, store::RecoveredCamera> recovered_;
   std::uint64_t session_seq_ = 0;
   bool shut_down_ = false;
 };

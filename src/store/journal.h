@@ -1,0 +1,225 @@
+// Per-camera write-ahead journal: the durability layer under the results
+// store (docs/durability.md).
+//
+// One journal file holds one camera incarnation's result stream — a
+// registration record (route, display id, stream-clock position), the
+// in-order (frame, labels) inserts the cloud tier delivered, and at most
+// one seal closing the stream at its final frame count. The file is
+// append-only: an 8-byte magic header followed by length-prefixed,
+// CRC32-checksummed records, so the reader can always tell a torn tail
+// (process died mid-append: truncate to the last valid record and keep
+// going) from mid-file corruption (bit rot / overwrite inside the valid
+// region: quarantine the file, replay only the intact prefix, never crash).
+//
+// Durability policy is group-commit: appends land in a stdio buffer,
+// FsyncPolicy::flush_every bounds how many records may sit there before a
+// flush pushes them to the OS (they now survive a process crash), and
+// FsyncPolicy::fsync_every bounds how many records may sit in the page
+// cache before an fdatasync (they now survive a machine crash). Seal and
+// Close always sync.
+//
+// CrashPlan is the seeded crash-point injection harness in the spirit of
+// net::FaultPlan: it scripts the exact point on the write path where the
+// "process" dies — a byte offset (torn mid-record tail), a record boundary,
+// or the Nth fsync — and deterministically materializes the surviving
+// prefix by truncating the real file there. Recovery code is thus testable
+// at every prefix, replayably (tests/store/crash_matrix_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace sieve::store {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte span — the
+/// per-record checksum. Table-driven; no dependency outside this module.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+/// Journal record types (the u8 tag leading every payload).
+enum class RecordType : std::uint8_t {
+  kRegister = 1,  ///< route, camera_id, open_seconds, fps — first record
+  kInsert = 2,    ///< frame id + label bits, in delivery order
+  kSeal = 3,      ///< stream complete at total_frames
+};
+
+/// One decoded journal record.
+struct JournalRecord {
+  RecordType type = RecordType::kInsert;
+  // kRegister fields.
+  std::string route;
+  std::string camera_id;
+  double open_seconds = 0.0;
+  double fps = 0.0;
+  // kInsert fields.
+  std::uint64_t frame = 0;
+  std::uint8_t label_bits = 0;
+  // kSeal fields.
+  std::uint64_t total_frames = 0;
+};
+
+/// Group-commit cadence. Records are appended into a stdio buffer; `flush`
+/// pushes them to the OS (survive process death), `fsync` to the device
+/// (survive machine death). A cadence of N means "at most N records at
+/// risk"; 1 = every record, 0 = never on the append path (still at seal
+/// and close).
+struct FsyncPolicy {
+  std::uint32_t flush_every = 32;
+  std::uint32_t fsync_every = 4096;
+};
+
+/// Seeded, scripted crash injection for the journal write path. Default:
+/// disarmed (the production configuration). At most one trigger fires; the
+/// writer then truncates its file to the scripted surviving prefix and
+/// every later operation fails kUnavailable, exactly as if the process had
+/// died at that point and the caller were looking at the file post-mortem.
+struct CrashPlan {
+  std::uint64_t seed = 1;  ///< drives the torn-prefix draw of kSyncedPlusTorn
+
+  /// Crash when the total bytes appended (header included) reach this
+  /// count; the surviving file is exactly this long — mid-record offsets
+  /// produce torn tails. 0 = disabled.
+  std::uint64_t crash_after_bytes = 0;
+  /// Crash immediately after the Nth record is appended; the file survives
+  /// exactly at that record boundary. 0 = disabled.
+  std::uint64_t crash_after_records = 0;
+  /// Crash during the Nth Sync(): what survives depends on `survivors`.
+  /// 0 = disabled.
+  std::uint64_t crash_at_fsync = 0;
+
+  /// What a crash_at_fsync leaves on disk. kAllWritten models dying after
+  /// the kernel received the write (everything appended survives);
+  /// kSyncedPlusTorn models a machine crash — the previously fsynced
+  /// prefix plus a seeded-random prefix of the unsynced bytes.
+  enum class Survivors : std::uint8_t { kAllWritten, kSyncedPlusTorn };
+  Survivors survivors = Survivors::kAllWritten;
+
+  bool armed() const noexcept {
+    return crash_after_bytes > 0 || crash_after_records > 0 ||
+           crash_at_fsync > 0;
+  }
+};
+
+/// Append side of one journal file. Not thread-safe: the runtime serializes
+/// appends under the owning session's database lock (the observer seam).
+class JournalWriter {
+ public:
+  /// Open `path` for appending. A missing or empty file is created fresh
+  /// (magic header written); an existing journal is validated first — a
+  /// torn tail is truncated away so the next record lands on a clean
+  /// boundary, and a mid-file-corrupt journal is refused (recovery must
+  /// quarantine it first). `registry` (optional) receives the store.*
+  /// journal metrics; pass the runtime's registry or nullptr.
+  static Expected<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, const FsyncPolicy& policy,
+      const CrashPlan& crash = {}, obs::Registry* registry = nullptr);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  Status AppendRegister(const std::string& route, const std::string& camera_id,
+                        double open_seconds, double fps);
+  Status AppendInsert(std::uint64_t frame, std::uint8_t label_bits);
+  Status AppendSeal(std::uint64_t total_frames);
+
+  /// Force flush + fdatasync now (the group-commit barrier).
+  Status Sync();
+
+  /// Sync and close the file. Idempotent; the destructor calls it.
+  Status Close();
+
+  /// True once a CrashPlan trigger fired (every later call fails).
+  bool crashed() const noexcept { return crashed_; }
+  /// Bytes of journal (header + records) appended through this writer's
+  /// lifetime, including bytes a scripted crash later discarded.
+  std::uint64_t appended_bytes() const noexcept { return appended_; }
+
+ private:
+  JournalWriter(std::string path, FsyncPolicy policy, CrashPlan crash,
+                obs::Registry* registry);
+
+  Status AppendFramed(const std::vector<std::uint8_t>& payload);
+  /// Push stdio-buffered bytes to the OS / device per the group policy.
+  Status Commit(bool force_sync);
+  Status DoSync();
+  /// Materialize a scripted crash: truncate the file to `survivor_bytes`
+  /// and poison the writer.
+  Status TriggerCrash(std::uint64_t survivor_bytes);
+
+  const std::string path_;
+  const FsyncPolicy policy_;
+  CrashPlan crash_;
+  std::FILE* file_ = nullptr;
+  bool crashed_ = false;
+  std::uint64_t appended_ = 0;   ///< bytes handed to fwrite (incl. header)
+  std::uint64_t flushed_ = 0;    ///< bytes pushed to the OS (fflush)
+  std::uint64_t synced_ = 0;     ///< bytes fdatasynced to the device
+  std::uint64_t records_ = 0;    ///< records appended this writer lifetime
+  std::uint32_t since_flush_ = 0;
+  std::uint32_t since_sync_ = 0;
+  std::uint64_t fsyncs_ = 0;
+
+  // store.* metrics (null when no registry was supplied).
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_append_bytes_ = nullptr;
+  obs::Counter* m_fsyncs_ = nullptr;
+  obs::Counter* m_append_failures_ = nullptr;
+  obs::Histogram* m_fsync_ms_ = nullptr;
+};
+
+/// Everything the reader could salvage from one journal file.
+struct JournalContents {
+  bool registered = false;
+  std::string route;
+  std::string camera_id;
+  double open_seconds = 0.0;
+  double fps = 0.0;
+
+  struct Insert {
+    std::uint64_t frame = 0;
+    std::uint8_t label_bits = 0;
+  };
+  std::vector<Insert> inserts;  ///< in append (i.e. delivery) order
+  bool sealed = false;
+  std::uint64_t total_frames = 0;
+
+  std::size_t records = 0;        ///< valid records decoded
+  std::uint64_t valid_bytes = 0;  ///< header + valid prefix (truncate here)
+  /// The file ended mid-record or with a checksum-failing final record — a
+  /// crash artifact. The prefix is intact; appending may resume after
+  /// truncating to valid_bytes.
+  bool tail_truncated = false;
+  /// A checksum failure *inside* the file (valid records follow the bad
+  /// region): not a crash artifact but corruption. The prefix is intact;
+  /// the file must be quarantined before any writer touches it.
+  bool mid_corruption = false;
+};
+
+/// Decode as much of a journal as is trustworthy. Never crashes on hostile
+/// bytes: every length is bounds-checked, every record checksummed. Fails
+/// only when the file cannot be read or its magic is wrong (then nothing in
+/// it is trustworthy and the caller quarantines the whole file).
+Expected<JournalContents> ReadJournal(const std::string& path);
+
+/// The on-disk filename for a route ("gate-7#12" ->
+/// "gate-7_12-a1b2c3d4.wal"): unsafe characters replaced, a stable FNV-1a
+/// hash suffix keeps escaped names collision-free.
+std::string JournalFileName(const std::string& route);
+
+/// Hard cap on one record's payload (a register record is route + id +
+/// two doubles; inserts are ~12 bytes). Anything larger in a length prefix
+/// is corruption, not data.
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 16;
+
+/// The 8-byte file magic ("SVWAL1\r\n" — the \r\n catches text-mode
+/// transfer mangling the way PNG's does).
+inline constexpr std::uint8_t kJournalMagic[8] = {'S', 'V', 'W', 'A',
+                                                  'L', '1', '\r', '\n'};
+
+}  // namespace sieve::store

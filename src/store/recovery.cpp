@@ -1,0 +1,132 @@
+#include "store/recovery.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/bytes.h"
+
+namespace sieve::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Replace a mid-corrupt journal: move the damaged original aside for
+/// post-mortem and rewrite the valid prefix as a fresh journal at `path`.
+Status QuarantineAndRewrite(const std::string& path,
+                            const JournalContents& contents) {
+  auto prefix_or = ReadFileBytes(path);
+  if (!prefix_or.ok()) return prefix_or.status();
+  std::vector<std::uint8_t> prefix = std::move(*prefix_or);
+  prefix.resize(contents.valid_bytes);
+
+  std::error_code ec;
+  // Pick a non-clobbering quarantine name (repeated corruption of the same
+  // camera across boots must not destroy earlier evidence).
+  std::string dest = path + ".quarantined";
+  for (int i = 1; fs::exists(dest, ec); ++i) {
+    dest = path + ".quarantined." + std::to_string(i);
+  }
+  fs::rename(path, dest, ec);
+  if (ec) {
+    return Status::Internal("store: quarantine rename " + path + " -> " +
+                            dest + " failed: " + ec.message());
+  }
+  return WriteFileBytes(path, prefix);
+}
+
+}  // namespace
+
+Expected<RecoveryReport> RecoverStore(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("store: cannot create " + dir + ": " +
+                            ec.message());
+  }
+
+  // Deterministic scan order regardless of directory iteration order.
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".wal") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("store: cannot scan " + dir + ": " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  RecoveryReport report;
+  for (const std::string& path : paths) {
+    ++report.files;
+    auto contents = ReadJournal(path);
+    if (!contents.ok()) {
+      // Bad magic / unreadable: nothing in the file is trustworthy. Move
+      // the whole file aside so a writer can claim the name later.
+      ++report.unreadable;
+      std::string dest = path + ".quarantined";
+      std::error_code rec;
+      for (int i = 1; fs::exists(dest, rec); ++i) {
+        dest = path + ".quarantined." + std::to_string(i);
+      }
+      fs::rename(path, dest, rec);
+      if (rec) {
+        return Status::Internal("store: quarantine rename " + path +
+                                " failed: " + rec.message());
+      }
+      continue;
+    }
+
+    bool quarantined = false;
+    if (contents->mid_corruption) {
+      Status s = QuarantineAndRewrite(path, *contents);
+      if (!s.ok()) return s;
+      quarantined = true;
+      ++report.quarantined;
+    } else if (contents->tail_truncated) {
+      if (::truncate(path.c_str(), off_t(contents->valid_bytes)) != 0) {
+        return Status::Internal("store: truncate(" + path +
+                                ") failed: " + std::strerror(errno));
+      }
+      ++report.truncated_tails;
+    }
+    report.records += contents->records;
+
+    if (!contents->registered) {
+      // Crashed before the registration record survived: an empty
+      // incarnation. The (now repaired) file stays; it simply names no
+      // camera to rebuild.
+      continue;
+    }
+
+    RecoveredCamera cam;
+    cam.route = contents->route;
+    cam.camera_id = contents->camera_id;
+    cam.open_seconds = contents->open_seconds;
+    cam.fps = contents->fps;
+    cam.inserts = std::move(contents->inserts);
+    cam.sealed = contents->sealed;
+    cam.total_frames = contents->total_frames;
+    cam.tail_truncated = contents->tail_truncated;
+    cam.quarantined = quarantined;
+    cam.path = path;
+    for (const auto& ins : cam.inserts) {
+      cam.high_water = std::max(cam.high_water, ins.frame);
+      cam.has_rows = true;
+    }
+    report.cameras.push_back(std::move(cam));
+  }
+
+  std::sort(report.cameras.begin(), report.cameras.end(),
+            [](const RecoveredCamera& a, const RecoveredCamera& b) {
+              return a.route < b.route;
+            });
+  return report;
+}
+
+}  // namespace sieve::store

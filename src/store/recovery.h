@@ -1,0 +1,71 @@
+// Boot-time recovery over a store directory of per-camera journals.
+//
+// RecoverStore scans `dir` for `*.wal` files, decodes each with the
+// crash-tolerant reader, and returns a per-camera report the runtime
+// replays into fresh ResultsDatabases and the live QueryIndex before it
+// accepts sessions (docs/durability.md). Recovery is also where damaged
+// files are made safe to write again: a torn tail is truncated at the last
+// valid record, and a mid-file-corrupt journal is quarantined — renamed to
+// `<name>.quarantined` for post-mortem and replaced by a fresh journal
+// holding only the trustworthy prefix — so a JournalWriter can always
+// reopen the .wal that remains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/journal.h"
+
+namespace sieve::store {
+
+/// Runtime-facing durability configuration (RuntimeConfig::store).
+struct StoreOptions {
+  /// Journal directory; empty = durability off (the default, and the
+  /// pre-store behaviour: all state in memory).
+  std::string dir;
+  FsyncPolicy fsync;
+  /// Crash injection applied to every journal writer the runtime opens.
+  /// Disarmed by default; tests script it.
+  CrashPlan crash;
+
+  bool enabled() const noexcept { return !dir.empty(); }
+};
+
+/// One camera incarnation recovered from its journal.
+struct RecoveredCamera {
+  std::string route;      ///< incarnation key ("gate-7#12")
+  std::string camera_id;  ///< display id ("gate-7")
+  double open_seconds = 0.0;
+  double fps = 0.0;
+  /// Replayed rows in journal (i.e. delivery) order.
+  std::vector<JournalContents::Insert> inserts;
+  bool sealed = false;
+  std::uint64_t total_frames = 0;
+  /// Highest journaled frame id; a reconnecting camera resumes above this.
+  std::uint64_t high_water = 0;
+  bool has_rows = false;
+  bool tail_truncated = false;  ///< crash artifact was trimmed on recovery
+  bool quarantined = false;     ///< mid-file corruption was quarantined
+  std::string path;             ///< the (possibly rewritten) .wal file
+};
+
+/// Aggregate result of scanning one store directory.
+struct RecoveryReport {
+  std::vector<RecoveredCamera> cameras;  ///< sorted by route
+  std::size_t files = 0;            ///< .wal files examined
+  std::size_t records = 0;          ///< valid records decoded
+  std::size_t truncated_tails = 0;  ///< journals with a torn tail trimmed
+  std::size_t quarantined = 0;      ///< journals quarantined + rewritten
+  std::size_t unreadable = 0;       ///< files skipped whole (bad magic/IO)
+};
+
+/// Scan and repair a store directory. Creates `dir` if missing. Journals
+/// that never registered a camera (crash before the first record survived)
+/// are counted but produce no camera. Never fails on damaged journal
+/// *content* — only on environmental errors (dir uncreatable, rename/IO
+/// failures during quarantine).
+Expected<RecoveryReport> RecoverStore(const std::string& dir);
+
+}  // namespace sieve::store

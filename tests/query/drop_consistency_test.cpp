@@ -22,7 +22,7 @@ namespace {
 /// disjoint, and (once sealed) none open.
 void ExpectWellFormed(const query::CameraRecord& record, bool sealed) {
   for (std::size_t c = 0; c < std::size_t(synth::kNumObjectClasses); ++c) {
-    const auto& intervals = record.intervals[c];
+    const auto intervals = record.intervals[c].Materialize();
     for (std::size_t i = 0; i < intervals.size(); ++i) {
       EXPECT_LT(intervals[i].begin, intervals[i].end);
       if (i > 0) {

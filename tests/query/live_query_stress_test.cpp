@@ -74,7 +74,8 @@ void ReadLoop(const query::QueryService& service, std::atomic<bool>& stop,
     // break this.
     const auto snap = service.snapshot();
     for (const auto& [route, record] : snap->cameras) {
-      for (const auto& runs : record->intervals) {
+      for (const auto& chain : record->intervals) {
+        const auto runs = chain.Materialize();
         for (std::size_t i = 0; i < runs.size(); ++i) {
           const bool open = runs[i].end == query::kOpenEnd;
           if (open && i + 1 != runs.size()) ++findings.malformed_intervals;

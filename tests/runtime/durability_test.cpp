@@ -1,0 +1,338 @@
+// End-to-end durability: a store-enabled Runtime journals every insert,
+// a restarted Runtime replays the journals into an identical query index,
+// and a reconnecting camera resumes at the journaled high-water mark —
+// replayed frames acked, not re-stored (docs/durability.md).
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "store/journal.h"
+#include "synth/scene.h"
+
+namespace sieve::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+synth::SyntheticVideo SmallScene(std::uint64_t seed) {
+  synth::SceneConfig c;
+  c.width = 64;
+  c.height = 48;
+  c.num_frames = 40;
+  c.seed = seed;
+  c.mean_gap_seconds = 0.6;
+  c.min_gap_seconds = 0.3;
+  c.mean_dwell_seconds = 0.8;
+  c.min_dwell_seconds = 0.4;
+  return synth::GenerateScene(c);
+}
+
+/// Frame-space view of every FindObject hit, for comparing two runtimes
+/// whose wall clocks differ (seconds depend on when each opened).
+using FrameHits =
+    std::vector<std::tuple<std::string, std::size_t, std::size_t, bool>>;
+FrameHits AllHits(const query::QueryService& q) {
+  FrameHits out;
+  for (int c = 0; c < synth::kNumObjectClasses; ++c) {
+    for (const auto& hit : q.FindObject(synth::ObjectClass(c))) {
+      out.emplace_back(hit.camera_id, hit.begin_frame, hit.end_frame,
+                       hit.open);
+    }
+  }
+  return out;
+}
+
+class DurabilityTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scene_ = new synth::SyntheticVideo(SmallScene(7));
+    nn::ClassifierParams cp;
+    cp.input_size = 32;
+    cp.embedding_dim = 16;
+    classifier_ = new nn::FrameClassifier(cp);
+    ASSERT_TRUE(classifier_->Fit(scene_->video.frames, scene_->truth, 4).ok());
+  }
+  static void TearDownTestSuite() {
+    delete scene_;
+    delete classifier_;
+  }
+
+  static RuntimeConfig StoreConfig(const std::string& dir) {
+    RuntimeConfig config;
+    config.nn_input_size = 32;
+    config.store.dir = dir;
+    // Flush every record: journals readable the instant rows land, so a
+    // "crash" at any point loses nothing the test can't account for.
+    config.store.fsync.flush_every = 1;
+    return config;
+  }
+  static SessionConfig SceneSession() {
+    SessionConfig config;
+    config.width = 64;
+    config.height = 48;
+    config.encoder = codec::EncoderParams::Semantic(8, 120);
+    return config;
+  }
+  static std::string Scratch(const std::string& name) {
+    const std::string dir =
+        testing::TempDir() + "/sieve_durability_" + name;
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  static synth::SyntheticVideo* scene_;
+  static nn::FrameClassifier* classifier_;
+};
+
+synth::SyntheticVideo* DurabilityTest::scene_ = nullptr;
+nn::FrameClassifier* DurabilityTest::classifier_ = nullptr;
+
+TEST_F(DurabilityTest, JournalMatchesDatabaseAfterDrain) {
+  const std::string dir = Scratch("journal");
+  Runtime runtime(StoreConfig(dir), classifier_);
+  auto session = runtime.OpenSession("gate", SceneSession());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.frames_resumed, 0u);
+
+  // Exactly one journal, holding exactly the database's rows, sealed at
+  // the stream length.
+  std::vector<std::string> wals;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".wal") wals.push_back(e.path().string());
+  }
+  ASSERT_EQ(wals.size(), 1u);
+  auto contents = store::ReadJournal(wals[0]);
+  ASSERT_TRUE(contents.ok()) << contents.status().message();
+  EXPECT_TRUE(contents->registered);
+  EXPECT_EQ(contents->camera_id, "gate");
+  EXPECT_TRUE(contents->sealed);
+  EXPECT_EQ(contents->total_frames, report.frames_pushed);
+
+  const auto& rows = (*session)->db().rows();
+  ASSERT_EQ(contents->inserts.size(), rows.size());
+  std::size_t i = 0;
+  for (const auto& [frame, labels] : rows) {
+    EXPECT_EQ(contents->inserts[i].frame, frame);
+    EXPECT_EQ(contents->inserts[i].label_bits, labels.bits());
+    ++i;
+  }
+  ASSERT_TRUE(runtime.Shutdown().ok());
+}
+
+TEST_F(DurabilityTest, RestartAnswersFindObjectIdentically) {
+  const std::string dir = Scratch("restart");
+  FrameHits live;
+  {
+    Runtime runtime(StoreConfig(dir), classifier_);
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*session)->PushFrame(frame).ok());
+    }
+    (void)(*session)->Drain();
+    live = AllHits(runtime.query());
+    ASSERT_TRUE(runtime.Shutdown().ok());
+  }
+  ASSERT_FALSE(live.empty());
+
+  // A fresh Runtime on the same store dir must answer identically before
+  // any session opens — the boot-replay contract.
+  Runtime restarted(StoreConfig(dir), classifier_);
+  EXPECT_EQ(AllHits(restarted.query()), live);
+  ASSERT_TRUE(restarted.Shutdown().ok());
+}
+
+TEST_F(DurabilityTest, CrashRecoveryMatchesSurvivingPrefix) {
+  const std::string dir = Scratch("crash");
+  // Probe run (no crash): how many rows does this scene produce?
+  std::size_t total_rows = 0;
+  {
+    Runtime runtime(StoreConfig(Scratch("crash_probe")), classifier_);
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*session)->PushFrame(frame).ok());
+    }
+    (void)(*session)->Drain();
+    total_rows = (*session)->db().size();
+    ASSERT_TRUE(runtime.Shutdown().ok());
+  }
+  ASSERT_GT(total_rows, 4u) << "scene too small to crash meaningfully";
+
+  // Crash run: the journal dies mid-stream, after the register record and
+  // half the inserts. The live run keeps going in memory.
+  const std::size_t surviving = total_rows / 2;
+  RuntimeConfig config = StoreConfig(dir);
+  config.store.crash.crash_after_records = 1 + surviving;
+  {
+    Runtime runtime(config, classifier_);
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*session)->PushFrame(frame).ok());
+    }
+    (void)(*session)->Drain();
+    EXPECT_EQ((*session)->db().size(), total_rows)
+        << "the in-memory run must not be harmed by the journal crash";
+    ASSERT_TRUE(runtime.Shutdown().ok());
+  }
+
+  // What survived on disk is exactly the scripted prefix...
+  std::string wal;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".wal") wal = e.path().string();
+  }
+  ASSERT_FALSE(wal.empty());
+  auto contents = store::ReadJournal(wal);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->inserts.size(), surviving);
+  EXPECT_FALSE(contents->sealed) << "the seal died with the writer";
+
+  // ...and a restarted Runtime serves exactly what an in-memory run over
+  // that prefix would: same registration clock, same publish path.
+  Runtime restarted(StoreConfig(dir), classifier_);
+  query::QueryService reference;
+  reference.RegisterCamera(
+      contents->route, contents->camera_id,
+      query::CameraClock{contents->open_seconds, contents->fps});
+  core::ResultsDatabase reference_db;
+  reference_db.set_observer(
+      [&reference, &contents](const core::ResultsDatabase& db,
+                              std::size_t frame,
+                              const synth::LabelSet& labels) {
+        reference.Publish(contents->route, db, frame, labels);
+      });
+  for (const auto& ins : contents->inserts) {
+    reference_db.Insert(std::size_t(ins.frame),
+                        synth::LabelSet{ins.label_bits});
+  }
+  EXPECT_EQ(AllHits(restarted.query()), AllHits(reference));
+  ASSERT_TRUE(restarted.Shutdown().ok());
+}
+
+TEST_F(DurabilityTest, ReconnectResumesAtHighWaterMark) {
+  const std::string dir = Scratch("resume");
+  // Same probe trick: learn the row count, then let the journal die right
+  // after the last insert so the seal never lands and the incarnation
+  // stays open on disk — the shape an unclean shutdown leaves behind.
+  std::size_t total_rows = 0;
+  FrameHits reference_hits;
+  {
+    Runtime runtime(StoreConfig(Scratch("resume_probe")), classifier_);
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*session)->PushFrame(frame).ok());
+    }
+    (void)(*session)->Drain();
+    total_rows = (*session)->db().size();
+    reference_hits = AllHits(runtime.query());
+    ASSERT_TRUE(runtime.Shutdown().ok());
+  }
+
+  RuntimeConfig config = StoreConfig(dir);
+  config.store.crash.crash_after_records = 1 + total_rows;
+  {
+    Runtime runtime(config, classifier_);
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*session)->PushFrame(frame).ok());
+    }
+    (void)(*session)->Drain();
+    ASSERT_TRUE(runtime.Shutdown().ok());
+  }
+
+  // Restart and reconnect. The camera re-pushes its whole backlog, as a
+  // real camera would after losing its uplink.
+  Runtime restarted(StoreConfig(dir), classifier_);
+  auto session = restarted.OpenSession("gate", SceneSession());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  // The journaled rows are already in the session's database.
+  EXPECT_EQ((*session)->db().size(), total_rows);
+  for (const auto& frame : scene_->video.frames) {
+    ASSERT_TRUE((*session)->PushFrame(frame).ok());
+  }
+  const SessionReport report = (*session)->Drain();
+  EXPECT_EQ(report.frames_pushed, scene_->video.frames.size());
+  EXPECT_GT(report.frames_resumed, 0u)
+      << "frames at or below the high-water mark must be acked";
+  EXPECT_EQ(report.frames_pushed,
+            report.frames_stored_edge + report.frames_delivered +
+                report.frames_dropped + report.frames_resumed);
+  // Nothing got stored twice; the replay filled any gap above the mark.
+  EXPECT_EQ((*session)->db().size(), total_rows);
+
+  // One incarnation, not two: the resumed session kept its journaled
+  // route, and the sealed-at-drain index equals the uncrashed reference.
+  EXPECT_EQ(restarted.query().snapshot()->cameras.size(), 1u);
+  EXPECT_EQ(AllHits(restarted.query()), reference_hits);
+
+  // On disk too: still a single journal, now sealed at the full stream.
+  std::size_t wal_count = 0;
+  std::string wal;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".wal") {
+      ++wal_count;
+      wal = e.path().string();
+    }
+  }
+  EXPECT_EQ(wal_count, 1u);
+  auto contents = store::ReadJournal(wal);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->sealed);
+  EXPECT_EQ(contents->total_frames, report.frames_pushed);
+  ASSERT_TRUE(restarted.Shutdown().ok());
+}
+
+TEST_F(DurabilityTest, RecoveredButNeverResumedCameraStaysServed) {
+  const std::string dir = Scratch("unresumed");
+  {
+    Runtime runtime(StoreConfig(dir), classifier_);
+    auto session = runtime.OpenSession("gate", SceneSession());
+    ASSERT_TRUE(session.ok());
+    for (const auto& frame : scene_->video.frames) {
+      ASSERT_TRUE((*session)->PushFrame(frame).ok());
+    }
+    (void)(*session)->Drain();
+    ASSERT_TRUE(runtime.Shutdown().ok());
+  }
+  // Restart, never reconnect the camera, shut down again: the recovered
+  // history must survive the second lifecycle untouched.
+  FrameHits first_restart;
+  {
+    Runtime restarted(StoreConfig(dir), classifier_);
+    first_restart = AllHits(restarted.query());
+    ASSERT_TRUE(restarted.Shutdown().ok());
+  }
+  Runtime again(StoreConfig(dir), classifier_);
+  EXPECT_EQ(AllHits(again.query()), first_restart);
+  ASSERT_TRUE(again.Shutdown().ok());
+}
+
+TEST_F(DurabilityTest, UncreatableStoreDirFailsConstruction) {
+  const std::string file = Scratch("blocked");
+  // A plain file where the store dir should go: create_directories fails.
+  {
+    std::FILE* f = std::fopen(file.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  Runtime runtime(StoreConfig(file + "/store"), classifier_);
+  EXPECT_FALSE(runtime.OpenSession("gate", SceneSession()).ok())
+      << "a broken store must fail loudly, not run without durability";
+}
+
+}  // namespace
+}  // namespace sieve::runtime

@@ -1,0 +1,233 @@
+// Store-directory recovery: multi-camera scans, torn-tail repair,
+// quarantine-and-rewrite of mid-file corruption, and the seal → reopen →
+// insert incarnation sequence a reconnecting camera produces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "store/journal.h"
+#include "store/recovery.h"
+
+namespace sieve::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Scratch(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/sieve_recovery_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Write one complete camera journal into `dir`.
+void WriteCamera(const std::string& dir, const std::string& route,
+                 const std::string& camera_id, double open_seconds,
+                 const std::vector<std::pair<std::uint64_t, std::uint8_t>>&
+                     inserts,
+                 bool seal = false, std::uint64_t total = 0) {
+  auto writer = JournalWriter::Open(dir + "/" + JournalFileName(route),
+                                    FsyncPolicy{});
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+  ASSERT_TRUE(
+      (*writer)->AppendRegister(route, camera_id, open_seconds, 25.0).ok());
+  for (const auto& [frame, bits] : inserts) {
+    ASSERT_TRUE((*writer)->AppendInsert(frame, bits).ok());
+  }
+  if (seal) ASSERT_TRUE((*writer)->AppendSeal(total).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(RecoveryTest, EmptyDirectoryIsCreatedAndEmptyReport) {
+  const std::string dir = Scratch("empty") + "/nested/store";
+  ASSERT_FALSE(fs::exists(dir));
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(fs::exists(dir));
+  EXPECT_EQ(report->files, 0u);
+  EXPECT_TRUE(report->cameras.empty());
+}
+
+TEST(RecoveryTest, MultiCameraScanSortedByRoute) {
+  const std::string dir = Scratch("multi");
+  WriteCamera(dir, "b-cam#2", "b-cam", 5.0, {{0, 1}, {3, 2}});
+  WriteCamera(dir, "a-cam#1", "a-cam", 1.0, {{7, 4}}, /*seal=*/true, 10);
+  WriteCamera(dir, "c-cam#3", "c-cam", 9.0, {});
+
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files, 3u);
+  EXPECT_EQ(report->unreadable, 0u);
+  ASSERT_EQ(report->cameras.size(), 3u);
+  EXPECT_EQ(report->cameras[0].route, "a-cam#1");
+  EXPECT_EQ(report->cameras[1].route, "b-cam#2");
+  EXPECT_EQ(report->cameras[2].route, "c-cam#3");
+
+  const RecoveredCamera& a = report->cameras[0];
+  EXPECT_TRUE(a.sealed);
+  EXPECT_EQ(a.total_frames, 10u);
+  EXPECT_EQ(a.high_water, 7u);
+  EXPECT_TRUE(a.has_rows);
+
+  const RecoveredCamera& b = report->cameras[1];
+  EXPECT_FALSE(b.sealed);
+  EXPECT_EQ(b.high_water, 3u);
+  ASSERT_EQ(b.inserts.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.open_seconds, 5.0);
+
+  const RecoveredCamera& c = report->cameras[2];
+  EXPECT_FALSE(c.has_rows);
+  EXPECT_EQ(c.high_water, 0u);
+}
+
+TEST(RecoveryTest, TornTailIsTrimmedInPlace) {
+  const std::string dir = Scratch("torn");
+  WriteCamera(dir, "cam#1", "cam", 0.0, {{0, 1}, {1, 2}, {2, 3}});
+  const std::string path = dir + "/" + JournalFileName("cam#1");
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::size_t torn_size = bytes->size() - 5;
+  bytes->resize(torn_size);
+  ASSERT_TRUE(WriteFileBytes(path, *bytes).ok());
+
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->truncated_tails, 1u);
+  ASSERT_EQ(report->cameras.size(), 1u);
+  EXPECT_TRUE(report->cameras[0].tail_truncated);
+  ASSERT_EQ(report->cameras[0].inserts.size(), 2u);  // the torn row is gone
+  // The file itself was repaired: smaller than the tear, clean on re-read.
+  EXPECT_LT(fs::file_size(path), torn_size);
+  auto again = ReadJournal(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->tail_truncated);
+}
+
+TEST(RecoveryTest, MidCorruptionQuarantinesAndRewritesValidPrefix) {
+  const std::string dir = Scratch("quarantine");
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> rows;
+  for (std::uint64_t f = 0; f < 30; ++f) rows.push_back({f, std::uint8_t(f)});
+  WriteCamera(dir, "cam#1", "cam", 0.0, rows);
+  const std::string path = dir + "/" + JournalFileName("cam#1");
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x40;  // bit rot mid-file
+  ASSERT_TRUE(WriteFileBytes(path, *bytes).ok());
+
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->quarantined, 1u);
+  ASSERT_EQ(report->cameras.size(), 1u);
+  EXPECT_TRUE(report->cameras[0].quarantined);
+  const std::size_t salvaged = report->cameras[0].inserts.size();
+  EXPECT_GT(salvaged, 0u);
+  EXPECT_LT(salvaged, 30u);
+
+  // The damaged original moved aside for post-mortem; the .wal that
+  // remains is the clean prefix and is writable again.
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  auto writer = JournalWriter::Open(path, FsyncPolicy{});
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+  ASSERT_TRUE((*writer)->AppendInsert(100, 1).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Corrupting the rewritten file again must not clobber the evidence:
+  // the second quarantine picks a fresh name.
+  auto bytes2 = ReadFileBytes(path);
+  ASSERT_TRUE(bytes2.ok());
+  (*bytes2)[bytes2->size() / 4] ^= 0x40;
+  ASSERT_TRUE(WriteFileBytes(path, *bytes2).ok());
+  auto damaged = ReadJournal(path);
+  ASSERT_TRUE(damaged.ok());
+  if (damaged->mid_corruption) {
+    auto report2 = RecoverStore(dir);
+    ASSERT_TRUE(report2.ok());
+    EXPECT_TRUE(fs::exists(path + ".quarantined.1"))
+        << "second quarantine must not overwrite the first";
+  }
+}
+
+TEST(RecoveryTest, UnreadableFileIsMovedAsideNotFatal) {
+  const std::string dir = Scratch("unreadable");
+  WriteCamera(dir, "good#1", "good", 0.0, {{0, 1}});
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ASSERT_TRUE(WriteFileBytes(dir + "/junk.wal", junk).ok());
+
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files, 2u);
+  EXPECT_EQ(report->unreadable, 1u);
+  ASSERT_EQ(report->cameras.size(), 1u);
+  EXPECT_EQ(report->cameras[0].route, "good#1");
+  EXPECT_FALSE(fs::exists(dir + "/junk.wal"));
+  EXPECT_TRUE(fs::exists(dir + "/junk.wal.quarantined"));
+}
+
+TEST(RecoveryTest, UnregisteredJournalProducesNoCamera) {
+  const std::string dir = Scratch("unregistered");
+  // A journal whose registration record was lost to a crash: only magic.
+  {
+    auto writer =
+        JournalWriter::Open(dir + "/orphan.wal", FsyncPolicy{});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files, 1u);
+  EXPECT_TRUE(report->cameras.empty());
+}
+
+// The reconnect sequence (satellite: incarnation semantics under replay).
+// A camera seals its first incarnation, reopens as a new route, inserts
+// more; recovery must keep the two incarnations apart, seal only the
+// first, and report the second's high-water mark for resume.
+TEST(RecoveryTest, SealReopenInsertsKeepIncarnationsApart) {
+  const std::string dir = Scratch("incarnations");
+  WriteCamera(dir, "gate#1", "gate", 0.0, {{0, 1}, {5, 2}}, /*seal=*/true, 8);
+  WriteCamera(dir, "gate#2", "gate", 30.0, {{0, 4}, {2, 1}, {9, 3}});
+
+  auto report = RecoverStore(dir);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->cameras.size(), 2u);
+
+  const RecoveredCamera& first = report->cameras[0];
+  EXPECT_EQ(first.route, "gate#1");
+  EXPECT_EQ(first.camera_id, "gate");
+  EXPECT_TRUE(first.sealed);
+  EXPECT_EQ(first.total_frames, 8u);
+  EXPECT_DOUBLE_EQ(first.open_seconds, 0.0);
+
+  const RecoveredCamera& second = report->cameras[1];
+  EXPECT_EQ(second.route, "gate#2");
+  EXPECT_EQ(second.camera_id, "gate");
+  EXPECT_FALSE(second.sealed);
+  EXPECT_EQ(second.high_water, 9u);
+  EXPECT_DOUBLE_EQ(second.open_seconds, 30.0);
+  ASSERT_EQ(second.inserts.size(), 3u);
+  EXPECT_EQ(second.inserts[0].frame, 0u);
+  EXPECT_EQ(second.inserts[2].label_bits, 3u);
+}
+
+TEST(RecoveryTest, RecoveryIsIdempotent) {
+  const std::string dir = Scratch("idempotent");
+  WriteCamera(dir, "cam#1", "cam", 0.0, {{0, 1}, {4, 2}});
+  auto first = RecoverStore(dir);
+  ASSERT_TRUE(first.ok());
+  auto second = RecoverStore(dir);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->files, first->files);
+  EXPECT_EQ(second->records, first->records);
+  ASSERT_EQ(second->cameras.size(), first->cameras.size());
+  EXPECT_EQ(second->cameras[0].inserts.size(),
+            first->cameras[0].inserts.size());
+  EXPECT_EQ(second->truncated_tails, 0u);
+  EXPECT_EQ(second->quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace sieve::store

@@ -30,6 +30,16 @@ Fails (exit 1) on a >threshold regression in the tracked scenarios:
                     noise band — the scenario medians paired legs to stay
                     below measurement noise) and must not change one byte
                     of bitstream or db (hard-fail bit_identical)
+  * durability    — the crash-safety contract: journaling every insert must
+                    cost < 5% CPU on the session ingest path (absolute
+                    gate, median of paired legs), per-insert snapshot
+                    publication must stay flat as a camera's interval
+                    history grows 100x (absolute < 3x gate — the index is
+                    O(1) per insert by design), 100k-record boot recovery
+                    throughput must not collapse (baseline ratio, wide
+                    band), and replaying journals must reproduce the live
+                    run's query snapshot exactly (hard-fail
+                    recovered_identical)
 
 Ratio metrics (speedups) are machine-normalized — both legs run in the same
 process on the same box — so they are comparable between the committed
@@ -68,6 +78,7 @@ SCENARIO_OF = {
     "int8_inference": "int8_inference",
     "pipelined_encode": "pipelined_encode",
     "trace_overhead": "trace_overhead",
+    "durability": "durability",
 }
 
 
@@ -135,6 +146,11 @@ METRICS = [
     # entirely on single-core runners (fresh hardware_threads < 2), where
     # the honest value hovers at 1.0 regardless of code health.
     ("pipelined_encode.speedup", False, 2.0),
+    # 100k-record boot recovery throughput: an absolute rate with no in-run
+    # reference (journal decode + replay into the index, wall time), so the
+    # widest band — it fires only when recovery stops being linear (a
+    # re-scan per record, an fsync on the read path), a 10x+ collapse.
+    ("durability.recovery_records_per_s", False, 20.0),
 ]
 
 # Fresh-report metrics gated only on capable hardware: metric path ->
@@ -169,6 +185,10 @@ BOOLEANS = [
     # bitstream or db output. A false is an observer effect (a probe
     # feeding back into encode decisions or frame routing), not noise.
     "trace_overhead.bit_identical",
+    # Hard gate: replaying a store of journals must rebuild the exact query
+    # snapshot the live run produced — same routes, seals, and per-class
+    # intervals. A false is lost or reordered durability data, not noise.
+    "durability.recovered_identical",
 ]
 
 # The trace recorder's overhead contract (docs/observability.md): enabling
@@ -200,6 +220,57 @@ def check_trace_overhead(fresh, failures):
         failures.append("trace_overhead.events: traced leg recorded nothing")
         print(f"{'trace_overhead.events':44s} {'>0':>10s} "
               f"{str(events):>10s}   FAIL")
+
+
+# The durability contract (docs/durability.md): journaling every insert at
+# the default group-commit cadence must cost < this much CPU on the session
+# ingest path, and per-insert snapshot publication must stay within this
+# factor when a camera's interval history grows 100x (1k -> 100k). Both are
+# ABSOLUTE ceilings on the fresh report, like the trace gate: the harness
+# medians interleaved paired legs so healthy numbers sit far below them
+# (overhead ~1%, flat ratio ~1.0; the pre-sharding index was ~100x).
+JOURNAL_OVERHEAD_LIMIT_PCT = 5.0
+PUBLISH_FLAT_LIMIT = 3.0
+
+
+def check_durability(fresh, failures):
+    pct = get(fresh, "durability.journal_overhead_pct")
+    if pct is None or not isinstance(pct, (int, float)):
+        failures.append(
+            "durability.journal_overhead_pct: missing in fresh report")
+        print(f"{'durability.journal_overhead_pct':44s} {'<5.0%':>10s} "
+              f"{'MISSING':>10s}   FAIL")
+    else:
+        mark = "ok" if pct < JOURNAL_OVERHEAD_LIMIT_PCT else "FAIL"
+        print(f"{'durability.journal_overhead_pct':44s} {'<5.0%':>10s} "
+              f"{pct:9.2f}%   {mark}")
+        if mark == "FAIL":
+            failures.append(
+                f"durability.journal_overhead_pct: {pct:.2f}% >= "
+                f"{JOURNAL_OVERHEAD_LIMIT_PCT:.1f}% (journaling must stay "
+                f"cheap on the ingest path)")
+    ratio = get(fresh, "durability.publish_flat_ratio")
+    if ratio is None or not isinstance(ratio, (int, float)) or ratio <= 0:
+        failures.append("durability.publish_flat_ratio: missing/zero in "
+                        "fresh report")
+        print(f"{'durability.publish_flat_ratio':44s} {'<3.0x':>10s} "
+              f"{'MISSING':>10s}   FAIL")
+    else:
+        mark = "ok" if ratio < PUBLISH_FLAT_LIMIT else "FAIL"
+        print(f"{'durability.publish_flat_ratio':44s} {'<3.0x':>10s} "
+              f"{ratio:9.2f}x   {mark}")
+        if mark == "FAIL":
+            failures.append(
+                f"durability.publish_flat_ratio: {ratio:.2f}x >= "
+                f"{PUBLISH_FLAT_LIMIT:.1f}x (publication must not scale "
+                f"with history)")
+    # A recovery that read nothing would ace every gate — the scenario must
+    # actually have decoded records for its numbers to count.
+    records = get(fresh, "durability.recovery_records")
+    if not records:
+        failures.append("durability.recovery_records: recovery read nothing")
+        print(f"{'durability.recovery_records':44s} {'>0':>10s} "
+              f"{str(records):>10s}   FAIL")
 
 
 def check_kernel_arches(fresh, failures):
@@ -292,6 +363,9 @@ def main():
 
     if scenario_ran(fresh, "trace_overhead.overhead_pct"):
         check_trace_overhead(fresh, failures)
+
+    if scenario_ran(fresh, "durability.journal_overhead_pct"):
+        check_durability(fresh, failures)
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond "

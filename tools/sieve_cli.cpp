@@ -8,6 +8,10 @@
 //   seek   <in.svb>                             list I-frames (metadata only)
 //   decode <in.svb> <out.y4m>                   full decode
 //   extract <in.svb> <frame> <out.ppm>          random-access I-frame decode
+//   store  <dir>                                recover a results-store dir
+//                                               (repairs torn tails,
+//                                               quarantines corruption) and
+//                                               print its recovery report
 //
 // The labels file for `tune` has one integer label-set bitmask per line
 // (0 = empty scene), matching the video's frame count — the format
@@ -30,6 +34,7 @@
 #include "media/pnm.h"
 #include "media/y4m.h"
 #include "obs/export.h"
+#include "store/recovery.h"
 #include "synth/scene.h"
 
 namespace {
@@ -241,6 +246,35 @@ int CmdExtract(int argc, char** argv) {
   return 0;
 }
 
+int CmdStore(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: sieve store <dir>\n");
+    return 2;
+  }
+  auto report = store::RecoverStore(argv[0]);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%zu journal file(s): %zu records, %zu torn tail(s) trimmed, "
+              "%zu quarantined, %zu unreadable\n",
+              report->files, report->records, report->truncated_tails,
+              report->quarantined, report->unreadable);
+  if (!report->cameras.empty()) {
+    std::printf("%-24s %-16s %-8s %-8s %-10s %s\n", "route", "camera", "rows",
+                "sealed", "highwater", "notes");
+  }
+  for (const auto& cam : report->cameras) {
+    std::string notes;
+    if (cam.tail_truncated) notes += "torn-tail ";
+    if (cam.quarantined) notes += "quarantined ";
+    if (notes.empty()) notes = "-";
+    std::printf("%-24s %-16s %-8zu %-8s %-10llu %s\n", cam.route.c_str(),
+                cam.camera_id.c_str(), cam.inserts.size(),
+                cam.sealed ? "yes" : "no",
+                static_cast<unsigned long long>(cam.high_water),
+                notes.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,7 +288,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sieve — semantic video encoding toolkit\n"
                  "usage: sieve [--trace-out=trace.json] <command> ...\n"
-                 "commands: synth tune encode info seek decode extract\n");
+                 "commands: synth tune encode info seek decode extract "
+                 "store\n");
     return 2;
   }
   if (!trace_out.empty()) sieve::obs::StartTracing();
@@ -269,6 +304,7 @@ int main(int argc, char** argv) {
   else if (cmd == "seek") rc = CmdSeek(argc, argv);
   else if (cmd == "decode") rc = CmdDecode(argc, argv);
   else if (cmd == "extract") rc = CmdExtract(argc, argv);
+  else if (cmd == "store") rc = CmdStore(argc, argv);
   else std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   if (!trace_out.empty()) {
     sieve::obs::StopTracing();
